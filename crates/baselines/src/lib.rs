@@ -1,0 +1,96 @@
+#![warn(missing_docs)]
+
+//! # re2x-baselines
+//!
+//! Comparator systems re-implemented from their published behaviour, used
+//! by the Figure 10 / Table 1 reproductions.
+//!
+//! * [`sparqlbye`] — the state-of-the-art *general* SPARQL
+//!   reverse-engineering-by-example approach the paper compares against
+//!   (Diaz, Arenas, Benedikt: "SPARQLByE: Querying RDF data by example",
+//!   PVLDB 2016),
+//! * [`spade`] — Spade-style interesting-aggregate discovery without user
+//!   input (Diao et al., SIGMOD 2021), the other implemented Table 1 row.
+
+pub mod spade;
+pub mod sparqlbye;
+
+pub use spade::{interesting_aggregates, InterestingAggregate};
+pub use sparqlbye::{reverse_engineer, ByExampleOutcome};
+
+/// A row of the Table 1 capability matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// System name.
+    pub system: &'static str,
+    /// Operates natively on RDF.
+    pub rdf: bool,
+    /// Scales to large KGs.
+    pub large_kgs: bool,
+    /// Produces queries with aggregations.
+    pub aggregations: bool,
+    /// Supports interactive query reformulation.
+    pub reformulations: bool,
+    /// Driven by user input.
+    pub user_input: bool,
+    /// Accepts partial input (no measure values required).
+    pub partial_input: bool,
+}
+
+/// The Table 1 matrix, as published (RE²xOLAP and the systems it is
+/// compared to; the non-RDF systems are listed for completeness and are
+/// not implemented here).
+pub const TABLE1: [Capabilities; 4] = [
+    Capabilities {
+        system: "RE2xOLAP",
+        rdf: true,
+        large_kgs: true,
+        aggregations: true,
+        reformulations: true,
+        user_input: true,
+        partial_input: true,
+    },
+    Capabilities {
+        system: "SPARQLByE",
+        rdf: true,
+        large_kgs: true,
+        aggregations: false,
+        reformulations: false,
+        user_input: true,
+        partial_input: true,
+    },
+    Capabilities {
+        system: "Spade",
+        rdf: true,
+        large_kgs: false,
+        aggregations: true,
+        reformulations: false,
+        user_input: false,
+        partial_input: false,
+    },
+    Capabilities {
+        system: "REGAL",
+        rdf: false,
+        large_kgs: false,
+        aggregations: true,
+        reformulations: false,
+        user_input: true,
+        partial_input: false,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        assert_eq!(TABLE1.len(), 4);
+        let re2x = &TABLE1[0];
+        assert!(re2x.rdf && re2x.large_kgs && re2x.aggregations && re2x.reformulations);
+        let bye = &TABLE1[1];
+        assert!(bye.rdf && bye.large_kgs && !bye.aggregations && !bye.reformulations);
+        let regal = &TABLE1[3];
+        assert!(!regal.rdf && regal.aggregations && !regal.partial_input);
+    }
+}

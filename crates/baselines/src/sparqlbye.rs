@@ -1,0 +1,209 @@
+//! A SPARQLByE-style reverse-engineering baseline.
+//!
+//! SPARQLByE synthesizes the *minimal basic graph pattern* that covers the
+//! user's example nodes. Per the paper's comparison (Section 7.2,
+//! Figure 10):
+//!
+//! * it recognizes the immediate characterization of each example node
+//!   (e.g. that "Asia" is a member of the Continent level) from the node's
+//!   one-hop neighbourhood,
+//! * it does **not** navigate connections of two or more hops, so it never
+//!   reaches observation nodes from dimension members,
+//! * it produces no grouping or aggregation.
+//!
+//! The output for `⟨"Asia", "2011"⟩` is therefore a flat
+//! `SELECT * WHERE { … }` with one disconnected variable per example
+//! component — precisely the Figure 10a behaviour RE²xOLAP improves on.
+
+use re2x_sparql::{
+    PatternElement, Query, SparqlEndpoint, SparqlError, TermPattern, TriplePattern,
+};
+
+/// Result of a baseline run: the synthesized queries plus the qualitative
+/// flags the Figure 10 comparison reports.
+#[derive(Debug, Clone)]
+pub struct ByExampleOutcome {
+    /// The synthesized queries (one per interpretation combination).
+    pub queries: Vec<Query>,
+    /// `true` — the baseline never reaches observations.
+    pub reaches_observations: bool,
+    /// `true` — the baseline never emits aggregates.
+    pub has_aggregates: bool,
+}
+
+/// Reverse engineers minimal BGPs from example keywords.
+///
+/// For each keyword: resolve it to member nodes through the full-text
+/// index; for every member, emit a variable constrained by (a) the
+/// attribute pattern that matched the keyword and (b) one pattern per
+/// distinct outgoing IRI-valued predicate of the member (its one-hop
+/// characterization). Variables of different keywords are *not* connected.
+pub fn reverse_engineer(
+    endpoint: &dyn SparqlEndpoint,
+    example: &[&str],
+    exact: bool,
+) -> Result<ByExampleOutcome, SparqlError> {
+    let graph = endpoint.graph();
+    // per keyword: list of (attribute predicate, literal term, member node)
+    let mut per_keyword: Vec<Vec<(String, re2x_rdf::Literal, Vec<String>)>> = Vec::new();
+    for keyword in example {
+        let mut interpretations = Vec::new();
+        for lit in endpoint.keyword_search(keyword, exact) {
+            let Some(literal) = graph.term(lit).as_literal().cloned() else {
+                continue;
+            };
+            // members and the predicates pointing at the literal
+            let mut by_attr: Vec<(String, Vec<String>)> = Vec::new();
+            graph.for_each_matching(None, None, Some(lit), |t| {
+                let (Some(member), Some(attr)) =
+                    (graph.term(t.s).as_iri(), graph.term(t.p).as_iri())
+                else {
+                    return;
+                };
+                match by_attr.iter_mut().find(|(a, _)| a == attr) {
+                    Some((_, members)) => members.push(member.to_owned()),
+                    None => by_attr.push((attr.to_owned(), vec![member.to_owned()])),
+                }
+            });
+            for (attr, members) in by_attr {
+                interpretations.push((attr, literal.clone(), members));
+            }
+        }
+        per_keyword.push(interpretations);
+    }
+
+    // one query per choice of attribute interpretation per keyword
+    let mut queries = Vec::new();
+    let combinations: usize = per_keyword.iter().map(|v| v.len().max(1)).product();
+    'combo: for mut index in 0..combinations {
+        let mut wher = Vec::new();
+        for (k, interpretations) in per_keyword.iter().enumerate() {
+            if interpretations.is_empty() {
+                continue 'combo; // keyword with no match: no covering query
+            }
+            let choice = index % interpretations.len();
+            index /= interpretations.len();
+            let (attr, literal, members) = &interpretations[choice];
+            let var = format!("x{k}");
+            // the pattern that covers the example component
+            wher.push(PatternElement::Triple(TriplePattern::new(
+                TermPattern::Var(var.clone()),
+                attr.clone(),
+                TermPattern::Literal(literal.clone()),
+            )));
+            // one-hop characterization: distinct outgoing IRI predicates of
+            // the matched members
+            let mut characterization: Vec<String> = Vec::new();
+            for member_iri in members {
+                let Some(member) = graph.iri_id(member_iri) else {
+                    continue;
+                };
+                for p in graph.predicates_from(member) {
+                    let Some(pred) = graph.term(p).as_iri() else {
+                        continue;
+                    };
+                    if pred == attr || characterization.iter().any(|c| c == pred) {
+                        continue;
+                    }
+                    // only IRI-valued predicates characterize structure
+                    let points_to_iri = graph
+                        .objects(member, p)
+                        .iter()
+                        .any(|&o| graph.term(o).is_iri());
+                    if points_to_iri {
+                        characterization.push(pred.to_owned());
+                    }
+                }
+            }
+            for (ci, pred) in characterization.iter().enumerate() {
+                wher.push(PatternElement::Triple(TriplePattern::new(
+                    TermPattern::Var(var.clone()),
+                    pred.clone(),
+                    TermPattern::Var(format!("c{k}_{ci}")),
+                )));
+            }
+        }
+        if !wher.is_empty() {
+            queries.push(Query::select_all(wher));
+        }
+    }
+
+    Ok(ByExampleOutcome {
+        queries,
+        reaches_observations: false,
+        has_aggregates: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_rdf::io::parse_turtle;
+    use re2x_rdf::Graph;
+    use re2x_sparql::{LocalEndpoint, QueryForm};
+
+    fn endpoint() -> LocalEndpoint {
+        let mut g = Graph::new();
+        parse_turtle(
+            r#"
+            @prefix ex: <http://ex/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:Syria rdfs:label "Syria" ; ex:inContinent ex:Asia .
+            ex:Asia rdfs:label "Asia" .
+            ex:y2011 rdfs:label "2011" .
+            ex:m2011 rdfs:label "May 2011" ; ex:inYear ex:y2011 .
+            ex:o1 a ex:Obs ; ex:origin ex:Syria ; ex:refPeriod ex:m2011 ; ex:applicants 10 .
+            "#,
+            &mut g,
+        )
+        .expect("fixture parses");
+        LocalEndpoint::new(g)
+    }
+
+    #[test]
+    fn produces_disconnected_flat_patterns() {
+        let ep = endpoint();
+        let outcome = reverse_engineer(&ep, &["Asia", "2011"], true).expect("baseline");
+        assert_eq!(outcome.queries.len(), 1);
+        let q = &outcome.queries[0];
+        assert_eq!(q.form, QueryForm::Select);
+        assert!(q.select.is_empty(), "SELECT *");
+        assert!(q.group_by.is_empty(), "no aggregation");
+        // two disconnected variables, no shared variable between x0 and x1
+        let vars = q.pattern_variables();
+        assert!(vars.contains(&"x0".to_owned()) && vars.contains(&"x1".to_owned()));
+        // the synthesized query runs and covers the example
+        let solutions = ep.select(q).expect("runs");
+        assert!(!solutions.is_empty());
+    }
+
+    #[test]
+    fn does_not_reach_observations() {
+        let ep = endpoint();
+        let outcome = reverse_engineer(&ep, &["Syria"], true).expect("baseline");
+        assert!(!outcome.reaches_observations);
+        assert!(!outcome.has_aggregates);
+        let q = &outcome.queries[0];
+        // Syria's one-hop characterization (inContinent) is present …
+        let text = re2x_sparql::query_to_sparql(q);
+        assert!(text.contains("inContinent"), "{text}");
+        // … but nothing reaches the observation or the measure
+        assert!(!text.contains("applicants"), "{text}");
+        assert!(!text.contains("origin"), "{text}");
+    }
+
+    #[test]
+    fn unmatched_keyword_yields_no_queries() {
+        let ep = endpoint();
+        let outcome = reverse_engineer(&ep, &["Atlantis"], true).expect("baseline");
+        assert!(outcome.queries.is_empty());
+    }
+
+    #[test]
+    fn keyword_mode_multiplies_interpretations() {
+        let ep = endpoint();
+        // "2011" as keyword matches both the year and the month literal
+        let outcome = reverse_engineer(&ep, &["2011"], false).expect("baseline");
+        assert_eq!(outcome.queries.len(), 2);
+    }
+}

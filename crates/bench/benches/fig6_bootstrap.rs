@@ -1,0 +1,35 @@
+//! Figure 6c: system-bootstrap (Virtual Schema Graph construction) time
+//! per dataset. The paper attributes bootstrap cost to schema complexity
+//! and endpoint speed, not to observation count — the two Eurostat scales
+//! benched here demonstrate the latter dependence is sub-linear.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use re2x_cube::{bootstrap, BootstrapConfig};
+use re2x_sparql::LocalEndpoint;
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6c_bootstrap");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, re2x_datagen::Dataset)> = vec![
+        ("eurostat_2k", re2x_datagen::eurostat::generate(2_000, 42)),
+        ("eurostat_8k", re2x_datagen::eurostat::generate(8_000, 42)),
+        ("production_2k", re2x_datagen::production::generate(2_000, 42)),
+        ("dbpedia_2k", re2x_datagen::dbpedia::generate(2_000, 42)),
+    ];
+    for (name, mut dataset) in cases {
+        let class = dataset.observation_class.clone();
+        let endpoint = LocalEndpoint::new(std::mem::take(&mut dataset.graph));
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || BootstrapConfig::new(class.clone()),
+                |config| bootstrap(&endpoint, &config).expect("bootstrap"),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 8a: endpoint execution time of the synthesized query (Orig.) and
+//! of its 1- and 2-step disaggregations (Dis.1 / Dis.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re2x_bench::env::{prepare, DatasetKind, Scales};
+use re2x_datagen::example_workload_on;
+use re2x_sparql::SparqlEndpoint;
+use re2xolap::{refine::disaggregate::disaggregate, reolap, OlapQuery, ReolapConfig};
+
+fn queries_at_depths(prepared: &re2x_bench::env::PreparedDataset) -> Vec<(String, OlapQuery)> {
+    let workload = example_workload_on(prepared.endpoint.graph(), &prepared.dataset, 1, 3, 42);
+    let config = ReolapConfig::default();
+    let mut out = Vec::new();
+    for tuple in &workload {
+        let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
+        let Ok(outcome) = reolap(&prepared.endpoint, &prepared.report.schema, &refs, &config)
+        else {
+            continue;
+        };
+        let Some(query) = outcome.queries.into_iter().next() else {
+            continue;
+        };
+        let mut current = query;
+        for depth in 0..3usize {
+            if depth > 0 {
+                let Some(r) = disaggregate(&prepared.report.schema, &current)
+                    .into_iter()
+                    .next()
+                else {
+                    break;
+                };
+                current = r.query;
+            }
+            let name = match depth {
+                0 => "orig",
+                1 => "dis1",
+                _ => "dis2",
+            };
+            out.push((name.to_owned(), current.clone()));
+        }
+        break; // one example per dataset is enough for the trend
+    }
+    out
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_query_execution");
+    group.sample_size(10);
+    let scales = Scales::smoke();
+    for kind in DatasetKind::ALL {
+        let prepared = prepare(kind, &scales, 42);
+        for (depth, query) in queries_at_depths(&prepared) {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), depth),
+                &query,
+                |b, query| b.iter(|| prepared.endpoint.select(&query.query).expect("runs")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 9a: generation time of the three post-hoc refinement methods
+//! (Top-k, Percentile, Similarity) over an executed disaggregated query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use re2x_bench::env::{prepare, DatasetKind, Scales};
+use re2x_datagen::example_workload_on;
+use re2x_sparql::{Solutions, SparqlEndpoint};
+use re2xolap::refine::subset::DEFAULT_PERCENTILES;
+use re2xolap::{refine, reolap, OlapQuery, ReolapConfig};
+
+fn disaggregated_query(
+    prepared: &re2x_bench::env::PreparedDataset,
+) -> Option<(OlapQuery, Solutions)> {
+    let workload = example_workload_on(prepared.endpoint.graph(), &prepared.dataset, 1, 3, 42);
+    let config = ReolapConfig::default();
+    for tuple in &workload {
+        let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
+        let Ok(outcome) = reolap(&prepared.endpoint, &prepared.report.schema, &refs, &config)
+        else {
+            continue;
+        };
+        let Some(query) = outcome.queries.into_iter().next() else {
+            continue;
+        };
+        let Some(r) = refine::disaggregate::disaggregate(&prepared.report.schema, &query)
+            .into_iter()
+            .next()
+        else {
+            continue;
+        };
+        let solutions = prepared.endpoint.select(&r.query.query).ok()?;
+        if !solutions.is_empty() {
+            return Some((r.query, solutions));
+        }
+    }
+    None
+}
+
+fn bench_refinements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_refinements");
+    group.sample_size(10);
+    let scales = Scales::smoke();
+    for kind in DatasetKind::ALL {
+        let prepared = prepare(kind, &scales, 42);
+        let Some((query, solutions)) = disaggregated_query(&prepared) else {
+            continue;
+        };
+        let schema = &prepared.report.schema;
+        let graph = prepared.endpoint.graph();
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), "topk"),
+            &(),
+            |b, ()| b.iter(|| refine::subset::topk(schema, &query, &solutions, graph)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), "percentile"),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    refine::subset::percentile(
+                        schema,
+                        &query,
+                        &solutions,
+                        graph,
+                        &DEFAULT_PERCENTILES,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), "similarity"),
+            &(),
+            |b, ()| b.iter(|| refine::similar::similarity(schema, &query, &solutions, graph, 3)),
+        );
+        // disaggregate generation itself (sub-100ms claim of §6.1)
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), "disaggregate"),
+            &(),
+            |b, ()| b.iter(|| refine::disaggregate::disaggregate(schema, &query)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinements);
+criterion_main!(benches);

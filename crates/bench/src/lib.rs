@@ -1,0 +1,15 @@
+//! # re2x-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (see `DESIGN.md` §3 for the index) plus the ablation
+//! studies of §4.
+//!
+//! * the [`figures`] module implements one function per table/figure,
+//! * the [`ablation`] module implements the design-choice ablations,
+//! * the `repro` binary runs them and writes `bench_results/`,
+//! * the Criterion benches (`benches/`) time the hot paths per figure.
+
+pub mod ablation;
+pub mod env;
+pub mod figures;
+pub mod report;

@@ -1,0 +1,76 @@
+//! Error type of the RE²xOLAP layer.
+
+use re2x_sparql::SparqlError;
+use std::fmt;
+
+/// Errors raised by query synthesis and refinement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Re2xError {
+    /// The underlying endpoint rejected or failed a query.
+    Sparql(SparqlError),
+    /// A keyword matched no dimension member at any level.
+    NoMatch {
+        /// The keyword with no interpretation.
+        keyword: String,
+    },
+    /// The interpretation space exceeded the configured bound.
+    TooManyInterpretations {
+        /// Number of combinations that would have been enumerated.
+        combinations: usize,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// The example tuples have inconsistent arity.
+    MixedArity,
+    /// A refinement was requested against an operation it does not support
+    /// (e.g. similarity search on a query with no measure columns).
+    NotApplicable(String),
+}
+
+impl fmt::Display for Re2xError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Re2xError::Sparql(e) => write!(f, "endpoint error: {e}"),
+            Re2xError::NoMatch { keyword } => {
+                write!(f, "no dimension member matches the example '{keyword}'")
+            }
+            Re2xError::TooManyInterpretations { combinations, bound } => write!(
+                f,
+                "example is too ambiguous: {combinations} interpretation combinations exceed the bound of {bound}"
+            ),
+            Re2xError::MixedArity => {
+                write!(f, "all example tuples must have the same number of components")
+            }
+            Re2xError::NotApplicable(m) => write!(f, "refinement not applicable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Re2xError {}
+
+impl From<SparqlError> for Re2xError {
+    fn from(value: SparqlError) -> Self {
+        Re2xError::Sparql(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Re2xError::NoMatch {
+            keyword: "Atlantis".into(),
+        };
+        assert!(e.to_string().contains("Atlantis"));
+        let e = Re2xError::TooManyInterpretations {
+            combinations: 100,
+            bound: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e: Re2xError = SparqlError::invalid("x").into();
+        assert!(matches!(e, Re2xError::Sparql(_)));
+        assert!(Re2xError::MixedArity.to_string().contains("same number"));
+    }
+}

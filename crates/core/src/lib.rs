@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # re2xolap
+//!
+//! A Rust implementation of **RE²xOLAP** — *Example-Driven Exploratory
+//! Analytics over Knowledge Graphs* (Lissandrini, Hose, Pedersen, EDBT
+//! 2023): reverse engineering analytical SPARQL queries over statistical
+//! knowledge graphs from a handful of example entities, and refining them
+//! interactively without ever writing a query.
+//!
+//! ## Workflow
+//!
+//! ```text
+//! keywords ─▶ ReOLAP (Algorithm 1) ─▶ candidate SELECT…GROUP BY queries
+//!              │ Virtual Schema Graph (re2x-cube)
+//!              ▼
+//!        user picks one ─▶ results ─▶ ExRef refinements
+//!                                       • Disaggregate (drill-down, 2a)
+//!                                       • Top-k / Percentile (dice, 2b)
+//!                                       • Similarity search (2c)
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use re2x_rdf::{Graph, io::parse_turtle};
+//! use re2x_sparql::LocalEndpoint;
+//! use re2x_cube::{bootstrap, BootstrapConfig};
+//! use re2xolap::{Session, SessionConfig};
+//!
+//! let mut g = Graph::new();
+//! parse_turtle(r#"
+//!     @prefix ex: <http://ex/> .
+//!     @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+//!     ex:Germany rdfs:label "Germany" .
+//!     ex:o1 a ex:Obs ; ex:dest ex:Germany ; ex:applicants 42 .
+//! "#, &mut g).unwrap();
+//! let endpoint = LocalEndpoint::new(g);
+//! let schema = bootstrap(&endpoint, &BootstrapConfig::new("http://ex/Obs")).unwrap().schema;
+//! let mut session = Session::new(&endpoint, &schema, SessionConfig::default());
+//! let outcome = session.synthesize(&["Germany"]).unwrap();
+//! assert_eq!(outcome.queries.len(), 1);
+//! let step = session.choose(outcome.queries[0].clone()).unwrap();
+//! assert_eq!(step.solutions.len(), 1);
+//! ```
+
+pub mod error;
+pub mod matching;
+pub mod negative;
+pub mod profile;
+pub mod query_model;
+pub mod ranking;
+pub mod refine;
+pub mod reolap;
+pub mod session;
+pub mod transcript;
+
+pub use error::Re2xError;
+pub use negative::{exclude_negatives, NegativeOutcome};
+pub use profile::{profile, DatasetProfile};
+pub use ranking::{rank_interpretations, rank_refinements, RankFactors, RankedQuery};
+pub use transcript::to_markdown as session_transcript;
+pub use matching::{matches, member_levels, MatchMode, MemberMatch};
+pub use query_model::{ExampleBinding, GroupColumn, MeasureColumn, OlapQuery};
+pub use refine::{RefineOp, Refinement, RefinementKind};
+pub use reolap::{get_query, reolap, reolap_multi, ReolapConfig, SynthesisOutcome};
+pub use session::{ExplorationMetrics, Session, SessionConfig, Step};

@@ -1,0 +1,194 @@
+//! Negative examples — "the user provides instead a set of negative
+//! examples" (paper Section 8, future work).
+//!
+//! A negative example is a keyword naming members the user does *not* want
+//! in the result. Applying it to an [`OlapQuery`] resolves the keyword
+//! exactly like a positive example and adds `FILTER(?var != <member>)`
+//! conditions for every match on a projected level, so all downstream
+//! refinements keep honoring the exclusion (filters survive cloning).
+
+use crate::error::Re2xError;
+use crate::matching::{matches, MatchMode};
+use crate::query_model::OlapQuery;
+use re2x_cube::VirtualSchemaGraph;
+use re2x_sparql::{CmpOp, Expr, PatternElement, SparqlEndpoint};
+
+/// Outcome of applying negative examples.
+#[derive(Debug, Clone)]
+pub struct NegativeOutcome {
+    /// The query with exclusion filters added.
+    pub query: OlapQuery,
+    /// Members excluded, as `(keyword, member IRI)` pairs.
+    pub excluded: Vec<(String, String)>,
+    /// Keywords that matched nothing projected (reported, not fatal: a
+    /// negative that cannot appear needs no filter).
+    pub inert: Vec<String>,
+}
+
+/// Applies negative example keywords to a query.
+pub fn exclude_negatives(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    query: &OlapQuery,
+    negatives: &[&str],
+    mode: MatchMode,
+) -> Result<NegativeOutcome, Re2xError> {
+    let mut refined = query.clone();
+    let mut excluded = Vec::new();
+    let mut inert = Vec::new();
+    for keyword in negatives {
+        let hits = matches(endpoint, schema, keyword, mode)?;
+        if hits.is_empty() {
+            return Err(Re2xError::NoMatch {
+                keyword: (*keyword).to_owned(),
+            });
+        }
+        let mut applied = false;
+        for hit in hits {
+            let Some(column) = query.column_for_level(hit.binding.level) else {
+                continue; // the member's level is not projected: cannot occur
+            };
+            let pair = ((*keyword).to_owned(), hit.binding.member_iri.clone());
+            if excluded.contains(&pair) {
+                continue;
+            }
+            refined
+                .query
+                .wher
+                .push(PatternElement::Filter(Expr::cmp(
+                    Expr::var(column.var.clone()),
+                    CmpOp::Ne,
+                    Expr::Iri(hit.binding.member_iri.clone()),
+                )));
+            excluded.push(pair);
+            applied = true;
+        }
+        if !applied {
+            inert.push((*keyword).to_owned());
+        }
+    }
+    if !excluded.is_empty() {
+        let names: Vec<&str> = excluded
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        refined.description = format!("{} — excluding {}", query.description, names.join(", "));
+    }
+    Ok(NegativeOutcome {
+        query: refined,
+        excluded,
+        inert,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reolap::{reolap, ReolapConfig};
+    use re2x_cube::{bootstrap, BootstrapConfig};
+    use re2x_sparql::LocalEndpoint;
+
+    fn env() -> (LocalEndpoint, VirtualSchemaGraph) {
+        let mut dataset = re2x_datagen::running::generate();
+        let graph = std::mem::take(&mut dataset.graph);
+        let endpoint = LocalEndpoint::new(graph);
+        let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+            .expect("bootstrap")
+            .schema;
+        (endpoint, schema)
+    }
+
+    #[test]
+    fn negative_member_disappears_from_results() {
+        let (endpoint, schema) = env();
+        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
+            .expect("synthesis");
+        let query = outcome.queries[0].clone();
+        let before = endpoint.select(&query.query).expect("runs");
+
+        let negative =
+            exclude_negatives(&endpoint, &schema, &query, &["France"], MatchMode::Exact)
+                .expect("negatives apply");
+        assert_eq!(negative.excluded.len(), 1);
+        assert!(negative.inert.is_empty());
+        assert!(negative.query.description.contains("excluding France"));
+
+        let after = endpoint.select(&negative.query.query).expect("runs");
+        assert_eq!(after.len(), before.len() - 1, "one destination removed");
+        let graph = endpoint.graph();
+        let france = graph.iri_id("http://data.example.org/asylum/member/country/France");
+        for row in &after.rows {
+            for cell in row.iter().flatten() {
+                if let re2x_sparql::Value::Term(id) = cell {
+                    assert_ne!(Some(*id), france, "France must not appear");
+                }
+            }
+        }
+        // the positive example is still present
+        assert!(!negative.query.matching_rows(&after, graph).is_empty());
+    }
+
+    #[test]
+    fn unprojected_negative_is_inert() {
+        let (endpoint, schema) = env();
+        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
+            .expect("synthesis");
+        let query = outcome.queries[0].clone();
+        // "Male" lives on the sex dimension, which this query does not
+        // project — no filter is needed or added
+        let negative =
+            exclude_negatives(&endpoint, &schema, &query, &["Male"], MatchMode::Exact)
+                .expect("negatives apply");
+        assert!(negative.excluded.is_empty());
+        assert_eq!(negative.inert, vec!["Male".to_owned()]);
+        assert_eq!(negative.query.query, query.query, "query unchanged");
+    }
+
+    #[test]
+    fn unknown_negative_keyword_is_an_error() {
+        let (endpoint, schema) = env();
+        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
+            .expect("synthesis");
+        let err = exclude_negatives(
+            &endpoint,
+            &schema,
+            &outcome.queries[0],
+            &["Atlantis"],
+            MatchMode::Exact,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Re2xError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn negatives_survive_further_refinement() {
+        let (endpoint, schema) = env();
+        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
+            .expect("synthesis");
+        let negative = exclude_negatives(
+            &endpoint,
+            &schema,
+            &outcome.queries[0],
+            &["Austria"],
+            MatchMode::Exact,
+        )
+        .expect("negatives apply");
+        // drill down afterwards: the exclusion filter is still in WHERE
+        let refinement = crate::refine::disaggregate::disaggregate(&schema, &negative.query)
+            .into_iter()
+            .next()
+            .expect("dis available");
+        let solutions = endpoint.select(&refinement.query.query).expect("runs");
+        let graph = endpoint.graph();
+        let austria = graph.iri_id("http://data.example.org/asylum/member/country/Austria");
+        for row in &solutions.rows {
+            for cell in row.iter().flatten() {
+                if let re2x_sparql::Value::Term(id) = cell {
+                    assert_ne!(Some(*id), austria);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Data profiling — the "general information and statistics about the
+//! dataset" functionality of the paper's user-study prototype (Section
+//! 7.2: "(i) a data profiling functionality, returning general information
+//! and statistics about the dataset (e.g., listing the available
+//! dimensions and the number of distinct members)").
+//!
+//! Profiles are computed from the Virtual Schema Graph plus a few endpoint
+//! queries for example members, and render as text for interactive use.
+
+use re2x_cube::{patterns, VirtualSchemaGraph};
+use re2x_sparql::{Query, SelectItem, SparqlEndpoint, SparqlError, Value};
+use std::fmt::Write as _;
+
+/// Profile of one hierarchy level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelProfile {
+    /// Human-readable level display ("Country of Origin / Continent").
+    pub display: String,
+    /// Predicate path from the observation.
+    pub path: Vec<String>,
+    /// Distinct members.
+    pub member_count: usize,
+    /// A few example member labels.
+    pub sample_members: Vec<String>,
+}
+
+/// Profile of one dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionProfile {
+    /// Dimension label.
+    pub label: String,
+    /// Its levels, base first.
+    pub levels: Vec<LevelProfile>,
+}
+
+/// The dataset profile shown to users before they type any example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Observation class IRI.
+    pub observation_class: String,
+    /// Observation count.
+    pub observations: usize,
+    /// Per-dimension profiles.
+    pub dimensions: Vec<DimensionProfile>,
+    /// Measure labels with global (min, max, avg) over all observations.
+    pub measures: Vec<(String, Option<(f64, f64, f64)>)>,
+}
+
+/// Number of example member labels fetched per level.
+const SAMPLES_PER_LEVEL: usize = 3;
+
+/// Computes a dataset profile.
+pub fn profile(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+) -> Result<DatasetProfile, SparqlError> {
+    let mut dimensions = Vec::new();
+    for dim in schema.dimensions() {
+        let mut levels = Vec::new();
+        for level in schema.levels_of(dim.id) {
+            levels.push(LevelProfile {
+                display: crate::query_model::OlapQuery::level_display(schema, level.id),
+                path: level.path.clone(),
+                member_count: level.member_count,
+                sample_members: sample_members(endpoint, schema, &level.path)?,
+            });
+        }
+        levels.sort_by_key(|l| l.path.len());
+        dimensions.push(DimensionProfile {
+            label: dim.label.clone(),
+            levels,
+        });
+    }
+    let mut measures = Vec::new();
+    for measure in schema.measures() {
+        measures.push((measure.label.clone(), measure_stats(endpoint, schema, &measure.predicate)?));
+    }
+    Ok(DatasetProfile {
+        observation_class: schema.observation_class.clone(),
+        observations: schema.observation_count,
+        dimensions,
+        measures,
+    })
+}
+
+fn sample_members(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    path: &[String],
+) -> Result<Vec<String>, SparqlError> {
+    let mut query = Query::select_all(vec![
+        patterns::observation_type("o", &schema.observation_class),
+        patterns::path_to_member("o", path, "m"),
+    ]);
+    query.select.push(SelectItem::Var("m".to_owned()));
+    query.distinct = true;
+    query.limit = Some(SAMPLES_PER_LEVEL);
+    let solutions = endpoint.select(&query)?;
+    let graph = endpoint.graph();
+    let label_predicates = re2x_cube::labels::default_label_predicates();
+    Ok(solutions
+        .rows
+        .iter()
+        .filter_map(|row| match row[0] {
+            Some(Value::Term(id)) => graph.term(id).as_iri().map(|iri| {
+                re2x_cube::labels::label_of(endpoint, iri, &label_predicates)
+            }),
+            _ => None,
+        })
+        .collect())
+}
+
+fn measure_stats(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    predicate: &str,
+) -> Result<Option<(f64, f64, f64)>, SparqlError> {
+    let mut query = Query::select_all(vec![
+        patterns::observation_type("o", &schema.observation_class),
+        re2x_sparql::PatternElement::Triple(re2x_sparql::TriplePattern::new(
+            re2x_sparql::TermPattern::Var("o".to_owned()),
+            predicate.to_owned(),
+            re2x_sparql::TermPattern::Var("v".to_owned()),
+        )),
+    ]);
+    for (func, alias) in [
+        (re2x_sparql::AggFunc::Min, "mn"),
+        (re2x_sparql::AggFunc::Max, "mx"),
+        (re2x_sparql::AggFunc::Avg, "av"),
+    ] {
+        query.select.push(SelectItem::Agg {
+            func,
+            expr: re2x_sparql::Expr::var("v"),
+            alias: alias.to_owned(),
+        });
+    }
+    let solutions = endpoint.select(&query)?;
+    let graph = endpoint.graph();
+    let get = |c: &str| solutions.value(0, c).and_then(|v| v.as_number(graph));
+    Ok(match (get("mn"), get("mx"), get("av")) {
+        (Some(mn), Some(mx), Some(av)) => Some((mn, mx, av)),
+        _ => None,
+    })
+}
+
+impl DatasetProfile {
+    /// Renders the profile as readable text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} observations of <{}>",
+            self.observations, self.observation_class
+        );
+        for (label, stats) in &self.measures {
+            match stats {
+                Some((mn, mx, av)) => {
+                    let _ = writeln!(out, "measure {label}: min {mn}, max {mx}, avg {av:.1}");
+                }
+                None => {
+                    let _ = writeln!(out, "measure {label}: (no values)");
+                }
+            }
+        }
+        for dim in &self.dimensions {
+            let _ = writeln!(out, "dimension \"{}\":", dim.label);
+            for level in &dim.levels {
+                let samples = if level.sample_members.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — e.g. {}", level.sample_members.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} ({} members){samples}",
+                    level.display, level.member_count
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_cube::{bootstrap, BootstrapConfig};
+    use re2x_sparql::LocalEndpoint;
+
+    fn env() -> (LocalEndpoint, VirtualSchemaGraph) {
+        let mut dataset = re2x_datagen::running::generate();
+        let graph = std::mem::take(&mut dataset.graph);
+        let endpoint = LocalEndpoint::new(graph);
+        let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+            .expect("bootstrap")
+            .schema;
+        (endpoint, schema)
+    }
+
+    #[test]
+    fn profile_covers_all_dimensions_and_levels() {
+        let (endpoint, schema) = env();
+        let p = profile(&endpoint, &schema).expect("profile");
+        assert_eq!(p.observations, 22);
+        assert_eq!(p.dimensions.len(), schema.dimensions().len());
+        let total_levels: usize = p.dimensions.iter().map(|d| d.levels.len()).sum();
+        assert_eq!(total_levels, schema.levels().len());
+        // base level first within each dimension
+        for dim in &p.dimensions {
+            for w in dim.levels.windows(2) {
+                assert!(w[0].path.len() <= w[1].path.len());
+            }
+        }
+    }
+
+    #[test]
+    fn samples_and_measure_stats_populated() {
+        let (endpoint, schema) = env();
+        let p = profile(&endpoint, &schema).expect("profile");
+        let origin = p
+            .dimensions
+            .iter()
+            .find(|d| d.label == "Country of Origin")
+            .expect("origin dimension");
+        assert!(!origin.levels[0].sample_members.is_empty());
+        assert!(origin.levels[0].sample_members.len() <= SAMPLES_PER_LEVEL);
+        let (label, stats) = &p.measures[0];
+        assert_eq!(label, "Num Applicants");
+        let (mn, mx, _) = stats.expect("numeric stats");
+        assert_eq!(mn, 10.0, "smallest flow in the running example");
+        assert_eq!(mx, 4000.0, "largest flow");
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let (endpoint, schema) = env();
+        let text = profile(&endpoint, &schema).expect("profile").render();
+        assert!(text.contains("22 observations"));
+        assert!(text.contains("dimension \"Country of Destination\":"));
+        assert!(text.contains("measure Num Applicants: min 10"));
+        assert!(text.contains("members"));
+    }
+}

@@ -1,0 +1,313 @@
+//! The annotated OLAP query that flows through synthesis and refinement.
+//!
+//! A plain SPARQL [`Query`] is not enough for the interactive loop: the
+//! refinement operators need to know which projected column belongs to
+//! which hierarchy level, which columns are aggregated measures, and which
+//! members the user's example was mapped to. [`OlapQuery`] carries that
+//! metadata alongside the executable query.
+
+use re2x_cube::{LevelId, MeasureId, VirtualSchemaGraph};
+use re2x_rdf::Graph;
+use re2x_sparql::{query_to_sparql, AggFunc, Query, Solutions, Value};
+
+/// A projected grouping column bound to a hierarchy level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupColumn {
+    /// The SPARQL variable (and output column) name.
+    pub var: String,
+    /// The level whose members this column ranges over.
+    pub level: LevelId,
+}
+
+/// A projected aggregate column over a measure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureColumn {
+    /// The output column name.
+    pub alias: String,
+    /// The aggregated measure.
+    pub measure: MeasureId,
+    /// The aggregation function.
+    pub agg: AggFunc,
+}
+
+/// One component of the user example resolved to a dimension member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExampleBinding {
+    /// The literal the user typed (e.g. `"Germany"`).
+    pub keyword: String,
+    /// The IRI of the matched dimension member.
+    pub member_iri: String,
+    /// Human-readable label of the member.
+    pub label: String,
+    /// The level the member was matched at.
+    pub level: LevelId,
+}
+
+/// An analytical query annotated with its multidimensional interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlapQuery {
+    /// The executable SPARQL query.
+    pub query: Query,
+    /// Grouping columns, in projection order.
+    pub group_columns: Vec<GroupColumn>,
+    /// Aggregate columns, in projection order.
+    pub measure_columns: Vec<MeasureColumn>,
+    /// The example this query was synthesized from: one inner vector per
+    /// example tuple, with one binding per tuple component.
+    pub example: Vec<Vec<ExampleBinding>>,
+    /// Natural-language description presented to the user.
+    pub description: String,
+}
+
+impl OlapQuery {
+    /// The query as SPARQL text.
+    pub fn sparql(&self) -> String {
+        query_to_sparql(&self.query)
+    }
+
+    /// The grouping column bound to `level`, if any.
+    pub fn column_for_level(&self, level: LevelId) -> Option<&GroupColumn> {
+        self.group_columns.iter().find(|c| c.level == level)
+    }
+
+    /// `true` if `level` already appears as a grouping column.
+    pub fn groups_level(&self, level: LevelId) -> bool {
+        self.column_for_level(level).is_some()
+    }
+
+    /// All example bindings across tuples, flattened.
+    pub fn bindings(&self) -> impl Iterator<Item = &ExampleBinding> {
+        self.example.iter().flatten()
+    }
+
+    /// The example projected onto the current grouping columns: one
+    /// constraint set per example tuple, each a list of
+    /// `(column index, member IRI)` pairs that must all hold for a result
+    /// row to match that tuple. Bindings whose level is not projected are
+    /// skipped; tuples with no projected binding impose no constraint and
+    /// are dropped.
+    pub fn example_constraints(&self, solutions: &Solutions) -> Vec<Vec<(usize, String)>> {
+        let mut out = Vec::new();
+        for tuple in &self.example {
+            let mut constraints = Vec::new();
+            for binding in tuple {
+                let Some(col) = self.column_for_level(binding.level) else {
+                    continue;
+                };
+                let Some(idx) = solutions.column(&col.var) else {
+                    continue;
+                };
+                constraints.push((idx, binding.member_iri.clone()));
+            }
+            if !constraints.is_empty() {
+                out.push(constraints);
+            }
+        }
+        out
+    }
+
+    /// `true` if `row` of `solutions` matches the user example: for some
+    /// constraint tuple, every constrained column holds the example member.
+    pub fn row_matches_example(
+        &self,
+        solutions: &Solutions,
+        row: usize,
+        graph: &Graph,
+    ) -> bool {
+        let constraint_sets = self.example_constraints(solutions);
+        if constraint_sets.is_empty() {
+            // no example column survives in this query: every row trivially
+            // relates to the example (paper: refinements must keep *some*
+            // tuple about the example; with no shared column the example
+            // imposes no restriction)
+            return true;
+        }
+        constraint_sets.iter().any(|constraints| {
+            constraints.iter().all(|(col, member_iri)| {
+                match solutions.rows[row].get(*col).and_then(Option::as_ref) {
+                    Some(Value::Term(id)) => {
+                        graph.term(*id).as_iri() == Some(member_iri.as_str())
+                    }
+                    _ => false,
+                }
+            })
+        })
+    }
+
+    /// Indexes of the rows matching the example.
+    pub fn matching_rows(&self, solutions: &Solutions, graph: &Graph) -> Vec<usize> {
+        (0..solutions.len())
+            .filter(|&r| self.row_matches_example(solutions, r, graph))
+            .collect()
+    }
+
+    /// Human-readable display of a grouping column.
+    pub fn level_display(schema: &VirtualSchemaGraph, level: LevelId) -> String {
+        let node = schema.level(level);
+        let dim = schema.dimension(node.dimension);
+        if node.depth() == 1 {
+            dim.label.clone()
+        } else {
+            format!("{} / {}", dim.label, node.label)
+        }
+    }
+}
+
+/// Derives a SPARQL variable name for a level from its path local names:
+/// `[origin, inContinent]` → `origin_in_continent`. Paths are unique per
+/// schema, so names are too.
+pub fn level_var_name(schema: &VirtualSchemaGraph, level: LevelId) -> String {
+    let node = schema.level(level);
+    node.path
+        .iter()
+        .map(|p| snake(re2x_cube::labels::local_name(p)))
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+/// Column alias for an aggregate over a measure: `sum_applicants`.
+pub fn measure_alias(schema: &VirtualSchemaGraph, measure: MeasureId, agg: AggFunc) -> String {
+    let pred = &schema.measure(measure).predicate;
+    format!(
+        "{}_{}",
+        agg.keyword().to_ascii_lowercase(),
+        snake(re2x_cube::labels::local_name(pred))
+    )
+}
+
+/// The WHERE-clause variable holding raw values of a measure (`?m0`,
+/// `?m1`, …), as emitted by `GetQuery` and referenced by `HAVING`
+/// refinements.
+pub fn measure_value_var(measure: MeasureId) -> String {
+    format!("m{}", measure.index())
+}
+
+/// Lowercase ASCII snake-case of an identifier-ish string.
+pub fn snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut prev_lower = false;
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            if c.is_uppercase() && prev_lower {
+                out.push('_');
+            }
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+            out.extend(c.to_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+            prev_lower = false;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_conversion() {
+        assert_eq!(snake("inContinent"), "in_continent");
+        assert_eq!(snake("Country_Origin"), "country_origin");
+        assert_eq!(snake("refPeriod"), "ref_period");
+        assert_eq!(snake("has label "), "has_label");
+        assert_eq!(snake("AGE"), "age");
+    }
+
+    fn schema() -> (VirtualSchemaGraph, LevelId, LevelId, MeasureId) {
+        let mut v = VirtualSchemaGraph::new("http://ex/Obs");
+        let origin = v.add_dimension("http://ex/origin", "Country of Origin");
+        let m = v.add_measure("http://ex/numApplicants", "Num Applicants");
+        let country = v.add_level(origin, vec!["http://ex/origin".into()], 5, vec![], "Country");
+        let continent = v.add_level(
+            origin,
+            vec!["http://ex/origin".into(), "http://ex/inContinent".into()],
+            2,
+            vec![],
+            "Continent",
+        );
+        (v, country, continent, m)
+    }
+
+    #[test]
+    fn var_and_alias_naming() {
+        let (v, country, continent, m) = schema();
+        assert_eq!(level_var_name(&v, country), "origin");
+        assert_eq!(level_var_name(&v, continent), "origin_in_continent");
+        assert_eq!(measure_alias(&v, m, AggFunc::Sum), "sum_num_applicants");
+        assert_eq!(measure_alias(&v, m, AggFunc::Avg), "avg_num_applicants");
+    }
+
+    #[test]
+    fn level_display_includes_hierarchy_step() {
+        let (v, country, continent, _) = schema();
+        assert_eq!(OlapQuery::level_display(&v, country), "Country of Origin");
+        assert_eq!(
+            OlapQuery::level_display(&v, continent),
+            "Country of Origin / Continent"
+        );
+    }
+
+    #[test]
+    fn example_matching_against_solutions() {
+        let (v, country, _, _) = schema();
+        let mut graph = Graph::new();
+        let germany = graph.intern_iri("http://ex/Germany");
+        let france = graph.intern_iri("http://ex/France");
+        let solutions = Solutions {
+            vars: vec!["origin".into(), "sum_num_applicants".into()],
+            rows: vec![
+                vec![Some(Value::Term(germany)), Some(Value::Number(10.0))],
+                vec![Some(Value::Term(france)), Some(Value::Number(5.0))],
+            ],
+        };
+        let q = OlapQuery {
+            query: Query::select_all(vec![]),
+            group_columns: vec![GroupColumn {
+                var: "origin".into(),
+                level: country,
+            }],
+            measure_columns: vec![],
+            example: vec![vec![ExampleBinding {
+                keyword: "Germany".into(),
+                member_iri: "http://ex/Germany".into(),
+                label: "Germany".into(),
+                level: country,
+            }]],
+            description: String::new(),
+        };
+        assert!(q.row_matches_example(&solutions, 0, &graph));
+        assert!(!q.row_matches_example(&solutions, 1, &graph));
+        assert_eq!(q.matching_rows(&solutions, &graph), vec![0]);
+        let _ = v;
+    }
+
+    #[test]
+    fn example_without_projected_column_matches_everything() {
+        let (_, country, continent, _) = schema();
+        let graph = Graph::new();
+        let solutions = Solutions {
+            vars: vec!["origin_in_continent".into()],
+            rows: vec![vec![None]],
+        };
+        let q = OlapQuery {
+            query: Query::select_all(vec![]),
+            group_columns: vec![GroupColumn {
+                var: "origin_in_continent".into(),
+                level: continent,
+            }],
+            measure_columns: vec![],
+            example: vec![vec![ExampleBinding {
+                keyword: "Germany".into(),
+                member_iri: "http://ex/Germany".into(),
+                label: "Germany".into(),
+                level: country,
+            }]],
+            description: String::new(),
+        };
+        assert!(q.row_matches_example(&solutions, 0, &graph));
+    }
+}

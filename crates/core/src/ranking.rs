@@ -1,0 +1,294 @@
+//! Ranking of candidate interpretations and refinements.
+//!
+//! The paper leaves "ranking interpretations" and "a method for ranking
+//! the suggested query reformulations" as future work (Sections 4.1 and
+//! 8); this module provides a transparent, explainable baseline for both,
+//! following the design criteria of Section 6 (simplicity and
+//! explainability): every score decomposes into named factors that can be
+//! shown to the user.
+
+use crate::query_model::OlapQuery;
+use crate::refine::{Refinement, RefinementKind};
+use re2x_cube::VirtualSchemaGraph;
+use re2x_rdf::text::normalize;
+
+/// The factors contributing to an interpretation's score, each in
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankFactors {
+    /// Fraction of example bindings whose member label equals the typed
+    /// keyword exactly (after normalization) — exact hits beat partial
+    /// ones.
+    pub exactness: f64,
+    /// How discriminating the matched levels are: levels with fewer
+    /// members pin the interpretation down more (1 / avg member count,
+    /// scaled).
+    pub specificity: f64,
+    /// Preference for base levels: users typing an entity name usually
+    /// mean the entity itself, not a roll-up of it (1 / avg level depth).
+    pub base_affinity: f64,
+}
+
+impl RankFactors {
+    /// The combined score (fixed, documented weights).
+    pub fn score(&self) -> f64 {
+        0.5 * self.exactness + 0.3 * self.specificity + 0.2 * self.base_affinity
+    }
+}
+
+/// A scored interpretation.
+#[derive(Debug, Clone)]
+pub struct RankedQuery {
+    /// The interpretation.
+    pub query: OlapQuery,
+    /// Its factors.
+    pub factors: RankFactors,
+}
+
+impl RankedQuery {
+    /// Combined score.
+    pub fn score(&self) -> f64 {
+        self.factors.score()
+    }
+}
+
+/// Computes the rank factors of one interpretation.
+pub fn factors(schema: &VirtualSchemaGraph, query: &OlapQuery) -> RankFactors {
+    let bindings: Vec<_> = query.bindings().collect();
+    if bindings.is_empty() {
+        return RankFactors {
+            exactness: 0.0,
+            specificity: 0.0,
+            base_affinity: 0.0,
+        };
+    }
+    let exact = bindings
+        .iter()
+        .filter(|b| normalize(&b.label) == normalize(&b.keyword))
+        .count() as f64
+        / bindings.len() as f64;
+    let avg_members = bindings
+        .iter()
+        .map(|b| schema.level(b.level).member_count.max(1) as f64)
+        .sum::<f64>()
+        / bindings.len() as f64;
+    let avg_depth = bindings
+        .iter()
+        .map(|b| schema.level(b.level).depth() as f64)
+        .sum::<f64>()
+        / bindings.len() as f64;
+    RankFactors {
+        exactness: exact,
+        // 1 member → 1.0, 10 → ~0.5, 1000 → ~0.25 (log scaling keeps huge
+        // pools comparable)
+        specificity: 1.0 / (1.0 + avg_members.log10().max(0.0)),
+        base_affinity: 1.0 / avg_depth,
+    }
+}
+
+/// Ranks interpretations best-first; ties broken deterministically by
+/// description.
+pub fn rank_interpretations(
+    schema: &VirtualSchemaGraph,
+    queries: Vec<OlapQuery>,
+) -> Vec<RankedQuery> {
+    let mut ranked: Vec<RankedQuery> = queries
+        .into_iter()
+        .map(|query| RankedQuery {
+            factors: factors(schema, &query),
+            query,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score()
+            .total_cmp(&a.score())
+            .then_with(|| a.query.description.cmp(&b.query.description))
+    });
+    ranked
+}
+
+/// Ranks refinements by how *inspectable* the refined result is expected
+/// to be: closest to `target_rows` wins (the interviews of Section 7.2
+/// show users want small, explainable result sets). Estimates are static —
+/// no query is executed:
+///
+/// * Top-k → `k` rows,
+/// * Percentile over an interval covering `q%` of values → `q% · current`,
+/// * Similarity keeping `k` combinations → `(k+1)/combos · current`,
+/// * Disaggregate → `current · members-of-added-level`, capped by the
+///   observation count (drill-downs grow the view).
+pub fn rank_refinements(
+    schema: &VirtualSchemaGraph,
+    refinements: Vec<Refinement>,
+    current_rows: usize,
+    target_rows: usize,
+) -> Vec<(Refinement, usize)> {
+    let estimate = |r: &Refinement| -> usize {
+        match &r.kind {
+            RefinementKind::TopK { k, .. } => *k,
+            RefinementKind::Percentile {
+                lower_pct,
+                upper_pct,
+                ..
+            } => {
+                let share = f64::from(upper_pct - lower_pct) / 100.0;
+                ((current_rows as f64) * share).ceil() as usize
+            }
+            RefinementKind::Similarity { k, .. } => {
+                // keeps k+1 of the example-dimension member combinations;
+                // the combination count is estimated from the example
+                // levels' member counts
+                let combos: usize = r
+                    .query
+                    .bindings()
+                    .map(|b| schema.level(b.level).member_count.max(1))
+                    .product::<usize>()
+                    .max(1);
+                (current_rows * (k + 1) / combos.min(current_rows.max(1))).max(k + 1)
+            }
+            RefinementKind::Disaggregate { level } => {
+                let members = schema.level(*level).member_count.max(1);
+                current_rows
+                    .saturating_mul(members)
+                    .min(schema.observation_count.max(current_rows))
+            }
+        }
+    };
+    let mut scored: Vec<(Refinement, usize)> = refinements
+        .into_iter()
+        .map(|r| {
+            let e = estimate(&r);
+            (r, e)
+        })
+        .collect();
+    scored.sort_by_key(|(r, e)| {
+        (
+            e.abs_diff(target_rows),
+            r.explanation.clone(), // deterministic tie-break
+        )
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_model::{ExampleBinding, GroupColumn};
+    use re2x_cube::LevelId;
+    use re2x_sparql::Query;
+
+    fn schema() -> (VirtualSchemaGraph, LevelId, LevelId) {
+        let mut v = VirtualSchemaGraph::new("http://ex/Obs");
+        v.observation_count = 1000;
+        let d = v.add_dimension("http://ex/p", "P");
+        v.add_measure("http://ex/m", "M");
+        let base = v.add_level(d, vec!["http://ex/p".into()], 10, vec![], "Base");
+        let coarse = v.add_level(
+            d,
+            vec!["http://ex/p".into(), "http://ex/up".into()],
+            1000,
+            vec![],
+            "Coarse",
+        );
+        (v, base, coarse)
+    }
+
+    fn query_with(level: LevelId, keyword: &str, label: &str) -> OlapQuery {
+        OlapQuery {
+            query: Query::select_all(vec![]),
+            group_columns: vec![GroupColumn {
+                var: "x".into(),
+                level,
+            }],
+            measure_columns: vec![],
+            example: vec![vec![ExampleBinding {
+                keyword: keyword.into(),
+                member_iri: "http://ex/M1".into(),
+                label: label.into(),
+                level,
+            }]],
+            description: format!("{level:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_base_level_matches_rank_first() {
+        let (schema, base, coarse) = schema();
+        let strong = query_with(base, "Germany", "Germany");
+        let weak = query_with(coarse, "Germany", "West Germany Region");
+        let ranked = rank_interpretations(&schema, vec![weak.clone(), strong.clone()]);
+        assert_eq!(ranked[0].query, strong);
+        assert!(ranked[0].score() > ranked[1].score());
+        let f = &ranked[0].factors;
+        assert_eq!(f.exactness, 1.0);
+        assert!(f.base_affinity > ranked[1].factors.base_affinity);
+        assert!(f.specificity > ranked[1].factors.specificity);
+    }
+
+    #[test]
+    fn empty_example_scores_zero() {
+        let (schema, base, _) = schema();
+        let mut q = query_with(base, "x", "x");
+        q.example.clear();
+        let f = factors(&schema, &q);
+        assert_eq!(f.score(), 0.0);
+    }
+
+    #[test]
+    fn refinement_ranking_prefers_target_sized_results() {
+        let (schema, base, _) = schema();
+        let q = query_with(base, "Germany", "Germany");
+        let make = |kind: RefinementKind| Refinement {
+            query: q.clone(),
+            explanation: format!("{kind:?}"),
+            kind,
+        };
+        let refinements = vec![
+            make(RefinementKind::TopK {
+                measure_alias: "s".into(),
+                k: 100,
+                order: re2x_sparql::Order::Desc,
+            }),
+            make(RefinementKind::TopK {
+                measure_alias: "s".into(),
+                k: 10,
+                order: re2x_sparql::Order::Desc,
+            }),
+            make(RefinementKind::Disaggregate { level: base }),
+        ];
+        let ranked = rank_refinements(&schema, refinements, 200, 10);
+        // top-10 is exactly the target; the drill-down (200·10 rows,
+        // capped at 1000) is furthest
+        assert!(matches!(ranked[0].0.kind, RefinementKind::TopK { k: 10, .. }));
+        assert!(matches!(ranked[2].0.kind, RefinementKind::Disaggregate { .. }));
+        assert_eq!(ranked[0].1, 10);
+    }
+
+    #[test]
+    fn percentile_estimate_scales_with_interval() {
+        let (schema, base, _) = schema();
+        let q = query_with(base, "Germany", "Germany");
+        let narrow = Refinement {
+            query: q.clone(),
+            kind: RefinementKind::Percentile {
+                measure_alias: "s".into(),
+                lower_pct: 90,
+                upper_pct: 100,
+            },
+            explanation: "narrow".into(),
+        };
+        let wide = Refinement {
+            query: q,
+            kind: RefinementKind::Percentile {
+                measure_alias: "s".into(),
+                lower_pct: 0,
+                upper_pct: 100,
+            },
+            explanation: "wide".into(),
+        };
+        let ranked = rank_refinements(&schema, vec![wide, narrow], 100, 10);
+        assert_eq!(ranked[0].0.explanation, "narrow");
+        assert_eq!(ranked[0].1, 10, "10% of 100 rows");
+        assert_eq!(ranked[1].1, 100);
+    }
+}

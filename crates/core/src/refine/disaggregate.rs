@@ -1,0 +1,220 @@
+//! Example-driven Disaggregate (Problem 2a, Section 6.1) — the drill-down.
+//!
+//! Enumerates every hierarchy level reachable from the observation root of
+//! the Virtual Schema Graph that is not yet part of the query and would not
+//! *aggregate at a higher level instead of disaggregating*. The operation
+//! touches only the in-memory virtual graph — no triplestore queries — so
+//! it runs in `O(|L̄|)`.
+
+use crate::query_model::{level_var_name, GroupColumn, OlapQuery};
+use crate::refine::{Refinement, RefinementKind};
+use re2x_cube::{patterns, VirtualSchemaGraph};
+use re2x_sparql::SelectItem;
+
+/// All valid disaggregation refinements of `query`.
+pub fn disaggregate(schema: &VirtualSchemaGraph, query: &OlapQuery) -> Vec<Refinement> {
+    let mut out = Vec::new();
+    for level in schema.levels() {
+        // already grouped at this level
+        if query.groups_level(level.id) {
+            continue;
+        }
+        // would roll *up*: the candidate aggregates an included level of
+        // the same hierarchy at a coarser granularity (its path extends an
+        // included level's path)
+        let rolls_up = query.group_columns.iter().any(|c| {
+            let included = schema.level(c.level);
+            included.is_ancestor_of(level)
+        });
+        if rolls_up {
+            continue;
+        }
+        out.push(apply(schema, query, level.id));
+    }
+    out
+}
+
+/// Builds the refined query that additionally groups by `level`.
+pub fn apply(
+    schema: &VirtualSchemaGraph,
+    query: &OlapQuery,
+    level: re2x_cube::LevelId,
+) -> Refinement {
+    let mut refined = query.clone();
+    // Measure thresholds from earlier dice steps (Top-k / Percentile
+    // HAVING clauses) were computed at the *current* aggregation
+    // granularity; after adding a dimension the groups — and hence their
+    // aggregate values — change, and stale thresholds can exclude every
+    // example row. Drill-down therefore resets them. Dimension-value
+    // filters (similarity pins, negative examples) stay: they constrain
+    // members, not aggregates, and remain valid at any granularity.
+    let dropped_thresholds = refined.query.having.take().is_some();
+    let var = level_var_name(schema, level);
+    let node = schema.level(level);
+    // pattern: ?o <path…> ?var — inserted before the measure patterns is
+    // not required for correctness (BGP order is irrelevant), append.
+    refined
+        .query
+        .wher
+        .push(patterns::path_to_member("o", &node.path, &var));
+    // project the new variable before the aggregate columns
+    let insert_at = refined.group_columns.len();
+    refined
+        .query
+        .select
+        .insert(insert_at, SelectItem::Var(var.clone()));
+    refined.query.group_by.push(var.clone());
+    refined.group_columns.push(GroupColumn {
+        var: var.clone(),
+        level,
+    });
+    let display = OlapQuery::level_display(schema, level);
+    refined.description = format!("{} — disaggregated by \"{display}\"", query.description);
+    let mut explanation = format!("Break down the current results by \"{display}\"");
+    if dropped_thresholds {
+        explanation.push_str(" (measure thresholds from earlier subset steps are reset at the new granularity)");
+    }
+    Refinement {
+        query: refined,
+        kind: RefinementKind::Disaggregate { level },
+        explanation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_model::ExampleBinding;
+    use crate::reolap::get_query;
+    use re2x_cube::{LevelId, VirtualSchemaGraph};
+    use re2x_sparql::AggFunc;
+
+    /// Schema: origin (country→continent), dest (country), year.
+    fn schema() -> (VirtualSchemaGraph, LevelId, LevelId, LevelId, LevelId) {
+        let mut v = VirtualSchemaGraph::new("http://ex/Obs");
+        let origin = v.add_dimension("http://ex/origin", "Country of Origin");
+        let dest = v.add_dimension("http://ex/dest", "Country of Destination");
+        let year = v.add_dimension("http://ex/year", "Year");
+        v.add_measure("http://ex/applicants", "Num Applicants");
+        let origin_country =
+            v.add_level(origin, vec!["http://ex/origin".into()], 10, vec![], "Country");
+        let origin_continent = v.add_level(
+            origin,
+            vec!["http://ex/origin".into(), "http://ex/inContinent".into()],
+            3,
+            vec![],
+            "Continent",
+        );
+        let dest_country = v.add_level(dest, vec!["http://ex/dest".into()], 5, vec![], "Country");
+        let year_level = v.add_level(year, vec!["http://ex/year".into()], 8, vec![], "Year");
+        (v, origin_country, origin_continent, dest_country, year_level)
+    }
+
+    fn query_at(schema: &VirtualSchemaGraph, level: LevelId) -> OlapQuery {
+        get_query(
+            schema,
+            &[ExampleBinding {
+                keyword: "x".into(),
+                member_iri: "http://ex/X".into(),
+                label: "X".into(),
+                level,
+            }],
+            &[AggFunc::Sum],
+        )
+    }
+
+    #[test]
+    fn offers_all_levels_not_in_query_minus_rollups() {
+        let (v, origin_country, _origin_continent, dest_country, year_level) = schema();
+        let q = query_at(&v, origin_country);
+        let refinements = disaggregate(&v, &q);
+        let levels: Vec<LevelId> = refinements
+            .iter()
+            .map(|r| match r.kind {
+                RefinementKind::Disaggregate { level } => level,
+                _ => unreachable!(),
+            })
+            .collect();
+        // origin_continent is a roll-up of origin_country → excluded;
+        // dest_country and year remain.
+        assert_eq!(levels, vec![dest_country, year_level]);
+    }
+
+    #[test]
+    fn drill_down_within_dimension_is_offered_from_coarse_levels() {
+        let (v, origin_country, origin_continent, dest_country, year_level) = schema();
+        let q = query_at(&v, origin_continent);
+        let refinements = disaggregate(&v, &q);
+        let levels: Vec<LevelId> = refinements
+            .iter()
+            .map(|r| match r.kind {
+                RefinementKind::Disaggregate { level } => level,
+                _ => unreachable!(),
+            })
+            .collect();
+        // country is finer than continent → allowed (drill-down within the
+        // dimension), plus the two other dimensions.
+        assert_eq!(levels, vec![origin_country, dest_country, year_level]);
+    }
+
+    #[test]
+    fn applied_refinement_extends_projection_and_grouping() {
+        let (v, origin_country, _, dest_country, _) = schema();
+        let q = query_at(&v, origin_country);
+        let refined = apply(&v, &q, dest_country);
+        let rq = &refined.query;
+        assert_eq!(rq.group_columns.len(), 2);
+        assert_eq!(rq.query.group_by, vec!["origin", "dest"]);
+        // projection order: group vars first, then aggregates
+        let names: Vec<&str> = rq.query.select.iter().map(|i| i.name()).collect();
+        assert_eq!(names, vec!["origin", "dest", "sum_applicants"]);
+        assert!(refined.explanation.contains("Country of Destination"));
+        // example bindings carried over
+        assert_eq!(rq.example, q.example);
+    }
+
+    #[test]
+    fn second_disaggregation_excludes_first() {
+        let (v, origin_country, _, dest_country, year_level) = schema();
+        let q = query_at(&v, origin_country);
+        let once = apply(&v, &q, dest_country).query;
+        let again = disaggregate(&v, &once);
+        let levels: Vec<LevelId> = again
+            .iter()
+            .map(|r| match r.kind {
+                RefinementKind::Disaggregate { level } => level,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(levels, vec![year_level]);
+    }
+
+    #[test]
+    fn drill_down_resets_measure_thresholds() {
+        let (v, origin_country, _, dest_country, _) = schema();
+        let mut q = query_at(&v, origin_country);
+        q.query.having = Some(re2x_sparql::Expr::cmp(
+            re2x_sparql::Expr::Agg(
+                AggFunc::Sum,
+                Box::new(re2x_sparql::Expr::var("m0")),
+            ),
+            re2x_sparql::CmpOp::Gt,
+            re2x_sparql::Expr::Number(100.0),
+        ));
+        let refined = apply(&v, &q, dest_country);
+        assert!(refined.query.query.having.is_none(), "stale threshold dropped");
+        assert!(refined.explanation.contains("reset at the new granularity"));
+        // without a HAVING, no note is added
+        let plain = apply(&v, &query_at(&v, origin_country), dest_country);
+        assert!(!plain.explanation.contains("reset"));
+    }
+
+    #[test]
+    fn fully_disaggregated_query_offers_nothing() {
+        let (v, origin_country, _, dest_country, year_level) = schema();
+        let mut q = query_at(&v, origin_country);
+        q = apply(&v, &q, dest_country).query;
+        q = apply(&v, &q, year_level).query;
+        assert!(disaggregate(&v, &q).is_empty());
+    }
+}

@@ -1,0 +1,568 @@
+//! REOLAP — reverse engineering SPARQL OLAP queries from example tuples
+//! (Algorithm 1 and the `GetQuery` function, Section 5).
+//!
+//! Given an example tuple of keywords (e.g. `⟨"Germany", "2014"⟩`):
+//!
+//! 1. each component is resolved to candidate `(member, level)`
+//!    interpretations ([`crate::matching`]),
+//! 2. all combinations of interpretations are enumerated (completeness),
+//! 3. each combination is validated against the triplestore — some
+//!    observation must reach *all* the members simultaneously, which
+//!    implements the tuple-containment requirement of Problem 1
+//!    (correctness),
+//! 4. `GetQuery` builds a `SELECT … WHERE … GROUP BY` query that groups at
+//!    exactly the matched levels (minimality: the query's dimensions are
+//!    the example's dimensions) and aggregates every measure with every
+//!    configured aggregation function.
+
+use crate::error::Re2xError;
+use crate::matching::{matches, MatchMode, MemberMatch};
+use crate::query_model::{
+    level_var_name, measure_alias, ExampleBinding, GroupColumn, MeasureColumn, OlapQuery,
+};
+use re2x_cube::{patterns, LevelId, VirtualSchemaGraph};
+use re2x_sparql::{
+    AggFunc, Expr, PatternElement, Query, SelectItem, SparqlEndpoint, TermPattern, TriplePattern,
+};
+use std::time::{Duration, Instant};
+
+/// Configuration of the synthesis phase.
+#[derive(Debug, Clone)]
+pub struct ReolapConfig {
+    /// Keyword-matching mode.
+    pub mode: MatchMode,
+    /// Aggregation functions instantiated for every measure. The paper
+    /// retrieves "all aggregation functions (max, min, avg, sum) over all
+    /// available measures".
+    pub aggregates: Vec<AggFunc>,
+    /// Validate each interpretation with an `ASK` against the endpoint
+    /// (switchable for the ablation study).
+    pub validate: bool,
+    /// Upper bound on interpretation combinations before giving up with
+    /// [`Re2xError::TooManyInterpretations`].
+    pub max_interpretations: usize,
+}
+
+impl Default for ReolapConfig {
+    fn default() -> Self {
+        ReolapConfig {
+            mode: MatchMode::Exact,
+            aggregates: AggFunc::NUMERIC.to_vec(),
+            validate: true,
+            max_interpretations: 100_000,
+        }
+    }
+}
+
+/// Result of a synthesis run, with cost accounting for the experiments.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The candidate queries, one per valid interpretation.
+    pub queries: Vec<OlapQuery>,
+    /// Number of interpretation combinations enumerated.
+    pub interpretations_considered: usize,
+    /// Wall-clock synthesis time.
+    pub elapsed: Duration,
+}
+
+/// Algorithm 1 for a single example tuple.
+pub fn reolap(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    example: &[&str],
+    config: &ReolapConfig,
+) -> Result<SynthesisOutcome, Re2xError> {
+    let start = Instant::now();
+    // Lines 2–7: per-component interpretations.
+    let mut per_component: Vec<Vec<MemberMatch>> = Vec::with_capacity(example.len());
+    for keyword in example {
+        let hits = matches(endpoint, schema, keyword, config.mode)?;
+        if hits.is_empty() {
+            return Err(Re2xError::NoMatch {
+                keyword: (*keyword).to_owned(),
+            });
+        }
+        per_component.push(hits);
+    }
+    let combinations: usize = per_component.iter().map(Vec::len).product();
+    if combinations > config.max_interpretations {
+        return Err(Re2xError::TooManyInterpretations {
+            combinations,
+            bound: config.max_interpretations,
+        });
+    }
+
+    // Lines 8–11: combine interpretations, validate, build queries.
+    let mut queries: Vec<OlapQuery> = Vec::new();
+    let mut seen: Vec<Vec<(LevelId, String)>> = Vec::new();
+    let mut indices = vec![0usize; per_component.len()];
+    loop {
+        let bindings: Vec<ExampleBinding> = indices
+            .iter()
+            .enumerate()
+            .map(|(c, &i)| per_component[c][i].binding.clone())
+            .collect();
+        let mut key: Vec<(LevelId, String)> = bindings
+            .iter()
+            .map(|b| (b.level, b.member_iri.clone()))
+            .collect();
+        key.sort();
+        key.dedup();
+        if !seen.contains(&key) {
+            seen.push(key);
+            if !config.validate || validate_interpretation(endpoint, schema, &bindings)? {
+                queries.push(get_query(schema, &bindings, &config.aggregates));
+            }
+        }
+        // advance the mixed-radix counter
+        let mut c = 0;
+        loop {
+            if c == indices.len() {
+                return Ok(SynthesisOutcome {
+                    queries,
+                    interpretations_considered: combinations,
+                    elapsed: start.elapsed(),
+                });
+            }
+            indices[c] += 1;
+            if indices[c] < per_component[c].len() {
+                break;
+            }
+            indices[c] = 0;
+            c += 1;
+        }
+    }
+}
+
+/// Algorithm 1 generalized to multiple example tuples (footnote 3 of the
+/// paper): every tuple must be explained by the same per-position level,
+/// and every tuple must be validated.
+pub fn reolap_multi(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    examples: &[Vec<String>],
+    config: &ReolapConfig,
+) -> Result<SynthesisOutcome, Re2xError> {
+    let start = Instant::now();
+    let Some(first) = examples.first() else {
+        return Ok(SynthesisOutcome {
+            queries: Vec::new(),
+            interpretations_considered: 0,
+            elapsed: start.elapsed(),
+        });
+    };
+    if examples.iter().any(|t| t.len() != first.len()) {
+        return Err(Re2xError::MixedArity);
+    }
+    let arity = first.len();
+
+    // matches[tuple][position] — all interpretations of each component
+    let mut all: Vec<Vec<Vec<MemberMatch>>> = Vec::with_capacity(examples.len());
+    for tuple in examples {
+        let mut row = Vec::with_capacity(arity);
+        for keyword in tuple {
+            let hits = matches(endpoint, schema, keyword, config.mode)?;
+            if hits.is_empty() {
+                return Err(Re2xError::NoMatch {
+                    keyword: keyword.clone(),
+                });
+            }
+            row.push(hits);
+        }
+        all.push(row);
+    }
+
+    // per-position levels consistent across every tuple
+    let mut position_levels: Vec<Vec<LevelId>> = Vec::with_capacity(arity);
+    for position in 0..arity {
+        let mut levels: Vec<LevelId> = all[0][position]
+            .iter()
+            .map(|m| m.binding.level)
+            .collect();
+        levels.sort();
+        levels.dedup();
+        for row in &all[1..] {
+            levels.retain(|l| row[position].iter().any(|m| m.binding.level == *l));
+        }
+        position_levels.push(levels);
+    }
+    let combinations: usize = position_levels.iter().map(Vec::len).product();
+    if combinations == 0 {
+        return Ok(SynthesisOutcome {
+            queries: Vec::new(),
+            interpretations_considered: 0,
+            elapsed: start.elapsed(),
+        });
+    }
+    if combinations > config.max_interpretations {
+        return Err(Re2xError::TooManyInterpretations {
+            combinations,
+            bound: config.max_interpretations,
+        });
+    }
+
+    let mut queries = Vec::new();
+    let mut indices = vec![0usize; arity];
+    'combos: loop {
+        let levels: Vec<LevelId> = indices
+            .iter()
+            .enumerate()
+            .map(|(p, &i)| position_levels[p][i])
+            .collect();
+        // each tuple contributes one binding per position at the chosen
+        // level; each tuple must validate independently
+        let mut example_tuples: Vec<Vec<ExampleBinding>> = Vec::with_capacity(all.len());
+        let mut valid = true;
+        for row in &all {
+            let tuple_bindings: Vec<ExampleBinding> = (0..arity)
+                .map(|p| {
+                    row[p]
+                        .iter()
+                        .find(|m| m.binding.level == levels[p])
+                        .expect("level intersected across tuples")
+                        .binding
+                        .clone()
+                })
+                .collect();
+            if config.validate && !validate_interpretation(endpoint, schema, &tuple_bindings)? {
+                valid = false;
+                break;
+            }
+            example_tuples.push(tuple_bindings);
+        }
+        if valid {
+            queries.push(get_query_tuples(schema, &example_tuples, &config.aggregates));
+        }
+        let mut c = 0;
+        loop {
+            if c == arity {
+                break 'combos;
+            }
+            indices[c] += 1;
+            if indices[c] < position_levels[c].len() {
+                break;
+            }
+            indices[c] = 0;
+            c += 1;
+        }
+    }
+    Ok(SynthesisOutcome {
+        queries,
+        interpretations_considered: combinations,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// `ASK` whether some observation reaches all members of the interpretation
+/// simultaneously (the containment/validity check of Section 5.3).
+pub fn validate_interpretation(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    bindings: &[ExampleBinding],
+) -> Result<bool, Re2xError> {
+    let mut wher = vec![patterns::observation_type("o", &schema.observation_class)];
+    for binding in bindings {
+        wher.push(patterns::path_to_concrete_member(
+            "o",
+            &schema.level(binding.level).path,
+            &binding.member_iri,
+        ));
+    }
+    Ok(endpoint.ask(&Query::ask(wher))?)
+}
+
+/// The `GetQuery` function: builds the annotated OLAP query for an
+/// interpretation.
+///
+/// Dimensions not mentioned by the example do not appear (minimality);
+/// grouping happens at exactly the matched levels; every measure is
+/// aggregated with every function in `aggregates`.
+pub fn get_query(
+    schema: &VirtualSchemaGraph,
+    bindings: &[ExampleBinding],
+    aggregates: &[AggFunc],
+) -> OlapQuery {
+    get_query_tuples(schema, &[bindings.to_vec()], aggregates)
+}
+
+/// [`get_query`] for multiple example tuples: one query whose grouping
+/// levels cover every tuple's bindings, with per-tuple example metadata.
+pub fn get_query_tuples(
+    schema: &VirtualSchemaGraph,
+    tuples: &[Vec<ExampleBinding>],
+    aggregates: &[AggFunc],
+) -> OlapQuery {
+    // distinct levels in first-mention order
+    let mut levels: Vec<LevelId> = Vec::new();
+    for b in tuples.iter().flatten() {
+        if !levels.contains(&b.level) {
+            levels.push(b.level);
+        }
+    }
+
+    let mut wher = vec![patterns::observation_type("o", &schema.observation_class)];
+    let mut group_columns = Vec::with_capacity(levels.len());
+    for &level in &levels {
+        let var = level_var_name(schema, level);
+        wher.push(patterns::path_to_member(
+            "o",
+            &schema.level(level).path,
+            &var,
+        ));
+        group_columns.push(GroupColumn { var, level });
+    }
+
+    let mut select: Vec<SelectItem> = group_columns
+        .iter()
+        .map(|c| SelectItem::Var(c.var.clone()))
+        .collect();
+    let mut measure_columns = Vec::new();
+    for (mi, measure) in schema.measures().iter().enumerate() {
+        let value_var = format!("m{mi}");
+        wher.push(PatternElement::Triple(TriplePattern::new(
+            TermPattern::Var("o".to_owned()),
+            measure.predicate.clone(),
+            TermPattern::Var(value_var.clone()),
+        )));
+        for &agg in aggregates {
+            let alias = measure_alias(schema, measure.id, agg);
+            select.push(SelectItem::Agg {
+                func: agg,
+                expr: Expr::var(value_var.clone()),
+                alias: alias.clone(),
+            });
+            measure_columns.push(MeasureColumn {
+                alias,
+                measure: measure.id,
+                agg,
+            });
+        }
+    }
+
+    let mut query = Query::select_all(wher);
+    query.select = select;
+    query.group_by = group_columns.iter().map(|c| c.var.clone()).collect();
+
+    let flattened: Vec<ExampleBinding> = tuples.iter().flatten().cloned().collect();
+    let description = describe(schema, &group_columns, &measure_columns, &flattened);
+    OlapQuery {
+        query,
+        group_columns,
+        measure_columns,
+        example: tuples.to_vec(),
+        description,
+    }
+}
+
+/// Natural-language description of a query, templated from the schema
+/// annotations (Section 5.1, "Presenting Query Interpretations").
+pub fn describe(
+    schema: &VirtualSchemaGraph,
+    group_columns: &[GroupColumn],
+    measure_columns: &[MeasureColumn],
+    bindings: &[ExampleBinding],
+) -> String {
+    let aggs: Vec<String> = measure_columns
+        .iter()
+        .map(|m| format!("{}({})", m.agg.keyword(), schema.measure(m.measure).label))
+        .collect();
+    let groups: Vec<String> = group_columns
+        .iter()
+        .map(|c| format!("\"{}\"", OlapQuery::level_display(schema, c.level)))
+        .collect();
+    let mut matched: Vec<String> = bindings.iter().map(|b| b.label.clone()).collect();
+    matched.dedup();
+    let mut text = format!(
+        "Return {} grouped by {}",
+        join_natural(&aggs),
+        join_natural(&groups)
+    );
+    if !matched.is_empty() {
+        text.push_str(&format!(" (matching {})", matched.join(", ")));
+    }
+    text
+}
+
+fn join_natural(items: &[String]) -> String {
+    match items.len() {
+        0 => String::new(),
+        1 => items[0].clone(),
+        _ => format!(
+            "{} and {}",
+            items[..items.len() - 1].join(", "),
+            items[items.len() - 1]
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_cube::{bootstrap, BootstrapConfig};
+    use re2x_rdf::io::parse_turtle;
+    use re2x_rdf::Graph;
+    use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
+
+    /// The running-example KG: destinations, origins (→ continents), years.
+    fn fixture() -> (LocalEndpoint, VirtualSchemaGraph) {
+        let mut g = Graph::new();
+        parse_turtle(
+            r#"
+            @prefix ex: <http://ex/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:Germany rdfs:label "Germany" .
+            ex:France rdfs:label "France" .
+            ex:Syria rdfs:label "Syria" ; ex:inContinent ex:Asia .
+            ex:China rdfs:label "China" ; ex:inContinent ex:Asia .
+            ex:Asia rdfs:label "Asia" .
+            ex:y2013 rdfs:label "2013" .
+            ex:y2014 rdfs:label "2014" .
+
+            ex:origin rdfs:label "Country of Origin" .
+            ex:dest rdfs:label "Country of Destination" .
+            ex:year rdfs:label "Ref Period Year" .
+            ex:applicants rdfs:label "Num Applicants" .
+
+            ex:o1 a ex:Obs ; ex:dest ex:Germany ; ex:origin ex:Syria ; ex:year ex:y2013 ; ex:applicants 300 .
+            ex:o2 a ex:Obs ; ex:dest ex:Germany ; ex:origin ex:Syria ; ex:year ex:y2014 ; ex:applicants 600 .
+            ex:o3 a ex:Obs ; ex:dest ex:Germany ; ex:origin ex:China ; ex:year ex:y2014 ; ex:applicants 100 .
+            ex:o4 a ex:Obs ; ex:dest ex:France ; ex:origin ex:Syria ; ex:year ex:y2014 ; ex:applicants 300 .
+            "#,
+            &mut g,
+        )
+        .expect("fixture parses");
+        let ep = LocalEndpoint::new(g);
+        let report = bootstrap(&ep, &BootstrapConfig::new("http://ex/Obs")).expect("bootstrap");
+        (ep, report.schema)
+    }
+
+    #[test]
+    fn germany_2014_synthesizes_one_query_per_valid_interpretation() {
+        let (ep, schema) = fixture();
+        let config = ReolapConfig::default();
+        let outcome = reolap(&ep, &schema, &["Germany", "2014"], &config).expect("synthesis");
+        // "Germany" only appears as destination in this KG; "2014" as year.
+        assert_eq!(outcome.queries.len(), 1);
+        let q = &outcome.queries[0];
+        assert_eq!(q.group_columns.len(), 2);
+        assert_eq!(q.measure_columns.len(), 4, "max/min/avg/sum over 1 measure");
+        assert!(q.description.contains("SUM(Num Applicants)"));
+        assert!(q.description.contains("Country of Destination"));
+        // executable and contains Germany rows
+        let solutions = ep.select(&q.query).expect("runs");
+        assert_eq!(solutions.len(), 3, "(Germany,2014) (France,2014) (Germany,2013)");
+        let matching = q.matching_rows(&solutions, ep.graph());
+        assert_eq!(matching.len(), 1, "exactly the (Germany, 2014) row");
+        let row = matching[0];
+        let total = solutions
+            .value(row, "sum_applicants")
+            .and_then(|v| v.as_number(ep.graph()))
+            .expect("sum");
+        assert_eq!(total, 700.0, "600 (Syria) + 100 (China) into Germany in 2014");
+    }
+
+    #[test]
+    fn ambiguous_example_produces_multiple_interpretations() {
+        let (ep, schema) = fixture();
+        // "Asia" matches only origin/continent; "Syria" matches origin
+        // country — combined they stay within one dimension.
+        let outcome = reolap(&ep, &schema, &["Asia"], &ReolapConfig::default()).expect("ok");
+        assert_eq!(outcome.queries.len(), 1);
+        let q = &outcome.queries[0];
+        assert_eq!(
+            schema.level(q.group_columns[0].level).path,
+            vec!["http://ex/origin".to_owned(), "http://ex/inContinent".to_owned()]
+        );
+    }
+
+    #[test]
+    fn validation_rejects_impossible_combinations() {
+        let (ep, schema) = fixture();
+        // Germany (dest) with France (dest): no observation has both.
+        let outcome =
+            reolap(&ep, &schema, &["Germany", "France"], &ReolapConfig::default()).expect("ok");
+        assert!(outcome.queries.is_empty());
+        assert_eq!(outcome.interpretations_considered, 1);
+        // without validation, the (invalid) interpretation surfaces
+        let config = ReolapConfig {
+            validate: false,
+            ..Default::default()
+        };
+        let outcome = reolap(&ep, &schema, &["Germany", "France"], &config).expect("ok");
+        assert_eq!(outcome.queries.len(), 1);
+    }
+
+    #[test]
+    fn unknown_keyword_is_reported() {
+        let (ep, schema) = fixture();
+        let err = reolap(&ep, &schema, &["Atlantis"], &ReolapConfig::default()).unwrap_err();
+        assert!(matches!(err, Re2xError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn interpretation_bound_enforced() {
+        let (ep, schema) = fixture();
+        let config = ReolapConfig {
+            max_interpretations: 0,
+            ..Default::default()
+        };
+        let err = reolap(&ep, &schema, &["Germany"], &config).unwrap_err();
+        assert!(matches!(err, Re2xError::TooManyInterpretations { .. }));
+    }
+
+    #[test]
+    fn configured_aggregates_control_projection() {
+        let (ep, schema) = fixture();
+        let config = ReolapConfig {
+            aggregates: vec![AggFunc::Sum],
+            ..Default::default()
+        };
+        let outcome = reolap(&ep, &schema, &["Germany"], &config).expect("ok");
+        assert_eq!(outcome.queries[0].measure_columns.len(), 1);
+        assert_eq!(outcome.queries[0].measure_columns[0].alias, "sum_applicants");
+    }
+
+    #[test]
+    fn multi_tuple_examples_constrain_levels() {
+        let (ep, schema) = fixture();
+        // Two tuples: ⟨Germany⟩ and ⟨France⟩, both destinations → one query
+        // grouping by destination, containing both example rows.
+        let tuples = vec![vec!["Germany".to_owned()], vec!["France".to_owned()]];
+        let outcome =
+            reolap_multi(&ep, &schema, &tuples, &ReolapConfig::default()).expect("ok");
+        assert_eq!(outcome.queries.len(), 1);
+        let q = &outcome.queries[0];
+        assert_eq!(q.example.len(), 2);
+        let solutions = ep.select(&q.query).expect("runs");
+        assert_eq!(q.matching_rows(&solutions, ep.graph()).len(), 2);
+    }
+
+    #[test]
+    fn multi_tuple_mixed_arity_rejected() {
+        let (ep, schema) = fixture();
+        let tuples = vec![
+            vec!["Germany".to_owned()],
+            vec!["France".to_owned(), "2014".to_owned()],
+        ];
+        let err = reolap_multi(&ep, &schema, &tuples, &ReolapConfig::default()).unwrap_err();
+        assert_eq!(err, Re2xError::MixedArity);
+    }
+
+    #[test]
+    fn empty_example_list_yields_no_queries() {
+        let (ep, schema) = fixture();
+        let outcome = reolap_multi(&ep, &schema, &[], &ReolapConfig::default()).expect("ok");
+        assert!(outcome.queries.is_empty());
+    }
+
+    #[test]
+    fn join_natural_formats() {
+        assert_eq!(join_natural(&[]), "");
+        assert_eq!(join_natural(&["a".into()]), "a");
+        assert_eq!(join_natural(&["a".into(), "b".into()]), "a and b");
+        assert_eq!(
+            join_natural(&["a".into(), "b".into(), "c".into()]),
+            "a, b and c"
+        );
+    }
+}

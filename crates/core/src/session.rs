@@ -1,0 +1,309 @@
+//! The interactive RE²xOLAP session (Algorithm 2).
+//!
+//! A [`Session`] drives the full workflow: synthesize candidate queries
+//! from an example, let the caller pick one, execute it, offer refinements
+//! from the ExRef suite, apply one, and repeat — with backtracking to any
+//! earlier step. It also keeps the exploration accounting the paper reports
+//! in Figure 8c: the cumulative number of *exploration paths* (distinct
+//! queries offered) and of result tuples made accessible.
+
+use crate::error::Re2xError;
+use crate::query_model::OlapQuery;
+use crate::refine::{disaggregate, similar, subset, RefineOp, Refinement};
+use crate::reolap::{reolap, ReolapConfig, SynthesisOutcome};
+use re2x_cube::VirtualSchemaGraph;
+use re2x_sparql::{Solutions, SparqlEndpoint};
+
+/// Session-level configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Synthesis configuration.
+    pub reolap: ReolapConfig,
+    /// `k` for similarity-search refinements.
+    pub similarity_k: usize,
+    /// Percentile boundaries for the percentile refinement.
+    pub percentiles: Vec<u8>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            reolap: ReolapConfig::default(),
+            similarity_k: 3,
+            percentiles: subset::DEFAULT_PERCENTILES.to_vec(),
+        }
+    }
+}
+
+/// One executed step of the exploration: a query and its results.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The executed query.
+    pub query: OlapQuery,
+    /// Its result set.
+    pub solutions: Solutions,
+}
+
+/// Cumulative exploration accounting (Figure 8c).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplorationMetrics {
+    /// Number of user interactions performed (synthesis, executions,
+    /// refinement requests).
+    pub interactions: u64,
+    /// Cumulative number of exploration paths (queries) offered.
+    pub paths_offered: u64,
+    /// Cumulative number of result tuples made accessible.
+    pub tuples_accessible: u64,
+}
+
+/// An interactive example-driven exploration session.
+pub struct Session<'a> {
+    endpoint: &'a dyn SparqlEndpoint,
+    schema: &'a VirtualSchemaGraph,
+    config: SessionConfig,
+    history: Vec<Step>,
+    metrics: ExplorationMetrics,
+}
+
+impl<'a> Session<'a> {
+    /// Starts a session over a bootstrapped schema.
+    pub fn new(
+        endpoint: &'a dyn SparqlEndpoint,
+        schema: &'a VirtualSchemaGraph,
+        config: SessionConfig,
+    ) -> Self {
+        Session {
+            endpoint,
+            schema,
+            config,
+            history: Vec::new(),
+            metrics: ExplorationMetrics::default(),
+        }
+    }
+
+    /// The schema this session explores.
+    pub fn schema(&self) -> &VirtualSchemaGraph {
+        self.schema
+    }
+
+    /// Step 1 (Algorithm 2, line 1): synthesize candidate queries from an
+    /// example tuple.
+    pub fn synthesize(&mut self, example: &[&str]) -> Result<SynthesisOutcome, Re2xError> {
+        let outcome = reolap(self.endpoint, self.schema, example, &self.config.reolap)?;
+        self.metrics.interactions += 1;
+        self.metrics.paths_offered += outcome.queries.len() as u64;
+        Ok(outcome)
+    }
+
+    /// Executes a chosen query and makes it the current step (Algorithm 2,
+    /// line 5).
+    pub fn choose(&mut self, query: OlapQuery) -> Result<&Step, Re2xError> {
+        let solutions = self.endpoint.select(&query.query)?;
+        self.metrics.interactions += 1;
+        self.metrics.tuples_accessible += solutions.len() as u64;
+        self.history.push(Step { query, solutions });
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// The current step, if any query has been executed.
+    pub fn current(&self) -> Option<&Step> {
+        self.history.last()
+    }
+
+    /// Full history, oldest first.
+    pub fn history(&self) -> &[Step] {
+        &self.history
+    }
+
+    /// Generates refinements of the current query with one ExRef operation
+    /// (Algorithm 2, line 10).
+    pub fn refinements(&mut self, op: RefineOp) -> Result<Vec<Refinement>, Re2xError> {
+        let Some(step) = self.history.last() else {
+            return Err(Re2xError::NotApplicable(
+                "no query has been executed yet".to_owned(),
+            ));
+        };
+        let graph = self.endpoint.graph();
+        let refinements = match op {
+            RefineOp::Disaggregate => disaggregate::disaggregate(self.schema, &step.query),
+            RefineOp::TopK => subset::topk(self.schema, &step.query, &step.solutions, graph),
+            RefineOp::Percentile => subset::percentile(
+                self.schema,
+                &step.query,
+                &step.solutions,
+                graph,
+                &self.config.percentiles,
+            ),
+            RefineOp::Similarity => similar::similarity(
+                self.schema,
+                &step.query,
+                &step.solutions,
+                graph,
+                self.config.similarity_k,
+            ),
+        };
+        self.metrics.interactions += 1;
+        self.metrics.paths_offered += refinements.len() as u64;
+        Ok(refinements)
+    }
+
+    /// Applies a refinement: executes its query and makes it current.
+    pub fn apply(&mut self, refinement: Refinement) -> Result<&Step, Re2xError> {
+        self.choose(refinement.query)
+    }
+
+    /// Backtracks to the previous step. Returns `false` when already at the
+    /// beginning.
+    pub fn backtrack(&mut self) -> bool {
+        if self.history.len() <= 1 {
+            return false;
+        }
+        self.history.pop();
+        true
+    }
+
+    /// Exploration accounting so far.
+    pub fn metrics(&self) -> ExplorationMetrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_cube::{bootstrap, BootstrapConfig};
+    use re2x_rdf::io::parse_turtle;
+    use re2x_rdf::Graph;
+    use re2x_sparql::LocalEndpoint;
+
+    fn fixture() -> (LocalEndpoint, VirtualSchemaGraph) {
+        let mut g = Graph::new();
+        parse_turtle(
+            r#"
+            @prefix ex: <http://ex/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:Germany rdfs:label "Germany" .
+            ex:France rdfs:label "France" .
+            ex:Sweden rdfs:label "Sweden" .
+            ex:Syria rdfs:label "Syria" .
+            ex:China rdfs:label "China" .
+            ex:y2013 rdfs:label "2013" .
+            ex:y2014 rdfs:label "2014" .
+
+            ex:o1 a ex:Obs ; ex:dest ex:Germany ; ex:origin ex:Syria ; ex:year ex:y2013 ; ex:applicants 300 .
+            ex:o2 a ex:Obs ; ex:dest ex:France ; ex:origin ex:Syria ; ex:year ex:y2013 ; ex:applicants 300 .
+            ex:o3 a ex:Obs ; ex:dest ex:Sweden ; ex:origin ex:Syria ; ex:year ex:y2013 ; ex:applicants 200 .
+            ex:o4 a ex:Obs ; ex:dest ex:Germany ; ex:origin ex:China ; ex:year ex:y2013 ; ex:applicants 100 .
+            ex:o5 a ex:Obs ; ex:dest ex:Germany ; ex:origin ex:Syria ; ex:year ex:y2014 ; ex:applicants 600 .
+            ex:o6 a ex:Obs ; ex:dest ex:France ; ex:origin ex:Syria ; ex:year ex:y2014 ; ex:applicants 300 .
+            ex:o7 a ex:Obs ; ex:dest ex:Sweden ; ex:origin ex:Syria ; ex:year ex:y2014 ; ex:applicants 400 .
+            ex:o8 a ex:Obs ; ex:dest ex:France ; ex:origin ex:China ; ex:year ex:y2014 ; ex:applicants 300 .
+            "#,
+            &mut g,
+        )
+        .expect("fixture parses");
+        let ep = LocalEndpoint::new(g);
+        let report = bootstrap(&ep, &BootstrapConfig::new("http://ex/Obs")).expect("bootstrap");
+        (ep, report.schema)
+    }
+
+    /// The paper's example workflow: ReOLAP → Disaggregate → Disaggregate →
+    /// Similarity → TopK, checking every hand-off.
+    #[test]
+    fn full_exploration_workflow() {
+        let (ep, schema) = fixture();
+        let config = SessionConfig {
+            similarity_k: 1,
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(&ep, &schema, config);
+
+        // 1. synthesize from ⟨Germany⟩
+        let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+        assert_eq!(outcome.queries.len(), 1, "Germany appears only as destination");
+        let step = session.choose(outcome.queries[0].clone()).expect("run");
+        assert_eq!(step.solutions.len(), 3, "3 destinations");
+
+        // 2. disaggregate by origin
+        let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
+        assert_eq!(dis.len(), 2, "origin and year can be added");
+        let by_origin = dis
+            .into_iter()
+            .find(|r| r.explanation.contains("Origin"))
+            .expect("origin refinement");
+        let step = session.apply(by_origin).expect("run");
+        assert_eq!(step.solutions.len(), 5, "5 (dest, origin) combos");
+
+        // 3. disaggregate by year
+        let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
+        assert_eq!(dis.len(), 1, "only year remains");
+        let step = session.apply(dis.into_iter().next().expect("year")).expect("run");
+        assert_eq!(step.solutions.len(), 8);
+
+        // 4. similarity: Germany at dest level; origin & year are context
+        let sims = session.refinements(RefineOp::Similarity).expect("sim");
+        assert_eq!(sims.len(), 4, "one per measure column (4 aggregates)");
+        let step = session.apply(sims.into_iter().next().expect("sim")).expect("run");
+        assert!(step.solutions.len() < 8, "similarity restricts the combos");
+        assert!(!step.solutions.is_empty());
+
+        // 5. top-k on the restricted set
+        let tops = session.refinements(RefineOp::TopK).expect("topk");
+        assert!(!tops.is_empty());
+        let step = session.apply(tops.into_iter().next().expect("top")).expect("run");
+        assert!(!step.solutions.is_empty());
+
+        let metrics = session.metrics();
+        assert!(metrics.interactions >= 9);
+        assert!(metrics.paths_offered >= 8);
+        assert!(metrics.tuples_accessible >= 16);
+    }
+
+    #[test]
+    fn refinements_before_any_query_is_an_error() {
+        let (ep, schema) = fixture();
+        let mut session = Session::new(&ep, &schema, SessionConfig::default());
+        let err = session.refinements(RefineOp::TopK).unwrap_err();
+        assert!(matches!(err, Re2xError::NotApplicable(_)));
+    }
+
+    #[test]
+    fn backtracking_restores_previous_step() {
+        let (ep, schema) = fixture();
+        let mut session = Session::new(&ep, &schema, SessionConfig::default());
+        let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+        session.choose(outcome.queries[0].clone()).expect("run");
+        let first_len = session.current().expect("step").solutions.len();
+
+        let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
+        session.apply(dis.into_iter().next().expect("one")).expect("run");
+        assert_ne!(session.current().expect("step").solutions.len(), first_len);
+
+        assert!(session.backtrack());
+        assert_eq!(session.current().expect("step").solutions.len(), first_len);
+        assert!(!session.backtrack(), "cannot backtrack past the first step");
+    }
+
+    #[test]
+    fn every_refinement_result_still_contains_the_example() {
+        let (ep, schema) = fixture();
+        let mut session = Session::new(&ep, &schema, SessionConfig::default());
+        let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+        session.choose(outcome.queries[0].clone()).expect("run");
+        let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
+        session.apply(dis.into_iter().next().expect("one")).expect("run");
+
+        for op in [RefineOp::TopK, RefineOp::Percentile, RefineOp::Similarity] {
+            let refinements = session.refinements(op).expect("refine");
+            for refinement in refinements {
+                let solutions = ep.select(&refinement.query.query).expect("runs");
+                let graph = ep.graph();
+                assert!(
+                    !refinement.query.matching_rows(&solutions, graph).is_empty(),
+                    "{op:?} refinement lost the example: {}",
+                    refinement.query.sparql()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the subset and similarity refinements over
+//! synthetic result tables (no endpoint involved): the threshold
+//! arithmetic of Problem 2b and the vector construction of Problem 2c must
+//! hold for arbitrary measure distributions.
+
+use proptest::prelude::*;
+use re2x_cube::VirtualSchemaGraph;
+use re2x_rdf::Graph;
+use re2x_sparql::{AggFunc, Order, Query, Solutions, Value};
+use re2xolap::refine::{subset, RefinementKind};
+use re2xolap::{ExampleBinding, GroupColumn, MeasureColumn, OlapQuery};
+
+/// Builds a one-dimension schema + a query + a synthetic result table with
+/// the given measure values; the example is the `example_row`-th member.
+fn fixture(values: &[u32], example_row: usize) -> (VirtualSchemaGraph, OlapQuery, Solutions, Graph) {
+    let mut schema = VirtualSchemaGraph::new("http://ex/Obs");
+    let dim = schema.add_dimension("http://ex/dest", "Destination");
+    let measure = schema.add_measure("http://ex/m", "Measure");
+    let level = schema.add_level(dim, vec!["http://ex/dest".into()], values.len(), vec![], "L");
+    let mut graph = Graph::new();
+    let rows = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let member = graph.intern_iri(format!("http://ex/member{i}"));
+            vec![Some(Value::Term(member)), Some(Value::Number(f64::from(v)))]
+        })
+        .collect();
+    let solutions = Solutions {
+        vars: vec!["dest".into(), "sum_m".into()],
+        rows,
+    };
+    let query = OlapQuery {
+        query: Query::select_all(vec![]),
+        group_columns: vec![GroupColumn {
+            var: "dest".into(),
+            level,
+        }],
+        measure_columns: vec![MeasureColumn {
+            alias: "sum_m".into(),
+            measure,
+            agg: AggFunc::Sum,
+        }],
+        example: vec![vec![ExampleBinding {
+            keyword: "kw".into(),
+            member_iri: format!("http://ex/member{example_row}"),
+            label: "kw".into(),
+            level,
+        }]],
+        description: "Q".into(),
+    };
+    (schema, query, solutions, graph)
+}
+
+/// Evaluates a Top-k refinement's threshold against the synthetic table:
+/// how many rows would survive the HAVING comparison.
+fn surviving(values: &[u32], order: Order, threshold: f64) -> Vec<usize> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| match order {
+            Order::Desc => f64::from(v) > threshold,
+            Order::Asc => f64::from(v) < threshold,
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    /// Top-k: the surviving set has exactly k rows, includes the example,
+    /// and is extremal (no excluded row beats an included one).
+    #[test]
+    fn topk_threshold_is_exact_and_extremal(
+        values in proptest::collection::vec(0u32..10_000, 2..40),
+        example in 0usize..40,
+    ) {
+        let example = example % values.len();
+        let (schema, query, solutions, graph) = fixture(&values, example);
+        for refinement in subset::topk(&schema, &query, &solutions, &graph) {
+            let RefinementKind::TopK { k, order, .. } = refinement.kind else {
+                panic!("wrong kind")
+            };
+            // extract the threshold from the generated HAVING
+            let re2x_sparql::Expr::Cmp(_, _, rhs) =
+                refinement.query.query.having.as_ref().expect("having")
+            else {
+                panic!("unexpected having shape")
+            };
+            let re2x_sparql::Expr::Number(threshold) = **rhs else {
+                panic!("numeric threshold")
+            };
+            let survivors = surviving(&values, order, threshold);
+            prop_assert_eq!(survivors.len(), k, "exactly k survive");
+            prop_assert!(survivors.contains(&example), "example survives");
+            // extremal: every survivor is ≥ (Desc) / ≤ (Asc) every excluded
+            for &s in &survivors {
+                for (i, &v) in values.iter().enumerate() {
+                    if !survivors.contains(&i) {
+                        match order {
+                            Order::Desc => prop_assert!(values[s] >= v),
+                            Order::Asc => prop_assert!(values[s] <= v),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Percentile: every produced interval contains the example's value
+    /// and respects the interval arithmetic.
+    #[test]
+    fn percentile_intervals_contain_the_example(
+        values in proptest::collection::vec(0u32..10_000, 2..40),
+        example in 0usize..40,
+    ) {
+        let example = example % values.len();
+        let (schema, query, solutions, graph) = fixture(&values, example);
+        let refinements = subset::percentile(
+            &schema, &query, &solutions, &graph, &subset::DEFAULT_PERCENTILES,
+        );
+        prop_assert!(!refinements.is_empty(), "the example always falls in some interval");
+        let example_value = f64::from(values[example]);
+        for refinement in &refinements {
+            let RefinementKind::Percentile { lower_pct, upper_pct, .. } = refinement.kind
+            else {
+                panic!("wrong kind")
+            };
+            prop_assert!(lower_pct < upper_pct);
+            // the generated HAVING is (lo ≤ agg) AND (agg </≤ hi); recheck
+            // the example value against the rendered bounds
+            let re2x_sparql::Expr::And(lo, hi) =
+                refinement.query.query.having.as_ref().expect("having")
+            else {
+                panic!("unexpected having shape")
+            };
+            let bound = |e: &re2x_sparql::Expr| -> f64 {
+                let re2x_sparql::Expr::Cmp(_, _, rhs) = e else { panic!("cmp") };
+                let re2x_sparql::Expr::Number(n) = **rhs else { panic!("num") };
+                n
+            };
+            let lo = bound(lo);
+            let hi = bound(hi);
+            prop_assert!(lo <= example_value, "{lo} ≤ {example_value}");
+            if upper_pct == 100 {
+                prop_assert!(example_value <= hi);
+            } else {
+                prop_assert!(example_value < hi);
+            }
+        }
+        // intervals are disjoint by construction (shared boundary, strict
+        // upper bound): at most one interval per measure column matches a
+        // point value — except the topmost which is closed
+        prop_assert!(refinements.len() <= 2);
+    }
+}

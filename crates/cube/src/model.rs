@@ -1,0 +1,138 @@
+//! The multidimensional model of a statistical KG: dimensions, measures,
+//! hierarchy levels (Section 3 of the paper).
+
+/// Identifier of a dimension within a [`crate::VirtualSchemaGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DimensionId(pub u32);
+
+/// Identifier of a measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MeasureId(pub u32);
+
+/// Identifier of a hierarchy-level node of the Virtual Schema Graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LevelId(pub u32);
+
+impl DimensionId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MeasureId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LevelId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dimension: identified by the predicate linking observations to its
+/// base-level members (e.g. `Country of Origin`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    /// Id within the schema.
+    pub id: DimensionId,
+    /// The dimension predicate IRI.
+    pub predicate: String,
+    /// Human-readable label (from `rdfs:label` or the IRI local name).
+    pub label: String,
+}
+
+/// A measure: a predicate linking observations to numeric values
+/// (e.g. `Num Applicants`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measure {
+    /// Id within the schema.
+    pub id: MeasureId,
+    /// The measure predicate IRI.
+    pub predicate: String,
+    /// Human-readable label.
+    pub label: String,
+}
+
+/// A hierarchy level, identified by the predicate path that reaches its
+/// members from an observation node.
+///
+/// The Virtual Schema Graph stores one node per *level*, never per member
+/// — this is what keeps it orders of magnitude smaller than the data
+/// (Section 5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelNode {
+    /// Id within the schema.
+    pub id: LevelId,
+    /// The dimension this level belongs to.
+    pub dimension: DimensionId,
+    /// Predicate IRIs from the observation node to this level's members.
+    /// `path[0]` is the dimension predicate; later entries are roll-up
+    /// predicates (e.g. `[Country_Origin, In_Continent]` for the continent
+    /// level).
+    pub path: Vec<String>,
+    /// Number of distinct members observed at this level during bootstrap.
+    pub member_count: usize,
+    /// Predicates assigning literal attributes to members of this level
+    /// (e.g. `hasLabel`).
+    pub attribute_predicates: Vec<String>,
+    /// Human-readable label (derived from the last path predicate).
+    pub label: String,
+}
+
+impl LevelNode {
+    /// Depth below the observation root (base levels have depth 1).
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The final predicate of the path (the one whose objects are this
+    /// level's members).
+    pub fn last_predicate(&self) -> &str {
+        self.path.last().expect("level paths are non-empty")
+    }
+
+    /// `true` if this level's path is a proper prefix of `other`'s, i.e.
+    /// `other` aggregates this level's members at a coarser granularity.
+    pub fn is_ancestor_of(&self, other: &LevelNode) -> bool {
+        other.path.len() > self.path.len() && other.path[..self.path.len()] == self.path[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(id: u32, path: &[&str]) -> LevelNode {
+        LevelNode {
+            id: LevelId(id),
+            dimension: DimensionId(0),
+            path: path.iter().map(|s| (*s).to_owned()).collect(),
+            member_count: 0,
+            attribute_predicates: Vec::new(),
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn depth_and_last_predicate() {
+        let l = level(0, &["http://ex/origin", "http://ex/inContinent"]);
+        assert_eq!(l.depth(), 2);
+        assert_eq!(l.last_predicate(), "http://ex/inContinent");
+    }
+
+    #[test]
+    fn ancestor_relation_is_path_prefix() {
+        let country = level(0, &["http://ex/origin"]);
+        let continent = level(1, &["http://ex/origin", "http://ex/inContinent"]);
+        let dest = level(2, &["http://ex/dest"]);
+        assert!(country.is_ancestor_of(&continent));
+        assert!(!continent.is_ancestor_of(&country));
+        assert!(!country.is_ancestor_of(&dest));
+        assert!(!country.is_ancestor_of(&country));
+    }
+}

@@ -1,0 +1,57 @@
+//! Programmatic construction of the query shapes RE²xOLAP issues against
+//! the endpoint (observation typing, observation-to-member paths).
+
+use re2x_rdf::vocab;
+use re2x_sparql::{PatternElement, TermPattern, TriplePattern};
+
+/// `?<obs_var> rdf:type <observation_class>`.
+pub fn observation_type(obs_var: &str, observation_class: &str) -> PatternElement {
+    PatternElement::Triple(TriplePattern::new(
+        TermPattern::Var(obs_var.to_owned()),
+        vocab::rdf::TYPE,
+        TermPattern::Iri(observation_class.to_owned()),
+    ))
+}
+
+/// `?<obs_var> <p1>/<p2>/… ?<member_var>` — the sequence path from an
+/// observation to a member of the level identified by `path`.
+pub fn path_to_member(obs_var: &str, path: &[String], member_var: &str) -> PatternElement {
+    PatternElement::Triple(TriplePattern::with_path(
+        TermPattern::Var(obs_var.to_owned()),
+        path.to_vec(),
+        TermPattern::Var(member_var.to_owned()),
+    ))
+}
+
+/// `?<obs_var> <p1>/<p2>/… <member_iri>` — the path pinned to a concrete
+/// member (used for validity checks).
+pub fn path_to_concrete_member(obs_var: &str, path: &[String], member_iri: &str) -> PatternElement {
+    PatternElement::Triple(TriplePattern::with_path(
+        TermPattern::Var(obs_var.to_owned()),
+        path.to_vec(),
+        TermPattern::Iri(member_iri.to_owned()),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_sparql::{query_to_sparql, Query};
+
+    #[test]
+    fn pattern_shapes_render_as_expected() {
+        let q = Query::select_all(vec![
+            observation_type("obs", "http://ex/Obs"),
+            path_to_member(
+                "obs",
+                &["http://ex/origin".to_owned(), "http://ex/inContinent".to_owned()],
+                "m",
+            ),
+            path_to_concrete_member("obs", &["http://ex/dest".to_owned()], "http://ex/Germany"),
+        ]);
+        let text = query_to_sparql(&q);
+        assert!(text.contains("?obs <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Obs>"));
+        assert!(text.contains("?obs <http://ex/origin> / <http://ex/inContinent> ?m"));
+        assert!(text.contains("?obs <http://ex/dest> <http://ex/Germany>"));
+    }
+}

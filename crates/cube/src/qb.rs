@@ -1,0 +1,371 @@
+//! Emitting W3C RDF Data Cube / QB4OLAP annotations for a discovered
+//! schema.
+//!
+//! The paper's only structural assumption is the observation class; other
+//! tools in the QB ecosystem, however, expect explicit `qb:` /` qb4o:`
+//! annotations. This module materializes them from a
+//! [`VirtualSchemaGraph`], which is the inverse of what enrichment
+//! approaches like QB4OLAP annotators do, and lets a RE²xOLAP-discovered
+//! schema interoperate with QB tooling.
+
+use crate::model::LevelId;
+use crate::vgraph::VirtualSchemaGraph;
+use re2x_rdf::{vocab, Graph, Literal, Term};
+
+/// Auxiliary vocabulary for round-tripping schema details that QB4OLAP has
+/// no terms for (level paths, member counts, the observation class).
+pub mod re2x_vocab {
+    /// The schema root node carrying dataset-level facts.
+    pub const SCHEMA: &str = "urn:re2x:schema";
+    /// Root → observation-class IRI.
+    pub const OBSERVATION_CLASS: &str = "urn:re2x:vocab:observationClass";
+    /// Root → observation count (integer literal).
+    pub const OBSERVATION_COUNT: &str = "urn:re2x:vocab:observationCount";
+    /// Level → dimension predicate IRI it belongs to.
+    pub const IN_DIMENSION: &str = "urn:re2x:vocab:inDimension";
+    /// Level → distinct member count (integer literal).
+    pub const MEMBER_COUNT: &str = "urn:re2x:vocab:memberCount";
+    /// Level → attribute predicate IRI.
+    pub const LEVEL_ATTRIBUTE: &str = "urn:re2x:vocab:levelAttribute";
+
+    /// Level → i-th predicate of its observation path.
+    pub fn path_step(i: usize) -> String {
+        format!("urn:re2x:vocab:pathStep{i}")
+    }
+}
+
+/// A synthetic IRI identifying a level in the emitted annotations.
+pub fn level_iri(schema: &VirtualSchemaGraph, id: LevelId) -> String {
+    let level = schema.level(id);
+    format!(
+        "urn:re2x:level:{}",
+        level
+            .path
+            .iter()
+            .map(|p| crate::labels::local_name(p))
+            .collect::<Vec<_>>()
+            .join("/")
+    )
+}
+
+/// Writes QB/QB4OLAP annotation triples describing `schema` into `graph`.
+/// Returns the number of triples inserted.
+pub fn annotate(schema: &VirtualSchemaGraph, graph: &mut Graph) -> usize {
+    let mut inserted = 0;
+    let mut add = |graph: &mut Graph, s: Term, p: &str, o: Term| {
+        if graph.insert(s, Term::iri(p), o) {
+            inserted += 1;
+        }
+    };
+
+    for dimension in schema.dimensions() {
+        add(
+            graph,
+            Term::iri(dimension.predicate.clone()),
+            vocab::rdf::TYPE,
+            Term::iri(vocab::qb::DIMENSION_PROPERTY),
+        );
+        add(
+            graph,
+            Term::iri(dimension.predicate.clone()),
+            vocab::rdfs::LABEL,
+            Term::from(Literal::simple(dimension.label.clone())),
+        );
+    }
+    for measure in schema.measures() {
+        add(
+            graph,
+            Term::iri(measure.predicate.clone()),
+            vocab::rdf::TYPE,
+            Term::iri(vocab::qb::MEASURE_PROPERTY),
+        );
+        add(
+            graph,
+            Term::iri(measure.predicate.clone()),
+            vocab::rdfs::LABEL,
+            Term::from(Literal::simple(measure.label.clone())),
+        );
+    }
+    // dataset-level facts
+    add(
+        graph,
+        Term::iri(re2x_vocab::SCHEMA),
+        re2x_vocab::OBSERVATION_CLASS,
+        Term::iri(schema.observation_class.clone()),
+    );
+    add(
+        graph,
+        Term::iri(re2x_vocab::SCHEMA),
+        re2x_vocab::OBSERVATION_COUNT,
+        Term::from(Literal::integer(schema.observation_count as i64)),
+    );
+    for level in schema.levels() {
+        let iri = level_iri(schema, level.id);
+        add(
+            graph,
+            Term::iri(iri.clone()),
+            vocab::rdf::TYPE,
+            Term::iri(vocab::qb4o::LEVEL_PROPERTY),
+        );
+        add(
+            graph,
+            Term::iri(iri.clone()),
+            vocab::rdfs::LABEL,
+            Term::from(Literal::simple(level.label.clone())),
+        );
+        add(
+            graph,
+            Term::iri(iri.clone()),
+            re2x_vocab::IN_DIMENSION,
+            Term::iri(schema.dimension(level.dimension).predicate.clone()),
+        );
+        add(
+            graph,
+            Term::iri(iri.clone()),
+            re2x_vocab::MEMBER_COUNT,
+            Term::from(Literal::integer(level.member_count as i64)),
+        );
+        for (i, step) in level.path.iter().enumerate() {
+            add(
+                graph,
+                Term::iri(iri.clone()),
+                &re2x_vocab::path_step(i),
+                Term::iri(step.clone()),
+            );
+        }
+        for attr in &level.attribute_predicates {
+            add(
+                graph,
+                Term::iri(attr.clone()),
+                vocab::rdf::TYPE,
+                Term::iri(vocab::qb::ATTRIBUTE_PROPERTY),
+            );
+            add(
+                graph,
+                Term::iri(iri.clone()),
+                re2x_vocab::LEVEL_ATTRIBUTE,
+                Term::iri(attr.clone()),
+            );
+        }
+        if let Some(parent) = schema.parent(level.id) {
+            // qb4o:parentLevel points from the finer level to the coarser
+            // one; in the virtual graph the "parent" is the finer level, so
+            // the emitted edge goes parent(finer) → this(coarser).
+            let finer = level_iri(schema, parent);
+            add(
+                graph,
+                Term::iri(finer),
+                vocab::qb4o::PARENT_LEVEL,
+                Term::iri(iri.clone()),
+            );
+        }
+    }
+    inserted
+}
+
+/// Reconstructs a [`VirtualSchemaGraph`] from annotations previously
+/// written by [`annotate`] — the bootstrap shortcut for stores that carry
+/// QB/QB4OLAP (plus re2x auxiliary) metadata alongside the data.
+/// Returns `None` if no schema root is present.
+pub fn from_annotations(graph: &Graph) -> Option<VirtualSchemaGraph> {
+    let iri_of = |id: re2x_rdf::TermId| graph.term(id).as_iri().map(str::to_owned);
+    let root = graph.iri_id(re2x_vocab::SCHEMA)?;
+    let class_p = graph.iri_id(re2x_vocab::OBSERVATION_CLASS)?;
+    let observation_class = iri_of(*graph.objects(root, class_p).first()?)?;
+    let mut schema = VirtualSchemaGraph::new(observation_class);
+    if let Some(count_p) = graph.iri_id(re2x_vocab::OBSERVATION_COUNT) {
+        if let Some(&count) = graph.objects(root, count_p).first() {
+            schema.observation_count = graph.numeric_value(count).unwrap_or(0.0) as usize;
+        }
+    }
+
+    let type_p = graph.iri_id(vocab::rdf::TYPE)?;
+    let label_p = graph.iri_id(vocab::rdfs::LABEL);
+    let label_of = |subject: re2x_rdf::TermId| -> String {
+        label_p
+            .and_then(|p| graph.objects(subject, p).first().copied())
+            .and_then(|l| graph.term(l).as_literal().map(|l| l.lexical().to_owned()))
+            .unwrap_or_default()
+    };
+
+    // measures and dimensions by their declared classes
+    if let Some(class) = graph.iri_id(vocab::qb::MEASURE_PROPERTY) {
+        let mut subjects = graph.subjects(type_p, class).to_vec();
+        subjects.sort_by_key(|&s| iri_of(s));
+        for s in subjects {
+            let predicate = iri_of(s)?;
+            let label = label_of(s);
+            schema.add_measure(predicate, label);
+        }
+    }
+    let mut dim_ids = std::collections::HashMap::new();
+    if let Some(class) = graph.iri_id(vocab::qb::DIMENSION_PROPERTY) {
+        let mut subjects = graph.subjects(type_p, class).to_vec();
+        subjects.sort_by_key(|&s| iri_of(s));
+        for s in subjects {
+            let predicate = iri_of(s)?;
+            let label = label_of(s);
+            dim_ids.insert(predicate.clone(), schema.add_dimension(predicate, label));
+        }
+    }
+
+    // levels: reassemble paths from the indexed pathStep predicates and
+    // insert base levels before their extensions
+    let level_class = graph.iri_id(vocab::qb4o::LEVEL_PROPERTY)?;
+    let in_dim_p = graph.iri_id(re2x_vocab::IN_DIMENSION)?;
+    let count_p = graph.iri_id(re2x_vocab::MEMBER_COUNT);
+    let attr_p = graph.iri_id(re2x_vocab::LEVEL_ATTRIBUTE);
+    struct PendingLevel {
+        dimension: crate::model::DimensionId,
+        path: Vec<String>,
+        member_count: usize,
+        attributes: Vec<String>,
+        label: String,
+    }
+    let mut pending = Vec::new();
+    for &level_node in graph.subjects(type_p, level_class) {
+        let dim_iri = iri_of(*graph.objects(level_node, in_dim_p).first()?)?;
+        let dimension = *dim_ids.get(&dim_iri)?;
+        let mut path = Vec::new();
+        loop {
+            let Some(step_p) = graph.iri_id(&re2x_vocab::path_step(path.len())) else {
+                break;
+            };
+            match graph.objects(level_node, step_p).first() {
+                Some(&step) => path.push(iri_of(step)?),
+                None => break,
+            }
+        }
+        if path.is_empty() {
+            return None; // malformed annotations
+        }
+        let member_count = count_p
+            .and_then(|p| graph.objects(level_node, p).first().copied())
+            .and_then(|v| graph.numeric_value(v))
+            .unwrap_or(0.0) as usize;
+        let mut attributes: Vec<String> = attr_p
+            .map(|p| {
+                graph
+                    .objects(level_node, p)
+                    .iter()
+                    .filter_map(|&a| iri_of(a))
+                    .collect()
+            })
+            .unwrap_or_default();
+        attributes.sort();
+        pending.push(PendingLevel {
+            dimension,
+            path,
+            member_count,
+            attributes,
+            label: label_of(level_node),
+        });
+    }
+    pending.sort_by(|a, b| a.path.len().cmp(&b.path.len()).then_with(|| a.path.cmp(&b.path)));
+    for level in pending {
+        schema.add_level(
+            level.dimension,
+            level.path,
+            level.member_count,
+            level.attributes,
+            level.label,
+        );
+    }
+    Some(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DimensionId;
+
+    fn schema() -> VirtualSchemaGraph {
+        let mut v = VirtualSchemaGraph::new("http://ex/Observation");
+        let origin = v.add_dimension("http://ex/origin", "Country of Origin");
+        v.add_measure("http://ex/applicants", "Num Applicants");
+        v.add_level(origin, vec!["http://ex/origin".into()], 10, vec![
+            "http://ex/label".to_owned()
+        ], "Country");
+        v.add_level(
+            origin,
+            vec!["http://ex/origin".into(), "http://ex/inContinent".into()],
+            3,
+            vec![],
+            "Continent",
+        );
+        v
+    }
+
+    #[test]
+    fn level_iris_are_stable_and_distinct() {
+        let s = schema();
+        let ids: Vec<String> = s.levels().iter().map(|l| level_iri(&s, l.id)).collect();
+        assert_eq!(ids[0], "urn:re2x:level:origin");
+        assert_eq!(ids[1], "urn:re2x:level:origin/inContinent");
+    }
+
+    #[test]
+    fn annotation_triples_cover_all_schema_elements() {
+        let s = schema();
+        let mut g = Graph::new();
+        let n = annotate(&s, &mut g);
+        assert_eq!(n, g.len());
+        let type_p = g.iri_id(vocab::rdf::TYPE).expect("typed");
+        let dim_class = g.iri_id(vocab::qb::DIMENSION_PROPERTY).expect("class");
+        assert_eq!(g.subjects(type_p, dim_class).len(), 1);
+        let measure_class = g.iri_id(vocab::qb::MEASURE_PROPERTY).expect("class");
+        assert_eq!(g.subjects(type_p, measure_class).len(), 1);
+        let level_class = g.iri_id(vocab::qb4o::LEVEL_PROPERTY).expect("class");
+        assert_eq!(g.subjects(type_p, level_class).len(), 2);
+        let attr_class = g.iri_id(vocab::qb::ATTRIBUTE_PROPERTY).expect("class");
+        assert_eq!(g.subjects(type_p, attr_class).len(), 1);
+        // hierarchy edge from country level to continent level
+        let parent_p = g.iri_id(vocab::qb4o::PARENT_LEVEL).expect("pred");
+        assert_eq!(g.predicate_cardinality(parent_p), 1);
+    }
+
+    #[test]
+    fn annotations_round_trip_to_an_equivalent_schema() {
+        let s = schema();
+        let mut g = Graph::new();
+        annotate(&s, &mut g);
+        let restored = from_annotations(&g).expect("round trip");
+        assert_eq!(restored.observation_class, s.observation_class);
+        assert_eq!(restored.stats(), s.stats());
+        for level in s.levels() {
+            let found = restored.level_by_path(&level.path).expect("level kept");
+            let r = restored.level(found);
+            assert_eq!(r.member_count, level.member_count);
+            assert_eq!(r.label, level.label);
+            assert_eq!(r.attribute_predicates, level.attribute_predicates);
+            assert_eq!(
+                restored.dimension(r.dimension).predicate,
+                s.dimension(level.dimension).predicate
+            );
+        }
+    }
+
+    #[test]
+    fn from_annotations_requires_a_schema_root() {
+        let g = Graph::new();
+        assert!(from_annotations(&g).is_none());
+    }
+
+    #[test]
+    fn annotate_is_idempotent() {
+        let s = schema();
+        let mut g = Graph::new();
+        let first = annotate(&s, &mut g);
+        let second = annotate(&s, &mut g);
+        assert!(first > 0);
+        assert_eq!(second, 0, "re-annotation inserts nothing new");
+    }
+
+    #[test]
+    #[should_panic]
+    fn level_iri_rejects_foreign_id() {
+        let s = schema();
+        let _ = level_iri(&s, crate::model::LevelId(99));
+        let _ = DimensionId(0); // silence unused import
+    }
+}

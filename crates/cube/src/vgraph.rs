@@ -1,0 +1,389 @@
+//! The Virtual Schema Graph (Section 5.2 of the paper).
+//!
+//! A level-granularity, in-memory summary of how dimension hierarchies are
+//! organized: one node per hierarchy level plus a root node `v_o`
+//! representing the observation level, with predicate-labelled edges.
+//! Because it stores levels instead of members it is orders of magnitude
+//! smaller than the data, and REOLAP and the refinement operators navigate
+//! it instead of querying the triplestore.
+
+use crate::model::{Dimension, DimensionId, LevelId, LevelNode, Measure, MeasureId};
+
+/// Aggregate statistics of a schema, matching the columns of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemaStats {
+    /// Number of dimensions |D|.
+    pub dimensions: usize,
+    /// Number of measures |M|.
+    pub measures: usize,
+    /// Number of hierarchies |H| (maximal root-to-leaf level paths).
+    pub hierarchies: usize,
+    /// Number of levels |L̄|.
+    pub levels: usize,
+    /// Total dimension members across levels |N_D|.
+    pub members: usize,
+    /// Approximate in-memory size of the virtual graph in bytes.
+    pub vgraph_bytes: usize,
+}
+
+/// The Virtual Schema Graph.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualSchemaGraph {
+    /// IRI of the class whose instances are observations.
+    pub observation_class: String,
+    /// Number of observation instances found at bootstrap.
+    pub observation_count: usize,
+    dimensions: Vec<Dimension>,
+    measures: Vec<Measure>,
+    levels: Vec<LevelNode>,
+    /// Children of each level (levels reached by one more roll-up step).
+    children: Vec<Vec<LevelId>>,
+    /// Parent of each level (`None` for base levels, whose parent is the
+    /// observation root `v_o`).
+    parent: Vec<Option<LevelId>>,
+}
+
+impl VirtualSchemaGraph {
+    /// An empty schema for the given observation class.
+    pub fn new(observation_class: impl Into<String>) -> Self {
+        VirtualSchemaGraph {
+            observation_class: observation_class.into(),
+            ..Default::default()
+        }
+    }
+
+    // ---- construction ------------------------------------------------------
+
+    /// Registers a dimension, returning its id.
+    pub fn add_dimension(&mut self, predicate: impl Into<String>, label: impl Into<String>) -> DimensionId {
+        let id = DimensionId(self.dimensions.len() as u32);
+        self.dimensions.push(Dimension {
+            id,
+            predicate: predicate.into(),
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Registers a measure, returning its id.
+    pub fn add_measure(&mut self, predicate: impl Into<String>, label: impl Into<String>) -> MeasureId {
+        let id = MeasureId(self.measures.len() as u32);
+        self.measures.push(Measure {
+            id,
+            predicate: predicate.into(),
+            label: label.into(),
+        });
+        id
+    }
+
+    /// Registers a level. Base levels (path length 1) hang off the
+    /// observation root; deeper levels must extend an existing level's path
+    /// by exactly one predicate.
+    ///
+    /// # Panics
+    /// If a deeper level's prefix path is not already registered, or the
+    /// path is already present.
+    pub fn add_level(
+        &mut self,
+        dimension: DimensionId,
+        path: Vec<String>,
+        member_count: usize,
+        attribute_predicates: Vec<String>,
+        label: impl Into<String>,
+    ) -> LevelId {
+        assert!(!path.is_empty(), "level path must be non-empty");
+        assert!(
+            self.level_by_path(&path).is_none(),
+            "level path already registered: {path:?}"
+        );
+        let parent = if path.len() == 1 {
+            None
+        } else {
+            let prefix = &path[..path.len() - 1];
+            let parent = self
+                .level_by_path(prefix)
+                .unwrap_or_else(|| panic!("parent level not registered for {path:?}"));
+            Some(parent)
+        };
+        let id = LevelId(self.levels.len() as u32);
+        self.levels.push(LevelNode {
+            id,
+            dimension,
+            path,
+            member_count,
+            attribute_predicates,
+            label: label.into(),
+        });
+        self.children.push(Vec::new());
+        self.parent.push(parent);
+        if let Some(p) = parent {
+            self.children[p.index()].push(id);
+        }
+        id
+    }
+
+    /// Updates a level's member count (used by the incremental refresh).
+    pub fn set_member_count(&mut self, id: LevelId, count: usize) {
+        self.levels[id.index()].member_count = count;
+    }
+
+    // ---- lookup --------------------------------------------------------------
+
+    /// All dimensions.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// All measures.
+    pub fn measures(&self) -> &[Measure] {
+        &self.measures
+    }
+
+    /// All levels.
+    pub fn levels(&self) -> &[LevelNode] {
+        &self.levels
+    }
+
+    /// A dimension by id.
+    pub fn dimension(&self, id: DimensionId) -> &Dimension {
+        &self.dimensions[id.index()]
+    }
+
+    /// A measure by id.
+    pub fn measure(&self, id: MeasureId) -> &Measure {
+        &self.measures[id.index()]
+    }
+
+    /// A level by id.
+    pub fn level(&self, id: LevelId) -> &LevelNode {
+        &self.levels[id.index()]
+    }
+
+    /// The level with exactly this observation-to-member path.
+    pub fn level_by_path(&self, path: &[String]) -> Option<LevelId> {
+        self.levels.iter().find(|l| l.path == path).map(|l| l.id)
+    }
+
+    /// The dimension whose base predicate is `predicate`.
+    pub fn dimension_by_predicate(&self, predicate: &str) -> Option<DimensionId> {
+        self.dimensions
+            .iter()
+            .find(|d| d.predicate == predicate)
+            .map(|d| d.id)
+    }
+
+    /// Base levels (children of the observation root `v_o`).
+    pub fn base_levels(&self) -> impl Iterator<Item = &LevelNode> {
+        self.levels.iter().filter(|l| l.depth() == 1)
+    }
+
+    /// Levels of one dimension.
+    pub fn levels_of(&self, dimension: DimensionId) -> impl Iterator<Item = &LevelNode> {
+        self.levels.iter().filter(move |l| l.dimension == dimension)
+    }
+
+    /// Children of a level (one roll-up step finer-to-coarser).
+    pub fn children(&self, id: LevelId) -> &[LevelId] {
+        &self.children[id.index()]
+    }
+
+    /// Parent of a level (`None` for base levels).
+    pub fn parent(&self, id: LevelId) -> Option<LevelId> {
+        self.parent[id.index()]
+    }
+
+    /// Levels whose final path predicate is `predicate`.
+    pub fn levels_with_last_predicate(&self, predicate: &str) -> Vec<LevelId> {
+        self.levels
+            .iter()
+            .filter(|l| l.last_predicate() == predicate)
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// All hierarchies: maximal root-to-leaf level paths, each as the list
+    /// of level ids from base to coarsest.
+    pub fn hierarchies(&self) -> Vec<Vec<LevelId>> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            if !self.children[level.id.index()].is_empty() {
+                continue; // not a leaf
+            }
+            // walk up to the base
+            let mut chain = vec![level.id];
+            let mut current = level.id;
+            while let Some(p) = self.parent[current.index()] {
+                chain.push(p);
+                current = p;
+            }
+            chain.reverse();
+            out.push(chain);
+        }
+        out
+    }
+
+    /// `true` if level `coarse` aggregates level `fine` at a coarser
+    /// granularity within the same hierarchy (path-prefix relation).
+    pub fn is_coarser(&self, coarse: LevelId, fine: LevelId) -> bool {
+        self.level(fine).is_ancestor_of(self.level(coarse))
+    }
+
+    /// Summary statistics (the Table 3 columns).
+    pub fn stats(&self) -> SchemaStats {
+        SchemaStats {
+            dimensions: self.dimensions.len(),
+            measures: self.measures.len(),
+            hierarchies: self.hierarchies().len(),
+            levels: self.levels.len(),
+            members: self.levels.iter().map(|l| l.member_count).sum(),
+            vgraph_bytes: self.heap_bytes(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let strings = |s: &str| s.len();
+        let mut bytes = self.observation_class.len();
+        for d in &self.dimensions {
+            bytes += strings(&d.predicate) + strings(&d.label) + std::mem::size_of::<Dimension>();
+        }
+        for m in &self.measures {
+            bytes += strings(&m.predicate) + strings(&m.label) + std::mem::size_of::<Measure>();
+        }
+        for l in &self.levels {
+            bytes += l.path.iter().map(|p| p.len()).sum::<usize>()
+                + l.attribute_predicates.iter().map(|p| p.len()).sum::<usize>()
+                + strings(&l.label)
+                + std::mem::size_of::<LevelNode>();
+        }
+        bytes += self
+            .children
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<LevelId>())
+            .sum::<usize>();
+        bytes += self.parent.len() * std::mem::size_of::<Option<LevelId>>();
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running-example schema: Origin (country→continent), Destination
+    /// (country→continent), Ref. Period (month→year), Age.
+    pub(crate) fn asylum_schema() -> VirtualSchemaGraph {
+        let mut v = VirtualSchemaGraph::new("http://ex/Observation");
+        v.observation_count = 15_000_000;
+        let origin = v.add_dimension("http://ex/origin", "Country of Origin");
+        let dest = v.add_dimension("http://ex/dest", "Country of Destination");
+        let period = v.add_dimension("http://ex/refPeriod", "Ref Period");
+        let age = v.add_dimension("http://ex/age", "Age Range");
+        v.add_measure("http://ex/applicants", "Num Applicants");
+        let attr = vec!["http://ex/label".to_owned()];
+        v.add_level(origin, vec!["http://ex/origin".into()], 150, attr.clone(), "Country");
+        v.add_level(
+            origin,
+            vec!["http://ex/origin".into(), "http://ex/inContinent".into()],
+            6,
+            attr.clone(),
+            "Continent",
+        );
+        v.add_level(dest, vec!["http://ex/dest".into()], 30, attr.clone(), "Country");
+        v.add_level(
+            dest,
+            vec!["http://ex/dest".into(), "http://ex/inContinent".into()],
+            2,
+            attr.clone(),
+            "Continent",
+        );
+        v.add_level(period, vec!["http://ex/refPeriod".into()], 120, attr.clone(), "Month");
+        v.add_level(
+            period,
+            vec!["http://ex/refPeriod".into(), "http://ex/inYear".into()],
+            10,
+            attr.clone(),
+            "Year",
+        );
+        v.add_level(age, vec!["http://ex/age".into()], 5, attr, "Age Group");
+        v
+    }
+
+    #[test]
+    fn structure_queries() {
+        let v = asylum_schema();
+        assert_eq!(v.dimensions().len(), 4);
+        assert_eq!(v.measures().len(), 1);
+        assert_eq!(v.levels().len(), 7);
+        assert_eq!(v.base_levels().count(), 4);
+        let origin = v.dimension_by_predicate("http://ex/origin").expect("dim");
+        assert_eq!(v.levels_of(origin).count(), 2);
+        let country = v
+            .level_by_path(&["http://ex/origin".to_owned()])
+            .expect("level");
+        let continent = v
+            .level_by_path(&["http://ex/origin".to_owned(), "http://ex/inContinent".to_owned()])
+            .expect("level");
+        assert_eq!(v.children(country), &[continent]);
+        assert_eq!(v.parent(continent), Some(country));
+        assert_eq!(v.parent(country), None);
+        assert!(v.is_coarser(continent, country));
+        assert!(!v.is_coarser(country, continent));
+    }
+
+    #[test]
+    fn hierarchies_are_maximal_paths() {
+        let v = asylum_schema();
+        let hs = v.hierarchies();
+        // leaves: origin/continent, dest/continent, period/year, age → 4
+        assert_eq!(hs.len(), 4);
+        for h in &hs {
+            assert!(v.parent(h[0]).is_none(), "starts at a base level");
+            for w in h.windows(2) {
+                assert_eq!(v.parent(w[1]), Some(w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let v = asylum_schema();
+        let s = v.stats();
+        assert_eq!(s.dimensions, 4);
+        assert_eq!(s.measures, 1);
+        assert_eq!(s.hierarchies, 4);
+        assert_eq!(s.levels, 7);
+        assert_eq!(s.members, 150 + 6 + 30 + 2 + 120 + 10 + 5);
+        assert!(s.vgraph_bytes > 0);
+    }
+
+    #[test]
+    fn levels_with_last_predicate_spans_dimensions() {
+        let v = asylum_schema();
+        let hits = v.levels_with_last_predicate("http://ex/inContinent");
+        assert_eq!(hits.len(), 2, "continent levels of origin and dest");
+    }
+
+    #[test]
+    #[should_panic(expected = "parent level not registered")]
+    fn deep_level_requires_parent() {
+        let mut v = VirtualSchemaGraph::new("http://ex/Obs");
+        let d = v.add_dimension("http://ex/p", "P");
+        v.add_level(
+            d,
+            vec!["http://ex/p".into(), "http://ex/q".into()],
+            1,
+            vec![],
+            "Bad",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_path_rejected() {
+        let mut v = VirtualSchemaGraph::new("http://ex/Obs");
+        let d = v.add_dimension("http://ex/p", "P");
+        v.add_level(d, vec!["http://ex/p".into()], 1, vec![], "L");
+        v.add_level(d, vec!["http://ex/p".into()], 1, vec![], "L2");
+    }
+}

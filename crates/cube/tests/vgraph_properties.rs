@@ -1,0 +1,128 @@
+//! Property-based tests of Virtual Schema Graph invariants: for arbitrary
+//! randomly-shaped level trees, hierarchies partition the leaves, parents
+//! are consistent with path prefixes, and stats add up.
+
+use proptest::prelude::*;
+use re2x_cube::{DimensionId, VirtualSchemaGraph};
+
+/// A random schema description: per dimension, a list of levels given as
+/// (parent index within the dimension or none, member count).
+fn arb_schema() -> impl Strategy<Value = Vec<Vec<(Option<usize>, usize)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<Option<u8>>(), 1usize..500), 1..6),
+        1..5,
+    )
+    .prop_map(|dims| {
+        dims.into_iter()
+            .map(|levels| {
+                levels
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (parent, count))| {
+                        // level 0 is the base; later levels attach to an
+                        // arbitrary earlier level
+                        let parent = if i == 0 {
+                            None
+                        } else {
+                            Some(parent.map_or(0, |p| p as usize % i))
+                        };
+                        (parent, count)
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn build(spec: &[Vec<(Option<usize>, usize)>]) -> VirtualSchemaGraph {
+    let mut v = VirtualSchemaGraph::new("http://ex/Obs");
+    for (d, levels) in spec.iter().enumerate() {
+        let dim = v.add_dimension(format!("http://ex/d{d}"), format!("D{d}"));
+        let mut paths: Vec<Vec<String>> = Vec::new();
+        for (l, (parent, count)) in levels.iter().enumerate() {
+            let mut path = match parent {
+                None => vec![format!("http://ex/d{d}")],
+                Some(p) => paths[*p].clone(),
+            };
+            if parent.is_some() {
+                path.push(format!("http://ex/d{d}/up{l}"));
+            }
+            v.add_level(dim, path.clone(), *count, vec![], format!("L{d}_{l}"));
+            paths.push(path);
+        }
+    }
+    v
+}
+
+proptest! {
+    #[test]
+    fn hierarchy_and_parent_invariants(spec in arb_schema()) {
+        let v = build(&spec);
+        let total_levels: usize = spec.iter().map(Vec::len).sum();
+        prop_assert_eq!(v.levels().len(), total_levels);
+        prop_assert_eq!(v.dimensions().len(), spec.len());
+
+        // parent relation ⇔ path-prefix relation
+        for level in v.levels() {
+            match v.parent(level.id) {
+                None => prop_assert_eq!(level.depth(), 1),
+                Some(parent) => {
+                    let p = v.level(parent);
+                    prop_assert_eq!(p.path.as_slice(), &level.path[..level.path.len() - 1]);
+                    prop_assert!(p.is_ancestor_of(level));
+                    prop_assert!(v.is_coarser(level.id, parent));
+                    prop_assert!(v.children(parent).contains(&level.id));
+                }
+            }
+        }
+
+        // hierarchies: one per leaf, each a base→leaf parent chain, and
+        // every level appears in at least one hierarchy
+        let hierarchies = v.hierarchies();
+        let leaves = v.levels().iter().filter(|l| v.children(l.id).is_empty()).count();
+        prop_assert_eq!(hierarchies.len(), leaves);
+        let mut covered = std::collections::HashSet::new();
+        for h in &hierarchies {
+            prop_assert!(v.parent(h[0]).is_none());
+            for w in h.windows(2) {
+                prop_assert_eq!(v.parent(w[1]), Some(w[0]));
+            }
+            covered.extend(h.iter().copied());
+        }
+        prop_assert_eq!(covered.len(), total_levels);
+
+        // stats add up
+        let stats = v.stats();
+        prop_assert_eq!(stats.levels, total_levels);
+        prop_assert_eq!(stats.hierarchies, leaves);
+        let member_sum: usize = spec.iter().flatten().map(|(_, c)| c).sum();
+        prop_assert_eq!(stats.members, member_sum);
+        prop_assert!(stats.vgraph_bytes > 0);
+    }
+
+    #[test]
+    fn level_lookup_by_path_is_total_and_injective(spec in arb_schema()) {
+        let v = build(&spec);
+        let mut seen = std::collections::HashSet::new();
+        for level in v.levels() {
+            let found = v.level_by_path(&level.path);
+            prop_assert_eq!(found, Some(level.id));
+            prop_assert!(seen.insert(level.path.clone()), "paths are unique");
+        }
+        prop_assert!(v.level_by_path(&["http://nowhere".to_owned()]).is_none());
+    }
+
+    #[test]
+    fn dimension_partition(spec in arb_schema()) {
+        let v = build(&spec);
+        // every level belongs to exactly the dimension its path starts at
+        for level in v.levels() {
+            let dim = v.dimension(level.dimension);
+            prop_assert_eq!(&level.path[0], &dim.predicate);
+        }
+        let per_dim: usize = (0..spec.len())
+            .map(|d| v.levels_of(DimensionId(d as u32)).count())
+            .sum();
+        prop_assert_eq!(per_dim, v.levels().len());
+    }
+}

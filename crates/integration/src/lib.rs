@@ -1,0 +1,1 @@
+//! Hosts the workspace-level integration tests and examples.

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the triple store: bulk insert throughput, pattern
+//! scans through each index, and full-text lookup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use re2x_rdf::{Graph, Literal, Term};
+
+const N: usize = 50_000;
+
+fn build_graph() -> Graph {
+    let mut g = Graph::new();
+    let dest = g.intern_iri("http://ex/dest");
+    let value = g.intern_iri("http://ex/value");
+    let label = g.intern_iri("http://ex/label");
+    let members: Vec<_> = (0..100)
+        .map(|i| {
+            let m = g.intern_iri(format!("http://ex/member/{i}"));
+            let l = g.intern_literal(Literal::simple(format!("Member {i}")));
+            g.insert_ids(m, label, l);
+            m
+        })
+        .collect();
+    for j in 0..N {
+        let obs = g.intern_iri(format!("http://ex/obs/{j}"));
+        g.insert_ids(obs, dest, members[j % members.len()]);
+        let v = g.intern_literal(Literal::integer((j % 977) as i64));
+        g.insert_ids(obs, value, v);
+    }
+    g
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(N as u64 * 2));
+    group.bench_function("bulk_insert_100k_triples", |b| {
+        b.iter_batched(Graph::new, |_g| build_graph(), BatchSize::PerIteration)
+    });
+
+    let g = build_graph();
+    let dest = g.iri_id("http://ex/dest").expect("pred");
+    let member0 = g.iri_id("http://ex/member/0").expect("member");
+
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("scan_by_predicate", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            g.for_each_matching(None, Some(dest), None, |_| n += 1);
+            n
+        })
+    });
+
+    group.throughput(Throughput::Elements((N / 100) as u64));
+    group.bench_function("scan_by_predicate_object", |b| {
+        b.iter(|| g.subjects(dest, member0).len())
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("text_exact_lookup", |b| {
+        b.iter(|| g.literals_matching_exact("Member 42").len())
+    });
+
+    group.bench_function("count_matching_wildcards", |b| {
+        b.iter(|| g.count_matching(None, None, None))
+    });
+    group.finish();
+
+    // serialization throughput
+    let mut ser = c.benchmark_group("serialization");
+    ser.sample_size(10);
+    ser.throughput(Throughput::Elements(g.len() as u64));
+    ser.bench_function("to_ntriples", |b| b.iter(|| re2x_rdf::io::to_ntriples(&g)));
+    let text = re2x_rdf::io::to_ntriples(&g);
+    ser.bench_function("parse_ntriples", |b| {
+        b.iter_batched(
+            Graph::new,
+            |mut fresh| {
+                re2x_rdf::io::parse_ntriples(&text, &mut fresh).expect("parse");
+                fresh
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    ser.finish();
+
+    // keep Term in the public surface exercised
+    let _ = Term::iri("http://ex/x");
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

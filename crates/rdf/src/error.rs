@@ -1,0 +1,67 @@
+//! Error type shared by the RDF substrate.
+
+use std::fmt;
+
+/// Errors raised while parsing or manipulating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax error while parsing a serialization format.
+    Syntax {
+        /// 1-based line number where the error was detected.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix {
+        /// 1-based line number where the error was detected.
+        line: usize,
+        /// The undeclared prefix label.
+        prefix: String,
+    },
+    /// A term id was used against an interner that does not know it.
+    UnknownTerm(u32),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            RdfError::UnknownPrefix { line, prefix } => {
+                write!(f, "unknown prefix '{prefix}:' at line {line}")
+            }
+            RdfError::UnknownTerm(id) => write!(f, "unknown term id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+impl RdfError {
+    /// Convenience constructor for syntax errors.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        RdfError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = RdfError::syntax(3, "unexpected '.'");
+        assert_eq!(e.to_string(), "syntax error at line 3: unexpected '.'");
+        let e = RdfError::UnknownPrefix {
+            line: 7,
+            prefix: "ex".into(),
+        };
+        assert_eq!(e.to_string(), "unknown prefix 'ex:' at line 7");
+        assert_eq!(RdfError::UnknownTerm(9).to_string(), "unknown term id 9");
+    }
+}

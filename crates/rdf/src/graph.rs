@@ -1,0 +1,514 @@
+//! The indexed in-memory triple store.
+//!
+//! [`Graph`] maintains three nested hash indexes (SPO, POS, OSP) so every
+//! triple-pattern access path — any combination of bound/unbound subject,
+//! predicate, object — is answered without scanning unrelated triples. This
+//! is the standard indexing scheme of native RDF stores and the property the
+//! SPARQL evaluator in `re2x-sparql` relies on for its selectivity
+//! estimates.
+
+use crate::hash::FxHashMap;
+use crate::interner::{Interner, TermId};
+use crate::term::{Literal, Term};
+use crate::text::TextIndex;
+
+/// A triple of interned term ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject.
+    pub s: TermId,
+    /// Predicate.
+    pub p: TermId,
+    /// Object.
+    pub o: TermId,
+}
+
+type TwoLevelIndex = FxHashMap<TermId, FxHashMap<TermId, Vec<TermId>>>;
+
+/// An in-memory RDF graph with full index coverage and a full-text index
+/// over its literals.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    interner: Interner,
+    /// subject → predicate → objects.
+    spo: TwoLevelIndex,
+    /// predicate → object → subjects.
+    pos: TwoLevelIndex,
+    /// object → subject → predicates.
+    osp: TwoLevelIndex,
+    len: usize,
+    text: TextIndex,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- term management -------------------------------------------------
+
+    /// Interns an arbitrary term.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        let fresh = self.interner.get(&term).is_none();
+        let is_literal_lexical = term.as_literal().map(|l| l.lexical().to_owned());
+        let id = self.interner.intern(term);
+        if fresh {
+            if let Some(lexical) = is_literal_lexical {
+                self.text.index_literal(id, &lexical);
+            }
+        }
+        id
+    }
+
+    /// Interns an IRI.
+    pub fn intern_iri(&mut self, iri: impl Into<String>) -> TermId {
+        self.intern(Term::iri(iri))
+    }
+
+    /// Interns a literal.
+    pub fn intern_literal(&mut self, literal: Literal) -> TermId {
+        self.intern(Term::Literal(literal))
+    }
+
+    /// Looks up the id of a term without interning.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Looks up the id of an IRI without interning.
+    pub fn iri_id(&self, iri: &str) -> Option<TermId> {
+        self.interner.get(&Term::iri(iri))
+    }
+
+    /// Resolves an id to its term.
+    #[inline]
+    pub fn term(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Cached numeric value of a literal term.
+    #[inline]
+    pub fn numeric_value(&self, id: TermId) -> Option<f64> {
+        self.interner.numeric_value(id)
+    }
+
+    /// Access to the underlying interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Access to the full-text index.
+    pub fn text_index(&self) -> &TextIndex {
+        &self.text
+    }
+
+    // ---- mutation ---------------------------------------------------------
+
+    /// Inserts a triple of already-interned ids. Returns `false` if it was
+    /// already present.
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let objects = self.spo.entry(s).or_default().entry(p).or_default();
+        if objects.contains(&o) {
+            return false;
+        }
+        objects.push(o);
+        self.pos.entry(p).or_default().entry(o).or_default().push(s);
+        self.osp.entry(o).or_default().entry(s).or_default().push(p);
+        self.len += 1;
+        true
+    }
+
+    /// Interns the three terms and inserts the triple.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.intern(s);
+        let p = self.intern(p);
+        let o = self.intern(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Removes a triple. Returns `false` if it was not present.
+    pub fn remove_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let Some(objects) = self.spo.get_mut(&s).and_then(|m| m.get_mut(&p)) else {
+            return false;
+        };
+        let Some(pos_o) = objects.iter().position(|&x| x == o) else {
+            return false;
+        };
+        objects.swap_remove(pos_o);
+        let subjects = self
+            .pos
+            .get_mut(&p)
+            .and_then(|m| m.get_mut(&o))
+            .expect("index invariant: pos entry exists");
+        let i = subjects.iter().position(|&x| x == s).expect("pos has s");
+        subjects.swap_remove(i);
+        let predicates = self
+            .osp
+            .get_mut(&o)
+            .and_then(|m| m.get_mut(&s))
+            .expect("index invariant: osp entry exists");
+        let i = predicates.iter().position(|&x| x == p).expect("osp has p");
+        predicates.swap_remove(i);
+        self.len -= 1;
+        true
+    }
+
+    // ---- lookup -----------------------------------------------------------
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo
+            .get(&s)
+            .and_then(|m| m.get(&p))
+            .is_some_and(|objects| objects.contains(&o))
+    }
+
+    /// Objects of `(s, p, ?)`.
+    pub fn objects(&self, s: TermId, p: TermId) -> &[TermId] {
+        self.spo
+            .get(&s)
+            .and_then(|m| m.get(&p))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Subjects of `(?, p, o)`.
+    pub fn subjects(&self, p: TermId, o: TermId) -> &[TermId] {
+        self.pos
+            .get(&p)
+            .and_then(|m| m.get(&o))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Predicates of `(s, ?, o)`.
+    pub fn predicates_between(&self, s: TermId, o: TermId) -> &[TermId] {
+        self.osp
+            .get(&o)
+            .and_then(|m| m.get(&s))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Distinct predicates leaving `s`.
+    pub fn predicates_from(&self, s: TermId) -> Vec<TermId> {
+        self.spo
+            .get(&s)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Distinct predicates arriving at `o`.
+    pub fn predicates_into(&self, o: TermId) -> Vec<TermId> {
+        let mut preds: Vec<TermId> = self
+            .osp
+            .get(&o)
+            .map(|m| m.values().flatten().copied().collect())
+            .unwrap_or_default();
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+
+    /// Distinct objects appearing with predicate `p` (POS index keys).
+    pub fn objects_of_predicate(&self, p: TermId) -> Vec<TermId> {
+        self.pos
+            .get(&p)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of triples with predicate `p`.
+    pub fn predicate_cardinality(&self, p: TermId) -> usize {
+        self.pos
+            .get(&p)
+            .map_or(0, |m| m.values().map(Vec::len).sum())
+    }
+
+    /// Number of triples matching a pattern (`None` = wildcard) without
+    /// materializing them.
+    pub fn count_matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains_ids(s, p, o)),
+            (Some(s), Some(p), None) => self.objects(s, p).len(),
+            (None, Some(p), Some(o)) => self.subjects(p, o).len(),
+            (Some(s), None, Some(o)) => self.predicates_between(s, o).len(),
+            (Some(s), None, None) => self
+                .spo
+                .get(&s)
+                .map_or(0, |m| m.values().map(Vec::len).sum()),
+            (None, Some(p), None) => self.predicate_cardinality(p),
+            (None, None, Some(o)) => self
+                .osp
+                .get(&o)
+                .map_or(0, |m| m.values().map(Vec::len).sum()),
+            (None, None, None) => self.len,
+        }
+    }
+
+    /// Invokes `f` for every triple matching the pattern (`None` =
+    /// wildcard). Uses the most selective index for the bound positions.
+    pub fn for_each_matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        mut f: impl FnMut(Triple),
+    ) {
+        self.for_each_matching_until(s, p, o, |t| {
+            f(t);
+            false
+        });
+    }
+
+    /// Like [`Graph::for_each_matching`], but stops as soon as `f` returns
+    /// `true` (existence probes stay lazy). Returns whether iteration was
+    /// stopped early.
+    pub fn for_each_matching_until(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        mut f: impl FnMut(Triple) -> bool,
+    ) -> bool {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains_ids(s, p, o) {
+                    return f(Triple { s, p, o });
+                }
+                false
+            }
+            (Some(s), Some(p), None) => {
+                for &o in self.objects(s, p) {
+                    if f(Triple { s, p, o }) {
+                        return true;
+                    }
+                }
+                false
+            }
+            (None, Some(p), Some(o)) => {
+                for &s in self.subjects(p, o) {
+                    if f(Triple { s, p, o }) {
+                        return true;
+                    }
+                }
+                false
+            }
+            (Some(s), None, Some(o)) => {
+                for &p in self.predicates_between(s, o) {
+                    if f(Triple { s, p, o }) {
+                        return true;
+                    }
+                }
+                false
+            }
+            (Some(s), None, None) => {
+                if let Some(by_p) = self.spo.get(&s) {
+                    for (&p, objects) in by_p {
+                        for &o in objects {
+                            if f(Triple { s, p, o }) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            (None, Some(p), None) => {
+                if let Some(by_o) = self.pos.get(&p) {
+                    for (&o, subjects) in by_o {
+                        for &s in subjects {
+                            if f(Triple { s, p, o }) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            (None, None, Some(o)) => {
+                if let Some(by_s) = self.osp.get(&o) {
+                    for (&s, predicates) in by_s {
+                        for &p in predicates {
+                            if f(Triple { s, p, o }) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+            (None, None, None) => {
+                for (&s, by_p) in &self.spo {
+                    for (&p, objects) in by_p {
+                        for &o in objects {
+                            if f(Triple { s, p, o }) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Collects the triples matching a pattern.
+    pub fn matching(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.for_each_matching(s, p, o, |t| out.push(t));
+        out
+    }
+
+    /// Iterates every triple.
+    pub fn iter(&self) -> Vec<Triple> {
+        self.matching(None, None, None)
+    }
+
+    /// Literal terms whose normalized lexical form equals the query.
+    pub fn literals_matching_exact(&self, query: &str) -> Vec<TermId> {
+        self.text.search_exact(query).to_vec()
+    }
+
+    /// Literal terms containing all tokens of the query.
+    pub fn literals_matching_keywords(&self, query: &str) -> Vec<TermId> {
+        self.text.search_all_tokens(query)
+    }
+
+    /// Approximate heap footprint in bytes (store + interner + text index).
+    pub fn heap_bytes(&self) -> usize {
+        fn index_bytes(index: &TwoLevelIndex) -> usize {
+            index
+                .values()
+                .map(|m| {
+                    m.values()
+                        .map(|v| v.capacity() * std::mem::size_of::<TermId>() + 16)
+                        .sum::<usize>()
+                        + 16
+                })
+                .sum()
+        }
+        index_bytes(&self.spo)
+            + index_bytes(&self.pos)
+            + index_bytes(&self.osp)
+            + self.interner.heap_bytes()
+            + self.text.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Graph, TermId, TermId, TermId, TermId, TermId) {
+        let mut g = Graph::new();
+        let obs = g.intern_iri("http://ex/obs1");
+        let origin = g.intern_iri("http://ex/countryOrigin");
+        let syria = g.intern_iri("http://ex/Syria");
+        let label = g.intern_iri("http://ex/hasLabel");
+        let lit = g.intern_literal(Literal::simple("Syria"));
+        assert!(g.insert_ids(obs, origin, syria));
+        assert!(g.insert_ids(syria, label, lit));
+        (g, obs, origin, syria, label, lit)
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let (mut g, obs, origin, syria, ..) = sample();
+        assert_eq!(g.len(), 2);
+        assert!(!g.insert_ids(obs, origin, syria));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn all_eight_access_paths_agree() {
+        let (g, obs, origin, syria, label, lit) = sample();
+        let all = g.iter();
+        assert_eq!(all.len(), 2);
+        // fully bound
+        assert_eq!(g.matching(Some(obs), Some(origin), Some(syria)).len(), 1);
+        assert!(g.matching(Some(obs), Some(origin), Some(lit)).is_empty());
+        // two bound
+        assert_eq!(g.matching(Some(obs), Some(origin), None).len(), 1);
+        assert_eq!(g.matching(None, Some(label), Some(lit)).len(), 1);
+        assert_eq!(g.matching(Some(syria), None, Some(lit)).len(), 1);
+        // one bound
+        assert_eq!(g.matching(Some(syria), None, None).len(), 1);
+        assert_eq!(g.matching(None, Some(origin), None).len(), 1);
+        assert_eq!(g.matching(None, None, Some(syria)).len(), 1);
+        // counts agree with materialization
+        for s in [None, Some(obs)] {
+            for p in [None, Some(origin)] {
+                for o in [None, Some(syria)] {
+                    assert_eq!(g.count_matching(s, p, o), g.matching(s, p, o).len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn helper_accessors() {
+        let (g, obs, origin, syria, label, lit) = sample();
+        assert_eq!(g.objects(obs, origin), &[syria]);
+        assert_eq!(g.subjects(label, lit), &[syria]);
+        assert_eq!(g.predicates_between(obs, syria), &[origin]);
+        assert_eq!(g.predicates_from(syria), vec![label]);
+        assert_eq!(g.predicates_into(syria), vec![origin]);
+        assert_eq!(g.predicate_cardinality(origin), 1);
+        assert_eq!(g.predicate_cardinality(lit), 0);
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let (mut g, obs, origin, syria, ..) = sample();
+        assert!(g.remove_ids(obs, origin, syria));
+        assert!(!g.remove_ids(obs, origin, syria));
+        assert_eq!(g.len(), 1);
+        assert!(g.matching(None, Some(origin), None).is_empty());
+        assert!(g.matching(None, None, Some(syria)).is_empty());
+        assert!(g.matching(Some(obs), None, None).is_empty());
+    }
+
+    #[test]
+    fn text_index_wired_to_interning() {
+        let (g, .., lit) = sample();
+        assert_eq!(g.literals_matching_exact("syria"), vec![lit]);
+        assert_eq!(g.literals_matching_keywords("SYRIA"), vec![lit]);
+        assert!(g.literals_matching_exact("germany").is_empty());
+    }
+
+    #[test]
+    fn reinterning_literal_does_not_duplicate_text_entries() {
+        let mut g = Graph::new();
+        let a = g.intern_literal(Literal::simple("Asia"));
+        let b = g.intern_literal(Literal::simple("Asia"));
+        assert_eq!(a, b);
+        assert_eq!(g.literals_matching_exact("asia"), vec![a]);
+    }
+
+    #[test]
+    fn insert_terms_convenience() {
+        let mut g = Graph::new();
+        assert!(g.insert(
+            Term::iri("http://ex/s"),
+            Term::iri("http://ex/p"),
+            Term::from(Literal::integer(5)),
+        ));
+        assert_eq!(g.len(), 1);
+        let o = g.iter()[0].o;
+        assert_eq!(g.numeric_value(o), Some(5.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Full-text index over literal values.
+//!
+//! The paper resolves user-provided example keywords ("Germany", "2014") to
+//! dimension-member IRIs through the triplestore's full-text index
+//! (Algorithm 1, line 3). This module provides the equivalent facility:
+//! an inverted token index plus an exact normalized-string index over every
+//! literal interned in a [`crate::Graph`].
+
+use crate::hash::FxHashMap;
+use crate::interner::TermId;
+
+/// Splits a string into lowercase alphanumeric tokens.
+///
+/// `"Country of Destination"` → `["country", "of", "destination"]`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Normalizes a string for exact matching: lowercased tokens joined by a
+/// single space, so `"  North   America "` and `"north america"` compare
+/// equal.
+pub fn normalize(text: &str) -> String {
+    tokenize(text).join(" ")
+}
+
+/// Inverted index from tokens (and whole normalized strings) to the literal
+/// terms containing them.
+#[derive(Debug, Default, Clone)]
+pub struct TextIndex {
+    /// token → sorted, deduplicated literal term ids.
+    postings: FxHashMap<Box<str>, Vec<TermId>>,
+    /// normalized full string → literal term ids.
+    exact: FxHashMap<Box<str>, Vec<TermId>>,
+    indexed: usize,
+}
+
+impl TextIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes a literal's lexical form under its term id.
+    ///
+    /// Callers must index each literal id at most once (the graph indexes a
+    /// literal exactly when it is first interned).
+    pub fn index_literal(&mut self, id: TermId, lexical: &str) {
+        let tokens = tokenize(lexical);
+        for token in &tokens {
+            let posting = self
+                .postings
+                .entry(token.clone().into_boxed_str())
+                .or_default();
+            if posting.last() != Some(&id) {
+                posting.push(id);
+            }
+        }
+        let key = tokens.join(" ").into_boxed_str();
+        let exact = self.exact.entry(key).or_default();
+        if exact.last() != Some(&id) {
+            exact.push(id);
+        }
+        self.indexed += 1;
+    }
+
+    /// Literals whose normalized lexical form equals the normalized query.
+    pub fn search_exact(&self, query: &str) -> &[TermId] {
+        self.exact
+            .get(normalize(query).as_str())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Literals containing *all* tokens of the query (conjunctive keyword
+    /// search, the classic full-text contract).
+    pub fn search_all_tokens(&self, query: &str) -> Vec<TermId> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        // Intersect postings, starting from the rarest token.
+        let mut lists: Vec<&Vec<TermId>> = Vec::with_capacity(tokens.len());
+        for token in &tokens {
+            match self.postings.get(token.as_str()) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<TermId> = lists[0].clone();
+        for list in &lists[1..] {
+            result.retain(|id| list.binary_search(id).is_ok());
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Number of literals indexed.
+    pub fn len(&self) -> usize {
+        self.indexed
+    }
+
+    /// `true` if nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.indexed == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.postings
+            .iter()
+            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<TermId>())
+            .sum::<usize>()
+            + self
+                .exact
+                .iter()
+                .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<TermId>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_on_non_alphanumerics() {
+        assert_eq!(tokenize("Country of Destination"), ["country", "of", "destination"]);
+        assert_eq!(tokenize("October-2014"), ["october", "2014"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("a_b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace_and_case() {
+        assert_eq!(normalize("  North   AMERICA "), "north america");
+        assert_eq!(normalize("north america"), "north america");
+    }
+
+    fn build() -> TextIndex {
+        let mut idx = TextIndex::new();
+        idx.index_literal(TermId(0), "Germany");
+        idx.index_literal(TermId(1), "October 2014");
+        idx.index_literal(TermId(2), "2014");
+        idx.index_literal(TermId(3), "November 2014");
+        idx
+    }
+
+    #[test]
+    fn exact_search_matches_whole_normalized_string() {
+        let idx = build();
+        assert_eq!(idx.search_exact("germany"), &[TermId(0)]);
+        assert_eq!(idx.search_exact("2014"), &[TermId(2)]);
+        assert_eq!(idx.search_exact("OCTOBER 2014"), &[TermId(1)]);
+        assert!(idx.search_exact("december 2014").is_empty());
+    }
+
+    #[test]
+    fn token_search_is_conjunctive() {
+        let idx = build();
+        let hits = idx.search_all_tokens("2014");
+        assert_eq!(hits, vec![TermId(1), TermId(2), TermId(3)]);
+        assert_eq!(idx.search_all_tokens("october 2014"), vec![TermId(1)]);
+        assert!(idx.search_all_tokens("october 2015").is_empty());
+        assert!(idx.search_all_tokens("").is_empty());
+    }
+
+    #[test]
+    fn repeated_token_in_one_literal_indexed_once() {
+        let mut idx = TextIndex::new();
+        idx.index_literal(TermId(5), "year 2014 month 2014");
+        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(5)]);
+    }
+
+    #[test]
+    fn heap_bytes_nonzero_after_indexing() {
+        assert!(build().heap_bytes() > 0);
+        assert_eq!(build().len(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Well-known vocabulary IRIs used across the system.
+
+/// The RDF core vocabulary.
+pub mod rdf {
+    /// `rdf:type`.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdf:langString`, the implicit datatype of language-tagged literals.
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+/// The RDF Schema vocabulary.
+pub mod rdfs {
+    /// `rdfs:label`, the canonical human-readable name predicate.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:comment`.
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:decimal`.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:float`.
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// `xsd:long`.
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    /// `xsd:int`.
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:date`.
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    /// `xsd:gYear`.
+    pub const G_YEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+
+    /// `true` for the XSD numeric datatypes whose lexical forms we can
+    /// aggregate over.
+    pub fn is_numeric(datatype: &str) -> bool {
+        matches!(datatype, INTEGER | DECIMAL | DOUBLE | FLOAT | LONG | INT)
+    }
+}
+
+/// The W3C RDF Data Cube vocabulary, the standard way statistical data is
+/// published in RDF and the default observation class of the paper.
+pub mod qb {
+    /// `qb:Observation` — the class of fact nodes.
+    pub const OBSERVATION: &str = "http://purl.org/linked-data/cube#Observation";
+    /// `qb:DataSet`.
+    pub const DATA_SET: &str = "http://purl.org/linked-data/cube#DataSet";
+    /// `qb:dataSet` — links observations to their dataset.
+    pub const DATASET_PROP: &str = "http://purl.org/linked-data/cube#dataSet";
+    /// `qb:DimensionProperty`.
+    pub const DIMENSION_PROPERTY: &str = "http://purl.org/linked-data/cube#DimensionProperty";
+    /// `qb:MeasureProperty`.
+    pub const MEASURE_PROPERTY: &str = "http://purl.org/linked-data/cube#MeasureProperty";
+    /// `qb:AttributeProperty`.
+    pub const ATTRIBUTE_PROPERTY: &str = "http://purl.org/linked-data/cube#AttributeProperty";
+}
+
+/// The QB4OLAP extension vocabulary (dimension hierarchies and levels).
+pub mod qb4o {
+    /// `qb4o:LevelProperty` — the class of hierarchy levels.
+    pub const LEVEL_PROPERTY: &str = "http://purl.org/qb4olap/cubes#LevelProperty";
+    /// `qb4o:memberOf` — links a member to its level.
+    pub const MEMBER_OF: &str = "http://purl.org/qb4olap/cubes#memberOf";
+    /// `qb4o:inHierarchy`.
+    pub const IN_HIERARCHY: &str = "http://purl.org/qb4olap/cubes#inHierarchy";
+    /// `qb4o:parentLevel` — coarser-level link between levels.
+    pub const PARENT_LEVEL: &str = "http://purl.org/qb4olap/cubes#parentLevel";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_datatype_classification() {
+        assert!(xsd::is_numeric(xsd::INTEGER));
+        assert!(xsd::is_numeric(xsd::DOUBLE));
+        assert!(xsd::is_numeric(xsd::DECIMAL));
+        assert!(!xsd::is_numeric(xsd::STRING));
+        assert!(!xsd::is_numeric(xsd::DATE));
+        assert!(!xsd::is_numeric(xsd::BOOLEAN));
+    }
+
+    #[test]
+    fn vocab_iris_are_well_formed() {
+        for iri in [
+            rdf::TYPE,
+            rdfs::LABEL,
+            qb::OBSERVATION,
+            qb4o::LEVEL_PROPERTY,
+        ] {
+            assert!(iri.starts_with("http://"), "{iri}");
+            assert!(!iri.contains(' '));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the store's core invariants: index agreement
+//! under arbitrary insert/remove interleavings, serialization round-trips
+//! for arbitrary terms, and text-index consistency.
+
+use proptest::prelude::*;
+use re2x_rdf::io::{parse_ntriples, to_ntriples};
+use re2x_rdf::{Graph, Literal, Term};
+
+// ---- generators -----------------------------------------------------------
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    // IRIs without angle brackets / whitespace / control characters
+    "[a-zA-Z0-9_.#/:-]{1,24}".prop_map(|s| Term::iri(format!("http://ex/{s}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // simple strings incl. characters needing escapes
+        "[ -~]{0,16}".prop_map(Literal::simple),
+        any::<i64>().prop_map(Literal::integer),
+        (-1.0e9f64..1.0e9).prop_map(Literal::double),
+        ("[ -~]{1,8}", "[a-z]{2}").prop_map(|(s, l)| Literal::tagged(s, l)),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        4 => arb_iri(),
+        1 => "[a-zA-Z0-9]{1,8}".prop_map(Term::blank),
+        3 => arb_literal().prop_map(Term::from),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = (Term, Term, Term)> {
+    (arb_iri(), arb_iri(), arb_term())
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Term, Term, Term),
+    /// Remove the i-th triple currently in the graph (mod size).
+    RemoveNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => arb_triple().prop_map(|(s, p, o)| Op::Insert(s, p, o)),
+            1 => (0usize..64).prop_map(Op::RemoveNth),
+        ],
+        1..60,
+    )
+}
+
+// ---- properties -----------------------------------------------------------
+
+proptest! {
+    /// After any interleaving of inserts and removes, the graph agrees
+    /// with a naive set-of-triples model on every access path.
+    #[test]
+    fn indexes_agree_with_set_model(ops in arb_ops()) {
+        let mut graph = Graph::new();
+        let mut model: Vec<(Term, Term, Term)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(s, p, o) => {
+                    let inserted = graph.insert(s.clone(), p.clone(), o.clone());
+                    let fresh = !model.contains(&(s.clone(), p.clone(), o.clone()));
+                    prop_assert_eq!(inserted, fresh);
+                    if fresh {
+                        model.push((s, p, o));
+                    }
+                }
+                Op::RemoveNth(i) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let (s, p, o) = model.remove(i % model.len());
+                    let sid = graph.term_id(&s).expect("inserted");
+                    let pid = graph.term_id(&p).expect("inserted");
+                    let oid = graph.term_id(&o).expect("inserted");
+                    prop_assert!(graph.remove_ids(sid, pid, oid));
+                }
+            }
+        }
+        prop_assert_eq!(graph.len(), model.len());
+        // every model triple is found through every single-bound pattern
+        for (s, p, o) in &model {
+            let sid = graph.term_id(s).expect("known");
+            let pid = graph.term_id(p).expect("known");
+            let oid = graph.term_id(o).expect("known");
+            prop_assert!(graph.contains_ids(sid, pid, oid));
+            prop_assert!(graph.objects(sid, pid).contains(&oid));
+            prop_assert!(graph.subjects(pid, oid).contains(&sid));
+            prop_assert!(graph.predicates_between(sid, oid).contains(&pid));
+        }
+        // pattern counts are consistent with full materialization
+        prop_assert_eq!(graph.count_matching(None, None, None), model.len());
+        prop_assert_eq!(graph.iter().len(), model.len());
+    }
+
+    /// N-Triples serialization round-trips arbitrary graphs bytewise.
+    #[test]
+    fn ntriples_round_trip(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+        let mut graph = Graph::new();
+        for (s, p, o) in triples {
+            graph.insert(s, p, o);
+        }
+        let text = to_ntriples(&graph);
+        let mut reloaded = Graph::new();
+        let inserted = parse_ntriples(&text, &mut reloaded).expect("reparse");
+        prop_assert_eq!(inserted, graph.len());
+        prop_assert_eq!(to_ntriples(&reloaded), text);
+    }
+
+    /// Exact text search finds precisely the literals whose normalized
+    /// form matches.
+    #[test]
+    fn text_index_exact_matches_normalization(
+        literals in proptest::collection::vec("[a-zA-Z0-9 ]{1,12}", 1..20),
+        probe in 0usize..20,
+    ) {
+        let mut graph = Graph::new();
+        let subject = graph.intern_iri("http://ex/s");
+        let pred = graph.intern_iri("http://ex/label");
+        for lit in &literals {
+            let id = graph.intern_literal(Literal::simple(lit.clone()));
+            graph.insert_ids(subject, pred, id);
+        }
+        let needle = &literals[probe % literals.len()];
+        let hits = graph.literals_matching_exact(needle);
+        // expected: the number of *distinct literal terms* whose
+        // normalized lexical form equals the needle's (identical strings
+        // intern to one term; differently-spaced variants stay distinct)
+        let mut expected: Vec<&String> = literals
+            .iter()
+            .filter(|l| re2x_rdf::text::normalize(l) == re2x_rdf::text::normalize(needle))
+            .collect();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(hits.len(), expected.len());
+    }
+
+    /// Numeric literal caching agrees with on-demand parsing.
+    #[test]
+    fn numeric_cache_is_correct(n in any::<i64>()) {
+        let mut graph = Graph::new();
+        let id = graph.intern_literal(Literal::integer(n));
+        prop_assert_eq!(graph.numeric_value(id), Some(n as f64));
+    }
+}

@@ -1,0 +1,600 @@
+//! Abstract syntax tree for the SPARQL subset.
+//!
+//! The subset is exactly what RE²xOLAP emits and consumes (see Figure 2 of
+//! the paper): `SELECT`/`ASK` forms, basic graph patterns whose predicates
+//! may be *sequence property paths* (`<p1> / <p2>`), `FILTER`s, `GROUP BY`
+//! with the standard aggregates, `HAVING`, `ORDER BY`, `DISTINCT`,
+//! `LIMIT`/`OFFSET`.
+
+use re2x_rdf::Literal;
+use std::fmt;
+
+/// A term position in a triple pattern: variable, IRI, or literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermPattern {
+    /// `?name` (stored without the `?`).
+    Var(String),
+    /// `<iri>`.
+    Iri(String),
+    /// A literal constant.
+    Literal(Literal),
+}
+
+impl TermPattern {
+    /// Variable name if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The predicate position of a triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// A non-empty sequence path of IRIs: `<p1> / <p2> / …`. A plain IRI
+    /// predicate is a one-element path.
+    Path(Vec<String>),
+    /// A predicate variable `?p` (used by the schema-discovery crawler).
+    Var(String),
+}
+
+impl Predicate {
+    /// The path if this is a (possibly one-element) IRI path.
+    pub fn as_path(&self) -> Option<&[String]> {
+        match self {
+            Predicate::Path(p) => Some(p),
+            Predicate::Var(_) => None,
+        }
+    }
+
+    /// The variable name if the predicate is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Predicate::Var(v) => Some(v),
+            Predicate::Path(_) => None,
+        }
+    }
+}
+
+/// A triple pattern whose predicate is either a sequence path of IRIs or a
+/// variable.
+///
+/// `?obs <Country_Origin> / <In_Continent> ?origin` has a two-element path;
+/// a plain triple pattern has a one-element path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: TermPattern,
+    /// Predicate position.
+    pub predicate: Predicate,
+    /// Object position.
+    pub object: TermPattern,
+}
+
+impl TriplePattern {
+    /// A single-predicate pattern.
+    pub fn new(subject: TermPattern, predicate: impl Into<String>, object: TermPattern) -> Self {
+        TriplePattern {
+            subject,
+            predicate: Predicate::Path(vec![predicate.into()]),
+            object,
+        }
+    }
+
+    /// A sequence-path pattern.
+    pub fn with_path(subject: TermPattern, path: Vec<String>, object: TermPattern) -> Self {
+        assert!(!path.is_empty(), "property path must be non-empty");
+        TriplePattern {
+            subject,
+            predicate: Predicate::Path(path),
+            object,
+        }
+    }
+
+    /// A pattern with a predicate variable.
+    pub fn with_pred_var(
+        subject: TermPattern,
+        predicate: impl Into<String>,
+        object: TermPattern,
+    ) -> Self {
+        TriplePattern {
+            subject,
+            predicate: Predicate::Var(predicate.into()),
+            object,
+        }
+    }
+}
+
+/// One element of a `WHERE` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternElement {
+    /// A (possibly path-)triple pattern.
+    Triple(TriplePattern),
+    /// A `FILTER (expr)` constraint.
+    Filter(Expr),
+    /// An `OPTIONAL { … }` block (left join).
+    Optional(Vec<PatternElement>),
+    /// A `{ … } UNION { … }` alternation (two or more branches).
+    Union(Vec<Vec<PatternElement>>),
+}
+
+/// Aggregate functions supported in `SELECT` and `HAVING`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `SUM`.
+    Sum,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+    /// `AVG`.
+    Avg,
+    /// `COUNT`.
+    Count,
+    /// `COUNT(DISTINCT …)`.
+    CountDistinct,
+}
+
+impl AggFunc {
+    /// All aggregate functions, in the order the paper lists them
+    /// (max, min, avg, sum) plus count.
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Max,
+        AggFunc::Min,
+        AggFunc::Avg,
+        AggFunc::Sum,
+        AggFunc::Count,
+    ];
+
+    /// The four numeric aggregation functions the paper instantiates for
+    /// every measure ("max, min, avg, sum").
+    pub const NUMERIC: [AggFunc; 4] = [AggFunc::Max, AggFunc::Min, AggFunc::Avg, AggFunc::Sum];
+
+    /// Upper-case SPARQL keyword (`COUNT(DISTINCT …)` renders its DISTINCT
+    /// inside the parentheses — see the query printer).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+            AggFunc::Count | AggFunc::CountDistinct => "COUNT",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// SPARQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl ArithOp {
+    /// SPARQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `STR(term)` — lexical/IRI string form.
+    Str,
+    /// `LCASE(str)`.
+    LCase,
+    /// `CONTAINS(haystack, needle)`.
+    Contains,
+    /// `BOUND(?var)`.
+    Bound,
+    /// `ABS(num)`.
+    Abs,
+    /// `isIRI(term)`.
+    IsIri,
+    /// `isLiteral(term)`.
+    IsLiteral,
+    /// `isNumeric(term)`.
+    IsNumeric,
+}
+
+impl Func {
+    /// SPARQL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Func::Str => "STR",
+            Func::LCase => "LCASE",
+            Func::Contains => "CONTAINS",
+            Func::Bound => "BOUND",
+            Func::Abs => "ABS",
+            Func::IsIri => "isIRI",
+            Func::IsLiteral => "isLiteral",
+            Func::IsNumeric => "isNumeric",
+        }
+    }
+}
+
+/// Expressions used in `FILTER` and `HAVING`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable reference.
+    Var(String),
+    /// IRI constant.
+    Iri(String),
+    /// Literal constant.
+    Literal(Literal),
+    /// Bare numeric constant.
+    Number(f64),
+    /// Boolean constant.
+    Bool(bool),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// `expr IN (e1, e2, …)`.
+    In(Box<Expr>, Vec<Expr>),
+    /// Built-in function call.
+    Call(Func, Vec<Expr>),
+    /// Aggregate call — legal only in `SELECT` items and `HAVING`.
+    Agg(AggFunc, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `left op right` comparison.
+    pub fn cmp(left: Expr, op: CmpOp, right: Expr) -> Expr {
+        Expr::Cmp(Box::new(left), op, Box::new(right))
+    }
+
+    /// Convenience: variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience: conjunction of a non-empty list.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+        let mut acc = exprs.pop()?;
+        while let Some(e) = exprs.pop() {
+            acc = Expr::And(Box::new(e), Box::new(acc));
+        }
+        Some(acc)
+    }
+
+    /// Collects the variables mentioned anywhere in the expression.
+    pub fn variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Iri(_) | Expr::Literal(_) | Expr::Number(_) | Expr::Bool(_) => {}
+            Expr::Not(e) | Expr::Agg(_, e) => e.variables(out),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+            Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) => {
+                a.variables(out);
+                b.variables(out);
+            }
+            Expr::In(e, list) => {
+                e.variables(out);
+                for item in list {
+                    item.variables(out);
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.variables(out);
+                }
+            }
+        }
+    }
+
+    /// `true` if the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg(..) => true,
+            Expr::Var(_) | Expr::Iri(_) | Expr::Literal(_) | Expr::Number(_) | Expr::Bool(_) => {
+                false
+            }
+            Expr::Not(e) => e.has_aggregate(),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) => {
+                a.has_aggregate() || b.has_aggregate()
+            }
+            Expr::In(e, list) => e.has_aggregate() || list.iter().any(Expr::has_aggregate),
+            Expr::Call(_, args) => args.iter().any(Expr::has_aggregate),
+        }
+    }
+}
+
+/// One projected column of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain variable.
+    Var(String),
+    /// `(AGG(?expr) AS ?alias)` — `alias` names the output column.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated expression (usually a variable).
+        expr: Expr,
+        /// Output column name (without `?`).
+        alias: String,
+    },
+}
+
+impl SelectItem {
+    /// The output column name of this item.
+    pub fn name(&self) -> &str {
+        match self {
+            SelectItem::Var(v) => v,
+            SelectItem::Agg { alias, .. } => alias,
+        }
+    }
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// `ASC` (default).
+    Asc,
+    /// `DESC`.
+    Desc,
+}
+
+/// A sort key: a projected column name and a direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Projected column name (a plain variable or an aggregate alias).
+    pub column: String,
+    /// Direction.
+    pub order: Order,
+}
+
+/// Query form: result rows or a boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryForm {
+    /// `SELECT`.
+    Select,
+    /// `ASK` — true iff the pattern has at least one solution.
+    Ask,
+}
+
+/// A parsed/constructed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT` vs `ASK`.
+    pub form: QueryForm,
+    /// Projection; empty means `SELECT *`.
+    pub select: Vec<SelectItem>,
+    /// `DISTINCT` modifier.
+    pub distinct: bool,
+    /// `WHERE` block contents.
+    pub wher: Vec<PatternElement>,
+    /// `GROUP BY` variables.
+    pub group_by: Vec<String>,
+    /// `HAVING` constraint (may reference aggregates).
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// An empty `SELECT *` query over the given pattern elements.
+    pub fn select_all(wher: Vec<PatternElement>) -> Self {
+        Query {
+            form: QueryForm::Select,
+            select: Vec::new(),
+            distinct: false,
+            wher,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// An `ASK` query over the given pattern elements.
+    pub fn ask(wher: Vec<PatternElement>) -> Self {
+        Query {
+            form: QueryForm::Ask,
+            ..Query::select_all(wher)
+        }
+    }
+
+    /// `true` if the query aggregates (has a GROUP BY or an aggregate in
+    /// the projection).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self
+                .select
+                .iter()
+                .any(|i| matches!(i, SelectItem::Agg { .. }))
+    }
+
+    /// Triple patterns of the WHERE block, including those nested inside
+    /// `OPTIONAL` and `UNION`, in textual order.
+    pub fn triple_patterns(&self) -> impl Iterator<Item = &TriplePattern> {
+        fn collect<'a>(elements: &'a [PatternElement], out: &mut Vec<&'a TriplePattern>) {
+            for e in elements {
+                match e {
+                    PatternElement::Triple(t) => out.push(t),
+                    PatternElement::Filter(_) => {}
+                    PatternElement::Optional(inner) => collect(inner, out),
+                    PatternElement::Union(branches) => {
+                        for branch in branches {
+                            collect(branch, out);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.wher, &mut out);
+        out.into_iter()
+    }
+
+    /// Filter expressions of the WHERE block (top level only; filters
+    /// inside `OPTIONAL`/`UNION` are scoped to their block).
+    pub fn filters(&self) -> impl Iterator<Item = &Expr> {
+        self.wher.iter().filter_map(|e| match e {
+            PatternElement::Filter(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All variables appearing in triple patterns (nested blocks
+    /// included), in first-seen order.
+    pub fn pattern_variables(&self) -> Vec<String> {
+        let mut vars = Vec::new();
+        let mut push = |v: &str| {
+            if !vars.iter().any(|x: &String| x == v) {
+                vars.push(v.to_owned());
+            }
+        };
+        for t in self.triple_patterns() {
+            if let Some(v) = t.subject.as_var() {
+                push(v);
+            }
+            if let Some(v) = t.predicate.as_var() {
+                push(v);
+            }
+            if let Some(v) = t.object.as_var() {
+                push(v);
+            }
+        }
+        vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> TermPattern {
+        TermPattern::Var(name.into())
+    }
+
+    #[test]
+    fn pattern_variables_in_order_without_duplicates() {
+        let q = Query::select_all(vec![
+            PatternElement::Triple(TriplePattern::new(v("obs"), "http://ex/p", v("x"))),
+            PatternElement::Triple(TriplePattern::new(v("obs"), "http://ex/q", v("y"))),
+            PatternElement::Triple(TriplePattern::with_pred_var(v("x"), "p", v("z"))),
+        ]);
+        assert_eq!(q.pattern_variables(), vec!["obs", "x", "y", "p", "z"]);
+    }
+
+    #[test]
+    fn expr_variable_collection() {
+        let e = Expr::And(
+            Box::new(Expr::cmp(Expr::var("a"), CmpOp::Gt, Expr::Number(1.0))),
+            Box::new(Expr::In(
+                Box::new(Expr::var("b")),
+                vec![Expr::var("a"), Expr::Iri("http://ex/x".into())],
+            )),
+        );
+        let mut vars = Vec::new();
+        e.variables(&mut vars);
+        assert_eq!(vars, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let plain = Expr::cmp(Expr::var("x"), CmpOp::Eq, Expr::Number(0.0));
+        assert!(!plain.has_aggregate());
+        let agg = Expr::cmp(
+            Expr::Agg(AggFunc::Sum, Box::new(Expr::var("x"))),
+            CmpOp::Gt,
+            Expr::Number(10.0),
+        );
+        assert!(agg.has_aggregate());
+
+        let mut q = Query::select_all(vec![]);
+        assert!(!q.is_aggregate());
+        q.select.push(SelectItem::Agg {
+            func: AggFunc::Sum,
+            expr: Expr::var("m"),
+            alias: "total".into(),
+        });
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn and_all_combines_left_to_right() {
+        assert_eq!(Expr::and_all(vec![]), None);
+        let single = Expr::and_all(vec![Expr::Bool(true)]).expect("one");
+        assert_eq!(single, Expr::Bool(true));
+        let combined =
+            Expr::and_all(vec![Expr::Bool(true), Expr::Bool(false)]).expect("two");
+        assert!(matches!(combined, Expr::And(..)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_path_rejected() {
+        let _ = TriplePattern::with_path(v("s"), vec![], v("o"));
+    }
+}

@@ -1,0 +1,233 @@
+//! The SPARQL endpoint seam.
+//!
+//! RE²xOLAP interacts with the triplestore *only* through a standard SPARQL
+//! interface (the paper runs against Virtuoso). [`SparqlEndpoint`] is that
+//! seam; [`LocalEndpoint`] implements it over an in-memory [`Graph`] and
+//! additionally records per-query statistics and can inject an artificial
+//! per-query latency, which the experiment harness uses to reproduce the
+//! paper's observations about endpoint performance dominating bootstrap and
+//! refinement costs.
+
+use crate::ast::Query;
+use crate::error::SparqlError;
+use crate::eval::{evaluate, evaluate_ask};
+use crate::parser::parse_query;
+use crate::value::Solutions;
+use parking_lot::Mutex;
+use re2x_rdf::{Graph, TermId};
+use std::time::{Duration, Instant};
+
+/// Cumulative statistics of an endpoint.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Number of `SELECT` queries answered.
+    pub selects: u64,
+    /// Number of `ASK` queries answered.
+    pub asks: u64,
+    /// Number of keyword-search calls answered.
+    pub keyword_searches: u64,
+    /// Total rows returned by `SELECT` queries.
+    pub rows_returned: u64,
+    /// Total evaluation time (including injected latency).
+    pub busy: Duration,
+}
+
+impl EndpointStats {
+    /// Total number of queries of any kind.
+    pub fn total_queries(&self) -> u64 {
+        self.selects + self.asks + self.keyword_searches
+    }
+}
+
+/// A standard SPARQL query interface plus the full-text keyword lookup the
+/// paper assumes of the triplestore.
+pub trait SparqlEndpoint {
+    /// Answers a `SELECT` query.
+    fn select(&self, query: &Query) -> Result<Solutions, SparqlError>;
+
+    /// Answers an `ASK` query (any query form is tested for non-emptiness).
+    fn ask(&self, query: &Query) -> Result<bool, SparqlError>;
+
+    /// Full-text keyword resolution: literal terms matching the keyword.
+    /// With `exact`, the whole normalized lexical form must match; without,
+    /// all tokens of the keyword must occur in the literal.
+    fn keyword_search(&self, keyword: &str, exact: bool) -> Vec<TermId>;
+
+    /// Term-resolution surface for interpreting the [`TermId`]s inside
+    /// returned [`Solutions`]. (A remote implementation would resolve ids
+    /// from its response bindings; the seam keeps ids for efficiency.)
+    fn graph(&self) -> &Graph;
+
+    /// Parses and answers a `SELECT` query given as text.
+    fn select_text(&self, text: &str) -> Result<Solutions, SparqlError> {
+        self.select(&parse_query(text)?)
+    }
+
+    /// Parses and answers an `ASK` query given as text.
+    fn ask_text(&self, text: &str) -> Result<bool, SparqlError> {
+        self.ask(&parse_query(text)?)
+    }
+}
+
+/// [`SparqlEndpoint`] over an in-memory graph with statistics and optional
+/// injected latency.
+#[derive(Debug)]
+pub struct LocalEndpoint {
+    graph: Graph,
+    stats: Mutex<EndpointStats>,
+    latency: Option<Duration>,
+}
+
+impl LocalEndpoint {
+    /// Wraps a graph.
+    pub fn new(graph: Graph) -> Self {
+        LocalEndpoint {
+            graph,
+            stats: Mutex::new(EndpointStats::default()),
+            latency: None,
+        }
+    }
+
+    /// Adds a fixed artificial latency to every query (simulating a slower
+    /// or remote endpoint).
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> EndpointStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the statistics (e.g. between experiment phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = EndpointStats::default();
+    }
+
+    /// Consumes the endpoint, returning the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    fn pay_latency(&self) {
+        if let Some(latency) = self.latency {
+            std::thread::sleep(latency);
+        }
+    }
+}
+
+impl SparqlEndpoint for LocalEndpoint {
+    fn select(&self, query: &Query) -> Result<Solutions, SparqlError> {
+        let start = Instant::now();
+        self.pay_latency();
+        let result = evaluate(&self.graph, query);
+        let mut stats = self.stats.lock();
+        stats.selects += 1;
+        stats.busy += start.elapsed();
+        if let Ok(solutions) = &result {
+            stats.rows_returned += solutions.len() as u64;
+        }
+        result
+    }
+
+    fn ask(&self, query: &Query) -> Result<bool, SparqlError> {
+        let start = Instant::now();
+        self.pay_latency();
+        let result = evaluate_ask(&self.graph, query);
+        let mut stats = self.stats.lock();
+        stats.asks += 1;
+        stats.busy += start.elapsed();
+        result
+    }
+
+    fn keyword_search(&self, keyword: &str, exact: bool) -> Vec<TermId> {
+        let start = Instant::now();
+        self.pay_latency();
+        let hits = if exact {
+            self.graph.literals_matching_exact(keyword)
+        } else {
+            self.graph.literals_matching_keywords(keyword)
+        };
+        let mut stats = self.stats.lock();
+        stats.keyword_searches += 1;
+        stats.busy += start.elapsed();
+        hits
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_rdf::io::parse_turtle;
+
+    fn endpoint() -> LocalEndpoint {
+        let mut g = Graph::new();
+        parse_turtle(
+            r#"@prefix ex: <http://ex/> .
+            ex:o1 ex:dest ex:Germany ; ex:value 5 .
+            ex:o2 ex:dest ex:France ; ex:value 7 .
+            ex:Germany ex:label "Germany" .
+            ex:France ex:label "France" .
+            "#,
+            &mut g,
+        )
+        .expect("parse");
+        LocalEndpoint::new(g)
+    }
+
+    #[test]
+    fn select_and_stats() {
+        let ep = endpoint();
+        let sols = ep
+            .select_text("SELECT ?d WHERE { ?o <http://ex/dest> ?d }")
+            .expect("query");
+        assert_eq!(sols.len(), 2);
+        let stats = ep.stats();
+        assert_eq!(stats.selects, 1);
+        assert_eq!(stats.rows_returned, 2);
+        assert_eq!(stats.total_queries(), 1);
+    }
+
+    #[test]
+    fn ask_via_text() {
+        let ep = endpoint();
+        assert!(ep
+            .ask_text("ASK { ?o <http://ex/dest> <http://ex/Germany> }")
+            .expect("ask"));
+        assert!(!ep
+            .ask_text("ASK { ?o <http://ex/dest> <http://ex/Spain> }")
+            .expect("ask"));
+        assert_eq!(ep.stats().asks, 2);
+    }
+
+    #[test]
+    fn keyword_search_modes() {
+        let ep = endpoint();
+        assert_eq!(ep.keyword_search("germany", true).len(), 1);
+        assert_eq!(ep.keyword_search("germany", false).len(), 1);
+        assert!(ep.keyword_search("ger", true).is_empty());
+        assert_eq!(ep.stats().keyword_searches, 3);
+    }
+
+    #[test]
+    fn reset_stats_clears_counts() {
+        let ep = endpoint();
+        let _ = ep.keyword_search("germany", true);
+        ep.reset_stats();
+        assert_eq!(ep.stats(), EndpointStats::default());
+    }
+
+    #[test]
+    fn latency_is_accounted_in_busy_time() {
+        let ep = endpoint().with_latency(Duration::from_millis(5));
+        let _ = ep
+            .select_text("SELECT ?d WHERE { ?o <http://ex/dest> ?d }")
+            .expect("query");
+        assert!(ep.stats().busy >= Duration::from_millis(5));
+    }
+}

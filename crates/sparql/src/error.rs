@@ -1,0 +1,71 @@
+//! Error type for parsing and evaluating queries.
+
+use std::fmt;
+
+/// Errors raised by the SPARQL subset engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Parse error with a line number.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The query uses a feature outside the supported subset, or uses a
+    /// supported feature in an unsupported position.
+    Unsupported(String),
+    /// A semantically invalid query (e.g. aggregate in a WHERE filter,
+    /// projected variable neither grouped nor aggregated).
+    Invalid(String),
+}
+
+impl SparqlError {
+    /// Convenience constructor for syntax errors.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        SparqlError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for invalid-query errors.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        SparqlError::Invalid(message.into())
+    }
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            SparqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SparqlError::Invalid(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            SparqlError::syntax(4, "oops").to_string(),
+            "syntax error at line 4: oops"
+        );
+        assert_eq!(
+            SparqlError::Unsupported("OPTIONAL".into()).to_string(),
+            "unsupported: OPTIONAL"
+        );
+        assert_eq!(
+            SparqlError::invalid("bad").to_string(),
+            "invalid query: bad"
+        );
+    }
+}

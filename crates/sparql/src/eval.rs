@@ -1,0 +1,1016 @@
+//! Query evaluation: BGP matching with greedy join ordering, filters,
+//! grouping, aggregation, and solution modifiers.
+//!
+//! The evaluator extends partial bindings pattern by pattern. Patterns are
+//! ordered greedily by estimated selectivity (constant-bound index counts),
+//! the classic heuristic that makes star-shaped OLAP patterns over
+//! observations run in time proportional to the matching observations
+//! rather than the full store.
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use crate::expr::{eval_expr, EvalContext};
+use crate::value::{Solutions, Value};
+use re2x_rdf::hash::FxHashMap;
+use re2x_rdf::{Graph, Term, TermId};
+
+/// Join-order planning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Greedy selectivity-based ordering (the default).
+    #[default]
+    Greedy,
+    /// Evaluate patterns in textual order (the ablation baseline).
+    InOrder,
+}
+
+/// Evaluates a query against a graph.
+pub fn evaluate(graph: &Graph, query: &Query) -> Result<Solutions, SparqlError> {
+    evaluate_with(graph, query, PlanMode::Greedy)
+}
+
+/// Evaluates a query with an explicit planning strategy.
+pub fn evaluate_with(
+    graph: &Graph,
+    query: &Query,
+    mode: PlanMode,
+) -> Result<Solutions, SparqlError> {
+    if let Some(solutions) = try_index_only_distinct(graph, query) {
+        return Ok(solutions);
+    }
+    let compiled = Compiled::with_mode(graph, query, mode)?;
+    let rows = compiled.run_bgp(graph, query.form == QueryForm::Ask)?;
+    match query.form {
+        QueryForm::Ask => Ok(Solutions {
+            vars: vec!["ask".to_owned()],
+            rows: vec![vec![Some(Value::Bool(!rows.is_empty()))]],
+        }),
+        QueryForm::Select => compiled.project(graph, rows),
+    }
+}
+
+/// Evaluates an `ASK` query (or any query, testing for non-emptiness).
+pub fn evaluate_ask(graph: &Graph, query: &Query) -> Result<bool, SparqlError> {
+    let compiled = Compiled::new(graph, query)?;
+    let rows = compiled.run_bgp(graph, true)?;
+    Ok(!rows.is_empty())
+}
+
+/// Renders the evaluation plan of a query without executing it: the chosen
+/// join order with per-pattern index-cardinality estimates and the step at
+/// which each filter applies.
+pub fn explain(graph: &Graph, query: &Query) -> Result<String, SparqlError> {
+    use std::fmt::Write as _;
+    let compiled = Compiled::new(graph, query)?;
+    let prebound = vec![false; compiled.var_names.len()];
+    let order = compiled.plan_block(graph, &compiled.root, &prebound);
+    let filter_step = compiled.filter_schedule(&compiled.root, &order, &prebound);
+    let mut bound = prebound;
+    let mut out = String::new();
+    let slot_name = |slot: Slot, bound: &[bool]| match slot {
+        Slot::Const(id) => graph.term(id).to_string(),
+        Slot::Absent => "<absent-constant>".to_owned(),
+        Slot::Var(v) => {
+            let name = &compiled.var_names[v];
+            let display = match name.strip_prefix('\u{1}') {
+                Some(internal) => format!("?_{internal}"),
+                None => format!("?{name}"),
+            };
+            if bound[v] {
+                format!("{display}*")
+            } else {
+                display
+            }
+        }
+    };
+    for (step, &pi) in order.iter().enumerate() {
+        let p = compiled.root.patterns[pi];
+        let estimate = compiled.pattern_cost(graph, p, &bound);
+        let _ = writeln!(
+            out,
+            "{step:>2}. {} {} {}   (cost estimate {estimate})",
+            slot_name(p.s, &bound),
+            slot_name(p.p, &bound),
+            slot_name(p.o, &bound),
+        );
+        for slot in [p.s, p.p, p.o] {
+            if let Slot::Var(v) = slot {
+                bound[v] = true;
+            }
+        }
+        for (fi, filter) in compiled.root.filters.iter().enumerate() {
+            if filter_step[fi] == step {
+                let _ = writeln!(out, "    filter {}", crate::pretty::expr(&filter.expr));
+            }
+        }
+    }
+    for (fi, filter) in compiled.root.filters.iter().enumerate() {
+        if filter_step[fi] == usize::MAX {
+            let _ = writeln!(out, "then: filter {}", crate::pretty::expr(&filter.expr));
+        }
+    }
+    for child in &compiled.root.children {
+        match child {
+            Child::Optional(inner) => {
+                let _ = writeln!(
+                    out,
+                    "then: left-join OPTIONAL block ({} pattern(s))",
+                    inner.patterns.len()
+                );
+            }
+            Child::Union(branches) => {
+                let _ = writeln!(out, "then: UNION of {} branch(es)", branches.len());
+            }
+        }
+    }
+    if query.is_aggregate() {
+        let _ = writeln!(out, "then: group by {:?} + aggregate", query.group_by);
+    }
+    if query.having.is_some() {
+        let _ = writeln!(out, "then: HAVING");
+    }
+    if !query.order_by.is_empty() {
+        let _ = writeln!(out, "then: sort");
+    }
+    Ok(out)
+}
+
+/// Index-only answering of `SELECT DISTINCT ?x WHERE { <one pattern> }`
+/// shapes whose answer is a key set of one of the store's indexes — the
+/// schema-discovery probes RE²xOLAP issues per interaction ("which
+/// predicates arrive at this member?") stay O(distinct answers) instead of
+/// O(triples), exactly as predicate-indexed stores answer them.
+fn try_index_only_distinct(graph: &Graph, query: &Query) -> Option<Solutions> {
+    if query.form != QueryForm::Select
+        || !query.distinct
+        || query.select.len() != 1
+        || !query.group_by.is_empty()
+        || query.having.is_some()
+        || !query.order_by.is_empty()
+        || query.limit.is_some()
+        || query.offset.is_some()
+        || query.wher.len() != 1
+    {
+        return None;
+    }
+    let SelectItem::Var(projected) = &query.select[0] else {
+        return None;
+    };
+    let PatternElement::Triple(t) = &query.wher[0] else {
+        return None;
+    };
+    let ids = match (&t.subject, &t.predicate, &t.object) {
+        // DISTINCT ?p WHERE { ?x ?p <o> }  → OSP key union (predicates into o)
+        (TermPattern::Var(s), Predicate::Var(p), TermPattern::Iri(o))
+            if p == projected && s != p =>
+        {
+            graph.predicates_into(graph.iri_id(o)?)
+        }
+        // DISTINCT ?p WHERE { <s> ?p ?x } → SPO keys (predicates from s)
+        (TermPattern::Iri(s), Predicate::Var(p), TermPattern::Var(o))
+            if p == projected && o != p =>
+        {
+            graph.predicates_from(graph.iri_id(s)?)
+        }
+        // DISTINCT ?o WHERE { ?x <p> ?o } → POS keys (objects of p)
+        (TermPattern::Var(s), Predicate::Path(path), TermPattern::Var(o))
+            if o == projected && s != o && path.len() == 1 =>
+        {
+            let mut objects = graph.objects_of_predicate(graph.iri_id(&path[0])?);
+            objects.sort_unstable();
+            objects
+        }
+        _ => return None,
+    };
+    Some(Solutions {
+        vars: vec![projected.clone()],
+        rows: ids.into_iter().map(|id| vec![Some(Value::Term(id))]).collect(),
+    })
+}
+
+/// A term slot of a flattened triple pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    /// A constant already interned in the graph.
+    Const(TermId),
+    /// A constant that is *not* in the graph: the pattern cannot match.
+    Absent,
+    /// A variable, by registry index.
+    Var(usize),
+}
+
+/// A triple pattern flattened to slots (paths desugared to chains).
+#[derive(Debug, Clone, Copy)]
+struct FlatPattern {
+    s: Slot,
+    p: Slot,
+    o: Slot,
+}
+
+/// A filter with the registry indexes of its variables.
+struct CompiledFilter {
+    expr: Expr,
+    vars: Vec<usize>,
+}
+
+/// A nested child of a group: an `OPTIONAL` block or a `UNION`
+/// alternation.
+enum Child {
+    Optional(Block),
+    Union(Vec<Block>),
+}
+
+/// One `{ … }` group, compiled: its own triple patterns and filters plus
+/// nested children in textual order.
+struct Block {
+    patterns: Vec<FlatPattern>,
+    filters: Vec<CompiledFilter>,
+    children: Vec<Child>,
+}
+
+struct Compiled {
+    /// var name → registry index; internal path variables carry a `\u{1}`
+    /// prefix so they can never collide with user variables.
+    var_names: Vec<String>,
+    var_index: FxHashMap<String, usize>,
+    root: Block,
+    query: Query,
+    mode: PlanMode,
+}
+
+impl Compiled {
+    fn new(graph: &Graph, query: &Query) -> Result<Self, SparqlError> {
+        Compiled::with_mode(graph, query, PlanMode::Greedy)
+    }
+
+    fn with_mode(graph: &Graph, query: &Query, mode: PlanMode) -> Result<Self, SparqlError> {
+        let mut c = Compiled {
+            var_names: Vec::new(),
+            var_index: FxHashMap::default(),
+            root: Block {
+                patterns: Vec::new(),
+                filters: Vec::new(),
+                children: Vec::new(),
+            },
+            query: query.clone(),
+            mode,
+        };
+        let mut internal = 0usize;
+        c.root = c.compile_elements(graph, &query.wher, &mut internal)?;
+        Ok(c)
+    }
+
+    fn compile_elements(
+        &mut self,
+        graph: &Graph,
+        elements: &[PatternElement],
+        internal: &mut usize,
+    ) -> Result<Block, SparqlError> {
+        let mut block = Block {
+            patterns: Vec::new(),
+            filters: Vec::new(),
+            children: Vec::new(),
+        };
+        for element in elements {
+            match element {
+                PatternElement::Triple(t) => {
+                    let s = self.slot_of(graph, &t.subject);
+                    let o = self.slot_of(graph, &t.object);
+                    match &t.predicate {
+                        Predicate::Var(v) => {
+                            let p = Slot::Var(self.var(v));
+                            block.patterns.push(FlatPattern { s, p, o });
+                        }
+                        Predicate::Path(path) => {
+                            // Desugar `s p1/p2/p3 o` into a chain through
+                            // fresh internal variables.
+                            let mut current = s;
+                            for (i, pred) in path.iter().enumerate() {
+                                let p = match graph.iri_id(pred) {
+                                    Some(id) => Slot::Const(id),
+                                    None => Slot::Absent,
+                                };
+                                let next = if i + 1 == path.len() {
+                                    o
+                                } else {
+                                    *internal += 1;
+                                    Slot::Var(self.var(&format!("\u{1}path{internal}")))
+                                };
+                                block.patterns.push(FlatPattern {
+                                    s: current,
+                                    p,
+                                    o: next,
+                                });
+                                current = next;
+                            }
+                        }
+                    }
+                }
+                PatternElement::Filter(expr) => {
+                    if expr.has_aggregate() {
+                        return Err(SparqlError::invalid(
+                            "aggregate calls are not allowed in WHERE filters (use HAVING)",
+                        ));
+                    }
+                    let mut names = Vec::new();
+                    expr.variables(&mut names);
+                    let vars = names.iter().map(|n| self.var(n)).collect();
+                    block.filters.push(CompiledFilter {
+                        expr: expr.clone(),
+                        vars,
+                    });
+                }
+                PatternElement::Optional(inner) => {
+                    let child = self.compile_elements(graph, inner, internal)?;
+                    block.children.push(Child::Optional(child));
+                }
+                PatternElement::Union(branches) => {
+                    let compiled: Result<Vec<Block>, SparqlError> = branches
+                        .iter()
+                        .map(|b| self.compile_elements(graph, b, internal))
+                        .collect();
+                    block.children.push(Child::Union(compiled?));
+                }
+            }
+        }
+        Ok(block)
+    }
+
+    fn var(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.var_index.get(name) {
+            return i;
+        }
+        let i = self.var_names.len();
+        self.var_names.push(name.to_owned());
+        self.var_index.insert(name.to_owned(), i);
+        i
+    }
+
+    fn slot_of(&mut self, graph: &Graph, tp: &TermPattern) -> Slot {
+        match tp {
+            TermPattern::Var(v) => Slot::Var(self.var(v)),
+            TermPattern::Iri(iri) => graph
+                .iri_id(iri)
+                .map_or(Slot::Absent, Slot::Const),
+            TermPattern::Literal(l) => graph
+                .term_id(&Term::Literal(l.clone()))
+                .map_or(Slot::Absent, Slot::Const),
+        }
+    }
+
+    /// Greedy join order for one block's patterns: repeatedly pick the
+    /// cheapest pattern given the variables bound so far (`prebound` marks
+    /// variables the surrounding group already binds). In
+    /// [`PlanMode::InOrder`], keeps the textual order.
+    fn plan_block(&self, graph: &Graph, block: &Block, prebound: &[bool]) -> Vec<usize> {
+        if self.mode == PlanMode::InOrder {
+            return (0..block.patterns.len()).collect();
+        }
+        let mut remaining: Vec<usize> = (0..block.patterns.len()).collect();
+        let mut bound = prebound.to_vec();
+        let mut order = Vec::with_capacity(remaining.len());
+        let shares_bound_var = |p: FlatPattern, bound: &[bool]| {
+            [p.s, p.p, p.o].iter().any(|slot| match slot {
+                Slot::Var(v) => bound[*v],
+                _ => false,
+            })
+        };
+        while !remaining.is_empty() {
+            // Prefer patterns connected to the variables bound so far —
+            // joining a disconnected pattern would build a cartesian
+            // product of intermediate results. Fall back to any pattern
+            // when none is connected (genuinely disconnected components,
+            // and the very first pattern).
+            let anything_bound = bound.iter().any(|&b| b);
+            let candidates: Vec<usize> = if anything_bound {
+                let connected: Vec<usize> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&i| shares_bound_var(block.patterns[i], &bound))
+                    .collect();
+                if connected.is_empty() {
+                    remaining.clone()
+                } else {
+                    connected
+                }
+            } else {
+                remaining.clone()
+            };
+            let best = candidates
+                .into_iter()
+                .min_by_key(|&i| self.pattern_cost(graph, block.patterns[i], &bound))
+                .expect("non-empty");
+            let pos = remaining
+                .iter()
+                .position(|&i| i == best)
+                .expect("best is in remaining");
+            order.push(best);
+            remaining.swap_remove(pos);
+            for slot in [
+                block.patterns[best].s,
+                block.patterns[best].p,
+                block.patterns[best].o,
+            ] {
+                if let Slot::Var(v) = slot {
+                    bound[v] = true;
+                }
+            }
+        }
+        order
+    }
+
+    /// Cost estimate for a pattern: index cardinality for the constant
+    /// positions, discounted by how many positions a prior pattern already
+    /// binds (a bound variable behaves like a constant at run time).
+    fn pattern_cost(&self, graph: &Graph, p: FlatPattern, bound: &[bool]) -> u64 {
+        let classify = |slot: Slot| match slot {
+            Slot::Const(id) => (Some(id), true),
+            Slot::Absent => (None, true),
+            Slot::Var(v) => (None, bound[v]),
+        };
+        let (s, s_fixed) = classify(p.s);
+        let (pp, p_fixed) = classify(p.p);
+        let (o, o_fixed) = classify(p.o);
+        if matches!(p.s, Slot::Absent) || matches!(p.p, Slot::Absent) || matches!(p.o, Slot::Absent)
+        {
+            return 0; // cannot match anything: evaluate first, terminate early
+        }
+        let base = graph.count_matching(s, pp, o) as u64;
+        let fixed = u64::from(s_fixed) + u64::from(p_fixed) + u64::from(o_fixed);
+        // Each run-time-bound position divides the expected fan-out; the
+        // +1 keeps fully-scanned patterns strictly more expensive.
+        (base + 1) >> (2 * fixed).min(20)
+    }
+
+    /// Runs the WHERE block, returning binding rows over the variable
+    /// registry. With `stop_at_first`, returns at most one row.
+    fn run_bgp(
+        &self,
+        graph: &Graph,
+        stop_at_first: bool,
+    ) -> Result<Vec<Vec<Option<TermId>>>, SparqlError> {
+        let seed = vec![vec![None; self.var_names.len()]];
+        if stop_at_first && self.root.children.is_empty() {
+            // ASK / existence checks over a flat group: depth-first with
+            // early termination — the first complete solution ends the
+            // search, so selective probes never materialize the full join.
+            let prebound = vec![false; self.var_names.len()];
+            let order = self.plan_block(graph, &self.root, &prebound);
+            let filter_step = self.filter_schedule(&self.root, &order, &prebound);
+            let start = vec![None; self.var_names.len()];
+            return Ok(
+                match self.search_first(graph, &self.root, &order, &filter_step, 0, &start) {
+                    Some(row) => vec![row],
+                    None => Vec::new(),
+                },
+            );
+        }
+        let mut rows = self.eval_block(graph, &self.root, seed)?;
+        if stop_at_first {
+            rows.truncate(1);
+        }
+        Ok(rows)
+    }
+
+    /// The step at which each of a block's filters applies during its
+    /// pattern join: the earliest step after which all the filter's
+    /// variables are bound; `usize::MAX` for filters whose variables the
+    /// join never fully binds (they run after the block's children).
+    fn filter_schedule(&self, block: &Block, order: &[usize], prebound: &[bool]) -> Vec<usize> {
+        let mut bound = prebound.to_vec();
+        let mut schedule = vec![usize::MAX; block.filters.len()];
+        for (fi, filter) in block.filters.iter().enumerate() {
+            if filter.vars.iter().all(|&v| bound[v]) {
+                schedule[fi] = 0; // already decidable from the input row
+            }
+        }
+        for (step, &pi) in order.iter().enumerate() {
+            for slot in [
+                block.patterns[pi].s,
+                block.patterns[pi].p,
+                block.patterns[pi].o,
+            ] {
+                if let Slot::Var(v) = slot {
+                    bound[v] = true;
+                }
+            }
+            for (fi, filter) in block.filters.iter().enumerate() {
+                if schedule[fi] == usize::MAX && filter.vars.iter().all(|&v| bound[v]) {
+                    schedule[fi] = step;
+                }
+            }
+        }
+        schedule
+    }
+
+    /// Evaluates one group against a set of input rows: joins the group's
+    /// patterns, then its children (OPTIONAL = left join, UNION = branch
+    /// concatenation), then any filters whose variables only the children
+    /// could bind.
+    fn eval_block(
+        &self,
+        graph: &Graph,
+        block: &Block,
+        input: Vec<Vec<Option<TermId>>>,
+    ) -> Result<Vec<Vec<Option<TermId>>>, SparqlError> {
+        if input.is_empty() {
+            return Ok(input);
+        }
+        // Variables bound on entry (uniform across input rows produced by
+        // pattern joins; after an OPTIONAL boundness can vary per row — the
+        // plan only uses this as a heuristic, correctness is per-row).
+        let prebound: Vec<bool> = (0..self.var_names.len())
+            .map(|v| input.iter().any(|r| r[v].is_some()))
+            .collect();
+        let order = self.plan_block(graph, block, &prebound);
+        let filter_step = self.filter_schedule(block, &order, &prebound);
+        let ctx = RowContext {
+            compiled: self,
+            graph,
+        };
+
+        let mut rows = input;
+        // filters decidable before any pattern runs
+        for (fi, filter) in block.filters.iter().enumerate() {
+            if filter_step[fi] == 0 && order.is_empty() {
+                rows.retain(|row| {
+                    eval_expr(&filter.expr, &ctx, row.as_slice())
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false)
+                });
+            }
+        }
+        for (step, &pi) in order.iter().enumerate() {
+            let pattern = block.patterns[pi];
+            let mut next: Vec<Vec<Option<TermId>>> = Vec::new();
+            for row in &rows {
+                self.extend_row(graph, pattern, row, &mut next);
+            }
+            rows = next;
+            for (fi, filter) in block.filters.iter().enumerate() {
+                if filter_step[fi] == step {
+                    rows.retain(|row| {
+                        eval_expr(&filter.expr, &ctx, row.as_slice())
+                            .and_then(|v| v.as_bool())
+                            .unwrap_or(false)
+                    });
+                }
+            }
+            if rows.is_empty() {
+                return Ok(rows);
+            }
+        }
+
+        // children, in textual order
+        for child in &block.children {
+            match child {
+                Child::Optional(inner) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        let extensions = self.eval_block(graph, inner, vec![row.clone()])?;
+                        if extensions.is_empty() {
+                            out.push(row); // left join: keep the row unextended
+                        } else {
+                            out.extend(extensions);
+                        }
+                    }
+                    rows = out;
+                }
+                Child::Union(branches) => {
+                    let mut out = Vec::new();
+                    for branch in branches {
+                        out.extend(self.eval_block(graph, branch, rows.clone())?);
+                    }
+                    rows = out;
+                }
+            }
+            if rows.is_empty() {
+                return Ok(rows);
+            }
+        }
+
+        // deferred filters: variables only bindable by children (e.g.
+        // FILTER(!BOUND(?x)) negation patterns)
+        for (fi, filter) in block.filters.iter().enumerate() {
+            if filter_step[fi] == usize::MAX {
+                rows.retain(|row| {
+                    eval_expr(&filter.expr, &ctx, row.as_slice())
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false)
+                });
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Depth-first search for one complete solution of a flat block:
+    /// extends the binding through the planned pattern order, applying each
+    /// filter at its scheduled step (deferred filters at the final step),
+    /// and returns on the first full row.
+    fn search_first(
+        &self,
+        graph: &Graph,
+        block: &Block,
+        order: &[usize],
+        filter_step: &[usize],
+        step: usize,
+        row: &[Option<TermId>],
+    ) -> Option<Vec<Option<TermId>>> {
+        let ctx = RowContext {
+            compiled: self,
+            graph,
+        };
+        if step == order.len() {
+            // no-pattern / trailing filters
+            for filter in &block.filters {
+                if !eval_expr(&filter.expr, &ctx, row)
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false)
+                {
+                    return None;
+                }
+            }
+            return Some(row.to_vec());
+        }
+        let last_step = order.len() - 1;
+        let pattern = block.patterns[order[step]];
+        let mut found: Option<Vec<Option<TermId>>> = None;
+        self.extend_row_until(graph, pattern, row, |candidate| {
+            for (fi, filter) in block.filters.iter().enumerate() {
+                let due = filter_step[fi] == step
+                    || (step == last_step && filter_step[fi] == usize::MAX)
+                    || (step == 0 && filter_step[fi] == 0);
+                if due
+                    && !eval_expr(&filter.expr, &ctx, candidate.as_slice())
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false)
+                {
+                    return false; // next candidate
+                }
+            }
+            match self
+                .search_first(graph, block, order, filter_step, step + 1, &candidate)
+            {
+                Some(hit) => {
+                    found = Some(hit);
+                    true // stop: a full solution exists
+                }
+                None => false,
+            }
+        });
+        found
+    }
+
+    fn extend_row(
+        &self,
+        graph: &Graph,
+        pattern: FlatPattern,
+        row: &[Option<TermId>],
+        out: &mut Vec<Vec<Option<TermId>>>,
+    ) {
+        self.extend_row_until(graph, pattern, row, |extended| {
+            out.push(extended);
+            false
+        });
+    }
+
+    /// Lazily enumerates the consistent extensions of `row` through
+    /// `pattern`, stopping when `f` returns `true`. The existence search
+    /// ([`Compiled::search_first`]) relies on this to avoid materializing
+    /// whole candidate lists.
+    fn extend_row_until(
+        &self,
+        graph: &Graph,
+        pattern: FlatPattern,
+        row: &[Option<TermId>],
+        mut f: impl FnMut(Vec<Option<TermId>>) -> bool,
+    ) -> bool {
+        let resolve = |slot: Slot| -> Result<Option<TermId>, ()> {
+            match slot {
+                Slot::Const(id) => Ok(Some(id)),
+                Slot::Absent => Err(()),
+                Slot::Var(v) => Ok(row[v]),
+            }
+        };
+        let (Ok(s), Ok(p), Ok(o)) = (resolve(pattern.s), resolve(pattern.p), resolve(pattern.o))
+        else {
+            return false; // a constant absent from the graph: no matches
+        };
+        graph.for_each_matching_until(s, p, o, |t| {
+            let mut new_row: Option<Vec<Option<TermId>>> = None;
+            for (slot, value) in [(pattern.s, t.s), (pattern.p, t.p), (pattern.o, t.o)] {
+                if let Slot::Var(v) = slot {
+                    let current = new_row.as_ref().map_or(row[v], |r| r[v]);
+                    match current {
+                        Some(existing) if existing != value => return false,
+                        Some(_) => {}
+                        None => {
+                            let r = new_row.get_or_insert_with(|| row.to_vec());
+                            r[v] = Some(value);
+                        }
+                    }
+                }
+            }
+            f(new_row.unwrap_or_else(|| row.to_vec()))
+        })
+    }
+
+    /// Turns binding rows into the projected solution sequence, handling
+    /// grouping, aggregation, HAVING, DISTINCT, ORDER BY and LIMIT/OFFSET.
+    fn project(&self, graph: &Graph, rows: Vec<Vec<Option<TermId>>>) -> Result<Solutions, SparqlError> {
+        let query = &self.query;
+        let aggregating = query.is_aggregate();
+
+        // Determine output columns.
+        let items: Vec<SelectItem> = if query.select.is_empty() {
+            if aggregating {
+                query.group_by.iter().map(|v| SelectItem::Var(v.clone())).collect()
+            } else {
+                self.var_names
+                    .iter()
+                    .filter(|n| !n.starts_with('\u{1}'))
+                    .map(|n| SelectItem::Var(n.clone()))
+                    .collect()
+            }
+        } else {
+            query.select.clone()
+        };
+
+        let mut out_rows: Vec<Vec<Option<Value>>> = Vec::new();
+        if aggregating {
+            // validate: projected plain vars must be grouped
+            for item in &items {
+                if let SelectItem::Var(v) = item {
+                    if !query.group_by.iter().any(|g| g == v) {
+                        return Err(SparqlError::invalid(format!(
+                            "variable ?{v} is projected but neither grouped nor aggregated"
+                        )));
+                    }
+                }
+            }
+            let group_idx: Vec<usize> = query
+                .group_by
+                .iter()
+                .map(|g| {
+                    self.var_index.get(g).copied().ok_or_else(|| {
+                        SparqlError::invalid(format!("GROUP BY variable ?{g} not in WHERE"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+
+            let mut groups: FxHashMap<Vec<Option<TermId>>, Vec<usize>> = FxHashMap::default();
+            let mut group_order: Vec<Vec<Option<TermId>>> = Vec::new();
+            for (ri, row) in rows.iter().enumerate() {
+                let key: Vec<Option<TermId>> = group_idx.iter().map(|&i| row[i]).collect();
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| {
+                        group_order.push(key);
+                        Vec::new()
+                    })
+                    .push(ri);
+            }
+            // Implicit single group for aggregates without GROUP BY, but
+            // only if there are rows (SPARQL returns one row with e.g.
+            // COUNT()=0 for an empty match; we follow that).
+            if query.group_by.is_empty() && group_order.is_empty() {
+                group_order.push(Vec::new());
+                groups.insert(Vec::new(), Vec::new());
+            }
+
+            for key in &group_order {
+                let members = &groups[key];
+                let ctx = GroupContext {
+                    compiled: self,
+                    graph,
+                    rows: &rows,
+                    members,
+                    group_by: &query.group_by,
+                    key,
+                };
+                if let Some(having) = &query.having {
+                    let keep = ctx
+                        .eval(having)
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false);
+                    if !keep {
+                        continue;
+                    }
+                }
+                let mut out = Vec::with_capacity(items.len());
+                for item in &items {
+                    match item {
+                        SelectItem::Var(v) => out.push(ctx.group_var(v).map(Value::Term)),
+                        SelectItem::Agg { func, expr, .. } => {
+                            out.push(ctx.aggregate(*func, expr));
+                        }
+                    }
+                }
+                out_rows.push(out);
+            }
+        } else {
+            if query.having.is_some() {
+                return Err(SparqlError::invalid("HAVING requires aggregation"));
+            }
+            for row in &rows {
+                let mut out = Vec::with_capacity(items.len());
+                for item in &items {
+                    match item {
+                        SelectItem::Var(v) => {
+                            let value = self
+                                .var_index
+                                .get(v)
+                                .and_then(|&i| row[i])
+                                .map(Value::Term);
+                            out.push(value);
+                        }
+                        SelectItem::Agg { .. } => unreachable!("aggregate implies aggregating"),
+                    }
+                }
+                out_rows.push(out);
+            }
+        }
+
+        let vars: Vec<String> = items.iter().map(|i| i.name().to_owned()).collect();
+
+        if query.distinct {
+            let mut seen: re2x_rdf::hash::FxHashSet<Vec<DedupKey>> = Default::default();
+            out_rows.retain(|row| {
+                let key: Vec<DedupKey> = row.iter().map(DedupKey::of).collect();
+                seen.insert(key)
+            });
+        }
+
+        if !query.order_by.is_empty() {
+            let key_cols: Vec<(usize, Order)> = query
+                .order_by
+                .iter()
+                .map(|k| {
+                    vars.iter()
+                        .position(|v| *v == k.column)
+                        .map(|i| (i, k.order))
+                        .ok_or_else(|| {
+                            SparqlError::invalid(format!(
+                                "ORDER BY column ?{} is not projected",
+                                k.column
+                            ))
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            out_rows.sort_by(|a, b| {
+                for &(col, order) in &key_cols {
+                    let ord = match (&a[col], &b[col]) {
+                        (Some(x), Some(y)) => x.compare(y, graph),
+                        (None, Some(_)) => std::cmp::Ordering::Less,
+                        (Some(_), None) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    };
+                    let ord = if order == Order::Desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let offset = query.offset.unwrap_or(0);
+        if offset > 0 {
+            out_rows.drain(..offset.min(out_rows.len()));
+        }
+        if let Some(limit) = query.limit {
+            out_rows.truncate(limit);
+        }
+
+        Ok(Solutions {
+            vars,
+            rows: out_rows,
+        })
+    }
+}
+
+/// Structural key for `DISTINCT` deduplication — avoids formatting values
+/// to strings on a hot path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DedupKey {
+    Unbound,
+    Term(TermId),
+    Number(u64),
+    Bool(bool),
+    Str(String),
+}
+
+impl DedupKey {
+    fn of(cell: &Option<Value>) -> DedupKey {
+        match cell {
+            None => DedupKey::Unbound,
+            Some(Value::Term(id)) => DedupKey::Term(*id),
+            Some(Value::Number(n)) => DedupKey::Number(n.to_bits()),
+            Some(Value::Bool(b)) => DedupKey::Bool(*b),
+            Some(Value::Str(s)) => DedupKey::Str(s.clone()),
+        }
+    }
+}
+
+/// Expression context over one binding row (WHERE filters).
+pub(crate) struct RowContext<'a> {
+    compiled: &'a Compiled,
+    graph: &'a Graph,
+}
+
+impl<'a> EvalContext for RowContext<'a> {
+    type Row = [Option<TermId>];
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn lookup(&self, name: &str, row: &Self::Row) -> Option<Value> {
+        let &i = self.compiled.var_index.get(name)?;
+        row.get(i).copied().flatten().map(Value::Term)
+    }
+
+    fn aggregate(&self, _func: AggFunc, _expr: &Expr, _row: &Self::Row) -> Option<Value> {
+        None // aggregates rejected in WHERE filters at compile time
+    }
+}
+
+/// Expression context over one group (HAVING and aggregate projection).
+struct GroupContext<'a> {
+    compiled: &'a Compiled,
+    graph: &'a Graph,
+    rows: &'a [Vec<Option<TermId>>],
+    members: &'a [usize],
+    group_by: &'a [String],
+    key: &'a [Option<TermId>],
+}
+
+impl<'a> GroupContext<'a> {
+    fn group_var(&self, name: &str) -> Option<TermId> {
+        let pos = self.group_by.iter().position(|g| g == name)?;
+        self.key.get(pos).copied().flatten()
+    }
+
+    fn eval(&self, expr: &Expr) -> Option<Value> {
+        eval_expr(expr, self, &())
+    }
+
+    fn aggregate(&self, func: AggFunc, expr: &Expr) -> Option<Value> {
+        let row_ctx = RowContext {
+            compiled: self.compiled,
+            graph: self.graph,
+        };
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut numeric_count = 0usize;
+        let mut distinct: re2x_rdf::hash::FxHashSet<DedupKey> = Default::default();
+        for &ri in self.members {
+            let row = &self.rows[ri];
+            let Some(v) = eval_expr(expr, &row_ctx, row.as_slice()) else {
+                continue;
+            };
+            count += 1;
+            if func == AggFunc::CountDistinct {
+                distinct.insert(DedupKey::of(&Some(v.clone())));
+            }
+            if let Some(n) = v.as_number(self.graph) {
+                numeric_count += 1;
+                sum += n;
+                min = min.min(n);
+                max = max.max(n);
+            }
+        }
+        match func {
+            AggFunc::Count => Some(Value::Number(count as f64)),
+            AggFunc::CountDistinct => Some(Value::Number(distinct.len() as f64)),
+            AggFunc::Sum => Some(Value::Number(sum)),
+            AggFunc::Avg => {
+                if numeric_count == 0 {
+                    None
+                } else {
+                    Some(Value::Number(sum / numeric_count as f64))
+                }
+            }
+            AggFunc::Min => (numeric_count > 0).then_some(Value::Number(min)),
+            AggFunc::Max => (numeric_count > 0).then_some(Value::Number(max)),
+        }
+    }
+}
+
+impl<'a> EvalContext for GroupContext<'a> {
+    type Row = ();
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn lookup(&self, name: &str, _row: &()) -> Option<Value> {
+        self.group_var(name).map(Value::Term)
+    }
+
+    fn aggregate(&self, func: AggFunc, expr: &Expr, _row: &()) -> Option<Value> {
+        GroupContext::aggregate(self, func, expr)
+    }
+}

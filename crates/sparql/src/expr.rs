@@ -1,0 +1,334 @@
+//! Expression evaluation shared by `FILTER` (row context) and `HAVING` /
+//! aggregate projection (group context).
+//!
+//! SPARQL expression errors (type errors, unbound variables, division by
+//! zero) are modelled as `None`; a filter keeps a solution only when its
+//! expression evaluates to `Some(true)`.
+
+use crate::ast::{AggFunc, ArithOp, CmpOp, Expr, Func};
+use crate::value::Value;
+use re2x_rdf::{Graph, Term};
+
+/// Environment against which expressions are evaluated.
+pub trait EvalContext {
+    /// The row representation this context resolves variables from.
+    type Row: ?Sized;
+
+    /// The graph (for term resolution and numeric coercion).
+    fn graph(&self) -> &Graph;
+
+    /// Resolves a variable to a value, `None` if unbound.
+    fn lookup(&self, name: &str, row: &Self::Row) -> Option<Value>;
+
+    /// Computes an aggregate, `None` if aggregates are illegal here.
+    fn aggregate(&self, func: AggFunc, expr: &Expr, row: &Self::Row) -> Option<Value>;
+}
+
+/// Evaluates `expr`; `None` represents the SPARQL error value.
+pub fn eval_expr<C: EvalContext>(expr: &Expr, ctx: &C, row: &C::Row) -> Option<Value> {
+    let graph = ctx.graph();
+    match expr {
+        Expr::Var(v) => ctx.lookup(v, row),
+        Expr::Iri(iri) => Some(
+            graph
+                .iri_id(iri)
+                .map_or_else(|| Value::Str(iri.clone()), Value::Term),
+        ),
+        Expr::Literal(l) => Some(
+            graph
+                .term_id(&Term::Literal(l.clone()))
+                .map_or_else(|| literal_value(l), Value::Term),
+        ),
+        Expr::Number(n) => Some(Value::Number(*n)),
+        Expr::Bool(b) => Some(Value::Bool(*b)),
+        Expr::Not(e) => eval_expr(e, ctx, row)?.as_bool().map(|b| Value::Bool(!b)),
+        Expr::And(a, b) => {
+            let left = eval_expr(a, ctx, row).and_then(|v| v.as_bool());
+            let right = eval_expr(b, ctx, row).and_then(|v| v.as_bool());
+            match (left, right) {
+                (Some(false), _) | (_, Some(false)) => Some(Value::Bool(false)),
+                (Some(true), Some(true)) => Some(Value::Bool(true)),
+                _ => None,
+            }
+        }
+        Expr::Or(a, b) => {
+            let left = eval_expr(a, ctx, row).and_then(|v| v.as_bool());
+            let right = eval_expr(b, ctx, row).and_then(|v| v.as_bool());
+            match (left, right) {
+                (Some(true), _) | (_, Some(true)) => Some(Value::Bool(true)),
+                (Some(false), Some(false)) => Some(Value::Bool(false)),
+                _ => None,
+            }
+        }
+        Expr::Cmp(a, op, b) => {
+            let left = eval_expr(a, ctx, row)?;
+            let right = eval_expr(b, ctx, row)?;
+            let result = match op {
+                CmpOp::Eq => left.equals(&right, graph),
+                CmpOp::Ne => !left.equals(&right, graph),
+                CmpOp::Lt => left.compare(&right, graph).is_lt(),
+                CmpOp::Le => left.compare(&right, graph).is_le(),
+                CmpOp::Gt => left.compare(&right, graph).is_gt(),
+                CmpOp::Ge => left.compare(&right, graph).is_ge(),
+            };
+            Some(Value::Bool(result))
+        }
+        Expr::Arith(a, op, b) => {
+            let left = eval_expr(a, ctx, row)?.as_number(graph)?;
+            let right = eval_expr(b, ctx, row)?.as_number(graph)?;
+            let value = match op {
+                ArithOp::Add => left + right,
+                ArithOp::Sub => left - right,
+                ArithOp::Mul => left * right,
+                ArithOp::Div => {
+                    if right == 0.0 {
+                        return None;
+                    }
+                    left / right
+                }
+            };
+            Some(Value::Number(value))
+        }
+        Expr::In(e, list) => {
+            let needle = eval_expr(e, ctx, row)?;
+            for item in list {
+                let candidate = eval_expr(item, ctx, row)?;
+                if needle.equals(&candidate, graph) {
+                    return Some(Value::Bool(true));
+                }
+            }
+            Some(Value::Bool(false))
+        }
+        Expr::Call(func, args) => match func {
+            Func::Bound => match &args[0] {
+                Expr::Var(v) => Some(Value::Bool(ctx.lookup(v, row).is_some())),
+                _ => None,
+            },
+            Func::Str => {
+                let v = eval_expr(&args[0], ctx, row)?;
+                Some(Value::Str(v.string_form(graph)))
+            }
+            Func::LCase => {
+                let v = eval_expr(&args[0], ctx, row)?;
+                Some(Value::Str(v.string_form(graph).to_lowercase()))
+            }
+            Func::Contains => {
+                let hay = eval_expr(&args[0], ctx, row)?.string_form(graph);
+                let needle = eval_expr(&args[1], ctx, row)?.string_form(graph);
+                Some(Value::Bool(hay.contains(&needle)))
+            }
+            Func::Abs => {
+                let n = eval_expr(&args[0], ctx, row)?.as_number(graph)?;
+                Some(Value::Number(n.abs()))
+            }
+            Func::IsIri => {
+                let v = eval_expr(&args[0], ctx, row)?;
+                Some(Value::Bool(matches!(
+                    v,
+                    Value::Term(id) if graph.term(id).is_iri()
+                )))
+            }
+            Func::IsLiteral => {
+                let v = eval_expr(&args[0], ctx, row)?;
+                let is_lit = match v {
+                    Value::Term(id) => graph.term(id).is_literal(),
+                    Value::Str(_) | Value::Number(_) => true,
+                    Value::Bool(_) => true,
+                };
+                Some(Value::Bool(is_lit))
+            }
+            Func::IsNumeric => {
+                let v = eval_expr(&args[0], ctx, row)?;
+                let is_num = match v {
+                    Value::Term(id) => graph.numeric_value(id).is_some(),
+                    Value::Number(_) => true,
+                    Value::Str(_) | Value::Bool(_) => false,
+                };
+                Some(Value::Bool(is_num))
+            }
+        },
+        Expr::Agg(func, inner) => ctx.aggregate(*func, inner, row),
+    }
+}
+
+/// A literal constant that is not interned in the graph, as a value.
+fn literal_value(l: &re2x_rdf::Literal) -> Value {
+    if let Some(n) = l.as_f64() {
+        Value::Number(n)
+    } else {
+        Value::Str(l.lexical().to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_rdf::hash::FxHashMap;
+    use re2x_rdf::Literal;
+
+    /// A trivial context backed by a name→value map.
+    struct MapContext {
+        graph: Graph,
+        bindings: FxHashMap<String, Value>,
+    }
+
+    impl EvalContext for MapContext {
+        type Row = ();
+
+        fn graph(&self) -> &Graph {
+            &self.graph
+        }
+
+        fn lookup(&self, name: &str, _row: &()) -> Option<Value> {
+            self.bindings.get(name).cloned()
+        }
+
+        fn aggregate(&self, _f: AggFunc, _e: &Expr, _row: &()) -> Option<Value> {
+            None
+        }
+    }
+
+    fn ctx() -> MapContext {
+        let mut graph = Graph::new();
+        let num = graph.intern_literal(Literal::integer(10));
+        let txt = graph.intern_literal(Literal::simple("Germany"));
+        let mut bindings = FxHashMap::default();
+        bindings.insert("n".to_owned(), Value::Term(num));
+        bindings.insert("label".to_owned(), Value::Term(txt));
+        MapContext { graph, bindings }
+    }
+
+    fn eval(c: &MapContext, e: &Expr) -> Option<Value> {
+        eval_expr(e, c, &())
+    }
+
+    #[test]
+    fn comparisons_are_numeric_aware() {
+        let c = ctx();
+        let e = Expr::cmp(Expr::var("n"), CmpOp::Gt, Expr::Number(9.5));
+        assert_eq!(eval(&c, &e), Some(Value::Bool(true)));
+        let e = Expr::cmp(Expr::var("n"), CmpOp::Lt, Expr::Number(2.0));
+        assert_eq!(eval(&c, &e), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error_not_false() {
+        let c = ctx();
+        let e = Expr::cmp(Expr::var("missing"), CmpOp::Eq, Expr::Number(1.0));
+        assert_eq!(eval(&c, &e), None);
+        // but BOUND observes it
+        let e = Expr::Call(Func::Bound, vec![Expr::var("missing")]);
+        assert_eq!(eval(&c, &e), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let c = ctx();
+        let err = Expr::var("missing");
+        // false && error = false
+        let e = Expr::And(Box::new(Expr::Bool(false)), Box::new(err.clone()));
+        assert_eq!(eval(&c, &e), Some(Value::Bool(false)));
+        // true && error = error
+        let e = Expr::And(Box::new(Expr::Bool(true)), Box::new(err.clone()));
+        assert_eq!(eval(&c, &e), None);
+        // true || error = true
+        let e = Expr::Or(Box::new(err.clone()), Box::new(Expr::Bool(true)));
+        assert_eq!(eval(&c, &e), Some(Value::Bool(true)));
+        // false || error = error
+        let e = Expr::Or(Box::new(err), Box::new(Expr::Bool(false)));
+        assert_eq!(eval(&c, &e), None);
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let c = ctx();
+        let e = Expr::Arith(
+            Box::new(Expr::var("n")),
+            ArithOp::Mul,
+            Box::new(Expr::Number(2.0)),
+        );
+        assert_eq!(eval(&c, &e), Some(Value::Number(20.0)));
+        let e = Expr::Arith(
+            Box::new(Expr::var("n")),
+            ArithOp::Div,
+            Box::new(Expr::Number(0.0)),
+        );
+        assert_eq!(eval(&c, &e), None);
+    }
+
+    #[test]
+    fn string_functions() {
+        let c = ctx();
+        let e = Expr::Call(
+            Func::Contains,
+            vec![
+                Expr::Call(Func::LCase, vec![Expr::Call(Func::Str, vec![Expr::var("label")])]),
+                Expr::Literal(Literal::simple("germ")),
+            ],
+        );
+        assert_eq!(eval(&c, &e), Some(Value::Bool(true)));
+        let e = Expr::Call(Func::Abs, vec![Expr::Number(-4.0)]);
+        assert_eq!(eval(&c, &e), Some(Value::Number(4.0)));
+    }
+
+    #[test]
+    fn in_list_matching() {
+        let c = ctx();
+        let e = Expr::In(
+            Box::new(Expr::var("n")),
+            vec![Expr::Number(9.0), Expr::Number(10.0)],
+        );
+        assert_eq!(eval(&c, &e), Some(Value::Bool(true)));
+        let e = Expr::In(Box::new(Expr::var("n")), vec![Expr::Number(9.0)]);
+        assert_eq!(eval(&c, &e), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn uninterned_constants_fall_back_to_value_semantics() {
+        let c = ctx();
+        // "Germany" IS interned; compare against an uninterned literal with
+        // the same lexical form — equality via string form.
+        let e = Expr::cmp(
+            Expr::var("label"),
+            CmpOp::Eq,
+            Expr::Literal(Literal::simple("Germany")),
+        );
+        assert_eq!(eval(&c, &e), Some(Value::Bool(true)));
+        // Uninterned numeric literal behaves numerically.
+        let e = Expr::cmp(
+            Expr::var("n"),
+            CmpOp::Eq,
+            Expr::Literal(Literal::integer(10)),
+        );
+        assert_eq!(eval(&c, &e), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn term_kind_predicates() {
+        let mut c = ctx();
+        let iri = c.graph.intern_iri("http://ex/Germany");
+        c.bindings.insert("iri".to_owned(), Value::Term(iri));
+        let is = |f: Func, v: &str| {
+            eval_expr(&Expr::Call(f, vec![Expr::var(v)]), &c, &())
+                .and_then(|v| v.as_bool())
+                .expect("defined")
+        };
+        assert!(is(Func::IsIri, "iri"));
+        assert!(!is(Func::IsIri, "n"));
+        assert!(is(Func::IsLiteral, "n"));
+        assert!(is(Func::IsLiteral, "label"));
+        assert!(!is(Func::IsLiteral, "iri"));
+        assert!(is(Func::IsNumeric, "n"));
+        assert!(!is(Func::IsNumeric, "label"));
+        assert!(!is(Func::IsNumeric, "iri"));
+    }
+
+    #[test]
+    fn not_negates_and_propagates_errors() {
+        let c = ctx();
+        let e = Expr::Not(Box::new(Expr::Bool(false)));
+        assert_eq!(eval(&c, &e), Some(Value::Bool(true)));
+        let e = Expr::Not(Box::new(Expr::var("missing")));
+        assert_eq!(eval(&c, &e), None);
+    }
+}

@@ -1,0 +1,1127 @@
+//! Recursive-descent parser for the SPARQL subset.
+//!
+//! Accepts both strict SPARQL 1.1 projection syntax
+//! (`(SUM(?x) AS ?total)`) and the paper's abbreviated `SUM(?x)` form
+//! (Figure 2), for which a deterministic alias is generated.
+
+use crate::ast::*;
+use crate::error::SparqlError;
+use re2x_rdf::hash::FxHashMap;
+use re2x_rdf::{vocab, Literal};
+
+/// Parses a query string.
+pub fn parse_query(input: &str) -> Result<Query, SparqlError> {
+    let tokens = Lexer::new(input).lex()?;
+    Parser {
+        tokens,
+        pos: 0,
+        prefixes: FxHashMap::default(),
+        agg_counter: 0,
+    }
+    .parse_query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Bare word (keyword, `a`, `true`/`false`).
+    Word(String),
+    /// `?name`.
+    Var(String),
+    /// `<iri>`.
+    Iri(String),
+    /// `prefix:local`.
+    PName(String, String),
+    /// Complete literal (datatype / language already attached).
+    Literal(Literal),
+    /// Numeric constant.
+    Number(f64),
+    /// Punctuation or operator: `( ) { } . ; , / * = != < <= > >= + - && || !`.
+    Sym(&'static str),
+}
+
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SparqlError {
+        SparqlError::syntax(self.line, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn lex(mut self) -> Result<Vec<Spanned>, SparqlError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let line = self.line;
+            let Some(b) = self.peek() else {
+                return Ok(out);
+            };
+            let tok = match b {
+                b'?' | b'$' => {
+                    self.bump();
+                    let name = self.read_name();
+                    if name.is_empty() {
+                        return Err(self.err("empty variable name"));
+                    }
+                    Tok::Var(name)
+                }
+                b'<' => self.lex_angle()?,
+                b'"' => Tok::Literal(self.lex_literal()?),
+                b'(' | b')' | b'{' | b'}' | b'.' | b';' | b',' | b'/' | b'*' | b'+' => {
+                    self.bump();
+                    Tok::Sym(match b {
+                        b'(' => "(",
+                        b')' => ")",
+                        b'{' => "{",
+                        b'}' => "}",
+                        b'.' => ".",
+                        b';' => ";",
+                        b',' => ",",
+                        b'/' => "/",
+                        b'*' => "*",
+                        _ => "+",
+                    })
+                }
+                b'-' => {
+                    // negative number or minus operator
+                    if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                        self.lex_number()?
+                    } else {
+                        self.bump();
+                        Tok::Sym("-")
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    Tok::Sym("=")
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Sym("!=")
+                    } else {
+                        Tok::Sym("!")
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Sym(">=")
+                    } else {
+                        Tok::Sym(">")
+                    }
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        Tok::Sym("&&")
+                    } else {
+                        return Err(self.err("expected '&&'"));
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        Tok::Sym("||")
+                    } else {
+                        return Err(self.err("expected '||'"));
+                    }
+                }
+                b'#' => {
+                    while self.peek().is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    continue;
+                }
+                c if c.is_ascii_digit() => self.lex_number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let word = self.read_name();
+                    if self.peek() == Some(b':') {
+                        self.bump();
+                        let local = self.read_local_name();
+                        Tok::PName(word, local)
+                    } else {
+                        Tok::Word(word)
+                    }
+                }
+                b':' => {
+                    // default-prefix pname `:local`
+                    self.bump();
+                    let local = self.read_local_name();
+                    Tok::PName(String::new(), local)
+                }
+                other => return Err(self.err(format!("unexpected character '{}'", other as char))),
+            };
+            out.push(Spanned { tok, line });
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                name.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+
+    fn read_local_name(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                name.push(b as char);
+                self.bump();
+            } else if b == b'.'
+                && self
+                    .bytes
+                    .get(self.pos + 1)
+                    .copied()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                name.push('.');
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+
+    /// `<` begins an IRI iff a `>` appears before any whitespace; otherwise
+    /// it is the less-than operator.
+    fn lex_angle(&mut self) -> Result<Tok, SparqlError> {
+        let mut probe = self.pos + 1;
+        let mut is_iri = false;
+        while let Some(&b) = self.bytes.get(probe) {
+            if b == b'>' {
+                is_iri = true;
+                break;
+            }
+            if b.is_ascii_whitespace() {
+                break;
+            }
+            probe += 1;
+        }
+        if is_iri {
+            self.bump(); // '<'
+            let start = self.pos;
+            while self.peek() != Some(b'>') {
+                self.bump();
+            }
+            let iri = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid utf-8 in IRI"))?
+                .to_owned();
+            self.bump(); // '>'
+            Ok(Tok::Iri(iri))
+        } else {
+            self.bump();
+            if self.peek() == Some(b'=') {
+                self.bump();
+                Ok(Tok::Sym("<="))
+            } else {
+                Ok(Tok::Sym("<"))
+            }
+        }
+    }
+
+    fn lex_literal(&mut self) -> Result<Literal, SparqlError> {
+        self.bump(); // opening quote
+        let mut lexical = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => lexical.push('\n'),
+                    Some(b't') => lexical.push('\t'),
+                    Some(b'r') => lexical.push('\r'),
+                    Some(b'"') => lexical.push('"'),
+                    Some(b'\\') => lexical.push('\\'),
+                    other => {
+                        return Err(
+                            self.err(format!("invalid escape \\{:?}", other.map(|b| b as char)))
+                        )
+                    }
+                },
+                Some(b) if b < 0x80 => lexical.push(b as char),
+                Some(b) => {
+                    let extra = match b {
+                        0xC0..=0xDF => 1,
+                        0xE0..=0xEF => 2,
+                        _ => 3,
+                    };
+                    let mut buf = vec![b];
+                    for _ in 0..extra {
+                        buf.push(self.bump().ok_or_else(|| self.err("truncated utf-8"))?);
+                    }
+                    lexical.push_str(
+                        &String::from_utf8(buf).map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+        if self.peek() == Some(b'^') && self.peek2() == Some(b'^') {
+            self.bump();
+            self.bump();
+            if self.peek() != Some(b'<') {
+                return Err(self.err("expected '<iri>' datatype after '^^'"));
+            }
+            match self.lex_angle()? {
+                Tok::Iri(dt) => Ok(Literal::typed(lexical, dt)),
+                _ => Err(self.err("expected datatype IRI")),
+            }
+        } else if self.peek() == Some(b'@') {
+            self.bump();
+            let mut tag = String::new();
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-')
+            {
+                tag.push(self.bump().expect("peeked") as char);
+            }
+            if tag.is_empty() {
+                return Err(self.err("empty language tag"));
+            }
+            Ok(Literal::tagged(lexical, tag))
+        } else {
+            Ok(Literal::simple(lexical))
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, SparqlError> {
+        let mut text = String::new();
+        if self.peek() == Some(b'-') {
+            text.push('-');
+            self.bump();
+        }
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => text.push(self.bump().expect("peeked") as char),
+                b'.' if !seen_dot
+                    && !seen_exp
+                    && self.peek2().is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    seen_dot = true;
+                    text.push(self.bump().expect("peeked") as char);
+                }
+                b'e' | b'E' if !seen_exp => {
+                    seen_exp = true;
+                    text.push(self.bump().expect("peeked") as char);
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        text.push(self.bump().expect("peeked") as char);
+                    }
+                }
+                _ => break,
+            }
+        }
+        text.parse::<f64>()
+            .map(Tok::Number)
+            .map_err(|_| self.err(format!("malformed number '{text}'")))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    prefixes: FxHashMap<String, String>,
+    agg_counter: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |s| s.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SparqlError {
+        SparqlError::syntax(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> Result<(), SparqlError> {
+        match self.peek() {
+            Some(Tok::Sym(s)) if *s == sym => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{sym}', found {other:?}"))),
+        }
+    }
+
+    fn at_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym)
+    }
+
+    /// Case-insensitive keyword check without consuming.
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), SparqlError> {
+        if self.at_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}', found {:?}", self.peek())))
+        }
+    }
+
+    fn parse_query(mut self) -> Result<Query, SparqlError> {
+        while self.at_keyword("PREFIX") {
+            self.bump();
+            let (label, local) = match self.bump() {
+                Some(Tok::PName(p, l)) => (p, l),
+                other => return Err(self.err(format!("expected 'prefix:' label, got {other:?}"))),
+            };
+            if !local.is_empty() {
+                return Err(self.err("prefix declaration label must end with ':'"));
+            }
+            let iri = match self.bump() {
+                Some(Tok::Iri(iri)) => iri,
+                other => return Err(self.err(format!("expected '<iri>' in PREFIX, got {other:?}"))),
+            };
+            self.prefixes.insert(label, iri);
+        }
+
+        let form = if self.at_keyword("ASK") {
+            self.bump();
+            QueryForm::Ask
+        } else {
+            self.eat_keyword("SELECT")?;
+            QueryForm::Select
+        };
+
+        let mut query = Query::select_all(Vec::new());
+        query.form = form;
+
+        if form == QueryForm::Select {
+            if self.at_keyword("DISTINCT") {
+                self.bump();
+                query.distinct = true;
+            }
+            if self.at_sym("*") {
+                self.bump();
+            } else {
+                while let Some(item) = self.try_parse_select_item()? {
+                    query.select.push(item);
+                }
+                if query.select.is_empty() {
+                    return Err(self.err("SELECT requires '*' or at least one projection"));
+                }
+            }
+            // WHERE keyword is optional in SPARQL
+            if self.at_keyword("WHERE") {
+                self.bump();
+            }
+        } else if self.at_keyword("WHERE") {
+            self.bump();
+        }
+
+        query.wher = self.parse_group()?;
+
+        if form == QueryForm::Select {
+            if self.at_keyword("GROUP") {
+                self.bump();
+                self.eat_keyword("BY")?;
+                while let Some(Tok::Var(_)) = self.peek() {
+                    if let Some(Tok::Var(v)) = self.bump() {
+                        query.group_by.push(v);
+                    }
+                }
+                if query.group_by.is_empty() {
+                    return Err(self.err("GROUP BY requires at least one variable"));
+                }
+            }
+            if self.at_keyword("HAVING") {
+                self.bump();
+                query.having = Some(self.parse_expr()?);
+            }
+            if self.at_keyword("ORDER") {
+                self.bump();
+                self.eat_keyword("BY")?;
+                loop {
+                    let order = if self.at_keyword("ASC") {
+                        self.bump();
+                        Some(Order::Asc)
+                    } else if self.at_keyword("DESC") {
+                        self.bump();
+                        Some(Order::Desc)
+                    } else {
+                        None
+                    };
+                    let column = if order.is_some() {
+                        self.eat_sym("(")?;
+                        let v = self.expect_var()?;
+                        self.eat_sym(")")?;
+                        v
+                    } else {
+                        match self.peek() {
+                            Some(Tok::Var(_)) => self.expect_var()?,
+                            _ => break,
+                        }
+                    };
+                    query.order_by.push(OrderKey {
+                        column,
+                        order: order.unwrap_or(Order::Asc),
+                    });
+                }
+                if query.order_by.is_empty() {
+                    return Err(self.err("ORDER BY requires at least one key"));
+                }
+            }
+            if self.at_keyword("LIMIT") {
+                self.bump();
+                query.limit = Some(self.expect_usize()?);
+            }
+            if self.at_keyword("OFFSET") {
+                self.bump();
+                query.offset = Some(self.expect_usize()?);
+            }
+        }
+
+        match self.peek() {
+            None => Ok(query),
+            Some(t) => Err(self.err(format!("unexpected trailing token {t:?}"))),
+        }
+    }
+
+    fn expect_var(&mut self) -> Result<String, SparqlError> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(v),
+            other => Err(self.err(format!("expected variable, found {other:?}"))),
+        }
+    }
+
+    fn expect_usize(&mut self) -> Result<usize, SparqlError> {
+        match self.bump() {
+            Some(Tok::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Ok(n as usize),
+            other => Err(self.err(format!("expected non-negative integer, found {other:?}"))),
+        }
+    }
+
+    /// Consumes an optional `DISTINCT` inside an aggregate call, upgrading
+    /// `COUNT` to `COUNT(DISTINCT …)`; other aggregates reject it.
+    fn apply_agg_distinct(&mut self, func: AggFunc) -> Result<AggFunc, SparqlError> {
+        if !self.at_keyword("DISTINCT") {
+            return Ok(func);
+        }
+        self.bump();
+        match func {
+            AggFunc::Count => Ok(AggFunc::CountDistinct),
+            other => Err(self.err(format!(
+                "DISTINCT inside {}() is not supported",
+                other.keyword()
+            ))),
+        }
+    }
+
+    fn try_parse_agg_keyword(&self) -> Option<AggFunc> {
+        if let Some(Tok::Word(w)) = self.peek() {
+            let func = match w.to_ascii_uppercase().as_str() {
+                "SUM" => AggFunc::Sum,
+                "MIN" => AggFunc::Min,
+                "MAX" => AggFunc::Max,
+                "AVG" => AggFunc::Avg,
+                "COUNT" => AggFunc::Count,
+                _ => return None,
+            };
+            // must be followed by '('
+            if matches!(self.tokens.get(self.pos + 1).map(|s| &s.tok), Some(Tok::Sym("("))) {
+                return Some(func);
+            }
+        }
+        None
+    }
+
+    fn auto_alias(&mut self, func: AggFunc, expr: &Expr) -> String {
+        let base = match expr {
+            Expr::Var(v) => format!("{}_{}", func.keyword().to_ascii_lowercase(), v),
+            _ => {
+                self.agg_counter += 1;
+                format!("agg{}", self.agg_counter)
+            }
+        };
+        base
+    }
+
+    fn try_parse_select_item(&mut self) -> Result<Option<SelectItem>, SparqlError> {
+        match self.peek() {
+            Some(Tok::Var(_)) => {
+                let v = self.expect_var()?;
+                Ok(Some(SelectItem::Var(v)))
+            }
+            // paper-style bare aggregate: SUM(?x)
+            Some(Tok::Word(_)) if self.try_parse_agg_keyword().is_some() => {
+                let func = self.try_parse_agg_keyword().expect("checked");
+                self.bump(); // keyword
+                self.eat_sym("(")?;
+                let func = self.apply_agg_distinct(func)?;
+                let expr = if func == AggFunc::Count && self.at_sym("*") {
+                    self.bump();
+                    Expr::Number(1.0)
+                } else {
+                    self.parse_expr()?
+                };
+                self.eat_sym(")")?;
+                let alias = self.auto_alias(func, &expr);
+                Ok(Some(SelectItem::Agg { func, expr, alias }))
+            }
+            // strict form: ( AGG(?x) AS ?alias )
+            Some(Tok::Sym("(")) => {
+                self.bump();
+                let func = self
+                    .try_parse_agg_keyword()
+                    .ok_or_else(|| self.err("expected aggregate function after '('"))?;
+                self.bump();
+                self.eat_sym("(")?;
+                let func = self.apply_agg_distinct(func)?;
+                let expr = if func == AggFunc::Count && self.at_sym("*") {
+                    self.bump();
+                    Expr::Number(1.0)
+                } else {
+                    self.parse_expr()?
+                };
+                self.eat_sym(")")?;
+                self.eat_keyword("AS")?;
+                let alias = self.expect_var()?;
+                self.eat_sym(")")?;
+                Ok(Some(SelectItem::Agg { func, expr, alias }))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Vec<PatternElement>, SparqlError> {
+        self.eat_sym("{")?;
+        let mut elements = Vec::new();
+        loop {
+            if self.at_sym("}") {
+                self.bump();
+                return Ok(elements);
+            }
+            if self.at_keyword("FILTER") {
+                self.bump();
+                let expr = self.parse_expr()?;
+                elements.push(PatternElement::Filter(expr));
+                if self.at_sym(".") {
+                    self.bump();
+                }
+                continue;
+            }
+            if self.at_keyword("OPTIONAL") {
+                self.bump();
+                let inner = self.parse_group()?;
+                elements.push(PatternElement::Optional(inner));
+                if self.at_sym(".") {
+                    self.bump();
+                }
+                continue;
+            }
+            if self.at_sym("{") {
+                // `{ … } UNION { … }` — a braced group followed by one or
+                // more UNION branches. A bare braced group without UNION is
+                // spliced into the surrounding group (equivalent scope for
+                // this subset).
+                let first = self.parse_group()?;
+                if self.at_keyword("UNION") {
+                    let mut branches = vec![first];
+                    while self.at_keyword("UNION") {
+                        self.bump();
+                        branches.push(self.parse_group()?);
+                    }
+                    elements.push(PatternElement::Union(branches));
+                } else {
+                    elements.extend(first);
+                }
+                if self.at_sym(".") {
+                    self.bump();
+                }
+                continue;
+            }
+            let subject = self.parse_term_pattern()?;
+            loop {
+                let predicate = self.parse_predicate()?;
+                loop {
+                    let object = self.parse_term_pattern()?;
+                    elements.push(PatternElement::Triple(TriplePattern {
+                        subject: subject.clone(),
+                        predicate: predicate.clone(),
+                        object,
+                    }));
+                    if self.at_sym(",") {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.at_sym(";") {
+                    self.bump();
+                    if self.at_sym(".") || self.at_sym("}") {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if self.at_sym(".") {
+                self.bump();
+            }
+        }
+    }
+
+    fn resolve_pname(&self, prefix: &str, local: &str) -> Result<String, SparqlError> {
+        self.prefixes
+            .get(prefix)
+            .map(|base| format!("{base}{local}"))
+            .ok_or_else(|| SparqlError::syntax(self.line(), format!("unknown prefix '{prefix}:'")))
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, SparqlError> {
+        if let Some(Tok::Var(_)) = self.peek() {
+            let v = self.expect_var()?;
+            return Ok(Predicate::Var(v));
+        }
+        let mut path = vec![self.parse_path_element()?];
+        while self.at_sym("/") {
+            self.bump();
+            path.push(self.parse_path_element()?);
+        }
+        Ok(Predicate::Path(path))
+    }
+
+    fn parse_path_element(&mut self) -> Result<String, SparqlError> {
+        match self.bump() {
+            Some(Tok::Iri(iri)) => Ok(iri),
+            Some(Tok::PName(p, l)) => self.resolve_pname(&p, &l),
+            Some(Tok::Word(w)) if w == "a" => Ok(vocab::rdf::TYPE.to_owned()),
+            other => Err(self.err(format!("expected predicate IRI, found {other:?}"))),
+        }
+    }
+
+    fn parse_term_pattern(&mut self) -> Result<TermPattern, SparqlError> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(TermPattern::Var(v)),
+            Some(Tok::Iri(iri)) => Ok(TermPattern::Iri(iri)),
+            Some(Tok::PName(p, l)) => Ok(TermPattern::Iri(self.resolve_pname(&p, &l)?)),
+            Some(Tok::Literal(l)) => Ok(TermPattern::Literal(l)),
+            Some(Tok::Number(n)) => Ok(TermPattern::Literal(number_literal(n))),
+            other => Err(self.err(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, SparqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_and()?;
+        while self.at_sym("||") {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_relational()?;
+        while self.at_sym("&&") {
+            self.bump();
+            let right = self.parse_relational()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, SparqlError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => Some(CmpOp::Eq),
+            Some(Tok::Sym("!=")) => Some(CmpOp::Ne),
+            Some(Tok::Sym("<")) => Some(CmpOp::Lt),
+            Some(Tok::Sym("<=")) => Some(CmpOp::Le),
+            Some(Tok::Sym(">")) => Some(CmpOp::Gt),
+            Some(Tok::Sym(">=")) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(Expr::cmp(left, op, right));
+        }
+        if self.at_keyword("IN") {
+            self.bump();
+            let list = self.parse_expr_list()?;
+            return Ok(Expr::In(Box::new(left), list));
+        }
+        if self.at_keyword("NOT") {
+            self.bump();
+            self.eat_keyword("IN")?;
+            let list = self.parse_expr_list()?;
+            return Ok(Expr::Not(Box::new(Expr::In(Box::new(left), list))));
+        }
+        Ok(left)
+    }
+
+    fn parse_expr_list(&mut self) -> Result<Vec<Expr>, SparqlError> {
+        self.eat_sym("(")?;
+        let mut list = Vec::new();
+        if !self.at_sym(")") {
+            loop {
+                list.push(self.parse_expr()?);
+                if self.at_sym(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_sym(")")?;
+        Ok(list)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => ArithOp::Add,
+                Some(Tok::Sym("-")) => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SparqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => ArithOp::Mul,
+                Some(Tok::Sym("/")) => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SparqlError> {
+        if self.at_sym("!") {
+            self.bump();
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SparqlError> {
+        if let Some(func) = self.try_parse_agg_keyword() {
+            self.bump();
+            self.eat_sym("(")?;
+            let func = self.apply_agg_distinct(func)?;
+            let inner = if func == AggFunc::Count && self.at_sym("*") {
+                self.bump();
+                Expr::Number(1.0)
+            } else {
+                self.parse_expr()?
+            };
+            self.eat_sym(")")?;
+            return Ok(Expr::Agg(func, Box::new(inner)));
+        }
+        match self.peek().cloned() {
+            Some(Tok::Sym("(")) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Var(_)) => {
+                let v = self.expect_var()?;
+                Ok(Expr::Var(v))
+            }
+            Some(Tok::Number(n)) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            Some(Tok::Iri(iri)) => {
+                self.bump();
+                Ok(Expr::Iri(iri))
+            }
+            Some(Tok::PName(p, l)) => {
+                self.bump();
+                Ok(Expr::Iri(self.resolve_pname(&p, &l)?))
+            }
+            Some(Tok::Literal(lit)) => {
+                self.bump();
+                Ok(Expr::Literal(lit))
+            }
+            Some(Tok::Word(w)) => {
+                let func = match w.to_ascii_uppercase().as_str() {
+                    "TRUE" => {
+                        self.bump();
+                        return Ok(Expr::Bool(true));
+                    }
+                    "FALSE" => {
+                        self.bump();
+                        return Ok(Expr::Bool(false));
+                    }
+                    "STR" => Func::Str,
+                    "LCASE" => Func::LCase,
+                    "CONTAINS" => Func::Contains,
+                    "BOUND" => Func::Bound,
+                    "ABS" => Func::Abs,
+                    "ISIRI" | "ISURI" => Func::IsIri,
+                    "ISLITERAL" => Func::IsLiteral,
+                    "ISNUMERIC" => Func::IsNumeric,
+                    other => return Err(self.err(format!("unknown function '{other}'"))),
+                };
+                self.bump();
+                let args = self.parse_expr_list()?;
+                let arity = match func {
+                    Func::Contains => 2,
+                    _ => 1,
+                };
+                if args.len() != arity {
+                    return Err(self.err(format!(
+                        "{} expects {arity} argument(s), got {}",
+                        func.keyword(),
+                        args.len()
+                    )));
+                }
+                Ok(Expr::Call(func, args))
+            }
+            other => Err(self.err(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+fn number_literal(n: f64) -> Literal {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        Literal::integer(n as i64)
+    } else {
+        Literal::decimal(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_figure2_query() {
+        let q = parse_query(
+            "SELECT ?origin ?dest SUM(?obsValue) WHERE {
+                ?obs <http://ex/Country_Origin> / <http://ex/In_Continent> ?origin .
+                ?obs <http://ex/Country_Destination> ?dest .
+                ?obs <http://ex/Num_Applicants> ?obsValue .
+            } GROUP BY ?origin ?dest",
+        )
+        .expect("parse");
+        assert_eq!(q.form, QueryForm::Select);
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[2].name(), "sum_obsValue");
+        assert_eq!(q.group_by, vec!["origin", "dest"]);
+        let patterns: Vec<_> = q.triple_patterns().collect();
+        assert_eq!(patterns.len(), 3);
+        assert_eq!(patterns[0].predicate.as_path().map(<[String]>::len), Some(2));
+    }
+
+    #[test]
+    fn strict_projection_alias() {
+        let q = parse_query(
+            "SELECT ?d (SUM(?v) AS ?total) WHERE { ?o <http://ex/p> ?d . ?o <http://ex/m> ?v } GROUP BY ?d",
+        )
+        .expect("parse");
+        assert_eq!(q.select[1].name(), "total");
+    }
+
+    #[test]
+    fn prefixes_resolve_in_patterns_and_expressions() {
+        let q = parse_query(
+            "PREFIX ex: <http://ex/>
+             SELECT ?x WHERE { ?x a ex:Observation . FILTER(?x != ex:bad) }",
+        )
+        .expect("parse");
+        let patterns: Vec<_> = q.triple_patterns().collect();
+        assert_eq!(
+            patterns[0].predicate.as_path().map(|p| p[0].as_str()),
+            Some(vocab::rdf::TYPE)
+        );
+        let filters: Vec<_> = q.filters().collect();
+        assert!(matches!(
+            filters[0],
+            Expr::Cmp(_, CmpOp::Ne, b) if matches!(&**b, Expr::Iri(i) if i == "http://ex/bad")
+        ));
+    }
+
+    #[test]
+    fn ask_form() {
+        let q = parse_query("ASK { ?s <http://ex/p> ?o }").expect("parse");
+        assert_eq!(q.form, QueryForm::Ask);
+        let q = parse_query("ASK WHERE { ?s <http://ex/p> ?o }").expect("parse");
+        assert_eq!(q.form, QueryForm::Ask);
+    }
+
+    #[test]
+    fn solution_modifiers() {
+        let q = parse_query(
+            "SELECT DISTINCT ?x (COUNT(*) AS ?n) WHERE { ?x <http://ex/p> ?y }
+             GROUP BY ?x HAVING (COUNT(*) > 2) ORDER BY DESC(?n) ?x LIMIT 10 OFFSET 5",
+        )
+        .expect("parse");
+        assert!(q.distinct);
+        assert!(q.having.as_ref().is_some_and(Expr::has_aggregate));
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.order_by[0].order, Order::Desc);
+        assert_eq!(q.order_by[1].order, Order::Asc);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn semicolon_and_comma_sugar() {
+        let q = parse_query(
+            "SELECT * WHERE { ?o <http://ex/a> ?x ; <http://ex/b> ?y , ?z . }",
+        )
+        .expect("parse");
+        assert_eq!(q.triple_patterns().count(), 3);
+        // all share the subject
+        for t in q.triple_patterns() {
+            assert_eq!(t.subject.as_var(), Some("o"));
+        }
+    }
+
+    #[test]
+    fn less_than_vs_iri_disambiguation() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?s <http://ex/p> ?x . FILTER(?x < 10 && ?x >= 2) }",
+        )
+        .expect("parse");
+        assert_eq!(q.filters().count(), 1);
+    }
+
+    #[test]
+    fn in_and_not_in() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?s <http://ex/p> ?x .
+             FILTER(?x IN (<http://ex/a>, <http://ex/b>)) FILTER(?x NOT IN (3)) }",
+        )
+        .expect("parse");
+        let filters: Vec<_> = q.filters().collect();
+        assert_eq!(filters.len(), 2);
+        assert!(matches!(filters[0], Expr::In(_, list) if list.len() == 2));
+        assert!(matches!(filters[1], Expr::Not(_)));
+    }
+
+    #[test]
+    fn string_functions_and_literals() {
+        let q = parse_query(
+            r#"SELECT ?x WHERE { ?x <http://ex/label> ?l .
+               FILTER(CONTAINS(LCASE(STR(?l)), "germany") || ?l = "X"@en || ?l = "4"^^<http://www.w3.org/2001/XMLSchema#integer>) }"#,
+        )
+        .expect("parse");
+        assert_eq!(q.filters().count(), 1);
+    }
+
+    #[test]
+    fn negative_numbers_and_arithmetic() {
+        let q = parse_query(
+            "SELECT ?x WHERE { ?s <http://ex/p> ?x . FILTER(?x * 2 + -3 > 1 - 0.5) }",
+        )
+        .expect("parse");
+        assert_eq!(q.filters().count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_query("SELECT ?x WHERE {\n ?s ?p }").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_prefix() {
+        let err = parse_query("SELECT ?x WHERE { ?x a nope:Thing }").unwrap_err();
+        assert!(err.to_string().contains("unknown prefix"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_query("SELECT ?x WHERE { ?x <http://ex/p> ?y } BOGUS").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn variable_predicates_supported_for_schema_discovery() {
+        let q = parse_query("SELECT DISTINCT ?p WHERE { ?s ?p ?o }").expect("parse");
+        let patterns: Vec<_> = q.triple_patterns().collect();
+        assert_eq!(patterns[0].predicate.as_var(), Some("p"));
+        assert_eq!(q.pattern_variables(), vec!["s", "p", "o"]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Rendering queries back to SPARQL text.
+//!
+//! RE²xOLAP presents reverse-engineered queries to the user (Figure 10 of
+//! the paper); this printer produces standard SPARQL 1.1 that the crate's
+//! own parser round-trips.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a query as SPARQL text.
+pub fn query_to_sparql(query: &Query) -> String {
+    let mut out = String::new();
+    match query.form {
+        QueryForm::Ask => out.push_str("ASK WHERE {\n"),
+        QueryForm::Select => {
+            out.push_str("SELECT ");
+            if query.distinct {
+                out.push_str("DISTINCT ");
+            }
+            if query.select.is_empty() {
+                out.push('*');
+            } else {
+                let items: Vec<String> = query.select.iter().map(select_item).collect();
+                out.push_str(&items.join(" "));
+            }
+            out.push_str(" WHERE {\n");
+        }
+    }
+    write_elements(&mut out, &query.wher, 1);
+    out.push('}');
+    if !query.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for v in &query.group_by {
+            let _ = write!(out, " ?{v}");
+        }
+    }
+    if let Some(h) = &query.having {
+        let _ = write!(out, " HAVING({})", expr(h));
+    }
+    if !query.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for key in &query.order_by {
+            match key.order {
+                Order::Asc => {
+                    let _ = write!(out, " ASC(?{})", key.column);
+                }
+                Order::Desc => {
+                    let _ = write!(out, " DESC(?{})", key.column);
+                }
+            }
+        }
+    }
+    if let Some(l) = query.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+    if let Some(o) = query.offset {
+        let _ = write!(out, " OFFSET {o}");
+    }
+    out
+}
+
+fn write_elements(out: &mut String, elements: &[PatternElement], depth: usize) {
+    let pad = "  ".repeat(depth);
+    for element in elements {
+        match element {
+            PatternElement::Triple(t) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} {} {} .",
+                    term_pattern(&t.subject),
+                    predicate(&t.predicate),
+                    term_pattern(&t.object)
+                );
+            }
+            PatternElement::Filter(e) => {
+                let _ = writeln!(out, "{pad}FILTER({})", expr(e));
+            }
+            PatternElement::Optional(inner) => {
+                let _ = writeln!(out, "{pad}OPTIONAL {{");
+                write_elements(out, inner, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            PatternElement::Union(branches) => {
+                for (i, branch) in branches.iter().enumerate() {
+                    if i == 0 {
+                        let _ = writeln!(out, "{pad}{{");
+                    } else {
+                        let _ = writeln!(out, "{pad}}} UNION {{");
+                    }
+                    write_elements(out, branch, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn select_item(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Var(v) => format!("?{v}"),
+        SelectItem::Agg { func, expr: e, alias } => {
+            format!("({}({}{}) AS ?{alias})", func.keyword(), distinct_marker(*func), expr(e))
+        }
+    }
+}
+
+fn distinct_marker(func: AggFunc) -> &'static str {
+    if func == AggFunc::CountDistinct {
+        "DISTINCT "
+    } else {
+        ""
+    }
+}
+
+fn term_pattern(tp: &TermPattern) -> String {
+    match tp {
+        TermPattern::Var(v) => format!("?{v}"),
+        TermPattern::Iri(iri) => format!("<{iri}>"),
+        TermPattern::Literal(l) => l.to_string(),
+    }
+}
+
+fn predicate(p: &Predicate) -> String {
+    match p {
+        Predicate::Var(v) => format!("?{v}"),
+        Predicate::Path(path) => path
+            .iter()
+            .map(|iri| format!("<{iri}>"))
+            .collect::<Vec<_>>()
+            .join(" / "),
+    }
+}
+
+/// Renders an expression with explicit parentheses around binary operators,
+/// which keeps precedence unambiguous under re-parsing.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => format!("?{v}"),
+        Expr::Iri(iri) => format!("<{iri}>"),
+        Expr::Literal(l) => l.to_string(),
+        Expr::Number(n) => crate::value::format_number(*n),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Not(inner) => format!("!({})", expr(inner)),
+        Expr::And(a, b) => format!("({} && {})", expr(a), expr(b)),
+        Expr::Or(a, b) => format!("({} || {})", expr(a), expr(b)),
+        Expr::Cmp(a, op, b) => format!("({} {} {})", expr(a), op.symbol(), expr(b)),
+        Expr::Arith(a, op, b) => format!("({} {} {})", expr(a), op.symbol(), expr(b)),
+        Expr::In(a, list) => {
+            let items: Vec<String> = list.iter().map(expr).collect();
+            format!("({} IN ({}))", expr(a), items.join(", "))
+        }
+        Expr::Call(f, args) => {
+            let items: Vec<String> = args.iter().map(expr).collect();
+            format!("{}({})", f.keyword(), items.join(", "))
+        }
+        Expr::Agg(f, inner) => format!("{}({}{})", f.keyword(), distinct_marker(*f), expr(inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(text: &str) {
+        let q1 = parse_query(text).expect("parse original");
+        let printed = query_to_sparql(&q1);
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse {printed}: {e}"));
+        assert_eq!(q1, q2, "printed form: {printed}");
+    }
+
+    #[test]
+    fn round_trips_figure2_style_query() {
+        round_trip(
+            "SELECT ?origin ?dest (SUM(?v) AS ?total) WHERE {
+                ?obs <http://ex/Country_Origin> / <http://ex/In_Continent> ?origin .
+                ?obs <http://ex/Country_Destination> ?dest .
+                ?obs <http://ex/Num_Applicants> ?v .
+            } GROUP BY ?origin ?dest",
+        );
+    }
+
+    #[test]
+    fn round_trips_filters_and_modifiers() {
+        round_trip(
+            r#"SELECT DISTINCT ?x (COUNT(?y) AS ?n) WHERE {
+                ?x <http://ex/p> ?y .
+                FILTER((?y > 3) && (?y <= 10) || !(?y = 7))
+                FILTER(?x IN (<http://ex/a>, <http://ex/b>))
+                FILTER(CONTAINS(LCASE(STR(?x)), "ber"))
+            } GROUP BY ?x HAVING(SUM(?y) > 100) ORDER BY DESC(?n) ASC(?x) LIMIT 5 OFFSET 2"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_ask_and_pred_vars() {
+        round_trip("ASK WHERE { ?s <http://ex/p> ?o }");
+        round_trip("SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+    }
+
+    #[test]
+    fn round_trips_literals() {
+        round_trip(
+            r#"SELECT ?x WHERE { ?x <http://ex/label> "Germany" . ?x <http://ex/n> "4"^^<http://www.w3.org/2001/XMLSchema#integer> . ?x <http://ex/l> "Wien"@de }"#,
+        );
+    }
+
+    #[test]
+    fn printed_form_is_readable() {
+        let q = parse_query(
+            "SELECT ?d (SUM(?v) AS ?total) WHERE { ?o <http://ex/dest> ?d . ?o <http://ex/m> ?v } GROUP BY ?d",
+        )
+        .expect("parse");
+        let text = query_to_sparql(&q);
+        assert!(text.starts_with("SELECT ?d (SUM(?v) AS ?total) WHERE {"));
+        assert!(text.contains("?o <http://ex/dest> ?d ."));
+        assert!(text.ends_with("GROUP BY ?d"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Runtime values and the solution-sequence representation.
+
+use re2x_rdf::{Graph, Term, TermId};
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+
+/// A runtime value: either a graph term or a value computed by an
+/// expression/aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An interned graph term.
+    Term(TermId),
+    /// A computed number (aggregates, arithmetic).
+    Number(f64),
+    /// A computed boolean.
+    Bool(bool),
+    /// A computed string (`STR`, `LCASE`, …).
+    Str(String),
+}
+
+impl Value {
+    /// Numeric interpretation, using the graph's cached literal parses.
+    pub fn as_number(&self, graph: &Graph) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Term(id) => graph.numeric_value(*id),
+            Value::Bool(_) | Value::Str(_) => None,
+        }
+    }
+
+    /// Boolean interpretation (SPARQL effective boolean value, restricted).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String form: lexical form for literals, the IRI for IRIs.
+    pub fn string_form(&self, graph: &Graph) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Number(n) => format_number(*n),
+            Value::Bool(b) => b.to_string(),
+            Value::Term(id) => match graph.term(*id) {
+                Term::Iri(iri) => iri.to_string(),
+                Term::BlankNode(b) => format!("_:{b}"),
+                Term::Literal(l) => l.lexical().to_owned(),
+            },
+        }
+    }
+
+    /// SPARQL `=` semantics (restricted): term identity when both sides are
+    /// terms; numeric equality when both sides are numeric; otherwise string
+    /// comparison of the string forms.
+    pub fn equals(&self, other: &Value, graph: &Graph) -> bool {
+        if let (Value::Term(a), Value::Term(b)) = (self, other) {
+            return a == b;
+        }
+        if let (Some(a), Some(b)) = (self.as_number(graph), other.as_number(graph)) {
+            return a == b;
+        }
+        self.string_form(graph) == other.string_form(graph)
+    }
+
+    /// Ordering used by comparisons and `ORDER BY`: numeric when both sides
+    /// are numeric, otherwise lexicographic on the string forms.
+    pub fn compare(&self, other: &Value, graph: &Graph) -> Ordering {
+        if let (Some(a), Some(b)) = (self.as_number(graph), other.as_number(graph)) {
+            return a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+        }
+        self.string_form(graph).cmp(&other.string_form(graph))
+    }
+}
+
+/// Renders a computed number the way SPARQL result serializations do:
+/// integral values without a fractional part.
+pub fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// A solution sequence: named columns plus rows of optional values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Solutions {
+    /// Output column names (without `?`).
+    pub vars: Vec<String>,
+    /// Rows; `None` marks an unbound column.
+    pub rows: Vec<Vec<Option<Value>>>,
+}
+
+impl Solutions {
+    /// Index of a column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at `(row, column-name)`.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let col = self.column(column)?;
+        self.rows.get(row)?.get(col)?.as_ref()
+    }
+
+    /// Renders the solutions as an aligned text table with IRI terms
+    /// replaced by their `rdfs:label` where one exists — the presentation
+    /// the interactive examples use.
+    pub fn to_labeled_table(&self, graph: &Graph) -> String {
+        let label_pred = graph.iri_id(re2x_rdf::vocab::rdfs::LABEL);
+        self.render_table(graph, |graph, value| match (value, label_pred) {
+            (Value::Term(id), Some(p)) if graph.term(*id).is_iri() => graph
+                .objects(*id, p)
+                .first()
+                .and_then(|&l| graph.term(l).as_literal())
+                .map(|l| l.lexical().to_owned()),
+            _ => None,
+        })
+    }
+
+    /// Renders the solutions as an aligned text table (for examples and the
+    /// `repro` binary).
+    pub fn to_table(&self, graph: &Graph) -> String {
+        self.render_table(graph, |_, _| None)
+    }
+
+    fn render_table(
+        &self,
+        graph: &Graph,
+        prettify: impl Fn(&Graph, &Value) -> Option<String>,
+    ) -> String {
+        let mut widths: Vec<usize> = self.vars.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, cell)| {
+                        let s = cell.as_ref().map_or_else(
+                            || "—".to_owned(),
+                            |v| prettify(graph, v).unwrap_or_else(|| v.string_form(graph)),
+                        );
+                        widths[i] = widths[i].max(s.chars().count());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, var) in self.vars.iter().enumerate() {
+            let _ = write!(out, "| {:w$} ", var, w = widths[i]);
+        }
+        out.push_str("|\n");
+        for &w in &widths {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+        }
+        out.push_str("|\n");
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "| {:w$} ", cell, w = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_rdf::Literal;
+
+    fn graph_with_terms() -> (Graph, TermId, TermId, TermId) {
+        let mut g = Graph::new();
+        let iri = g.intern_iri("http://ex/Germany");
+        let num = g.intern_literal(Literal::integer(42));
+        let txt = g.intern_literal(Literal::simple("Germany"));
+        (g, iri, num, txt)
+    }
+
+    #[test]
+    fn numeric_interpretation() {
+        let (g, iri, num, txt) = graph_with_terms();
+        assert_eq!(Value::Term(num).as_number(&g), Some(42.0));
+        assert_eq!(Value::Term(iri).as_number(&g), None);
+        assert_eq!(Value::Term(txt).as_number(&g), None);
+        assert_eq!(Value::Number(1.5).as_number(&g), Some(1.5));
+    }
+
+    #[test]
+    fn equality_semantics() {
+        let (g, iri, num, txt) = graph_with_terms();
+        assert!(Value::Term(iri).equals(&Value::Term(iri), &g));
+        assert!(!Value::Term(iri).equals(&Value::Term(txt), &g));
+        // numeric literal equals computed number
+        assert!(Value::Term(num).equals(&Value::Number(42.0), &g));
+        // plain literal compares by string form
+        assert!(Value::Term(txt).equals(&Value::Str("Germany".into()), &g));
+    }
+
+    #[test]
+    fn ordering_numeric_before_lexicographic() {
+        let (g, ..) = graph_with_terms();
+        assert_eq!(
+            Value::Number(2.0).compare(&Value::Number(10.0), &g),
+            Ordering::Less
+        );
+        // strings: "10" < "2" lexicographically
+        assert_eq!(
+            Value::Str("10".into()).compare(&Value::Str("2".into()), &g),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(8030.0), "8030");
+        assert_eq!(format_number(2.5), "2.5");
+        assert_eq!(format_number(-3.0), "-3");
+    }
+
+    #[test]
+    fn labeled_table_resolves_labels() {
+        let mut g = Graph::new();
+        let iri = g.intern_iri("http://ex/Germany");
+        let label_p = g.intern_iri(re2x_rdf::vocab::rdfs::LABEL);
+        let lit = g.intern_literal(Literal::simple("Germany"));
+        g.insert_ids(iri, label_p, lit);
+        let unlabeled = g.intern_iri("http://ex/NoLabel");
+        let sols = Solutions {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![vec![Some(Value::Term(iri)), Some(Value::Term(unlabeled))]],
+        };
+        let table = sols.to_labeled_table(&g);
+        assert!(table.contains("Germany"));
+        assert!(!table.contains("http://ex/Germany"), "{table}");
+        assert!(table.contains("http://ex/NoLabel"), "fallback to IRI");
+    }
+
+    #[test]
+    fn solutions_accessors_and_table() {
+        let (g, iri, num, _) = graph_with_terms();
+        let sols = Solutions {
+            vars: vec!["dest".into(), "total".into()],
+            rows: vec![vec![Some(Value::Term(iri)), Some(Value::Term(num))]],
+        };
+        assert_eq!(sols.column("total"), Some(1));
+        assert_eq!(sols.column("nope"), None);
+        assert_eq!(sols.len(), 1);
+        let v = sols.value(0, "total").expect("bound");
+        assert_eq!(v.as_number(&g), Some(42.0));
+        let table = sols.to_table(&g);
+        assert!(table.contains("http://ex/Germany"));
+        assert!(table.contains("42"));
+    }
+}

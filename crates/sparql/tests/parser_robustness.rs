@@ -1,0 +1,72 @@
+//! Robustness properties of the SPARQL parser: it must never panic, and
+//! parse→print→parse must be a fixpoint on the structured query space.
+
+use proptest::prelude::*;
+use re2x_sparql::{parse_query, query_to_sparql};
+
+proptest! {
+    /// The parser returns `Ok` or `Err` on arbitrary input — it never
+    /// panics, loops, or overflows.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = parse_query(&input);
+    }
+
+    /// Same for byte soup that stays valid UTF-8 but leans on the
+    /// characters the lexer special-cases.
+    #[test]
+    fn parser_never_panics_on_syntax_soup(
+        input in r#"[ \t\nSELECTWHERFIGOUP?<>{}()./;,"'\\&|!=+*a-z0-9^@-]{0,120}"#
+    ) {
+        let _ = parse_query(&input);
+    }
+
+    /// parse ∘ print is idempotent over randomly composed valid queries.
+    #[test]
+    fn print_parse_fixpoint(
+        vars in proptest::collection::vec("[a-z][a-z0-9]{0,5}", 1..4),
+        path_len in 1usize..3,
+        distinct in any::<bool>(),
+        limit in proptest::option::of(0usize..100),
+        agg in any::<bool>(),
+        filter_threshold in proptest::option::of(-1000i32..1000),
+    ) {
+        // assemble a query from the generated fragments
+        let mut body = String::new();
+        for (i, v) in vars.iter().enumerate() {
+            let path = (0..path_len)
+                .map(|k| format!("<http://ex/p{i}_{k}>"))
+                .collect::<Vec<_>>()
+                .join(" / ");
+            body.push_str(&format!("?obs {path} ?{v} . "));
+        }
+        body.push_str("?obs <http://ex/m> ?value . ");
+        if let Some(t) = filter_threshold {
+            body.push_str(&format!("FILTER(?value > {t}) "));
+        }
+        let projection = if agg {
+            let group: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
+            format!("{} (SUM(?value) AS ?total)", group.join(" "))
+        } else {
+            "*".to_owned()
+        };
+        let mut text = format!(
+            "SELECT {}{projection} WHERE {{ {body}}}",
+            if distinct { "DISTINCT " } else { "" },
+        );
+        if agg {
+            let group: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
+            text.push_str(&format!(" GROUP BY {}", group.join(" ")));
+        }
+        if let Some(l) = limit {
+            text.push_str(&format!(" LIMIT {l}"));
+        }
+
+        let q1 = parse_query(&text).expect("assembled query parses");
+        let printed = query_to_sparql(&q1);
+        let q2 = parse_query(&printed).expect("printed query parses");
+        prop_assert_eq!(&q1, &q2, "fixpoint violated for {}", printed);
+        // printing is deterministic
+        prop_assert_eq!(query_to_sparql(&q2), printed);
+    }
+}

@@ -1,0 +1,210 @@
+//! Interactive example-driven exploration shell — the full RE²xOLAP system
+//! as a terminal application (Algorithm 2 with a human in the loop).
+//!
+//! ```sh
+//! cargo run --release --example explore -- running
+//! # or: eurostat | production | dbpedia | path/to/data.ttl <observation-class>
+//! ```
+//!
+//! Commands (also usable non-interactively by piping them in):
+//!
+//! ```text
+//! ex <kw> [, <kw> …]   synthesize queries from an example tuple
+//! pick <n>             execute candidate/refinement n
+//! dis | topk | perc | sim   list refinements of the current query
+//! not <kw>             exclude members matching <kw> (negative example)
+//! show                 print the current result set
+//! sparql               print the current query as SPARQL
+//! plan                 print the engine's evaluation plan for it
+//! profile              print the dataset profile (dimensions, members)
+//! transcript           print the session as a Markdown report
+//! back                 backtrack one step
+//! quit
+//! ```
+
+use re2x_cube::{bootstrap, BootstrapConfig};
+use re2x_rdf::io::{parse_ntriples, parse_turtle};
+use re2x_rdf::Graph;
+use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
+use re2xolap::{
+    exclude_negatives, profile, rank_interpretations, session_transcript, MatchMode, OlapQuery,
+    RefineOp, Refinement, Session, SessionConfig,
+};
+use std::io::BufRead;
+
+fn load(args: &[String]) -> Result<(Graph, String), Box<dyn std::error::Error>> {
+    let source = args.first().map(String::as_str).unwrap_or("running");
+    let qb = re2x_rdf::vocab::qb::OBSERVATION.to_owned();
+    Ok(match source {
+        "running" => (std::mem::take(&mut re2x_datagen::running::generate().graph), qb),
+        "eurostat" => (
+            std::mem::take(&mut re2x_datagen::eurostat::generate(5_000, 42).graph),
+            qb,
+        ),
+        "production" => (
+            std::mem::take(&mut re2x_datagen::production::generate(5_000, 42).graph),
+            qb,
+        ),
+        "dbpedia" => (
+            std::mem::take(&mut re2x_datagen::dbpedia::generate(5_000, 42).graph),
+            "http://data.example.org/dbpedia/CreativeWork".to_owned(),
+        ),
+        path => {
+            let class = args.get(1).cloned().unwrap_or(qb);
+            let text = std::fs::read_to_string(path)?;
+            let mut graph = Graph::new();
+            if path.ends_with(".nt") {
+                parse_ntriples(&text, &mut graph)?;
+            } else {
+                parse_turtle(&text, &mut graph)?;
+            }
+            (graph, class)
+        }
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (graph, class) = load(&args)?;
+    println!("loaded {} triples; bootstrapping …", graph.len());
+    let endpoint = LocalEndpoint::new(graph);
+    let report = bootstrap(&endpoint, &BootstrapConfig::new(&class))?;
+    let schema = report.schema;
+    let stats = schema.stats();
+    println!(
+        "schema: {} dimensions, {} measures, {} levels, {} members ({:?})",
+        stats.dimensions, stats.measures, stats.levels, stats.members, report.elapsed
+    );
+    println!("type 'ex <keyword>[, <keyword>…]' to start, 'quit' to leave.\n");
+
+    let mut session = Session::new(&endpoint, &schema, SessionConfig::default());
+    // candidates awaiting a `pick`: either synthesized queries or
+    // refinements of the current step
+    let mut pending_queries: Vec<OlapQuery> = Vec::new();
+    let mut pending_refinements: Vec<Refinement> = Vec::new();
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let line = line.trim();
+        let (command, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let result = (|| -> Result<(), Box<dyn std::error::Error>> {
+            match command {
+                "" => {}
+                "quit" | "exit" => std::process::exit(0),
+                "ex" => {
+                    let keywords: Vec<&str> =
+                        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                    if keywords.is_empty() {
+                        println!("usage: ex <keyword>[, <keyword>…]");
+                        return Ok(());
+                    }
+                    let outcome = session.synthesize(&keywords)?;
+                    let ranked = rank_interpretations(&schema, outcome.queries);
+                    pending_queries = ranked.into_iter().map(|r| r.query).collect();
+                    pending_refinements.clear();
+                    println!("{} interpretation(s):", pending_queries.len());
+                    for (i, q) in pending_queries.iter().enumerate() {
+                        println!("  [{i}] {}", q.description);
+                    }
+                    println!("pick one with 'pick <n>'");
+                }
+                "pick" => {
+                    let n: usize = rest.trim().parse()?;
+                    let query = if !pending_refinements.is_empty() {
+                        pending_refinements
+                            .get(n)
+                            .ok_or("no such refinement")?
+                            .query
+                            .clone()
+                    } else {
+                        pending_queries.get(n).ok_or("no such candidate")?.clone()
+                    };
+                    pending_queries.clear();
+                    pending_refinements.clear();
+                    let step = session.choose(query)?;
+                    println!("{} row(s):", step.solutions.len());
+                    let mut preview = step.solutions.clone();
+                    preview.rows.truncate(15);
+                    println!("{}", preview.to_labeled_table(endpoint.graph()));
+                }
+                "dis" | "topk" | "perc" | "sim" => {
+                    let op = match command {
+                        "dis" => RefineOp::Disaggregate,
+                        "topk" => RefineOp::TopK,
+                        "perc" => RefineOp::Percentile,
+                        _ => RefineOp::Similarity,
+                    };
+                    pending_refinements = session.refinements(op)?;
+                    pending_queries.clear();
+                    if pending_refinements.is_empty() {
+                        println!("no {command} refinements apply here");
+                    }
+                    for (i, r) in pending_refinements.iter().enumerate() {
+                        println!("  [{i}] {}", r.explanation);
+                    }
+                }
+                "not" => {
+                    let step = session.current().ok_or("run a query first")?;
+                    let negatives: Vec<&str> =
+                        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                    let outcome = exclude_negatives(
+                        &endpoint,
+                        &schema,
+                        &step.query,
+                        &negatives,
+                        MatchMode::Exact,
+                    )?;
+                    for (kw, member) in &outcome.excluded {
+                        println!("excluding {kw} ({member})");
+                    }
+                    for kw in &outcome.inert {
+                        println!("note: '{kw}' cannot appear in this view; nothing to exclude");
+                    }
+                    let step = session.choose(outcome.query)?;
+                    println!("{} row(s) remain", step.solutions.len());
+                }
+                "show" => {
+                    let step = session.current().ok_or("run a query first")?;
+                    println!("{}", step.solutions.to_labeled_table(endpoint.graph()));
+                }
+                "sparql" => {
+                    let step = session.current().ok_or("run a query first")?;
+                    println!("{}", step.query.sparql());
+                }
+                "plan" => {
+                    let step = session.current().ok_or("run a query first")?;
+                    println!(
+                        "{}",
+                        re2x_sparql::explain(endpoint.graph(), &step.query.query)?
+                    );
+                }
+                "profile" => {
+                    println!("{}", profile(&endpoint, &schema)?.render());
+                }
+                "transcript" => {
+                    println!("{}", session_transcript(&session, endpoint.graph()));
+                }
+                "back" => {
+                    if session.backtrack() {
+                        let step = session.current().expect("history non-empty");
+                        println!("back to: {} ({} rows)", step.query.description, step.solutions.len());
+                    } else {
+                        println!("already at the first step");
+                    }
+                }
+                other => println!("unknown command '{other}'"),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            println!("error: {e}");
+        }
+    }
+    let m = session.metrics();
+    println!(
+        "\nsession: {} interactions, {} paths offered, {} tuples accessed",
+        m.interactions, m.paths_offered, m.tuples_accessible
+    );
+    Ok(())
+}

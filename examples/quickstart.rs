@@ -1,0 +1,63 @@
+//! Quickstart: example-driven analytics in ~40 lines.
+//!
+//! Builds a miniature statistical KG from Turtle, bootstraps the schema
+//! automatically, and asks RE²xOLAP for the analytical queries behind the
+//! single example entity "Germany" — no SPARQL written by hand.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use re2x_cube::{bootstrap, BootstrapConfig};
+use re2x_rdf::{io::parse_turtle, Graph};
+use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
+use re2xolap::{Session, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A tiny statistical KG: asylum applications by destination/origin.
+    let mut graph = Graph::new();
+    parse_turtle(
+        r#"
+        @prefix ex: <http://example.org/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+        ex:Germany rdfs:label "Germany" .
+        ex:France  rdfs:label "France" .
+        ex:Syria   rdfs:label "Syria" ; ex:inContinent ex:Asia .
+        ex:Iraq    rdfs:label "Iraq"  ; ex:inContinent ex:Asia .
+        ex:Asia    rdfs:label "Asia" .
+
+        ex:obs1 a ex:Observation ; ex:destination ex:Germany ;
+                ex:origin ex:Syria ; ex:applicants 4000 .
+        ex:obs2 a ex:Observation ; ex:destination ex:Germany ;
+                ex:origin ex:Iraq  ; ex:applicants 2500 .
+        ex:obs3 a ex:Observation ; ex:destination ex:France ;
+                ex:origin ex:Syria ; ex:applicants 2511 .
+        "#,
+        &mut graph,
+    )?;
+
+    // 2. Serve it through a SPARQL endpoint and discover the schema: the
+    //    system is told only the observation class.
+    let endpoint = LocalEndpoint::new(graph);
+    let report = bootstrap(&endpoint, &BootstrapConfig::new("http://example.org/Observation"))?;
+    let stats = report.schema.stats();
+    println!(
+        "discovered {} dimensions, {} measure(s), {} levels in {:?}\n",
+        stats.dimensions, stats.measures, stats.levels, report.elapsed
+    );
+
+    // 3. Reverse engineer analytical queries from one example entity.
+    let mut session = Session::new(&endpoint, &report.schema, SessionConfig::default());
+    let outcome = session.synthesize(&["Germany"])?;
+    println!("candidate interpretations for ⟨\"Germany\"⟩:");
+    for (i, q) in outcome.queries.iter().enumerate() {
+        println!("  [{i}] {}", q.description);
+    }
+
+    // 4. Run the first one and show its results.
+    let step = session.choose(outcome.queries[0].clone())?;
+    println!("\n{}", step.query.sparql());
+    println!("\n{}", step.solutions.to_table(endpoint.graph()));
+    Ok(())
+}

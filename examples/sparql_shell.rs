@@ -1,0 +1,65 @@
+//! A minimal SPARQL shell over the bundled engine — for users who *do*
+//! want to write queries, and as a demonstration that RE²xOLAP's output is
+//! plain SPARQL anyone can rerun.
+//!
+//! ```sh
+//! # query a generated dataset (eurostat | production | dbpedia | running)
+//! cargo run --release --example sparql_shell -- eurostat \
+//!   'SELECT ?c (SUM(?v) AS ?total) WHERE {
+//!      ?o <http://data.example.org/eurostat/geo> ?c .
+//!      ?o <http://data.example.org/eurostat/numApplicants> ?v
+//!    } GROUP BY ?c ORDER BY DESC(?total) LIMIT 5'
+//!
+//! # or load your own Turtle/N-Triples file
+//! cargo run --release --example sparql_shell -- ./data.ttl 'SELECT * WHERE { ?s ?p ?o } LIMIT 10'
+//! ```
+
+use re2x_rdf::io::{parse_ntriples, parse_turtle};
+use re2x_rdf::Graph;
+use re2x_sparql::{parse_query, LocalEndpoint, SparqlEndpoint};
+
+fn load(source: &str) -> Result<Graph, Box<dyn std::error::Error>> {
+    match source {
+        "eurostat" => Ok(std::mem::take(
+            &mut re2x_datagen::eurostat::generate(5_000, 42).graph,
+        )),
+        "production" => Ok(std::mem::take(
+            &mut re2x_datagen::production::generate(5_000, 42).graph,
+        )),
+        "dbpedia" => Ok(std::mem::take(
+            &mut re2x_datagen::dbpedia::generate(5_000, 42).graph,
+        )),
+        "running" => Ok(std::mem::take(&mut re2x_datagen::running::generate().graph)),
+        path => {
+            let text = std::fs::read_to_string(path)?;
+            let mut graph = Graph::new();
+            if path.ends_with(".nt") {
+                parse_ntriples(&text, &mut graph)?;
+            } else {
+                parse_turtle(&text, &mut graph)?;
+            }
+            Ok(graph)
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let (Some(source), Some(query_text)) = (args.next(), args.next()) else {
+        eprintln!("usage: sparql_shell <eurostat|production|dbpedia|running|FILE> <QUERY>");
+        std::process::exit(2);
+    };
+    let graph = load(&source)?;
+    println!("loaded {} triples from '{source}'", graph.len());
+    let endpoint = LocalEndpoint::new(graph);
+    let query = parse_query(&query_text)?;
+    let started = std::time::Instant::now();
+    let solutions = endpoint.select(&query)?;
+    println!(
+        "{} row(s) in {:?}\n\n{}",
+        solutions.len(),
+        started.elapsed(),
+        solutions.to_labeled_table(endpoint.graph())
+    );
+    Ok(())
+}

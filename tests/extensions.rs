@@ -1,0 +1,161 @@
+//! Integration coverage of the future-work extensions over generated
+//! datasets: ranking, negative examples, profiling, transcripts, the
+//! Spade-style explorer, incremental refresh, and EXPLAIN — everything
+//! working together on one KG.
+
+use re2x_cube::{bootstrap, refresh, BootstrapConfig};
+use re2x_datagen::Dataset;
+use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
+use re2xolap::{
+    exclude_negatives, profile, rank_interpretations, rank_refinements, session_transcript,
+    MatchMode, RefineOp, ReolapConfig, Session, SessionConfig,
+};
+
+fn eurostat() -> (Dataset, LocalEndpoint, re2x_cube::VirtualSchemaGraph) {
+    let mut dataset = re2x_datagen::eurostat::generate(1_000, 17);
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph);
+    let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+        .expect("bootstrap")
+        .schema;
+    (dataset, endpoint, schema)
+}
+
+#[test]
+fn ranking_orders_ambiguous_country_interpretations() {
+    let (_d, endpoint, schema) = eurostat();
+    // "Germany" is both an origin (citizen) and a destination (geo) member
+    let outcome = re2xolap::reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
+        .expect("synthesis");
+    assert_eq!(outcome.queries.len(), 2, "two dimension interpretations");
+    let ranked = rank_interpretations(&schema, outcome.queries);
+    // both are exact base-level matches; the destination level has 32
+    // members vs 171 origins, so it is the more specific interpretation
+    assert!(ranked[0].query.description.contains("Destination"), "{}", ranked[0].query.description);
+    assert!(ranked[0].score() >= ranked[1].score());
+    for r in &ranked {
+        assert_eq!(r.factors.exactness, 1.0);
+        assert_eq!(r.factors.base_affinity, 1.0);
+    }
+}
+
+#[test]
+fn refinement_ranking_is_usable_in_a_session() {
+    let (_d, endpoint, schema) = eurostat();
+    let mut session = Session::new(&endpoint, &schema, SessionConfig::default());
+    let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+    let step = session.choose(outcome.queries[0].clone()).expect("runs");
+    let rows = step.solutions.len();
+    let refinements = session.refinements(RefineOp::Disaggregate).expect("dis");
+    let ranked = rank_refinements(&schema, refinements, rows, 20);
+    assert!(!ranked.is_empty());
+    // estimates ascendingly ordered by distance to the 20-row target
+    for w in ranked.windows(2) {
+        assert!(w[0].1.abs_diff(20) <= w[1].1.abs_diff(20));
+    }
+}
+
+#[test]
+fn negatives_compose_with_refinements_on_generated_data() {
+    let (_d, endpoint, schema) = eurostat();
+    let outcome = re2xolap::reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
+        .expect("synthesis");
+    let query = outcome
+        .queries
+        .iter()
+        .find(|q| q.description.contains("Destination"))
+        .expect("destination interpretation")
+        .clone();
+    let negative = exclude_negatives(&endpoint, &schema, &query, &["France"], MatchMode::Exact)
+        .expect("negatives");
+    assert_eq!(negative.excluded.len(), 1);
+    let sols = endpoint.select(&negative.query.query).expect("runs");
+    let france = endpoint.graph().iri_id("http://data.example.org/eurostat/member/country/1");
+    for row in &sols.rows {
+        for cell in row.iter().flatten() {
+            if let re2x_sparql::Value::Term(id) = cell {
+                assert_ne!(Some(*id), france, "France (country/1) excluded");
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_matches_schema_statistics() {
+    let (_d, endpoint, schema) = eurostat();
+    let p = profile(&endpoint, &schema).expect("profile");
+    assert_eq!(p.observations, 1_000);
+    assert_eq!(p.dimensions.len(), 4);
+    let rendered = p.render();
+    assert!(rendered.contains("Country of Origin"));
+    assert!(rendered.contains("measure Num Applicants"));
+    // member counts agree with the schema
+    for dim in &p.dimensions {
+        for level in &dim.levels {
+            let id = schema.level_by_path(&level.path).expect("level exists");
+            assert_eq!(schema.level(id).member_count, level.member_count);
+        }
+    }
+}
+
+#[test]
+fn transcript_of_a_generated_data_session() {
+    let (_d, endpoint, schema) = eurostat();
+    let mut session = Session::new(&endpoint, &schema, SessionConfig::default());
+    let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+    session.choose(outcome.queries[0].clone()).expect("runs");
+    let md = session_transcript(&session, endpoint.graph());
+    assert!(md.contains("## Step 1:"));
+    assert!(md.contains("SUM"));
+}
+
+#[test]
+fn spade_baseline_finds_skew_without_input() {
+    let (_d, endpoint, schema) = eurostat();
+    let found =
+        re2x_baselines::interesting_aggregates(&endpoint, &schema, 5).expect("explore");
+    assert_eq!(found.len(), 5);
+    for w in found.windows(2) {
+        assert!(w[0].score >= w[1].score, "sorted by interestingness");
+    }
+    // proposals execute
+    let sols = endpoint.select(&found[0].query).expect("runs");
+    assert_eq!(sols.len(), found[0].groups);
+}
+
+#[test]
+fn incremental_refresh_after_appending_observations() {
+    let (dataset, endpoint, mut schema) = eurostat();
+    let mut graph = endpoint.into_graph();
+    // append 50 more observations by re-running the generator at a larger
+    // scale and diffing is overkill — instead clone member links for new
+    // observation IRIs
+    let type_p = graph.intern_iri(re2x_rdf::vocab::rdf::TYPE);
+    let class = graph.intern_iri(&dataset.observation_class);
+    let sex = graph.intern_iri("http://data.example.org/eurostat/sex");
+    let sex_member = graph.intern_iri("http://data.example.org/eurostat/member/sex/0");
+    let measure = graph.intern_iri("http://data.example.org/eurostat/numApplicants");
+    for i in 0..50 {
+        let obs = graph.intern_iri(format!("http://data.example.org/eurostat/obs/extra{i}"));
+        let v = graph.intern_literal(re2x_rdf::Literal::integer(7));
+        graph.insert_ids(obs, type_p, class);
+        graph.insert_ids(obs, sex, sex_member);
+        graph.insert_ids(obs, measure, v);
+    }
+    let endpoint = LocalEndpoint::new(graph);
+    let report = refresh(&endpoint, &mut schema).expect("refresh");
+    assert_eq!(report.observations_before, 1_000);
+    assert_eq!(report.observations_after, 1_050);
+    assert_eq!(schema.observation_count, 1_050);
+}
+
+#[test]
+fn explain_covers_synthesized_queries() {
+    let (_d, endpoint, schema) = eurostat();
+    let outcome = re2xolap::reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
+        .expect("synthesis");
+    let plan = re2x_sparql::explain(endpoint.graph(), &outcome.queries[0].query)
+        .expect("explain");
+    assert!(plan.contains("group by"), "{plan}");
+    assert!(plan.contains("cost estimate"), "{plan}");
+}

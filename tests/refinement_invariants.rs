@@ -1,0 +1,209 @@
+//! Cross-crate invariants of the ExRef refinement suite, checked over
+//! randomized workloads on generated data (Problems 2a–2c of the paper).
+
+use re2x_cube::{bootstrap, BootstrapConfig};
+use re2x_datagen::example_workload_on;
+use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
+use re2xolap::refine::{disaggregate, similar, subset, RefinementKind};
+use re2xolap::{reolap, OlapQuery, ReolapConfig};
+
+struct Env {
+    endpoint: LocalEndpoint,
+    schema: re2x_cube::VirtualSchemaGraph,
+    dataset: re2x_datagen::Dataset,
+}
+
+fn eurostat_env() -> Env {
+    let mut dataset = re2x_datagen::eurostat::generate(1_500, 3);
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph);
+    let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+        .expect("bootstrap")
+        .schema;
+    Env {
+        endpoint,
+        schema,
+        dataset,
+    }
+}
+
+/// Synthesized queries across a randomized workload of sizes 1–2.
+fn sample_queries(env: &Env, seed: u64) -> Vec<OlapQuery> {
+    let mut out = Vec::new();
+    for size in [1usize, 2] {
+        let workload =
+            example_workload_on(env.endpoint.graph(), &env.dataset, size, 5, seed + size as u64);
+        for tuple in &workload {
+            let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
+            if let Ok(outcome) = reolap(&env.endpoint, &env.schema, &refs, &ReolapConfig::default())
+            {
+                out.extend(outcome.queries);
+            }
+        }
+    }
+    assert!(!out.is_empty(), "workload produced no queries");
+    out
+}
+
+#[test]
+fn disaggregate_never_repeats_or_rolls_up() {
+    let env = eurostat_env();
+    for query in sample_queries(&env, 11) {
+        for refinement in disaggregate::disaggregate(&env.schema, &query) {
+            let RefinementKind::Disaggregate { level } = refinement.kind else {
+                panic!("wrong kind");
+            };
+            // Problem 2a: |D(T_r)| = |D(T)| + 1
+            assert_eq!(
+                refinement.query.group_columns.len(),
+                query.group_columns.len() + 1
+            );
+            assert!(!query.groups_level(level), "level already grouped");
+            let node = env.schema.level(level);
+            for existing in &query.group_columns {
+                assert!(
+                    !env.schema.level(existing.level).is_ancestor_of(node),
+                    "offered level {:?} aggregates {:?} at a coarser grain",
+                    node.path,
+                    env.schema.level(existing.level).path
+                );
+            }
+            // the refined query still contains the example (2a containment)
+            let sols = env.endpoint.select(&refinement.query.query).expect("runs");
+            assert!(!refinement
+                .query
+                .matching_rows(&sols, env.endpoint.graph())
+                .is_empty());
+        }
+    }
+}
+
+#[test]
+fn subset_refinements_shrink_and_keep_the_example() {
+    let env = eurostat_env();
+    let graph = env.endpoint.graph();
+    for query in sample_queries(&env, 23) {
+        let original = env.endpoint.select(&query.query).expect("runs");
+        for refinement in subset::topk(&env.schema, &query, &original, graph)
+            .into_iter()
+            .chain(subset::percentile(
+                &env.schema,
+                &query,
+                &original,
+                graph,
+                &subset::DEFAULT_PERCENTILES,
+            ))
+        {
+            let refined = env.endpoint.select(&refinement.query.query).expect("runs");
+            // Problem 2b: same dimensions, smaller result, example kept
+            assert_eq!(
+                refinement.query.group_columns.len(),
+                query.group_columns.len()
+            );
+            assert!(refined.len() < original.len() || original.len() <= 1,
+                "{}: {} → {} rows", refinement.explanation, original.len(), refined.len());
+            assert!(
+                !refinement.query.matching_rows(&refined, graph).is_empty(),
+                "{} lost the example", refinement.explanation
+            );
+        }
+    }
+}
+
+#[test]
+fn topk_cardinality_matches_k() {
+    let env = eurostat_env();
+    let graph = env.endpoint.graph();
+    for query in sample_queries(&env, 31) {
+        let original = env.endpoint.select(&query.query).expect("runs");
+        for refinement in subset::topk(&env.schema, &query, &original, graph) {
+            let RefinementKind::TopK { k, .. } = &refinement.kind else {
+                panic!("wrong kind");
+            };
+            let refined = env.endpoint.select(&refinement.query.query).expect("runs");
+            // the threshold walk guarantees exactly k rows survive, modulo
+            // ties at the boundary value (strict comparison can drop ties)
+            assert!(
+                refined.len() <= *k,
+                "top-{k} returned {} rows for {}",
+                refined.len(),
+                refinement.query.sparql()
+            );
+            assert!(!refined.is_empty());
+        }
+    }
+}
+
+#[test]
+fn similarity_restricts_to_k_plus_example_combinations() {
+    let env = eurostat_env();
+    let graph = env.endpoint.graph();
+    for query in sample_queries(&env, 47).into_iter().take(4) {
+        // add a context dimension first (similarity needs one for profiles)
+        let Some(dis) = disaggregate::disaggregate(&env.schema, &query).into_iter().next() else {
+            continue;
+        };
+        let disq = dis.query;
+        let sols = env.endpoint.select(&disq.query).expect("runs");
+        let k = 2;
+        for refinement in similar::similarity(&env.schema, &disq, &sols, graph, k) {
+            let RefinementKind::Similarity { k: kept, .. } = &refinement.kind else {
+                panic!("wrong kind");
+            };
+            assert!(*kept <= k);
+            let refined = env.endpoint.select(&refinement.query.query).expect("runs");
+            // Problem 2c: same dimensionality, example kept
+            assert_eq!(refinement.query.group_columns.len(), disq.group_columns.len());
+            assert!(!refinement.query.matching_rows(&refined, graph).is_empty());
+            assert!(refined.len() <= sols.len());
+        }
+    }
+}
+
+#[test]
+fn chained_refinements_compose() {
+    // dis → topk → dis → percentile: queries of arbitrary complexity from
+    // simple interactions ("Each operation can be applied multiple times
+    // and in any order", §4.2)
+    let env = eurostat_env();
+    let graph = env.endpoint.graph();
+    let query = sample_queries(&env, 53).remove(0);
+    let q1 = disaggregate::disaggregate(&env.schema, &query)
+        .into_iter()
+        .next()
+        .expect("dis available")
+        .query;
+    let s1 = env.endpoint.select(&q1.query).expect("runs");
+    let Some(top) = subset::topk(&env.schema, &q1, &s1, graph).into_iter().next() else {
+        return; // workload-dependent; nothing to chain
+    };
+    let q2 = top.query;
+    let s2 = env.endpoint.select(&q2.query).expect("runs");
+    if let Some(dis2) = disaggregate::disaggregate(&env.schema, &q2).into_iter().next() {
+        let q3 = dis2.query;
+        let s3 = env.endpoint.select(&q3.query).expect("runs");
+        // drill-down resets measure thresholds computed at the coarser
+        // granularity (they could exclude the example otherwise) …
+        assert!(q3.query.having.is_none(), "stale HAVING reset by drill-down");
+        // … so the example is guaranteed to still be present
+        assert!(!q3.matching_rows(&s3, graph).is_empty());
+        if let Some(perc) = subset::percentile(
+            &env.schema,
+            &q3,
+            &s3,
+            graph,
+            &subset::DEFAULT_PERCENTILES,
+        )
+        .into_iter()
+        .next()
+        {
+            let s4 = env.endpoint.select(&perc.query.query).expect("runs");
+            assert!(!perc.query.matching_rows(&s4, graph).is_empty());
+            // the final query is well-formed SPARQL that re-parses
+            let text = perc.query.sparql();
+            let reparsed = re2x_sparql::parse_query(&text).expect("round-trips");
+            assert_eq!(reparsed, perc.query.query);
+        }
+    }
+    let _ = s2;
+}

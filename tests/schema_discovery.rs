@@ -1,0 +1,127 @@
+//! Bootstrap discovery against the three Table 3 generators: the crawler
+//! must recover exactly the schema shape each generator commits to, from
+//! nothing but {endpoint, observation class}.
+
+use re2x_cube::{bootstrap, qb, BootstrapConfig};
+use re2x_datagen::Dataset;
+use re2x_sparql::LocalEndpoint;
+
+fn prepare(mut dataset: Dataset) -> (Dataset, LocalEndpoint, re2x_cube::BootstrapReport) {
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph);
+    let report = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+        .expect("bootstrap");
+    (dataset, endpoint, report)
+}
+
+#[test]
+fn eurostat_shape_is_exact() {
+    // 2 000 observations ≥ the largest base pool (171 countries), so every
+    // member is reachable and the Table 3 row is reproduced exactly.
+    let (dataset, _ep, report) = prepare(re2x_datagen::eurostat::generate(2_000, 1));
+    let stats = report.schema.stats();
+    assert_eq!(stats.dimensions, dataset.expected.dimensions);
+    assert_eq!(stats.measures, dataset.expected.measures);
+    assert_eq!(stats.levels, dataset.expected.levels);
+    assert_eq!(stats.members, dataset.expected.members, "N_D = 373");
+    // the destination hierarchy reaches exactly 2 continents and 5 regions
+    let geo = report
+        .schema
+        .dimension_by_predicate("http://data.example.org/eurostat/geo")
+        .expect("geo dimension");
+    let counts: Vec<(usize, usize)> = report
+        .schema
+        .levels_of(geo)
+        .map(|l| (l.depth(), l.member_count))
+        .collect();
+    assert!(counts.contains(&(1, 32)), "{counts:?}");
+    assert!(counts.contains(&(2, 2)) && counts.contains(&(2, 5)), "{counts:?}");
+}
+
+#[test]
+fn production_shape_is_exact_when_covered() {
+    // the product pool (6 153) is the largest base level: with 7 000
+    // observations every member is used
+    let (dataset, _ep, report) = prepare(re2x_datagen::production::generate(7_000, 1));
+    let stats = report.schema.stats();
+    assert_eq!(stats.dimensions, 7);
+    assert_eq!(stats.levels, 9);
+    assert_eq!(stats.members, dataset.expected.members, "N_D = 6444");
+}
+
+#[test]
+fn dbpedia_structure_holds_at_any_scale() {
+    let (dataset, _ep, report) = prepare(re2x_datagen::dbpedia::generate(2_000, 1));
+    let stats = report.schema.stats();
+    assert_eq!(stats.dimensions, 5);
+    assert_eq!(stats.levels, 23, "the 23-level tree is scale-independent");
+    assert_eq!(stats.hierarchies, 14, "|H| = 14 as in Table 3");
+    // member counts undershoot at this scale (artists pool not covered)
+    assert!(stats.members < dataset.expected.members);
+    // deep level exists: genre → stylisticOrigin → era
+    let era = report.schema.levels().iter().find(|l| l.depth() == 3);
+    assert!(era.is_some());
+}
+
+#[test]
+fn vgraph_is_orders_of_magnitude_smaller_than_the_store() {
+    let (_dataset, ep, report) = prepare(re2x_datagen::eurostat::generate(2_000, 1));
+    let store = re2x_sparql::SparqlEndpoint::graph(&ep).heap_bytes();
+    let vgraph = report.schema.heap_bytes();
+    assert!(
+        vgraph * 100 < store,
+        "vgraph {vgraph} B should be ≪ store {store} B"
+    );
+}
+
+#[test]
+fn qb_annotations_describe_the_discovered_schema() {
+    let (_dataset, _ep, report) = prepare(re2x_datagen::eurostat::generate(500, 1));
+    let mut annotations = re2x_rdf::Graph::new();
+    let inserted = qb::annotate(&report.schema, &mut annotations);
+    assert!(inserted > 0);
+    let type_p = annotations.iri_id(re2x_rdf::vocab::rdf::TYPE).expect("typed");
+    let dim_c = annotations
+        .iri_id(re2x_rdf::vocab::qb::DIMENSION_PROPERTY)
+        .expect("dims");
+    assert_eq!(
+        annotations.subjects(type_p, dim_c).len(),
+        report.schema.dimensions().len()
+    );
+    let lvl_c = annotations
+        .iri_id(re2x_rdf::vocab::qb4o::LEVEL_PROPERTY)
+        .expect("levels");
+    assert_eq!(
+        annotations.subjects(type_p, lvl_c).len(),
+        report.schema.levels().len()
+    );
+}
+
+#[test]
+fn bootstrap_is_deterministic() {
+    let (_d1, _e1, r1) = prepare(re2x_datagen::eurostat::generate(1_000, 9));
+    let (_d2, _e2, r2) = prepare(re2x_datagen::eurostat::generate(1_000, 9));
+    assert_eq!(r1.schema.stats(), r2.schema.stats());
+    assert_eq!(r1.endpoint_queries, r2.endpoint_queries);
+    let paths1: Vec<_> = r1.schema.levels().iter().map(|l| l.path.clone()).collect();
+    let paths2: Vec<_> = r2.schema.levels().iter().map(|l| l.path.clone()).collect();
+    assert_eq!(paths1, paths2);
+}
+
+#[test]
+fn annotated_store_can_skip_the_crawl() {
+    // bootstrap → annotate → import: stores carrying QB(+re2x) metadata
+    // reconstruct the schema without any crawling
+    let (_dataset, ep, report) = prepare(re2x_datagen::eurostat::generate(800, 2));
+    let mut annotations = re2x_rdf::Graph::new();
+    qb::annotate(&report.schema, &mut annotations);
+    let imported = qb::from_annotations(&annotations).expect("import");
+    assert_eq!(imported.stats(), report.schema.stats());
+    assert_eq!(imported.observation_count, report.schema.observation_count);
+    // every level keeps its path, count and dimension
+    for level in report.schema.levels() {
+        let found = imported.level_by_path(&level.path).expect("kept");
+        assert_eq!(imported.level(found).member_count, level.member_count);
+    }
+    let _ = ep;
+}

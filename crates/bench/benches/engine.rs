@@ -1,16 +1,17 @@
 //! Micro-benchmarks of the SPARQL engine on a Figure 2-shaped star schema:
 //! parsing, planning+execution of aggregation queries, filters, and the
-//! greedy vs. in-order planner.
+//! greedy vs. in-order planner. (Moved here from `crates/sparql` so bench
+//! deps stay out of library crates.)
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::{Rng, SeedableRng};
+use re2x_bench::micro::Group;
+use re2x_datagen::prng::StdRng;
 use re2x_rdf::{Graph, Literal};
 use re2x_sparql::{evaluate, evaluate_with, parse_query, PlanMode};
 
 const OBS: usize = 20_000;
 
 fn build_graph() -> Graph {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(7);
     let mut g = Graph::new();
     let dest_p = g.intern_iri("http://ex/dest");
     let origin_p = g.intern_iri("http://ex/origin");
@@ -33,7 +34,7 @@ fn build_graph() -> Graph {
         let obs = g.intern_iri(format!("http://ex/obs/{j}"));
         g.insert_ids(obs, dest_p, dests[rng.gen_range(0..dests.len())]);
         g.insert_ids(obs, origin_p, origins[rng.gen_range(0..origins.len())]);
-        let v = g.intern_literal(Literal::integer(rng.gen_range(1..5_000)));
+        let v = g.intern_literal(Literal::integer(rng.gen_range(1i64..5_000)));
         g.insert_ids(obs, value_p, v);
     }
     g
@@ -45,23 +46,18 @@ const FIG2: &str = "SELECT ?c ?d (SUM(?v) AS ?total) WHERE {
     ?o <http://ex/value> ?v .
 } GROUP BY ?c ?d";
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let g = build_graph();
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
+    let group = Group::new("engine");
 
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("parse_fig2_query", |b| {
-        b.iter(|| parse_query(FIG2).expect("parses"))
-    });
+    group.bench("parse_fig2_query", || parse_query(FIG2).expect("parses"));
 
     let fig2 = parse_query(FIG2).expect("parses");
-    group.throughput(Throughput::Elements(OBS as u64));
-    group.bench_function("fig2_aggregation_20k_obs", |b| {
-        b.iter(|| evaluate(&g, &fig2).expect("runs"))
+    group.bench("fig2_aggregation_20k_obs", || {
+        evaluate(&g, &fig2).expect("runs")
     });
-    group.bench_function("fig2_aggregation_inorder_plan", |b| {
-        b.iter(|| evaluate_with(&g, &fig2, PlanMode::InOrder).expect("runs"))
+    group.bench("fig2_aggregation_inorder_plan", || {
+        evaluate_with(&g, &fig2, PlanMode::InOrder).expect("runs")
     });
 
     let selective = parse_query(
@@ -72,8 +68,8 @@ fn bench_engine(c: &mut Criterion) {
         }",
     )
     .expect("parses");
-    group.bench_function("selective_filter_query", |b| {
-        b.iter(|| evaluate(&g, &selective).expect("runs"))
+    group.bench("selective_filter_query", || {
+        evaluate(&g, &selective).expect("runs")
     });
 
     let having = parse_query(
@@ -82,16 +78,12 @@ fn bench_engine(c: &mut Criterion) {
         } GROUP BY ?d HAVING(SUM(?v) > 100000) ORDER BY DESC(?t) LIMIT 5",
     )
     .expect("parses");
-    group.bench_function("having_order_limit", |b| {
-        b.iter(|| evaluate(&g, &having).expect("runs"))
+    group.bench("having_order_limit", || {
+        evaluate(&g, &having).expect("runs")
     });
 
     let ask = parse_query("ASK { ?o <http://ex/dest> <http://ex/dest/7> }").expect("parses");
-    group.bench_function("ask_short_circuits", |b| {
-        b.iter(|| re2x_sparql::evaluate_ask(&g, &ask).expect("runs"))
+    group.bench("ask_short_circuits", || {
+        re2x_sparql::evaluate_ask(&g, &ask).expect("runs")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,15 +1,16 @@
 //! Figure 6c: system-bootstrap (Virtual Schema Graph construction) time
 //! per dataset. The paper attributes bootstrap cost to schema complexity
 //! and endpoint speed, not to observation count — the two Eurostat scales
-//! benched here demonstrate the latter dependence is sub-linear.
+//! benched here demonstrate the latter dependence is sub-linear. The
+//! parallel crawl is timed alongside the serial one to show the fan-out
+//! win.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use re2x_cube::{bootstrap, BootstrapConfig};
+use re2x_bench::micro::Group;
+use re2x_cube::{bootstrap, bootstrap_parallel, BootstrapConfig};
 use re2x_sparql::LocalEndpoint;
 
-fn bench_bootstrap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6c_bootstrap");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig6c_bootstrap");
 
     let cases: Vec<(&str, re2x_datagen::Dataset)> = vec![
         ("eurostat_2k", re2x_datagen::eurostat::generate(2_000, 42)),
@@ -20,16 +21,10 @@ fn bench_bootstrap(c: &mut Criterion) {
     for (name, mut dataset) in cases {
         let class = dataset.observation_class.clone();
         let endpoint = LocalEndpoint::new(std::mem::take(&mut dataset.graph));
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || BootstrapConfig::new(class.clone()),
-                |config| bootstrap(&endpoint, &config).expect("bootstrap"),
-                BatchSize::PerIteration,
-            )
+        let config = BootstrapConfig::new(class);
+        group.bench(name, || bootstrap(&endpoint, &config).expect("bootstrap"));
+        group.bench(&format!("{name}_parallel"), || {
+            bootstrap_parallel(&endpoint, &config).expect("bootstrap")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_bootstrap);
-criterion_main!(benches);

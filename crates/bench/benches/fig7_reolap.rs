@@ -1,15 +1,14 @@
 //! Figure 7a: ReOLAP synthesis time per dataset and input size (1–4
 //! example entities).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use re2x_bench::env::{prepare, DatasetKind, Scales};
+use re2x_bench::micro::Group;
 use re2x_datagen::example_workload_on;
 use re2x_sparql::SparqlEndpoint;
 use re2xolap::{reolap, ReolapConfig};
 
-fn bench_reolap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7a_reolap");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig7a_reolap");
     let scales = Scales::smoke();
     for kind in DatasetKind::ALL {
         let prepared = prepare(kind, &scales, 42);
@@ -17,27 +16,12 @@ fn bench_reolap(c: &mut Criterion) {
         for size in [1usize, 2] {
             let workload =
                 example_workload_on(prepared.endpoint.graph(), &prepared.dataset, size, 5, 42);
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), format!("{size}ex")),
-                &workload,
-                |b, workload| {
-                    b.iter(|| {
-                        for tuple in workload {
-                            let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
-                            let _ = reolap(
-                                &prepared.endpoint,
-                                &prepared.report.schema,
-                                &refs,
-                                &config,
-                            );
-                        }
-                    })
-                },
-            );
+            group.bench(&format!("{}/{size}ex", kind.name()), || {
+                for tuple in &workload {
+                    let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
+                    let _ = reolap(&prepared.endpoint, &prepared.report.schema, &refs, &config);
+                }
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_reolap);
-criterion_main!(benches);

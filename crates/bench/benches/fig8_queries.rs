@@ -1,8 +1,8 @@
 //! Figure 8a: endpoint execution time of the synthesized query (Orig.) and
 //! of its 1- and 2-step disaggregations (Dis.1 / Dis.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use re2x_bench::env::{prepare, DatasetKind, Scales};
+use re2x_bench::micro::Group;
 use re2x_datagen::example_workload_on;
 use re2x_sparql::SparqlEndpoint;
 use re2xolap::{refine::disaggregate::disaggregate, reolap, OlapQuery, ReolapConfig};
@@ -43,22 +43,15 @@ fn queries_at_depths(prepared: &re2x_bench::env::PreparedDataset) -> Vec<(String
     out
 }
 
-fn bench_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8a_query_execution");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig8a_query_execution");
     let scales = Scales::smoke();
     for kind in DatasetKind::ALL {
         let prepared = prepare(kind, &scales, 42);
         for (depth, query) in queries_at_depths(&prepared) {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), depth),
-                &query,
-                |b, query| b.iter(|| prepared.endpoint.select(&query.query).expect("runs")),
-            );
+            group.bench(&format!("{}/{depth}", kind.name()), || {
+                prepared.endpoint.select(&query.query).expect("runs")
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

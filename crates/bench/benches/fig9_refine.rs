@@ -1,8 +1,8 @@
 //! Figure 9a: generation time of the three post-hoc refinement methods
 //! (Top-k, Percentile, Similarity) over an executed disaggregated query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use re2x_bench::env::{prepare, DatasetKind, Scales};
+use re2x_bench::micro::Group;
 use re2x_datagen::example_workload_on;
 use re2x_sparql::{Solutions, SparqlEndpoint};
 use re2xolap::refine::subset::DEFAULT_PERCENTILES;
@@ -36,9 +36,8 @@ fn disaggregated_query(
     None
 }
 
-fn bench_refinements(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9a_refinements");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("fig9a_refinements");
     let scales = Scales::smoke();
     for kind in DatasetKind::ALL {
         let prepared = prepare(kind, &scales, 42);
@@ -47,40 +46,18 @@ fn bench_refinements(c: &mut Criterion) {
         };
         let schema = &prepared.report.schema;
         let graph = prepared.endpoint.graph();
-        group.bench_with_input(
-            BenchmarkId::new(kind.name(), "topk"),
-            &(),
-            |b, ()| b.iter(|| refine::subset::topk(schema, &query, &solutions, graph)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(kind.name(), "percentile"),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    refine::subset::percentile(
-                        schema,
-                        &query,
-                        &solutions,
-                        graph,
-                        &DEFAULT_PERCENTILES,
-                    )
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new(kind.name(), "similarity"),
-            &(),
-            |b, ()| b.iter(|| refine::similar::similarity(schema, &query, &solutions, graph, 3)),
-        );
+        group.bench(&format!("{}/topk", kind.name()), || {
+            refine::subset::topk(schema, &query, &solutions, graph)
+        });
+        group.bench(&format!("{}/percentile", kind.name()), || {
+            refine::subset::percentile(schema, &query, &solutions, graph, &DEFAULT_PERCENTILES)
+        });
+        group.bench(&format!("{}/similarity", kind.name()), || {
+            refine::similar::similarity(schema, &query, &solutions, graph, 3)
+        });
         // disaggregate generation itself (sub-100ms claim of §6.1)
-        group.bench_with_input(
-            BenchmarkId::new(kind.name(), "disaggregate"),
-            &(),
-            |b, ()| b.iter(|| refine::disaggregate::disaggregate(schema, &query)),
-        );
+        group.bench(&format!("{}/disaggregate", kind.name()), || {
+            refine::disaggregate::disaggregate(schema, &query)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_refinements);
-criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the triple store: bulk insert throughput, pattern
+//! scans through each index, full-text lookup, and serialization.
+//! (Moved here from `crates/rdf` so bench deps stay out of library
+//! crates.)
+
+use re2x_bench::micro::Group;
+use re2x_rdf::{Graph, Literal, Term};
+
+const N: usize = 50_000;
+
+fn build_graph() -> Graph {
+    let mut g = Graph::new();
+    let dest = g.intern_iri("http://ex/dest");
+    let value = g.intern_iri("http://ex/value");
+    let label = g.intern_iri("http://ex/label");
+    let members: Vec<_> = (0..100)
+        .map(|i| {
+            let m = g.intern_iri(format!("http://ex/member/{i}"));
+            let l = g.intern_literal(Literal::simple(format!("Member {i}")));
+            g.insert_ids(m, label, l);
+            m
+        })
+        .collect();
+    for j in 0..N {
+        let obs = g.intern_iri(format!("http://ex/obs/{j}"));
+        g.insert_ids(obs, dest, members[j % members.len()]);
+        let v = g.intern_literal(Literal::integer((j % 977) as i64));
+        g.insert_ids(obs, value, v);
+    }
+    g
+}
+
+fn main() {
+    let group = Group::new("store");
+
+    group.bench("bulk_insert_100k_triples", build_graph);
+
+    let g = build_graph();
+    let dest = g.iri_id("http://ex/dest").expect("pred");
+    let member0 = g.iri_id("http://ex/member/0").expect("member");
+
+    group.bench("scan_by_predicate", || {
+        let mut n = 0usize;
+        g.for_each_matching(None, Some(dest), None, |_| n += 1);
+        n
+    });
+
+    group.bench("scan_by_predicate_object", || g.subjects(dest, member0).len());
+
+    group.bench("text_exact_lookup", || {
+        g.literals_matching_exact("Member 42").len()
+    });
+
+    group.bench("count_matching_wildcards", || {
+        g.count_matching(None, None, None)
+    });
+
+    // serialization throughput
+    let ser = Group::new("serialization");
+    ser.bench("to_ntriples", || re2x_rdf::io::to_ntriples(&g));
+    let text = re2x_rdf::io::to_ntriples(&g);
+    ser.bench("parse_ntriples", || {
+        let mut fresh = Graph::new();
+        re2x_rdf::io::parse_ntriples(&text, &mut fresh).expect("parse");
+        fresh
+    });
+
+    // keep Term in the public surface exercised
+    let _ = Term::iri("http://ex/x");
+}

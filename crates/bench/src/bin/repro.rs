@@ -4,7 +4,7 @@
 //! repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig8c fig9 fig10
-//!              ablations          (default: all)
+//!              ablations scaling latency          (default: all)
 //! ```
 //!
 //! Results are printed and written to `<out>/<experiment>.txt`
@@ -25,9 +25,9 @@ struct Args {
     experiments: BTreeSet<String>,
 }
 
-const ALL: [&str; 11] = [
+const ALL: [&str; 12] = [
     "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig8c", "fig9", "fig10", "ablations",
-    "scaling",
+    "scaling", "latency",
 ];
 
 fn parse_args() -> Args {
@@ -127,6 +127,14 @@ fn main() {
             "fig10",
             "Figure 10: SPARQLByE vs ReOLAP on the same example",
             &figures::fig10(),
+        );
+    }
+    if wants("latency") {
+        emit(
+            &args.out,
+            "latency",
+            "Endpoint latency profile: per-phase p50/p99 and cache hit rates",
+            &figures::latency_profile(args.seed),
         );
     }
 

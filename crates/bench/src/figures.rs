@@ -590,6 +590,73 @@ pub fn fig9(results: &[(&str, [RefineStats; 3])]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Endpoint latency profile (cached decorator stack)
+// ---------------------------------------------------------------------------
+
+/// Per-phase endpoint profile under injected latency: query counts, cache
+/// hit rates, and p50/p99 latency quantiles from the endpoint's
+/// [`re2x_sparql::LatencyHistogram`], measured through the decorator stack
+/// `LocalEndpoint (+latency) → CachingEndpoint`.
+///
+/// Each phase is run cold (empty cache) and warm (same work repeated); the
+/// warm rows show the caching layer absorbing endpoint round-trips —
+/// the paper attributes most of the bootstrap and validation cost to
+/// exactly those round-trips.
+pub fn latency_profile(seed: u64) -> String {
+    use re2x_cube::bootstrap_parallel;
+    use re2x_sparql::CachingEndpoint;
+
+    let injected = Duration::from_millis(1);
+    let mut dataset = re2x_datagen::eurostat::generate(2_000, seed);
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = CachingEndpoint::new(LocalEndpoint::new(graph).with_latency(injected));
+    let config = BootstrapConfig::new(dataset.observation_class.clone());
+
+    let mut t = Table::new([
+        "phase",
+        "endpoint queries",
+        "cache hits",
+        "cache misses",
+        "p50",
+        "p99",
+    ]);
+    let fmt_quantile = |q: Option<Duration>| q.map_or("—".to_owned(), fmt_duration);
+    let mut record = |phase: &str| {
+        let stats = endpoint.stats();
+        t.row([
+            phase.to_owned(),
+            stats.total_queries().to_string(),
+            stats.cache_hits.to_string(),
+            stats.cache_misses.to_string(),
+            fmt_quantile(stats.latency.p50()),
+            fmt_quantile(stats.latency.p99()),
+        ]);
+        endpoint.reset_stats();
+    };
+
+    let report = bootstrap_parallel(&endpoint, &config).expect("bootstrap");
+    record("bootstrap (cold)");
+    bootstrap_parallel(&endpoint, &config).expect("bootstrap");
+    record("bootstrap (warm)");
+
+    let schema = report.schema;
+    let workload = example_workload_on(endpoint.graph(), &dataset, 2, 5, seed);
+    let reolap_config = ReolapConfig::default();
+    let synthesize_all = || {
+        for tuple in &workload {
+            let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
+            let _ = reolap(&endpoint, &schema, &refs, &reolap_config);
+        }
+    };
+    synthesize_all();
+    record("synthesis (cold)");
+    synthesize_all();
+    record("synthesis (warm)");
+
+    format!("injected endpoint latency: {}\n\n{}", fmt_duration(injected), t.render())
+}
+
+// ---------------------------------------------------------------------------
 // Figure 10 — comparison with SPARQLByE
 // ---------------------------------------------------------------------------
 

@@ -7,9 +7,12 @@
 //! * the [`figures`] module implements one function per table/figure,
 //! * the [`ablation`] module implements the design-choice ablations,
 //! * the `repro` binary runs them and writes `bench_results/`,
-//! * the Criterion benches (`benches/`) time the hot paths per figure.
+//! * the micro-benches (`benches/`, on the in-repo [`micro`] harness,
+//!   gated behind the `bench-criterion` feature) time the hot paths per
+//!   figure.
 
 pub mod ablation;
 pub mod env;
 pub mod figures;
+pub mod micro;
 pub mod report;

@@ -1,0 +1,135 @@
+//! A minimal in-repo micro-benchmark harness.
+//!
+//! The workspace builds offline with zero registry dependencies, so the
+//! `benches/` targets cannot use Criterion. This module provides the small
+//! slice of it they need: warmup, repeated timed samples, min/mean/max
+//! reporting, and per-iteration setup that stays outside the measurement.
+//! Benches are declared with `harness = false` and gated behind the
+//! default-off `bench-criterion` feature so `cargo build`/`cargo test`
+//! never build them; run them with
+//! `cargo bench --features bench-criterion`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+impl std::fmt::Display for MicroResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} {:>12?} (min {:?}, max {:?}, n={})",
+            self.name, self.mean, self.min, self.max, self.samples
+        )
+    }
+}
+
+/// A named group of benchmarks, printed as it runs.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Creates a group; sample count is [`DEFAULT_SAMPLES`] unless the
+    /// `RE2X_BENCH_SAMPLES` environment variable overrides it.
+    pub fn new(name: impl Into<String>) -> Group {
+        let samples = std::env::var("RE2X_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SAMPLES)
+            .max(1);
+        Group {
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Times `routine` (one warmup, then the sample budget) and prints the
+    /// summary line.
+    pub fn bench<T>(&self, case: &str, mut routine: impl FnMut() -> T) -> MicroResult {
+        self.bench_with_setup(case, || (), |()| routine())
+    }
+
+    /// [`Group::bench`] with per-sample setup excluded from the timing.
+    pub fn bench_with_setup<S, T>(
+        &self,
+        case: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) -> MicroResult {
+        // warmup: pay lazy initialization and cache-fill outside the samples
+        black_box(routine(setup()));
+        let mut durations = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            durations.push(start.elapsed());
+        }
+        let min = durations.iter().copied().min().unwrap_or_default();
+        let max = durations.iter().copied().max().unwrap_or_default();
+        let mean = durations.iter().sum::<Duration>() / durations.len().max(1) as u32;
+        let result = MicroResult {
+            name: format!("{}/{case}", self.name),
+            samples: durations.len(),
+            min,
+            mean,
+            max,
+        };
+        println!("{result}");
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_timings() {
+        let group = Group::new("t");
+        let r = group.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(r.name, "t/spin");
+        assert!(r.samples >= 1);
+        assert!(r.min <= r.mean && r.mean <= r.max);
+        assert!(r.max > Duration::ZERO);
+    }
+
+    #[test]
+    fn setup_is_excluded_from_measurement() {
+        let group = Group::new("t");
+        let r = group.bench_with_setup(
+            "sleepy_setup",
+            || std::thread::sleep(Duration::from_millis(2)),
+            |()| 1 + 1,
+        );
+        assert!(
+            r.mean < Duration::from_millis(2),
+            "setup leaked into timing: {:?}",
+            r.mean
+        );
+    }
+}

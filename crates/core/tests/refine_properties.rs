@@ -3,8 +3,8 @@
 //! arithmetic of Problem 2b and the vector construction of Problem 2c must
 //! hold for arbitrary measure distributions.
 
-use proptest::prelude::*;
 use re2x_cube::VirtualSchemaGraph;
+use re2x_testkit::{check, TestRng};
 use re2x_rdf::Graph;
 use re2x_sparql::{AggFunc, Order, Query, Solutions, Value};
 use re2xolap::refine::{subset, RefinementKind};
@@ -66,15 +66,20 @@ fn surviving(values: &[u32], order: Order, threshold: f64) -> Vec<usize> {
         .collect()
 }
 
-proptest! {
-    /// Top-k: the surviving set has exactly k rows, includes the example,
-    /// and is extremal (no excluded row beats an included one).
-    #[test]
-    fn topk_threshold_is_exact_and_extremal(
-        values in proptest::collection::vec(0u32..10_000, 2..40),
-        example in 0usize..40,
-    ) {
-        let example = example % values.len();
+/// Draws the shared inputs: 2–39 measure values plus an example row.
+fn gen_values_and_example(rng: &mut TestRng) -> (Vec<u32>, usize) {
+    let n = rng.gen_range(2usize..40);
+    let values = (0..n).map(|_| rng.gen_range(0u32..10_000)).collect();
+    let example = rng.gen_range(0usize..n);
+    (values, example)
+}
+
+/// Top-k: the surviving set has exactly k rows, includes the example,
+/// and is extremal (no excluded row beats an included one).
+#[test]
+fn topk_threshold_is_exact_and_extremal() {
+    check("topk_threshold_is_exact_and_extremal", |rng| {
+        let (values, example) = gen_values_and_example(rng);
         let (schema, query, solutions, graph) = fixture(&values, example);
         for refinement in subset::topk(&schema, &query, &solutions, &graph) {
             let RefinementKind::TopK { k, order, .. } = refinement.kind else {
@@ -90,42 +95,41 @@ proptest! {
                 panic!("numeric threshold")
             };
             let survivors = surviving(&values, order, threshold);
-            prop_assert_eq!(survivors.len(), k, "exactly k survive");
-            prop_assert!(survivors.contains(&example), "example survives");
+            assert_eq!(survivors.len(), k, "exactly k survive");
+            assert!(survivors.contains(&example), "example survives");
             // extremal: every survivor is ≥ (Desc) / ≤ (Asc) every excluded
             for &s in &survivors {
                 for (i, &v) in values.iter().enumerate() {
                     if !survivors.contains(&i) {
                         match order {
-                            Order::Desc => prop_assert!(values[s] >= v),
-                            Order::Asc => prop_assert!(values[s] <= v),
+                            Order::Desc => assert!(values[s] >= v),
+                            Order::Asc => assert!(values[s] <= v),
                         }
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Percentile: every produced interval contains the example's value
-    /// and respects the interval arithmetic.
-    #[test]
-    fn percentile_intervals_contain_the_example(
-        values in proptest::collection::vec(0u32..10_000, 2..40),
-        example in 0usize..40,
-    ) {
-        let example = example % values.len();
+/// Percentile: every produced interval contains the example's value
+/// and respects the interval arithmetic.
+#[test]
+fn percentile_intervals_contain_the_example() {
+    check("percentile_intervals_contain_the_example", |rng| {
+        let (values, example) = gen_values_and_example(rng);
         let (schema, query, solutions, graph) = fixture(&values, example);
         let refinements = subset::percentile(
             &schema, &query, &solutions, &graph, &subset::DEFAULT_PERCENTILES,
         );
-        prop_assert!(!refinements.is_empty(), "the example always falls in some interval");
+        assert!(!refinements.is_empty(), "the example always falls in some interval");
         let example_value = f64::from(values[example]);
         for refinement in &refinements {
             let RefinementKind::Percentile { lower_pct, upper_pct, .. } = refinement.kind
             else {
                 panic!("wrong kind")
             };
-            prop_assert!(lower_pct < upper_pct);
+            assert!(lower_pct < upper_pct);
             // the generated HAVING is (lo ≤ agg) AND (agg </≤ hi); recheck
             // the example value against the rendered bounds
             let re2x_sparql::Expr::And(lo, hi) =
@@ -140,16 +144,16 @@ proptest! {
             };
             let lo = bound(lo);
             let hi = bound(hi);
-            prop_assert!(lo <= example_value, "{lo} ≤ {example_value}");
+            assert!(lo <= example_value, "{lo} ≤ {example_value}");
             if upper_pct == 100 {
-                prop_assert!(example_value <= hi);
+                assert!(example_value <= hi);
             } else {
-                prop_assert!(example_value < hi);
+                assert!(example_value < hi);
             }
         }
         // intervals are disjoint by construction (shared boundary, strict
         // upper bound): at most one interval per measure column matches a
         // point value — except the topmost which is closed
-        prop_assert!(refinements.len() <= 2);
-    }
+        assert!(refinements.len() <= 2);
+    });
 }

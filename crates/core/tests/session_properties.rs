@@ -2,9 +2,9 @@
 //! refinement operations and backtracking must preserve the session
 //! invariants (monotone metrics, consistent history, example containment).
 
-use proptest::prelude::*;
 use re2x_cube::{bootstrap, BootstrapConfig};
 use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
+use re2x_testkit::{check_n, TestRng};
 use re2xolap::{RefineOp, Session, SessionConfig};
 
 #[derive(Debug, Clone, Copy)]
@@ -13,28 +13,29 @@ enum Action {
     Backtrack,
 }
 
-fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
-    proptest::collection::vec(
-        prop_oneof![
-            6 => (0usize..4, 0usize..6).prop_map(|(op, pick)| {
+fn gen_actions(rng: &mut TestRng) -> Vec<Action> {
+    let n = rng.gen_range(0usize..8);
+    (0..n)
+        .map(|_| match rng.pick_weighted(&[6, 1]) {
+            0 => {
                 let op = [
                     RefineOp::Disaggregate,
                     RefineOp::TopK,
                     RefineOp::Percentile,
                     RefineOp::Similarity,
-                ][op];
-                Action::Refine(op, pick)
-            }),
-            1 => Just(Action::Backtrack),
-        ],
-        0..8,
-    )
+                ][rng.gen_range(0usize..4)];
+                Action::Refine(op, rng.gen_range(0usize..6))
+            }
+            _ => Action::Backtrack,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-    #[test]
-    fn random_exploration_preserves_invariants(actions in arb_actions()) {
+#[test]
+fn random_exploration_preserves_invariants() {
+    // each case replays a whole interactive session; keep the budget small
+    check_n("random_exploration_preserves_invariants", 8, |rng| {
+        let actions = gen_actions(rng);
         let mut dataset = re2x_datagen::running::generate();
         let graph = std::mem::take(&mut dataset.graph);
         let endpoint = LocalEndpoint::new(graph);
@@ -44,7 +45,7 @@ proptest! {
         let mut session = Session::new(&endpoint, &schema, SessionConfig::default());
 
         let outcome = session.synthesize(&["Germany", "2014"]).expect("synthesis");
-        prop_assert!(!outcome.queries.is_empty());
+        assert!(!outcome.queries.is_empty());
         session.choose(outcome.queries[0].clone()).expect("runs");
 
         let mut last_metrics = session.metrics();
@@ -54,8 +55,8 @@ proptest! {
                     let refinements = session.refinements(op).expect("refinement generation");
                     // offering refinements never shrinks the accounting
                     let m = session.metrics();
-                    prop_assert!(m.interactions > last_metrics.interactions);
-                    prop_assert!(m.paths_offered >= last_metrics.paths_offered);
+                    assert!(m.interactions > last_metrics.interactions);
+                    assert!(m.paths_offered >= last_metrics.paths_offered);
                     last_metrics = m;
                     if refinements.is_empty() {
                         continue;
@@ -64,30 +65,33 @@ proptest! {
                     let depth_before = session.history().len();
                     let step = session.apply(r).expect("refined query runs");
                     // the refined result still contains the example
-                    prop_assert!(
-                        !step.query.matching_rows(&step.solutions, endpoint.graph()).is_empty(),
+                    assert!(
+                        !step
+                            .query
+                            .matching_rows(&step.solutions, endpoint.graph())
+                            .is_empty(),
                         "example lost by {op:?}: {}",
                         step.query.sparql()
                     );
-                    prop_assert_eq!(session.history().len(), depth_before + 1);
+                    assert_eq!(session.history().len(), depth_before + 1);
                     last_metrics = session.metrics();
                 }
                 Action::Backtrack => {
                     let depth_before = session.history().len();
                     let did = session.backtrack();
                     if depth_before > 1 {
-                        prop_assert!(did);
-                        prop_assert_eq!(session.history().len(), depth_before - 1);
+                        assert!(did);
+                        assert_eq!(session.history().len(), depth_before - 1);
                     } else {
-                        prop_assert!(!did);
-                        prop_assert_eq!(session.history().len(), depth_before);
+                        assert!(!did);
+                        assert_eq!(session.history().len(), depth_before);
                     }
                 }
             }
             // the current step is always executable & reproducible
             let current = session.current().expect("history never empties");
             let rerun = endpoint.select(&current.query.query).expect("still runs");
-            prop_assert_eq!(rerun.len(), current.solutions.len());
+            assert_eq!(rerun.len(), current.solutions.len());
         }
-    }
+    });
 }

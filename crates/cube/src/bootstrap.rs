@@ -17,7 +17,6 @@
 //! synthesis, refinements) navigates it instead of the triplestore.
 
 use crate::labels::{default_label_predicates, label_of};
-use crate::model::DimensionId;
 use crate::patterns::{observation_type, path_to_member};
 use crate::vgraph::VirtualSchemaGraph;
 use re2x_rdf::vocab;
@@ -76,12 +75,76 @@ pub struct BootstrapReport {
     pub endpoint_queries: u64,
 }
 
-/// Crawls the endpoint and builds the Virtual Schema Graph.
+/// Crawls the endpoint and builds the Virtual Schema Graph, one dimension
+/// at a time.
 pub fn bootstrap(
     endpoint: &dyn SparqlEndpoint,
     config: &BootstrapConfig,
 ) -> Result<BootstrapReport, SparqlError> {
     let start = Instant::now();
+    let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
+
+    for predicate in dim_predicates {
+        let crawl = crawl_dimension(endpoint, config, predicate)?;
+        queries += crawl.queries;
+        apply_dimension(&mut schema, crawl);
+    }
+
+    Ok(BootstrapReport {
+        schema,
+        elapsed: start.elapsed(),
+        endpoint_queries: queries,
+    })
+}
+
+/// [`bootstrap`] with the per-dimension hierarchy crawls fanned out over
+/// scoped threads, one per dimension.
+///
+/// Per-dimension crawls are independent — every level path starts with its
+/// dimension's predicate, so no discovery in one crawl can affect another —
+/// and their results are applied to the schema in dimension order, making
+/// the produced [`VirtualSchemaGraph`] *identical* to the serial one (and
+/// `endpoint_queries` equal; only `elapsed` differs). Requires an endpoint
+/// that tolerates concurrent queries, which [`SparqlEndpoint`]'s `Send +
+/// Sync` bound guarantees.
+pub fn bootstrap_parallel(
+    endpoint: &dyn SparqlEndpoint,
+    config: &BootstrapConfig,
+) -> Result<BootstrapReport, SparqlError> {
+    let start = Instant::now();
+    let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
+
+    let crawls: Vec<Result<DimensionCrawl, SparqlError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = dim_predicates
+            .into_iter()
+            .map(|predicate| scope.spawn(move || crawl_dimension(endpoint, config, predicate)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dimension crawl thread panicked"))
+            .collect()
+    });
+    for crawl in crawls {
+        let crawl = crawl?;
+        queries += crawl.queries;
+        apply_dimension(&mut schema, crawl);
+    }
+
+    Ok(BootstrapReport {
+        schema,
+        elapsed: start.elapsed(),
+        endpoint_queries: queries,
+    })
+}
+
+/// The serial head of both bootstrap variants: observation count, measure
+/// discovery, and the dimension-predicate scan. Returns the partially
+/// built schema, the (non-excluded) dimension predicates in discovery
+/// order, and the queries spent so far.
+fn bootstrap_prelude(
+    endpoint: &dyn SparqlEndpoint,
+    config: &BootstrapConfig,
+) -> Result<(VirtualSchemaGraph, Vec<String>, u64), SparqlError> {
     let mut queries = 0u64;
     let mut schema = VirtualSchemaGraph::new(config.observation_class.clone());
 
@@ -99,23 +162,68 @@ pub fn bootstrap(
     }
 
     // 3. dimensions: observation predicates with IRI objects
-    let dim_predicates = typed_object_predicates(endpoint, config, Func::IsIri, &mut queries)?;
-    for predicate in dim_predicates {
-        if config.is_excluded(&predicate) {
-            continue;
-        }
-        let label = label_of(endpoint, &predicate, &config.label_predicates);
-        queries += 1;
-        let dim = schema.add_dimension(predicate.clone(), label);
-        // 4. explore the hierarchy below this base level, depth-first
-        explore_level(endpoint, config, &mut schema, dim, vec![predicate], &mut queries)?;
-    }
+    let dim_predicates = typed_object_predicates(endpoint, config, Func::IsIri, &mut queries)?
+        .into_iter()
+        .filter(|p| !config.is_excluded(p))
+        .collect();
+    Ok((schema, dim_predicates, queries))
+}
 
-    Ok(BootstrapReport {
-        schema,
-        elapsed: start.elapsed(),
-        endpoint_queries: queries,
+/// One discovered hierarchy level, pending insertion into the schema.
+struct PendingLevel {
+    path: Vec<String>,
+    member_count: usize,
+    attributes: Vec<String>,
+    label: String,
+}
+
+/// Everything one dimension's crawl discovered, plus its query count.
+struct DimensionCrawl {
+    predicate: String,
+    label: String,
+    levels: Vec<PendingLevel>,
+    queries: u64,
+}
+
+/// Crawls the hierarchy below one dimension predicate. Self-contained (own
+/// query counter, no schema access) so crawls can run on separate threads.
+fn crawl_dimension(
+    endpoint: &dyn SparqlEndpoint,
+    config: &BootstrapConfig,
+    predicate: String,
+) -> Result<DimensionCrawl, SparqlError> {
+    let mut queries = 0u64;
+    let label = label_of(endpoint, &predicate, &config.label_predicates);
+    queries += 1;
+    let mut levels = Vec::new();
+    collect_levels(
+        endpoint,
+        config,
+        &mut levels,
+        vec![predicate.clone()],
+        &mut queries,
+    )?;
+    Ok(DimensionCrawl {
+        predicate,
+        label,
+        levels,
+        queries,
     })
+}
+
+/// Inserts a finished crawl into the schema, preserving depth-first
+/// discovery order within the dimension.
+fn apply_dimension(schema: &mut VirtualSchemaGraph, crawl: DimensionCrawl) {
+    let dim = schema.add_dimension(crawl.predicate, crawl.label);
+    for level in crawl.levels {
+        schema.add_level(
+            dim,
+            level.path,
+            level.member_count,
+            level.attributes,
+            level.label,
+        );
+    }
 }
 
 /// Outcome of an incremental refresh.
@@ -217,12 +325,12 @@ fn typed_object_predicates(
     Ok(predicates)
 }
 
-/// Registers the level reached by `path` and recurses into its roll-ups.
-fn explore_level(
+/// Records the level reached by `path` and recurses into its roll-ups,
+/// depth-first.
+fn collect_levels(
     endpoint: &dyn SparqlEndpoint,
     config: &BootstrapConfig,
-    schema: &mut VirtualSchemaGraph,
-    dimension: DimensionId,
+    levels: &mut Vec<PendingLevel>,
     path: Vec<String>,
     queries: &mut u64,
 ) -> Result<(), SparqlError> {
@@ -239,7 +347,12 @@ fn explore_level(
         &config.label_predicates,
     );
     *queries += 1;
-    schema.add_level(dimension, path.clone(), member_count, attributes, label);
+    levels.push(PendingLevel {
+        path: path.clone(),
+        member_count,
+        attributes,
+        label,
+    });
 
     if path.len() >= config.max_depth {
         return Ok(());
@@ -251,10 +364,10 @@ fn explore_level(
         }
         let mut child = path.clone();
         child.push(rollup);
-        if schema.level_by_path(&child).is_some() {
+        if levels.iter().any(|l| l.path == child) {
             continue;
         }
-        explore_level(endpoint, config, schema, dimension, child, queries)?;
+        collect_levels(endpoint, config, levels, child, queries)?;
     }
     Ok(())
 }

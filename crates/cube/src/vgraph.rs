@@ -27,7 +27,7 @@ pub struct SchemaStats {
 }
 
 /// The Virtual Schema Graph.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VirtualSchemaGraph {
     /// IRI of the class whose instances are observations.
     pub observation_class: String,

@@ -1,0 +1,64 @@
+//! Differential test: the parallel bootstrap crawl must produce a schema
+//! *identical* to the serial one — same dimensions, levels (in the same
+//! order), member counts, attributes, labels, and the same number of
+//! endpoint queries — on both synthetic datasets with non-trivial
+//! hierarchies.
+
+use re2x_cube::{bootstrap, bootstrap_parallel, BootstrapConfig};
+use re2x_sparql::LocalEndpoint;
+
+fn assert_parallel_matches_serial(dataset: re2x_datagen::Dataset) {
+    let config = BootstrapConfig::new(dataset.observation_class.clone());
+    let endpoint = LocalEndpoint::new(dataset.graph);
+
+    let serial = bootstrap(&endpoint, &config).expect("serial bootstrap");
+    let parallel = bootstrap_parallel(&endpoint, &config).expect("parallel bootstrap");
+
+    assert_eq!(
+        parallel.schema, serial.schema,
+        "parallel schema diverges from serial for {}",
+        dataset.name
+    );
+    assert_eq!(
+        parallel.endpoint_queries, serial.endpoint_queries,
+        "parallel crawl issued a different number of queries for {}",
+        dataset.name
+    );
+    // sanity: the discovered shape is the one the generator committed to
+    assert_eq!(serial.schema.dimensions().len(), dataset.expected.dimensions);
+    assert_eq!(serial.schema.measures().len(), dataset.expected.measures);
+}
+
+#[test]
+fn eurostat_parallel_equals_serial() {
+    assert_parallel_matches_serial(re2x_datagen::eurostat::generate(600, 7));
+}
+
+#[test]
+fn dbpedia_parallel_equals_serial() {
+    // dbpedia has the deepest hierarchies and M-to-N roll-ups; keep the
+    // observation count small so the crawl stays fast
+    assert_parallel_matches_serial(re2x_datagen::dbpedia::generate(400, 11));
+}
+
+#[test]
+fn parallel_bootstrap_works_through_a_cache() {
+    use re2x_sparql::CachingEndpoint;
+    let dataset = re2x_datagen::eurostat::generate(300, 3);
+    let config = BootstrapConfig::new(dataset.observation_class.clone());
+    let endpoint = CachingEndpoint::new(LocalEndpoint::new(dataset.graph));
+
+    let cold = bootstrap_parallel(&endpoint, &config).expect("cold bootstrap");
+    let inner_after_cold = endpoint.stats().selects;
+    let warm = bootstrap_parallel(&endpoint, &config).expect("warm bootstrap");
+
+    assert_eq!(warm.schema, cold.schema);
+    // the second crawl is answered (almost) entirely from the cache: the
+    // inner endpoint saw few or no additional queries
+    let inner_after_warm = endpoint.stats().selects;
+    assert!(
+        inner_after_warm - inner_after_cold < inner_after_cold / 2,
+        "warm crawl re-issued too many queries: {inner_after_cold} then {inner_after_warm}"
+    );
+    assert!(endpoint.stats().cache_hits > 0);
+}

@@ -2,36 +2,31 @@
 //! randomly-shaped level trees, hierarchies partition the leaves, parents
 //! are consistent with path prefixes, and stats add up.
 
-use proptest::prelude::*;
 use re2x_cube::{DimensionId, VirtualSchemaGraph};
+use re2x_testkit::{check, TestRng};
 
 /// A random schema description: per dimension, a list of levels given as
-/// (parent index within the dimension or none, member count).
-fn arb_schema() -> impl Strategy<Value = Vec<Vec<(Option<usize>, usize)>>> {
-    proptest::collection::vec(
-        proptest::collection::vec((any::<Option<u8>>(), 1usize..500), 1..6),
-        1..5,
-    )
-    .prop_map(|dims| {
-        dims.into_iter()
-            .map(|levels| {
-                levels
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (parent, count))| {
-                        // level 0 is the base; later levels attach to an
-                        // arbitrary earlier level
-                        let parent = if i == 0 {
-                            None
-                        } else {
-                            Some(parent.map_or(0, |p| p as usize % i))
-                        };
-                        (parent, count)
-                    })
-                    .collect()
-            })
-            .collect()
-    })
+/// (parent index within the dimension or none, member count). Level 0 is
+/// the base; later levels attach to an arbitrary earlier level.
+fn gen_schema(rng: &mut TestRng) -> Vec<Vec<(Option<usize>, usize)>> {
+    let dims = rng.gen_range(1usize..5);
+    (0..dims)
+        .map(|_| {
+            let levels = rng.gen_range(1usize..6);
+            (0..levels)
+                .map(|i| {
+                    let parent = if i == 0 {
+                        None
+                    } else if rng.gen_bool(0.5) {
+                        Some(rng.gen_range(0usize..256) % i)
+                    } else {
+                        Some(0)
+                    };
+                    (parent, rng.gen_range(1usize..500))
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn build(spec: &[Vec<(Option<usize>, usize)>]) -> VirtualSchemaGraph {
@@ -54,24 +49,25 @@ fn build(spec: &[Vec<(Option<usize>, usize)>]) -> VirtualSchemaGraph {
     v
 }
 
-proptest! {
-    #[test]
-    fn hierarchy_and_parent_invariants(spec in arb_schema()) {
+#[test]
+fn hierarchy_and_parent_invariants() {
+    check("hierarchy_and_parent_invariants", |rng| {
+        let spec = gen_schema(rng);
         let v = build(&spec);
         let total_levels: usize = spec.iter().map(Vec::len).sum();
-        prop_assert_eq!(v.levels().len(), total_levels);
-        prop_assert_eq!(v.dimensions().len(), spec.len());
+        assert_eq!(v.levels().len(), total_levels);
+        assert_eq!(v.dimensions().len(), spec.len());
 
         // parent relation ⇔ path-prefix relation
         for level in v.levels() {
             match v.parent(level.id) {
-                None => prop_assert_eq!(level.depth(), 1),
+                None => assert_eq!(level.depth(), 1),
                 Some(parent) => {
                     let p = v.level(parent);
-                    prop_assert_eq!(p.path.as_slice(), &level.path[..level.path.len() - 1]);
-                    prop_assert!(p.is_ancestor_of(level));
-                    prop_assert!(v.is_coarser(level.id, parent));
-                    prop_assert!(v.children(parent).contains(&level.id));
+                    assert_eq!(p.path.as_slice(), &level.path[..level.path.len() - 1]);
+                    assert!(p.is_ancestor_of(level));
+                    assert!(v.is_coarser(level.id, parent));
+                    assert!(v.children(parent).contains(&level.id));
                 }
             }
         }
@@ -79,50 +75,60 @@ proptest! {
         // hierarchies: one per leaf, each a base→leaf parent chain, and
         // every level appears in at least one hierarchy
         let hierarchies = v.hierarchies();
-        let leaves = v.levels().iter().filter(|l| v.children(l.id).is_empty()).count();
-        prop_assert_eq!(hierarchies.len(), leaves);
+        let leaves = v
+            .levels()
+            .iter()
+            .filter(|l| v.children(l.id).is_empty())
+            .count();
+        assert_eq!(hierarchies.len(), leaves);
         let mut covered = std::collections::HashSet::new();
         for h in &hierarchies {
-            prop_assert!(v.parent(h[0]).is_none());
+            assert!(v.parent(h[0]).is_none());
             for w in h.windows(2) {
-                prop_assert_eq!(v.parent(w[1]), Some(w[0]));
+                assert_eq!(v.parent(w[1]), Some(w[0]));
             }
             covered.extend(h.iter().copied());
         }
-        prop_assert_eq!(covered.len(), total_levels);
+        assert_eq!(covered.len(), total_levels);
 
         // stats add up
         let stats = v.stats();
-        prop_assert_eq!(stats.levels, total_levels);
-        prop_assert_eq!(stats.hierarchies, leaves);
+        assert_eq!(stats.levels, total_levels);
+        assert_eq!(stats.hierarchies, leaves);
         let member_sum: usize = spec.iter().flatten().map(|(_, c)| c).sum();
-        prop_assert_eq!(stats.members, member_sum);
-        prop_assert!(stats.vgraph_bytes > 0);
-    }
+        assert_eq!(stats.members, member_sum);
+        assert!(stats.vgraph_bytes > 0);
+    });
+}
 
-    #[test]
-    fn level_lookup_by_path_is_total_and_injective(spec in arb_schema()) {
+#[test]
+fn level_lookup_by_path_is_total_and_injective() {
+    check("level_lookup_by_path_is_total_and_injective", |rng| {
+        let spec = gen_schema(rng);
         let v = build(&spec);
         let mut seen = std::collections::HashSet::new();
         for level in v.levels() {
             let found = v.level_by_path(&level.path);
-            prop_assert_eq!(found, Some(level.id));
-            prop_assert!(seen.insert(level.path.clone()), "paths are unique");
+            assert_eq!(found, Some(level.id));
+            assert!(seen.insert(level.path.clone()), "paths are unique");
         }
-        prop_assert!(v.level_by_path(&["http://nowhere".to_owned()]).is_none());
-    }
+        assert!(v.level_by_path(&["http://nowhere".to_owned()]).is_none());
+    });
+}
 
-    #[test]
-    fn dimension_partition(spec in arb_schema()) {
+#[test]
+fn dimension_partition() {
+    check("dimension_partition", |rng| {
+        let spec = gen_schema(rng);
         let v = build(&spec);
         // every level belongs to exactly the dimension its path starts at
         for level in v.levels() {
             let dim = v.dimension(level.dimension);
-            prop_assert_eq!(&level.path[0], &dim.predicate);
+            assert_eq!(&level.path[0], &dim.predicate);
         }
         let per_dim: usize = (0..spec.len())
             .map(|d| v.levels_of(DimensionId(d as u32)).count())
             .sum();
-        prop_assert_eq!(per_dim, v.levels().len());
-    }
+        assert_eq!(per_dim, v.levels().len());
+    });
 }

@@ -8,8 +8,7 @@
 //! by the bootstrap crawler equal the specification whenever
 //! `observations ≥ max base-pool size`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::StdRng;
 use re2x_rdf::{vocab, Graph, Literal, Term, TermId};
 
 /// A generated dataset plus the metadata the experiment workloads need.

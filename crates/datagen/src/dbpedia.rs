@@ -27,7 +27,6 @@
 use crate::common::{
     declare_predicate, link_rollup, make_members, pick_member, rng, Dataset, ExpectedShape,
 };
-use rand::Rng;
 use re2x_rdf::{vocab, Graph, Literal};
 
 const NS: &str = "http://data.example.org/dbpedia/";
@@ -245,7 +244,7 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
             p_director_id,
             directors.ids[pick_member(j, DIRECTORS, &mut rng)],
         );
-        let value = graph.intern_literal(Literal::integer(rng.gen_range(1..1_000_000)));
+        let value = graph.intern_literal(Literal::integer(rng.gen_range(1i64..1_000_000)));
         graph.insert_ids(obs, p_measure_id, value);
     }
 

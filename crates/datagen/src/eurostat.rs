@@ -17,7 +17,6 @@
 use crate::common::{
     declare_predicate, make_members, pick_member, rng, Dataset, ExpectedShape, MemberPool,
 };
-use rand::Rng;
 use re2x_rdf::{vocab, Graph, Literal};
 
 const NS: &str = "http://data.example.org/eurostat/";
@@ -157,7 +156,7 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
             p_period_id,
             months.ids[pick_member(j, MONTHS, &mut rng)],
         );
-        let value = graph.intern_literal(Literal::integer(rng.gen_range(1..3000)));
+        let value = graph.intern_literal(Literal::integer(rng.gen_range(1i64..3000)));
         graph.insert_ids(obs, p_measure_id, value);
     }
 

@@ -27,6 +27,7 @@
 pub mod common;
 pub mod dbpedia;
 pub mod eurostat;
+pub mod prng;
 pub mod production;
 pub mod running;
 

@@ -1,0 +1,63 @@
+//! The generators' deterministic PRNG.
+//!
+//! A thin façade over [`re2x_testkit::TestRng`] (xoshiro256\*\* seeded via
+//! SplitMix64) exposing the same seeding and sampling API the generators
+//! used with the external `rand` crate — `seed_from_u64`, `gen_range`,
+//! `gen_bool` — so dataset generation stays byte-identical run-to-run and
+//! the workspace stays free of registry dependencies.
+
+use re2x_testkit::prng::SampleRange;
+use re2x_testkit::TestRng;
+
+/// The deterministic generator used by all dataset generators.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    inner: TestRng,
+}
+
+impl StdRng {
+    /// Seeds the generator from a single `u64`.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng {
+            inner: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform value in a half-open integer or `f64` range.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Sample {
+        self.inner.gen_range(range)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn bool_and_float_sampling() {
+        let mut r = StdRng::seed_from_u64(1);
+        let heads = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((350..650).contains(&heads));
+        for _ in 0..100 {
+            let f = r.gen_range(0.1f64..2.0);
+            assert!((0.1..2.0).contains(&f));
+        }
+    }
+}

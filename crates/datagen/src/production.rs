@@ -19,7 +19,6 @@
 use crate::common::{
     declare_predicate, link_rollup, make_members, pick_member, rng, Dataset, ExpectedShape,
 };
-use rand::Rng;
 use re2x_rdf::{vocab, Graph, Literal};
 
 const NS: &str = "http://data.example.org/production/";

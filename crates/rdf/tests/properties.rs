@@ -1,38 +1,54 @@
 //! Property-based tests of the store's core invariants: index agreement
 //! under arbitrary insert/remove interleavings, serialization round-trips
 //! for arbitrary terms, and text-index consistency.
+//!
+//! Run on the in-repo [`re2x_testkit`] harness: deterministic per-case
+//! seeds, `RE2X_TEST_CASES` budget, `RE2X_TEST_SEED` replay.
 
-use proptest::prelude::*;
 use re2x_rdf::io::{parse_ntriples, to_ntriples};
 use re2x_rdf::{Graph, Literal, Term};
+use re2x_testkit::{check, TestRng};
 
 // ---- generators -----------------------------------------------------------
 
-fn arb_iri() -> impl Strategy<Value = Term> {
-    // IRIs without angle brackets / whitespace / control characters
-    "[a-zA-Z0-9_.#/:-]{1,24}".prop_map(|s| Term::iri(format!("http://ex/{s}")))
+const IRI_ALPHABET: &str =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.#/:-";
+const ALNUM: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// Printable ASCII (the `[ -~]` class), including characters that need
+/// escaping in N-Triples.
+fn printable(rng: &mut TestRng, len: std::ops::Range<usize>) -> String {
+    let ascii: String = (' '..='~').collect();
+    rng.string_from(&ascii, len)
 }
 
-fn arb_literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        // simple strings incl. characters needing escapes
-        "[ -~]{0,16}".prop_map(Literal::simple),
-        any::<i64>().prop_map(Literal::integer),
-        (-1.0e9f64..1.0e9).prop_map(Literal::double),
-        ("[ -~]{1,8}", "[a-z]{2}").prop_map(|(s, l)| Literal::tagged(s, l)),
-    ]
+/// IRIs without angle brackets / whitespace / control characters.
+fn gen_iri(rng: &mut TestRng) -> Term {
+    Term::iri(format!("http://ex/{}", rng.string_from(IRI_ALPHABET, 1..25)))
 }
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        4 => arb_iri(),
-        1 => "[a-zA-Z0-9]{1,8}".prop_map(Term::blank),
-        3 => arb_literal().prop_map(Term::from),
-    ]
+fn gen_literal(rng: &mut TestRng) -> Literal {
+    match rng.pick_weighted(&[1, 1, 1, 1]) {
+        0 => Literal::simple(printable(rng, 0..17)),
+        1 => Literal::integer(rng.next_u64() as i64),
+        2 => Literal::double(rng.gen_range(-1.0e9f64..1.0e9)),
+        _ => Literal::tagged(
+            printable(rng, 1..9),
+            rng.string_from("abcdefghijklmnopqrstuvwxyz", 2..3),
+        ),
+    }
 }
 
-fn arb_triple() -> impl Strategy<Value = (Term, Term, Term)> {
-    (arb_iri(), arb_iri(), arb_term())
+fn gen_term(rng: &mut TestRng) -> Term {
+    match rng.pick_weighted(&[4, 1, 3]) {
+        0 => gen_iri(rng),
+        1 => Term::blank(rng.string_from(ALNUM, 1..9)),
+        _ => Term::from(gen_literal(rng)),
+    }
+}
+
+fn gen_triple(rng: &mut TestRng) -> (Term, Term, Term) {
+    (gen_iri(rng), gen_iri(rng), gen_term(rng))
 }
 
 #[derive(Debug, Clone)]
@@ -42,23 +58,27 @@ enum Op {
     RemoveNth(usize),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => arb_triple().prop_map(|(s, p, o)| Op::Insert(s, p, o)),
-            1 => (0usize..64).prop_map(Op::RemoveNth),
-        ],
-        1..60,
-    )
+fn gen_ops(rng: &mut TestRng) -> Vec<Op> {
+    let n = rng.gen_range(1usize..60);
+    (0..n)
+        .map(|_| match rng.pick_weighted(&[4, 1]) {
+            0 => {
+                let (s, p, o) = gen_triple(rng);
+                Op::Insert(s, p, o)
+            }
+            _ => Op::RemoveNth(rng.gen_range(0usize..64)),
+        })
+        .collect()
 }
 
 // ---- properties -----------------------------------------------------------
 
-proptest! {
-    /// After any interleaving of inserts and removes, the graph agrees
-    /// with a naive set-of-triples model on every access path.
-    #[test]
-    fn indexes_agree_with_set_model(ops in arb_ops()) {
+/// After any interleaving of inserts and removes, the graph agrees with a
+/// naive set-of-triples model on every access path.
+#[test]
+fn indexes_agree_with_set_model() {
+    check("indexes_agree_with_set_model", |rng| {
+        let ops = gen_ops(rng);
         let mut graph = Graph::new();
         let mut model: Vec<(Term, Term, Term)> = Vec::new();
         for op in ops {
@@ -66,7 +86,7 @@ proptest! {
                 Op::Insert(s, p, o) => {
                     let inserted = graph.insert(s.clone(), p.clone(), o.clone());
                     let fresh = !model.contains(&(s.clone(), p.clone(), o.clone()));
-                    prop_assert_eq!(inserted, fresh);
+                    assert_eq!(inserted, fresh);
                     if fresh {
                         model.push((s, p, o));
                     }
@@ -79,47 +99,54 @@ proptest! {
                     let sid = graph.term_id(&s).expect("inserted");
                     let pid = graph.term_id(&p).expect("inserted");
                     let oid = graph.term_id(&o).expect("inserted");
-                    prop_assert!(graph.remove_ids(sid, pid, oid));
+                    assert!(graph.remove_ids(sid, pid, oid));
                 }
             }
         }
-        prop_assert_eq!(graph.len(), model.len());
+        assert_eq!(graph.len(), model.len());
         // every model triple is found through every single-bound pattern
         for (s, p, o) in &model {
             let sid = graph.term_id(s).expect("known");
             let pid = graph.term_id(p).expect("known");
             let oid = graph.term_id(o).expect("known");
-            prop_assert!(graph.contains_ids(sid, pid, oid));
-            prop_assert!(graph.objects(sid, pid).contains(&oid));
-            prop_assert!(graph.subjects(pid, oid).contains(&sid));
-            prop_assert!(graph.predicates_between(sid, oid).contains(&pid));
+            assert!(graph.contains_ids(sid, pid, oid));
+            assert!(graph.objects(sid, pid).contains(&oid));
+            assert!(graph.subjects(pid, oid).contains(&sid));
+            assert!(graph.predicates_between(sid, oid).contains(&pid));
         }
         // pattern counts are consistent with full materialization
-        prop_assert_eq!(graph.count_matching(None, None, None), model.len());
-        prop_assert_eq!(graph.iter().len(), model.len());
-    }
+        assert_eq!(graph.count_matching(None, None, None), model.len());
+        assert_eq!(graph.iter().len(), model.len());
+    });
+}
 
-    /// N-Triples serialization round-trips arbitrary graphs bytewise.
-    #[test]
-    fn ntriples_round_trip(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+/// N-Triples serialization round-trips arbitrary graphs bytewise.
+#[test]
+fn ntriples_round_trip() {
+    check("ntriples_round_trip", |rng| {
         let mut graph = Graph::new();
-        for (s, p, o) in triples {
+        for _ in 0..rng.gen_range(0usize..40) {
+            let (s, p, o) = gen_triple(rng);
             graph.insert(s, p, o);
         }
         let text = to_ntriples(&graph);
         let mut reloaded = Graph::new();
         let inserted = parse_ntriples(&text, &mut reloaded).expect("reparse");
-        prop_assert_eq!(inserted, graph.len());
-        prop_assert_eq!(to_ntriples(&reloaded), text);
-    }
+        assert_eq!(inserted, graph.len());
+        assert_eq!(to_ntriples(&reloaded), text);
+    });
+}
 
-    /// Exact text search finds precisely the literals whose normalized
-    /// form matches.
-    #[test]
-    fn text_index_exact_matches_normalization(
-        literals in proptest::collection::vec("[a-zA-Z0-9 ]{1,12}", 1..20),
-        probe in 0usize..20,
-    ) {
+/// Exact text search finds precisely the literals whose normalized form
+/// matches.
+#[test]
+fn text_index_exact_matches_normalization() {
+    check("text_index_exact_matches_normalization", |rng| {
+        let count = rng.gen_range(1usize..20);
+        let literals: Vec<String> = (0..count)
+            .map(|_| rng.string_from("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ", 1..13))
+            .collect();
+        let probe = rng.gen_range(0usize..20);
         let mut graph = Graph::new();
         let subject = graph.intern_iri("http://ex/s");
         let pred = graph.intern_iri("http://ex/label");
@@ -129,23 +156,26 @@ proptest! {
         }
         let needle = &literals[probe % literals.len()];
         let hits = graph.literals_matching_exact(needle);
-        // expected: the number of *distinct literal terms* whose
-        // normalized lexical form equals the needle's (identical strings
-        // intern to one term; differently-spaced variants stay distinct)
+        // expected: the number of *distinct literal terms* whose normalized
+        // lexical form equals the needle's (identical strings intern to one
+        // term; differently-spaced variants stay distinct)
         let mut expected: Vec<&String> = literals
             .iter()
             .filter(|l| re2x_rdf::text::normalize(l) == re2x_rdf::text::normalize(needle))
             .collect();
         expected.sort();
         expected.dedup();
-        prop_assert_eq!(hits.len(), expected.len());
-    }
+        assert_eq!(hits.len(), expected.len());
+    });
+}
 
-    /// Numeric literal caching agrees with on-demand parsing.
-    #[test]
-    fn numeric_cache_is_correct(n in any::<i64>()) {
+/// Numeric literal caching agrees with on-demand parsing.
+#[test]
+fn numeric_cache_is_correct() {
+    check("numeric_cache_is_correct", |rng| {
+        let n = rng.next_u64() as i64;
         let mut graph = Graph::new();
         let id = graph.intern_literal(Literal::integer(n));
-        prop_assert_eq!(graph.numeric_value(id), Some(n as f64));
-    }
+        assert_eq!(graph.numeric_value(id), Some(n as f64));
+    });
 }

@@ -7,15 +7,103 @@
 //! per-query latency, which the experiment harness uses to reproduce the
 //! paper's observations about endpoint performance dominating bootstrap and
 //! refinement costs.
+//!
+//! Endpoints compose as a decorator stack: [`LocalEndpoint`] at the bottom,
+//! [`crate::CachingEndpoint`] memoizing repeated queries above it, and — as
+//! the architecture scales out — sharded/multi-backend decorators above
+//! that. The trait therefore requires `Send + Sync`: every decorator and
+//! backend must be shareable across the crawler's worker threads.
 
 use crate::ast::Query;
 use crate::error::SparqlError;
 use crate::eval::{evaluate, evaluate_ask};
 use crate::parser::parse_query;
 use crate::value::Solutions;
-use parking_lot::Mutex;
 use re2x_rdf::{Graph, TermId};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Number of latency buckets (powers of two of microseconds; the last
+/// bucket is open-ended and absorbs everything ≥ 2^23 µs ≈ 8.4 s).
+const LATENCY_BUCKETS: usize = 24;
+
+/// A fixed-bucket latency histogram over power-of-two microsecond bounds.
+///
+/// Bucket `i` counts queries whose latency `d` satisfies
+/// `2^i µs ≤ d < 2^(i+1) µs` (bucket 0 also absorbs sub-microsecond
+/// latencies, the last bucket absorbs the long tail). Fixed buckets keep
+/// the histogram `Copy` and mergeable, which is what lets it live inside
+/// [`EndpointStats`] and travel through stats snapshots; quantiles are
+/// resolved to a bucket's upper bound, i.e. conservatively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.buckets[Self::bucket_of(latency)] += 1;
+    }
+
+    fn bucket_of(latency: Duration) -> usize {
+        let micros = latency.as_micros().max(1) as u64;
+        (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket in
+    /// which it falls, or `None` if nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(i));
+            }
+        }
+        Some(Self::bucket_upper_bound(LATENCY_BUCKETS - 1))
+    }
+
+    /// Upper bound of bucket `i` (`2^(i+1)` µs).
+    fn bucket_upper_bound(i: usize) -> Duration {
+        Duration::from_micros(1u64 << (i + 1))
+    }
+
+    /// Median latency (upper bucket bound).
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (upper bucket bound).
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+}
 
 /// Cumulative statistics of an endpoint.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -30,10 +118,20 @@ pub struct EndpointStats {
     pub rows_returned: u64,
     /// Total evaluation time (including injected latency).
     pub busy: Duration,
+    /// Queries answered from a cache decorator without reaching this
+    /// endpoint (zero on an undecorated endpoint).
+    pub cache_hits: u64,
+    /// Queries that missed every cache decorator and were evaluated.
+    pub cache_misses: u64,
+    /// Cache entries evicted by the decorators' LRU bound.
+    pub cache_evictions: u64,
+    /// Per-query latency distribution (including injected latency).
+    pub latency: LatencyHistogram,
 }
 
 impl EndpointStats {
-    /// Total number of queries of any kind.
+    /// Total number of queries answered *by this endpoint* (cache hits in a
+    /// decorator above it never reach it and are not included).
     pub fn total_queries(&self) -> u64 {
         self.selects + self.asks + self.keyword_searches
     }
@@ -41,7 +139,11 @@ impl EndpointStats {
 
 /// A standard SPARQL query interface plus the full-text keyword lookup the
 /// paper assumes of the triplestore.
-pub trait SparqlEndpoint {
+///
+/// `Send + Sync` is part of the contract: the parallel bootstrap crawler
+/// and any future sharded decorator issue queries from multiple threads
+/// against one shared endpoint reference.
+pub trait SparqlEndpoint: Send + Sync {
     /// Answers a `SELECT` query.
     fn select(&self, query: &Query) -> Result<Solutions, SparqlError>;
 
@@ -57,6 +159,14 @@ pub trait SparqlEndpoint {
     /// returned [`Solutions`]. (A remote implementation would resolve ids
     /// from its response bindings; the seam keeps ids for efficiency.)
     fn graph(&self) -> &Graph;
+
+    /// Snapshot of the endpoint's cumulative statistics. Decorators merge
+    /// their own accounting (e.g. cache hit/miss counters) into the
+    /// snapshot of the endpoint they wrap.
+    fn stats(&self) -> EndpointStats;
+
+    /// Resets the statistics (e.g. between experiment phases).
+    fn reset_stats(&self);
 
     /// Parses and answers a `SELECT` query given as text.
     fn select_text(&self, text: &str) -> Result<Solutions, SparqlError> {
@@ -97,12 +207,12 @@ impl LocalEndpoint {
 
     /// Snapshot of the statistics.
     pub fn stats(&self) -> EndpointStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("stats mutex poisoned")
     }
 
     /// Resets the statistics (e.g. between experiment phases).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = EndpointStats::default();
+        *self.stats.lock().expect("stats mutex poisoned") = EndpointStats::default();
     }
 
     /// Consumes the endpoint, returning the graph.
@@ -122,9 +232,11 @@ impl SparqlEndpoint for LocalEndpoint {
         let start = Instant::now();
         self.pay_latency();
         let result = evaluate(&self.graph, query);
-        let mut stats = self.stats.lock();
+        let elapsed = start.elapsed();
+        let mut stats = self.stats.lock().expect("stats mutex poisoned");
         stats.selects += 1;
-        stats.busy += start.elapsed();
+        stats.busy += elapsed;
+        stats.latency.record(elapsed);
         if let Ok(solutions) = &result {
             stats.rows_returned += solutions.len() as u64;
         }
@@ -135,9 +247,11 @@ impl SparqlEndpoint for LocalEndpoint {
         let start = Instant::now();
         self.pay_latency();
         let result = evaluate_ask(&self.graph, query);
-        let mut stats = self.stats.lock();
+        let elapsed = start.elapsed();
+        let mut stats = self.stats.lock().expect("stats mutex poisoned");
         stats.asks += 1;
-        stats.busy += start.elapsed();
+        stats.busy += elapsed;
+        stats.latency.record(elapsed);
         result
     }
 
@@ -149,14 +263,24 @@ impl SparqlEndpoint for LocalEndpoint {
         } else {
             self.graph.literals_matching_keywords(keyword)
         };
-        let mut stats = self.stats.lock();
+        let elapsed = start.elapsed();
+        let mut stats = self.stats.lock().expect("stats mutex poisoned");
         stats.keyword_searches += 1;
-        stats.busy += start.elapsed();
+        stats.busy += elapsed;
+        stats.latency.record(elapsed);
         hits
     }
 
     fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    fn stats(&self) -> EndpointStats {
+        LocalEndpoint::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        LocalEndpoint::reset_stats(self)
     }
 }
 
@@ -229,5 +353,65 @@ mod tests {
             .select_text("SELECT ?d WHERE { ?o <http://ex/dest> ?d }")
             .expect("query");
         assert!(ep.stats().busy >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn endpoint_is_shareable_across_threads() {
+        let ep = endpoint();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        let _ = ep
+                            .select_text("SELECT ?d WHERE { ?o <http://ex/dest> ?d }")
+                            .expect("query");
+                    }
+                });
+            }
+        });
+        let stats = ep.stats();
+        assert_eq!(stats.selects, 100);
+        assert_eq!(stats.rows_returned, 200);
+        assert_eq!(stats.latency.count(), 100);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3)); // bucket [2µs, 4µs)
+        }
+        h.record(Duration::from_millis(40)); // tail
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), Some(Duration::from_micros(4)));
+        // the p99 rank (99 of 100) still falls in the 3µs bucket; the tail
+        // observation is only reached beyond it
+        assert_eq!(h.p99(), Some(Duration::from_micros(4)));
+        assert!(h.quantile(1.0).expect("max") >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn histogram_records_injected_latency() {
+        let ep = endpoint().with_latency(Duration::from_millis(5));
+        for _ in 0..4 {
+            let _ = ep
+                .select_text("SELECT ?d WHERE { ?o <http://ex/dest> ?d }")
+                .expect("query");
+        }
+        let p50 = ep.stats().latency.p50().expect("recorded");
+        assert!(p50 >= Duration::from_millis(5), "{p50:?}");
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10));
+        b.record(Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
     }
 }

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod ast;
+pub mod caching;
 pub mod endpoint;
 pub mod error;
 pub mod eval;
@@ -59,7 +60,8 @@ pub use ast::{
     AggFunc, ArithOp, CmpOp, Expr, Func, Order, OrderKey, PatternElement, Predicate, Query,
     QueryForm, SelectItem, TermPattern, TriplePattern,
 };
-pub use endpoint::{EndpointStats, LocalEndpoint, SparqlEndpoint};
+pub use caching::CachingEndpoint;
+pub use endpoint::{EndpointStats, LatencyHistogram, LocalEndpoint, SparqlEndpoint};
 pub use error::SparqlError;
 pub use eval::{evaluate, evaluate_ask, evaluate_with, explain, PlanMode};
 pub use parser::parse_query;

@@ -392,7 +392,7 @@ fn permute(rest: &[usize], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
 
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use re2x_testkit::{check, TestRng};
 
     /// Builds a random star-shaped graph: N observations, each with a
     /// destination from a small pool and an integer measure.
@@ -410,14 +410,24 @@ mod properties {
         g
     }
 
-    proptest! {
-        /// SUM per group over the engine equals a hand-rolled group-by.
-        #[test]
-        fn grouped_sum_matches_oracle(
-            pairs in proptest::collection::vec((0u8..5, 0u16..1000), 1..60)
-        ) {
-            let dests: Vec<u8> = pairs.iter().map(|p| p.0).collect();
-            let values: Vec<u16> = pairs.iter().map(|p| p.1).collect();
+    /// Draws the (destination, value) observation pairs all three
+    /// properties share.
+    fn gen_pairs(rng: &mut TestRng, value_bound: u16) -> (Vec<u8>, Vec<u16>) {
+        let n = rng.gen_range(1usize..60);
+        let mut dests = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            dests.push(rng.gen_range(0u8..5));
+            values.push(rng.gen_range(0u16..value_bound));
+        }
+        (dests, values)
+    }
+
+    /// SUM per group over the engine equals a hand-rolled group-by.
+    #[test]
+    fn grouped_sum_matches_oracle() {
+        check("grouped_sum_matches_oracle", |rng| {
+            let (dests, values) = gen_pairs(rng, 1000);
             let g = star_graph(&dests, &values);
             let sols = run(
                 &g,
@@ -427,51 +437,49 @@ mod properties {
             for (d, v) in dests.iter().zip(&values) {
                 *oracle.entry(format!("http://ex/d{d}")).or_default() += f64::from(*v);
             }
-            prop_assert_eq!(sols.len(), oracle.len());
+            assert_eq!(sols.len(), oracle.len());
             for r in 0..sols.len() {
                 let d = string(&sols, &g, r, "d");
                 let t = number(&sols, &g, r, "total");
-                prop_assert_eq!(t, oracle[&d]);
+                assert_eq!(t, oracle[&d]);
             }
-        }
+        });
+    }
 
-        /// LIMIT never yields more rows than requested, and ORDER BY ASC is
-        /// monotone.
-        #[test]
-        fn order_and_limit_contract(
-            pairs in proptest::collection::vec((0u8..5, 0u16..1000), 1..60),
-            limit in 1usize..10,
-        ) {
-            let dests: Vec<u8> = pairs.iter().map(|p| p.0).collect();
-            let values: Vec<u16> = pairs.iter().map(|p| p.1).collect();
+    /// LIMIT never yields more rows than requested, and ORDER BY ASC is
+    /// monotone.
+    #[test]
+    fn order_and_limit_contract() {
+        check("order_and_limit_contract", |rng| {
+            let (dests, values) = gen_pairs(rng, 1000);
+            let limit = rng.gen_range(1usize..10);
             let g = star_graph(&dests, &values);
             let sols = run(
                 &g,
                 &format!("SELECT ?v WHERE {{ ?o <http://ex/val> ?v }} ORDER BY ASC(?v) LIMIT {limit}"),
             );
-            prop_assert!(sols.len() <= limit);
+            assert!(sols.len() <= limit);
             let nums: Vec<f64> = (0..sols.len()).map(|r| number(&sols, &g, r, "v")).collect();
             for w in nums.windows(2) {
-                prop_assert!(w[0] <= w[1]);
+                assert!(w[0] <= w[1]);
             }
             // the limited prefix is the global minimum prefix
             let mut all: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
             all.sort_by(f64::total_cmp);
-            prop_assert_eq!(&nums[..], &all[..nums.len()]);
-        }
+            assert_eq!(&nums[..], &all[..nums.len()]);
+        });
+    }
 
-        /// DISTINCT yields the set of distinct bindings.
-        #[test]
-        fn distinct_is_a_set(
-            pairs in proptest::collection::vec((0u8..5, 0u16..50), 1..60)
-        ) {
-            let dests: Vec<u8> = pairs.iter().map(|p| p.0).collect();
-            let values: Vec<u16> = pairs.iter().map(|p| p.1).collect();
+    /// DISTINCT yields the set of distinct bindings.
+    #[test]
+    fn distinct_is_a_set() {
+        check("distinct_is_a_set", |rng| {
+            let (dests, values) = gen_pairs(rng, 50);
             let g = star_graph(&dests, &values);
             let sols = run(&g, "SELECT DISTINCT ?d WHERE { ?o <http://ex/dest> ?d }");
             let expected: std::collections::BTreeSet<u8> = dests.iter().copied().collect();
-            prop_assert_eq!(sols.len(), expected.len());
-        }
+            assert_eq!(sols.len(), expected.len());
+        });
     }
 }
 

@@ -1,36 +1,49 @@
 //! Robustness properties of the SPARQL parser: it must never panic, and
 //! parse→print→parse must be a fixpoint on the structured query space.
 
-use proptest::prelude::*;
 use re2x_sparql::{parse_query, query_to_sparql};
+use re2x_testkit::check;
 
-proptest! {
-    /// The parser returns `Ok` or `Err` on arbitrary input — it never
-    /// panics, loops, or overflows.
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+/// The parser returns `Ok` or `Err` on arbitrary input — it never panics,
+/// loops, or overflows.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    check("parser_never_panics_on_arbitrary_input", |rng| {
+        let input = rng.unicode_string(0..201);
         let _ = parse_query(&input);
-    }
+    });
+}
 
-    /// Same for byte soup that stays valid UTF-8 but leans on the
-    /// characters the lexer special-cases.
-    #[test]
-    fn parser_never_panics_on_syntax_soup(
-        input in r#"[ \t\nSELECTWHERFIGOUP?<>{}()./;,"'\\&|!=+*a-z0-9^@-]{0,120}"#
-    ) {
+/// Same for byte soup that stays valid UTF-8 but leans on the characters
+/// the lexer special-cases.
+#[test]
+fn parser_never_panics_on_syntax_soup() {
+    const SOUP: &str =
+        " \t\nSELECTWHERFIGOUP?<>{}()./;,\"'\\&|!=+*abcdefghijklmnopqrstuvwxyz0123456789^@-";
+    check("parser_never_panics_on_syntax_soup", |rng| {
+        let input = rng.string_from(SOUP, 0..121);
         let _ = parse_query(&input);
-    }
+    });
+}
 
-    /// parse ∘ print is idempotent over randomly composed valid queries.
-    #[test]
-    fn print_parse_fixpoint(
-        vars in proptest::collection::vec("[a-z][a-z0-9]{0,5}", 1..4),
-        path_len in 1usize..3,
-        distinct in any::<bool>(),
-        limit in proptest::option::of(0usize..100),
-        agg in any::<bool>(),
-        filter_threshold in proptest::option::of(-1000i32..1000),
-    ) {
+/// parse ∘ print is idempotent over randomly composed valid queries.
+#[test]
+fn print_parse_fixpoint() {
+    check("print_parse_fixpoint", |rng| {
+        let var_count = rng.gen_range(1usize..4);
+        let vars: Vec<String> = (0..var_count)
+            .map(|_| {
+                let head = rng.string_from("abcdefghijklmnopqrstuvwxyz", 1..2);
+                let tail = rng.string_from("abcdefghijklmnopqrstuvwxyz0123456789", 0..6);
+                format!("{head}{tail}")
+            })
+            .collect();
+        let path_len = rng.gen_range(1usize..3);
+        let distinct = rng.gen_bool(0.5);
+        let limit = rng.gen_bool(0.5).then(|| rng.gen_range(0usize..100));
+        let agg = rng.gen_bool(0.5);
+        let filter_threshold = rng.gen_bool(0.5).then(|| rng.gen_range(-1000i32..1000));
+
         // assemble a query from the generated fragments
         let mut body = String::new();
         for (i, v) in vars.iter().enumerate() {
@@ -65,8 +78,8 @@ proptest! {
         let q1 = parse_query(&text).expect("assembled query parses");
         let printed = query_to_sparql(&q1);
         let q2 = parse_query(&printed).expect("printed query parses");
-        prop_assert_eq!(&q1, &q2, "fixpoint violated for {}", printed);
+        assert_eq!(&q1, &q2, "fixpoint violated for {printed}");
         // printing is deterministic
-        prop_assert_eq!(query_to_sparql(&q2), printed);
-    }
+        assert_eq!(query_to_sparql(&q2), printed);
+    });
 }

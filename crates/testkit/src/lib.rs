@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # re2x-testkit
+//!
+//! A small, dependency-free property-testing harness plus the deterministic
+//! PRNG it is built on. It replaces the external `proptest`/`rand` crates so
+//! the workspace builds and tests with no network access.
+//!
+//! A property is an ordinary `#[test]` that calls [`check`] (or [`check_n`]
+//! for an explicit iteration budget) with a closure over a [`TestRng`]:
+//!
+//! ```
+//! re2x_testkit::check("reverse is an involution", |rng| {
+//!     let n = rng.gen_range(0usize..20);
+//!     let xs: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+//!     let mut twice = xs.clone();
+//!     twice.reverse();
+//!     twice.reverse();
+//!     assert_eq!(twice, xs);
+//! });
+//! ```
+//!
+//! Each case runs with a fresh generator derived from a per-case seed; a
+//! failing case reports its seed and can be replayed exactly by setting
+//! `RE2X_TEST_SEED=<seed>`. The iteration budget defaults to
+//! [`DEFAULT_CASES`] and can be raised or lowered globally with
+//! `RE2X_TEST_CASES`.
+
+pub mod prng;
+pub mod runner;
+
+pub use prng::{SplitMix64, TestRng};
+pub use runner::{check, check_n, DEFAULT_CASES};

@@ -1,0 +1,111 @@
+//! The property runner: iteration budget, per-case seeds, and failing-seed
+//! replay.
+
+use crate::prng::{SplitMix64, TestRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property when `RE2X_TEST_CASES` is unset.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Base seed of the deterministic per-case seed stream. Arbitrary but
+/// fixed: hermetic test runs must not depend on time or process identity.
+const BASE_SEED: u64 = 0x5EED_2E2A_0B5E_D001;
+
+/// Runs `property` for the default iteration budget ([`DEFAULT_CASES`],
+/// overridable globally with the `RE2X_TEST_CASES` environment variable).
+///
+/// Each case receives a [`TestRng`] seeded from a deterministic per-case
+/// seed. If a case panics, the harness reports the property name, the case
+/// index, and the seed, then re-raises the panic; setting
+/// `RE2X_TEST_SEED=<seed>` replays exactly that case (and only it).
+pub fn check(name: &str, property: impl Fn(&mut TestRng)) {
+    check_n(name, configured_cases(DEFAULT_CASES), property);
+}
+
+/// [`check`] with an explicit per-property iteration budget (still scaled
+/// by `RE2X_TEST_CASES` when that is set: the environment variable wins,
+/// so a whole run can be shortened or deepened uniformly).
+pub fn check_n(name: &str, cases: u32, property: impl Fn(&mut TestRng)) {
+    if let Some(seed) = seed_override() {
+        run_case(name, 0, seed, &property);
+        return;
+    }
+    let cases = configured_cases(cases);
+    let mut stream = SplitMix64::new(BASE_SEED);
+    for case in 0..cases {
+        run_case(name, case, stream.next_u64(), &property);
+    }
+}
+
+fn run_case(name: &str, case: u32, seed: u64, property: &impl Fn(&mut TestRng)) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = TestRng::seed_from_u64(seed);
+        property(&mut rng);
+    }));
+    if let Err(payload) = outcome {
+        eprintln!(
+            "property '{name}' failed at case {case} (seed {seed:#018x}); \
+             replay with RE2X_TEST_SEED={seed:#018x}"
+        );
+        resume_unwind(payload);
+    }
+}
+
+fn configured_cases(default: u32) -> u32 {
+    match std::env::var("RE2X_TEST_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("RE2X_TEST_CASES must be a number, got '{v}'")),
+        Err(_) => default,
+    }
+}
+
+fn seed_override() -> Option<u64> {
+    let v = std::env::var("RE2X_TEST_SEED").ok()?;
+    let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    Some(parsed.unwrap_or_else(|_| panic!("RE2X_TEST_SEED must be a (hex) number, got '{v}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn runs_the_full_budget() {
+        let count = AtomicU32::new(0);
+        check_n("counts", 17, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        // RE2X_TEST_SEED / RE2X_TEST_CASES change the budget by design;
+        // outside those overrides the budget is exact
+        if std::env::var("RE2X_TEST_SEED").is_err() && std::env::var("RE2X_TEST_CASES").is_err() {
+            assert_eq!(count.load(Ordering::Relaxed), 17);
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let mut seeds = Vec::new();
+        let mut stream = SplitMix64::new(BASE_SEED);
+        for _ in 0..100 {
+            seeds.push(stream.next_u64());
+        }
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn failing_case_panics_through() {
+        let result = std::panic::catch_unwind(|| {
+            check_n("always fails", 3, |_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

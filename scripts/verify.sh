@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full offline verification gate: tier-1 (release build + tests) plus the
+# complete workspace test suite, with warnings promoted to errors.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
+export CARGO_NET_OFFLINE="true"
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test -q --offline --workspace
+
+echo "== bench targets compile (bench-criterion) =="
+cargo build --offline -p re2x-bench --benches --features bench-criterion
+
+echo "verify: OK"

@@ -4,7 +4,7 @@
 //! the Figure 10 comparison properties must hold.
 
 use re2x_cube::{bootstrap, BootstrapConfig};
-use re2x_sparql::{LocalEndpoint, SparqlEndpoint, Value};
+use re2x_sparql::{CachingEndpoint, EndpointStats, LocalEndpoint, SparqlEndpoint, Value};
 use re2xolap::{RefineOp, ReolapConfig, Session, SessionConfig};
 
 fn running_endpoint() -> (LocalEndpoint, re2x_cube::VirtualSchemaGraph) {
@@ -157,6 +157,92 @@ fn alex_workflow_is_reproducible_and_backtrackable() {
     let metrics = session.metrics();
     assert!(metrics.paths_offered > 0);
     assert!(metrics.tuples_accessible as usize >= base_rows);
+}
+
+/// Endpoint accounting stays monotone and internally consistent while a
+/// scripted ReOLAP session runs through a caching decorator: counters only
+/// grow, hits+misses cover every issued query, the latency histogram counts
+/// one sample per query that reached the inner endpoint, and rows_returned
+/// never decreases.
+#[test]
+fn endpoint_stats_are_monotone_through_a_scripted_session() {
+    let mut dataset = re2x_datagen::running::generate();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = CachingEndpoint::new(LocalEndpoint::new(graph));
+    let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+        .expect("bootstrap")
+        .schema;
+
+    let monotone = |before: &EndpointStats, after: &EndpointStats, when: &str| {
+        assert!(after.selects >= before.selects, "selects shrank {when}");
+        assert!(after.asks >= before.asks, "asks shrank {when}");
+        assert!(
+            after.keyword_searches >= before.keyword_searches,
+            "keyword searches shrank {when}"
+        );
+        assert!(
+            after.rows_returned >= before.rows_returned,
+            "rows_returned shrank {when}"
+        );
+        assert!(after.cache_hits >= before.cache_hits, "hits shrank {when}");
+        assert!(after.cache_misses >= before.cache_misses, "misses shrank {when}");
+        assert!(after.busy >= before.busy, "busy time shrank {when}");
+        assert!(
+            after.latency.count() >= before.latency.count(),
+            "latency samples shrank {when}"
+        );
+    };
+    let consistent = |stats: &EndpointStats, when: &str| {
+        // only misses reach the inner endpoint, which records one latency
+        // sample per query it answers
+        assert_eq!(stats.cache_misses, stats.total_queries(), "miss accounting {when}");
+        assert_eq!(
+            stats.latency.count(),
+            stats.total_queries(),
+            "one latency sample per inner query {when}"
+        );
+        if stats.latency.count() > 0 {
+            let p50 = stats.latency.p50().expect("p50");
+            let p99 = stats.latency.p99().expect("p99");
+            assert!(p50 <= p99, "quantiles ordered {when}");
+        }
+    };
+
+    let mut previous = endpoint.stats();
+    consistent(&previous, "after bootstrap");
+    assert!(previous.total_queries() > 0, "bootstrap issues queries");
+
+    // scripted session: synthesize → run → drill down → top-k → backtrack
+    let mut session = Session::new(&endpoint, &schema, SessionConfig::default());
+    let outcome = session.synthesize(&["Germany", "2014"]).expect("synthesis");
+    session.choose(outcome.queries[0].clone()).expect("runs");
+    let mut checkpoint = |when: &str| {
+        let now = endpoint.stats();
+        monotone(&previous, &now, when);
+        consistent(&now, when);
+        previous = now;
+    };
+    checkpoint("after first query");
+
+    let r = session.refinements(RefineOp::Disaggregate).expect("dis");
+    session.apply(r.into_iter().next().expect("offer")).expect("runs");
+    checkpoint("after disaggregate");
+
+    let r = session.refinements(RefineOp::TopK).expect("topk");
+    session.apply(r.into_iter().next().expect("offer")).expect("runs");
+    checkpoint("after top-k");
+
+    assert!(session.backtrack());
+    checkpoint("after backtrack");
+
+    // replaying the same synthesis against the warm cache gains hits but no
+    // (or almost no) new inner-endpoint work
+    let replayed = session.synthesize(&["Germany", "2014"]).expect("synthesis");
+    assert_eq!(replayed.queries.len(), outcome.queries.len());
+    let now = endpoint.stats();
+    monotone(&previous, &now, "after replay");
+    consistent(&now, "after replay");
+    assert!(now.cache_hits > previous.cache_hits, "replay hits the cache");
 }
 
 #[test]

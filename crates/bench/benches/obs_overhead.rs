@@ -1,0 +1,105 @@
+//! Overhead of the observability layer (`re2x-obs`).
+//!
+//! Two claims are checked here:
+//!
+//! 1. A **disabled** tracer is free: opening spans and recording queries
+//!    against it performs *zero heap allocations* (verified with a counting
+//!    global allocator, not just timed).
+//! 2. The per-span cost of an **enabled** tracer is bounded and visible —
+//!    the timed comparison prints both so regressions stand out.
+
+use re2x_bench::micro::Group;
+use re2x_obs::{QueryKind, Tracer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counts allocations so the disabled-path claim is checked exactly.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const ITERS: u64 = 1_000_000;
+
+fn disabled_workload(tracer: &Tracer) {
+    for i in 0..ITERS {
+        let _outer = tracer.span("bench.outer");
+        let _inner = tracer.span("bench.inner");
+        tracer.record_query(QueryKind::Select, Duration::from_micros(i % 64));
+        tracer.record_cache(i % 2 == 0);
+    }
+}
+
+fn main() {
+    let disabled = Tracer::disabled();
+
+    // Warm up thread-local state, then measure allocations across the
+    // whole disabled workload. The assertion is the point of this bench:
+    // tracing that is off must not allocate on the hot path.
+    disabled_workload(&disabled);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    disabled_workload(&disabled);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracer allocated {} times over {ITERS} iterations",
+        after - before
+    );
+    println!(
+        "obs/disabled_no_alloc: 0 allocations across {ITERS} span+query+cache iterations ✓"
+    );
+
+    let group = Group::new("obs");
+    group.bench("disabled_span_pair_1k", || {
+        for i in 0..1_000u64 {
+            let _outer = disabled.span("bench.outer");
+            let _inner = disabled.span("bench.inner");
+            disabled.record_query(QueryKind::Select, Duration::from_micros(i % 64));
+        }
+    });
+    group.bench_with_setup(
+        "enabled_span_pair_1k",
+        Tracer::enabled,
+        |tracer| {
+            for i in 0..1_000u64 {
+                let _outer = tracer.span("bench.outer");
+                let _inner = tracer.span("bench.inner");
+                tracer.record_query(QueryKind::Select, Duration::from_micros(i % 64));
+            }
+            black_box(tracer.events().len())
+        },
+    );
+    group.bench_with_setup(
+        "enabled_events_export_1k",
+        || {
+            let tracer = Tracer::enabled();
+            for _ in 0..500u64 {
+                let _outer = tracer.span("bench.outer");
+                let _inner = tracer.span("bench.inner");
+            }
+            tracer
+        },
+        |tracer| black_box(re2x_obs::events_to_jsonl(&tracer.events()).len()),
+    );
+}

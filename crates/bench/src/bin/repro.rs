@@ -4,7 +4,7 @@
 //! repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig8c fig9 fig10
-//!              ablations scaling latency          (default: all)
+//!              ablations scaling latency trace    (default: all)
 //! ```
 //!
 //! Results are printed and written to `<out>/<experiment>.txt`
@@ -25,9 +25,9 @@ struct Args {
     experiments: BTreeSet<String>,
 }
 
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig8c", "fig9", "fig10", "ablations",
-    "scaling", "latency",
+    "scaling", "latency", "trace",
 ];
 
 fn parse_args() -> Args {
@@ -136,6 +136,35 @@ fn main() {
             "Endpoint latency profile: per-phase p50/p99 and cache hit rates",
             &figures::latency_profile(args.seed),
         );
+    }
+
+    if wants("trace") {
+        // 2 ms of injected latency stands in for a remote endpoint; the
+        // phase-attributed report shows endpoint time dominating the
+        // pipeline (the paper's Figs. 6–9 observation).
+        let report = re2x_bench::trace::run(std::time::Duration::from_millis(2));
+        emit(
+            &args.out,
+            "trace",
+            "Trace: phase-attributed pipeline cost under 2 ms endpoint latency",
+            &report.summary(),
+        );
+        let _ = std::fs::create_dir_all(&args.out);
+        let json_path = args.out.join("trace.json");
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("could not write {}: {e}", json_path.display());
+        } else {
+            println!("wrote {}", json_path.display());
+        }
+        // full span/query event log is opt-in: it is large and per-run
+        if std::env::var("RE2X_TRACE").map_or(false, |v| v != "0") {
+            let jsonl_path = args.out.join("trace_events.jsonl");
+            if let Err(e) = std::fs::write(&jsonl_path, report.events_jsonl()) {
+                eprintln!("could not write {}: {e}", jsonl_path.display());
+            } else {
+                println!("wrote {}", jsonl_path.display());
+            }
+        }
     }
 
     if !needs_datasets {

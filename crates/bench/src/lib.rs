@@ -16,3 +16,4 @@ pub mod env;
 pub mod figures;
 pub mod micro;
 pub mod report;
+pub mod trace;

@@ -64,4 +64,6 @@ pub use matching::{matches, member_levels, MatchMode, MemberMatch};
 pub use query_model::{ExampleBinding, GroupColumn, MeasureColumn, OlapQuery};
 pub use refine::{RefineOp, Refinement, RefinementKind};
 pub use reolap::{get_query, reolap, reolap_multi, ReolapConfig, SynthesisOutcome};
-pub use session::{ExplorationMetrics, Session, SessionConfig, Step};
+pub use session::{
+    ExplorationMetrics, PhaseBreakdown, PhaseCost, Session, SessionConfig, Step, StepCost,
+};

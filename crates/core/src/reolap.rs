@@ -21,6 +21,7 @@ use crate::query_model::{
     level_var_name, measure_alias, ExampleBinding, GroupColumn, MeasureColumn, OlapQuery,
 };
 use re2x_cube::{patterns, LevelId, VirtualSchemaGraph};
+use re2x_obs::Tracer;
 use re2x_sparql::{
     AggFunc, Expr, PatternElement, Query, SelectItem, SparqlEndpoint, TermPattern, TriplePattern,
 };
@@ -41,6 +42,9 @@ pub struct ReolapConfig {
     /// Upper bound on interpretation combinations before giving up with
     /// [`Re2xError::TooManyInterpretations`].
     pub max_interpretations: usize,
+    /// Tracer receiving per-phase spans (`reolap`, `reolap.match` per
+    /// keyword, `reolap.validate` per candidate). Disabled by default.
+    pub tracer: Tracer,
 }
 
 impl Default for ReolapConfig {
@@ -50,6 +54,7 @@ impl Default for ReolapConfig {
             aggregates: AggFunc::NUMERIC.to_vec(),
             validate: true,
             max_interpretations: 100_000,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -73,10 +78,14 @@ pub fn reolap(
     config: &ReolapConfig,
 ) -> Result<SynthesisOutcome, Re2xError> {
     let start = Instant::now();
+    let _root = config.tracer.span("reolap");
     // Lines 2–7: per-component interpretations.
     let mut per_component: Vec<Vec<MemberMatch>> = Vec::with_capacity(example.len());
     for keyword in example {
-        let hits = matches(endpoint, schema, keyword, config.mode)?;
+        let hits = {
+            let _match = config.tracer.span_with("reolap.match", &[("keyword", *keyword)]);
+            matches(endpoint, schema, keyword, config.mode)?
+        };
         if hits.is_empty() {
             return Err(Re2xError::NoMatch {
                 keyword: (*keyword).to_owned(),
@@ -110,7 +119,11 @@ pub fn reolap(
         key.dedup();
         if !seen.contains(&key) {
             seen.push(key);
-            if !config.validate || validate_interpretation(endpoint, schema, &bindings)? {
+            let valid = !config.validate || {
+                let _validate = config.tracer.span("reolap.validate");
+                validate_interpretation(endpoint, schema, &bindings)?
+            };
+            if valid {
                 queries.push(get_query(schema, &bindings, &config.aggregates));
             }
         }
@@ -144,6 +157,7 @@ pub fn reolap_multi(
     config: &ReolapConfig,
 ) -> Result<SynthesisOutcome, Re2xError> {
     let start = Instant::now();
+    let _root = config.tracer.span("reolap");
     let Some(first) = examples.first() else {
         return Ok(SynthesisOutcome {
             queries: Vec::new(),
@@ -161,7 +175,12 @@ pub fn reolap_multi(
     for tuple in examples {
         let mut row = Vec::with_capacity(arity);
         for keyword in tuple {
-            let hits = matches(endpoint, schema, keyword, config.mode)?;
+            let hits = {
+                let _match = config
+                    .tracer
+                    .span_with("reolap.match", &[("keyword", keyword.as_str())]);
+                matches(endpoint, schema, keyword, config.mode)?
+            };
             if hits.is_empty() {
                 return Err(Re2xError::NoMatch {
                     keyword: keyword.clone(),
@@ -224,9 +243,12 @@ pub fn reolap_multi(
                         .clone()
                 })
                 .collect();
-            if config.validate && !validate_interpretation(endpoint, schema, &tuple_bindings)? {
-                valid = false;
-                break;
+            if config.validate {
+                let _validate = config.tracer.span("reolap.validate");
+                if !validate_interpretation(endpoint, schema, &tuple_bindings)? {
+                    valid = false;
+                    break;
+                }
             }
             example_tuples.push(tuple_bindings);
         }

@@ -12,7 +12,9 @@ use crate::query_model::OlapQuery;
 use crate::refine::{disaggregate, similar, subset, RefineOp, Refinement};
 use crate::reolap::{reolap, ReolapConfig, SynthesisOutcome};
 use re2x_cube::VirtualSchemaGraph;
+use re2x_obs::Tracer;
 use re2x_sparql::{Solutions, SparqlEndpoint};
+use std::time::{Duration, Instant};
 
 /// Session-level configuration.
 #[derive(Debug, Clone)]
@@ -23,6 +25,10 @@ pub struct SessionConfig {
     pub similarity_k: usize,
     /// Percentile boundaries for the percentile refinement.
     pub percentiles: Vec<u8>,
+    /// Tracer receiving session spans (`session.synthesize`,
+    /// `session.execute`, `session.refine`). Disabled by default; also
+    /// propagated into `reolap` unless that one carries its own tracer.
+    pub tracer: Tracer,
 }
 
 impl Default for SessionConfig {
@@ -31,8 +37,21 @@ impl Default for SessionConfig {
             reolap: ReolapConfig::default(),
             similarity_k: 3,
             percentiles: subset::DEFAULT_PERCENTILES.to_vec(),
+            tracer: Tracer::disabled(),
         }
     }
+}
+
+/// Endpoint cost of one executed step (wall time of the call plus the
+/// endpoint-stats delta it caused).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepCost {
+    /// Wall-clock time of the operation.
+    pub wall: Duration,
+    /// Queries the endpoint answered during it.
+    pub endpoint_queries: u64,
+    /// Endpoint busy time consumed by it.
+    pub endpoint_busy: Duration,
 }
 
 /// One executed step of the exploration: a query and its results.
@@ -42,6 +61,43 @@ pub struct Step {
     pub query: OlapQuery,
     /// Its result set.
     pub solutions: Solutions,
+    /// What executing it cost.
+    pub cost: StepCost,
+}
+
+/// Accumulated cost of one session phase across all its invocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Times the phase ran.
+    pub invocations: u64,
+    /// Summed wall-clock time.
+    pub wall: Duration,
+    /// Summed endpoint queries.
+    pub endpoint_queries: u64,
+    /// Summed endpoint busy time.
+    pub endpoint_busy: Duration,
+}
+
+impl PhaseCost {
+    fn add(&mut self, cost: StepCost) {
+        self.invocations += 1;
+        self.wall += cost.wall;
+        self.endpoint_queries += cost.endpoint_queries;
+        self.endpoint_busy += cost.endpoint_busy;
+    }
+}
+
+/// Per-phase cost breakdown of the session — the paper's synthesis /
+/// execution / refinement attribution (Figs. 6–9), computed from endpoint
+/// stats deltas so it works with tracing disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Candidate-query synthesis ([`Session::synthesize`]).
+    pub synthesis: PhaseCost,
+    /// Query execution ([`Session::choose`] / [`Session::apply`]).
+    pub execution: PhaseCost,
+    /// Refinement generation ([`Session::refinements`]).
+    pub refinement: PhaseCost,
 }
 
 /// Cumulative exploration accounting (Figure 8c).
@@ -54,6 +110,8 @@ pub struct ExplorationMetrics {
     pub paths_offered: u64,
     /// Cumulative number of result tuples made accessible.
     pub tuples_accessible: u64,
+    /// Per-phase cost breakdown.
+    pub phases: PhaseBreakdown,
 }
 
 /// An interactive example-driven exploration session.
@@ -70,8 +128,12 @@ impl<'a> Session<'a> {
     pub fn new(
         endpoint: &'a dyn SparqlEndpoint,
         schema: &'a VirtualSchemaGraph,
-        config: SessionConfig,
+        mut config: SessionConfig,
     ) -> Self {
+        // one tracer for the whole session unless synthesis carries its own
+        if !config.reolap.tracer.is_enabled() {
+            config.reolap.tracer = config.tracer.clone();
+        }
         Session {
             endpoint,
             schema,
@@ -86,10 +148,31 @@ impl<'a> Session<'a> {
         self.schema
     }
 
+    /// Starts measuring one operation against the endpoint's stats.
+    fn cost_begin(&self) -> (Instant, u64, Duration) {
+        let stats = self.endpoint.stats();
+        (Instant::now(), stats.total_queries(), stats.busy)
+    }
+
+    /// Finishes the measurement begun by [`Session::cost_begin`].
+    fn cost_end(&self, begin: (Instant, u64, Duration)) -> StepCost {
+        let (start, queries_before, busy_before) = begin;
+        let stats = self.endpoint.stats();
+        StepCost {
+            wall: start.elapsed(),
+            endpoint_queries: stats.total_queries().saturating_sub(queries_before),
+            endpoint_busy: stats.busy.saturating_sub(busy_before),
+        }
+    }
+
     /// Step 1 (Algorithm 2, line 1): synthesize candidate queries from an
     /// example tuple.
     pub fn synthesize(&mut self, example: &[&str]) -> Result<SynthesisOutcome, Re2xError> {
+        let tracer = self.config.tracer.clone();
+        let _span = tracer.span("session.synthesize");
+        let begin = self.cost_begin();
         let outcome = reolap(self.endpoint, self.schema, example, &self.config.reolap)?;
+        self.metrics.phases.synthesis.add(self.cost_end(begin));
         self.metrics.interactions += 1;
         self.metrics.paths_offered += outcome.queries.len() as u64;
         Ok(outcome)
@@ -98,10 +181,19 @@ impl<'a> Session<'a> {
     /// Executes a chosen query and makes it the current step (Algorithm 2,
     /// line 5).
     pub fn choose(&mut self, query: OlapQuery) -> Result<&Step, Re2xError> {
+        let tracer = self.config.tracer.clone();
+        let _span = tracer.span("session.execute");
+        let begin = self.cost_begin();
         let solutions = self.endpoint.select(&query.query)?;
+        let cost = self.cost_end(begin);
+        self.metrics.phases.execution.add(cost);
         self.metrics.interactions += 1;
         self.metrics.tuples_accessible += solutions.len() as u64;
-        self.history.push(Step { query, solutions });
+        self.history.push(Step {
+            query,
+            solutions,
+            cost,
+        });
         Ok(self.history.last().expect("just pushed"))
     }
 
@@ -118,6 +210,9 @@ impl<'a> Session<'a> {
     /// Generates refinements of the current query with one ExRef operation
     /// (Algorithm 2, line 10).
     pub fn refinements(&mut self, op: RefineOp) -> Result<Vec<Refinement>, Re2xError> {
+        let tracer = self.config.tracer.clone();
+        let _span = tracer.span("session.refine");
+        let begin = self.cost_begin();
         let Some(step) = self.history.last() else {
             return Err(Re2xError::NotApplicable(
                 "no query has been executed yet".to_owned(),
@@ -142,6 +237,7 @@ impl<'a> Session<'a> {
                 self.config.similarity_k,
             ),
         };
+        self.metrics.phases.refinement.add(self.cost_end(begin));
         self.metrics.interactions += 1;
         self.metrics.paths_offered += refinements.len() as u64;
         Ok(refinements)
@@ -257,6 +353,61 @@ mod tests {
         assert!(metrics.interactions >= 9);
         assert!(metrics.paths_offered >= 8);
         assert!(metrics.tuples_accessible >= 16);
+    }
+
+    #[test]
+    fn phase_breakdown_attributes_endpoint_cost() {
+        let (ep, schema) = fixture();
+        let mut session = Session::new(&ep, &schema, SessionConfig::default());
+        let before = ep.stats().total_queries();
+        let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+        session.choose(outcome.queries[0].clone()).expect("run");
+        let _ = session.refinements(RefineOp::TopK).expect("refine");
+        let phases = session.metrics().phases;
+        assert_eq!(phases.synthesis.invocations, 1);
+        assert_eq!(phases.execution.invocations, 1);
+        assert_eq!(phases.refinement.invocations, 1);
+        assert!(phases.synthesis.endpoint_queries > 0, "matching + validation query");
+        assert_eq!(phases.execution.endpoint_queries, 1, "exactly the chosen query");
+        // the three phases account for every query issued since the session
+        // started (refinement generation itself issues none here)
+        let issued = ep.stats().total_queries() - before;
+        assert_eq!(
+            phases.synthesis.endpoint_queries
+                + phases.execution.endpoint_queries
+                + phases.refinement.endpoint_queries,
+            issued
+        );
+        // step cost is recorded on the history entry
+        let step = session.current().expect("step");
+        assert_eq!(step.cost.endpoint_queries, 1);
+        assert!(step.cost.wall >= step.cost.endpoint_busy);
+    }
+
+    #[test]
+    fn session_tracer_produces_phase_spans() {
+        let (ep, schema) = fixture();
+        let tracer = re2x_obs::Tracer::enabled();
+        let config = SessionConfig {
+            tracer: tracer.clone(),
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(&ep, &schema, config);
+        let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+        session.choose(outcome.queries[0].clone()).expect("run");
+        let events = tracer.events();
+        let paths: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                re2x_obs::TraceEvent::Enter { path, .. } => Some(path.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(paths.contains(&"session.synthesize"));
+        // synthesis propagates the session tracer into reolap's spans
+        assert!(paths.contains(&"session.synthesize/reolap"));
+        assert!(paths.contains(&"session.synthesize/reolap/reolap.match"));
+        assert!(paths.contains(&"session.execute"));
     }
 
     #[test]

@@ -4,12 +4,24 @@
 //! natural-language description, the reusable SPARQL, and a result
 //! preview.
 
-use crate::session::Session;
+use crate::session::{PhaseCost, Session};
+use re2x_obs::export::fmt_duration;
 use re2x_rdf::Graph;
 use std::fmt::Write as _;
 
 /// Maximum result rows included per step.
 const PREVIEW_ROWS: usize = 10;
+
+fn phase_row(out: &mut String, name: &str, cost: &PhaseCost) {
+    let _ = writeln!(
+        out,
+        "| {name} | {} | {} | {} | {} |",
+        cost.invocations,
+        fmt_duration(cost.wall),
+        cost.endpoint_queries,
+        fmt_duration(cost.endpoint_busy),
+    );
+}
 
 /// Renders the session history as Markdown.
 pub fn to_markdown(session: &Session, graph: &Graph) -> String {
@@ -21,6 +33,15 @@ pub fn to_markdown(session: &Session, graph: &Graph) -> String {
         "{} interaction(s), {} exploration paths offered, {} tuples accessed.\n",
         metrics.interactions, metrics.paths_offered, metrics.tuples_accessible
     );
+    if metrics.interactions > 0 {
+        out.push_str("## Cost by phase\n\n");
+        out.push_str("| Phase | Invocations | Wall time | Endpoint queries | Endpoint busy |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        phase_row(&mut out, "Synthesis", &metrics.phases.synthesis);
+        phase_row(&mut out, "Execution", &metrics.phases.execution);
+        phase_row(&mut out, "Refinement", &metrics.phases.refinement);
+        out.push('\n');
+    }
     if session.history().is_empty() {
         out.push_str("_No query has been executed yet._\n");
         return out;
@@ -38,6 +59,13 @@ pub fn to_markdown(session: &Session, graph: &Graph) -> String {
         out.push_str("```sparql\n");
         out.push_str(&step.query.sparql());
         out.push_str("\n```\n\n");
+        let _ = writeln!(
+            out,
+            "Cost: {} wall, {} endpoint query(ies), {} endpoint busy.\n",
+            fmt_duration(step.cost.wall),
+            step.cost.endpoint_queries,
+            fmt_duration(step.cost.endpoint_busy),
+        );
         let total = step.solutions.len();
         let _ = writeln!(out, "{total} result row(s):\n");
         let mut preview = step.solutions.clone();
@@ -71,6 +99,11 @@ mod tests {
 
         let empty = to_markdown(&session, endpoint.graph());
         assert!(empty.contains("No query has been executed"));
+        assert!(
+            !empty.contains("## Cost by phase"),
+            "no cost table before any interaction"
+        );
+        assert!(empty.contains("0 interaction(s)"));
 
         let outcome = session.synthesize(&["Germany", "2014"]).expect("synthesis");
         session.choose(outcome.queries[0].clone()).expect("runs");
@@ -87,6 +120,13 @@ mod tests {
         assert!(md.contains("result row(s):"));
         // labels, not IRIs, in the preview tables
         assert!(md.contains("| Germany"));
+        // cost accounting: a per-phase table plus one cost line per step
+        assert!(md.contains("## Cost by phase"));
+        assert!(md.contains("| Synthesis | 1 |"));
+        assert!(md.contains("| Execution | 2 |"));
+        assert!(md.contains("| Refinement | 1 |"));
+        assert_eq!(md.matches("Cost: ").count(), 2, "one cost line per step");
+        assert!(md.contains("endpoint query(ies)"));
     }
 
     #[test]
@@ -104,5 +144,15 @@ mod tests {
         session.apply(dis.into_iter().next().expect("one")).expect("runs");
         let md = to_markdown(&session, endpoint.graph());
         assert!(md.contains("more row(s)."), "{md}");
+        // the preview is truncated to PREVIEW_ROWS: a step's table never has
+        // more than PREVIEW_ROWS data rows
+        let step2 = md.split("## Step 2:").nth(1).expect("step 2 rendered");
+        let data_rows = step2
+            .lines()
+            .skip_while(|l| !l.starts_with("|---"))
+            .skip(1)
+            .take_while(|l| l.starts_with('|'))
+            .count();
+        assert!(data_rows <= PREVIEW_ROWS, "{data_rows} rows previewed");
     }
 }

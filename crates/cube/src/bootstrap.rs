@@ -19,6 +19,7 @@
 use crate::labels::{default_label_predicates, label_of};
 use crate::patterns::{observation_type, path_to_member};
 use crate::vgraph::VirtualSchemaGraph;
+use re2x_obs::Tracer;
 use re2x_rdf::vocab;
 use re2x_sparql::{
     AggFunc, Expr, Func, PatternElement, Query, SelectItem, SparqlEndpoint, SparqlError,
@@ -39,6 +40,9 @@ pub struct BootstrapConfig {
     pub excluded_predicates: Vec<String>,
     /// Predicates consulted for human-readable labels.
     pub label_predicates: Vec<String>,
+    /// Tracer receiving per-phase spans (`bootstrap`, `bootstrap.prelude`,
+    /// one `bootstrap.crawl_dimension` per dimension). Disabled by default.
+    pub tracer: Tracer,
 }
 
 impl BootstrapConfig {
@@ -54,7 +58,15 @@ impl BootstrapConfig {
                 vocab::qb4o::IN_HIERARCHY.to_owned(),
             ],
             label_predicates: default_label_predicates(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Routes bootstrap spans (and the queries issued inside them) through
+    /// `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     fn is_excluded(&self, predicate: &str) -> bool {
@@ -82,10 +94,16 @@ pub fn bootstrap(
     config: &BootstrapConfig,
 ) -> Result<BootstrapReport, SparqlError> {
     let start = Instant::now();
+    let _root = config.tracer.span("bootstrap");
     let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
 
     for predicate in dim_predicates {
-        let crawl = crawl_dimension(endpoint, config, predicate)?;
+        let crawl = {
+            let _dim = config
+                .tracer
+                .span_with("bootstrap.crawl_dimension", &[("dimension", predicate.as_str())]);
+            crawl_dimension(endpoint, config, predicate)?
+        };
         queries += crawl.queries;
         apply_dimension(&mut schema, crawl);
     }
@@ -112,12 +130,27 @@ pub fn bootstrap_parallel(
     config: &BootstrapConfig,
 ) -> Result<BootstrapReport, SparqlError> {
     let start = Instant::now();
+    let root = config.tracer.span("bootstrap");
     let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
 
+    // Worker threads have no span context of their own; each per-dimension
+    // span is explicitly parented under the root via its handle, so paths
+    // (and query provenance) nest identically to the serial variant.
+    let root_handle = root.handle();
     let crawls: Vec<Result<DimensionCrawl, SparqlError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = dim_predicates
             .into_iter()
-            .map(|predicate| scope.spawn(move || crawl_dimension(endpoint, config, predicate)))
+            .map(|predicate| {
+                let root_handle = root_handle.clone();
+                scope.spawn(move || {
+                    let _dim = config.tracer.span_under_with(
+                        &root_handle,
+                        "bootstrap.crawl_dimension",
+                        &[("dimension", predicate.as_str())],
+                    );
+                    crawl_dimension(endpoint, config, predicate)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -145,6 +178,7 @@ fn bootstrap_prelude(
     endpoint: &dyn SparqlEndpoint,
     config: &BootstrapConfig,
 ) -> Result<(VirtualSchemaGraph, Vec<String>, u64), SparqlError> {
+    let _span = config.tracer.span("bootstrap.prelude");
     let mut queries = 0u64;
     let mut schema = VirtualSchemaGraph::new(config.observation_class.clone());
 

@@ -1,0 +1,404 @@
+//! Exporters: JSONL event log, Prometheus-style text exposition, and a
+//! flamegraph-style self-time tree.
+//!
+//! All output is produced by hand (the workspace is hermetic — no serde);
+//! the JSON subset emitted here is deliberately tiny: objects with string,
+//! integer, and float values only.
+
+use crate::hist::LatencyHistogram;
+use crate::metrics::MetricsSnapshot;
+use crate::tracer::{PhaseQueryStats, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Escapes a string for inclusion inside a JSON string literal (without
+/// the surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fields_to_json(fields: &[(String, String)]) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+/// Renders one trace event as a single-line JSON object.
+pub fn event_to_json(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::Enter {
+            span,
+            parent,
+            path,
+            name,
+            thread,
+            at,
+            fields,
+        } => {
+            let parent = match parent {
+                Some(p) => p.to_string(),
+                None => "null".to_owned(),
+            };
+            format!(
+                "{{\"type\":\"enter\",\"span\":{span},\"parent\":{parent},\
+                 \"path\":\"{}\",\"name\":\"{}\",\"thread\":{thread},\
+                 \"at_us\":{},\"fields\":{}}}",
+                json_escape(path),
+                json_escape(name),
+                at.as_micros(),
+                fields_to_json(fields),
+            )
+        }
+        TraceEvent::Exit {
+            span,
+            path,
+            thread,
+            at,
+            wall,
+            self_time,
+        } => format!(
+            "{{\"type\":\"exit\",\"span\":{span},\"path\":\"{}\",\
+             \"thread\":{thread},\"at_us\":{},\"wall_us\":{},\"self_us\":{}}}",
+            json_escape(path),
+            at.as_micros(),
+            wall.as_micros(),
+            self_time.as_micros(),
+        ),
+        TraceEvent::Query {
+            path,
+            kind,
+            thread,
+            at,
+            latency,
+        } => format!(
+            "{{\"type\":\"query\",\"path\":\"{}\",\"kind\":\"{}\",\
+             \"thread\":{thread},\"at_us\":{},\"latency_us\":{}}}",
+            json_escape(path),
+            kind.as_str(),
+            at.as_micros(),
+            latency.as_micros(),
+        ),
+    }
+}
+
+/// Renders an event log as JSONL (one JSON object per line, trailing
+/// newline included when non-empty).
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event_to_json(event));
+        out.push('\n');
+    }
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    // Prometheus metric names allow [a-zA-Z0-9_:]; labels in braces pass
+    // through untouched.
+    match name.find('{') {
+        Some(i) => {
+            let (base, labels) = name.split_at(i);
+            format!("{}{}", sanitize(base), labels)
+        }
+        None => sanitize(name),
+    }
+}
+
+fn sanitize(base: &str) -> String {
+    base.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_histogram(out: &mut String, name: &str, hist: &LatencyHistogram, sum: Duration) {
+    let mut cumulative = 0u64;
+    for (bound, count) in hist.buckets() {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            bound.as_secs_f64()
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(out, "{name}_sum {}", sum.as_secs_f64());
+    let _ = writeln!(out, "{name}_count {}", hist.count());
+}
+
+/// Renders a metrics snapshot plus the query-provenance table as a
+/// Prometheus-style text exposition.
+pub fn prometheus_exposition(
+    metrics: &MetricsSnapshot,
+    provenance: &[(String, PhaseQueryStats)],
+) -> String {
+    let mut out = String::new();
+    for (name, value) in &metrics.counters {
+        let _ = writeln!(out, "# TYPE {} counter", prom_name(name).split('{').next().unwrap_or(""));
+        let _ = writeln!(out, "{} {value}", prom_name(name));
+    }
+    for (name, value) in &metrics.gauges {
+        let _ = writeln!(out, "# TYPE {} gauge", prom_name(name).split('{').next().unwrap_or(""));
+        let _ = writeln!(out, "{} {value}", prom_name(name));
+    }
+    for (name, snap) in &metrics.histograms {
+        let base = prom_name(name);
+        let _ = writeln!(out, "# TYPE {} histogram", base.split('{').next().unwrap_or(""));
+        prom_histogram(&mut out, &base, &snap.histogram, snap.sum);
+    }
+    if !provenance.is_empty() {
+        let _ = writeln!(out, "# TYPE re2x_phase_queries counter");
+        for (path, stats) in provenance {
+            let phase = json_escape(path);
+            let _ = writeln!(
+                out,
+                "re2x_phase_queries{{phase=\"{phase}\",kind=\"select\"}} {}",
+                stats.selects
+            );
+            let _ = writeln!(
+                out,
+                "re2x_phase_queries{{phase=\"{phase}\",kind=\"ask\"}} {}",
+                stats.asks
+            );
+            let _ = writeln!(
+                out,
+                "re2x_phase_queries{{phase=\"{phase}\",kind=\"keyword\"}} {}",
+                stats.keyword_searches
+            );
+        }
+        let _ = writeln!(out, "# TYPE re2x_phase_busy_seconds counter");
+        for (path, stats) in provenance {
+            let _ = writeln!(
+                out,
+                "re2x_phase_busy_seconds{{phase=\"{}\"}} {}",
+                json_escape(path),
+                stats.busy.as_secs_f64()
+            );
+        }
+        let _ = writeln!(out, "# TYPE re2x_phase_cache_events counter");
+        for (path, stats) in provenance {
+            if stats.cache_hits + stats.cache_misses == 0 {
+                continue;
+            }
+            let phase = json_escape(path);
+            let _ = writeln!(
+                out,
+                "re2x_phase_cache_events{{phase=\"{phase}\",outcome=\"hit\"}} {}",
+                stats.cache_hits
+            );
+            let _ = writeln!(
+                out,
+                "re2x_phase_cache_events{{phase=\"{phase}\",outcome=\"miss\"}} {}",
+                stats.cache_misses
+            );
+        }
+    }
+    out
+}
+
+/// Aggregate cost of one span *path* (all spans sharing that path folded
+/// together), produced by [`aggregate_spans`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Full `/`-joined path.
+    pub path: String,
+    /// Number of spans with this path.
+    pub count: u64,
+    /// Summed wall time.
+    pub wall: Duration,
+    /// Summed self time (wall minus same-thread children).
+    pub self_time: Duration,
+}
+
+/// Folds an event log into per-path aggregates, sorted by path. Because
+/// paths are `/`-joined, lexicographic order lists every parent directly
+/// before its children — the tree shape falls out of a flat sort.
+pub fn aggregate_spans(events: &[TraceEvent]) -> Vec<SpanAgg> {
+    let mut by_path: BTreeMap<&str, SpanAgg> = BTreeMap::new();
+    for event in events {
+        if let TraceEvent::Exit {
+            path,
+            wall,
+            self_time,
+            ..
+        } = event
+        {
+            let agg = by_path.entry(path).or_insert_with(|| SpanAgg {
+                path: path.clone(),
+                ..SpanAgg::default()
+            });
+            agg.count += 1;
+            agg.wall += *wall;
+            agg.self_time += *self_time;
+        }
+    }
+    by_path.into_values().collect()
+}
+
+/// Formats a duration compactly for human-readable reports.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Renders the span aggregates as an indented flamegraph-style tree:
+/// one line per path, indented by depth, with count, wall, and self time.
+/// Self-time percentages are relative to the total wall time of the root
+/// spans.
+pub fn render_self_time_tree(events: &[TraceEvent]) -> String {
+    let aggs = aggregate_spans(events);
+    let root_wall: Duration = aggs
+        .iter()
+        .filter(|a| !a.path.contains('/'))
+        .map(|a| a.wall)
+        .sum();
+    let mut out = String::new();
+    for agg in &aggs {
+        let depth = agg.path.matches('/').count();
+        let name = agg.path.rsplit('/').next().unwrap_or(&agg.path);
+        let pct = if root_wall > Duration::ZERO {
+            100.0 * agg.self_time.as_secs_f64() / root_wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{}{} ×{}  wall {}  self {} ({:.1}%)",
+            "  ".repeat(depth),
+            name,
+            agg.count,
+            fmt_duration(agg.wall),
+            fmt_duration(agg.self_time),
+            pct,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::tracer::{QueryKind, Tracer};
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn events_serialize_to_one_json_object_per_line() {
+        let tracer = Tracer::enabled();
+        {
+            let _a = tracer.span_with("phase", &[("dim", "birthPlace")]);
+            tracer.record_query(QueryKind::Select, Duration::from_micros(7));
+        }
+        let jsonl = events_to_jsonl(&tracer.events());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"enter\""));
+        assert!(lines[0].contains("\"fields\":{\"dim\":\"birthPlace\"}"));
+        assert!(lines[1].contains("\"type\":\"query\""));
+        assert!(lines[1].contains("\"kind\":\"select\""));
+        assert!(lines[1].contains("\"latency_us\":7"));
+        assert!(lines[2].contains("\"type\":\"exit\""));
+        assert!(lines[2].contains("\"wall_us\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_metric_kinds() {
+        let metrics = Metrics::new();
+        metrics.counter_add("bootstrap.dimensions", 4);
+        metrics.gauge_set("cube.cells", 128.0);
+        metrics.observe("endpoint.latency", Duration::from_micros(3));
+        let mut stats = PhaseQueryStats::default();
+        stats.selects = 2;
+        stats.cache_hits = 1;
+        stats.busy = Duration::from_micros(10);
+        let text = prometheus_exposition(
+            &metrics.snapshot(),
+            &[("bootstrap".to_owned(), stats)],
+        );
+        assert!(text.contains("bootstrap_dimensions 4"));
+        assert!(text.contains("cube_cells 128"));
+        assert!(text.contains("endpoint_latency_count 1"));
+        assert!(text.contains("endpoint_latency_sum"));
+        assert!(text.contains("re2x_phase_queries{phase=\"bootstrap\",kind=\"select\"} 2"));
+        assert!(text.contains("re2x_phase_cache_events{phase=\"bootstrap\",outcome=\"hit\"} 1"));
+        assert!(text.contains("re2x_phase_busy_seconds{phase=\"bootstrap\"} 0.00001"));
+    }
+
+    #[test]
+    fn aggregates_fold_spans_by_path_in_tree_order() {
+        let tracer = Tracer::enabled();
+        {
+            let _root = tracer.span("root");
+            for _ in 0..3 {
+                let _c = tracer.span("child");
+            }
+        }
+        let aggs = aggregate_spans(&tracer.events());
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].path, "root");
+        assert_eq!(aggs[0].count, 1);
+        assert_eq!(aggs[1].path, "root/child");
+        assert_eq!(aggs[1].count, 3);
+        assert!(aggs[1].wall <= aggs[0].wall);
+    }
+
+    #[test]
+    fn self_time_tree_indents_by_depth() {
+        let tracer = Tracer::enabled();
+        {
+            let _root = tracer.span("pipeline");
+            let _child = tracer.span("bootstrap");
+        }
+        let tree = render_self_time_tree(&tracer.events());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("pipeline ×1"));
+        assert!(lines[1].starts_with("  bootstrap ×1"));
+        assert!(lines[0].contains('%'));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(fmt_duration(Duration::from_micros(3_500)), "3.50ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2_250)), "2.25s");
+    }
+}

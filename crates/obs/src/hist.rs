@@ -1,0 +1,184 @@
+//! The fixed-bucket latency histogram shared by endpoint statistics and the
+//! metrics registry.
+//!
+//! This type originated in `re2x-sparql`'s [`EndpointStats`]; it lives here
+//! so that per-phase query provenance, the metrics registry, and endpoint
+//! statistics all aggregate latencies identically. `re2x-sparql` re-exports
+//! it under its old path for compatibility.
+//!
+//! [`EndpointStats`]: https://docs.rs/re2x-sparql
+
+use std::time::Duration;
+
+/// Number of latency buckets (powers of two of microseconds; the last
+/// bucket is open-ended and absorbs everything ≥ 2^23 µs ≈ 8.4 s).
+const LATENCY_BUCKETS: usize = 24;
+
+/// A fixed-bucket latency histogram over power-of-two microsecond bounds.
+///
+/// Bucket `i` (for `0 < i < 23`) counts observations whose latency `d`
+/// satisfies `2^i µs ≤ d < 2^(i+1) µs`. The boundary buckets are wider:
+/// bucket 0 covers the whole range `[0 ns, 2 µs)` — sub-microsecond
+/// observations are clamped up to 1 µs before the power-of-two bucket
+/// index is taken — and the last bucket (23) absorbs the open-ended long
+/// tail `≥ 2^23 µs ≈ 8.4 s`. Fixed buckets keep the histogram `Copy` and
+/// mergeable, which is what lets it live inside stats snapshots and travel
+/// across threads; quantiles are resolved to a bucket's upper bound, i.e.
+/// conservatively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.buckets[Self::bucket_of(latency)] += 1;
+    }
+
+    /// Bucket index for a latency: `floor(log2(max(d, 1 µs)))` capped at the
+    /// tail bucket. The clamp is what folds `[0 ns, 1 µs)` into bucket 0,
+    /// giving it the documented `[0 ns, 2 µs)` range.
+    fn bucket_of(latency: Duration) -> usize {
+        let micros = latency.as_micros().max(1) as u64;
+        (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket in
+    /// which it falls, or `None` if nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(i));
+            }
+        }
+        Some(Self::bucket_upper_bound(LATENCY_BUCKETS - 1))
+    }
+
+    /// Upper bound of bucket `i` (`2^(i+1)` µs).
+    fn bucket_upper_bound(i: usize) -> Duration {
+        Duration::from_micros(1u64 << (i + 1))
+    }
+
+    /// Median latency (upper bucket bound).
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (upper bucket bound).
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// The non-empty buckets as `(upper bound, count)` pairs, in ascending
+    /// bound order — the exporters' view of the distribution.
+    pub fn buckets(&self) -> impl Iterator<Item = (Duration, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper_bound(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the documented bucket boundaries: bucket 0 covers the whole of
+    /// `[0 ns, 2 µs)` (sub-microsecond observations included), interior
+    /// buckets are `[2^i µs, 2^(i+1) µs)`, and the tail bucket absorbs
+    /// everything from `2^23 µs ≈ 8.4 s` up.
+    #[test]
+    fn bucket_boundaries_are_pinned() {
+        // bucket 0: [0 ns, 2 µs)
+        assert_eq!(LatencyHistogram::bucket_of(Duration::ZERO), 0);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(1)), 0);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(999)), 0);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(1)), 0);
+        // 2 µs − 1 ns still truncates to 1 µs → bucket 0
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_nanos(1_999)), 0);
+        // bucket 1 starts exactly at 2 µs
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(2)), 1);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(3)), 1);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_micros(4)), 2);
+        // the tail bucket opens at 2^23 µs ≈ 8.4 s and is unbounded
+        assert_eq!(
+            LatencyHistogram::bucket_of(Duration::from_micros(1 << 23)),
+            23
+        );
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_secs(9)), 23);
+        assert_eq!(LatencyHistogram::bucket_of(Duration::from_secs(3600)), 23);
+    }
+
+    #[test]
+    fn buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3)); // bucket [2µs, 4µs)
+        }
+        h.record(Duration::from_millis(40)); // tail
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), Some(Duration::from_micros(4)));
+        // the p99 rank (99 of 100) still falls in the 3µs bucket; the tail
+        // observation is only reached beyond it
+        assert_eq!(h.p99(), Some(Duration::from_micros(4)));
+        assert!(h.quantile(1.0).expect("max") >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10));
+        b.record(Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn bucket_iterator_reports_bounds_and_counts() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(5));
+        let buckets: Vec<(Duration, u64)> = h.buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (Duration::from_micros(2), 2),
+                (Duration::from_micros(8), 1),
+            ]
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # re2x-obs — observability for the RE2X pipeline
+//!
+//! A zero-dependency tracing and metrics layer:
+//!
+//! * [`Tracer`] — span-based tracer with RAII guards ([`SpanGuard`]),
+//!   per-thread nesting, wall-/self-time accounting, and explicit
+//!   cross-thread parenting ([`SpanHandle`]) for scoped worker threads;
+//! * query provenance — [`Tracer::record_query`] attributes every SPARQL
+//!   query to the pipeline phase (innermost span path) that issued it,
+//!   with per-phase counts and latency quantiles ([`PhaseQueryStats`]);
+//! * [`Metrics`] — a registry of named counters, gauges, and latency
+//!   histograms built on the fixed-bucket [`LatencyHistogram`] (moved
+//!   here from `re2x-sparql`, which re-exports it);
+//! * exporters ([`export`]) — JSONL event log, Prometheus-style text
+//!   exposition, and a flamegraph-style self-time tree.
+//!
+//! The crate is a dependency *leaf*: every layer of the workspace,
+//! including `re2x-sparql` at the bottom of the stack, can depend on it
+//! without cycles. A disabled tracer ([`Tracer::disabled`], the default)
+//! costs nothing — no allocation, no locking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod metrics;
+pub mod tracer;
+
+pub use export::{
+    aggregate_spans, events_to_jsonl, event_to_json, json_escape, prometheus_exposition,
+    render_self_time_tree, SpanAgg,
+};
+pub use hist::LatencyHistogram;
+pub use metrics::{label, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use tracer::{
+    PhaseQueryStats, QueryKind, SpanGuard, SpanHandle, TraceEvent, Tracer, UNATTRIBUTED,
+};

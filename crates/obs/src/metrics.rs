@@ -1,0 +1,194 @@
+//! A registry of named counters, gauges, and latency histograms.
+//!
+//! Names are free-form dotted strings (`"bootstrap.dimensions"`); an
+//! optional `{key="value",…}` label suffix can be attached with [`label`],
+//! mirroring the Prometheus data model the text exposition
+//! ([`crate::export::prometheus_exposition`]) emits. The registry is
+//! thread-safe (one mutex, short critical sections) so decorators and
+//! scoped crawler threads can update it concurrently.
+
+use crate::hist::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A latency histogram plus the exact sum of its observations (the
+/// histogram itself only keeps bucket counts; Prometheus histograms
+/// conventionally expose `_sum` as well).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucketed distribution.
+    pub histogram: LatencyHistogram,
+    /// Exact sum of all recorded durations.
+    pub sum: Duration,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The thread-safe metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+/// A point-in-time copy of every metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<(String, f64)>,
+    /// Latency histograms with exact sums.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, latency: Duration) {
+        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        let entry = inner.histograms.entry(name.to_owned()).or_default();
+        entry.histogram.record(latency);
+        entry.sum += latency;
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.gauges.get(name).copied()
+    }
+
+    /// Copy of a histogram, if it ever recorded an observation.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        inner.histograms.get(name).copied()
+    }
+
+    /// Point-in-time copy of everything, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+        }
+    }
+}
+
+/// Builds a labeled metric name: `label("cache.hits", &[("phase", "boot")])`
+/// → `cache.hits{phase="boot"}`. With no labels, the name passes through.
+pub fn label(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('"', "\\\"")))
+        .collect();
+    format!("{name}{{{}}}", pairs.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.counter("c"), 0);
+        m.counter_add("c", 2);
+        m.counter_add("c", 3);
+        assert_eq!(m.counter("c"), 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = Metrics::new();
+        assert_eq!(m.gauge("g"), None);
+        m.gauge_set("g", 1.5);
+        m.gauge_set("g", -2.0);
+        assert_eq!(m.gauge("g"), Some(-2.0));
+    }
+
+    #[test]
+    fn histograms_record_counts_and_sums() {
+        let m = Metrics::new();
+        m.observe("h", Duration::from_micros(3));
+        m.observe("h", Duration::from_micros(7));
+        let h = m.histogram("h").expect("recorded");
+        assert_eq!(h.histogram.count(), 2);
+        assert_eq!(h.sum, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let m = Metrics::new();
+        m.counter_add("z", 1);
+        m.counter_add("a", 1);
+        m.gauge_set("g", 0.5);
+        m.observe("h", Duration::from_micros(1));
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["a", "z"]
+        );
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+    }
+
+    #[test]
+    fn label_builds_prometheus_style_names() {
+        assert_eq!(label("plain", &[]), "plain");
+        assert_eq!(
+            label("cache.hits", &[("phase", "bootstrap"), ("kind", "select")]),
+            "cache.hits{phase=\"bootstrap\",kind=\"select\"}"
+        );
+        assert_eq!(label("n", &[("k", "a\"b")]), "n{k=\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let m = Metrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        m.counter_add("c", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("c"), 400);
+    }
+}

@@ -18,6 +18,7 @@ use crate::endpoint::{EndpointStats, SparqlEndpoint};
 use crate::error::SparqlError;
 use crate::pretty::query_to_sparql;
 use crate::value::Solutions;
+use re2x_obs::Tracer;
 use re2x_rdf::{Graph, TermId};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -167,6 +168,7 @@ struct CacheState {
 pub struct CachingEndpoint<E> {
     inner: E,
     state: Mutex<CacheState>,
+    tracer: Tracer,
 }
 
 impl<E: SparqlEndpoint> CachingEndpoint<E> {
@@ -195,7 +197,15 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
                 misses: 0,
                 evictions: 0,
             }),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attributes every cache hit/miss to the pipeline phase (innermost
+    /// span of `tracer` on the calling thread) that issued the query.
+    pub fn with_tracer(mut self, tracer: Tracer) -> CachingEndpoint<E> {
+        self.tracer = tracer;
+        self
     }
 
     /// The wrapped endpoint.
@@ -229,9 +239,12 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
     pub fn stats(&self) -> EndpointStats {
         let mut stats = self.inner.stats();
         let state = self.state.lock().expect("cache mutex poisoned");
-        stats.cache_hits += state.hits;
-        stats.cache_misses += state.misses;
-        stats.cache_evictions += state.evictions;
+        stats.merge(&EndpointStats {
+            cache_hits: state.hits,
+            cache_misses: state.misses,
+            cache_evictions: state.evictions,
+            ..EndpointStats::default()
+        });
         stats
     }
 }
@@ -243,10 +256,13 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
             let mut state = self.state.lock().expect("cache mutex poisoned");
             if let Some(cached) = state.selects.get(&key) {
                 state.hits += 1;
+                drop(state);
+                self.tracer.record_cache(true);
                 return Ok(cached);
             }
             state.misses += 1;
         }
+        self.tracer.record_cache(false);
         // the lock is released while the inner endpoint evaluates, so
         // concurrent misses proceed in parallel (at worst re-evaluating)
         let solutions = self.inner.select(query)?;
@@ -263,10 +279,13 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
             let mut state = self.state.lock().expect("cache mutex poisoned");
             if let Some(cached) = state.asks.get(&key) {
                 state.hits += 1;
+                drop(state);
+                self.tracer.record_cache(true);
                 return Ok(cached);
             }
             state.misses += 1;
         }
+        self.tracer.record_cache(false);
         let answer = self.inner.ask(query)?;
         let mut state = self.state.lock().expect("cache mutex poisoned");
         if state.asks.insert(key, answer) {
@@ -283,10 +302,13 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
             let mut state = self.state.lock().expect("cache mutex poisoned");
             if let Some(cached) = state.keywords.get(&key) {
                 state.hits += 1;
+                drop(state);
+                self.tracer.record_cache(true);
                 return cached;
             }
             state.misses += 1;
         }
+        self.tracer.record_cache(false);
         let hits = self.inner.keyword_search(keyword, exact);
         let mut state = self.state.lock().expect("cache mutex poisoned");
         if state.keywords.insert(key, hits.clone()) {
@@ -459,6 +481,36 @@ mod tests {
         assert_eq!(ep.stats(), EndpointStats::default());
         let _ = ep.select_text(text).expect("query");
         assert_eq!(ep.stats().cache_hits, 1, "entry survived the reset");
+    }
+
+    #[test]
+    fn cache_outcomes_are_attributed_to_the_open_span() {
+        let tracer = re2x_obs::Tracer::enabled();
+        let ep = caching_endpoint().with_tracer(tracer.clone());
+        let text = "SELECT ?d WHERE { ?o <http://ex/dest> ?d }";
+        {
+            let _warm = tracer.span("warmup");
+            let _ = ep.select_text(text).expect("query");
+        }
+        {
+            let _probe = tracer.span("probe");
+            let _ = ep.select_text(text).expect("query");
+            let _ = ep.select_text(text).expect("query");
+        }
+        let prov = tracer.provenance();
+        let by_path: std::collections::BTreeMap<&str, _> =
+            prov.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        assert_eq!(by_path["warmup"].cache_misses, 1);
+        assert_eq!(by_path["warmup"].cache_hits, 0);
+        assert_eq!(by_path["probe"].cache_hits, 2);
+        assert_eq!(by_path["probe"].cache_misses, 0);
+        // per-phase outcomes sum to the aggregate counters
+        let stats = ep.stats();
+        let (hits, misses) = prov
+            .iter()
+            .fold((0, 0), |(h, m), (_, s)| (h + s.cache_hits, m + s.cache_misses));
+        assert_eq!(hits, stats.cache_hits);
+        assert_eq!(misses, stats.cache_misses);
     }
 
     #[test]

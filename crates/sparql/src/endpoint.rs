@@ -23,87 +23,11 @@ use re2x_rdf::{Graph, TermId};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Number of latency buckets (powers of two of microseconds; the last
-/// bucket is open-ended and absorbs everything ≥ 2^23 µs ≈ 8.4 s).
-const LATENCY_BUCKETS: usize = 24;
-
-/// A fixed-bucket latency histogram over power-of-two microsecond bounds.
-///
-/// Bucket `i` counts queries whose latency `d` satisfies
-/// `2^i µs ≤ d < 2^(i+1) µs` (bucket 0 also absorbs sub-microsecond
-/// latencies, the last bucket absorbs the long tail). Fixed buckets keep
-/// the histogram `Copy` and mergeable, which is what lets it live inside
-/// [`EndpointStats`] and travel through stats snapshots; quantiles are
-/// resolved to a bucket's upper bound, i.e. conservatively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; LATENCY_BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; LATENCY_BUCKETS],
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&mut self, latency: Duration) {
-        self.buckets[Self::bucket_of(latency)] += 1;
-    }
-
-    fn bucket_of(latency: Duration) -> usize {
-        let micros = latency.as_micros().max(1) as u64;
-        (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
-    }
-
-    /// Total number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket in
-    /// which it falls, or `None` if nothing was recorded.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Some(Self::bucket_upper_bound(i));
-            }
-        }
-        Some(Self::bucket_upper_bound(LATENCY_BUCKETS - 1))
-    }
-
-    /// Upper bound of bucket `i` (`2^(i+1)` µs).
-    fn bucket_upper_bound(i: usize) -> Duration {
-        Duration::from_micros(1u64 << (i + 1))
-    }
-
-    /// Median latency (upper bucket bound).
-    pub fn p50(&self) -> Option<Duration> {
-        self.quantile(0.50)
-    }
-
-    /// 99th-percentile latency (upper bucket bound).
-    pub fn p99(&self) -> Option<Duration> {
-        self.quantile(0.99)
-    }
-
-    /// Adds every observation of `other` into `self`.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-    }
-}
+// The histogram moved to the zero-dependency `re2x-obs` crate so that
+// endpoint statistics, the metrics registry, and per-phase query
+// provenance all bucket latencies identically; the old path keeps working
+// through this re-export.
+pub use re2x_obs::LatencyHistogram;
 
 /// Cumulative statistics of an endpoint.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +58,21 @@ impl EndpointStats {
     /// decorator above it never reach it and are not included).
     pub fn total_queries(&self) -> u64 {
         self.selects + self.asks + self.keyword_searches
+    }
+
+    /// Folds `other` into `self`, field by field. Merging is commutative
+    /// and associative, so decorator stacks and per-shard statistics can be
+    /// combined in any order into one report.
+    pub fn merge(&mut self, other: &EndpointStats) {
+        self.selects += other.selects;
+        self.asks += other.asks;
+        self.keyword_searches += other.keyword_searches;
+        self.rows_returned += other.rows_returned;
+        self.busy += other.busy;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -376,23 +315,6 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), None);
-        for _ in 0..99 {
-            h.record(Duration::from_micros(3)); // bucket [2µs, 4µs)
-        }
-        h.record(Duration::from_millis(40)); // tail
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.p50(), Some(Duration::from_micros(4)));
-        // the p99 rank (99 of 100) still falls in the 3µs bucket; the tail
-        // observation is only reached beyond it
-        assert_eq!(h.p99(), Some(Duration::from_micros(4)));
-        assert!(h.quantile(1.0).expect("max") >= Duration::from_millis(40));
-    }
-
-    #[test]
     fn histogram_records_injected_latency() {
         let ep = endpoint().with_latency(Duration::from_millis(5));
         for _ in 0..4 {
@@ -404,14 +326,73 @@ mod tests {
         assert!(p50 >= Duration::from_millis(5), "{p50:?}");
     }
 
+    fn sample_stats(selects: u64, rows: u64, busy_us: u64, hits: u64) -> EndpointStats {
+        let mut s = EndpointStats {
+            selects,
+            asks: selects / 2,
+            keyword_searches: 1,
+            rows_returned: rows,
+            busy: Duration::from_micros(busy_us),
+            cache_hits: hits,
+            cache_misses: hits + 1,
+            cache_evictions: hits / 2,
+            ..EndpointStats::default()
+        };
+        for _ in 0..selects {
+            s.latency.record(Duration::from_micros(busy_us.max(1)));
+        }
+        s
+    }
+
     #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = LatencyHistogram::default();
-        let mut b = LatencyHistogram::default();
-        a.record(Duration::from_micros(10));
-        b.record(Duration::from_micros(10));
-        b.record(Duration::from_millis(1));
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
+    fn stats_merge_preserves_counts() {
+        let a = sample_stats(4, 40, 10, 2);
+        let b = sample_stats(6, 15, 7, 0);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.selects, 10);
+        assert_eq!(merged.asks, a.asks + b.asks);
+        assert_eq!(merged.keyword_searches, 2);
+        assert_eq!(merged.rows_returned, 55);
+        assert_eq!(merged.busy, Duration::from_micros(17));
+        assert_eq!(merged.cache_hits, 2);
+        assert_eq!(merged.cache_misses, 4);
+        assert_eq!(merged.total_queries(), a.total_queries() + b.total_queries());
+        assert_eq!(merged.latency.count(), a.latency.count() + b.latency.count());
+    }
+
+    #[test]
+    fn stats_merge_is_associative_and_commutative() {
+        let a = sample_stats(1, 2, 3, 4);
+        let b = sample_stats(5, 6, 7, 8);
+        let c = sample_stats(9, 10, 11, 12);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        assert_eq!(left, right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let a = sample_stats(3, 30, 9, 1);
+        let mut merged = a;
+        merged.merge(&EndpointStats::default());
+        assert_eq!(merged, a);
     }
 }

@@ -54,6 +54,7 @@ pub mod expr;
 pub mod parser;
 pub mod pretty;
 pub mod results_io;
+pub mod tracing;
 pub mod value;
 
 pub use ast::{
@@ -67,4 +68,5 @@ pub use eval::{evaluate, evaluate_ask, evaluate_with, explain, PlanMode};
 pub use parser::parse_query;
 pub use pretty::query_to_sparql;
 pub use results_io::{to_csv, to_tsv};
+pub use tracing::TracingEndpoint;
 pub use value::{Solutions, Value};

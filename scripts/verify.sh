@@ -21,4 +21,17 @@ cargo test -q --offline --workspace
 echo "== bench targets compile (bench-criterion) =="
 cargo build --offline -p re2x-bench --benches --features bench-criterion
 
+echo "== trace experiment (smallest dataset, offline) =="
+# The trace experiment runs on the in-memory running-example generator —
+# no datasets, no network — and must emit a well-formed trace.json.
+cargo run --release --offline -p re2x-bench --bin repro -- --out bench_results trace
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool bench_results/trace.json > /dev/null
+    echo "trace.json: valid JSON"
+else
+    # no python3 in the environment: fall back to a structural spot-check
+    grep -q '"endpoint_fraction"' bench_results/trace.json
+    echo "trace.json: present (python3 unavailable, structural check only)"
+fi
+
 echo "verify: OK"

@@ -1,0 +1,203 @@
+//! Integration tests of the observability layer (`re2x-obs`) threaded
+//! through the whole pipeline: span nesting in the exported JSONL event
+//! log, query provenance reconciling exactly with [`EndpointStats`] —
+//! serially and under `bootstrap_parallel` — per-phase cache accounting,
+//! and the `trace` experiment's "endpoint dominates" claim.
+
+use re2x_cube::{bootstrap, bootstrap_parallel, BootstrapConfig};
+use re2x_obs::{events_to_jsonl, TraceEvent, Tracer};
+use re2x_sparql::{CachingEndpoint, LocalEndpoint, SparqlEndpoint, TracingEndpoint};
+use re2xolap::{RefineOp, Session, SessionConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Runs the full pipeline (bootstrap → synthesize → choose → refine →
+/// apply) over the running-example dataset with the given tracer.
+fn run_pipeline(tracer: &Tracer, parallel: bool) -> re2x_sparql::EndpointStats {
+    let mut dataset = re2x_datagen::running::generate();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = TracingEndpoint::new(LocalEndpoint::new(graph), tracer.clone());
+
+    let config =
+        BootstrapConfig::new(&dataset.observation_class).with_tracer(tracer.clone());
+    let report = if parallel {
+        bootstrap_parallel(&endpoint, &config).expect("bootstrap")
+    } else {
+        bootstrap(&endpoint, &config).expect("bootstrap")
+    };
+
+    let mut session = Session::new(
+        &endpoint,
+        &report.schema,
+        SessionConfig {
+            tracer: tracer.clone(),
+            ..SessionConfig::default()
+        },
+    );
+    let outcome = session.synthesize(&["Germany", "2014"]).expect("synthesis");
+    session.choose(outcome.queries[0].clone()).expect("runs");
+    let dis = session.refinements(RefineOp::Disaggregate).expect("refine");
+    session.apply(dis.into_iter().next().expect("one")).expect("runs");
+    endpoint.stats()
+}
+
+#[test]
+fn jsonl_spans_nest_and_self_is_bounded_by_wall() {
+    let tracer = Tracer::enabled();
+    run_pipeline(&tracer, true);
+    let events = tracer.take_events();
+
+    // every exit matches exactly one enter, with the same path
+    let mut entered: HashMap<u64, &str> = HashMap::new();
+    let mut exited = 0usize;
+    for event in &events {
+        match event {
+            TraceEvent::Enter { span, path, .. } => {
+                let fresh = entered.insert(*span, path).is_none();
+                assert!(fresh, "span id {span} entered twice");
+            }
+            TraceEvent::Exit {
+                span,
+                path,
+                wall,
+                self_time,
+                ..
+            } => {
+                let enter_path = entered
+                    .get(span)
+                    .unwrap_or_else(|| panic!("exit of span {span} without an enter"));
+                assert_eq!(enter_path, path, "exit path mismatch for span {span}");
+                assert!(
+                    self_time <= wall,
+                    "span {path}: self {self_time:?} > wall {wall:?}"
+                );
+                exited += 1;
+            }
+            TraceEvent::Query { .. } => {}
+        }
+    }
+    assert_eq!(exited, entered.len(), "every entered span also exited");
+    assert!(entered.len() >= 10, "pipeline produced a real span tree");
+
+    // parent links nest: every child's path extends its parent's path
+    let paths: HashMap<u64, String> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Enter { span, path, .. } => Some((*span, path.clone())),
+            _ => None,
+        })
+        .collect();
+    for event in &events {
+        if let TraceEvent::Enter {
+            path,
+            parent: Some(parent),
+            ..
+        } = event
+        {
+            let parent_path = &paths[parent];
+            assert!(
+                path.starts_with(&format!("{parent_path}/")),
+                "child {path} does not extend parent {parent_path}"
+            );
+        }
+    }
+
+    // the JSONL export carries one object per event
+    let jsonl = events_to_jsonl(&events);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), events.len());
+    for line in lines {
+        assert!(line.starts_with("{\"type\":\""), "not an object: {line}");
+        assert!(line.ends_with('}'), "truncated line: {line}");
+    }
+}
+
+#[test]
+fn provenance_sums_to_endpoint_stats_serial() {
+    let tracer = Tracer::enabled();
+    let stats = run_pipeline(&tracer, false);
+    let attributed: u64 = tracer.provenance().iter().map(|(_, s)| s.queries()).sum();
+    assert_eq!(attributed, stats.total_queries());
+}
+
+#[test]
+fn provenance_sums_to_endpoint_stats_under_bootstrap_parallel() {
+    let tracer = Tracer::enabled();
+    let stats = run_pipeline(&tracer, true);
+    let provenance = tracer.provenance();
+    let attributed: u64 = provenance.iter().map(|(_, s)| s.queries()).sum();
+    assert_eq!(attributed, stats.total_queries());
+    // the parallel dimension crawls attribute to the bootstrap subtree
+    let bootstrap_queries: u64 = provenance
+        .iter()
+        .filter(|(path, _)| path.contains("bootstrap"))
+        .map(|(_, s)| s.queries())
+        .sum();
+    assert!(bootstrap_queries > 0, "bootstrap spans carry queries");
+    // per-kind totals reconcile too, not just the grand total
+    let selects: u64 = provenance.iter().map(|(_, s)| s.selects).sum();
+    let asks: u64 = provenance.iter().map(|(_, s)| s.asks).sum();
+    let keywords: u64 = provenance.iter().map(|(_, s)| s.keyword_searches).sum();
+    assert_eq!(selects, stats.selects);
+    assert_eq!(asks, stats.asks);
+    assert_eq!(keywords, stats.keyword_searches);
+}
+
+#[test]
+fn cache_outcomes_attribute_per_phase() {
+    let tracer = Tracer::enabled();
+    let mut dataset = re2x_datagen::running::generate();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint =
+        CachingEndpoint::new(LocalEndpoint::new(graph)).with_tracer(tracer.clone());
+
+    let query =
+        re2x_sparql::parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 3").expect("parses");
+    {
+        let _warm = tracer.span("phase.warmup");
+        endpoint.select(&query).expect("runs");
+    }
+    {
+        let _probe = tracer.span("phase.probe");
+        endpoint.select(&query).expect("hit");
+        endpoint.select(&query).expect("hit");
+    }
+
+    let provenance = tracer.provenance();
+    let of = |phase: &str| {
+        provenance
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    };
+    assert_eq!(of("phase.warmup").cache_misses, 1);
+    assert_eq!(of("phase.warmup").cache_hits, 0);
+    assert_eq!(of("phase.probe").cache_hits, 2);
+    assert_eq!(of("phase.probe").cache_misses, 0);
+
+    // per-phase cache events sum to the endpoint's aggregate counters
+    let stats = endpoint.stats();
+    let hits: u64 = provenance.iter().map(|(_, s)| s.cache_hits).sum();
+    let misses: u64 = provenance.iter().map(|(_, s)| s.cache_misses).sum();
+    assert_eq!(hits, stats.cache_hits);
+    assert_eq!(misses, stats.cache_misses);
+}
+
+#[test]
+fn trace_experiment_endpoint_dominates() {
+    // With injected per-query latency the endpoint accounts for ≥ 80% of
+    // pipeline wall time — the paper's motivating observation, and the
+    // acceptance bar for the `repro trace` artifact.
+    let report = re2x_bench::trace::run(Duration::from_millis(2));
+    assert!(
+        report.endpoint_fraction() >= 0.8,
+        "endpoint fraction {:.2} below 0.8 (wall {:?}, busy {:?})",
+        report.endpoint_fraction(),
+        report.pipeline_wall,
+        report.stats.busy,
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"endpoint_fraction\""));
+    assert!(json.contains("\"phases\""));
+}

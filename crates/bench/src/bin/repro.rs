@@ -141,8 +141,13 @@ fn main() {
     if wants("trace") {
         // 2 ms of injected latency stands in for a remote endpoint; the
         // phase-attributed report shows endpoint time dominating the
-        // pipeline (the paper's Figs. 6–9 observation).
-        let report = re2x_bench::trace::run(std::time::Duration::from_millis(2));
+        // pipeline (the paper's Figs. 6–9 observation), and the async
+        // comparison row measures how much of it the ticket fan-out
+        // reclaims.
+        let report = re2x_bench::trace::run_with_async_comparison(
+            std::time::Duration::from_millis(2),
+            8,
+        );
         emit(
             &args.out,
             "trace",
@@ -157,7 +162,7 @@ fn main() {
             println!("wrote {}", json_path.display());
         }
         // full span/query event log is opt-in: it is large and per-run
-        if std::env::var("RE2X_TRACE").map_or(false, |v| v != "0") {
+        if std::env::var("RE2X_TRACE").is_ok_and(|v| v != "0") {
             let jsonl_path = args.out.join("trace_events.jsonl");
             if let Err(e) = std::fs::write(&jsonl_path, report.events_jsonl()) {
                 eprintln!("could not write {}: {e}", jsonl_path.display());

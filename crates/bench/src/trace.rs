@@ -14,11 +14,11 @@
 //! integration tests assert.
 
 use crate::report::{fmt_duration, Table};
-use re2x_cube::{bootstrap_parallel, BootstrapConfig};
+use re2x_cube::{bootstrap, bootstrap_async, bootstrap_parallel, BootstrapConfig};
 use re2x_obs::export::{aggregate_spans, events_to_jsonl, json_escape, render_self_time_tree};
 use re2x_obs::{PhaseQueryStats, TraceEvent, Tracer};
 use re2x_sparql::{EndpointStats, LocalEndpoint, SparqlEndpoint, TracingEndpoint};
-use re2xolap::{RefineOp, Session, SessionConfig};
+use re2xolap::{reolap, RefineOp, ReolapConfig, Session, SessionConfig};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,95 @@ pub fn phase_of(path: &str) -> &'static str {
     "other"
 }
 
+/// Serial-vs-async measurement of the query-fan-out hot paths (bootstrap
+/// crawl + ReOLAP candidate validation) over the same dataset and
+/// injected latency. The async legs are differential-tested to be
+/// byte-identical to serial, so the comparison isolates pure overlap.
+pub struct AsyncComparison {
+    /// Pool threads servicing async tickets.
+    pub workers: usize,
+    /// Injected per-query endpoint latency.
+    pub injected: Duration,
+    /// Wall time of serial bootstrap + serial candidate validation.
+    pub serial_wall: Duration,
+    /// Wall time of `bootstrap_async` + batched candidate validation.
+    pub async_wall: Duration,
+    /// Endpoint busy time consumed by the async leg (summed across pool
+    /// threads).
+    pub async_busy: Duration,
+    /// Whether the async leg produced a byte-identical Virtual Schema
+    /// Graph and synthesis outcome (it must; also enforced by the
+    /// differential test suites).
+    pub identical: bool,
+}
+
+impl AsyncComparison {
+    /// Serial wall time over async wall time (> 1 means the fan-out won).
+    pub fn speedup(&self) -> f64 {
+        if self.async_wall.is_zero() {
+            return 0.0;
+        }
+        self.serial_wall.as_secs_f64() / self.async_wall.as_secs_f64()
+    }
+
+    /// Endpoint busy time per wall second of the async leg. A ratio above
+    /// 1.0 means the pool genuinely overlapped round-trips: the endpoint
+    /// was kept busy on several tickets at once.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.async_wall.is_zero() {
+            return 0.0;
+        }
+        self.async_busy.as_secs_f64() / self.async_wall.as_secs_f64()
+    }
+}
+
+/// Measures [`AsyncComparison`] on the running-example dataset.
+pub fn compare_async(injected: Duration, workers: usize) -> AsyncComparison {
+    let mut dataset = re2x_datagen::running::generate();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph).with_latency(injected);
+    let bootstrap_config = BootstrapConfig::new(dataset.observation_class.clone());
+    let example = ["Germany", "2014"];
+
+    let serial_start = Instant::now();
+    let serial_report = bootstrap(&endpoint, &bootstrap_config).expect("serial bootstrap");
+    let serial_outcome = reolap(
+        &endpoint,
+        &serial_report.schema,
+        &example,
+        &ReolapConfig::default(),
+    )
+    .expect("serial synthesis");
+    let serial_wall = serial_start.elapsed();
+
+    let busy_before = endpoint.stats().busy;
+    let async_start = Instant::now();
+    let async_report =
+        bootstrap_async(&endpoint, &bootstrap_config, workers).expect("async bootstrap");
+    let async_outcome = reolap(
+        &endpoint,
+        &async_report.schema,
+        &example,
+        &ReolapConfig {
+            validation_workers: workers,
+            ..Default::default()
+        },
+    )
+    .expect("async synthesis");
+    let async_wall = async_start.elapsed();
+    let async_busy = endpoint.stats().busy.saturating_sub(busy_before);
+
+    AsyncComparison {
+        workers,
+        injected,
+        serial_wall,
+        async_wall,
+        async_busy,
+        identical: async_report.schema == serial_report.schema
+            && async_outcome.queries == serial_outcome.queries,
+    }
+}
+
 /// Everything one traced pipeline run produced.
 pub struct TraceReport {
     /// Wall-clock time of the whole pipeline (the root span).
@@ -60,6 +149,8 @@ pub struct TraceReport {
     pub provenance: Vec<(String, PhaseQueryStats)>,
     /// The raw trace event log.
     pub events: Vec<TraceEvent>,
+    /// Serial-vs-async fan-out measurement, when the experiment ran it.
+    pub async_comparison: Option<AsyncComparison>,
 }
 
 impl TraceReport {
@@ -104,6 +195,21 @@ impl TraceReport {
         let _ = writeln!(out, "  \"endpoint_busy_us\": {},", self.stats.busy.as_micros());
         let _ = writeln!(out, "  \"endpoint_queries\": {},", self.stats.total_queries());
         let _ = writeln!(out, "  \"endpoint_fraction\": {:.4},", self.endpoint_fraction());
+        if let Some(c) = &self.async_comparison {
+            let _ = writeln!(
+                out,
+                "  \"async_comparison\": {{\"workers\": {}, \"serial_wall_us\": {}, \
+                 \"async_wall_us\": {}, \"async_busy_us\": {}, \"speedup\": {:.2}, \
+                 \"overlap_ratio\": {:.2}, \"identical\": {}}},",
+                c.workers,
+                c.serial_wall.as_micros(),
+                c.async_wall.as_micros(),
+                c.async_busy.as_micros(),
+                c.speedup(),
+                c.overlap_ratio(),
+                c.identical,
+            );
+        }
         out.push_str("  \"phases\": [\n");
         let rollup = self.phase_rollup();
         for (i, (phase, stats)) in rollup.iter().enumerate() {
@@ -167,6 +273,19 @@ impl TraceReport {
             ]);
         }
         let mut out = t.render();
+        if let Some(c) = &self.async_comparison {
+            let _ = writeln!(
+                out,
+                "\nasync fan-out ({} workers): bootstrap+validation serial {} vs async {} \
+                 → {:.2}x speedup, overlap ratio {:.2}, byte-identical: {}",
+                c.workers,
+                fmt_duration(c.serial_wall),
+                fmt_duration(c.async_wall),
+                c.speedup(),
+                c.overlap_ratio(),
+                c.identical,
+            );
+        }
         let _ = writeln!(
             out,
             "\npipeline wall {}  endpoint busy {}  endpoint fraction {:.1}%{}\n",
@@ -236,7 +355,16 @@ pub fn run(injected: Duration) -> TraceReport {
         stats: endpoint.stats(),
         provenance: tracer.provenance(),
         events: tracer.take_events(),
+        async_comparison: None,
     }
+}
+
+/// [`run`] followed by the serial-vs-async fan-out measurement at the same
+/// injected latency, attached to the report (and its `trace.json`).
+pub fn run_with_async_comparison(injected: Duration, workers: usize) -> TraceReport {
+    let mut report = run(injected);
+    report.async_comparison = Some(compare_async(injected, workers));
+    report
 }
 
 #[cfg(test)]
@@ -280,8 +408,36 @@ mod tests {
         assert!(json.contains("\"endpoint_fraction\""));
         assert!(json.contains("\"phase\": \"bootstrap\""));
         assert!(json.contains("\"spans\""));
+        assert!(!json.contains("\"async_comparison\""), "not measured here");
         let summary = report.summary();
         assert!(summary.contains("endpoint fraction"));
         assert!(summary.contains("pipeline"));
+    }
+
+    #[test]
+    fn async_comparison_is_identical_and_lands_in_the_artifact() {
+        // zero injected latency: no speedup claim, but the legs must agree
+        // byte-for-byte and the artifact must carry the row
+        let comparison = compare_async(Duration::ZERO, 4);
+        assert!(comparison.identical, "async legs diverged from serial");
+        let mut report = run(Duration::ZERO);
+        report.async_comparison = Some(comparison);
+        let json = report.to_json();
+        assert!(json.contains("\"async_comparison\""));
+        assert!(json.contains("\"overlap_ratio\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(report.summary().contains("async fan-out"));
+    }
+
+    #[test]
+    fn async_comparison_overlaps_injected_latency() {
+        let comparison = compare_async(Duration::from_millis(2), 8);
+        assert!(comparison.identical);
+        assert!(
+            comparison.speedup() > 1.0,
+            "async bootstrap+validation ({:?}) should beat serial ({:?}) at 2 ms",
+            comparison.async_wall,
+            comparison.serial_wall
+        );
     }
 }

@@ -63,7 +63,9 @@ pub use transcript::to_markdown as session_transcript;
 pub use matching::{matches, member_levels, MatchMode, MemberMatch};
 pub use query_model::{ExampleBinding, GroupColumn, MeasureColumn, OlapQuery};
 pub use refine::{RefineOp, Refinement, RefinementKind};
-pub use reolap::{get_query, reolap, reolap_multi, ReolapConfig, SynthesisOutcome};
+pub use reolap::{
+    get_query, reolap, reolap_multi, validation_query, ReolapConfig, SynthesisOutcome,
+};
 pub use session::{
     ExplorationMetrics, PhaseBreakdown, PhaseCost, Session, SessionConfig, Step, StepCost,
 };

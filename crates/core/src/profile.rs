@@ -43,8 +43,11 @@ pub struct DatasetProfile {
     /// Per-dimension profiles.
     pub dimensions: Vec<DimensionProfile>,
     /// Measure labels with global (min, max, avg) over all observations.
-    pub measures: Vec<(String, Option<(f64, f64, f64)>)>,
+    pub measures: Vec<(String, Option<MeasureStats>)>,
 }
+
+/// Global (min, max, avg) of one measure over all observations.
+pub type MeasureStats = (f64, f64, f64);
 
 /// Number of example member labels fetched per level.
 const SAMPLES_PER_LEVEL: usize = 3;

@@ -23,7 +23,8 @@ use crate::query_model::{
 use re2x_cube::{patterns, LevelId, VirtualSchemaGraph};
 use re2x_obs::Tracer;
 use re2x_sparql::{
-    AggFunc, Expr, PatternElement, Query, SelectItem, SparqlEndpoint, TermPattern, TriplePattern,
+    with_async_endpoint, AggFunc, AsyncSparqlEndpoint, Expr, PatternElement, Query, SelectItem,
+    SparqlEndpoint, TermPattern, Ticket, TriplePattern,
 };
 use std::time::{Duration, Instant};
 
@@ -42,6 +43,13 @@ pub struct ReolapConfig {
     /// Upper bound on interpretation combinations before giving up with
     /// [`Re2xError::TooManyInterpretations`].
     pub max_interpretations: usize,
+    /// When non-zero, candidate validation `ASK`s are submitted as one
+    /// batch through the poll-based async endpoint adapter and serviced
+    /// by this many pool threads, overlapping their round-trips. The
+    /// accepted candidate set (and, for [`reolap`], the exact queries
+    /// issued) is identical to serial validation — only wall time
+    /// changes. `0` (the default) validates serially.
+    pub validation_workers: usize,
     /// Tracer receiving per-phase spans (`reolap`, `reolap.match` per
     /// keyword, `reolap.validate` per candidate). Disabled by default.
     pub tracer: Tracer,
@@ -54,6 +62,7 @@ impl Default for ReolapConfig {
             aggregates: AggFunc::NUMERIC.to_vec(),
             validate: true,
             max_interpretations: 100_000,
+            validation_workers: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -101,11 +110,15 @@ pub fn reolap(
         });
     }
 
-    // Lines 8–11: combine interpretations, validate, build queries.
-    let mut queries: Vec<OlapQuery> = Vec::new();
+    // Lines 8–11: combine interpretations (deduplicating by member
+    // multiset), then validate and build queries. Enumeration is pure CPU
+    // — no endpoint traffic — so it runs to completion first; validation,
+    // the only query-issuing step, then sees the full candidate list and
+    // can be overlapped as one ASK batch (see [`validate_candidates`]).
+    let mut candidates: Vec<Vec<ExampleBinding>> = Vec::new();
     let mut seen: Vec<Vec<(LevelId, String)>> = Vec::new();
     let mut indices = vec![0usize; per_component.len()];
-    loop {
+    'enumerate: loop {
         let bindings: Vec<ExampleBinding> = indices
             .iter()
             .enumerate()
@@ -119,23 +132,13 @@ pub fn reolap(
         key.dedup();
         if !seen.contains(&key) {
             seen.push(key);
-            let valid = !config.validate || {
-                let _validate = config.tracer.span("reolap.validate");
-                validate_interpretation(endpoint, schema, &bindings)?
-            };
-            if valid {
-                queries.push(get_query(schema, &bindings, &config.aggregates));
-            }
+            candidates.push(bindings);
         }
         // advance the mixed-radix counter
         let mut c = 0;
         loop {
             if c == indices.len() {
-                return Ok(SynthesisOutcome {
-                    queries,
-                    interpretations_considered: combinations,
-                    elapsed: start.elapsed(),
-                });
+                break 'enumerate;
             }
             indices[c] += 1;
             if indices[c] < per_component[c].len() {
@@ -145,6 +148,65 @@ pub fn reolap(
             c += 1;
         }
     }
+
+    let verdicts = validate_candidates(endpoint, schema, &candidates, config)?;
+    let queries: Vec<OlapQuery> = candidates
+        .iter()
+        .zip(&verdicts)
+        .filter(|&(_, &valid)| valid)
+        .map(|(bindings, _)| get_query(schema, bindings, &config.aggregates))
+        .collect();
+    Ok(SynthesisOutcome {
+        queries,
+        interpretations_considered: combinations,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Validates each candidate interpretation, returning one verdict per
+/// candidate in order.
+///
+/// Serial by default: one `ASK` per candidate under its own
+/// `reolap.validate` span. With `config.validation_workers > 0` every
+/// `ASK` is submitted up front through the async endpoint adapter and the
+/// verdicts are awaited together, overlapping the round-trips. The
+/// submissions happen inside the same `reolap.validate` spans, and each
+/// pool thread adopts its submitter's span context, so query provenance
+/// reconciles to the exact same paths as the serial walk — and since
+/// [`reolap`]'s serial loop never short-circuits between candidates, the
+/// issued query multiset is identical too.
+fn validate_candidates(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    candidates: &[Vec<ExampleBinding>],
+    config: &ReolapConfig,
+) -> Result<Vec<bool>, Re2xError> {
+    if !config.validate {
+        return Ok(vec![true; candidates.len()]);
+    }
+    if config.validation_workers == 0 || candidates.len() < 2 {
+        return candidates
+            .iter()
+            .map(|bindings| {
+                let _validate = config.tracer.span("reolap.validate");
+                validate_interpretation(endpoint, schema, bindings)
+            })
+            .collect();
+    }
+    let verdicts = with_async_endpoint(endpoint, config.validation_workers, |pool| {
+        let tickets: Vec<Ticket> = candidates
+            .iter()
+            .map(|bindings| {
+                let _validate = config.tracer.span("reolap.validate");
+                pool.submit_ask(validation_query(schema, bindings))
+            })
+            .collect();
+        pool.join_all(tickets)
+    });
+    verdicts
+        .into_iter()
+        .map(|verdict| Ok(verdict.map(re2x_sparql::AsyncResponse::into_ask)?))
+        .collect()
 }
 
 /// Algorithm 1 generalized to multiple example tuples (footnote 3 of the
@@ -220,7 +282,9 @@ pub fn reolap_multi(
         });
     }
 
-    let mut queries = Vec::new();
+    // Enumerate every combo's per-tuple bindings first (pure CPU); each
+    // tuple must validate independently against the endpoint.
+    let mut combos: Vec<Vec<Vec<ExampleBinding>>> = Vec::with_capacity(combinations);
     let mut indices = vec![0usize; arity];
     'combos: loop {
         let levels: Vec<LevelId> = indices
@@ -228,33 +292,23 @@ pub fn reolap_multi(
             .enumerate()
             .map(|(p, &i)| position_levels[p][i])
             .collect();
-        // each tuple contributes one binding per position at the chosen
-        // level; each tuple must validate independently
-        let mut example_tuples: Vec<Vec<ExampleBinding>> = Vec::with_capacity(all.len());
-        let mut valid = true;
-        for row in &all {
-            let tuple_bindings: Vec<ExampleBinding> = (0..arity)
-                .map(|p| {
-                    row[p]
-                        .iter()
-                        .find(|m| m.binding.level == levels[p])
-                        .expect("level intersected across tuples")
-                        .binding
-                        .clone()
-                })
-                .collect();
-            if config.validate {
-                let _validate = config.tracer.span("reolap.validate");
-                if !validate_interpretation(endpoint, schema, &tuple_bindings)? {
-                    valid = false;
-                    break;
-                }
-            }
-            example_tuples.push(tuple_bindings);
-        }
-        if valid {
-            queries.push(get_query_tuples(schema, &example_tuples, &config.aggregates));
-        }
+        // each tuple contributes one binding per position at the chosen level
+        let example_tuples: Vec<Vec<ExampleBinding>> = all
+            .iter()
+            .map(|row| {
+                (0..arity)
+                    .map(|p| {
+                        row[p]
+                            .iter()
+                            .find(|m| m.binding.level == levels[p])
+                            .expect("level intersected across tuples")
+                            .binding
+                            .clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        combos.push(example_tuples);
         let mut c = 0;
         loop {
             if c == arity {
@@ -268,6 +322,56 @@ pub fn reolap_multi(
             c += 1;
         }
     }
+
+    let mut queries = Vec::new();
+    if config.validate && config.validation_workers > 0 {
+        // One flat ASK batch over every (combo, tuple) pair, overlapped on
+        // the async adapter. A combo is valid iff all its tuples are. The
+        // accepted combo set is identical to the serial walk; the batch
+        // may issue *more* ASKs than serial, which short-circuits a combo
+        // on its first invalid tuple.
+        let verdicts = with_async_endpoint(endpoint, config.validation_workers, |pool| {
+            let tickets: Vec<Ticket> = combos
+                .iter()
+                .flatten()
+                .map(|tuple_bindings| {
+                    let _validate = config.tracer.span("reolap.validate");
+                    pool.submit_ask(validation_query(schema, tuple_bindings))
+                })
+                .collect();
+            pool.join_all(tickets)
+        });
+        let mut verdicts = verdicts.into_iter();
+        for example_tuples in &combos {
+            let mut valid = true;
+            for _ in example_tuples {
+                let verdict = verdicts
+                    .next()
+                    .expect("one verdict per submitted ASK")
+                    .map(re2x_sparql::AsyncResponse::into_ask)?;
+                valid &= verdict;
+            }
+            if valid {
+                queries.push(get_query_tuples(schema, example_tuples, &config.aggregates));
+            }
+        }
+    } else {
+        for example_tuples in &combos {
+            let mut valid = true;
+            if config.validate {
+                for tuple_bindings in example_tuples {
+                    let _validate = config.tracer.span("reolap.validate");
+                    if !validate_interpretation(endpoint, schema, tuple_bindings)? {
+                        valid = false;
+                        break;
+                    }
+                }
+            }
+            if valid {
+                queries.push(get_query_tuples(schema, example_tuples, &config.aggregates));
+            }
+        }
+    }
     Ok(SynthesisOutcome {
         queries,
         interpretations_considered: combinations,
@@ -275,13 +379,9 @@ pub fn reolap_multi(
     })
 }
 
-/// `ASK` whether some observation reaches all members of the interpretation
-/// simultaneously (the containment/validity check of Section 5.3).
-pub fn validate_interpretation(
-    endpoint: &dyn SparqlEndpoint,
-    schema: &VirtualSchemaGraph,
-    bindings: &[ExampleBinding],
-) -> Result<bool, Re2xError> {
+/// The containment/validity `ASK` for one interpretation: does some
+/// observation reach all members simultaneously? (Section 5.3.)
+pub fn validation_query(schema: &VirtualSchemaGraph, bindings: &[ExampleBinding]) -> Query {
     let mut wher = vec![patterns::observation_type("o", &schema.observation_class)];
     for binding in bindings {
         wher.push(patterns::path_to_concrete_member(
@@ -290,7 +390,16 @@ pub fn validate_interpretation(
             &binding.member_iri,
         ));
     }
-    Ok(endpoint.ask(&Query::ask(wher))?)
+    Query::ask(wher)
+}
+
+/// Issues [`validation_query`] for the interpretation against the endpoint.
+pub fn validate_interpretation(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    bindings: &[ExampleBinding],
+) -> Result<bool, Re2xError> {
+    Ok(endpoint.ask(&validation_query(schema, bindings))?)
 }
 
 /// The `GetQuery` function: builds the annotated OLAP query for an

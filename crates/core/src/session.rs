@@ -13,7 +13,9 @@ use crate::refine::{disaggregate, similar, subset, RefineOp, Refinement};
 use crate::reolap::{reolap, ReolapConfig, SynthesisOutcome};
 use re2x_cube::VirtualSchemaGraph;
 use re2x_obs::Tracer;
-use re2x_sparql::{Solutions, SparqlEndpoint};
+use re2x_sparql::{
+    with_async_endpoint, AsyncResponse, AsyncSparqlEndpoint, Solutions, SparqlEndpoint, Ticket,
+};
 use std::time::{Duration, Instant};
 
 /// Session-level configuration.
@@ -241,6 +243,48 @@ impl<'a> Session<'a> {
         self.metrics.interactions += 1;
         self.metrics.paths_offered += refinements.len() as u64;
         Ok(refinements)
+    }
+
+    /// Executes every offered refinement's query, returning the result
+    /// sets in refinement order — a preview of what each exploration path
+    /// would show before committing to one with [`Session::apply`].
+    ///
+    /// With `workers == 0` the queries run one after another; otherwise
+    /// they are submitted together through the poll-based async endpoint
+    /// adapter and serviced by `workers` pool threads, overlapping their
+    /// round-trips. Results are byte-identical either way (the async
+    /// adapter preserves submission order), queries all attribute to the
+    /// `session.preview` span, and previewed paths do not enter the
+    /// session history or the tuples-accessible count.
+    pub fn preview(
+        &mut self,
+        refinements: &[Refinement],
+        workers: usize,
+    ) -> Result<Vec<Solutions>, Re2xError> {
+        let tracer = self.config.tracer.clone();
+        let _span = tracer.span("session.preview");
+        let begin = self.cost_begin();
+        let solutions = if workers == 0 || refinements.len() < 2 {
+            refinements
+                .iter()
+                .map(|r| Ok(self.endpoint.select(&r.query.query)?))
+                .collect::<Result<Vec<Solutions>, Re2xError>>()?
+        } else {
+            let results = with_async_endpoint(self.endpoint, workers, |pool| {
+                let tickets: Vec<Ticket> = refinements
+                    .iter()
+                    .map(|r| pool.submit_select(r.query.query.clone()))
+                    .collect();
+                pool.join_all(tickets)
+            });
+            results
+                .into_iter()
+                .map(|r| Ok(r.map(AsyncResponse::into_select)?))
+                .collect::<Result<Vec<Solutions>, Re2xError>>()?
+        };
+        self.metrics.phases.execution.add(self.cost_end(begin));
+        self.metrics.interactions += 1;
+        Ok(solutions)
     }
 
     /// Applies a refinement: executes its query and makes it current.

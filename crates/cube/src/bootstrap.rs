@@ -16,15 +16,18 @@
 //! The result is the [`VirtualSchemaGraph`]; everything downstream (query
 //! synthesis, refinements) navigates it instead of the triplestore.
 
-use crate::labels::{default_label_predicates, label_of};
+use crate::labels::{default_label_predicates, humanize, label_of, local_name};
 use crate::patterns::{observation_type, path_to_member};
 use crate::vgraph::VirtualSchemaGraph;
 use re2x_obs::Tracer;
 use re2x_rdf::vocab;
 use re2x_sparql::{
-    AggFunc, Expr, Func, PatternElement, Query, SelectItem, SparqlEndpoint, SparqlError,
-    TermPattern, TriplePattern,
+    with_async_endpoint, AggFunc, AsyncAdapter, AsyncResponse, AsyncSparqlEndpoint, Expr, Func,
+    PatternElement, Query, SelectItem, Solutions, SparqlEndpoint, SparqlError, TermPattern, Ticket,
+    TriplePattern,
 };
+use std::collections::{BTreeMap, HashSet};
+use std::task::Poll;
 use std::time::{Duration, Instant};
 
 /// Configuration of the bootstrap crawl.
@@ -170,6 +173,46 @@ pub fn bootstrap_parallel(
     })
 }
 
+/// [`bootstrap`] with the per-level member/attribute crawl fanned out
+/// through the poll-based [`AsyncSparqlEndpoint`] adapter: every level's
+/// count, attribute, label, and roll-up queries — across *all* dimensions
+/// at once — are in flight concurrently on `workers` pool threads, so the
+/// crawl pays for round-trip *depth*, not round-trip *count*.
+///
+/// The produced [`VirtualSchemaGraph`] and `endpoint_queries` are
+/// **identical** to the serial [`bootstrap`] (differential-tested): the
+/// crawl issues exactly the queries the serial recursion would (including
+/// the short-circuiting label-predicate chains), records what each level
+/// discovered, and then replays the serial depth-first emission order
+/// from the recorded answers. Query provenance reconciles identically
+/// too: each submission carries its dimension's span context, which the
+/// pool workers adopt while servicing it.
+pub fn bootstrap_async(
+    endpoint: &dyn SparqlEndpoint,
+    config: &BootstrapConfig,
+    workers: usize,
+) -> Result<BootstrapReport, SparqlError> {
+    let start = Instant::now();
+    let root = config.tracer.span("bootstrap");
+    let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
+
+    let root_handle = root.handle();
+    let graph = endpoint.graph();
+    let crawls = with_async_endpoint(endpoint, workers, |pool| {
+        crawl_dimensions_async(pool, graph, config, &root_handle, dim_predicates)
+    })?;
+    for crawl in crawls {
+        queries += crawl.queries;
+        apply_dimension(&mut schema, crawl);
+    }
+
+    Ok(BootstrapReport {
+        schema,
+        elapsed: start.elapsed(),
+        endpoint_queries: queries,
+    })
+}
+
 /// The serial head of both bootstrap variants: observation count, measure
 /// discovery, and the dimension-predicate scan. Returns the partially
 /// built schema, the (non-excluded) dimension predicates in discovery
@@ -257,6 +300,403 @@ fn apply_dimension(schema: &mut VirtualSchemaGraph, crawl: DimensionCrawl) {
             level.attributes,
             level.label,
         );
+    }
+}
+
+/// Everything one level's fan-out discovered, keyed by path in
+/// [`AsyncCrawl::info`]; only levels with members are recorded, mirroring
+/// the serial early return on `member_count == 0`.
+struct LevelInfo {
+    member_count: usize,
+    attributes: Vec<String>,
+    label: String,
+    /// IRI-valued member predicates (empty when the level sits at
+    /// `max_depth`, where the serial crawl never asks for roll-ups).
+    rollups: Vec<String>,
+}
+
+/// One in-flight response: a submitted ticket, then its answer.
+enum Slot {
+    Pending(Ticket),
+    Ready(AsyncResponse),
+}
+
+impl Slot {
+    /// Polls a pending ticket. `Ok(true)` once the answer is in; a failed
+    /// query aborts the crawl like its serial counterpart would.
+    fn advance(&mut self, pool: &AsyncAdapter) -> Result<bool, SparqlError> {
+        if let Slot::Pending(ticket) = self {
+            match pool.poll(ticket) {
+                Poll::Ready(result) => *self = Slot::Ready(result?),
+                Poll::Pending => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    fn take_select(self) -> Solutions {
+        match self {
+            Slot::Ready(response) => response.into_select(),
+            Slot::Pending(_) => unreachable!("slot taken before completion"),
+        }
+    }
+}
+
+/// Asynchronous replica of [`label_of`]'s short-circuit chain: one label
+/// predicate is probed at a time and a hit (or a failed probe, which
+/// serial ignores too) moves the chain along, so the queries issued match
+/// the serial lookup exactly. Counted as one query in the per-dimension
+/// counter, like the serial `queries += 1` per lookup.
+struct LabelChain {
+    iri: String,
+    next_pred: usize,
+    ticket: Option<Ticket>,
+    label: Option<String>,
+}
+
+/// Shared state of the in-flight crawl across all dimensions.
+struct AsyncCrawl<'a> {
+    pool: &'a AsyncAdapter,
+    tracer: &'a Tracer,
+    config: &'a BootstrapConfig,
+    graph: &'a re2x_rdf::Graph,
+    /// Per-dimension span handles; submissions adopt their dimension's
+    /// context so pool workers attribute queries like serial code would.
+    handles: Vec<re2x_obs::SpanHandle>,
+    /// Per-dimension query counters (serial counter semantics: one per
+    /// label *lookup*, not per chain probe).
+    queries: Vec<u64>,
+    /// Discovered levels per dimension, keyed by path.
+    info: Vec<BTreeMap<Vec<String>, LevelInfo>>,
+    /// Paths already submitted for exploration (defensive; serial paths
+    /// are unique by construction).
+    seen: Vec<HashSet<Vec<String>>>,
+}
+
+impl AsyncCrawl<'_> {
+    /// Submits under the dimension's adopted span context.
+    fn submit(&self, dim: usize, query: Query) -> Ticket {
+        let _context = self.tracer.adopt(&self.handles[dim]);
+        self.pool.submit_select(query)
+    }
+
+    fn start_label(&mut self, dim: usize, iri: String) -> LabelChain {
+        self.queries[dim] += 1;
+        let preds = &self.config.label_predicates;
+        if preds.is_empty() {
+            return LabelChain {
+                label: Some(humanize(local_name(&iri))),
+                iri,
+                next_pred: 0,
+                ticket: None,
+            };
+        }
+        let ticket = self.submit(dim, crate::labels::label_query(&iri, &preds[0]));
+        LabelChain {
+            iri,
+            next_pred: 0,
+            ticket: Some(ticket),
+            label: None,
+        }
+    }
+
+    fn advance_label(&mut self, dim: usize, chain: &mut LabelChain) -> bool {
+        while chain.label.is_none() {
+            let Some(ticket) = &chain.ticket else {
+                unreachable!("unresolved chain always has a probe in flight");
+            };
+            match self.pool.poll(ticket) {
+                Poll::Pending => return false,
+                Poll::Ready(result) => {
+                    chain.ticket = None;
+                    if let Ok(response) = result {
+                        if let Some(value) = response.into_select().value(0, "l") {
+                            chain.label = Some(value.string_form(self.graph));
+                            return true;
+                        }
+                    }
+                    chain.next_pred += 1;
+                    match self.config.label_predicates.get(chain.next_pred) {
+                        Some(pred) => {
+                            let query = crate::labels::label_query(&chain.iri, pred);
+                            chain.ticket = Some(self.submit(dim, query));
+                        }
+                        None => {
+                            chain.label = Some(humanize(local_name(&chain.iri)));
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Submits the member count for a new level path.
+    fn start_count(&mut self, dim: usize, path: Vec<String>) -> CrawlTask {
+        self.queries[dim] += 1;
+        let slot = Slot::Pending(self.submit(dim, count_members_query(self.config, &path)));
+        CrawlTask::Count { dim, path, slot }
+    }
+
+    /// Fans out a non-empty level's attribute/label/roll-up queries.
+    fn start_detail(&mut self, dim: usize, path: Vec<String>, member_count: usize) -> CrawlTask {
+        self.queries[dim] += 1;
+        let attrs = Slot::Pending(self.submit(
+            dim,
+            member_predicates_query(self.config, &path, Func::IsLiteral),
+        ));
+        let label = self.start_label(dim, path.last().expect("non-empty").clone());
+        let rollups = (path.len() < self.config.max_depth).then(|| {
+            self.queries[dim] += 1;
+            Slot::Pending(self.submit(
+                dim,
+                member_predicates_query(self.config, &path, Func::IsIri),
+            ))
+        });
+        CrawlTask::Detail {
+            dim,
+            path,
+            member_count,
+            attrs,
+            label,
+            rollups,
+        }
+    }
+}
+
+/// One in-flight unit of the crawl's dependency graph.
+enum CrawlTask {
+    /// The dimension predicate's own label lookup.
+    DimLabel { dim: usize, chain: LabelChain },
+    /// A level path waiting for its member count.
+    Count {
+        dim: usize,
+        path: Vec<String>,
+        slot: Slot,
+    },
+    /// A non-empty level waiting for attributes, label, and roll-ups.
+    Detail {
+        dim: usize,
+        path: Vec<String>,
+        member_count: usize,
+        attrs: Slot,
+        label: LabelChain,
+        rollups: Option<Slot>,
+    },
+}
+
+/// Drives every dimension's hierarchy crawl through the async pool at
+/// once, then reassembles per-dimension results in serial order.
+fn crawl_dimensions_async(
+    pool: &AsyncAdapter,
+    graph: &re2x_rdf::Graph,
+    config: &BootstrapConfig,
+    root_handle: &re2x_obs::SpanHandle,
+    dim_predicates: Vec<String>,
+) -> Result<Vec<DimensionCrawl>, SparqlError> {
+    // One span per dimension, parented under the root like the serial and
+    // parallel variants; guards stay open for the whole crawl and their
+    // handles carry the attribution context into every submission.
+    let spans: Vec<_> = dim_predicates
+        .iter()
+        .map(|predicate| {
+            config.tracer.span_under_with(
+                root_handle,
+                "bootstrap.crawl_dimension",
+                &[("dimension", predicate.as_str())],
+            )
+        })
+        .collect();
+    let dims = dim_predicates.len();
+    let mut crawl = AsyncCrawl {
+        pool,
+        tracer: &config.tracer,
+        config,
+        graph,
+        handles: spans.iter().map(|s| s.handle()).collect(),
+        queries: vec![0; dims],
+        info: (0..dims).map(|_| BTreeMap::new()).collect(),
+        seen: (0..dims).map(|_| HashSet::new()).collect(),
+    };
+
+    let mut dim_labels: Vec<Option<String>> = vec![None; dims];
+    let mut tasks: Vec<CrawlTask> = Vec::new();
+    for (dim, predicate) in dim_predicates.iter().enumerate() {
+        let chain = crawl.start_label(dim, predicate.clone());
+        tasks.push(CrawlTask::DimLabel { dim, chain });
+        crawl.seen[dim].insert(vec![predicate.clone()]);
+        let count = crawl.start_count(dim, vec![predicate.clone()]);
+        tasks.push(count);
+    }
+
+    while !tasks.is_empty() {
+        let mut completed_any = false;
+        let mut remaining: Vec<CrawlTask> = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            match advance_task(task, &mut crawl)? {
+                TaskStep::Done { dim, label } => {
+                    completed_any = true;
+                    if let Some(label) = label {
+                        dim_labels[dim] = Some(label);
+                    }
+                }
+                TaskStep::Spawned(spawned) => {
+                    completed_any = true;
+                    remaining.extend(spawned);
+                }
+                TaskStep::Pending(task) => remaining.push(task),
+            }
+        }
+        tasks = remaining;
+        if !completed_any && !tasks.is_empty() {
+            // everything in flight is waiting on pool workers
+            std::thread::yield_now();
+        }
+    }
+    drop(spans);
+
+    // Reassemble each dimension in serial depth-first order from the
+    // recorded answers — byte-identical to `crawl_dimension`.
+    Ok(dim_predicates
+        .into_iter()
+        .enumerate()
+        .map(|(dim, predicate)| {
+            let mut levels = Vec::new();
+            replay_levels(config, &crawl.info[dim], vec![predicate.clone()], &mut levels);
+            DimensionCrawl {
+                predicate,
+                label: dim_labels[dim].take().expect("chain resolved"),
+                levels,
+                queries: crawl.queries[dim],
+            }
+        })
+        .collect())
+}
+
+/// Outcome of one advance attempt on a task.
+enum TaskStep {
+    /// Finished; a dimension-label task also yields its label.
+    Done { dim: usize, label: Option<String> },
+    /// Finished and scheduled follow-up work.
+    Spawned(Vec<CrawlTask>),
+    /// Still waiting on at least one response.
+    Pending(CrawlTask),
+}
+
+fn advance_task(task: CrawlTask, crawl: &mut AsyncCrawl<'_>) -> Result<TaskStep, SparqlError> {
+    match task {
+        CrawlTask::DimLabel { dim, mut chain } => {
+            if crawl.advance_label(dim, &mut chain) {
+                Ok(TaskStep::Done {
+                    dim,
+                    label: chain.label,
+                })
+            } else {
+                Ok(TaskStep::Pending(CrawlTask::DimLabel { dim, chain }))
+            }
+        }
+        CrawlTask::Count {
+            dim,
+            path,
+            mut slot,
+        } => {
+            if !slot.advance(crawl.pool)? {
+                return Ok(TaskStep::Pending(CrawlTask::Count { dim, path, slot }));
+            }
+            let member_count = count_from(&slot.take_select(), crawl.graph);
+            if member_count == 0 {
+                // mirrors the serial early return: no detail queries
+                return Ok(TaskStep::Spawned(Vec::new()));
+            }
+            let detail = crawl.start_detail(dim, path, member_count);
+            Ok(TaskStep::Spawned(vec![detail]))
+        }
+        CrawlTask::Detail {
+            dim,
+            path,
+            member_count,
+            mut attrs,
+            mut label,
+            mut rollups,
+        } => {
+            let mut done = attrs.advance(crawl.pool)?;
+            done &= crawl.advance_label(dim, &mut label);
+            if let Some(slot) = &mut rollups {
+                done &= slot.advance(crawl.pool)?;
+            }
+            if !done {
+                return Ok(TaskStep::Pending(CrawlTask::Detail {
+                    dim,
+                    path,
+                    member_count,
+                    attrs,
+                    label,
+                    rollups,
+                }));
+            }
+            let attributes = predicates_from(&attrs.take_select(), crawl.graph);
+            let rollups = match rollups {
+                Some(slot) => predicates_from(&slot.take_select(), crawl.graph),
+                None => Vec::new(),
+            };
+            // explore children exactly as the serial recursion would
+            let mut spawned = Vec::new();
+            for rollup in &rollups {
+                if crawl.config.is_excluded(rollup) || path.contains(rollup) {
+                    continue;
+                }
+                let mut child = path.clone();
+                child.push(rollup.clone());
+                if !crawl.seen[dim].insert(child.clone()) {
+                    continue;
+                }
+                spawned.push(crawl.start_count(dim, child));
+            }
+            crawl.info[dim].insert(
+                path,
+                LevelInfo {
+                    member_count,
+                    attributes,
+                    label: label.label.expect("chain resolved"),
+                    rollups,
+                },
+            );
+            Ok(TaskStep::Spawned(spawned))
+        }
+    }
+}
+
+/// Emits the recorded levels of one dimension in the exact order the
+/// serial `collect_levels` recursion would have pushed them.
+fn replay_levels(
+    config: &BootstrapConfig,
+    info: &BTreeMap<Vec<String>, LevelInfo>,
+    path: Vec<String>,
+    levels: &mut Vec<PendingLevel>,
+) {
+    let Some(level) = info.get(&path) else {
+        return; // count was zero: serial records nothing and stops
+    };
+    levels.push(PendingLevel {
+        path: path.clone(),
+        member_count: level.member_count,
+        attributes: level.attributes.clone(),
+        label: level.label.clone(),
+    });
+    if path.len() >= config.max_depth {
+        return;
+    }
+    for rollup in &level.rollups {
+        if config.is_excluded(rollup) || path.contains(rollup) {
+            continue;
+        }
+        let mut child = path.clone();
+        child.push(rollup.clone());
+        if levels.iter().any(|l| l.path == child) {
+            continue;
+        }
+        replay_levels(config, info, child, levels);
     }
 }
 
@@ -406,13 +846,8 @@ fn collect_levels(
     Ok(())
 }
 
-fn count_level_members(
-    endpoint: &dyn SparqlEndpoint,
-    config: &BootstrapConfig,
-    path: &[String],
-    queries: &mut u64,
-) -> Result<usize, SparqlError> {
-    // COUNT(DISTINCT ?m): one result row instead of one per member
+/// `SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?o a C . ?o <path> ?m }`.
+fn count_members_query(config: &BootstrapConfig, path: &[String]) -> Query {
     let mut query = Query::select_all(vec![
         observation_type("o", &config.observation_class),
         path_to_member("o", path, "m"),
@@ -422,22 +857,18 @@ fn count_level_members(
         expr: Expr::var("m"),
         alias: "n".to_owned(),
     });
-    *queries += 1;
-    let solutions = endpoint.select(&query)?;
-    Ok(solutions
+    query
+}
+
+fn count_from(solutions: &Solutions, graph: &re2x_rdf::Graph) -> usize {
+    solutions
         .value(0, "n")
-        .and_then(|v| v.as_number(endpoint.graph()))
-        .unwrap_or(0.0) as usize)
+        .and_then(|v| v.as_number(graph))
+        .unwrap_or(0.0) as usize
 }
 
 /// `SELECT DISTINCT ?q WHERE { ?o a C . ?o <path> ?m . ?m ?q ?x . FILTER(kind(?x)) }`.
-fn member_predicates(
-    endpoint: &dyn SparqlEndpoint,
-    config: &BootstrapConfig,
-    path: &[String],
-    kind: Func,
-    queries: &mut u64,
-) -> Result<Vec<String>, SparqlError> {
+fn member_predicates_query(config: &BootstrapConfig, path: &[String], kind: Func) -> Query {
     let mut query = Query::select_all(vec![
         observation_type("o", &config.observation_class),
         path_to_member("o", path, "m"),
@@ -450,16 +881,41 @@ fn member_predicates(
     ]);
     query.select.push(SelectItem::Var("q".to_owned()));
     query.distinct = true;
-    *queries += 1;
-    let solutions = endpoint.select(&query)?;
-    let graph = endpoint.graph();
+    query
+}
+
+fn predicates_from(solutions: &Solutions, graph: &re2x_rdf::Graph) -> Vec<String> {
     let mut predicates: Vec<String> = solutions
         .rows
         .iter()
         .filter_map(|row| row[0].as_ref().map(|v| v.string_form(graph)))
         .collect();
     predicates.sort_unstable();
-    Ok(predicates)
+    predicates
+}
+
+fn count_level_members(
+    endpoint: &dyn SparqlEndpoint,
+    config: &BootstrapConfig,
+    path: &[String],
+    queries: &mut u64,
+) -> Result<usize, SparqlError> {
+    // COUNT(DISTINCT ?m): one result row instead of one per member
+    *queries += 1;
+    let solutions = endpoint.select(&count_members_query(config, path))?;
+    Ok(count_from(&solutions, endpoint.graph()))
+}
+
+fn member_predicates(
+    endpoint: &dyn SparqlEndpoint,
+    config: &BootstrapConfig,
+    path: &[String],
+    kind: Func,
+    queries: &mut u64,
+) -> Result<Vec<String>, SparqlError> {
+    *queries += 1;
+    let solutions = endpoint.select(&member_predicates_query(config, path, kind))?;
+    Ok(predicates_from(&solutions, endpoint.graph()))
 }
 
 #[cfg(test)]

@@ -54,16 +54,21 @@ pub fn humanize(name: &str) -> String {
         .join(" ")
 }
 
+/// `SELECT ?l WHERE { <iri> <predicate> ?l }` — one step of a label
+/// lookup chain (shared by [`label_of`] and the async bootstrap crawl).
+pub fn label_query(iri: &str, predicate: &str) -> Query {
+    Query::select_all(vec![PatternElement::Triple(TriplePattern::new(
+        TermPattern::Iri(iri.to_owned()),
+        predicate.to_owned(),
+        TermPattern::Var("l".to_owned()),
+    ))])
+}
+
 /// Looks up a label for `iri` on the endpoint using the given label
 /// predicates, falling back to the humanized local name.
 pub fn label_of(endpoint: &dyn SparqlEndpoint, iri: &str, label_predicates: &[String]) -> String {
     for pred in label_predicates {
-        let query = Query::select_all(vec![PatternElement::Triple(TriplePattern::new(
-            TermPattern::Iri(iri.to_owned()),
-            pred.clone(),
-            TermPattern::Var("l".to_owned()),
-        ))]);
-        if let Ok(solutions) = endpoint.select(&query) {
+        if let Ok(solutions) = endpoint.select(&label_query(iri, pred)) {
             if let Some(value) = solutions.value(0, "l") {
                 return value.string_form(endpoint.graph());
             }

@@ -22,7 +22,8 @@ pub mod qb;
 pub mod vgraph;
 
 pub use bootstrap::{
-    bootstrap, bootstrap_parallel, refresh, BootstrapConfig, BootstrapReport, RefreshReport,
+    bootstrap, bootstrap_async, bootstrap_parallel, refresh, BootstrapConfig, BootstrapReport,
+    RefreshReport,
 };
 pub use model::{Dimension, DimensionId, LevelId, LevelNode, Measure, MeasureId};
 pub use vgraph::{SchemaStats, VirtualSchemaGraph};

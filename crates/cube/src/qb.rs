@@ -227,10 +227,7 @@ pub fn from_annotations(graph: &Graph) -> Option<VirtualSchemaGraph> {
         let dim_iri = iri_of(*graph.objects(level_node, in_dim_p).first()?)?;
         let dimension = *dim_ids.get(&dim_iri)?;
         let mut path = Vec::new();
-        loop {
-            let Some(step_p) = graph.iri_id(&re2x_vocab::path_step(path.len())) else {
-                break;
-            };
+        while let Some(step_p) = graph.iri_id(&re2x_vocab::path_step(path.len())) {
             match graph.objects(level_node, step_p).first() {
                 Some(&step) => path.push(iri_of(step)?),
                 None => break,

@@ -1,0 +1,110 @@
+//! Differential tests: the async (ticket-fan-out) bootstrap crawl must
+//! produce a schema *identical* to the serial one — same dimensions,
+//! levels in the same order, member counts, attributes, labels, and the
+//! same `endpoint_queries` — regardless of pool width, and its query
+//! provenance must reconcile exactly with the endpoint statistics.
+
+use re2x_cube::{bootstrap, bootstrap_async, BootstrapConfig};
+use re2x_obs::Tracer;
+use re2x_sparql::{CachingEndpoint, LocalEndpoint, SparqlEndpoint, TracingEndpoint};
+use std::time::Duration;
+
+fn assert_async_matches_serial(dataset: re2x_datagen::Dataset, workers: usize) {
+    let config = BootstrapConfig::new(dataset.observation_class.clone());
+    let endpoint = LocalEndpoint::new(dataset.graph);
+
+    let serial = bootstrap(&endpoint, &config).expect("serial bootstrap");
+    let async_report = bootstrap_async(&endpoint, &config, workers).expect("async bootstrap");
+
+    assert_eq!(
+        async_report.schema, serial.schema,
+        "async schema diverges from serial for {} with {workers} workers",
+        dataset.name
+    );
+    assert_eq!(
+        async_report.endpoint_queries, serial.endpoint_queries,
+        "async crawl issued a different number of queries for {}",
+        dataset.name
+    );
+}
+
+#[test]
+fn eurostat_async_equals_serial() {
+    assert_async_matches_serial(re2x_datagen::eurostat::generate(600, 7), 4);
+}
+
+#[test]
+fn dbpedia_async_equals_serial() {
+    // deepest hierarchies and M-to-N roll-ups; also exercise a single
+    // worker (pure pipelining, no concurrency) and a wide pool
+    assert_async_matches_serial(re2x_datagen::dbpedia::generate(400, 11), 1);
+    assert_async_matches_serial(re2x_datagen::dbpedia::generate(400, 11), 8);
+}
+
+#[test]
+fn async_bootstrap_provenance_reconciles_with_endpoint_stats() {
+    let dataset = re2x_datagen::eurostat::generate(300, 5);
+    let tracer = Tracer::enabled();
+    let endpoint = TracingEndpoint::new(LocalEndpoint::new(dataset.graph), tracer.clone());
+    let config = BootstrapConfig::new(dataset.observation_class).with_tracer(tracer.clone());
+
+    bootstrap_async(&endpoint, &config, 4).expect("async bootstrap");
+
+    let stats = endpoint.stats();
+    let provenance = tracer.provenance();
+    let attributed: u64 = provenance.iter().map(|(_, s)| s.queries()).sum();
+    assert_eq!(
+        attributed,
+        stats.total_queries(),
+        "every concurrently-serviced query attributed: {provenance:?}"
+    );
+    // pool-thread queries adopt their dimension's span, exactly like the
+    // serial crawl's nesting — nothing lands in the unattributed bucket
+    assert!(
+        !provenance.iter().any(|(p, _)| p == re2x_obs::UNATTRIBUTED),
+        "stray unattributed queries: {provenance:?}"
+    );
+    let crawl_queries: u64 = provenance
+        .iter()
+        .filter(|(path, _)| path.ends_with("bootstrap.crawl_dimension"))
+        .map(|(_, s)| s.queries())
+        .sum();
+    assert!(crawl_queries > 0, "crawl spans carry the fan-out queries");
+}
+
+#[test]
+fn async_bootstrap_composes_with_a_cache() {
+    let dataset = re2x_datagen::eurostat::generate(300, 3);
+    let config = BootstrapConfig::new(dataset.observation_class.clone());
+    let endpoint = CachingEndpoint::new(LocalEndpoint::new(dataset.graph));
+
+    let cold = bootstrap_async(&endpoint, &config, 4).expect("cold bootstrap");
+    let inner_after_cold = endpoint.stats().selects;
+    let warm = bootstrap_async(&endpoint, &config, 4).expect("warm bootstrap");
+
+    assert_eq!(warm.schema, cold.schema);
+    let inner_after_warm = endpoint.stats().selects;
+    assert!(
+        inner_after_warm - inner_after_cold < inner_after_cold / 2,
+        "warm crawl re-issued too many queries: {inner_after_cold} then {inner_after_warm}"
+    );
+    assert!(endpoint.stats().cache_hits > 0);
+}
+
+#[test]
+fn async_bootstrap_overlaps_injected_latency() {
+    let dataset = re2x_datagen::eurostat::generate(200, 5);
+    let config = BootstrapConfig::new(dataset.observation_class.clone());
+    let endpoint = LocalEndpoint::new(dataset.graph).with_latency(Duration::from_millis(2));
+
+    let serial = bootstrap(&endpoint, &config).expect("serial bootstrap");
+    let async_report = bootstrap_async(&endpoint, &config, 8).expect("async bootstrap");
+
+    assert_eq!(async_report.schema, serial.schema);
+    assert!(
+        async_report.elapsed < serial.elapsed,
+        "fan-out ({:?}) should beat serial ({:?}) under 2 ms per-query latency",
+        async_report.elapsed,
+        serial.elapsed
+    );
+}

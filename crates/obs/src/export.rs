@@ -345,10 +345,12 @@ mod tests {
         metrics.counter_add("bootstrap.dimensions", 4);
         metrics.gauge_set("cube.cells", 128.0);
         metrics.observe("endpoint.latency", Duration::from_micros(3));
-        let mut stats = PhaseQueryStats::default();
-        stats.selects = 2;
-        stats.cache_hits = 1;
-        stats.busy = Duration::from_micros(10);
+        let stats = PhaseQueryStats {
+            selects: 2,
+            cache_hits: 1,
+            busy: Duration::from_micros(10),
+            ..Default::default()
+        };
         let text = prometheus_exposition(
             &metrics.snapshot(),
             &[("bootstrap".to_owned(), stats)],

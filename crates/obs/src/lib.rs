@@ -34,5 +34,6 @@ pub use export::{
 pub use hist::LatencyHistogram;
 pub use metrics::{label, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use tracer::{
-    PhaseQueryStats, QueryKind, SpanGuard, SpanHandle, TraceEvent, Tracer, UNATTRIBUTED,
+    AdoptGuard, PhaseQueryStats, QueryKind, SpanGuard, SpanHandle, TraceEvent, Tracer,
+    UNATTRIBUTED,
 };

@@ -374,6 +374,66 @@ impl Tracer {
         self.core.as_deref().and_then(TracerCore::current_path)
     }
 
+    /// Handle of the innermost span open on the calling thread, if any.
+    /// Combined with [`Tracer::adopt`] this lets work submitted to another
+    /// thread carry its submitter's span context along.
+    pub fn current_handle(&self) -> Option<SpanHandle> {
+        let core = self.core.as_deref()?;
+        STACKS.with(|stacks| {
+            stacks
+                .borrow()
+                .iter()
+                .find(|s| s.tracer == core.id)
+                .and_then(|s| s.frames.last())
+                .map(|f| SpanHandle {
+                    id: f.span,
+                    path: f.path.clone(),
+                })
+        })
+    }
+
+    /// Re-opens an existing span's *context* on the calling thread: while
+    /// the returned guard lives, `record_query`/`record_cache` on this
+    /// thread attribute to the handle's path, and new spans nest under it.
+    ///
+    /// Unlike [`Tracer::span_under`] this creates **no new span**: no
+    /// Enter/Exit events are emitted and no wall time is accounted
+    /// anywhere — the adopted frame is pure attribution context. The async
+    /// endpoint adapter uses this so queries serviced on pool threads
+    /// reconcile to the same provenance paths as their serial equivalents.
+    /// Inert for disabled tracers and default (inert) handles.
+    pub fn adopt(&self, handle: &SpanHandle) -> AdoptGuard<'_> {
+        let Some(core) = self.core.as_deref() else {
+            return AdoptGuard { core: None, span: 0 };
+        };
+        if handle.id == 0 {
+            return AdoptGuard { core: None, span: 0 };
+        }
+        STACKS.with(|stacks| {
+            let mut stacks = stacks.borrow_mut();
+            let stack = match stacks.iter_mut().position(|s| s.tracer == core.id) {
+                Some(i) => &mut stacks[i],
+                None => {
+                    stacks.push(TracerStack {
+                        tracer: core.id,
+                        frames: Vec::new(),
+                    });
+                    stacks.last_mut().expect("just pushed")
+                }
+            };
+            stack.frames.push(Frame {
+                span: handle.id,
+                path: handle.path.clone(),
+                start: Instant::now(),
+                child: Duration::ZERO,
+            });
+        });
+        AdoptGuard {
+            core: Some(core),
+            span: handle.id,
+        }
+    }
+
     /// Attributes one endpoint query to the innermost open span on the
     /// calling thread (or to [`UNATTRIBUTED`]). No-op when disabled.
     pub fn record_query(&self, kind: QueryKind, latency: Duration) {
@@ -536,6 +596,38 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
+/// RAII guard for an adopted span context (see [`Tracer::adopt`]);
+/// dropping it restores the thread's previous attribution context. Emits
+/// no events and accounts no time.
+#[must_use = "dropping the guard immediately restores the previous context"]
+pub struct AdoptGuard<'a> {
+    core: Option<&'a TracerCore>,
+    span: u64,
+}
+
+impl Drop for AdoptGuard<'_> {
+    fn drop(&mut self) {
+        let Some(core) = self.core else {
+            return;
+        };
+        STACKS.with(|stacks| {
+            let mut stacks = stacks.borrow_mut();
+            let Some(pos) = stacks.iter().position(|s| s.tracer == core.id) else {
+                return;
+            };
+            let stack = &mut stacks[pos];
+            if let Some(idx) = stack.frames.iter().rposition(|f| f.span == self.span) {
+                // Adopted frames are context only: the removed frame's wall
+                // time is discarded, not credited to an enclosing frame.
+                stack.frames.remove(idx);
+            }
+            if stack.frames.is_empty() {
+                stacks.swap_remove(pos);
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +729,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn adopt_attributes_queries_without_emitting_spans() {
+        let tracer = Tracer::enabled();
+        {
+            let root = tracer.span("submit");
+            let handle = tracer.current_handle().expect("span open");
+            assert_eq!(handle, root.handle());
+            std::thread::scope(|scope| {
+                let tracer = &tracer;
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    assert_eq!(tracer.current_path(), None, "fresh worker thread");
+                    {
+                        let _ctx = tracer.adopt(&handle);
+                        assert_eq!(tracer.current_path().as_deref(), Some("submit"));
+                        tracer.record_query(QueryKind::Ask, Duration::from_micros(3));
+                        // real spans still nest under the adopted context
+                        let _inner = tracer.span("inner");
+                        tracer.record_query(QueryKind::Select, Duration::from_micros(2));
+                    }
+                    assert_eq!(tracer.current_path(), None, "context restored");
+                });
+            });
+        }
+        let prov = tracer.provenance();
+        let by_path: BTreeMap<&str, &PhaseQueryStats> =
+            prov.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        assert_eq!(by_path["submit"].asks, 1, "worker query adopted the path");
+        assert_eq!(by_path["submit/inner"].selects, 1);
+        assert!(!by_path.contains_key(UNATTRIBUTED));
+        // adoption is invisible in the event log: one enter/exit pair for
+        // "submit", one for "submit/inner", plus the two query events
+        let events = tracer.events();
+        let enters = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Enter { .. }))
+            .count();
+        assert_eq!(enters, 2, "adopt emits no Enter events");
+    }
+
+    #[test]
+    fn adopt_is_inert_for_disabled_tracers_and_default_handles() {
+        let disabled = Tracer::disabled();
+        assert_eq!(disabled.current_handle(), None);
+        drop(disabled.adopt(&SpanHandle::default()));
+
+        let tracer = Tracer::enabled();
+        assert_eq!(tracer.current_handle(), None, "no span open");
+        {
+            let _ctx = tracer.adopt(&SpanHandle::default());
+            assert_eq!(tracer.current_path(), None, "inert handle adopts nothing");
+        }
+        assert!(tracer.events().is_empty());
     }
 
     #[test]

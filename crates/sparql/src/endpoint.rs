@@ -107,6 +107,16 @@ pub trait SparqlEndpoint: Send + Sync {
     /// Resets the statistics (e.g. between experiment phases).
     fn reset_stats(&self);
 
+    /// The tracer queries through this endpoint are attributed to, if the
+    /// stack contains a tracing decorator. The async adapter uses this to
+    /// capture the submitter's span context at `submit` time so that
+    /// queries serviced on pool threads reconcile to the same provenance
+    /// paths as their serial equivalents. Decorators forward to their
+    /// inner endpoint; the default (no tracer anywhere) is `None`.
+    fn tracer(&self) -> Option<&re2x_obs::Tracer> {
+        None
+    }
+
     /// Parses and answers a `SELECT` query given as text.
     fn select_text(&self, text: &str) -> Result<Solutions, SparqlError> {
         self.select(&parse_query(text)?)

@@ -985,7 +985,10 @@ impl<'a> GroupContext<'a> {
         match func {
             AggFunc::Count => Some(Value::Number(count as f64)),
             AggFunc::CountDistinct => Some(Value::Number(distinct.len() as f64)),
-            AggFunc::Sum => Some(Value::Number(sum)),
+            // Unbound (not 0) when no binding was numeric, matching
+            // Avg/Min/Max — a spurious `SUM = 0` would satisfy HAVING
+            // filters over groups that carry no numeric data at all.
+            AggFunc::Sum => (numeric_count > 0).then_some(Value::Number(sum)),
             AggFunc::Avg => {
                 if numeric_count == 0 {
                     None

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod ast;
+pub mod async_endpoint;
 pub mod caching;
 pub mod endpoint;
 pub mod error;
@@ -60,6 +61,9 @@ pub mod value;
 pub use ast::{
     AggFunc, ArithOp, CmpOp, Expr, Func, Order, OrderKey, PatternElement, Predicate, Query,
     QueryForm, SelectItem, TermPattern, TriplePattern,
+};
+pub use async_endpoint::{
+    with_async_endpoint, AsyncAdapter, AsyncRequest, AsyncResponse, AsyncSparqlEndpoint, Ticket,
 };
 pub use caching::CachingEndpoint;
 pub use endpoint::{EndpointStats, LatencyHistogram, LocalEndpoint, SparqlEndpoint};

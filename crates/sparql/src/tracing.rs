@@ -95,6 +95,10 @@ impl<E: SparqlEndpoint> SparqlEndpoint for TracingEndpoint<E> {
     fn reset_stats(&self) {
         self.inner.reset_stats();
     }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.is_enabled().then_some(&self.tracer)
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +178,7 @@ mod tests {
         let tracer = Tracer::enabled();
         let ep = TracingEndpoint::new(local(), tracer);
         assert_eq!(ep.stats(), EndpointStats::default());
-        assert!(ep.graph().len() > 0);
+        assert!(!ep.graph().is_empty());
         ep.reset_stats();
         assert_eq!(ep.into_inner().stats(), EndpointStats::default());
     }

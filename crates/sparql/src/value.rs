@@ -51,11 +51,19 @@ impl Value {
     }
 
     /// SPARQL `=` semantics (restricted): term identity when both sides are
-    /// terms; numeric equality when both sides are numeric; otherwise string
-    /// comparison of the string forms.
+    /// the *same* term; numeric equality when both sides are numeric;
+    /// otherwise string comparison of the string forms.
+    ///
+    /// Distinct terms fall through to numeric coercion rather than
+    /// returning `false`: `"5"^^xsd:integer` and `"5.0"^^xsd:decimal` are
+    /// different terms but the same number, and `equals` must agree with
+    /// [`Value::compare`] (which returns `Equal` for them) so `DISTINCT` /
+    /// `GROUP BY` and `ORDER BY` see the same equivalence classes.
     pub fn equals(&self, other: &Value, graph: &Graph) -> bool {
         if let (Value::Term(a), Value::Term(b)) = (self, other) {
-            return a == b;
+            if a == b {
+                return true;
+            }
         }
         if let (Some(a), Some(b)) = (self.as_number(graph), other.as_number(graph)) {
             return a == b;
@@ -65,11 +73,33 @@ impl Value {
 
     /// Ordering used by comparisons and `ORDER BY`: numeric when both sides
     /// are numeric, otherwise lexicographic on the string forms.
+    ///
+    /// The numeric branch is a *total* order: NaN (which projected
+    /// arithmetic such as `0/0` or a `"NaN"^^xsd:double` literal can
+    /// produce) is pinned **after** every other number and equal to itself,
+    /// regardless of its sign bit, and `-0.0 == 0.0` (matching
+    /// [`Value::equals`]). A non-total comparator here would make
+    /// `sort_by`'s output — and thus `ORDER BY` and every Top-k
+    /// refinement — implementation-defined.
     pub fn compare(&self, other: &Value, graph: &Graph) -> Ordering {
         if let (Some(a), Some(b)) = (self.as_number(graph), other.as_number(graph)) {
-            return a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+            return total_compare_numeric(a, b);
         }
         self.string_form(graph).cmp(&other.string_form(graph))
+    }
+}
+
+/// Total order over `f64` for `ORDER BY`: NaN sorts after all numbers and
+/// compares equal to itself (sign bit ignored); otherwise IEEE order, with
+/// `-0.0 == 0.0`. Unlike [`f64::total_cmp`] this keeps the two zeros (and
+/// the two NaN sign bits) in one equivalence class, so the order agrees
+/// with numeric `=` everywhere it is defined.
+pub fn total_compare_numeric(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN comparison is total"),
     }
 }
 
@@ -222,6 +252,66 @@ mod tests {
             Value::Str("10".into()).compare(&Value::Str("2".into()), &g),
             Ordering::Less
         );
+    }
+
+    #[test]
+    fn compare_is_total_under_nan() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` made NaN compare
+        // Equal to everything, which is not transitive (1 ≠ 2 but both
+        // "equal" NaN) — `sort_by` output became implementation-defined.
+        let (g, ..) = graph_with_terms();
+        let nan = Value::Number(f64::NAN);
+        let one = Value::Number(1.0);
+        let two = Value::Number(2.0);
+        // NaN is pinned after every number and equal to itself…
+        assert_eq!(nan.compare(&one, &g), Ordering::Greater);
+        assert_eq!(one.compare(&nan, &g), Ordering::Less);
+        assert_eq!(nan.compare(&nan, &g), Ordering::Equal);
+        assert_eq!(
+            Value::Number(-f64::NAN).compare(&nan, &g),
+            Ordering::Equal,
+            "NaN sign bit must not split the equivalence class"
+        );
+        assert_eq!(nan.compare(&Value::Number(f64::INFINITY), &g), Ordering::Greater);
+        // …so the comparator is antisymmetric and transitive over a
+        // NaN-containing set: 1 < 2 < NaN with no Equal shortcuts.
+        assert_eq!(one.compare(&two, &g), Ordering::Less);
+        assert_eq!(two.compare(&nan, &g), Ordering::Less);
+        assert_eq!(one.compare(&nan, &g), Ordering::Less);
+    }
+
+    #[test]
+    fn compare_keeps_zeros_equal() {
+        let (g, ..) = graph_with_terms();
+        let pos = Value::Number(0.0);
+        let neg = Value::Number(-0.0);
+        assert_eq!(pos.compare(&neg, &g), Ordering::Equal);
+        assert!(pos.equals(&neg, &g), "compare and equals must agree on ±0");
+    }
+
+    #[test]
+    fn equals_falls_through_to_numeric_coercion() {
+        // Regression: the TermId fast path returned `false` for distinct
+        // terms before trying numeric coercion, so `equals` and `compare`
+        // disagreed on numerically-equal literals and DISTINCT/GROUP BY
+        // split classes that ORDER BY merged.
+        let mut g = Graph::new();
+        let int5 = g.intern_literal(Literal::typed("5", re2x_rdf::vocab::xsd::INTEGER));
+        let dec5 = g.intern_literal(Literal::typed("5.0", re2x_rdf::vocab::xsd::DECIMAL));
+        let padded5 = g.intern_literal(Literal::typed("05", re2x_rdf::vocab::xsd::INTEGER));
+        assert_ne!(int5, dec5, "distinct terms by construction");
+        for (a, b) in [(int5, dec5), (dec5, int5), (int5, padded5), (padded5, int5)] {
+            let (va, vb) = (Value::Term(a), Value::Term(b));
+            assert!(va.equals(&vb, &g), "{a:?} = {b:?} numerically");
+            assert_eq!(
+                va.compare(&vb, &g),
+                Ordering::Equal,
+                "equals and compare agree in both directions"
+            );
+        }
+        // genuinely different numbers still differ
+        let int6 = g.intern_literal(Literal::integer(6));
+        assert!(!Value::Term(int5).equals(&Value::Term(int6), &g));
     }
 
     #[test]

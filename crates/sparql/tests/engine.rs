@@ -115,6 +115,69 @@ fn all_aggregate_functions() {
 }
 
 #[test]
+fn aggregates_over_non_numeric_and_empty_groups() {
+    // Regression: SUM returned a bound 0 for a group whose bindings are
+    // all non-numeric (while AVG/MIN/MAX were unbound), so a spurious
+    // `SUM = 0` could satisfy HAVING filters. All four must agree: unbound
+    // when no binding is numeric; COUNT alone stays bound (counts rows).
+    let mut g = Graph::new();
+    parse_turtle(
+        r#"
+        @prefix ex: <http://ex/> .
+        ex:o1 ex:dest ex:Germany ; ex:note "textual" .
+        ex:o2 ex:dest ex:Germany ; ex:note "also text" .
+        ex:o3 ex:dest ex:France ; ex:note 7 .
+        "#,
+        &mut g,
+    )
+    .expect("parse fixture");
+    let sols = run(
+        &g,
+        "SELECT ?d (SUM(?v) AS ?s) (AVG(?v) AS ?av) (MIN(?v) AS ?mn) (MAX(?v) AS ?mx) (COUNT(?v) AS ?n)
+         WHERE { ?o <http://ex/dest> ?d . ?o <http://ex/note> ?v } GROUP BY ?d ORDER BY ?d",
+    );
+    assert_eq!(sols.len(), 2);
+    // France: the one numeric note binds every aggregate
+    assert_eq!(string(&sols, &g, 0, "d"), "http://ex/France");
+    for col in ["s", "av", "mn", "mx"] {
+        assert_eq!(number(&sols, &g, 0, col), 7.0, "numeric group col {col}");
+    }
+    assert_eq!(number(&sols, &g, 0, "n"), 1.0);
+    // Germany: all-non-numeric group — numeric aggregates unbound, COUNT = 2
+    assert_eq!(string(&sols, &g, 1, "d"), "http://ex/Germany");
+    for col in ["s", "av", "mn", "mx"] {
+        assert!(
+            sols.value(1, col).is_none(),
+            "col {col} must be unbound over a non-numeric group"
+        );
+    }
+    assert_eq!(number(&sols, &g, 1, "n"), 2.0);
+
+    // the empty-group shape: no rows match at all → one implicit group,
+    // numeric aggregates unbound, COUNT(*) = 0
+    let empty = run(
+        &g,
+        "SELECT (SUM(?v) AS ?s) (AVG(?v) AS ?av) (MIN(?v) AS ?mn) (MAX(?v) AS ?mx) (COUNT(*) AS ?n)
+         WHERE { ?o <http://ex/missing> ?v }",
+    );
+    assert_eq!(empty.len(), 1);
+    for col in ["s", "av", "mn", "mx"] {
+        assert!(empty.value(0, col).is_none(), "empty group col {col}");
+    }
+    assert_eq!(number(&empty, &g, 0, "n"), 0.0);
+
+    // and the HAVING consequence the bug allowed: SUM = 0 must NOT select
+    // the all-non-numeric Germany group
+    let having = run(
+        &g,
+        "SELECT ?d (SUM(?v) AS ?s) WHERE {
+            ?o <http://ex/dest> ?d . ?o <http://ex/note> ?v
+        } GROUP BY ?d HAVING(SUM(?v) = 0)",
+    );
+    assert_eq!(having.len(), 0, "no group has a numeric sum of zero");
+}
+
+#[test]
 fn implicit_single_group_without_group_by() {
     let g = asylum_graph();
     let sols = run(

@@ -21,16 +21,33 @@ cargo test -q --offline --workspace
 echo "== bench targets compile (bench-criterion) =="
 cargo build --offline -p re2x-bench --benches --features bench-criterion
 
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --offline --all-targets -- -D warnings
+
 echo "== trace experiment (smallest dataset, offline) =="
 # The trace experiment runs on the in-memory running-example generator —
-# no datasets, no network — and must emit a well-formed trace.json.
+# no datasets, no network — and must emit a well-formed trace.json
+# including the serial-vs-async fan-out comparison row.
 cargo run --release --offline -p re2x-bench --bin repro -- --out bench_results trace
 if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool bench_results/trace.json > /dev/null
-    echo "trace.json: valid JSON"
+    python3 - <<'EOF'
+import json
+with open("bench_results/trace.json") as f:
+    trace = json.load(f)
+comparison = trace["async_comparison"]
+ratio = float(comparison["overlap_ratio"])
+assert ratio > 0.0, f"overlap_ratio must be positive, got {ratio}"
+assert comparison["identical"] is True, "async legs diverged from serial"
+assert float(comparison["speedup"]) > 0.0
+print(f"trace.json: valid JSON; async row: {comparison['speedup']:.2f}x speedup, "
+      f"overlap ratio {ratio:.2f}")
+EOF
 else
     # no python3 in the environment: fall back to a structural spot-check
     grep -q '"endpoint_fraction"' bench_results/trace.json
+    grep -q '"async_comparison"' bench_results/trace.json
+    grep -q '"overlap_ratio"' bench_results/trace.json
+    grep -q '"identical": true' bench_results/trace.json
     echo "trace.json: present (python3 unavailable, structural check only)"
 fi
 

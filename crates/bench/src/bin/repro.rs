@@ -4,7 +4,7 @@
 //! repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig8c fig9 fig10
-//!              ablations scaling latency trace    (default: all)
+//!              ablations scaling latency trace sharding    (default: all)
 //! ```
 //!
 //! Results are printed and written to `<out>/<experiment>.txt`
@@ -25,9 +25,9 @@ struct Args {
     experiments: BTreeSet<String>,
 }
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig8c", "fig9", "fig10", "ablations",
-    "scaling", "latency", "trace",
+    "scaling", "latency", "trace", "sharding",
 ];
 
 fn parse_args() -> Args {
@@ -169,6 +169,29 @@ fn main() {
             } else {
                 println!("wrote {}", jsonl_path.display());
             }
+        }
+    }
+
+    if wants("sharding") {
+        // Scatter-gather over hash-partitioned shards, each paying the same
+        // 2 ms round-trip the trace experiment injects plus a per-row
+        // transfer cost; smoke runs a smaller fact table so the sweep stays
+        // fast, full uses the headline size.
+        let observations = if args.scale_name == "smoke" { 4_000 } else { 12_000 };
+        eprintln!("running sharding sweep on {observations} eurostat observations …");
+        let report = re2x_bench::sharding::run(observations, args.seed);
+        emit(
+            &args.out,
+            "sharding",
+            "Sharding: scatter-gather speedup over hash-partitioned shards (2 ms latency)",
+            &report.summary(),
+        );
+        let _ = std::fs::create_dir_all(&args.out);
+        let json_path = args.out.join("sharding.json");
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("could not write {}: {e}", json_path.display());
+        } else {
+            println!("wrote {}", json_path.display());
         }
     }
 

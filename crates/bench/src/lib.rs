@@ -16,4 +16,5 @@ pub mod env;
 pub mod figures;
 pub mod micro;
 pub mod report;
+pub mod sharding;
 pub mod trace;

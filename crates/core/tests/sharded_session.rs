@@ -1,0 +1,100 @@
+//! End-to-end wiring test: a full interactive session (synthesize → choose
+//! → refine) driven over the production decorator stack with a
+//! [`ShardedEndpoint`] at the bottom must behave exactly like the same
+//! session over a plain [`LocalEndpoint`] — same synthesized queries, same
+//! results (compared under the canonical order, since a scatter-gather
+//! merge is free to emit ORDER-BY-less rows in any order), and per-shard
+//! metrics visible in the Prometheus exposition.
+
+use re2x_cube::{bootstrap, BootstrapConfig};
+use re2x_obs::{prometheus_exposition, Metrics};
+use re2x_sparql::{
+    canonical_order, CachingEndpoint, LocalEndpoint, ShardedEndpoint, Solutions, SparqlEndpoint,
+    TracingEndpoint,
+};
+use re2xolap::{RefineOp, Session, SessionConfig};
+use std::sync::Arc;
+
+fn canonicalized(mut solutions: Solutions, graph: &re2x_rdf::Graph) -> Solutions {
+    canonical_order(&mut solutions, &[], graph);
+    solutions
+}
+
+#[test]
+fn session_over_sharded_stack_matches_local() {
+    let dataset = re2x_datagen::running::generate();
+    let metrics = Arc::new(Metrics::new());
+
+    let local = LocalEndpoint::new(dataset.graph.clone());
+    let stack = CachingEndpoint::new(TracingEndpoint::new(
+        ShardedEndpoint::with_observation_class(
+            dataset.graph.clone(),
+            &dataset.observation_class,
+            4,
+        )
+        .with_metrics(Arc::clone(&metrics)),
+        re2x_obs::Tracer::disabled(),
+    ));
+
+    let config = BootstrapConfig::new(&dataset.observation_class);
+    let schema_local = bootstrap(&local, &config).expect("local bootstrap").schema;
+    let schema_sharded = bootstrap(&stack, &config).expect("sharded bootstrap").schema;
+    assert_eq!(schema_sharded, schema_local);
+
+    let mut session_local = Session::new(&local, &schema_local, SessionConfig::default());
+    let mut session_sharded = Session::new(&stack, &schema_sharded, SessionConfig::default());
+
+    // Synthesis resolves keywords and probes candidate interpretations;
+    // both sessions must offer the same candidate queries in the same order.
+    let out_local = session_local
+        .synthesize(&["Germany", "2014"])
+        .expect("local synthesis");
+    let out_sharded = session_sharded
+        .synthesize(&["Germany", "2014"])
+        .expect("sharded synthesis");
+    let sparql_of = |qs: &[re2xolap::OlapQuery]| -> Vec<String> {
+        qs.iter().map(|q| q.sparql()).collect()
+    };
+    assert_eq!(
+        sparql_of(&out_sharded.queries),
+        sparql_of(&out_local.queries)
+    );
+    assert!(!out_local.queries.is_empty());
+
+    // Execute every candidate on both sessions; identical rows.
+    for (ql, qs) in out_local.queries.iter().zip(&out_sharded.queries) {
+        let step_local = session_local.choose(ql.clone()).expect("local run");
+        let rows_local = canonicalized(step_local.solutions.clone(), local.graph());
+        let step_sharded = session_sharded.choose(qs.clone()).expect("sharded run");
+        let rows_sharded = canonicalized(step_sharded.solutions.clone(), stack.graph());
+        assert_eq!(rows_sharded, rows_local, "candidate {}", ql.sparql());
+    }
+
+    // One refinement round: same refinements offered, same refined results.
+    for op in [RefineOp::Disaggregate, RefineOp::TopK] {
+        let refs_local = session_local.refinements(op).expect("local refinements");
+        let refs_sharded = session_sharded.refinements(op).expect("sharded refinements");
+        let sparql_local: Vec<String> = refs_local.iter().map(|r| r.query.sparql()).collect();
+        let sparql_sharded: Vec<String> = refs_sharded.iter().map(|r| r.query.sparql()).collect();
+        assert_eq!(sparql_sharded, sparql_local, "{op:?}");
+        if let (Some(rl), Some(rs)) = (refs_local.first(), refs_sharded.first()) {
+            let (rl, rs) = (rl.clone(), rs.clone());
+            let step_local = session_local.apply(rl).expect("local apply");
+            let rows_local = canonicalized(step_local.solutions.clone(), local.graph());
+            let step_sharded = session_sharded.apply(rs).expect("sharded apply");
+            let rows_sharded = canonicalized(step_sharded.solutions.clone(), stack.graph());
+            assert_eq!(rows_sharded, rows_local, "{op:?}");
+            session_local.backtrack();
+            session_sharded.backtrack();
+        }
+    }
+
+    // The whole exploration surfaced per-shard activity in the exposition.
+    let exposition = prometheus_exposition(&metrics.snapshot(), &[]);
+    for needle in ["shard_busy{shard=\"0\"}", "shard_busy{shard=\"3\"}", "shard_skew"] {
+        assert!(
+            exposition.contains(needle),
+            "missing {needle} in exposition:\n{exposition}"
+        );
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::hash::FxHashMap;
 use crate::interner::{Interner, TermId};
+use std::sync::Arc;
 use crate::term::{Literal, Term};
 use crate::text::TextIndex;
 
@@ -27,9 +28,15 @@ type TwoLevelIndex = FxHashMap<TermId, FxHashMap<TermId, Vec<TermId>>>;
 
 /// An in-memory RDF graph with full index coverage and a full-text index
 /// over its literals.
+///
+/// The term table and text index — by far the heaviest parts of a loaded
+/// graph — live behind copy-on-write handles: cloning a graph (or building
+/// shards via [`Graph::term_shell`]) shares them until a clone interns a
+/// new term or (un)indexes a literal, at which point only that clone pays
+/// for a deep copy.
 #[derive(Debug, Default, Clone)]
 pub struct Graph {
-    interner: Interner,
+    interner: Arc<Interner>,
     /// subject → predicate → objects.
     spo: TwoLevelIndex,
     /// predicate → object → subjects.
@@ -37,7 +44,7 @@ pub struct Graph {
     /// object → subject → predicates.
     osp: TwoLevelIndex,
     len: usize,
-    text: TextIndex,
+    text: Arc<TextIndex>,
 }
 
 impl Graph {
@@ -52,10 +59,10 @@ impl Graph {
     pub fn intern(&mut self, term: Term) -> TermId {
         let fresh = self.interner.get(&term).is_none();
         let is_literal_lexical = term.as_literal().map(|l| l.lexical().to_owned());
-        let id = self.interner.intern(term);
+        let id = Arc::make_mut(&mut self.interner).intern(term);
         if fresh {
             if let Some(lexical) = is_literal_lexical {
-                self.text.index_literal(id, &lexical);
+                Arc::make_mut(&mut self.text).index_literal(id, &lexical);
             }
         }
         id
@@ -103,6 +110,25 @@ impl Graph {
         &self.text
     }
 
+    /// A graph that shares this graph's term table and text index (zero-copy
+    /// `Arc` clones) but holds no triples.
+    ///
+    /// This is the starting point for building partitions whose `TermId`s
+    /// align with the source graph: solutions produced against a shell-built
+    /// shard resolve correctly against the original graph's interner. Note
+    /// the cloned text index covers *all* of the source's literals, not just
+    /// the ones the caller later inserts.
+    pub fn term_shell(&self) -> Graph {
+        Graph {
+            interner: self.interner.clone(),
+            spo: TwoLevelIndex::default(),
+            pos: TwoLevelIndex::default(),
+            osp: TwoLevelIndex::default(),
+            len: 0,
+            text: self.text.clone(),
+        }
+    }
+
     // ---- mutation ---------------------------------------------------------
 
     /// Inserts a triple of already-interned ids. Returns `false` if it was
@@ -114,8 +140,18 @@ impl Graph {
         }
         objects.push(o);
         self.pos.entry(p).or_default().entry(o).or_default().push(s);
+        let fresh_object = !self.osp.contains_key(&o);
         self.osp.entry(o).or_default().entry(s).or_default().push(p);
         self.len += 1;
+        if fresh_object {
+            // A literal unindexed by a prior removal becomes searchable again
+            // the moment a triple uses it as an object.
+            if let Some(lexical) = self.interner.resolve(o).as_literal().map(|l| l.lexical().to_owned()) {
+                if !self.text.is_indexed(o, &lexical) {
+                    Arc::make_mut(&mut self.text).index_literal(o, &lexical);
+                }
+            }
+        }
         true
     }
 
@@ -128,29 +164,64 @@ impl Graph {
     }
 
     /// Removes a triple. Returns `false` if it was not present.
+    ///
+    /// Index entries emptied by the removal are pruned so enumerations
+    /// (`predicates_from`, `objects_of_predicate`, …) and the planner's
+    /// cardinality estimates never see fully-deleted terms, and a literal
+    /// object no longer used by any triple is dropped from the full-text
+    /// index (it resurfaces if a triple re-adopts it, see
+    /// [`Graph::insert_ids`]).
     pub fn remove_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
-        let Some(objects) = self.spo.get_mut(&s).and_then(|m| m.get_mut(&p)) else {
-            return false;
-        };
-        let Some(pos_o) = objects.iter().position(|&x| x == o) else {
-            return false;
-        };
-        objects.swap_remove(pos_o);
-        let subjects = self
+        {
+            let Some(by_p) = self.spo.get_mut(&s) else {
+                return false;
+            };
+            let Some(objects) = by_p.get_mut(&p) else {
+                return false;
+            };
+            let Some(pos_o) = objects.iter().position(|&x| x == o) else {
+                return false;
+            };
+            objects.swap_remove(pos_o);
+            if objects.is_empty() {
+                by_p.remove(&p);
+                if by_p.is_empty() {
+                    self.spo.remove(&s);
+                }
+            }
+        }
+        let by_o = self
             .pos
             .get_mut(&p)
-            .and_then(|m| m.get_mut(&o))
             .expect("index invariant: pos entry exists");
+        let subjects = by_o.get_mut(&o).expect("index invariant: pos entry exists");
         let i = subjects.iter().position(|&x| x == s).expect("pos has s");
         subjects.swap_remove(i);
-        let predicates = self
+        if subjects.is_empty() {
+            by_o.remove(&o);
+            if by_o.is_empty() {
+                self.pos.remove(&p);
+            }
+        }
+        let by_s = self
             .osp
             .get_mut(&o)
-            .and_then(|m| m.get_mut(&s))
             .expect("index invariant: osp entry exists");
+        let predicates = by_s.get_mut(&s).expect("index invariant: osp entry exists");
         let i = predicates.iter().position(|&x| x == p).expect("osp has p");
         predicates.swap_remove(i);
+        if predicates.is_empty() {
+            by_s.remove(&s);
+            if by_s.is_empty() {
+                self.osp.remove(&o);
+            }
+        }
         self.len -= 1;
+        if !self.osp.contains_key(&o) {
+            if let Some(lexical) = self.interner.resolve(o).as_literal().map(|l| l.lexical().to_owned()) {
+                Arc::make_mut(&mut self.text).unindex_literal(o, &lexical);
+            }
+        }
         true
     }
 
@@ -497,6 +568,71 @@ mod tests {
         let b = g.intern_literal(Literal::simple("Asia"));
         assert_eq!(a, b);
         assert_eq!(g.literals_matching_exact("asia"), vec![a]);
+    }
+
+    #[test]
+    fn removing_triple_unindexes_orphaned_literal() {
+        let (mut g, .., label, lit) = sample();
+        let syria = g.iri_id("http://ex/Syria").unwrap();
+        assert_eq!(g.literals_matching_exact("syria"), vec![lit]);
+        assert!(g.remove_ids(syria, label, lit));
+        // The literal is no longer reachable through any triple, so keyword
+        // resolution must not surface it.
+        assert!(g.literals_matching_exact("syria").is_empty());
+        assert!(g.literals_matching_keywords("syria").is_empty());
+        // Re-adopting the literal makes it searchable again.
+        assert!(g.insert_ids(syria, label, lit));
+        assert_eq!(g.literals_matching_exact("syria"), vec![lit]);
+    }
+
+    #[test]
+    fn shared_literal_stays_indexed_until_last_use_removed() {
+        let mut g = Graph::new();
+        let a = g.intern_iri("http://ex/a");
+        let b = g.intern_iri("http://ex/b");
+        let label = g.intern_iri("http://ex/label");
+        let lit = g.intern_literal(Literal::simple("Asia"));
+        g.insert_ids(a, label, lit);
+        g.insert_ids(b, label, lit);
+        assert!(g.remove_ids(a, label, lit));
+        // Another triple still uses the object: it must stay searchable.
+        assert_eq!(g.literals_matching_exact("asia"), vec![lit]);
+        assert!(g.remove_ids(b, label, lit));
+        assert!(g.literals_matching_exact("asia").is_empty());
+    }
+
+    #[test]
+    fn removal_prunes_empty_index_entries() {
+        let (mut g, obs, origin, syria, label, lit) = sample();
+        assert!(g.remove_ids(obs, origin, syria));
+        // Enumerations over index keys must not report fully-deleted terms.
+        assert!(g.predicates_from(obs).is_empty());
+        assert!(g.objects_of_predicate(origin).is_empty());
+        assert!(g.predicates_into(syria).is_empty());
+        assert_eq!(g.predicate_cardinality(origin), 0);
+        for (s, p, o) in [
+            (Some(obs), None, None),
+            (None, Some(origin), None),
+            (None, None, Some(syria)),
+        ] {
+            assert_eq!(g.count_matching(s, p, o), 0);
+        }
+        // A partially-deleted term keeps its remaining entries.
+        assert_eq!(g.predicates_from(syria), vec![label]);
+        assert_eq!(g.objects_of_predicate(label), vec![lit]);
+    }
+
+    #[test]
+    fn term_shell_shares_terms_but_no_triples() {
+        let (g, obs, origin, syria, _, lit) = sample();
+        let shell = g.term_shell();
+        assert!(shell.is_empty());
+        assert_eq!(shell.iri_id("http://ex/obs1"), Some(obs));
+        assert_eq!(shell.literals_matching_exact("syria"), vec![lit]);
+        let mut shard = shell;
+        assert!(shard.insert_ids(obs, origin, syria));
+        assert_eq!(shard.len(), 1);
+        assert_eq!(g.len(), 2);
     }
 
     #[test]

@@ -47,12 +47,14 @@ pub mod graph;
 pub mod hash;
 pub mod interner;
 pub mod io;
+pub mod partition;
 pub mod term;
 pub mod text;
 pub mod vocab;
 
 pub use error::RdfError;
 pub use graph::{Graph, Triple};
+pub use partition::{partition, partition_observations, PartitionLayout, Partitioned, PredicateRole};
 pub use interner::{Interner, TermId};
 pub use term::{Literal, Term};
 pub use text::TextIndex;

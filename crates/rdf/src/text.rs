@@ -54,8 +54,9 @@ impl TextIndex {
 
     /// Indexes a literal's lexical form under its term id.
     ///
-    /// Callers must index each literal id at most once (the graph indexes a
-    /// literal exactly when it is first interned).
+    /// Idempotent: re-indexing an already-indexed id is a no-op, and ids may
+    /// be indexed in any order (postings stay sorted, which
+    /// [`TextIndex::search_all_tokens`] relies on for its binary searches).
     pub fn index_literal(&mut self, id: TermId, lexical: &str) {
         let tokens = tokenize(lexical);
         for token in &tokens {
@@ -63,16 +64,55 @@ impl TextIndex {
                 .postings
                 .entry(token.clone().into_boxed_str())
                 .or_default();
-            if posting.last() != Some(&id) {
-                posting.push(id);
+            if let Err(pos) = posting.binary_search(&id) {
+                posting.insert(pos, id);
             }
         }
         let key = tokens.join(" ").into_boxed_str();
         let exact = self.exact.entry(key).or_default();
-        if exact.last() != Some(&id) {
-            exact.push(id);
+        if let Err(pos) = exact.binary_search(&id) {
+            exact.insert(pos, id);
+            self.indexed += 1;
         }
-        self.indexed += 1;
+    }
+
+    /// Removes a literal id from the index. The caller passes the same
+    /// lexical form the id was indexed under; unknown ids are a no-op.
+    /// Token postings and exact entries that become empty are dropped so the
+    /// index does not accumulate dead keys.
+    pub fn unindex_literal(&mut self, id: TermId, lexical: &str) {
+        let tokens = tokenize(lexical);
+        for token in &tokens {
+            if let Some(posting) = self.postings.get_mut(token.as_str()) {
+                if let Ok(pos) = posting.binary_search(&id) {
+                    posting.remove(pos);
+                }
+                if posting.is_empty() {
+                    self.postings.remove(token.as_str());
+                }
+            }
+        }
+        let key = tokens.join(" ");
+        let mut removed = false;
+        if let Some(exact) = self.exact.get_mut(key.as_str()) {
+            if let Ok(pos) = exact.binary_search(&id) {
+                exact.remove(pos);
+                removed = true;
+            }
+            if exact.is_empty() {
+                self.exact.remove(key.as_str());
+            }
+        }
+        if removed {
+            self.indexed -= 1;
+        }
+    }
+
+    /// `true` if `id` is currently indexed under this lexical form.
+    pub fn is_indexed(&self, id: TermId, lexical: &str) -> bool {
+        self.exact
+            .get(normalize(lexical).as_str())
+            .is_some_and(|ids| ids.binary_search(&id).is_ok())
     }
 
     /// Literals whose normalized lexical form equals the normalized query.
@@ -189,5 +229,51 @@ mod tests {
     fn heap_bytes_nonzero_after_indexing() {
         assert!(build().heap_bytes() > 0);
         assert_eq!(build().len(), 4);
+    }
+
+    #[test]
+    fn index_literal_is_idempotent() {
+        let mut idx = build();
+        idx.index_literal(TermId(2), "2014");
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(1), TermId(2), TermId(3)]);
+        assert_eq!(idx.search_exact("2014"), &[TermId(2)]);
+    }
+
+    #[test]
+    fn out_of_order_indexing_keeps_postings_sorted() {
+        let mut idx = TextIndex::new();
+        idx.index_literal(TermId(9), "alpha 2014");
+        idx.index_literal(TermId(3), "beta 2014");
+        idx.index_literal(TermId(6), "2014");
+        // Conjunctive search binary-searches postings, so an unsorted
+        // posting would silently drop hits.
+        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(3), TermId(6), TermId(9)]);
+        assert_eq!(idx.search_all_tokens("beta 2014"), vec![TermId(3)]);
+    }
+
+    #[test]
+    fn unindex_removes_tokens_exact_and_count() {
+        let mut idx = build();
+        idx.unindex_literal(TermId(1), "October 2014");
+        assert_eq!(idx.len(), 3);
+        assert!(idx.search_all_tokens("october").is_empty());
+        assert!(idx.search_exact("october 2014").is_empty());
+        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(2), TermId(3)]);
+        assert!(!idx.is_indexed(TermId(1), "October 2014"));
+        assert!(idx.is_indexed(TermId(2), "2014"));
+        // Unindexing an id that was never indexed is a no-op.
+        idx.unindex_literal(TermId(42), "Germany");
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.search_exact("germany"), &[TermId(0)]);
+    }
+
+    #[test]
+    fn unindex_then_reindex_round_trips() {
+        let mut idx = build();
+        idx.unindex_literal(TermId(2), "2014");
+        idx.index_literal(TermId(2), "2014");
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(1), TermId(2), TermId(3)]);
     }
 }

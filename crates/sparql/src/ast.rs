@@ -135,6 +135,11 @@ pub enum AggFunc {
     Count,
     /// `COUNT(DISTINCT …)`.
     CountDistinct,
+    /// Internal: count of bindings that are *numeric* (the denominator of
+    /// `AVG`). Not parseable from query text and not part of
+    /// [`AggFunc::ALL`]; the sharded merge planner emits it to recombine
+    /// `AVG` as `SUM / COUNT_NUMERIC` across partial results.
+    CountNumeric,
 }
 
 impl AggFunc {
@@ -161,6 +166,7 @@ impl AggFunc {
             AggFunc::Max => "MAX",
             AggFunc::Avg => "AVG",
             AggFunc::Count | AggFunc::CountDistinct => "COUNT",
+            AggFunc::CountNumeric => "COUNT_NUMERIC",
         }
     }
 }

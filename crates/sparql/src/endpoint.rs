@@ -135,6 +135,7 @@ pub struct LocalEndpoint {
     graph: Graph,
     stats: Mutex<EndpointStats>,
     latency: Option<Duration>,
+    row_latency: Option<Duration>,
 }
 
 impl LocalEndpoint {
@@ -144,6 +145,7 @@ impl LocalEndpoint {
             graph,
             stats: Mutex::new(EndpointStats::default()),
             latency: None,
+            row_latency: None,
         }
     }
 
@@ -151,6 +153,16 @@ impl LocalEndpoint {
     /// or remote endpoint).
     pub fn with_latency(mut self, latency: Duration) -> Self {
         self.latency = Some(latency);
+        self
+    }
+
+    /// Adds an artificial per-result-row latency to every `SELECT`
+    /// (simulating a remote endpoint's response serialization and transfer
+    /// cost, which scales with the number of rows shipped). Combined with
+    /// [`LocalEndpoint::with_latency`] this models the classic
+    /// `round-trip + rows × transfer` cost of a network SPARQL endpoint.
+    pub fn with_row_latency(mut self, per_row: Duration) -> Self {
+        self.row_latency = Some(per_row);
         self
     }
 
@@ -181,6 +193,11 @@ impl SparqlEndpoint for LocalEndpoint {
         let start = Instant::now();
         self.pay_latency();
         let result = evaluate(&self.graph, query);
+        if let (Some(per_row), Ok(solutions)) = (self.row_latency, &result) {
+            if !solutions.is_empty() {
+                std::thread::sleep(per_row * solutions.len() as u32);
+            }
+        }
         let elapsed = start.elapsed();
         let mut stats = self.stats.lock().expect("stats mutex poisoned");
         stats.selects += 1;

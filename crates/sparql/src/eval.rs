@@ -890,9 +890,11 @@ impl Compiled {
 }
 
 /// Structural key for `DISTINCT` deduplication — avoids formatting values
-/// to strings on a hot path.
+/// to strings on a hot path. Shared with the sharded merge layer, which
+/// must deduplicate merged rows with exactly the semantics of local
+/// `DISTINCT`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum DedupKey {
+pub(crate) enum DedupKey {
     Unbound,
     Term(TermId),
     Number(u64),
@@ -901,7 +903,7 @@ enum DedupKey {
 }
 
 impl DedupKey {
-    fn of(cell: &Option<Value>) -> DedupKey {
+    pub(crate) fn of(cell: &Option<Value>) -> DedupKey {
         match cell {
             None => DedupKey::Unbound,
             Some(Value::Term(id)) => DedupKey::Term(*id),
@@ -985,6 +987,7 @@ impl<'a> GroupContext<'a> {
         match func {
             AggFunc::Count => Some(Value::Number(count as f64)),
             AggFunc::CountDistinct => Some(Value::Number(distinct.len() as f64)),
+            AggFunc::CountNumeric => Some(Value::Number(numeric_count as f64)),
             // Unbound (not 0) when no binding was numeric, matching
             // Avg/Min/Max — a spurious `SUM = 0` would satisfy HAVING
             // filters over groups that carry no numeric data at all.

@@ -55,6 +55,7 @@ pub mod expr;
 pub mod parser;
 pub mod pretty;
 pub mod results_io;
+pub mod sharded;
 pub mod tracing;
 pub mod value;
 
@@ -72,5 +73,6 @@ pub use eval::{evaluate, evaluate_ask, evaluate_with, explain, PlanMode};
 pub use parser::parse_query;
 pub use pretty::query_to_sparql;
 pub use results_io::{to_csv, to_tsv};
+pub use sharded::{canonical_order, reference_solutions, Route, ShardedEndpoint};
 pub use tracing::TracingEndpoint;
 pub use value::{Solutions, Value};

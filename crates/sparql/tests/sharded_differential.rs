@@ -1,0 +1,376 @@
+//! Differential proof that [`ShardedEndpoint`] is byte-identical to
+//! [`LocalEndpoint`] across the figure workload datasets and a seeded
+//! property harness.
+//!
+//! Scatter-routed queries are compared against the canonical reference
+//! ([`reference_solutions`]: local evaluation under the same deterministic
+//! total order, so ORDER BY + LIMIT tie boundaries are well-defined);
+//! replica-routed queries — including invalid ones — must return the raw
+//! local result or the raw local error, verbatim.
+
+use re2x_datagen::common::Dataset;
+use re2x_datagen::{dbpedia, eurostat, production, running};
+use re2x_sparql::{
+    parse_query, reference_solutions, CachingEndpoint, LocalEndpoint, Query, Route,
+    ShardedEndpoint, SparqlEndpoint, TracingEndpoint,
+};
+use re2x_testkit::TestRng;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The (per-dataset) measure predicate — the one Dataset field the
+/// generators don't expose directly.
+fn measure_predicate(dataset: &Dataset) -> String {
+    let local = match dataset.name.as_str() {
+        "running-example" | "eurostat" => "numApplicants",
+        "production" => "amount",
+        "dbpedia" => "playCount",
+        other => panic!("unknown dataset {other}"),
+    };
+    let dim = &dataset.dimension_predicates[0];
+    let ns = &dim[..dim.rfind('/').expect("namespace separator") + 1];
+    format!("{ns}{local}")
+}
+
+/// The figure-workload query battery for one dataset: every mergeable
+/// shape the merge planner claims (GROUP BY with SUM/AVG/COUNT/MIN/MAX,
+/// roll-up paths, HAVING, DISTINCT, ORDER BY + LIMIT/OFFSET, class probe)
+/// plus the fallback shapes (schema discovery, COUNT DISTINCT, unordered
+/// LIMIT, invalid queries).
+fn workload(dataset: &Dataset) -> Vec<String> {
+    let class = &dataset.observation_class;
+    let measure = measure_predicate(dataset);
+    let dim0 = &dataset.dimension_predicates[0];
+    let dim1 = &dataset.dimension_predicates[dataset.dimension_predicates.len() - 1];
+    let rollup = &dataset.rollup_predicates[0];
+    let label = &dataset.label_predicate;
+    let mut queries = vec![
+        // Aggregation pipeline shapes.
+        format!(
+            "SELECT ?d (SUM(?m) AS ?total) WHERE {{ ?o <{dim0}> ?d . ?o <{measure}> ?m }}
+             GROUP BY ?d ORDER BY DESC(?total) ?d"
+        ),
+        format!(
+            "SELECT ?a ?b (AVG(?m) AS ?mean) (COUNT(?o) AS ?n) WHERE {{
+                ?o <{dim0}> ?a . ?o <{dim1}> ?b . ?o <{measure}> ?m
+             }} GROUP BY ?a ?b ORDER BY ?a ?b"
+        ),
+        format!(
+            "SELECT ?up (SUM(?m) AS ?total) (MIN(?m) AS ?lo) (MAX(?m) AS ?hi) WHERE {{
+                ?o <{dim0}> / <{rollup}> ?up . ?o <{measure}> ?m
+             }} GROUP BY ?up ORDER BY ?up"
+        ),
+        format!(
+            "SELECT (SUM(?m) AS ?total) (AVG(?m) AS ?mean) (COUNT(?o) AS ?n)
+             WHERE {{ ?o a <{class}> . ?o <{measure}> ?m }}"
+        ),
+        format!(
+            "SELECT ?d (SUM(?m) AS ?total) WHERE {{ ?o <{dim0}> ?d . ?o <{measure}> ?m }}
+             GROUP BY ?d HAVING (COUNT(?o) > 2) ORDER BY ?d"
+        ),
+        // Fine-grained grouping: one group per observation (row-heavy).
+        format!(
+            "SELECT ?o (SUM(?m) AS ?total) WHERE {{ ?o <{measure}> ?m }}
+             GROUP BY ?o ORDER BY DESC(?total) ?o LIMIT 25"
+        ),
+        // Non-aggregate scatter shapes.
+        format!("SELECT DISTINCT ?d WHERE {{ ?o <{dim0}> ?d }} ORDER BY ?d"),
+        format!(
+            "SELECT ?o ?m WHERE {{ ?o <{measure}> ?m }} ORDER BY DESC(?m) ?o LIMIT 10 OFFSET 3"
+        ),
+        format!(
+            "SELECT ?o ?d ?l WHERE {{ ?o <{dim0}> ?d . ?d <{label}> ?l }} ORDER BY ?l ?o"
+        ),
+        format!("SELECT (COUNT(?o) AS ?n) WHERE {{ ?o a <{class}> }}"),
+        // Replica-fallback shapes.
+        format!("SELECT ?member ?l WHERE {{ ?member <{label}> ?l }} ORDER BY ?l ?member"),
+        format!("SELECT (COUNT(DISTINCT ?d) AS ?n) WHERE {{ ?o <{dim0}> ?d }}"),
+        format!("SELECT ?o WHERE {{ ?o <{dim0}> ?d }} LIMIT 5"),
+        format!(
+            "SELECT ?d WHERE {{ ?o <{dim0}> ?d . ?o <{measure}> ?m }}
+             GROUP BY ?d HAVING (COUNT(DISTINCT ?o) > 1) ORDER BY ?d"
+        ),
+        // Invalid shapes — the replica must reproduce the exact error.
+        format!(
+            "SELECT ?o (SUM(?m) AS ?t) WHERE {{ ?o <{measure}> ?m }} GROUP BY ?zzz"
+        ),
+        format!("SELECT ?d WHERE {{ ?o <{dim0}> ?d }} ORDER BY ?nope"),
+    ];
+    if dataset.dimension_predicates.len() > 2 {
+        let dim2 = &dataset.dimension_predicates[1];
+        queries.push(format!(
+            "SELECT ?a (AVG(?m) AS ?mean) WHERE {{
+                ?o <{dim2}> ?a . ?o <{measure}> ?m
+             }} GROUP BY ?a HAVING (AVG(?m) >= 1 && SUM(?m) > 10) ORDER BY DESC(?mean) ?a LIMIT 7"
+        ));
+    }
+    queries
+}
+
+/// How solution numbers are compared. `Exact` demands byte identity — the
+/// guarantee for integer-valued measures, where f64 addition is exact and
+/// the partial-sum merge cannot re-associate any rounding. `Ulp` allows a
+/// relative error of a few last-place units for float-valued measures
+/// (the production dataset), where summation order is unspecified even
+/// between two local evaluations over differently-built indexes.
+#[derive(Clone, Copy, PartialEq)]
+enum Numeric {
+    Exact,
+    Ulp,
+}
+
+fn results_match(
+    a: &Result<re2x_sparql::Solutions, re2x_sparql::SparqlError>,
+    b: &Result<re2x_sparql::Solutions, re2x_sparql::SparqlError>,
+    numeric: Numeric,
+) -> bool {
+    if numeric == Numeric::Exact {
+        return a == b;
+    }
+    match (a, b) {
+        (Err(x), Err(y)) => x == y,
+        (Ok(x), Ok(y)) => {
+            use re2x_sparql::Value;
+            x.vars == y.vars
+                && x.rows.len() == y.rows.len()
+                && x.rows.iter().zip(&y.rows).all(|(ra, rb)| {
+                    ra.len() == rb.len()
+                        && ra.iter().zip(rb).all(|(ca, cb)| match (ca, cb) {
+                            (Some(Value::Number(p)), Some(Value::Number(q))) => {
+                                p == q || (p - q).abs() <= 1e-9 * p.abs().max(q.abs())
+                            }
+                            _ => ca == cb,
+                        })
+                })
+        }
+        _ => false,
+    }
+}
+
+/// Asserts one endpoint/query pair is identical to local evaluation,
+/// branching on the decomposer's own routing decision.
+fn assert_identical(
+    sharded: &ShardedEndpoint,
+    local: &LocalEndpoint,
+    query: &Query,
+    numeric: Numeric,
+    context: &str,
+) {
+    match sharded.route(query) {
+        Route::Scatter => {
+            let got = sharded.select(query);
+            let want = reference_solutions(local, query);
+            assert!(
+                results_match(&got, &want, numeric),
+                "scatter mismatch: {context}\n got: {got:?}\nwant: {want:?}"
+            );
+        }
+        Route::Replica => {
+            let got = sharded.select(query);
+            let want = local.select(query);
+            assert!(
+                results_match(&got, &want, numeric),
+                "replica mismatch: {context}\n got: {got:?}\nwant: {want:?}"
+            );
+        }
+    }
+}
+
+fn run_workload(dataset: &Dataset, numeric: Numeric) {
+    run_workload_at(dataset, numeric, &SHARD_COUNTS);
+}
+
+fn run_workload_at(dataset: &Dataset, numeric: Numeric, shard_counts: &[usize]) {
+    let local = LocalEndpoint::new(dataset.graph.clone());
+    let queries = workload(dataset);
+    for &n in shard_counts {
+        let sharded = ShardedEndpoint::with_observation_class(
+            dataset.graph.clone(),
+            &dataset.observation_class,
+            n,
+        );
+        for text in &queries {
+            let query = parse_query(text).expect("workload query parses");
+            assert_identical(
+                &sharded,
+                &local,
+                &query,
+                numeric,
+                &format!("{} n={n}: {text}", dataset.name),
+            );
+        }
+        // The battery must actually exercise both paths.
+        assert!(sharded.scatter_count() >= 10, "{} n={n} scatters", dataset.name);
+        assert!(sharded.fallback_count() >= 4, "{} n={n} fallbacks", dataset.name);
+    }
+}
+
+#[test]
+fn running_example_workload_is_byte_identical() {
+    run_workload(&running::generate(), Numeric::Exact);
+}
+
+#[test]
+fn eurostat_workload_is_byte_identical() {
+    run_workload(&eurostat::generate(400, 7), Numeric::Exact);
+}
+
+#[test]
+fn production_workload_matches_local_to_float_ulp() {
+    // The production measure is float-valued; partial-sum merges
+    // re-associate additions, so identity holds up to last-place units.
+    run_workload(&production::generate(300, 11), Numeric::Ulp);
+}
+
+#[test]
+fn dbpedia_workload_is_byte_identical() {
+    // The dbpedia schema alone is ~250k triples (87k members); restrict the
+    // shard sweep — the other three datasets cover the full {1,2,4,8} range.
+    run_workload_at(&dbpedia::generate(300, 13), Numeric::Exact, &[1, 4]);
+}
+
+#[test]
+fn full_stack_composition_is_byte_identical() {
+    // Caching over tracing over sharded: the decorator stack the session
+    // layer composes in production.
+    let dataset = eurostat::generate(300, 21);
+    let local = LocalEndpoint::new(dataset.graph.clone());
+    let tracer = re2x_obs::Tracer::enabled();
+    let stack = CachingEndpoint::new(TracingEndpoint::new(
+        ShardedEndpoint::with_observation_class(dataset.graph.clone(), &dataset.observation_class, 4),
+        tracer,
+    ));
+    let queries = workload(&dataset);
+    for round in 0..2 {
+        for text in &queries {
+            let query = parse_query(text).expect("parse");
+            let got = stack.select(&query);
+            // The stack canonicalizes scatter results; compare accordingly.
+            let sharded_probe = ShardedEndpoint::with_observation_class(
+                dataset.graph.clone(),
+                &dataset.observation_class,
+                4,
+            );
+            match sharded_probe.route(&query) {
+                Route::Scatter => {
+                    assert_eq!(got, reference_solutions(&local, &query), "round {round}: {text}");
+                }
+                Route::Replica => {
+                    assert_eq!(got, local.select(&query), "round {round}: {text}");
+                }
+            }
+        }
+    }
+    // Second round was answered from cache.
+    assert!(stack.stats().cache_hits >= queries.iter().filter(|t| parse_query(t).is_ok()).count() as u64 - 2);
+}
+
+// ---- seeded property harness ----------------------------------------------
+
+/// Builds a random query over the eurostat schema. Mixes mergeable and
+/// fallback shapes; measure values are integers, so partial SUM/AVG merges
+/// are exact in f64 and byte-identical to local evaluation.
+fn random_query(rng: &mut TestRng, dataset: &Dataset) -> String {
+    let measure = measure_predicate(dataset);
+    let dims = &dataset.dimension_predicates;
+    let n_dims = rng.gen_range(1..dims.len().min(3) + 1);
+    let mut chosen: Vec<&String> = Vec::new();
+    while chosen.len() < n_dims {
+        let d = rng.pick(dims);
+        if !chosen.contains(&d) {
+            chosen.push(d);
+        }
+    }
+    let mut wher: Vec<String> = chosen
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            if rng.gen_bool(0.25) {
+                let rollup = rng.pick(&dataset.rollup_predicates);
+                format!("?o <{d}> / <{rollup}> ?d{i}")
+            } else {
+                format!("?o <{d}> ?d{i}")
+            }
+        })
+        .collect();
+    let uses_measure = rng.gen_bool(0.8);
+    if uses_measure {
+        wher.push(format!("?o <{measure}> ?m"));
+    }
+    if rng.gen_bool(0.3) {
+        wher.push(format!("?o a <{}>", dataset.observation_class));
+    }
+    let wher = wher.join(" . ");
+
+    if uses_measure && rng.gen_bool(0.7) {
+        // Aggregate query over the chosen dimensions.
+        let group_vars: Vec<String> = (0..n_dims).map(|i| format!("?d{i}")).collect();
+        let funcs = ["SUM", "AVG", "MIN", "MAX", "COUNT"];
+        let n_aggs = rng.gen_range(1..4usize);
+        let aggs: Vec<String> = (0..n_aggs)
+            .map(|i| format!("({}(?m) AS ?agg{i})", rng.pick(&funcs)))
+            .collect();
+        let mut text = format!(
+            "SELECT {} {} WHERE {{ {wher} }} GROUP BY {}",
+            group_vars.join(" "),
+            aggs.join(" "),
+            group_vars.join(" ")
+        );
+        if rng.gen_bool(0.3) {
+            let threshold = rng.gen_range(0..2000u32);
+            let func = rng.pick(&funcs);
+            text.push_str(&format!(" HAVING ({func}(?m) >= {threshold})"));
+        }
+        if rng.gen_bool(0.5) {
+            let dir = if rng.gen_bool(0.5) { "DESC(?agg0)" } else { "?d0" };
+            text.push_str(&format!(" ORDER BY {dir}"));
+            if rng.gen_bool(0.5) {
+                text.push_str(&format!(" LIMIT {}", rng.gen_range(1..20u32)));
+            }
+        }
+        text
+    } else {
+        // Plain pattern query.
+        let distinct = if rng.gen_bool(0.4) { "DISTINCT " } else { "" };
+        let mut projected: Vec<String> = (0..n_dims).map(|i| format!("?d{i}")).collect();
+        if distinct.is_empty() {
+            projected.insert(0, "?o".to_owned());
+        }
+        let mut text = format!("SELECT {distinct}{} WHERE {{ {wher} }}", projected.join(" "));
+        if rng.gen_bool(0.6) {
+            text.push_str(&format!(" ORDER BY {}", projected.join(" ")));
+            if rng.gen_bool(0.4) {
+                text.push_str(&format!(" LIMIT {}", rng.gen_range(1..30u32)));
+            }
+        } else if rng.gen_bool(0.15) {
+            // Unordered LIMIT: must fall back, still identical via replica.
+            text.push_str(&format!(" LIMIT {}", rng.gen_range(1..10u32)));
+        }
+        text
+    }
+}
+
+#[test]
+fn property_random_queries_are_byte_identical_across_shard_counts() {
+    let dataset = eurostat::generate(400, 99);
+    let local = LocalEndpoint::new(dataset.graph.clone());
+    let sharded: Vec<ShardedEndpoint> = SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            ShardedEndpoint::with_observation_class(
+                dataset.graph.clone(),
+                &dataset.observation_class,
+                n,
+            )
+        })
+        .collect();
+    re2x_testkit::check("sharded_differential", |rng| {
+        let text = random_query(rng, &dataset);
+        let query = parse_query(&text).expect("generated query parses");
+        for endpoint in &sharded {
+            assert_identical(endpoint, &local, &query, Numeric::Exact, &text);
+        }
+    });
+    // The harness must hit the scatter path a meaningful number of times.
+    assert!(sharded[2].scatter_count() > 0, "harness never scattered");
+}

@@ -1,0 +1,118 @@
+//! Property suite for [`EndpointStats::merge`]: the sharded gather, the
+//! async fan-out and the decorator stack all fold per-backend statistics in
+//! whatever order their threads finish, so the fold must form a commutative
+//! monoid — associative, commutative, with the default value as identity —
+//! including the latency-histogram buckets. `EndpointStats` is `Eq`, so the
+//! laws are checked with direct equality (bucket-exact, not approximate).
+
+use re2x_sparql::EndpointStats;
+use re2x_testkit::TestRng;
+use std::time::Duration;
+
+/// A random statistics record, including a random latency distribution
+/// (zero durations, sub-microsecond, and multi-second outliers all land in
+/// different histogram buckets).
+fn random_stats(rng: &mut TestRng) -> EndpointStats {
+    let mut stats = EndpointStats {
+        selects: rng.gen_range(0..1000u64),
+        asks: rng.gen_range(0..100u64),
+        keyword_searches: rng.gen_range(0..100u64),
+        rows_returned: rng.gen_range(0..1_000_000u64),
+        busy: Duration::from_nanos(rng.gen_range(0..5_000_000_000u64)),
+        cache_hits: rng.gen_range(0..500u64),
+        cache_misses: rng.gen_range(0..500u64),
+        cache_evictions: rng.gen_range(0..50u64),
+        ..EndpointStats::default()
+    };
+    for _ in 0..rng.gen_range(0..40u32) {
+        let nanos = match rng.gen_range(0..4u32) {
+            0 => 0,
+            1 => rng.gen_range(0..1_000u64),
+            2 => rng.gen_range(0..10_000_000u64),
+            _ => rng.gen_range(0..60_000_000_000u64),
+        };
+        stats.latency.record(Duration::from_nanos(nanos));
+    }
+    stats
+}
+
+fn merged(a: &EndpointStats, b: &EndpointStats) -> EndpointStats {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+#[test]
+fn merge_is_commutative() {
+    re2x_testkit::check("stats_merge_commutative", |rng| {
+        let a = random_stats(rng);
+        let b = random_stats(rng);
+        assert_eq!(merged(&a, &b), merged(&b, &a));
+    });
+}
+
+#[test]
+fn merge_is_associative() {
+    re2x_testkit::check("stats_merge_associative", |rng| {
+        let a = random_stats(rng);
+        let b = random_stats(rng);
+        let c = random_stats(rng);
+        assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    });
+}
+
+#[test]
+fn default_is_the_identity() {
+    re2x_testkit::check("stats_merge_identity", |rng| {
+        let a = random_stats(rng);
+        let zero = EndpointStats::default();
+        assert_eq!(merged(&a, &zero), a);
+        assert_eq!(merged(&zero, &a), a);
+    });
+}
+
+#[test]
+fn merge_preserves_histogram_counts_and_buckets() {
+    re2x_testkit::check("stats_merge_histogram", |rng| {
+        let a = random_stats(rng);
+        let b = random_stats(rng);
+        let ab = merged(&a, &b);
+        assert_eq!(ab.latency.count(), a.latency.count() + b.latency.count());
+        // Bucket-wise: every merged bucket is the sum of the operands'
+        // (buckets() yields only non-empty buckets, so key by bound).
+        let buckets_of = |s: &EndpointStats| -> std::collections::BTreeMap<Duration, u64> {
+            s.latency.buckets().collect()
+        };
+        let (ba, bb, bab) = (buckets_of(&a), buckets_of(&b), buckets_of(&ab));
+        let bounds: std::collections::BTreeSet<Duration> =
+            ba.keys().chain(bb.keys()).chain(bab.keys()).copied().collect();
+        for bound in bounds {
+            let sum = ba.get(&bound).copied().unwrap_or(0) + bb.get(&bound).copied().unwrap_or(0);
+            assert_eq!(
+                bab.get(&bound).copied().unwrap_or(0),
+                sum,
+                "bucket {bound:?}"
+            );
+        }
+        assert_eq!(ab.total_queries(), a.total_queries() + b.total_queries());
+    });
+}
+
+#[test]
+fn shard_stats_fold_into_one_report_in_any_order() {
+    // The concrete use: folding per-shard stats from a scatter. Any
+    // permutation of the fold yields the same report.
+    re2x_testkit::check("stats_merge_fold_order", |rng| {
+        let shards: Vec<EndpointStats> = (0..rng.gen_range(2..6u32))
+            .map(|_| random_stats(rng))
+            .collect();
+        let forward = shards
+            .iter()
+            .fold(EndpointStats::default(), |acc, s| merged(&acc, s));
+        let backward = shards
+            .iter()
+            .rev()
+            .fold(EndpointStats::default(), |acc, s| merged(&acc, s));
+        assert_eq!(forward, backward);
+    });
+}

@@ -155,7 +155,11 @@ mod tests {
         let found = interesting_aggregates(&ep, &schema, 3).expect("explore");
         assert_eq!(found.len(), 3);
         assert_eq!(found[0].level_path, vec!["http://ex/skewed".to_owned()]);
-        assert!(found[0].score > 0.9, "SUM over the skewed dim: {}", found[0].score);
+        assert!(
+            found[0].score > 0.9,
+            "SUM over the skewed dim: {}",
+            found[0].score
+        );
         // the proposed query executes and has one row per member
         let solutions = ep.select(&found[0].query).expect("runs");
         assert_eq!(solutions.len(), found[0].groups);

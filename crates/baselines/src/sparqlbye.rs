@@ -15,9 +15,7 @@
 //! `SELECT * WHERE { … }` with one disconnected variable per example
 //! component — precisely the Figure 10a behaviour RE²xOLAP improves on.
 
-use re2x_sparql::{
-    PatternElement, Query, SparqlEndpoint, SparqlError, TermPattern, TriplePattern,
-};
+use re2x_sparql::{PatternElement, Query, SparqlEndpoint, SparqlError, TermPattern, TriplePattern};
 
 /// Result of a baseline run: the synthesized queries plus the qualitative
 /// flags the Figure 10 comparison reports.

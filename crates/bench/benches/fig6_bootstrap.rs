@@ -15,7 +15,10 @@ fn main() {
     let cases: Vec<(&str, re2x_datagen::Dataset)> = vec![
         ("eurostat_2k", re2x_datagen::eurostat::generate(2_000, 42)),
         ("eurostat_8k", re2x_datagen::eurostat::generate(8_000, 42)),
-        ("production_2k", re2x_datagen::production::generate(2_000, 42)),
+        (
+            "production_2k",
+            re2x_datagen::production::generate(2_000, 42),
+        ),
         ("dbpedia_2k", re2x_datagen::dbpedia::generate(2_000, 42)),
     ];
     for (name, mut dataset) in cases {

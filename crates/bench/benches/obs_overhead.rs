@@ -66,9 +66,7 @@ fn main() {
         "disabled tracer allocated {} times over {ITERS} iterations",
         after - before
     );
-    println!(
-        "obs/disabled_no_alloc: 0 allocations across {ITERS} span+query+cache iterations ✓"
-    );
+    println!("obs/disabled_no_alloc: 0 allocations across {ITERS} span+query+cache iterations ✓");
 
     let group = Group::new("obs");
     group.bench("disabled_span_pair_1k", || {
@@ -78,18 +76,14 @@ fn main() {
             disabled.record_query(QueryKind::Select, Duration::from_micros(i % 64));
         }
     });
-    group.bench_with_setup(
-        "enabled_span_pair_1k",
-        Tracer::enabled,
-        |tracer| {
-            for i in 0..1_000u64 {
-                let _outer = tracer.span("bench.outer");
-                let _inner = tracer.span("bench.inner");
-                tracer.record_query(QueryKind::Select, Duration::from_micros(i % 64));
-            }
-            black_box(tracer.events().len())
-        },
-    );
+    group.bench_with_setup("enabled_span_pair_1k", Tracer::enabled, |tracer| {
+        for i in 0..1_000u64 {
+            let _outer = tracer.span("bench.outer");
+            let _inner = tracer.span("bench.inner");
+            tracer.record_query(QueryKind::Select, Duration::from_micros(i % 64));
+        }
+        black_box(tracer.events().len())
+    });
     group.bench_with_setup(
         "enabled_events_export_1k",
         || {

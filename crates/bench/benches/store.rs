@@ -45,7 +45,9 @@ fn main() {
         n
     });
 
-    group.bench("scan_by_predicate_object", || g.subjects(dest, member0).len());
+    group.bench("scan_by_predicate_object", || {
+        g.subjects(dest, member0).len()
+    });
 
     group.bench("text_exact_lookup", || {
         g.literals_matching_exact("Member 42").len()

@@ -13,10 +13,10 @@
 
 use crate::env::PreparedDataset;
 use crate::report::{fmt_duration, mean, Table};
+use re2x_cube::patterns;
 use re2x_datagen::example_workload_on;
 use re2x_rdf::text::normalize;
 use re2x_sparql::{evaluate_with, parse_query, PlanMode, Query, SparqlEndpoint};
-use re2x_cube::patterns;
 use re2xolap::{reolap, ReolapConfig};
 use std::time::{Duration, Instant};
 
@@ -115,24 +115,23 @@ pub fn ablation_vgraph(prepared: &PreparedDataset, seed: u64) -> String {
     for tuple in &workload {
         let keyword = &tuple[0];
         // resolve keyword to a member first (shared cost, not measured)
-        let hits =
-            re2xolap::matches(&prepared.endpoint, schema, keyword, re2xolap::MatchMode::Exact)
-                .expect("matching");
+        let hits = re2xolap::matches(
+            &prepared.endpoint,
+            schema,
+            keyword,
+            re2xolap::MatchMode::Exact,
+        )
+        .expect("matching");
         let Some(hit) = hits.first() else { continue };
         let member = hit.binding.member_iri.clone();
 
         let start = Instant::now();
-        let levels = re2xolap::member_levels(&prepared.endpoint, schema, &member)
-            .expect("vgraph lookup");
+        let levels =
+            re2xolap::member_levels(&prepared.endpoint, schema, &member).expect("vgraph lookup");
         with_vgraph.push(start.elapsed());
 
         let start = Instant::now();
-        let paths = member_paths_direct(
-            &prepared.endpoint,
-            &schema.observation_class,
-            &member,
-            4,
-        );
+        let paths = member_paths_direct(&prepared.endpoint, &schema.observation_class, &member, 4);
         direct.push(start.elapsed());
         assert!(
             !levels.is_empty() && !paths.is_empty(),
@@ -178,7 +177,10 @@ pub fn ablation_vgraph(prepared: &PreparedDataset, seed: u64) -> String {
             format!("Virtual Schema Graph ({} paths)", refinements.len()),
             fmt_duration(dis_time),
         ]);
-        t2.row(["re-crawling the store (≈ bootstrap)".to_owned(), fmt_duration(crawl_time)]);
+        t2.row([
+            "re-crawling the store (≈ bootstrap)".to_owned(),
+            fmt_duration(crawl_time),
+        ]);
         out.push('\n');
         out.push_str(&t2.render());
     }
@@ -242,7 +244,11 @@ pub fn ablation_text_index(prepared: &PreparedDataset, seed: u64) -> String {
             }
         }
         scanned.push(start.elapsed());
-        assert_eq!(via_index.len(), via_scan.len(), "both find the same literals");
+        assert_eq!(
+            via_index.len(),
+            via_scan.len(),
+            "both find the same literals"
+        );
     }
     let mut t = Table::new(["strategy", "avg keyword lookup", "samples"]);
     t.row([
@@ -277,8 +283,7 @@ pub fn ablation_endpoint_latency(prepared: &PreparedDataset) -> String {
         let endpoint = if latency_ms == 0 {
             LocalEndpoint::new(graph.clone())
         } else {
-            LocalEndpoint::new(graph.clone())
-                .with_latency(Duration::from_millis(latency_ms))
+            LocalEndpoint::new(graph.clone()).with_latency(Duration::from_millis(latency_ms))
         };
         let report = bootstrap(&endpoint, &config).expect("bootstrap");
         t.row([
@@ -311,7 +316,10 @@ pub fn ablation_planner(prepared: &PreparedDataset) -> String {
     let query = parse_query(&text).expect("static query parses");
     let graph = prepared.endpoint.graph();
     let mut t = Table::new(["planner", "execution time", "rows"]);
-    for (name, mode) in [("greedy (default)", PlanMode::Greedy), ("in-order", PlanMode::InOrder)] {
+    for (name, mode) in [
+        ("greedy (default)", PlanMode::Greedy),
+        ("in-order", PlanMode::InOrder),
+    ] {
         let start = Instant::now();
         let solutions = evaluate_with(graph, &query, mode).expect("query runs");
         let elapsed: Duration = start.elapsed();

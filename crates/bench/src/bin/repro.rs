@@ -26,8 +26,20 @@ struct Args {
 }
 
 const ALL: [&str; 14] = [
-    "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig8c", "fig9", "fig10", "ablations",
-    "scaling", "latency", "trace", "sharding",
+    "table1",
+    "table2",
+    "table3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig8c",
+    "fig9",
+    "fig10",
+    "ablations",
+    "scaling",
+    "latency",
+    "trace",
+    "sharding",
 ];
 
 fn parse_args() -> Args {
@@ -54,13 +66,10 @@ fn parse_args() -> Args {
                 args.scale_name = v;
             }
             "--seed" => {
-                args.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed expects an integer");
-                        std::process::exit(2);
-                    });
+                args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed expects an integer");
+                    std::process::exit(2);
+                });
             }
             "--out" => {
                 args.out = PathBuf::from(it.next().unwrap_or_else(|| {
@@ -69,7 +78,9 @@ fn parse_args() -> Args {
                 }));
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]");
+                eprintln!(
+                    "usage: repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]"
+                );
                 eprintln!("experiments: {}", ALL.join(" "));
                 std::process::exit(0);
             }
@@ -91,9 +102,17 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let wants = |name: &str| args.experiments.contains(name);
-    let needs_datasets = ["table3", "fig6", "fig7", "fig8", "fig8c", "fig9", "ablations"]
-        .iter()
-        .any(|e| wants(e));
+    let needs_datasets = [
+        "table3",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig8c",
+        "fig9",
+        "ablations",
+    ]
+    .iter()
+    .any(|e| wants(e));
 
     println!(
         "RE2xOLAP reproduction — scale={}, seed={}, writing to {}\n",
@@ -103,7 +122,12 @@ fn main() {
     );
 
     if wants("table1") {
-        emit(&args.out, "table1", "Table 1: capability comparison", &figures::table1());
+        emit(
+            &args.out,
+            "table1",
+            "Table 1: capability comparison",
+            &figures::table1(),
+        );
     }
     if wants("table2") {
         emit(
@@ -144,10 +168,8 @@ fn main() {
         // pipeline (the paper's Figs. 6–9 observation), and the async
         // comparison row measures how much of it the ticket fan-out
         // reclaims.
-        let report = re2x_bench::trace::run_with_async_comparison(
-            std::time::Duration::from_millis(2),
-            8,
-        );
+        let report =
+            re2x_bench::trace::run_with_async_comparison(std::time::Duration::from_millis(2), 8);
         emit(
             &args.out,
             "trace",
@@ -177,7 +199,11 @@ fn main() {
         // 2 ms round-trip the trace experiment injects plus a per-row
         // transfer cost; smoke runs a smaller fact table so the sweep stays
         // fast, full uses the headline size.
-        let observations = if args.scale_name == "smoke" { 4_000 } else { 12_000 };
+        let observations = if args.scale_name == "smoke" {
+            4_000
+        } else {
+            12_000
+        };
         eprintln!("running sharding sweep on {observations} eurostat observations …");
         let report = re2x_bench::sharding::run(observations, args.seed);
         emit(
@@ -202,7 +228,9 @@ fn main() {
     // Prepare the needed datasets (generation + bootstrap; bootstrap time
     // is itself the Figure 6c measurement). fig8c and the ablations run on
     // Eurostat only.
-    let needs_all = ["table3", "fig6", "fig7", "fig8", "fig9"].iter().any(|e| wants(e));
+    let needs_all = ["table3", "fig6", "fig7", "fig8", "fig9"]
+        .iter()
+        .any(|e| wants(e));
     let kinds: &[DatasetKind] = if needs_all {
         &DatasetKind::ALL
     } else {
@@ -311,6 +339,11 @@ fn main() {
         body.push_str(&ablation::ablation_planner(eurostat));
         body.push_str("\nA5 — endpoint latency dominates bootstrap (§7.1):\n\n");
         body.push_str(&ablation::ablation_endpoint_latency(eurostat));
-        emit(&args.out, "ablations", "Ablation studies (DESIGN.md §4)", &body);
+        emit(
+            &args.out,
+            "ablations",
+            "Ablation studies (DESIGN.md §4)",
+            &body,
+        );
     }
 }

@@ -9,8 +9,8 @@ use crate::report::{fmt_bytes, fmt_duration, mean, Table};
 use re2x_baselines::TABLE1;
 use re2x_cube::{bootstrap, BootstrapConfig};
 use re2x_datagen::{example_workload_on, running};
-use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
 use re2x_sparql::AggFunc;
+use re2x_sparql::{LocalEndpoint, SparqlEndpoint};
 use re2xolap::{
     refine::subset::DEFAULT_PERCENTILES, reolap, OlapQuery, RefineOp, ReolapConfig, Session,
     SessionConfig,
@@ -87,9 +87,7 @@ pub fn table2() -> String {
             let label = |col: &str| -> String {
                 let value = solutions.value(row, col);
                 match value {
-                    Some(re2x_sparql::Value::Term(id)) => {
-                        member_label(&endpoint, *id)
-                    }
+                    Some(re2x_sparql::Value::Term(id)) => member_label(&endpoint, *id),
                     Some(v) => v.string_form(endpoint.graph()),
                     None => "—".to_owned(),
                 }
@@ -227,7 +225,10 @@ impl Fig7Series {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.interpretations).sum::<usize>() as f64
+        self.samples
+            .iter()
+            .map(|s| s.interpretations)
+            .sum::<usize>() as f64
             / self.samples.len() as f64
     }
 }
@@ -390,7 +391,8 @@ pub fn fig8_measure(
             #[allow(clippy::needless_range_loop)] // depth doubles as loop state
             for depth in 0..3 {
                 if depth > 0 {
-                    let refinements = re2xolap::refine::disaggregate::disaggregate(schema, &current);
+                    let refinements =
+                        re2xolap::refine::disaggregate::disaggregate(schema, &current);
                     let Some(r) = refinements.into_iter().next() else {
                         break;
                     };
@@ -477,7 +479,12 @@ pub fn fig8c(prepared: &PreparedDataset, seed: u64) -> String {
         &prepared.report.schema,
         SessionConfig::default(),
     );
-    let mut t = Table::new(["interaction", "operation", "paths offered (cum.)", "tuples (cum.)"]);
+    let mut t = Table::new([
+        "interaction",
+        "operation",
+        "paths offered (cum.)",
+        "tuples (cum.)",
+    ]);
     let outcome = session.synthesize(&example).expect("synthesis");
     let mut record = |session: &Session, step: usize, op: &str| {
         let m = session.metrics();
@@ -653,7 +660,11 @@ pub fn latency_profile(seed: u64) -> String {
     synthesize_all();
     record("synthesis (warm)");
 
-    format!("injected endpoint latency: {}\n\n{}", fmt_duration(injected), t.render())
+    format!(
+        "injected endpoint latency: {}\n\n{}",
+        fmt_duration(injected),
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------------

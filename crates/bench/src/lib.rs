@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # re2x-bench
 //!
 //! The experiment harness: regenerates every table and figure of the

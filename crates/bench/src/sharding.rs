@@ -19,8 +19,7 @@
 use crate::report::{fmt_duration, Table};
 use re2x_obs::{prometheus_exposition, Metrics};
 use re2x_sparql::{
-    parse_query, reference_solutions, LocalEndpoint, Query, Route, ShardedEndpoint,
-    SparqlEndpoint,
+    parse_query, reference_solutions, LocalEndpoint, Query, Route, ShardedEndpoint, SparqlEndpoint,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -84,12 +83,20 @@ impl ShardingReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"injected_latency_us\": {},", self.injected.as_micros());
+        let _ = writeln!(
+            out,
+            "  \"injected_latency_us\": {},",
+            self.injected.as_micros()
+        );
         let _ = writeln!(out, "  \"row_latency_ns\": {},", self.per_row.as_nanos());
         let _ = writeln!(out, "  \"observations\": {},", self.observations);
         let _ = writeln!(out, "  \"queries\": {},", self.queries);
         let _ = writeln!(out, "  \"all_identical\": {},", self.all_identical());
-        let _ = writeln!(out, "  \"shard_busy_exposed\": {},", self.shard_busy_exposed);
+        let _ = writeln!(
+            out,
+            "  \"shard_busy_exposed\": {},",
+            self.shard_busy_exposed
+        );
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
@@ -154,13 +161,9 @@ fn workload(dataset: &re2x_datagen::common::Dataset) -> Vec<Query> {
     let rollup = &dataset.rollup_predicates[0];
     [
         // One group per observation: the gather receives ~observations rows.
-        format!(
-            "SELECT ?o (SUM(?m) AS ?total) WHERE {{ ?o <{measure}> ?m }} GROUP BY ?o"
-        ),
+        format!("SELECT ?o (SUM(?m) AS ?total) WHERE {{ ?o <{measure}> ?m }} GROUP BY ?o"),
         // Full fact scan with two dimensions bound.
-        format!(
-            "SELECT ?o ?a ?b WHERE {{ ?o <{dim0}> ?a . ?o <{dim1}> ?b }}"
-        ),
+        format!("SELECT ?o ?a ?b WHERE {{ ?o <{dim0}> ?a . ?o <{dim1}> ?b }}"),
         // Fine-grained two-dimensional cube slice.
         format!(
             "SELECT ?a ?b (SUM(?m) AS ?total) (COUNT(?o) AS ?n) WHERE {{
@@ -177,9 +180,7 @@ fn workload(dataset: &re2x_datagen::common::Dataset) -> Vec<Query> {
                 ?o <{dim0}> / <{rollup}> ?up . ?o <{measure}> ?m
              }} GROUP BY ?up ORDER BY ?up"
         ),
-        format!(
-            "SELECT ?o ?m WHERE {{ ?o <{measure}> ?m }} ORDER BY DESC(?m) ?o LIMIT 50"
-        ),
+        format!("SELECT ?o ?m WHERE {{ ?o <{measure}> ?m }} ORDER BY DESC(?m) ?o LIMIT 50"),
         format!("SELECT DISTINCT ?a WHERE {{ ?o <{dim0}> ?a }} ORDER BY ?a"),
     ]
     .into_iter()
@@ -230,7 +231,9 @@ pub fn run_with(
             .expect("reference evaluates");
             identical &= *got == want;
         }
-        let row_counts: Vec<u64> = (0..n).map(|i| endpoint.shard_stats(i).rows_returned).collect();
+        let row_counts: Vec<u64> = (0..n)
+            .map(|i| endpoint.shard_stats(i).rows_returned)
+            .collect();
         let total_rows: u64 = row_counts.iter().sum();
         let row_skew = if total_rows == 0 {
             1.0
@@ -239,8 +242,8 @@ pub fn run_with(
             *row_counts.iter().max().expect("non-empty") as f64 / mean
         };
         let exposition = prometheus_exposition(&metrics.snapshot(), &[]);
-        shard_busy_exposed &= (0..n)
-            .all(|i| exposition.contains(&format!("shard_busy{{shard=\"{i}\"}}")));
+        shard_busy_exposed &=
+            (0..n).all(|i| exposition.contains(&format!("shard_busy{{shard=\"{i}\"}}")));
 
         rows.push(ShardingRow {
             shards: n,

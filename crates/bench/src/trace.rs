@@ -190,11 +190,31 @@ impl TraceReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"pipeline_wall_us\": {},", self.pipeline_wall.as_micros());
-        let _ = writeln!(out, "  \"injected_latency_us\": {},", self.injected.as_micros());
-        let _ = writeln!(out, "  \"endpoint_busy_us\": {},", self.stats.busy.as_micros());
-        let _ = writeln!(out, "  \"endpoint_queries\": {},", self.stats.total_queries());
-        let _ = writeln!(out, "  \"endpoint_fraction\": {:.4},", self.endpoint_fraction());
+        let _ = writeln!(
+            out,
+            "  \"pipeline_wall_us\": {},",
+            self.pipeline_wall.as_micros()
+        );
+        let _ = writeln!(
+            out,
+            "  \"injected_latency_us\": {},",
+            self.injected.as_micros()
+        );
+        let _ = writeln!(
+            out,
+            "  \"endpoint_busy_us\": {},",
+            self.stats.busy.as_micros()
+        );
+        let _ = writeln!(
+            out,
+            "  \"endpoint_queries\": {},",
+            self.stats.total_queries()
+        );
+        let _ = writeln!(
+            out,
+            "  \"endpoint_fraction\": {:.4},",
+            self.endpoint_fraction()
+        );
         if let Some(c) = &self.async_comparison {
             let _ = writeln!(
                 out,
@@ -256,13 +276,7 @@ impl TraceReport {
 
     /// Human-readable summary: per-phase table plus the self-time tree.
     pub fn summary(&self) -> String {
-        let mut t = Table::new([
-            "phase",
-            "queries",
-            "endpoint busy",
-            "p50",
-            "p99",
-        ]);
+        let mut t = Table::new(["phase", "queries", "endpoint busy", "p50", "p99"]);
         for (phase, stats) in self.phase_rollup() {
             t.row([
                 phase.to_owned(),
@@ -321,8 +335,8 @@ pub fn run(injected: Duration) -> TraceReport {
     let pipeline_wall;
     {
         let _pipeline = tracer.span("pipeline");
-        let bootstrap_config = BootstrapConfig::new(dataset.observation_class.clone())
-            .with_tracer(tracer.clone());
+        let bootstrap_config =
+            BootstrapConfig::new(dataset.observation_class.clone()).with_tracer(tracer.clone());
         let report = bootstrap_parallel(&endpoint, &bootstrap_config).expect("bootstrap");
 
         let session_config = SessionConfig {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # re2xolap
@@ -56,12 +57,11 @@ pub mod session;
 pub mod transcript;
 
 pub use error::Re2xError;
+pub use matching::{matches, member_levels, MatchMode, MemberMatch};
 pub use negative::{exclude_negatives, NegativeOutcome};
 pub use profile::{profile, DatasetProfile};
-pub use ranking::{rank_interpretations, rank_refinements, RankFactors, RankedQuery};
-pub use transcript::to_markdown as session_transcript;
-pub use matching::{matches, member_levels, MatchMode, MemberMatch};
 pub use query_model::{ExampleBinding, GroupColumn, MeasureColumn, OlapQuery};
+pub use ranking::{rank_interpretations, rank_refinements, RankFactors, RankedQuery};
 pub use refine::{RefineOp, Refinement, RefinementKind};
 pub use reolap::{
     get_query, reolap, reolap_multi, validation_query, ReolapConfig, SynthesisOutcome,
@@ -69,3 +69,4 @@ pub use reolap::{
 pub use session::{
     ExplorationMetrics, PhaseBreakdown, PhaseCost, Session, SessionConfig, Step, StepCost,
 };
+pub use transcript::to_markdown as session_transcript;

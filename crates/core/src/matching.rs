@@ -50,20 +50,37 @@ pub fn matches(
     let graph = endpoint.graph();
     let mut out = Vec::new();
     for literal in literals {
-        let lexical = match graph.term(literal).as_literal() {
-            Some(l) => l.lexical().to_owned(),
+        let (lexical, literal_term) = match graph.term(literal).as_literal() {
+            Some(l) => (l.lexical().to_owned(), l.clone()),
             None => continue,
         };
         // candidate members: subjects of any predicate pointing at the
-        // literal
+        // literal — asked through the endpoint so the caching/tracing/
+        // sharding decorators observe (and can answer) the probe
+        let mut probe =
+            Query::select_all(vec![PatternElement::Triple(TriplePattern::with_pred_var(
+                TermPattern::Var("x".to_owned()),
+                "p",
+                TermPattern::Literal(literal_term),
+            ))]);
+        probe
+            .select
+            .push(re2x_sparql::SelectItem::Var("x".to_owned()));
+        probe
+            .select
+            .push(re2x_sparql::SelectItem::Var("p".to_owned()));
+        let solutions = endpoint.select(&probe)?;
         let mut candidates: Vec<(String, String)> = Vec::new(); // (member, attr pred)
-        graph.for_each_matching(None, None, Some(literal), |t| {
-            if let (Some(member), Some(pred)) =
-                (graph.term(t.s).as_iri(), graph.term(t.p).as_iri())
+        for row in &solutions.rows {
+            if let (Some(Value::Term(s)), Some(Value::Term(p))) = (row[0].as_ref(), row[1].as_ref())
             {
-                candidates.push((member.to_owned(), pred.to_owned()));
+                if let (Some(member), Some(pred)) =
+                    (graph.term(*s).as_iri(), graph.term(*p).as_iri())
+                {
+                    candidates.push((member.to_owned(), pred.to_owned()));
+                }
             }
-        });
+        }
         for (member_iri, attribute_predicate) in candidates {
             for level in member_levels(endpoint, schema, &member_iri)? {
                 let binding = ExampleBinding {
@@ -94,13 +111,12 @@ pub fn member_levels(
     member_iri: &str,
 ) -> Result<Vec<LevelId>, SparqlError> {
     // predicates arriving at the member
-    let mut incoming = Query::select_all(vec![PatternElement::Triple(
-        TriplePattern::with_pred_var(
+    let mut incoming =
+        Query::select_all(vec![PatternElement::Triple(TriplePattern::with_pred_var(
             TermPattern::Var("x".to_owned()),
             "p",
             TermPattern::Iri(member_iri.to_owned()),
-        ),
-    )]);
+        ))]);
     incoming.distinct = true;
     incoming
         .select
@@ -126,11 +142,7 @@ pub fn member_levels(
             // complete level path
             let ask = Query::ask(vec![
                 patterns::observation_type("o", &schema.observation_class),
-                patterns::path_to_concrete_member(
-                    "o",
-                    &schema.level(level).path,
-                    member_iri,
-                ),
+                patterns::path_to_concrete_member("o", &schema.level(level).path, member_iri),
             ]);
             if endpoint.ask(&ask)? {
                 levels.push(level);
@@ -198,7 +210,10 @@ mod tests {
         assert_eq!(exact[0].binding.member_iri, "http://ex/y2014");
         assert_eq!(
             schema.level(exact[0].binding.level).path,
-            vec!["http://ex/refPeriod".to_owned(), "http://ex/inYear".to_owned()]
+            vec![
+                "http://ex/refPeriod".to_owned(),
+                "http://ex/inYear".to_owned()
+            ]
         );
 
         let keyword = matches(&ep, &schema, "2014", MatchMode::Keyword).expect("matches");

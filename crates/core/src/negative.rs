@@ -52,14 +52,11 @@ pub fn exclude_negatives(
             if excluded.contains(&pair) {
                 continue;
             }
-            refined
-                .query
-                .wher
-                .push(PatternElement::Filter(Expr::cmp(
-                    Expr::var(column.var.clone()),
-                    CmpOp::Ne,
-                    Expr::Iri(hit.binding.member_iri.clone()),
-                )));
+            refined.query.wher.push(PatternElement::Filter(Expr::cmp(
+                Expr::var(column.var.clone()),
+                CmpOp::Ne,
+                Expr::Iri(hit.binding.member_iri.clone()),
+            )));
             excluded.push(pair);
             applied = true;
         }
@@ -103,14 +100,13 @@ mod tests {
     #[test]
     fn negative_member_disappears_from_results() {
         let (endpoint, schema) = env();
-        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
-            .expect("synthesis");
+        let outcome =
+            reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default()).expect("synthesis");
         let query = outcome.queries[0].clone();
         let before = endpoint.select(&query.query).expect("runs");
 
-        let negative =
-            exclude_negatives(&endpoint, &schema, &query, &["France"], MatchMode::Exact)
-                .expect("negatives apply");
+        let negative = exclude_negatives(&endpoint, &schema, &query, &["France"], MatchMode::Exact)
+            .expect("negatives apply");
         assert_eq!(negative.excluded.len(), 1);
         assert!(negative.inert.is_empty());
         assert!(negative.query.description.contains("excluding France"));
@@ -133,14 +129,13 @@ mod tests {
     #[test]
     fn unprojected_negative_is_inert() {
         let (endpoint, schema) = env();
-        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
-            .expect("synthesis");
+        let outcome =
+            reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default()).expect("synthesis");
         let query = outcome.queries[0].clone();
         // "Male" lives on the sex dimension, which this query does not
         // project — no filter is needed or added
-        let negative =
-            exclude_negatives(&endpoint, &schema, &query, &["Male"], MatchMode::Exact)
-                .expect("negatives apply");
+        let negative = exclude_negatives(&endpoint, &schema, &query, &["Male"], MatchMode::Exact)
+            .expect("negatives apply");
         assert!(negative.excluded.is_empty());
         assert_eq!(negative.inert, vec!["Male".to_owned()]);
         assert_eq!(negative.query.query, query.query, "query unchanged");
@@ -149,8 +144,8 @@ mod tests {
     #[test]
     fn unknown_negative_keyword_is_an_error() {
         let (endpoint, schema) = env();
-        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
-            .expect("synthesis");
+        let outcome =
+            reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default()).expect("synthesis");
         let err = exclude_negatives(
             &endpoint,
             &schema,
@@ -165,8 +160,8 @@ mod tests {
     #[test]
     fn negatives_survive_further_refinement() {
         let (endpoint, schema) = env();
-        let outcome = reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
-            .expect("synthesis");
+        let outcome =
+            reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default()).expect("synthesis");
         let negative = exclude_negatives(
             &endpoint,
             &schema,

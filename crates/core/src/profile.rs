@@ -76,7 +76,10 @@ pub fn profile(
     }
     let mut measures = Vec::new();
     for measure in schema.measures() {
-        measures.push((measure.label.clone(), measure_stats(endpoint, schema, &measure.predicate)?));
+        measures.push((
+            measure.label.clone(),
+            measure_stats(endpoint, schema, &measure.predicate)?,
+        ));
     }
     Ok(DatasetProfile {
         observation_class: schema.observation_class.clone(),
@@ -105,9 +108,10 @@ fn sample_members(
         .rows
         .iter()
         .filter_map(|row| match row[0] {
-            Some(Value::Term(id)) => graph.term(id).as_iri().map(|iri| {
-                re2x_cube::labels::label_of(endpoint, iri, &label_predicates)
-            }),
+            Some(Value::Term(id)) => graph
+                .term(id)
+                .as_iri()
+                .map(|iri| re2x_cube::labels::label_of(endpoint, iri, &label_predicates)),
             _ => None,
         })
         .collect())

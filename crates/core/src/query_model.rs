@@ -108,12 +108,7 @@ impl OlapQuery {
 
     /// `true` if `row` of `solutions` matches the user example: for some
     /// constraint tuple, every constrained column holds the example member.
-    pub fn row_matches_example(
-        &self,
-        solutions: &Solutions,
-        row: usize,
-        graph: &Graph,
-    ) -> bool {
+    pub fn row_matches_example(&self, solutions: &Solutions, row: usize, graph: &Graph) -> bool {
         let constraint_sets = self.example_constraints(solutions);
         if constraint_sets.is_empty() {
             // no example column survives in this query: every row trivially
@@ -125,9 +120,7 @@ impl OlapQuery {
         constraint_sets.iter().any(|constraints| {
             constraints.iter().all(|(col, member_iri)| {
                 match solutions.rows[row].get(*col).and_then(Option::as_ref) {
-                    Some(Value::Term(id)) => {
-                        graph.term(*id).as_iri() == Some(member_iri.as_str())
-                    }
+                    Some(Value::Term(id)) => graph.term(*id).as_iri() == Some(member_iri.as_str()),
                     _ => false,
                 }
             })
@@ -221,7 +214,13 @@ mod tests {
         let mut v = VirtualSchemaGraph::new("http://ex/Obs");
         let origin = v.add_dimension("http://ex/origin", "Country of Origin");
         let m = v.add_measure("http://ex/numApplicants", "Num Applicants");
-        let country = v.add_level(origin, vec!["http://ex/origin".into()], 5, vec![], "Country");
+        let country = v.add_level(
+            origin,
+            vec!["http://ex/origin".into()],
+            5,
+            vec![],
+            "Country",
+        );
         let continent = v.add_level(
             origin,
             vec!["http://ex/origin".into(), "http://ex/inContinent".into()],

@@ -259,8 +259,14 @@ mod tests {
         let ranked = rank_refinements(&schema, refinements, 200, 10);
         // top-10 is exactly the target; the drill-down (200·10 rows,
         // capped at 1000) is furthest
-        assert!(matches!(ranked[0].0.kind, RefinementKind::TopK { k: 10, .. }));
-        assert!(matches!(ranked[2].0.kind, RefinementKind::Disaggregate { .. }));
+        assert!(matches!(
+            ranked[0].0.kind,
+            RefinementKind::TopK { k: 10, .. }
+        ));
+        assert!(matches!(
+            ranked[2].0.kind,
+            RefinementKind::Disaggregate { .. }
+        ));
         assert_eq!(ranked[0].1, 10);
     }
 

@@ -72,7 +72,9 @@ pub fn apply(
     refined.description = format!("{} — disaggregated by \"{display}\"", query.description);
     let mut explanation = format!("Break down the current results by \"{display}\"");
     if dropped_thresholds {
-        explanation.push_str(" (measure thresholds from earlier subset steps are reset at the new granularity)");
+        explanation.push_str(
+            " (measure thresholds from earlier subset steps are reset at the new granularity)",
+        );
     }
     Refinement {
         query: refined,
@@ -96,8 +98,13 @@ mod tests {
         let dest = v.add_dimension("http://ex/dest", "Country of Destination");
         let year = v.add_dimension("http://ex/year", "Year");
         v.add_measure("http://ex/applicants", "Num Applicants");
-        let origin_country =
-            v.add_level(origin, vec!["http://ex/origin".into()], 10, vec![], "Country");
+        let origin_country = v.add_level(
+            origin,
+            vec!["http://ex/origin".into()],
+            10,
+            vec![],
+            "Country",
+        );
         let origin_continent = v.add_level(
             origin,
             vec!["http://ex/origin".into(), "http://ex/inContinent".into()],
@@ -107,7 +114,13 @@ mod tests {
         );
         let dest_country = v.add_level(dest, vec!["http://ex/dest".into()], 5, vec![], "Country");
         let year_level = v.add_level(year, vec!["http://ex/year".into()], 8, vec![], "Year");
-        (v, origin_country, origin_continent, dest_country, year_level)
+        (
+            v,
+            origin_country,
+            origin_continent,
+            dest_country,
+            year_level,
+        )
     }
 
     fn query_at(schema: &VirtualSchemaGraph, level: LevelId) -> OlapQuery {
@@ -194,15 +207,15 @@ mod tests {
         let (v, origin_country, _, dest_country, _) = schema();
         let mut q = query_at(&v, origin_country);
         q.query.having = Some(re2x_sparql::Expr::cmp(
-            re2x_sparql::Expr::Agg(
-                AggFunc::Sum,
-                Box::new(re2x_sparql::Expr::var("m0")),
-            ),
+            re2x_sparql::Expr::Agg(AggFunc::Sum, Box::new(re2x_sparql::Expr::var("m0"))),
             re2x_sparql::CmpOp::Gt,
             re2x_sparql::Expr::Number(100.0),
         ));
         let refined = apply(&v, &q, dest_country);
-        assert!(refined.query.query.having.is_none(), "stale threshold dropped");
+        assert!(
+            refined.query.query.having.is_none(),
+            "stale threshold dropped"
+        );
         assert!(refined.explanation.contains("reset at the new granularity"));
         // without a HAVING, no note is added
         let plain = apply(&v, &query_at(&v, origin_country), dest_country);

@@ -120,7 +120,10 @@ fn similarity_for_measure(
                 _ => None,
             })
             .collect();
-        let value = row[mcol].as_ref().and_then(|v| v.as_number(graph)).unwrap_or(0.0);
+        let value = row[mcol]
+            .as_ref()
+            .and_then(|v| v.as_number(graph))
+            .unwrap_or(0.0);
         *items.entry(key).or_default().entry(features).or_insert(0.0) += value;
     }
     let example_features = items.get(&split.example_key)?.clone();
@@ -159,9 +162,10 @@ fn similarity_for_measure(
             .iter()
             .zip(combo)
             .filter_map(|(var, id)| {
-                graph.term(*id).as_iri().map(|iri| {
-                    Expr::cmp(Expr::var(*var), CmpOp::Eq, Expr::Iri(iri.to_owned()))
-                })
+                graph
+                    .term(*id)
+                    .as_iri()
+                    .map(|iri| Expr::cmp(Expr::var(*var), CmpOp::Eq, Expr::Iri(iri.to_owned())))
             })
             .collect();
         if let Some(conjunction) = Expr::and_all(conjuncts) {
@@ -237,7 +241,13 @@ mod tests {
         let year = v.add_dimension("http://ex/year", "Year");
         let m = v.add_measure("http://ex/applicants", "Num Applicants");
         let dest_l = v.add_level(dest, vec!["http://ex/dest".into()], 3, vec![], "Country");
-        let origin_l = v.add_level(origin, vec!["http://ex/origin".into()], 2, vec![], "Country");
+        let origin_l = v.add_level(
+            origin,
+            vec!["http://ex/origin".into()],
+            2,
+            vec![],
+            "Country",
+        );
         let year_l = v.add_level(year, vec!["http://ex/year".into()], 2, vec![], "Year");
 
         let mut g = Graph::new();
@@ -284,9 +294,18 @@ mod tests {
         let query = OlapQuery {
             query: Query::select_all(vec![]),
             group_columns: vec![
-                GroupColumn { var: "dest".into(), level: dest_l },
-                GroupColumn { var: "origin".into(), level: origin_l },
-                GroupColumn { var: "year".into(), level: year_l },
+                GroupColumn {
+                    var: "dest".into(),
+                    level: dest_l,
+                },
+                GroupColumn {
+                    var: "origin".into(),
+                    level: origin_l,
+                },
+                GroupColumn {
+                    var: "year".into(),
+                    level: year_l,
+                },
             ],
             measure_columns: vec![MeasureColumn {
                 alias: "sum_applicants".into(),
@@ -324,12 +343,11 @@ mod tests {
         }
         // the paper's top-2: ⟨Sweden, Syria⟩ (σ=1) then ⟨France, China⟩
         // (σ≈0.99); the filter must mention them plus the example itself
-        let filter_text = re2x_sparql::pretty::expr(
-            match r.query.query.wher.last().expect("filter added") {
+        let filter_text =
+            re2x_sparql::pretty::expr(match r.query.query.wher.last().expect("filter added") {
                 PatternElement::Filter(e) => e,
                 other => panic!("expected filter, got {other:?}"),
-            },
-        );
+            });
         assert!(filter_text.contains("http://ex/Germany"), "{filter_text}");
         assert!(filter_text.contains("http://ex/Sweden"), "{filter_text}");
         assert!(

@@ -93,7 +93,10 @@ fn build_topk(
         Order::Asc => CmpOp::Lt,
     };
     let condition = Expr::cmp(
-        Expr::Agg(column.agg, Box::new(Expr::var(measure_value_var(column.measure)))),
+        Expr::Agg(
+            column.agg,
+            Box::new(Expr::var(measure_value_var(column.measure))),
+        ),
         cmp,
         Expr::Number(threshold),
     );
@@ -157,7 +160,11 @@ pub fn percentile(
         pcts.dedup();
         let example_values: Vec<f64> = matching
             .iter()
-            .filter_map(|&r| solutions.rows[r][col].as_ref().and_then(|v| v.as_number(graph)))
+            .filter_map(|&r| {
+                solutions.rows[r][col]
+                    .as_ref()
+                    .and_then(|v| v.as_number(graph))
+            })
             .collect();
         for w in pcts.windows(2) {
             let (lo_pct, hi_pct) = (w[0], w[1]);
@@ -289,7 +296,9 @@ mod tests {
             other => panic!("unexpected kind {other:?}"),
         }
         let having = r.query.query.having.as_ref().expect("having");
-        assert!(matches!(having, Expr::Cmp(_, CmpOp::Gt, b) if matches!(**b, Expr::Number(n) if n == 5011.0)));
+        assert!(
+            matches!(having, Expr::Cmp(_, CmpOp::Gt, b) if matches!(**b, Expr::Number(n) if n == 5011.0))
+        );
         assert!(r.explanation.contains("top-1"));
         assert!(r.explanation.contains("SUM(Num Applicants)"));
     }
@@ -337,7 +346,9 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(refinements[0].explanation.contains("90th and 100th percentile"));
+        assert!(refinements[0]
+            .explanation
+            .contains("90th and 100th percentile"));
     }
 
     #[test]

@@ -86,13 +86,16 @@ pub fn reolap(
     example: &[&str],
     config: &ReolapConfig,
 ) -> Result<SynthesisOutcome, Re2xError> {
+    // lint:allow(no-wallclock, match/validate phase timing feeds ExplorationMetrics)
     let start = Instant::now();
     let _root = config.tracer.span("reolap");
     // Lines 2–7: per-component interpretations.
     let mut per_component: Vec<Vec<MemberMatch>> = Vec::with_capacity(example.len());
     for keyword in example {
         let hits = {
-            let _match = config.tracer.span_with("reolap.match", &[("keyword", *keyword)]);
+            let _match = config
+                .tracer
+                .span_with("reolap.match", &[("keyword", *keyword)]);
             matches(endpoint, schema, keyword, config.mode)?
         };
         if hits.is_empty() {
@@ -218,6 +221,7 @@ pub fn reolap_multi(
     examples: &[Vec<String>],
     config: &ReolapConfig,
 ) -> Result<SynthesisOutcome, Re2xError> {
+    // lint:allow(no-wallclock, match/validate phase timing feeds ExplorationMetrics)
     let start = Instant::now();
     let _root = config.tracer.span("reolap");
     let Some(first) = examples.first() else {
@@ -256,10 +260,7 @@ pub fn reolap_multi(
     // per-position levels consistent across every tuple
     let mut position_levels: Vec<Vec<LevelId>> = Vec::with_capacity(arity);
     for position in 0..arity {
-        let mut levels: Vec<LevelId> = all[0][position]
-            .iter()
-            .map(|m| m.binding.level)
-            .collect();
+        let mut levels: Vec<LevelId> = all[0][position].iter().map(|m| m.binding.level).collect();
         levels.sort();
         levels.dedup();
         for row in &all[1..] {
@@ -581,7 +582,11 @@ mod tests {
         assert!(q.description.contains("Country of Destination"));
         // executable and contains Germany rows
         let solutions = ep.select(&q.query).expect("runs");
-        assert_eq!(solutions.len(), 3, "(Germany,2014) (France,2014) (Germany,2013)");
+        assert_eq!(
+            solutions.len(),
+            3,
+            "(Germany,2014) (France,2014) (Germany,2013)"
+        );
         let matching = q.matching_rows(&solutions, ep.graph());
         assert_eq!(matching.len(), 1, "exactly the (Germany, 2014) row");
         let row = matching[0];
@@ -589,7 +594,10 @@ mod tests {
             .value(row, "sum_applicants")
             .and_then(|v| v.as_number(ep.graph()))
             .expect("sum");
-        assert_eq!(total, 700.0, "600 (Syria) + 100 (China) into Germany in 2014");
+        assert_eq!(
+            total, 700.0,
+            "600 (Syria) + 100 (China) into Germany in 2014"
+        );
     }
 
     #[test]
@@ -602,7 +610,10 @@ mod tests {
         let q = &outcome.queries[0];
         assert_eq!(
             schema.level(q.group_columns[0].level).path,
-            vec!["http://ex/origin".to_owned(), "http://ex/inContinent".to_owned()]
+            vec![
+                "http://ex/origin".to_owned(),
+                "http://ex/inContinent".to_owned()
+            ]
         );
     }
 
@@ -610,8 +621,13 @@ mod tests {
     fn validation_rejects_impossible_combinations() {
         let (ep, schema) = fixture();
         // Germany (dest) with France (dest): no observation has both.
-        let outcome =
-            reolap(&ep, &schema, &["Germany", "France"], &ReolapConfig::default()).expect("ok");
+        let outcome = reolap(
+            &ep,
+            &schema,
+            &["Germany", "France"],
+            &ReolapConfig::default(),
+        )
+        .expect("ok");
         assert!(outcome.queries.is_empty());
         assert_eq!(outcome.interpretations_considered, 1);
         // without validation, the (invalid) interpretation surfaces
@@ -650,7 +666,10 @@ mod tests {
         };
         let outcome = reolap(&ep, &schema, &["Germany"], &config).expect("ok");
         assert_eq!(outcome.queries[0].measure_columns.len(), 1);
-        assert_eq!(outcome.queries[0].measure_columns[0].alias, "sum_applicants");
+        assert_eq!(
+            outcome.queries[0].measure_columns[0].alias,
+            "sum_applicants"
+        );
     }
 
     #[test]
@@ -659,8 +678,7 @@ mod tests {
         // Two tuples: ⟨Germany⟩ and ⟨France⟩, both destinations → one query
         // grouping by destination, containing both example rows.
         let tuples = vec![vec!["Germany".to_owned()], vec!["France".to_owned()]];
-        let outcome =
-            reolap_multi(&ep, &schema, &tuples, &ReolapConfig::default()).expect("ok");
+        let outcome = reolap_multi(&ep, &schema, &tuples, &ReolapConfig::default()).expect("ok");
         assert_eq!(outcome.queries.len(), 1);
         let q = &outcome.queries[0];
         assert_eq!(q.example.len(), 2);

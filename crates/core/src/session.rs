@@ -153,6 +153,7 @@ impl<'a> Session<'a> {
     /// Starts measuring one operation against the endpoint's stats.
     fn cost_begin(&self) -> (Instant, u64, Duration) {
         let stats = self.endpoint.stats();
+        // lint:allow(no-wallclock, per-step cost timing feeds ExplorationMetrics::phases)
         (Instant::now(), stats.total_queries(), stats.busy)
     }
 
@@ -360,7 +361,11 @@ mod tests {
 
         // 1. synthesize from ⟨Germany⟩
         let outcome = session.synthesize(&["Germany"]).expect("synthesis");
-        assert_eq!(outcome.queries.len(), 1, "Germany appears only as destination");
+        assert_eq!(
+            outcome.queries.len(),
+            1,
+            "Germany appears only as destination"
+        );
         let step = session.choose(outcome.queries[0].clone()).expect("run");
         assert_eq!(step.solutions.len(), 3, "3 destinations");
 
@@ -377,20 +382,26 @@ mod tests {
         // 3. disaggregate by year
         let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
         assert_eq!(dis.len(), 1, "only year remains");
-        let step = session.apply(dis.into_iter().next().expect("year")).expect("run");
+        let step = session
+            .apply(dis.into_iter().next().expect("year"))
+            .expect("run");
         assert_eq!(step.solutions.len(), 8);
 
         // 4. similarity: Germany at dest level; origin & year are context
         let sims = session.refinements(RefineOp::Similarity).expect("sim");
         assert_eq!(sims.len(), 4, "one per measure column (4 aggregates)");
-        let step = session.apply(sims.into_iter().next().expect("sim")).expect("run");
+        let step = session
+            .apply(sims.into_iter().next().expect("sim"))
+            .expect("run");
         assert!(step.solutions.len() < 8, "similarity restricts the combos");
         assert!(!step.solutions.is_empty());
 
         // 5. top-k on the restricted set
         let tops = session.refinements(RefineOp::TopK).expect("topk");
         assert!(!tops.is_empty());
-        let step = session.apply(tops.into_iter().next().expect("top")).expect("run");
+        let step = session
+            .apply(tops.into_iter().next().expect("top"))
+            .expect("run");
         assert!(!step.solutions.is_empty());
 
         let metrics = session.metrics();
@@ -411,8 +422,14 @@ mod tests {
         assert_eq!(phases.synthesis.invocations, 1);
         assert_eq!(phases.execution.invocations, 1);
         assert_eq!(phases.refinement.invocations, 1);
-        assert!(phases.synthesis.endpoint_queries > 0, "matching + validation query");
-        assert_eq!(phases.execution.endpoint_queries, 1, "exactly the chosen query");
+        assert!(
+            phases.synthesis.endpoint_queries > 0,
+            "matching + validation query"
+        );
+        assert_eq!(
+            phases.execution.endpoint_queries, 1,
+            "exactly the chosen query"
+        );
         // the three phases account for every query issued since the session
         // started (refinement generation itself issues none here)
         let issued = ep.stats().total_queries() - before;
@@ -471,7 +488,9 @@ mod tests {
         let first_len = session.current().expect("step").solutions.len();
 
         let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
-        session.apply(dis.into_iter().next().expect("one")).expect("run");
+        session
+            .apply(dis.into_iter().next().expect("one"))
+            .expect("run");
         assert_ne!(session.current().expect("step").solutions.len(), first_len);
 
         assert!(session.backtrack());
@@ -486,7 +505,9 @@ mod tests {
         let outcome = session.synthesize(&["Germany"]).expect("synthesis");
         session.choose(outcome.queries[0].clone()).expect("run");
         let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
-        session.apply(dis.into_iter().next().expect("one")).expect("run");
+        session
+            .apply(dis.into_iter().next().expect("one"))
+            .expect("run");
 
         for op in [RefineOp::TopK, RefineOp::Percentile, RefineOp::Similarity] {
             let refinements = session.refinements(op).expect("refine");

@@ -108,7 +108,9 @@ mod tests {
         let outcome = session.synthesize(&["Germany", "2014"]).expect("synthesis");
         session.choose(outcome.queries[0].clone()).expect("runs");
         let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
-        session.apply(dis.into_iter().next().expect("one")).expect("runs");
+        session
+            .apply(dis.into_iter().next().expect("one"))
+            .expect("runs");
 
         let md = to_markdown(&session, endpoint.graph());
         assert!(md.starts_with("# Exploration transcript"));
@@ -141,7 +143,9 @@ mod tests {
         let outcome = session.synthesize(&["Germany"]).expect("synthesis");
         session.choose(outcome.queries[0].clone()).expect("runs");
         let dis = session.refinements(RefineOp::Disaggregate).expect("dis");
-        session.apply(dis.into_iter().next().expect("one")).expect("runs");
+        session
+            .apply(dis.into_iter().next().expect("one"))
+            .expect("runs");
         let md = to_markdown(&session, endpoint.graph());
         assert!(md.contains("more row(s)."), "{md}");
         // the preview is truncated to PREVIEW_ROWS: a step's table never has

@@ -100,7 +100,10 @@ fn async_validation_issues_identical_queries_and_reconciles_provenance() {
             .sum()
     };
     let validate_asks = asks_under("reolap.validate");
-    assert!(validate_asks > 0, "a real batch was validated: {provenance:?}");
+    assert!(
+        validate_asks > 0,
+        "a real batch was validated: {provenance:?}"
+    );
     assert_eq!(
         validate_asks + asks_under("reolap.match"),
         async_stats.asks,
@@ -120,7 +123,8 @@ fn async_multi_tuple_validation_accepts_the_same_combos() {
         vec!["Germany".to_owned(), "2013".to_owned()],
         vec!["France".to_owned(), "2014".to_owned()],
     ];
-    let serial = reolap_multi(&endpoint, &schema, &tuples, &ReolapConfig::default()).expect("serial");
+    let serial =
+        reolap_multi(&endpoint, &schema, &tuples, &ReolapConfig::default()).expect("serial");
     for workers in [1, 4] {
         let config = ReolapConfig {
             validation_workers: workers,
@@ -185,7 +189,10 @@ fn session_preview_async_equals_serial() {
     let overlapped = session.preview(&refinements, 4).expect("async preview");
     let async_queries = endpoint.stats().total_queries() - before;
 
-    assert_eq!(overlapped, serial, "previewed result sets must be identical");
+    assert_eq!(
+        overlapped, serial,
+        "previewed result sets must be identical"
+    );
     assert_eq!(serial.len(), refinements.len());
     assert_eq!(async_queries, serial_queries);
 }

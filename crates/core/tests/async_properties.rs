@@ -16,21 +16,20 @@ fn async_pipeline_is_differentially_identical_to_serial() {
         let data_seed = rng.next_u64();
         let observations = rng.gen_range(150usize..400);
         let workers = rng.gen_range(1usize..9);
-        let (dataset, example): (re2x_datagen::Dataset, &[&str]) =
-            match rng.gen_range(0usize..3) {
-                0 => (
-                    re2x_datagen::eurostat::generate(observations, data_seed),
-                    &["Germany", "2014"],
-                ),
-                1 => (
-                    re2x_datagen::eurostat::generate(observations, data_seed),
-                    &["Sweden"],
-                ),
-                _ => (
-                    re2x_datagen::dbpedia::generate(observations, data_seed),
-                    &["2014"],
-                ),
-            };
+        let (dataset, example): (re2x_datagen::Dataset, &[&str]) = match rng.gen_range(0usize..3) {
+            0 => (
+                re2x_datagen::eurostat::generate(observations, data_seed),
+                &["Germany", "2014"],
+            ),
+            1 => (
+                re2x_datagen::eurostat::generate(observations, data_seed),
+                &["Sweden"],
+            ),
+            _ => (
+                re2x_datagen::dbpedia::generate(observations, data_seed),
+                &["2014"],
+            ),
+        };
         let endpoint = LocalEndpoint::new(dataset.graph);
         let config = BootstrapConfig::new(dataset.observation_class);
 
@@ -83,7 +82,9 @@ fn async_pipeline_is_differentially_identical_to_serial() {
             return;
         }
         let serial_previews = session.preview(&refinements, 0).expect("serial preview");
-        let async_previews = session.preview(&refinements, workers).expect("async preview");
+        let async_previews = session
+            .preview(&refinements, workers)
+            .expect("async preview");
         assert_eq!(
             async_previews, serial_previews,
             "preview result sets diverged (seed {data_seed}, {op:?}, {workers} workers)"

@@ -4,19 +4,28 @@
 //! hold for arbitrary measure distributions.
 
 use re2x_cube::VirtualSchemaGraph;
-use re2x_testkit::{check, TestRng};
 use re2x_rdf::Graph;
 use re2x_sparql::{AggFunc, Order, Query, Solutions, Value};
+use re2x_testkit::{check, TestRng};
 use re2xolap::refine::{subset, RefinementKind};
 use re2xolap::{ExampleBinding, GroupColumn, MeasureColumn, OlapQuery};
 
 /// Builds a one-dimension schema + a query + a synthetic result table with
 /// the given measure values; the example is the `example_row`-th member.
-fn fixture(values: &[u32], example_row: usize) -> (VirtualSchemaGraph, OlapQuery, Solutions, Graph) {
+fn fixture(
+    values: &[u32],
+    example_row: usize,
+) -> (VirtualSchemaGraph, OlapQuery, Solutions, Graph) {
     let mut schema = VirtualSchemaGraph::new("http://ex/Obs");
     let dim = schema.add_dimension("http://ex/dest", "Destination");
     let measure = schema.add_measure("http://ex/m", "Measure");
-    let level = schema.add_level(dim, vec!["http://ex/dest".into()], values.len(), vec![], "L");
+    let level = schema.add_level(
+        dim,
+        vec!["http://ex/dest".into()],
+        values.len(),
+        vec![],
+        "L",
+    );
     let mut graph = Graph::new();
     let rows = values
         .iter()
@@ -120,12 +129,23 @@ fn percentile_intervals_contain_the_example() {
         let (values, example) = gen_values_and_example(rng);
         let (schema, query, solutions, graph) = fixture(&values, example);
         let refinements = subset::percentile(
-            &schema, &query, &solutions, &graph, &subset::DEFAULT_PERCENTILES,
+            &schema,
+            &query,
+            &solutions,
+            &graph,
+            &subset::DEFAULT_PERCENTILES,
         );
-        assert!(!refinements.is_empty(), "the example always falls in some interval");
+        assert!(
+            !refinements.is_empty(),
+            "the example always falls in some interval"
+        );
         let example_value = f64::from(values[example]);
         for refinement in &refinements {
-            let RefinementKind::Percentile { lower_pct, upper_pct, .. } = refinement.kind
+            let RefinementKind::Percentile {
+                lower_pct,
+                upper_pct,
+                ..
+            } = refinement.kind
             else {
                 panic!("wrong kind")
             };
@@ -138,8 +158,12 @@ fn percentile_intervals_contain_the_example() {
                 panic!("unexpected having shape")
             };
             let bound = |e: &re2x_sparql::Expr| -> f64 {
-                let re2x_sparql::Expr::Cmp(_, _, rhs) = e else { panic!("cmp") };
-                let re2x_sparql::Expr::Number(n) = **rhs else { panic!("num") };
+                let re2x_sparql::Expr::Cmp(_, _, rhs) = e else {
+                    panic!("cmp")
+                };
+                let re2x_sparql::Expr::Number(n) = **rhs else {
+                    panic!("num")
+                };
                 n
             };
             let lo = bound(lo);

@@ -38,7 +38,9 @@ fn session_over_sharded_stack_matches_local() {
 
     let config = BootstrapConfig::new(&dataset.observation_class);
     let schema_local = bootstrap(&local, &config).expect("local bootstrap").schema;
-    let schema_sharded = bootstrap(&stack, &config).expect("sharded bootstrap").schema;
+    let schema_sharded = bootstrap(&stack, &config)
+        .expect("sharded bootstrap")
+        .schema;
     assert_eq!(schema_sharded, schema_local);
 
     let mut session_local = Session::new(&local, &schema_local, SessionConfig::default());
@@ -52,9 +54,8 @@ fn session_over_sharded_stack_matches_local() {
     let out_sharded = session_sharded
         .synthesize(&["Germany", "2014"])
         .expect("sharded synthesis");
-    let sparql_of = |qs: &[re2xolap::OlapQuery]| -> Vec<String> {
-        qs.iter().map(|q| q.sparql()).collect()
-    };
+    let sparql_of =
+        |qs: &[re2xolap::OlapQuery]| -> Vec<String> { qs.iter().map(|q| q.sparql()).collect() };
     assert_eq!(
         sparql_of(&out_sharded.queries),
         sparql_of(&out_local.queries)
@@ -73,7 +74,9 @@ fn session_over_sharded_stack_matches_local() {
     // One refinement round: same refinements offered, same refined results.
     for op in [RefineOp::Disaggregate, RefineOp::TopK] {
         let refs_local = session_local.refinements(op).expect("local refinements");
-        let refs_sharded = session_sharded.refinements(op).expect("sharded refinements");
+        let refs_sharded = session_sharded
+            .refinements(op)
+            .expect("sharded refinements");
         let sparql_local: Vec<String> = refs_local.iter().map(|r| r.query.sparql()).collect();
         let sparql_sharded: Vec<String> = refs_sharded.iter().map(|r| r.query.sparql()).collect();
         assert_eq!(sparql_sharded, sparql_local, "{op:?}");
@@ -91,7 +94,11 @@ fn session_over_sharded_stack_matches_local() {
 
     // The whole exploration surfaced per-shard activity in the exposition.
     let exposition = prometheus_exposition(&metrics.snapshot(), &[]);
-    for needle in ["shard_busy{shard=\"0\"}", "shard_busy{shard=\"3\"}", "shard_skew"] {
+    for needle in [
+        "shard_busy{shard=\"0\"}",
+        "shard_busy{shard=\"3\"}",
+        "shard_skew",
+    ] {
         assert!(
             exposition.contains(needle),
             "missing {needle} in exposition:\n{exposition}"

@@ -96,15 +96,17 @@ pub fn bootstrap(
     endpoint: &dyn SparqlEndpoint,
     config: &BootstrapConfig,
 ) -> Result<BootstrapReport, SparqlError> {
+    // lint:allow(no-wallclock, bootstrap phase timing feeds BootstrapReport durations)
     let start = Instant::now();
     let _root = config.tracer.span("bootstrap");
     let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
 
     for predicate in dim_predicates {
         let crawl = {
-            let _dim = config
-                .tracer
-                .span_with("bootstrap.crawl_dimension", &[("dimension", predicate.as_str())]);
+            let _dim = config.tracer.span_with(
+                "bootstrap.crawl_dimension",
+                &[("dimension", predicate.as_str())],
+            );
             crawl_dimension(endpoint, config, predicate)?
         };
         queries += crawl.queries;
@@ -132,6 +134,7 @@ pub fn bootstrap_parallel(
     endpoint: &dyn SparqlEndpoint,
     config: &BootstrapConfig,
 ) -> Result<BootstrapReport, SparqlError> {
+    // lint:allow(no-wallclock, bootstrap phase timing feeds BootstrapReport durations)
     let start = Instant::now();
     let root = config.tracer.span("bootstrap");
     let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
@@ -192,6 +195,7 @@ pub fn bootstrap_async(
     config: &BootstrapConfig,
     workers: usize,
 ) -> Result<BootstrapReport, SparqlError> {
+    // lint:allow(no-wallclock, bootstrap phase timing feeds BootstrapReport durations)
     let start = Instant::now();
     let root = config.tracer.span("bootstrap");
     let (mut schema, dim_predicates, mut queries) = bootstrap_prelude(endpoint, config)?;
@@ -563,7 +567,12 @@ fn crawl_dimensions_async(
         .enumerate()
         .map(|(dim, predicate)| {
             let mut levels = Vec::new();
-            replay_levels(config, &crawl.info[dim], vec![predicate.clone()], &mut levels);
+            replay_levels(
+                config,
+                &crawl.info[dim],
+                vec![predicate.clone()],
+                &mut levels,
+            );
             DimensionCrawl {
                 predicate,
                 label: dim_labels[dim].take().expect("chain resolved"),
@@ -994,7 +1003,8 @@ mod tests {
             .expect("year level");
         assert_eq!(s.level(year).member_count, 1);
         // attributes discovered on members
-        assert!(s.level(origin_base)
+        assert!(s
+            .level(origin_base)
             .attribute_predicates
             .contains(&re2x_rdf::vocab::rdfs::LABEL.to_owned()));
         assert!(report.endpoint_queries > 5);
@@ -1008,7 +1018,10 @@ mod tests {
         let report = bootstrap(&ep, &config).expect("bootstrap");
         let s = &report.schema;
         // partner chain exists but `partner` never repeats within a path
-        let partner = s.level_by_path(&["http://ex/origin".to_owned(), "http://ex/partner".to_owned()]);
+        let partner = s.level_by_path(&[
+            "http://ex/origin".to_owned(),
+            "http://ex/partner".to_owned(),
+        ]);
         assert!(partner.is_some(), "one partner hop explored");
         for level in s.levels() {
             let mut seen = std::collections::HashSet::new();
@@ -1063,7 +1076,10 @@ mod tests {
         assert_eq!(refresh_report.observations_before, 2);
         assert_eq!(refresh_report.observations_after, 3);
         assert_eq!(schema.observation_count, 3);
-        assert!(refresh_report.levels_changed >= 2, "origin country + continent grew");
+        assert!(
+            refresh_report.levels_changed >= 2,
+            "origin country + continent grew"
+        );
         let origin = schema
             .level_by_path(&["http://ex/origin".to_owned()])
             .expect("level kept");

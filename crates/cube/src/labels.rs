@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn local_name_extraction() {
         assert_eq!(local_name("http://ex/ns#CountryOrigin"), "CountryOrigin");
-        assert_eq!(local_name("http://ex/path/Num_Applicants"), "Num_Applicants");
+        assert_eq!(
+            local_name("http://ex/path/Num_Applicants"),
+            "Num_Applicants"
+        );
         assert_eq!(local_name("urn:x:thing"), "thing");
         assert_eq!(local_name("plain"), "plain");
     }

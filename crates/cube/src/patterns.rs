@@ -44,13 +44,18 @@ mod tests {
             observation_type("obs", "http://ex/Obs"),
             path_to_member(
                 "obs",
-                &["http://ex/origin".to_owned(), "http://ex/inContinent".to_owned()],
+                &[
+                    "http://ex/origin".to_owned(),
+                    "http://ex/inContinent".to_owned(),
+                ],
                 "m",
             ),
             path_to_concrete_member("obs", &["http://ex/dest".to_owned()], "http://ex/Germany"),
         ]);
         let text = query_to_sparql(&q);
-        assert!(text.contains("?obs <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Obs>"));
+        assert!(
+            text.contains("?obs <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Obs>")
+        );
         assert!(text.contains("?obs <http://ex/origin> / <http://ex/inContinent> ?m"));
         assert!(text.contains("?obs <http://ex/dest> <http://ex/Germany>"));
     }

@@ -8,6 +8,8 @@
 //! approaches like QB4OLAP annotators do, and lets a RE²xOLAP-discovered
 //! schema interoperate with QB tooling.
 
+// lint:allow-file(endpoint-seam, materializes annotations into a caller-local graph rather than querying the endpoint store)
+
 use crate::model::LevelId;
 use crate::vgraph::VirtualSchemaGraph;
 use re2x_rdf::{vocab, Graph, Literal, Term};
@@ -258,7 +260,12 @@ pub fn from_annotations(graph: &Graph) -> Option<VirtualSchemaGraph> {
             label: label_of(level_node),
         });
     }
-    pending.sort_by(|a, b| a.path.len().cmp(&b.path.len()).then_with(|| a.path.cmp(&b.path)));
+    pending.sort_by(|a, b| {
+        a.path
+            .len()
+            .cmp(&b.path.len())
+            .then_with(|| a.path.cmp(&b.path))
+    });
     for level in pending {
         schema.add_level(
             level.dimension,
@@ -280,9 +287,13 @@ mod tests {
         let mut v = VirtualSchemaGraph::new("http://ex/Observation");
         let origin = v.add_dimension("http://ex/origin", "Country of Origin");
         v.add_measure("http://ex/applicants", "Num Applicants");
-        v.add_level(origin, vec!["http://ex/origin".into()], 10, vec![
-            "http://ex/label".to_owned()
-        ], "Country");
+        v.add_level(
+            origin,
+            vec!["http://ex/origin".into()],
+            10,
+            vec!["http://ex/label".to_owned()],
+            "Country",
+        );
         v.add_level(
             origin,
             vec!["http://ex/origin".into(), "http://ex/inContinent".into()],

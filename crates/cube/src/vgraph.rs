@@ -55,7 +55,11 @@ impl VirtualSchemaGraph {
     // ---- construction ------------------------------------------------------
 
     /// Registers a dimension, returning its id.
-    pub fn add_dimension(&mut self, predicate: impl Into<String>, label: impl Into<String>) -> DimensionId {
+    pub fn add_dimension(
+        &mut self,
+        predicate: impl Into<String>,
+        label: impl Into<String>,
+    ) -> DimensionId {
         let id = DimensionId(self.dimensions.len() as u32);
         self.dimensions.push(Dimension {
             id,
@@ -66,7 +70,11 @@ impl VirtualSchemaGraph {
     }
 
     /// Registers a measure, returning its id.
-    pub fn add_measure(&mut self, predicate: impl Into<String>, label: impl Into<String>) -> MeasureId {
+    pub fn add_measure(
+        &mut self,
+        predicate: impl Into<String>,
+        label: impl Into<String>,
+    ) -> MeasureId {
         let id = MeasureId(self.measures.len() as u32);
         self.measures.push(Measure {
             id,
@@ -252,7 +260,10 @@ impl VirtualSchemaGraph {
         }
         for l in &self.levels {
             bytes += l.path.iter().map(|p| p.len()).sum::<usize>()
-                + l.attribute_predicates.iter().map(|p| p.len()).sum::<usize>()
+                + l.attribute_predicates
+                    .iter()
+                    .map(|p| p.len())
+                    .sum::<usize>()
                 + strings(&l.label)
                 + std::mem::size_of::<LevelNode>();
         }
@@ -281,7 +292,13 @@ mod tests {
         let age = v.add_dimension("http://ex/age", "Age Range");
         v.add_measure("http://ex/applicants", "Num Applicants");
         let attr = vec!["http://ex/label".to_owned()];
-        v.add_level(origin, vec!["http://ex/origin".into()], 150, attr.clone(), "Country");
+        v.add_level(
+            origin,
+            vec!["http://ex/origin".into()],
+            150,
+            attr.clone(),
+            "Country",
+        );
         v.add_level(
             origin,
             vec!["http://ex/origin".into(), "http://ex/inContinent".into()],
@@ -289,7 +306,13 @@ mod tests {
             attr.clone(),
             "Continent",
         );
-        v.add_level(dest, vec!["http://ex/dest".into()], 30, attr.clone(), "Country");
+        v.add_level(
+            dest,
+            vec!["http://ex/dest".into()],
+            30,
+            attr.clone(),
+            "Country",
+        );
         v.add_level(
             dest,
             vec!["http://ex/dest".into(), "http://ex/inContinent".into()],
@@ -297,7 +320,13 @@ mod tests {
             attr.clone(),
             "Continent",
         );
-        v.add_level(period, vec!["http://ex/refPeriod".into()], 120, attr.clone(), "Month");
+        v.add_level(
+            period,
+            vec!["http://ex/refPeriod".into()],
+            120,
+            attr.clone(),
+            "Month",
+        );
         v.add_level(
             period,
             vec!["http://ex/refPeriod".into(), "http://ex/inYear".into()],
@@ -322,7 +351,10 @@ mod tests {
             .level_by_path(&["http://ex/origin".to_owned()])
             .expect("level");
         let continent = v
-            .level_by_path(&["http://ex/origin".to_owned(), "http://ex/inContinent".to_owned()])
+            .level_by_path(&[
+                "http://ex/origin".to_owned(),
+                "http://ex/inContinent".to_owned(),
+            ])
             .expect("level");
         assert_eq!(v.children(country), &[continent]);
         assert_eq!(v.parent(continent), Some(country));

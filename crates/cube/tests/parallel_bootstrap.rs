@@ -25,7 +25,10 @@ fn assert_parallel_matches_serial(dataset: re2x_datagen::Dataset) {
         dataset.name
     );
     // sanity: the discovered shape is the one the generator committed to
-    assert_eq!(serial.schema.dimensions().len(), dataset.expected.dimensions);
+    assert_eq!(
+        serial.schema.dimensions().len(),
+        dataset.expected.dimensions
+    );
     assert_eq!(serial.schema.measures().len(), dataset.expected.measures);
 }
 

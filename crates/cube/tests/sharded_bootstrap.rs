@@ -10,11 +10,8 @@ use re2x_sparql::{LocalEndpoint, ShardedEndpoint};
 fn assert_sharded_matches_local(dataset: re2x_datagen::Dataset, shards: usize) {
     let config = BootstrapConfig::new(dataset.observation_class.clone());
     let local = LocalEndpoint::new(dataset.graph.clone());
-    let sharded = ShardedEndpoint::with_observation_class(
-        dataset.graph,
-        &dataset.observation_class,
-        shards,
-    );
+    let sharded =
+        ShardedEndpoint::with_observation_class(dataset.graph, &dataset.observation_class, shards);
 
     let reference = bootstrap(&local, &config).expect("local bootstrap");
     let over_shards = bootstrap(&sharded, &config).expect("sharded bootstrap");
@@ -30,7 +27,10 @@ fn assert_sharded_matches_local(dataset: re2x_datagen::Dataset, shards: usize) {
         dataset.name
     );
     // Sanity: the discovered shape is the one the generator committed to.
-    assert_eq!(reference.schema.dimensions().len(), dataset.expected.dimensions);
+    assert_eq!(
+        reference.schema.dimensions().len(),
+        dataset.expected.dimensions
+    );
     assert_eq!(reference.schema.measures().len(), dataset.expected.measures);
 }
 
@@ -58,11 +58,8 @@ fn parallel_bootstrap_over_sharded_endpoint() {
     let dataset = re2x_datagen::eurostat::generate(400, 3);
     let config = BootstrapConfig::new(dataset.observation_class.clone());
     let local = LocalEndpoint::new(dataset.graph.clone());
-    let sharded = ShardedEndpoint::with_observation_class(
-        dataset.graph,
-        &dataset.observation_class,
-        4,
-    );
+    let sharded =
+        ShardedEndpoint::with_observation_class(dataset.graph, &dataset.observation_class, 4);
     let reference = bootstrap(&local, &config).expect("local bootstrap");
     let parallel = bootstrap_parallel(&sharded, &config).expect("parallel sharded bootstrap");
     assert_eq!(parallel.schema, reference.schema);

@@ -258,12 +258,16 @@ mod tests {
     #[test]
     fn members_are_labelled_and_deduplicated() {
         let mut g = Graph::new();
-        let pool = make_members(&mut g, "http://d/", "country", 3, |i| format!("Country {i}"));
+        let pool = make_members(&mut g, "http://d/", "country", 3, |i| {
+            format!("Country {i}")
+        });
         assert_eq!(pool.len(), 3);
         assert_eq!(pool.labels[2], "Country 2");
         assert_eq!(g.len(), 3, "one label triple per member");
         // same call again: members already interned, labels deduplicated
-        let again = make_members(&mut g, "http://d/", "country", 3, |i| format!("Country {i}"));
+        let again = make_members(&mut g, "http://d/", "country", 3, |i| {
+            format!("Country {i}")
+        });
         assert_eq!(again.ids, pool.ids);
         assert_eq!(g.len(), 3);
     }

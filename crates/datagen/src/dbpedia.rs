@@ -102,7 +102,12 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
         .iter()
         .map(|(local, label)| declare_predicate(&mut graph, NS, local, label))
         .collect();
-    rollup_preds.push(declare_predicate(&mut graph, NS, "nationality", "Nationality"));
+    rollup_preds.push(declare_predicate(
+        &mut graph,
+        NS,
+        "nationality",
+        "Nationality",
+    ));
     rollup_preds.push(declare_predicate(&mut graph, NS, "movement", "Movement"));
     rollup_preds.push(declare_predicate(&mut graph, NS, "period", "Period"));
     let p_measure = declare_predicate(&mut graph, NS, "playCount", "Play Count");
@@ -122,7 +127,9 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
         format!("Parent Genre {i}")
     });
     let artists = make_members(&mut graph, NS, "artist", ARTISTS, |i| format!("Artist {i}"));
-    let hometowns = make_members(&mut graph, NS, "hometown", HOMETOWNS, |i| format!("Town {i}"));
+    let hometowns = make_members(&mut graph, NS, "hometown", HOMETOWNS, |i| {
+        format!("Town {i}")
+    });
     let countries = make_members(&mut graph, NS, "country", COUNTRIES, |i| {
         format!("Nation {i}")
     });
@@ -132,7 +139,9 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
     let decades = make_members(&mut graph, NS, "activeDecade", ACTIVE_DECADES, |i| {
         format!("{}s", 1930 + 10 * i)
     });
-    let labels = make_members(&mut graph, NS, "recordLabel", LABELS, |i| format!("Label {i}"));
+    let labels = make_members(&mut graph, NS, "recordLabel", LABELS, |i| {
+        format!("Label {i}")
+    });
     let label_countries = make_members(&mut graph, NS, "labelCountry", LABEL_COUNTRIES, |i| {
         format!("Label Nation {i}")
     });
@@ -141,25 +150,32 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
     let label_genres = make_members(&mut graph, NS, "labelGenre", LABEL_GENRES, |i| {
         format!("Genre {i}")
     });
-    let label_parents =
-        make_members(&mut graph, NS, "labelParentGenre", LABEL_PARENT_GENRES, |i| {
-            format!("Parent Genre {i}")
-        });
+    let label_parents = make_members(
+        &mut graph,
+        NS,
+        "labelParentGenre",
+        LABEL_PARENT_GENRES,
+        |i| format!("Parent Genre {i}"),
+    );
     let founding = make_members(&mut graph, NS, "foundingDecade", FOUNDING_DECADES, |i| {
         format!("Founded {}s", 1900 + 10 * i)
     });
     let instruments = make_members(&mut graph, NS, "instrument", INSTRUMENTS, |i| {
         format!("Instrument {i}")
     });
-    let families = make_members(&mut graph, NS, "family", FAMILIES, |i| format!("Family {i}"));
-    let instrument_origins =
-        make_members(&mut graph, NS, "instrumentOrigin", INSTRUMENT_ORIGINS, |i| {
-            format!("Instrument Origin {i}")
-        });
-    let classifications =
-        make_members(&mut graph, NS, "classification", CLASSIFICATIONS, |i| {
-            format!("Classification {i}")
-        });
+    let families = make_members(&mut graph, NS, "family", FAMILIES, |i| {
+        format!("Family {i}")
+    });
+    let instrument_origins = make_members(
+        &mut graph,
+        NS,
+        "instrumentOrigin",
+        INSTRUMENT_ORIGINS,
+        |i| format!("Instrument Origin {i}"),
+    );
+    let classifications = make_members(&mut graph, NS, "classification", CLASSIFICATIONS, |i| {
+        format!("Classification {i}")
+    });
     let directors = make_members(&mut graph, NS, "director", DIRECTORS, |i| {
         format!("Director {i}")
     });
@@ -183,8 +199,20 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
     link_rollup(&mut graph, &hometowns, &countries, &pred("country"), None);
     link_rollup(&mut graph, &artists, &acts, &pred("associatedAct"), None);
     link_rollup(&mut graph, &artists, &decades, &pred("activeDecade"), None);
-    link_rollup(&mut graph, &labels, &label_countries, &pred("labelCountry"), None);
-    link_rollup(&mut graph, &labels, &label_genres, &pred("labelGenre"), Some(&mut rng));
+    link_rollup(
+        &mut graph,
+        &labels,
+        &label_countries,
+        &pred("labelCountry"),
+        None,
+    );
+    link_rollup(
+        &mut graph,
+        &labels,
+        &label_genres,
+        &pred("labelGenre"),
+        Some(&mut rng),
+    );
     link_rollup(
         &mut graph,
         &label_genres,
@@ -192,7 +220,13 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
         &pred("labelParentGenre"),
         None,
     );
-    link_rollup(&mut graph, &labels, &founding, &pred("foundingDecade"), None);
+    link_rollup(
+        &mut graph,
+        &labels,
+        &founding,
+        &pred("foundingDecade"),
+        None,
+    );
     link_rollup(&mut graph, &instruments, &families, &pred("family"), None);
     link_rollup(
         &mut graph,
@@ -208,7 +242,13 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
         &pred("classification"),
         None,
     );
-    link_rollup(&mut graph, &directors, &nationalities, &pred("nationality"), None);
+    link_rollup(
+        &mut graph,
+        &directors,
+        &nationalities,
+        &pred("nationality"),
+        None,
+    );
     link_rollup(&mut graph, &directors, &movements, &pred("movement"), None);
     link_rollup(&mut graph, &movements, &periods, &pred("period"), None);
 
@@ -232,8 +272,16 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
             let extra = rng.gen_range(0..GENRES);
             graph.insert_ids(obs, p_genre_id, genres.ids[extra]);
         }
-        graph.insert_ids(obs, p_artist_id, artists.ids[pick_member(j, ARTISTS, &mut rng)]);
-        graph.insert_ids(obs, p_label_id, labels.ids[pick_member(j, LABELS, &mut rng)]);
+        graph.insert_ids(
+            obs,
+            p_artist_id,
+            artists.ids[pick_member(j, ARTISTS, &mut rng)],
+        );
+        graph.insert_ids(
+            obs,
+            p_label_id,
+            labels.ids[pick_member(j, LABELS, &mut rng)],
+        );
         graph.insert_ids(
             obs,
             p_instrument_id,

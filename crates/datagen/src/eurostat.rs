@@ -25,26 +25,79 @@ const NS: &str = "http://data.example.org/eurostat/";
 /// [`DEST_REGIONS`]); named after EU member states for recognizable
 /// examples.
 const DEST_NAMES: [&str; 32] = [
-    "Germany", "France", "Italy", "Austria", "Sweden", "Spain", "Portugal", "Netherlands",
-    "Belgium", "Greece", "Poland", "Czechia", "Hungary", "Romania", "Bulgaria", "Croatia",
-    "Slovenia", "Slovakia", "Denmark", "Finland", "Ireland", "Luxembourg", "Malta", "Cyprus",
-    "Estonia", "Latvia", "Lithuania", "Norway", "Switzerland", "Iceland", "Liechtenstein",
+    "Germany",
+    "France",
+    "Italy",
+    "Austria",
+    "Sweden",
+    "Spain",
+    "Portugal",
+    "Netherlands",
+    "Belgium",
+    "Greece",
+    "Poland",
+    "Czechia",
+    "Hungary",
+    "Romania",
+    "Bulgaria",
+    "Croatia",
+    "Slovenia",
+    "Slovakia",
+    "Denmark",
+    "Finland",
+    "Ireland",
+    "Luxembourg",
+    "Malta",
+    "Cyprus",
+    "Estonia",
+    "Latvia",
+    "Lithuania",
+    "Norway",
+    "Switzerland",
+    "Iceland",
+    "Liechtenstein",
     "Albania",
 ];
 
 /// Common origin-country names for the remaining pool.
 const ORIGIN_NAMES: [&str; 12] = [
-    "Syria", "Afghanistan", "Iraq", "Eritrea", "Nigeria", "Pakistan", "Somalia", "Iran",
-    "Ukraine", "Russia", "China", "Bangladesh",
+    "Syria",
+    "Afghanistan",
+    "Iraq",
+    "Eritrea",
+    "Nigeria",
+    "Pakistan",
+    "Somalia",
+    "Iran",
+    "Ukraine",
+    "Russia",
+    "China",
+    "Bangladesh",
 ];
 
 const CONTINENTS: [&str; 7] = [
-    "Europe", "Asia", "Africa", "Americas", "Oceania", "Middle East", "Caribbean",
+    "Europe",
+    "Asia",
+    "Africa",
+    "Americas",
+    "Oceania",
+    "Middle East",
+    "Caribbean",
 ];
 
 const MONTH_NAMES: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 const COUNTRIES: usize = 171;
@@ -187,11 +240,9 @@ mod tests {
         let dest = dest_indices();
         assert_eq!(dest.len(), 32);
         // exactly 5 regions, exactly 2 continents
-        let regions: std::collections::BTreeSet<usize> =
-            dest.iter().map(|i| i % REGIONS).collect();
+        let regions: std::collections::BTreeSet<usize> = dest.iter().map(|i| i % REGIONS).collect();
         assert_eq!(regions.len(), 5);
-        let continents: std::collections::BTreeSet<usize> =
-            regions.iter().map(|r| r % 7).collect();
+        let continents: std::collections::BTreeSet<usize> = regions.iter().map(|r| r % 7).collect();
         assert_eq!(continents.len(), 2);
         // Germany is a destination
         assert_eq!(dest[0], 0);

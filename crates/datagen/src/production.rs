@@ -35,12 +35,27 @@ const SCENARIOS: usize = 8;
 const UNITS: usize = 10;
 
 const AREA_NAMES: [&str; 8] = [
-    "China", "United States", "Germany", "Japan", "India", "Brazil", "Denmark", "Norway",
+    "China",
+    "United States",
+    "Germany",
+    "Japan",
+    "India",
+    "Brazil",
+    "Denmark",
+    "Norway",
 ];
 const FLOW_NAMES: [&str; FLOWS] = ["Domestic", "Import", "Export", "Re-export", "Transit"];
 const UNIT_NAMES: [&str; UNITS] = [
-    "Tonnes", "Kilograms", "Megajoules", "Kilowatt Hours", "Euros", "Dollars", "Cubic Metres",
-    "Litres", "Hectares", "Hours",
+    "Tonnes",
+    "Kilograms",
+    "Megajoules",
+    "Kilowatt Hours",
+    "Euros",
+    "Dollars",
+    "Cubic Metres",
+    "Litres",
+    "Hectares",
+    "Hours",
 ];
 
 /// Generates the dataset. Member counts are exact whenever
@@ -137,7 +152,12 @@ mod tests {
     #[test]
     fn member_arithmetic_matches_table3() {
         assert_eq!(
-            AREAS + (INDUSTRIES + SECTORS) + (PRODUCTS + CATEGORIES) + FLOWS + YEARS + SCENARIOS
+            AREAS
+                + (INDUSTRIES + SECTORS)
+                + (PRODUCTS + CATEGORIES)
+                + FLOWS
+                + YEARS
+                + SCENARIOS
                 + UNITS,
             6444
         );

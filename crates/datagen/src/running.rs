@@ -52,7 +52,12 @@ const CONTINENT_OF: [(&str, &str); 4] = [
 pub fn generate() -> Dataset {
     let mut graph = Graph::new();
 
-    let p_dest = declare_predicate(&mut graph, NS, "countryDestination", "Country of Destination");
+    let p_dest = declare_predicate(
+        &mut graph,
+        NS,
+        "countryDestination",
+        "Country of Destination",
+    );
     let p_origin = declare_predicate(&mut graph, NS, "countryOrigin", "Country of Origin");
     let p_period = declare_predicate(&mut graph, NS, "refPeriod", "Ref Period");
     let p_sex = declare_predicate(&mut graph, NS, "sex", "Sex");
@@ -82,7 +87,11 @@ pub fn generate() -> Dataset {
     let year_pred = graph.intern_iri(&p_year);
     for year in ["2013", "2014"] {
         let y = member(&mut graph, &format!("year/{year}"), year);
-        let m = member(&mut graph, &format!("month/October{year}"), &format!("October {year}"));
+        let m = member(
+            &mut graph,
+            &format!("month/October{year}"),
+            &format!("October {year}"),
+        );
         graph.insert_ids(m, year_pred, y);
     }
     for sex in ["Male", "Female"] {
@@ -190,7 +199,9 @@ mod tests {
         let d = generate();
         assert_eq!(d.observations, 22);
         let g = &d.graph;
-        let syria = g.iri_id(&format!("{NS}member/country/Syria")).expect("syria");
+        let syria = g
+            .iri_id(&format!("{NS}member/country/Syria"))
+            .expect("syria");
         let cont = g.iri_id(&format!("{NS}inContinent")).expect("pred");
         let asia = g.objects(syria, cont);
         assert_eq!(asia.len(), 1);

@@ -1,1 +1,3 @@
+#![forbid(unsafe_code)]
+
 //! Hosts the workspace-level integration tests and examples.

@@ -1,0 +1,199 @@
+//! Workspace walk, rule dispatch, suppression handling, baseline
+//! matching, and the lock-graph assembly.
+
+use crate::findings::Finding;
+use crate::rules::lock_order::{self, LockEdge, LockRegistration};
+use crate::rules::{debug_output, forbid_unsafe, panic_freedom, seam, wallclock};
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Crates whose whole purpose is measurement or test infrastructure:
+/// exempt from panic-freedom (asserting is their job).
+const PANIC_FREEDOM_SKIP: &[&str] = &["bench", "testkit"];
+/// The experiment harness measures wall time by design.
+const WALLCLOCK_SKIP: &[&str] = &["bench"];
+/// The experiment harness reports to the terminal by design.
+const DEBUG_OUTPUT_SKIP: &[&str] = &["bench"];
+/// The algorithm layers bound to the `SparqlEndpoint` seam.
+const SEAM_ONLY: &[&str] = &["core", "cube"];
+
+/// The result of linting a set of files (before baseline application).
+#[derive(Debug, Default)]
+pub struct LintResult {
+    /// Findings that survived `lint:allow` suppression.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by `lint:allow` comments.
+    pub suppressed: usize,
+    /// The workspace lock registry.
+    pub registrations: Vec<LockRegistration>,
+    /// The workspace nested-acquisition graph.
+    pub edges: Vec<LockEdge>,
+}
+
+/// Lints prepared source files (the unit the fixture tests drive).
+pub fn lint_files(files: &[SourceFile]) -> LintResult {
+    let mut result = LintResult::default();
+    for file in files {
+        let mut raw: Vec<Finding> = Vec::new();
+        if !PANIC_FREEDOM_SKIP.contains(&file.crate_name.as_str()) {
+            raw.extend(panic_freedom::check(file));
+        }
+        if !WALLCLOCK_SKIP.contains(&file.crate_name.as_str()) {
+            raw.extend(wallclock::check(file));
+        }
+        if !DEBUG_OUTPUT_SKIP.contains(&file.crate_name.as_str()) {
+            raw.extend(debug_output::check(file));
+        }
+        if SEAM_ONLY.contains(&file.crate_name.as_str()) {
+            raw.extend(seam::check(file));
+        }
+        if file.path.ends_with("src/lib.rs") {
+            raw.extend(forbid_unsafe::check(file));
+        }
+        let locks = lock_order::analyze(file);
+        raw.extend(locks.findings);
+        result.registrations.extend(locks.registrations);
+        result.edges.extend(locks.edges);
+
+        for finding in raw {
+            if file.is_allowed(finding.rule, finding.line) {
+                result.suppressed += 1;
+            } else {
+                result.findings.push(finding);
+            }
+        }
+    }
+
+    // Workspace-level lock-order checks: duplicate names and cycles.
+    result
+        .findings
+        .extend(lock_order::duplicate_name_findings(&result.registrations));
+    for cycle in lock_order::find_cycles(&result.edges) {
+        let (file, line) = cycle.site.clone();
+        result.findings.push(Finding {
+            rule: "lock-order",
+            file,
+            line,
+            snippet: cycle.path.join(" -> "),
+            message: format!(
+                "lock-order cycle: {} (a thread interleaving can deadlock here)",
+                cycle.path.join(" -> ")
+            ),
+        });
+    }
+
+    // Deterministic output order.
+    result
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    result
+}
+
+/// Reads and prepares every `crates/*/src/**/*.rs` under `root`.
+pub fn collect_files(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut sources = Vec::new();
+        walk_rs(&crate_dir.join("src"), &mut sources)?;
+        sources.sort();
+        for path in sources {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::new(rel, crate_name.clone(), text));
+        }
+    }
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("walk error: {e}"))?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of matching findings against a checked-in baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new_findings: Vec<Finding>,
+    /// Number of findings absorbed by baseline entries.
+    pub matched: usize,
+    /// Baseline entries that no longer match any finding — the baseline
+    /// must shrink when violations are fixed, so these also fail the gate.
+    pub stale: Vec<String>,
+}
+
+/// Matches findings against baseline lines (multiset semantics: one
+/// baseline line absorbs exactly one finding with the same key).
+pub fn apply_baseline(findings: Vec<Finding>, baseline_lines: &[String]) -> BaselineOutcome {
+    let mut budget: Vec<(String, usize)> = Vec::new();
+    for line in baseline_lines {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match budget.iter_mut().find(|(k, _)| k == line) {
+            Some((_, n)) => *n += 1,
+            None => budget.push((line.to_owned(), 1)),
+        }
+    }
+    let mut outcome = BaselineOutcome::default();
+    for finding in findings {
+        let key = finding.baseline_key();
+        match budget.iter_mut().find(|(k, n)| *k == key && *n > 0) {
+            Some((_, n)) => {
+                *n -= 1;
+                outcome.matched += 1;
+            }
+            None => outcome.new_findings.push(finding),
+        }
+    }
+    for (key, n) in budget {
+        for _ in 0..n {
+            outcome.stale.push(key.clone());
+        }
+    }
+    outcome.stale.sort();
+    outcome
+}
+
+/// Renders findings as baseline lines (sorted, one per finding).
+pub fn to_baseline(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+    lines.sort();
+    let mut out = String::from(
+        "# re2x-lint suppression baseline: pre-existing findings accepted as debt.\n\
+         # The gate fails on any finding not listed here AND on stale entries,\n\
+         # so this file can only shrink. Regenerate with: re2x-lint --write-baseline\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,448 @@
+//! A small comment/string/raw-string-aware Rust tokenizer.
+//!
+//! The lexer is *not* a full Rust lexer: it only needs to be precise about
+//! the places where naive text search goes wrong — string literals (escape
+//! sequences, raw strings with arbitrary `#` fences, byte strings), char
+//! literals vs. lifetimes, nested block comments — so that the rule engine
+//! never mistakes `"panic!"` inside a string or a doc comment for a real
+//! panic site. Everything else is classified coarsely (identifiers,
+//! numbers, one-character punctuation).
+//!
+//! Tokens carry byte spans into the original source; the invariant tested
+//! by the property suite is that tokens are in order, non-overlapping, and
+//! that the bytes between consecutive tokens are pure whitespace — i.e.
+//! spans round-trip the input exactly.
+
+/// Coarse token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `!`, …).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+    /// Numeric literal (lexed greedily; `1.0e-3` is one token).
+    Num,
+    /// `// …` comment (including doc comments), excluding the newline.
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+}
+
+/// One token: kind plus byte span and 1-based line number of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `source`.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    chars: std::str::CharIndices<'s>,
+    line: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self) -> Option<(usize, char)> {
+        self.chars.clone().next()
+    }
+
+    fn peek2(&self) -> Option<(usize, char)> {
+        self.chars.clone().nth(1)
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, '\n')) = next {
+            self.line += 1;
+        }
+        next
+    }
+
+    fn pos(&self) -> usize {
+        self.peek().map_or(self.src.len(), |(i, _)| i)
+    }
+}
+
+/// Tokenizes `source`. Never panics: malformed input (unterminated
+/// strings or comments, stray bytes) degrades to coarser tokens that
+/// still satisfy the span round-trip invariant.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut cursor = Cursor {
+        src: source,
+        chars: source.char_indices(),
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some((start, c)) = cursor.peek() {
+        let line = cursor.line;
+        let kind = match c {
+            c if c.is_whitespace() => {
+                cursor.bump();
+                continue;
+            }
+            '/' => match cursor.peek2().map(|(_, c)| c) {
+                Some('/') => lex_line_comment(&mut cursor),
+                Some('*') => lex_block_comment(&mut cursor),
+                _ => lex_punct(&mut cursor),
+            },
+            '"' => lex_string(&mut cursor),
+            '\'' => lex_char_or_lifetime(&mut cursor),
+            'r' | 'b' => lex_maybe_prefixed(&mut cursor),
+            c if is_ident_start(c) => lex_ident(&mut cursor),
+            c if c.is_ascii_digit() => lex_number(&mut cursor),
+            _ => lex_punct(&mut cursor),
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: cursor.pos(),
+            line,
+        });
+    }
+    tokens
+}
+
+fn lex_punct(cursor: &mut Cursor) -> TokenKind {
+    cursor.bump();
+    TokenKind::Punct
+}
+
+fn lex_ident(cursor: &mut Cursor) -> TokenKind {
+    while let Some((_, c)) = cursor.peek() {
+        if is_ident_continue(c) {
+            cursor.bump();
+        } else {
+            break;
+        }
+    }
+    TokenKind::Ident
+}
+
+fn lex_number(cursor: &mut Cursor) -> TokenKind {
+    // Greedy: digits, `_`, `.` followed by a digit, exponents with an
+    // optional sign, and alphabetic suffixes (`u64`, `f32`, hex digits).
+    cursor.bump();
+    while let Some((_, c)) = cursor.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            let prev_exp = matches!(c, 'e' | 'E');
+            cursor.bump();
+            if prev_exp {
+                if let Some((_, sign)) = cursor.peek() {
+                    if sign == '+' || sign == '-' {
+                        cursor.bump();
+                    }
+                }
+            }
+        } else if c == '.' {
+            match cursor.peek2() {
+                Some((_, d)) if d.is_ascii_digit() => {
+                    cursor.bump();
+                    cursor.bump();
+                }
+                _ => break, // method call on a literal, range, …
+            }
+        } else {
+            break;
+        }
+    }
+    TokenKind::Num
+}
+
+fn lex_line_comment(cursor: &mut Cursor) -> TokenKind {
+    while let Some((_, c)) = cursor.peek() {
+        if c == '\n' {
+            break;
+        }
+        cursor.bump();
+    }
+    TokenKind::LineComment
+}
+
+fn lex_block_comment(cursor: &mut Cursor) -> TokenKind {
+    cursor.bump(); // '/'
+    cursor.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cursor.peek(), cursor.peek2()) {
+            (Some((_, '*')), Some((_, '/'))) => {
+                cursor.bump();
+                cursor.bump();
+                depth -= 1;
+            }
+            (Some((_, '/')), Some((_, '*'))) => {
+                cursor.bump();
+                cursor.bump();
+                depth += 1;
+            }
+            (Some(_), _) => {
+                cursor.bump();
+            }
+            (None, _) => break, // unterminated: swallow to EOF
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// Lexes a `"…"` string with escape sequences; the opening quote is the
+/// next character.
+fn lex_string(cursor: &mut Cursor) -> TokenKind {
+    cursor.bump(); // opening '"'
+    while let Some((_, c)) = cursor.bump() {
+        match c {
+            '\\' => {
+                cursor.bump(); // the escaped character, e.g. `\"`
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    TokenKind::Str
+}
+
+/// Lexes a raw string `r"…"` / `r#"…"#` with `hashes` fence characters;
+/// the cursor stands on the opening quote.
+fn lex_raw_string_body(cursor: &mut Cursor, hashes: usize) -> TokenKind {
+    cursor.bump(); // opening '"'
+    'scan: while let Some((_, c)) = cursor.bump() {
+        if c == '"' {
+            // need `hashes` consecutive '#' to close
+            let mut lookahead = cursor.chars.clone();
+            for _ in 0..hashes {
+                match lookahead.next() {
+                    Some((_, '#')) => {}
+                    _ => continue 'scan,
+                }
+            }
+            for _ in 0..hashes {
+                cursor.bump();
+            }
+            break;
+        }
+    }
+    TokenKind::Str
+}
+
+/// Entered on `r` or `b`: raw strings, byte strings, raw identifiers, or a
+/// plain identifier starting with those letters.
+fn lex_maybe_prefixed(cursor: &mut Cursor) -> TokenKind {
+    let (_, first) = cursor.peek().unwrap_or((0, 'r'));
+    // Clone-scan the prefix without consuming, then dispatch.
+    let mut probe = cursor.chars.clone();
+    probe.next(); // skip the r/b
+    let mut prefix = String::from(first);
+    let mut hashes = 0usize;
+    loop {
+        match probe.next() {
+            Some((_, '#')) => {
+                hashes += 1;
+                if hashes > 255 {
+                    break; // not a raw string fence; raw idents use 1 '#'
+                }
+            }
+            Some((_, '"')) => {
+                // r"…", br#"…"#, b"…"
+                let is_raw = prefix.contains('r') || hashes > 0;
+                cursor.bump(); // r or b
+                if prefix.len() > 1 {
+                    cursor.bump(); // the second prefix letter
+                }
+                for _ in 0..hashes {
+                    cursor.bump();
+                }
+                return if is_raw {
+                    lex_raw_string_body(cursor, hashes)
+                } else {
+                    lex_string(cursor)
+                };
+            }
+            Some((_, '\'')) if prefix == "b" && hashes == 0 => {
+                cursor.bump(); // b
+                cursor.bump(); // opening '\''
+                return lex_char_body(cursor);
+            }
+            Some((_, c)) if hashes == 0 && prefix.len() == 1 && (c == 'r' || c == 'b') => {
+                // possible two-letter prefix: br / rb (only br is real Rust,
+                // but the distinction doesn't matter here)
+                prefix.push(c);
+            }
+            Some((_, c)) if hashes == 1 && is_ident_start(c) => {
+                // raw identifier r#match
+                cursor.bump(); // r
+                cursor.bump(); // #
+                return lex_ident(cursor);
+            }
+            _ => break,
+        }
+    }
+    lex_ident(cursor)
+}
+
+/// Lexes the body of a char literal after the opening quote was consumed.
+fn lex_char_body(cursor: &mut Cursor) -> TokenKind {
+    if let Some((_, c)) = cursor.bump() {
+        if c == '\\' {
+            cursor.bump();
+        }
+    }
+    // consume up to the closing quote (chars like '\u{1F600}' span bytes)
+    while let Some((_, c)) = cursor.peek() {
+        cursor.bump();
+        if c == '\'' {
+            break;
+        }
+    }
+    TokenKind::Char
+}
+
+/// Entered on `'`: either a char literal or a lifetime/label.
+fn lex_char_or_lifetime(cursor: &mut Cursor) -> TokenKind {
+    // Lifetime: '<ident-start> not followed by a closing quote.
+    if let (Some((_, c1)), c2) = (cursor.peek2(), cursor.chars.clone().nth(2).map(|(_, c)| c)) {
+        if is_ident_start(c1) && c2 != Some('\'') {
+            cursor.bump(); // '
+            lex_ident(cursor);
+            return TokenKind::Lifetime;
+        }
+    }
+    cursor.bump(); // '
+    lex_char_body(cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("self.state.lock()"),
+            vec![
+                (TokenKind::Ident, "self"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "state"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "lock"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_hides_panic() {
+        let toks = kinds(r#"let m = "panic!(oops)";"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""panic!(oops)""#)));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "panic"));
+    }
+
+    #[test]
+    fn raw_string_with_fences_and_quotes() {
+        let src = r##"r#"contains "quotes" and \ "#"##;
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, src);
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let toks = kinds(r##"b"bytes" b'\n' br#"raw"#"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Char);
+        assert_eq!(toks[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn doc_comment_hides_unwrap() {
+        let toks = kinds("/// call .unwrap() freely here\nlet x = 1;");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("r#match");
+        assert_eq!(toks, vec![(TokenKind::Ident, "r#match")]);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = tokenize("let s = \"oops");
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::Str));
+    }
+
+    #[test]
+    fn number_with_method_call() {
+        let toks = kinds("1.max(2) 1.5e-3 0xff_u64");
+        assert_eq!(toks[0], (TokenKind::Num, "1"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[2], (TokenKind::Ident, "max"));
+        assert!(toks.contains(&(TokenKind::Num, "1.5e-3")));
+        assert!(toks.contains(&(TokenKind::Num, "0xff_u64")));
+    }
+}

@@ -1,0 +1,37 @@
+//! # re2x-lint — workspace invariant checker
+//!
+//! A zero-dependency static-analysis library over the workspace's own
+//! source: a comment/string/raw-string-aware Rust tokenizer
+//! ([`lexer`]), a rule engine reporting structured findings
+//! ([`findings::Finding`]) as human text and JSON, a checked-in
+//! suppression baseline, and `// lint:allow(rule, reason)` escape
+//! hatches ([`source`]).
+//!
+//! The shipped rules (see `DESIGN.md` § Enforced invariants):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `panic-freedom`   | no `.unwrap()`/`.expect(`/`panic!`/`unreachable!` in non-test library code |
+//! | `lock-order`      | every `Mutex`/`RwLock` is registered (`// lock-order: name`) and the workspace nested-acquisition graph is acyclic |
+//! | `no-wallclock`    | `Instant::now`/`SystemTime` only in bench/latency-measurement layers |
+//! | `endpoint-seam`   | `core`/`cube` query only through the `SparqlEndpoint` trait |
+//! | `forbid-unsafe`   | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `no-debug-output` | no `println!`/`dbg!`/`eprintln!` in library crates |
+//!
+//! The binary (`cargo run -p re2x-lint`) walks `crates/*/src`, applies
+//! the rules, and exits nonzero on any finding outside the baseline —
+//! `scripts/verify.sh` runs it as a standing gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use engine::{apply_baseline, collect_files, lint_files, to_baseline, LintResult};
+pub use findings::{finding_to_json, finding_to_text, json_escape, Finding};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use source::SourceFile;

@@ -1,0 +1,186 @@
+//! The `re2x-lint` binary: lints the workspace and gates on the baseline.
+//!
+//! ```text
+//! re2x-lint [--root DIR] [--format text|json] [--baseline FILE]
+//!           [--write-baseline] [--no-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (every finding baselined or allowed), 1 findings
+//! outside the baseline or stale baseline entries, 2 usage/IO error.
+
+// lint:allow-file(no-debug-output, rendering findings to the terminal is this binary's job)
+
+use re2x_lint::engine::{apply_baseline, collect_files, lint_files, to_baseline};
+use re2x_lint::findings::{finding_to_json, finding_to_text, json_escape};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    no_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        format: Format::Text,
+        baseline: None,
+        write_baseline: false,
+        no_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a file")?));
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first directory containing
+/// a `crates/` subdirectory and a `Cargo.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no workspace root found (looked for crates/ + Cargo.toml)".to_owned());
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => find_root()?,
+    };
+    let files = collect_files(&root)?;
+    let result = lint_files(&files);
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    if opts.write_baseline {
+        std::fs::write(&baseline_path, to_baseline(&result.findings))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "re2x-lint: wrote {} entries to {}",
+            result.findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_lines: Vec<String> = if opts.no_baseline {
+        Vec::new()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text.lines().map(str::to_owned).collect(),
+            Err(_) => Vec::new(), // absent baseline == empty baseline
+        }
+    };
+    let outcome = apply_baseline(result.findings, &baseline_lines);
+
+    match opts.format {
+        Format::Json => {
+            let findings_json: Vec<String> =
+                outcome.new_findings.iter().map(finding_to_json).collect();
+            let stale_json: Vec<String> = outcome
+                .stale
+                .iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect();
+            let edges_json: Vec<String> = result
+                .edges
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{{\"from\":\"{}\",\"to\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                        json_escape(&e.from),
+                        json_escape(&e.to),
+                        json_escape(&e.file),
+                        e.line
+                    )
+                })
+                .collect();
+            let locks_json: Vec<String> = result
+                .registrations
+                .iter()
+                .map(|r| format!("\"{}\"", json_escape(&r.name)))
+                .collect();
+            println!(
+                "{{\"findings\":[{}],\"stale_baseline\":[{}],\"baseline_matched\":{},\"suppressed\":{},\"locks\":[{}],\"lock_edges\":[{}]}}",
+                findings_json.join(","),
+                stale_json.join(","),
+                outcome.matched,
+                result.suppressed,
+                locks_json.join(","),
+                edges_json.join(",")
+            );
+        }
+        Format::Text => {
+            for finding in &outcome.new_findings {
+                println!("{}", finding_to_text(finding));
+            }
+            for stale in &outcome.stale {
+                println!("stale baseline entry (violation fixed? prune it): {stale}");
+            }
+            println!(
+                "re2x-lint: {} finding(s), {} baselined, {} allowed, {} stale baseline entr(ies); {} registered lock(s), {} nesting edge(s)",
+                outcome.new_findings.len(),
+                outcome.matched,
+                result.suppressed,
+                outcome.stale.len(),
+                result.registrations.len(),
+                result.edges.len()
+            );
+        }
+    }
+
+    if outcome.new_findings.is_empty() && outcome.stale.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("re2x-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! `no-debug-output`: no `println!` / `eprintln!` / `print!` / `eprint!`
+//! / `dbg!` in library crates.
+//!
+//! Library layers return data; rendering belongs to transcript/exporter
+//! modules and binaries. Modules whose purpose *is* terminal output opt in
+//! with `// lint:allow-file(no-debug-output, reason)`.
+
+use super::{finding_at, significant};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+const OUTPUT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = significant(file);
+    let text = &file.text;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.in_test_region(t.start) {
+            continue;
+        }
+        let word = t.text(text);
+        if OUTPUT_MACROS.contains(&word) && toks.get(i + 1).map(|n| n.text(text)) == Some("!") {
+            findings.push(finding_at(
+                file,
+                "no-debug-output",
+                t,
+                format!("`{word}!` writes to the terminal from library code"),
+            ));
+        }
+    }
+    findings
+}

@@ -1,0 +1,37 @@
+//! `forbid-unsafe`: every crate root must carry `#![forbid(unsafe_code)]`.
+//!
+//! The workspace is pure safe Rust; making the compiler enforce that at
+//! every root means a future `unsafe` block is a deliberate, reviewed
+//! decision (the attribute must be removed first) rather than a drive-by.
+
+use super::significant;
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Checks one crate root (the engine calls this for `src/lib.rs` only;
+/// binaries inherit the guarantee through the library they link).
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = significant(file);
+    let text = &file.text;
+    for i in 0..toks.len() {
+        // # ! [ forbid ( unsafe_code ) ]
+        if toks[i].text(text) == "#"
+            && toks.get(i + 1).map(|t| t.text(text)) == Some("!")
+            && toks.get(i + 2).map(|t| t.text(text)) == Some("[")
+            && toks.get(i + 3).map(|t| t.text(text)) == Some("forbid")
+            && toks.get(i + 4).map(|t| t.text(text)) == Some("(")
+            && toks.get(i + 5).map(|t| t.text(text)) == Some("unsafe_code")
+            && toks.get(i + 6).map(|t| t.text(text)) == Some(")")
+            && toks.get(i + 7).map(|t| t.text(text)) == Some("]")
+        {
+            return Vec::new();
+        }
+    }
+    vec![Finding {
+        rule: "forbid-unsafe",
+        file: file.path.clone(),
+        line: 1,
+        snippet: "(crate root)".to_owned(),
+        message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+    }]
+}

@@ -1,0 +1,432 @@
+//! `lock-order`: a real deadlock detector for the workspace's lock stack.
+//!
+//! Three cooperating checks:
+//!
+//! 1. **Registry** — every `Mutex<…>` / `RwLock<…>` field must be declared
+//!    in the lock registry with a `// lock-order: <name>` annotation on
+//!    (or directly above) the field. Unregistered locks are findings: a
+//!    lock nobody named is a lock nobody ordered.
+//! 2. **Acquisition extraction** — every `.lock()` / `.read()` /
+//!    `.write()` on a registered field (including through the
+//!    poison-tolerant `lock_or_recover(&…)` helper) is resolved to its
+//!    lock name. Guard lifetimes are tracked lexically: a `let`-bound
+//!    guard is held until its enclosing block closes or an explicit
+//!    `drop(guard)`, an unbound temporary until the end of its statement.
+//! 3. **Nested-acquisition graph** — acquiring lock B while holding lock A
+//!    adds the edge A → B. The engine unions edges across the workspace
+//!    and fails on any cycle (including A → A re-acquisition, which
+//!    self-deadlocks on a non-reentrant `std::sync::Mutex`).
+//!
+//! The analysis is intra-function and lexical: it cannot see a nesting
+//! that spans a call boundary. The workspace convention backing that
+//! limitation is that no function calls out of the crate while holding a
+//! lock — the decorator stack drops its guard before invoking the inner
+//! endpoint (see `CachingEndpoint::select`).
+
+use super::significant;
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// A named lock declared in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockRegistration {
+    /// Declared name (`sparql.cache.state`).
+    pub name: String,
+    /// The annotated field identifier (`state`).
+    pub field: String,
+    /// File of the declaration.
+    pub file: String,
+    /// Line of the field.
+    pub line: u32,
+}
+
+/// One `A → B` nested acquisition: lock `to` acquired while `from` held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// The held lock.
+    pub from: String,
+    /// The lock acquired under it.
+    pub to: String,
+    /// Site of the inner acquisition.
+    pub file: String,
+    /// Line of the inner acquisition.
+    pub line: u32,
+}
+
+/// Everything the rule extracts from one file.
+#[derive(Debug, Default)]
+pub struct FileLocks {
+    /// Locks registered in this file.
+    pub registrations: Vec<LockRegistration>,
+    /// Nested acquisitions observed in this file.
+    pub edges: Vec<LockEdge>,
+    /// Per-file findings (unregistered locks, dangling annotations).
+    pub findings: Vec<Finding>,
+}
+
+/// Runs registry extraction and nesting analysis over one file.
+pub fn analyze(file: &SourceFile) -> FileLocks {
+    let mut out = FileLocks::default();
+    let registrations = extract_registry(file, &mut out.findings);
+    let field_to_name: Vec<(&str, &str)> = registrations
+        .iter()
+        .map(|r| (r.field.as_str(), r.name.as_str()))
+        .collect();
+    extract_edges(file, &field_to_name, &mut out.edges);
+    out.registrations = registrations;
+    out
+}
+
+/// Parses `// lock-order: name` comments and pairs each with the lock
+/// field on the same or the directly following line. Flags `Mutex`/`RwLock`
+/// fields that have no annotation.
+fn extract_registry(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<LockRegistration> {
+    let text = &file.text;
+    // (line, name) of each annotation comment
+    let mut annotations: Vec<(u32, String)> = Vec::new();
+    for t in &file.tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        // Only a plain comment *starting with* the directive registers a
+        // lock; doc-comment prose about the syntax does not.
+        let Some(body) = crate::source::plain_comment_body(t.text(text)) else {
+            continue;
+        };
+        if let Some(rest) = body.strip_prefix("lock-order:") {
+            let name = rest.split_whitespace().next().unwrap_or("").to_owned();
+            if name.is_empty() {
+                findings.push(Finding {
+                    rule: "lock-order",
+                    file: file.path.clone(),
+                    line: t.line,
+                    snippet: file.line_snippet(t.line),
+                    message: "`lock-order:` annotation without a lock name".to_owned(),
+                });
+            } else {
+                annotations.push((t.line, name));
+            }
+        }
+    }
+
+    let toks = significant(file);
+    let mut registrations = Vec::new();
+    let mut used_annotations = vec![false; annotations.len()];
+    for (i, decl_line, field) in lock_field_decls(&toks, text) {
+        if file.in_test_region(toks[i].start) {
+            continue;
+        }
+        // annotation on the field's line or the line directly above
+        let annotation = annotations
+            .iter()
+            .position(|(line, _)| *line == decl_line || *line + 1 == decl_line);
+        match annotation {
+            Some(idx) => {
+                used_annotations[idx] = true;
+                registrations.push(LockRegistration {
+                    name: annotations[idx].1.clone(),
+                    field: field.to_owned(),
+                    file: file.path.clone(),
+                    line: decl_line,
+                });
+            }
+            None => findings.push(Finding {
+                rule: "lock-order",
+                file: file.path.clone(),
+                line: decl_line,
+                snippet: file.line_snippet(decl_line),
+                message: format!(
+                    "lock field `{field}` is not in the registry; add `// lock-order: <name>`"
+                ),
+            }),
+        }
+    }
+    for (idx, used) in used_annotations.iter().enumerate() {
+        if !used {
+            let (line, name) = &annotations[idx];
+            findings.push(Finding {
+                rule: "lock-order",
+                file: file.path.clone(),
+                line: *line,
+                snippet: file.line_snippet(*line),
+                message: format!("`lock-order: {name}` annotation matches no lock field"),
+            });
+        }
+    }
+    registrations
+}
+
+/// Yields `(token_index, line, field_name)` for every field-like
+/// declaration `field: [path::]Mutex<…>` / `RwLock<…>`. Reference types
+/// (`&Mutex<…>`, i.e. borrowed parameters) and wrapped locks inside other
+/// generics are deliberately not treated as declarations.
+fn lock_field_decls<'s>(toks: &[Token], text: &'s str) -> Vec<(usize, u32, &'s str)> {
+    let mut decls = Vec::new();
+    for i in 0..toks.len() {
+        let word = toks[i].text(text);
+        if word != "Mutex" && word != "RwLock" {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text(text)) != Some("<") {
+            continue; // `Mutex::new(…)`, `use std::sync::Mutex`, …
+        }
+        // Walk back over a path prefix (`std :: sync ::`) to the `:`.
+        let mut j = i;
+        while j >= 2
+            && toks[j - 1].text(text) == ":"
+            && toks[j - 2].text(text) == ":"
+            && j >= 3
+            && toks[j - 3].kind == TokenKind::Ident
+        {
+            j -= 3;
+        }
+        if j < 2 || toks[j - 1].text(text) != ":" || toks[j - 2].kind != TokenKind::Ident {
+            continue; // not `field: Mutex<…>` (e.g. a bare expression)
+        }
+        // `: :` would mean we stopped inside a path; `&` means a borrow.
+        if j >= 3 && matches!(toks[j - 3].text(text), ":" | "&") {
+            continue;
+        }
+        let field_tok = &toks[j - 2];
+        decls.push((i, field_tok.line, field_tok.text(text)));
+    }
+    decls
+}
+
+#[derive(Debug)]
+struct Held {
+    name: String,
+    var: Option<String>,
+    depth: usize,
+}
+
+/// Scans the file linearly, tracking brace depth and held guards, and
+/// records an edge for every acquisition made while another registered
+/// lock is held.
+fn extract_edges(file: &SourceFile, field_to_name: &[(&str, &str)], edges: &mut Vec<LockEdge>) {
+    let toks = significant(file);
+    let text = &file.text;
+    let resolve = |field: &str| -> Option<&str> {
+        field_to_name
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|(_, n)| *n)
+    };
+
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        let word = toks[i].text(text);
+        match word {
+            "{" => depth += 1,
+            "}" => {
+                held.retain(|h| h.depth < depth);
+                depth = depth.saturating_sub(1);
+            }
+            ";" => {
+                // unbound temporaries die at their statement's end
+                held.retain(|h| h.var.is_some() || h.depth != depth);
+            }
+            // drop ( var )
+            "drop"
+                if toks.get(i + 1).map(|t| t.text(text)) == Some("(")
+                    && toks.get(i + 3).map(|t| t.text(text)) == Some(")") =>
+            {
+                if let Some(var_tok) = toks.get(i + 2) {
+                    let var = var_tok.text(text);
+                    held.retain(|h| h.var.as_deref() != Some(var));
+                }
+            }
+            _ => {}
+        }
+
+        if let Some((lock_name, site)) = acquisition_at(&toks, text, i, &resolve) {
+            if !file.in_test_region(toks[i].start) {
+                for h in &held {
+                    edges.push(LockEdge {
+                        from: h.name.clone(),
+                        to: lock_name.to_owned(),
+                        file: file.path.clone(),
+                        line: site,
+                    });
+                }
+                held.push(Held {
+                    name: lock_name.to_owned(),
+                    var: binding_var(&toks, text, i),
+                    depth,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If token `i` starts an acquisition, returns the lock name and line.
+///
+/// Recognized shapes (with `field` registered):
+///   `. field . lock|read|write (`
+///   `lock_or_recover ( & … field )` (the poison-tolerant helper)
+fn acquisition_at<'a>(
+    toks: &[Token],
+    text: &'a str,
+    i: usize,
+    resolve: &dyn Fn(&str) -> Option<&'a str>,
+) -> Option<(&'a str, u32)> {
+    let word = toks[i].text(text);
+    if matches!(word, "lock" | "read" | "write")
+        && i >= 2
+        && toks[i - 1].text(text) == "."
+        && toks[i - 2].kind == TokenKind::Ident
+        && toks.get(i + 1).map(|t| t.text(text)) == Some("(")
+    {
+        let field = toks[i - 2].text(text);
+        return resolve(field).map(|name| (name, toks[i].line));
+    }
+    if word == "lock_or_recover" && toks.get(i + 1).map(|t| t.text(text)) == Some("(") {
+        // the last identifier before the closing paren names the field
+        let mut j = i + 2;
+        let mut last_ident: Option<&str> = None;
+        let mut depth = 1usize;
+        while let Some(t) = toks.get(j) {
+            match t.text(text) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                w if t.kind == TokenKind::Ident => last_ident = Some(w),
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(field) = last_ident {
+            return resolve(field).map(|name| (name, toks[i].line));
+        }
+    }
+    None
+}
+
+/// Walks back from an acquisition to the start of its statement looking
+/// for `let [mut] var =`; returns the bound variable name if found.
+fn binding_var(toks: &[Token], text: &str, i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text(text) {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let mut k = j + 1;
+                if toks.get(k).map(|t| t.text(text)) == Some("mut") {
+                    k += 1;
+                }
+                let var = toks.get(k)?;
+                if var.kind == TokenKind::Ident
+                    && toks.get(k + 1).map(|t| t.text(text)) == Some("=")
+                {
+                    return Some(var.text(text).to_owned());
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A cycle found in the workspace lock graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockCycle {
+    /// The lock names along the cycle, first == last.
+    pub path: Vec<String>,
+    /// One edge site on the cycle, for the finding's location.
+    pub site: (String, u32),
+}
+
+/// Unions per-file edges and returns every elementary cycle class found
+/// (one per back edge in a DFS), or an empty vector for an acyclic graph.
+pub fn find_cycles(edges: &[LockEdge]) -> Vec<LockCycle> {
+    let mut nodes: Vec<&str> = Vec::new();
+    for e in edges {
+        if !nodes.contains(&e.from.as_str()) {
+            nodes.push(&e.from);
+        }
+        if !nodes.contains(&e.to.as_str()) {
+            nodes.push(&e.to);
+        }
+    }
+    nodes.sort_unstable();
+
+    let mut cycles = Vec::new();
+    // DFS with an explicit color map; a back edge to a grey node closes a
+    // cycle, reconstructed from the current stack.
+    let mut color: Vec<u8> = vec![0; nodes.len()]; // 0 white, 1 grey, 2 black
+
+    fn dfs(
+        u: usize,
+        nodes: &[&str],
+        edges: &[LockEdge],
+        color: &mut [u8],
+        stack: &mut Vec<usize>,
+        cycles: &mut Vec<LockCycle>,
+    ) {
+        color[u] = 1;
+        stack.push(u);
+        for e in edges {
+            if e.from != nodes[u] {
+                continue;
+            }
+            let Some(v) = nodes.iter().position(|x| *x == e.to) else {
+                continue;
+            };
+            match color[v] {
+                0 => dfs(v, nodes, edges, color, stack, cycles),
+                1 => {
+                    let from = stack
+                        .iter()
+                        .position(|&s| s == v)
+                        .unwrap_or(stack.len() - 1);
+                    let mut path: Vec<String> =
+                        stack[from..].iter().map(|&s| nodes[s].to_owned()).collect();
+                    path.push(nodes[v].to_owned());
+                    cycles.push(LockCycle {
+                        path,
+                        site: (e.file.clone(), e.line),
+                    });
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color[u] = 2;
+    }
+
+    for n in 0..nodes.len() {
+        if color[n] == 0 {
+            let mut stack = Vec::new();
+            dfs(n, &nodes, edges, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    cycles
+}
+
+/// Checks registrations for duplicate names (two fields registered under
+/// one name would merge unrelated locks in the graph).
+pub fn duplicate_name_findings(registrations: &[LockRegistration]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, r) in registrations.iter().enumerate() {
+        if registrations[..i].iter().any(|p| p.name == r.name) {
+            findings.push(Finding {
+                rule: "lock-order",
+                file: r.file.clone(),
+                line: r.line,
+                snippet: format!("lock-order: {}", r.name),
+                message: format!("duplicate lock registration `{}`", r.name),
+            });
+        }
+    }
+    findings
+}

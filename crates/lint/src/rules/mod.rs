@@ -1,0 +1,49 @@
+//! The rule set. Each rule scans one [`SourceFile`]'s token stream and
+//! reports [`Finding`]s; `lock_order` additionally feeds a workspace-wide
+//! nested-acquisition graph assembled by the engine.
+
+pub mod debug_output;
+pub mod forbid_unsafe;
+pub mod lock_order;
+pub mod panic_freedom;
+pub mod seam;
+pub mod wallclock;
+
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// Rule identifiers, in reporting order.
+pub const ALL_RULES: &[&str] = &[
+    "panic-freedom",
+    "lock-order",
+    "no-wallclock",
+    "endpoint-seam",
+    "forbid-unsafe",
+    "no-debug-output",
+];
+
+/// The comment-free token stream of a file (rules match on code only).
+pub fn significant(file: &SourceFile) -> Vec<Token> {
+    file.tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .copied()
+        .collect()
+}
+
+/// Builds a finding for `rule` at the token's line.
+pub fn finding_at(
+    file: &SourceFile,
+    rule: &'static str,
+    token: &Token,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: file.path.clone(),
+        line: token.line,
+        snippet: file.line_snippet(token.line),
+        message,
+    }
+}

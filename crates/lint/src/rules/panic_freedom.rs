@@ -1,0 +1,51 @@
+//! `panic-freedom`: no `.unwrap()` / `.expect(` / `panic!` /
+//! `unreachable!` / `todo!` / `unimplemented!` in non-test library code.
+//!
+//! RE²xOLAP's interactive loop turns a library panic into a user-facing
+//! session kill; fallible paths must surface `Result`s instead. Test
+//! modules (`#[cfg(test)]`), fixture crates, and the bench harness are
+//! exempt — asserting is their job.
+
+use super::{finding_at, significant};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = significant(file);
+    let text = &file.text;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.in_test_region(t.start) {
+            continue;
+        }
+        let word = t.text(text);
+        // `.unwrap()` / `.expect(…)` method calls
+        if PANIC_METHODS.contains(&word)
+            && i > 0
+            && toks[i - 1].text(text) == "."
+            && toks.get(i + 1).map(|n| n.text(text)) == Some("(")
+        {
+            findings.push(finding_at(
+                file,
+                "panic-freedom",
+                t,
+                format!("`.{word}(…)` can panic; return a Result or handle the None/Err arm"),
+            ));
+        }
+        // `panic!(…)` and friends
+        if PANIC_MACROS.contains(&word) && toks.get(i + 1).map(|n| n.text(text)) == Some("!") {
+            findings.push(finding_at(
+                file,
+                "panic-freedom",
+                t,
+                format!("`{word}!` aborts the session; propagate an error instead"),
+            ));
+        }
+    }
+    findings
+}

@@ -1,0 +1,50 @@
+//! `no-wallclock`: `Instant::now` / `SystemTime` are forbidden outside
+//! the bench harness and explicitly annotated latency-measurement layers.
+//!
+//! The deterministic testkit harness replays failures from a seed; library
+//! code that silently reads the wall clock breaks that replayability and
+//! sneaks nondeterminism into differential tests. Timing layers (endpoint
+//! latency accounting, the tracer, phase metrics) opt in with
+//! `// lint:allow-file(no-wallclock, reason)`.
+
+use super::{finding_at, significant};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = significant(file);
+    let text = &file.text;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.in_test_region(t.start) {
+            continue;
+        }
+        match t.text(text) {
+            // Instant :: now
+            "Instant"
+                if toks.get(i + 1).map(|n| n.text(text)) == Some(":")
+                    && toks.get(i + 2).map(|n| n.text(text)) == Some(":")
+                    && toks.get(i + 3).map(|n| n.text(text)) == Some("now") =>
+            {
+                findings.push(finding_at(
+                    file,
+                    "no-wallclock",
+                    t,
+                    "`Instant::now` reads the wall clock; only bench/latency layers may".to_owned(),
+                ));
+            }
+            "SystemTime" => {
+                findings.push(finding_at(
+                    file,
+                    "no-wallclock",
+                    t,
+                    "`SystemTime` reads the wall clock; only bench/latency layers may".to_owned(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    findings
+}

@@ -1,0 +1,259 @@
+//! Per-file analysis context: tokens, line table, `#[cfg(test)]` regions,
+//! and `lint:allow` suppression comments.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// A `// lint:allow(rule, reason)` suppression parsed from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// Mandatory justification (an allow without a reason is inert).
+    pub reason: String,
+    /// Line the comment is on.
+    pub line: u32,
+    /// Whether this is a `lint:allow-file` (whole-file) suppression.
+    pub whole_file: bool,
+}
+
+/// One source file prepared for rule evaluation.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Crate directory name under `crates/` (`core`, `sparql`, …).
+    pub crate_name: String,
+    /// Raw text.
+    pub text: String,
+    /// Token stream over `text`.
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)] mod … { … }` blocks.
+    test_regions: Vec<(usize, usize)>,
+    /// Parsed suppressions.
+    allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Tokenizes and pre-analyzes one file.
+    pub fn new(path: String, crate_name: String, text: String) -> SourceFile {
+        let tokens = tokenize(&text);
+        let test_regions = find_test_regions(&text, &tokens);
+        let allows = find_allows(&text, &tokens);
+        SourceFile {
+            path,
+            crate_name,
+            text,
+            tokens,
+            test_regions,
+            allows,
+        }
+    }
+
+    /// Whether the byte offset falls inside a `#[cfg(test)]` module.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// The trimmed text of the 1-based line.
+    pub fn line_snippet(&self, line: u32) -> String {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_owned()
+    }
+
+    /// Whether `rule` is suppressed at `line`: by a whole-file allow, an
+    /// allow comment on the same line, or one on the directly preceding
+    /// line. Allows without a reason never suppress.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && !a.reason.is_empty()
+                && (a.whole_file || a.line == line || a.line + 1 == line)
+        })
+    }
+
+    /// All parsed suppressions (for reporting).
+    pub fn allows(&self) -> &[Allow] {
+        &self.allows
+    }
+}
+
+/// Finds `#[cfg(test)]` attributes followed by a `mod … { … }` and returns
+/// the byte range from the attribute through the module's closing brace.
+/// Also covers `#[cfg(test)]` directly on items (functions, impls) by
+/// skipping to the item's brace block.
+fn find_test_regions(text: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let significant: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < significant.len() {
+        // match: # [ cfg ( test ) ]
+        let is_cfg_test = significant[i].text(text) == "#"
+            && significant[i + 1].text(text) == "["
+            && significant[i + 2].text(text) == "cfg"
+            && significant[i + 3].text(text) == "("
+            && significant[i + 4].text(text) == "test"
+            && significant[i + 5].text(text) == ")"
+            && significant[i + 6].text(text) == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let attr_start = significant[i].start;
+        // Find the first `{` after the attribute and match braces.
+        let mut j = i + 7;
+        let mut depth = 0usize;
+        let mut end = text.len();
+        while j < significant.len() {
+            match significant[j].text(text) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = significant[j].end;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    // e.g. `#[cfg(test)] mod tests;` — region is the decl
+                    end = significant[j].end;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((attr_start, end));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Strips a plain (non-doc) `//` line comment down to its body. Doc
+/// comments (`///`, `//!`) never carry directives — prose *about* the
+/// directive syntax must not act as a directive.
+pub fn plain_comment_body(comment: &str) -> Option<&str> {
+    let rest = comment.strip_prefix("//")?;
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return None;
+    }
+    Some(rest.trim_start())
+}
+
+/// Parses `lint:allow(rule, reason)` / `lint:allow-file(rule, reason)`
+/// out of plain line comments. The directive must be the start of the
+/// comment (`// lint:allow(…)`), so prose mentions don't suppress.
+fn find_allows(text: &str, tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for token in tokens {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(body) = plain_comment_body(token.text(text)) else {
+            continue;
+        };
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let whole_file = rest.starts_with("-file");
+        let after = if whole_file {
+            &rest["-file".len()..]
+        } else {
+            rest
+        };
+        let Some(open) = after.find('(') else {
+            continue;
+        };
+        // nothing but whitespace may separate the marker from `(`
+        if !after[..open].trim().is_empty() {
+            continue;
+        }
+        let Some(close) = after[open..].find(')') else {
+            continue;
+        };
+        let args = &after[open + 1..open + close];
+        let (rule, reason) = match args.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (args.trim(), ""),
+        };
+        if rule.is_empty() {
+            continue;
+        }
+        allows.push(Allow {
+            rule: rule.to_owned(),
+            reason: reason.to_owned(),
+            line: token.line,
+            whole_file,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), src.into())
+    }
+
+    #[test]
+    fn test_region_covers_mod_tests() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let f = file(src);
+        let unwrap_at = src.find("unwrap").expect("present");
+        let c_at = src.rfind("fn c").expect("present");
+        assert!(f.in_test_region(unwrap_at));
+        assert!(!f.in_test_region(c_at));
+        assert!(!f.in_test_region(0));
+    }
+
+    #[test]
+    fn test_region_handles_nested_braces() {
+        let src = "#[cfg(test)]\nmod tests { fn a() { if x { y(); } } }\nfn after() {}\n";
+        let f = file(src);
+        assert!(!f.in_test_region(src.find("fn after").expect("present")));
+    }
+
+    #[test]
+    fn allow_same_and_next_line() {
+        let src = "\
+let a = x.unwrap(); // lint:allow(panic-freedom, startup only)
+// lint:allow(panic-freedom, checked above)
+let b = y.unwrap();
+let c = z.unwrap();
+";
+        let f = file(src);
+        assert!(f.is_allowed("panic-freedom", 1));
+        assert!(f.is_allowed("panic-freedom", 3));
+        assert!(!f.is_allowed("panic-freedom", 4));
+        assert!(!f.is_allowed("lock-order", 1));
+    }
+
+    #[test]
+    fn allow_without_reason_is_inert() {
+        let f = file("// lint:allow(panic-freedom)\nlet b = y.unwrap();\n");
+        assert!(!f.is_allowed("panic-freedom", 2));
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let f = file("// lint:allow-file(no-wallclock, this is the timing layer)\nfn a() {}\n");
+        assert!(f.is_allowed("no-wallclock", 999));
+        assert!(!f.is_allowed("panic-freedom", 2));
+    }
+
+    #[test]
+    fn allow_inside_string_is_ignored() {
+        let f = file("let s = \"lint:allow(panic-freedom, nope)\";\nlet b = y.unwrap();\n");
+        assert!(!f.is_allowed("panic-freedom", 2));
+    }
+}

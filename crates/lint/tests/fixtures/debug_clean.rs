@@ -1,0 +1,19 @@
+//! no-debug-output CLEAN fixture: rendering goes through `write!` into a
+//! caller-supplied buffer, never straight to the terminal.
+
+use std::fmt::Write;
+
+pub fn render(x: u32) -> String {
+    let mut out = String::new();
+    // "println!" inside a string is not a macro call
+    let _ = write!(out, "x = {x} (not a println! call)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("visible only under --nocapture");
+    }
+}

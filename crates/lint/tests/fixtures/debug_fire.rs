@@ -1,0 +1,7 @@
+//! no-debug-output FIRE fixture: terminal output from library code.
+
+pub fn noisy(x: u32) -> u32 {
+    println!("x = {x}");
+    eprintln!("still here");
+    dbg!(x)
+}

@@ -1,0 +1,31 @@
+//! lock-order CLEAN fixture: both locks are registered, nesting happens
+//! in one global order only (`fx.outer -> fx.inner`), and the re-entrant
+//! looking site in `sequential` drops the first guard before taking the
+//! second, so no edge (and no cycle) arises there.
+
+use std::sync::Mutex;
+
+pub struct Nested {
+    // lock-order: fx.outer
+    outer: Mutex<u32>,
+    // lock-order: fx.inner
+    inner: Mutex<u32>,
+}
+
+impl Nested {
+    pub fn nested(&self) -> u32 {
+        let o = lock_or_recover(&self.outer);
+        let i = lock_or_recover(&self.inner);
+        *o + *i
+    }
+
+    pub fn sequential(&self) -> u32 {
+        let mut total = 0;
+        {
+            let i = lock_or_recover(&self.inner);
+            total += *i;
+        }
+        let o = lock_or_recover(&self.outer);
+        total + *o
+    }
+}

@@ -1,0 +1,27 @@
+//! lock-order FIRE fixture: two registered locks acquired in both
+//! nesting orders — `fx.alpha -> fx.beta` in `forward` and
+//! `fx.beta -> fx.alpha` in `backward` — so the workspace graph has a
+//! cycle and a thread interleaving can deadlock.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    // lock-order: fx.alpha
+    alpha: Mutex<u32>,
+    // lock-order: fx.beta
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = lock_or_recover(&self.alpha);
+        let b = lock_or_recover(&self.beta);
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = lock_or_recover(&self.beta);
+        let a = lock_or_recover(&self.alpha);
+        *a + *b
+    }
+}

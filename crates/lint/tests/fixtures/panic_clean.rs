@@ -1,0 +1,19 @@
+//! panic-freedom CLEAN fixture: fallible handling, suppressed site, and
+//! panic-looking text inside strings/comments.
+
+pub fn careful(input: Option<u32>) -> Result<u32, String> {
+    // mentioning .unwrap() in a comment is not a call
+    match input {
+        Some(value) => Ok(value),
+        None => Err("an .expect(...) would panic here".to_owned()),
+    }
+}
+
+pub fn suppressed(input: Option<u32>) -> u32 {
+    // lint:allow(panic-freedom, the caller checked is_some one line up)
+    input.unwrap()
+}
+
+pub fn strings_do_not_fire() -> &'static str {
+    "call .unwrap() or panic!(now) — still just a string"
+}

@@ -1,0 +1,20 @@
+//! panic-freedom FIRE fixture: three panicking sites in library code.
+
+pub fn risky(input: Option<u32>) -> u32 {
+    let value = input.unwrap();
+    let doubled = input.expect("present");
+    if value > doubled {
+        panic!("impossible");
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    // unwrap in a test region must NOT fire
+    #[test]
+    fn asserts_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! endpoint-seam CLEAN fixture (linted as crate `core`): every probe goes
+//! through the `SparqlEndpoint` trait; `graph()` only resolves term ids.
+
+pub fn through_the_seam(
+    endpoint: &dyn SparqlEndpoint,
+    query: &Query,
+) -> Result<usize, SparqlError> {
+    let solutions = endpoint.select(query)?;
+    let graph = endpoint.graph();
+    let mut named = 0;
+    for row in &solutions.rows {
+        if let Some(Value::Term(id)) = row[0].as_ref() {
+            if graph.term(*id).as_iri().is_some() {
+                named += 1;
+            }
+        }
+    }
+    Ok(named)
+}

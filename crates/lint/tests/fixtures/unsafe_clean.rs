@@ -1,0 +1,6 @@
+//! forbid-unsafe CLEAN fixture: the crate root carries the attribute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn harmless() {}

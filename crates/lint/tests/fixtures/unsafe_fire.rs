@@ -1,0 +1,6 @@
+//! forbid-unsafe FIRE fixture: a crate root (linted as `src/lib.rs`)
+//! missing the `#![forbid(unsafe_code)]` attribute.
+
+#![warn(missing_docs)]
+
+pub fn harmless() {}

@@ -1,0 +1,17 @@
+//! no-wallclock CLEAN fixture: durations flow in from callers; no clock
+//! is read here.
+
+use std::time::Duration;
+
+pub fn budget_left(total: Duration, used: Duration) -> Duration {
+    total.saturating_sub(used)
+}
+
+#[cfg(test)]
+mod tests {
+    // clock reads inside tests are fine
+    #[test]
+    fn timing_in_tests_is_allowed() {
+        let _ = std::time::Instant::now();
+    }
+}

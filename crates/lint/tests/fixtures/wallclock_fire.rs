@@ -1,0 +1,7 @@
+//! no-wallclock FIRE fixture: wall-clock reads in ordinary library code.
+
+pub fn stamp() -> u64 {
+    let started = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    started.elapsed().as_micros() as u64
+}

@@ -1,0 +1,146 @@
+//! Property suite for the lexer on the deterministic `re2x-testkit`
+//! harness: tokenizing arbitrary (including malformed) input never
+//! panics, and spans round-trip — ordered, non-overlapping, on char
+//! boundaries, with whitespace-only gaps that reassemble the source.
+
+use re2x_lint::lexer::tokenize;
+use re2x_testkit::{check, TestRng};
+
+/// Spans must reassemble the input: each token's byte range lies on char
+/// boundaries, tokens are ordered and disjoint, and the text between
+/// consecutive tokens is whitespace only.
+fn assert_spans_round_trip(source: &str) {
+    let tokens = tokenize(source);
+    let mut cursor = 0usize;
+    for (i, token) in tokens.iter().enumerate() {
+        assert!(
+            token.start >= cursor,
+            "token {i} starts at {} before previous end {cursor} in {source:?}",
+            token.start
+        );
+        assert!(
+            token.end > token.start,
+            "token {i} has an empty span in {source:?}"
+        );
+        assert!(
+            token.end <= source.len(),
+            "token {i} overruns the source in {source:?}"
+        );
+        assert!(
+            source.is_char_boundary(token.start) && source.is_char_boundary(token.end),
+            "token {i} span not on char boundaries in {source:?}"
+        );
+        assert!(
+            source[cursor..token.start].chars().all(char::is_whitespace),
+            "non-whitespace gap {:?} before token {i} in {source:?}",
+            &source[cursor..token.start]
+        );
+        cursor = token.end;
+    }
+    assert!(
+        source[cursor..].chars().all(char::is_whitespace),
+        "non-whitespace trailing gap {:?} in {source:?}",
+        &source[cursor..]
+    );
+    // line numbers are 1-based and monotonically non-decreasing
+    let mut last_line = 1;
+    for token in &tokens {
+        assert!(token.line >= last_line, "line numbers go backwards");
+        last_line = token.line;
+    }
+}
+
+/// Rust-ish fragments the generator splices together — the interesting
+/// cases are the quote/comment/raw-string state machines interacting.
+const FRAGMENTS: &[&str] = &[
+    "fn f()",
+    "let x = 1;",
+    "x.unwrap()",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* deeper */ still */",
+    "\"plain string\"",
+    "\"escaped \\\" quote\"",
+    "r\"raw\"",
+    "r#\"fenced \" raw\"#",
+    "r##\"double # fence\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "'c'",
+    "'\\n'",
+    "b'\\xFF'",
+    "'lifetime",
+    "&'a str",
+    "r#keyword",
+    "1_000u64",
+    "0xfeed",
+    "::<Vec<u8>>",
+    "#![forbid(unsafe_code)]",
+    "macro_rules! m { () => {} }",
+    "…unicode… «text» 🦀",
+];
+
+#[test]
+fn tokenize_never_panics_and_spans_round_trip_on_spliced_fragments() {
+    check("spliced fragments", |rng: &mut TestRng| {
+        let n = rng.gen_range(0usize..12);
+        let mut source = String::new();
+        for _ in 0..n {
+            let fragment = rng.pick(FRAGMENTS);
+            source.push_str(fragment);
+            let separator = rng.pick(&[" ", "\n", "\t", ""]);
+            source.push_str(separator);
+        }
+        assert_spans_round_trip(&source);
+    });
+}
+
+#[test]
+fn tokenize_never_panics_on_arbitrary_unicode() {
+    check("arbitrary unicode", |rng: &mut TestRng| {
+        let source = rng.unicode_string(0..80);
+        // malformed input (unterminated strings, stray quotes, half a
+        // raw-string fence) must never panic the lexer
+        let _ = tokenize(&source);
+    });
+}
+
+#[test]
+fn tokenize_never_panics_on_truncated_fragments() {
+    check("truncated fragments", |rng: &mut TestRng| {
+        let mut source = String::new();
+        for _ in 0..rng.gen_range(1usize..6) {
+            let fragment = rng.pick(FRAGMENTS);
+            source.push_str(fragment);
+        }
+        // cut at an arbitrary char boundary to strand the lexer mid-token
+        let boundaries: Vec<usize> = source
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(source.len()))
+            .collect();
+        let cut = *rng.pick(&boundaries);
+        let _ = tokenize(&source[..cut]);
+    });
+}
+
+#[test]
+fn comments_and_strings_cover_their_content() {
+    // deterministic spot-check that tricky constructs lex as ONE token
+    for source in [
+        "r##\"a \"# inside\"##",
+        "/* outer /* inner */ outer */",
+        "\"// not a comment\"",
+        "// \"not a string\"\n",
+        "br#\"b\"#",
+    ] {
+        let tokens = tokenize(source);
+        assert_eq!(
+            tokens.len(),
+            1,
+            "{source:?} should lex as one token, got {tokens:?}"
+        );
+        assert_eq!(tokens[0].start, 0);
+        assert_eq!(tokens[0].end, source.trim_end().len());
+    }
+}

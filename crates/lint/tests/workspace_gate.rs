@@ -1,0 +1,83 @@
+//! The self-hosting gate as a test: lint the real workspace and assert
+//! the invariants `scripts/verify.sh` enforces — no findings outside the
+//! checked-in baseline, no stale baseline entries, and an acyclic lock
+//! graph over the registered lock set.
+
+use re2x_lint::engine::{apply_baseline, collect_files, lint_files};
+use re2x_lint::rules::lock_order::find_cycles;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = workspace_root();
+    let files = collect_files(root).expect("workspace sources readable");
+    assert!(
+        files.len() > 40,
+        "expected the whole workspace, got {}",
+        files.len()
+    );
+    let result = lint_files(&files);
+
+    let baseline = std::fs::read_to_string(root.join("lint-baseline.txt"))
+        .expect("lint-baseline.txt is checked in");
+    let lines: Vec<String> = baseline.lines().map(str::to_owned).collect();
+    let outcome = apply_baseline(result.findings, &lines);
+
+    assert!(
+        outcome.new_findings.is_empty(),
+        "findings outside the baseline:\n{}",
+        outcome
+            .new_findings
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.snippet))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.stale.is_empty(),
+        "stale baseline entries (violation fixed? prune them): {:?}",
+        outcome.stale
+    );
+}
+
+#[test]
+fn workspace_lock_graph_is_registered_and_acyclic() {
+    let files = collect_files(workspace_root()).expect("workspace sources readable");
+    let result = lint_files(&files);
+
+    let mut names: Vec<&str> = result
+        .registrations
+        .iter()
+        .map(|r| r.name.as_str())
+        .collect();
+    names.sort();
+    names.dedup();
+    for expected in [
+        "obs.metrics",
+        "obs.tracer.events",
+        "obs.tracer.provenance",
+        "sparql.async.shared",
+        "sparql.cache.state",
+        "sparql.local.stats",
+        "sparql.sharded.stats",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "lock {expected} missing from the registry: {names:?}"
+        );
+    }
+
+    let cycles = find_cycles(&result.edges);
+    assert!(
+        cycles.is_empty(),
+        "the workspace lock graph must stay acyclic: {:?}",
+        cycles
+            .iter()
+            .map(|c| c.path.join(" -> "))
+            .collect::<Vec<_>>()
+    );
+}

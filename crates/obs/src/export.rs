@@ -156,16 +156,28 @@ pub fn prometheus_exposition(
 ) -> String {
     let mut out = String::new();
     for (name, value) in &metrics.counters {
-        let _ = writeln!(out, "# TYPE {} counter", prom_name(name).split('{').next().unwrap_or(""));
+        let _ = writeln!(
+            out,
+            "# TYPE {} counter",
+            prom_name(name).split('{').next().unwrap_or("")
+        );
         let _ = writeln!(out, "{} {value}", prom_name(name));
     }
     for (name, value) in &metrics.gauges {
-        let _ = writeln!(out, "# TYPE {} gauge", prom_name(name).split('{').next().unwrap_or(""));
+        let _ = writeln!(
+            out,
+            "# TYPE {} gauge",
+            prom_name(name).split('{').next().unwrap_or("")
+        );
         let _ = writeln!(out, "{} {value}", prom_name(name));
     }
     for (name, snap) in &metrics.histograms {
         let base = prom_name(name);
-        let _ = writeln!(out, "# TYPE {} histogram", base.split('{').next().unwrap_or(""));
+        let _ = writeln!(
+            out,
+            "# TYPE {} histogram",
+            base.split('{').next().unwrap_or("")
+        );
         prom_histogram(&mut out, &base, &snap.histogram, snap.sum);
     }
     if !provenance.is_empty() {
@@ -351,10 +363,7 @@ mod tests {
             busy: Duration::from_micros(10),
             ..Default::default()
         };
-        let text = prometheus_exposition(
-            &metrics.snapshot(),
-            &[("bootstrap".to_owned(), stats)],
-        );
+        let text = prometheus_exposition(&metrics.snapshot(), &[("bootstrap".to_owned(), stats)]);
         assert!(text.contains("bootstrap_dimensions 4"));
         assert!(text.contains("cube_cells 128"));
         assert!(text.contains("endpoint_latency_count 1"));

@@ -175,10 +175,7 @@ mod tests {
         let buckets: Vec<(Duration, u64)> = h.buckets().collect();
         assert_eq!(
             buckets,
-            vec![
-                (Duration::from_micros(2), 2),
-                (Duration::from_micros(8), 1),
-            ]
+            vec![(Duration::from_micros(2), 2), (Duration::from_micros(8), 1),]
         );
     }
 }

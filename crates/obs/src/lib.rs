@@ -25,15 +25,16 @@
 pub mod export;
 pub mod hist;
 pub mod metrics;
+pub mod sync;
 pub mod tracer;
 
 pub use export::{
-    aggregate_spans, events_to_jsonl, event_to_json, json_escape, prometheus_exposition,
+    aggregate_spans, event_to_json, events_to_jsonl, json_escape, prometheus_exposition,
     render_self_time_tree, SpanAgg,
 };
 pub use hist::LatencyHistogram;
 pub use metrics::{label, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use sync::{lock_or_recover, wait_or_recover};
 pub use tracer::{
-    AdoptGuard, PhaseQueryStats, QueryKind, SpanGuard, SpanHandle, TraceEvent, Tracer,
-    UNATTRIBUTED,
+    AdoptGuard, PhaseQueryStats, QueryKind, SpanGuard, SpanHandle, TraceEvent, Tracer, UNATTRIBUTED,
 };

@@ -8,6 +8,7 @@
 //! scoped crawler threads can update it concurrently.
 
 use crate::hist::LatencyHistogram;
+use crate::sync::lock_or_recover;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -33,6 +34,7 @@ struct Inner {
 /// The thread-safe metrics registry.
 #[derive(Default)]
 pub struct Metrics {
+    // lock-order: obs.metrics
     inner: Mutex<Inner>,
 }
 
@@ -55,19 +57,19 @@ impl Metrics {
 
     /// Adds `delta` to the counter `name`, creating it at zero first.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
     }
 
     /// Sets the gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         inner.gauges.insert(name.to_owned(), value);
     }
 
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, latency: Duration) {
-        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        let mut inner = lock_or_recover(&self.inner);
         let entry = inner.histograms.entry(name.to_owned()).or_default();
         entry.histogram.record(latency);
         entry.sum += latency;
@@ -75,27 +77,31 @@ impl Metrics {
 
     /// Current value of a counter (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        let inner = lock_or_recover(&self.inner);
         inner.counters.get(name).copied().unwrap_or(0)
     }
 
     /// Current value of a gauge, if it was ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        let inner = lock_or_recover(&self.inner);
         inner.gauges.get(name).copied()
     }
 
     /// Copy of a histogram, if it ever recorded an observation.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
-        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        let inner = lock_or_recover(&self.inner);
         inner.histograms.get(name).copied()
     }
 
     /// Point-in-time copy of everything, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics mutex poisoned");
+        let inner = lock_or_recover(&self.inner);
         MetricsSnapshot {
-            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
             gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             histograms: inner
                 .histograms
@@ -160,7 +166,10 @@ mod tests {
         m.observe("h", Duration::from_micros(1));
         let snap = m.snapshot();
         assert_eq!(
-            snap.counters.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            snap.counters
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
             vec!["a", "z"]
         );
         assert_eq!(snap.gauges.len(), 1);

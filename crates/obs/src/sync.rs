@@ -1,0 +1,93 @@
+//! Poison-tolerant lock acquisition.
+//!
+//! `std::sync::Mutex` poisons itself when a thread panics while holding
+//! the guard; every later `.lock().unwrap()` then panics too, cascading
+//! one worker's failure into a session-wide kill — exactly what the
+//! interactive loop must not do. For the workspace's locks the protected
+//! state is counters, caches, and event buffers: all remain internally
+//! consistent at every await-free critical-section boundary, so the right
+//! recovery is to take the data and keep serving.
+//!
+//! [`lock_or_recover`] (and [`wait_or_recover`] for condvar loops) does
+//! exactly that — acquire, and on poison strip the flag and hand the
+//! guard back.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering the guard if a panicking thread poisoned it.
+pub fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Blocks on `condvar` releasing `guard`, recovering the reacquired guard
+/// if the mutex was poisoned while this thread slept.
+pub fn wait_or_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn poison<T: Send + 'static>(mutex: &Arc<Mutex<T>>) {
+        let m = Arc::clone(mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = m.lock().expect("first lock");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(mutex.is_poisoned(), "panicking holder must poison");
+    }
+
+    #[test]
+    fn recovers_data_from_poisoned_mutex() {
+        let mutex = Arc::new(Mutex::new(41));
+        poison(&mutex);
+        *lock_or_recover(&mutex) += 1;
+        assert_eq!(*lock_or_recover(&mutex), 42);
+    }
+
+    #[test]
+    fn unpoisoned_path_is_transparent() {
+        let mutex = Mutex::new(String::from("a"));
+        lock_or_recover(&mutex).push('b');
+        assert_eq!(*lock_or_recover(&mutex), "ab");
+    }
+
+    #[test]
+    fn wait_recovers_after_poison() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (mutex, condvar) = &*pair;
+                let mut ready = lock_or_recover(mutex);
+                while !*ready {
+                    ready = wait_or_recover(condvar, ready);
+                }
+            })
+        };
+        {
+            let (mutex, condvar) = &*pair;
+            // poison while the waiter sleeps…
+            let m = Arc::clone(&pair);
+            let _ = std::thread::spawn(move || {
+                let _guard = m.0.lock().expect("lock");
+                panic!("poison while waiter sleeps");
+            })
+            .join();
+            assert!(mutex.is_poisoned());
+            // …then flag readiness through the recovered guard
+            *lock_or_recover(mutex) = true;
+            condvar.notify_all();
+        }
+        waiter.join().expect("waiter survives the poisoned mutex");
+    }
+}

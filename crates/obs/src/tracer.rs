@@ -33,8 +33,11 @@
 //! micro-bench `crates/bench/benches/obs_overhead.rs` pins this with a
 //! counting global allocator.
 
+// lint:allow-file(no-wallclock, the tracer IS the timing layer: spans and events measure real wall time)
+
 use crate::hist::LatencyHistogram;
 use crate::metrics::Metrics;
+use crate::sync::lock_or_recover;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,14 +193,16 @@ struct TracerCore {
     id: u64,
     epoch: Instant,
     next_span: AtomicU64,
+    // lock-order: obs.tracer.events
     events: Mutex<Vec<TraceEvent>>,
+    // lock-order: obs.tracer.provenance
     provenance: Mutex<BTreeMap<String, PhaseQueryStats>>,
     metrics: Metrics,
 }
 
 impl TracerCore {
     fn push_event(&self, event: TraceEvent) {
-        self.events.lock().expect("event mutex poisoned").push(event);
+        lock_or_recover(&self.events).push(event);
     }
 
     fn now(&self) -> Duration {
@@ -404,10 +409,16 @@ impl Tracer {
     /// Inert for disabled tracers and default (inert) handles.
     pub fn adopt(&self, handle: &SpanHandle) -> AdoptGuard<'_> {
         let Some(core) = self.core.as_deref() else {
-            return AdoptGuard { core: None, span: 0 };
+            return AdoptGuard {
+                core: None,
+                span: 0,
+            };
         };
         if handle.id == 0 {
-            return AdoptGuard { core: None, span: 0 };
+            return AdoptGuard {
+                core: None,
+                span: 0,
+            };
         }
         STACKS.with(|stacks| {
             let mut stacks = stacks.borrow_mut();
@@ -444,7 +455,7 @@ impl Tracer {
             .current_path()
             .unwrap_or_else(|| UNATTRIBUTED.to_owned());
         {
-            let mut prov = core.provenance.lock().expect("provenance mutex poisoned");
+            let mut prov = lock_or_recover(&core.provenance);
             let stats = prov.entry(path.clone()).or_default();
             match kind {
                 QueryKind::Select => stats.selects += 1,
@@ -473,7 +484,7 @@ impl Tracer {
         let path = core
             .current_path()
             .unwrap_or_else(|| UNATTRIBUTED.to_owned());
-        let mut prov = core.provenance.lock().expect("provenance mutex poisoned");
+        let mut prov = lock_or_recover(&core.provenance);
         let stats = prov.entry(path).or_default();
         if hit {
             stats.cache_hits += 1;
@@ -508,7 +519,7 @@ impl Tracer {
     pub fn events(&self) -> Vec<TraceEvent> {
         self.core
             .as_deref()
-            .map(|c| c.events.lock().expect("event mutex poisoned").clone())
+            .map(|c| lock_or_recover(&c.events).clone())
             .unwrap_or_default()
     }
 
@@ -517,7 +528,7 @@ impl Tracer {
     pub fn take_events(&self) -> Vec<TraceEvent> {
         self.core
             .as_deref()
-            .map(|c| std::mem::take(&mut *c.events.lock().expect("event mutex poisoned")))
+            .map(|c| std::mem::take(&mut *lock_or_recover(&c.events)))
             .unwrap_or_default()
     }
 
@@ -526,9 +537,7 @@ impl Tracer {
         self.core
             .as_deref()
             .map(|c| {
-                c.provenance
-                    .lock()
-                    .expect("provenance mutex poisoned")
+                lock_or_recover(&c.provenance)
                     .iter()
                     .map(|(k, &v)| (k.clone(), v))
                     .collect()
@@ -655,7 +664,9 @@ mod tests {
         let events = tracer.events();
         assert_eq!(events.len(), 4, "two enters, two exits");
         match &events[1] {
-            TraceEvent::Enter { path, parent, name, .. } => {
+            TraceEvent::Enter {
+                path, parent, name, ..
+            } => {
                 assert_eq!(path, "a/b");
                 assert_eq!(name, "b");
                 assert!(parent.is_some());
@@ -684,7 +695,10 @@ mod tests {
                 ..
             } = e
             {
-                assert!(self_time <= wall, "{path}: self {self_time:?} > wall {wall:?}");
+                assert!(
+                    self_time <= wall,
+                    "{path}: self {self_time:?} > wall {wall:?}"
+                );
                 if path == "outer" {
                     assert!(
                         *self_time < *wall,
@@ -723,9 +737,18 @@ mod tests {
         // concurrent children must not drive the parent's self time negative
         // (saturating) nor be subtracted at all: root keeps its full wall
         for e in exits(&events) {
-            if let TraceEvent::Exit { path, wall, self_time, .. } = e {
+            if let TraceEvent::Exit {
+                path,
+                wall,
+                self_time,
+                ..
+            } = e
+            {
                 if path == "root" {
-                    assert_eq!(wall, self_time, "cross-thread children don't count as root's child time");
+                    assert_eq!(
+                        wall, self_time,
+                        "cross-thread children don't count as root's child time"
+                    );
                 }
             }
         }

@@ -1,0 +1,82 @@
+//! Regression test for poison tolerance: a closure that panics while the
+//! tracer has spans open and metrics in flight must not take the
+//! collector down with it. Every lock in `re2x-obs` goes through
+//! `lock_or_recover`, so the event log, provenance, and metrics registry
+//! keep serving after the panic.
+
+use re2x_obs::{QueryKind, TraceEvent, Tracer};
+use std::time::Duration;
+
+#[test]
+fn panicking_worker_leaves_the_registry_usable() {
+    let tracer = Tracer::enabled();
+
+    // A worker panics mid-span, with a query already attributed and a
+    // counter already bumped. The span guard unwinds (its Drop pushes the
+    // Exit event under the events lock) while the panic is in flight.
+    let result = std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                let _span = tracer.span("doomed");
+                tracer.record_query(QueryKind::Select, Duration::from_millis(3));
+                tracer.counter_add("worker.steps", 1);
+                panic!("worker dies mid-span");
+            })
+            .join()
+    });
+    assert!(result.is_err(), "the worker must actually have panicked");
+
+    // The collector still accepts new work…
+    {
+        let _span = tracer.span("after");
+        tracer.record_query(QueryKind::Ask, Duration::from_millis(1));
+        tracer.counter_add("worker.steps", 1);
+    }
+
+    // …and still serves everything recorded before AND after the panic.
+    let events = tracer.events();
+    let paths: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Enter { path, .. } => Some(path.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        paths.contains(&"doomed"),
+        "pre-panic span survives: {paths:?}"
+    );
+    assert!(
+        paths.contains(&"after"),
+        "post-panic span recorded: {paths:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Exit { path, .. } if path == "doomed")),
+        "the doomed span's guard closed it during unwinding"
+    );
+
+    let provenance = tracer.provenance();
+    let doomed = provenance
+        .iter()
+        .find(|(path, _)| path == "doomed")
+        .expect("pre-panic provenance survives");
+    assert_eq!(doomed.1.selects, 1);
+    let after = provenance
+        .iter()
+        .find(|(path, _)| path == "after")
+        .expect("post-panic provenance recorded");
+    assert_eq!(after.1.asks, 1);
+
+    let metrics = tracer.metrics().expect("enabled tracer carries metrics");
+    assert_eq!(
+        metrics.counter("worker.steps"),
+        2,
+        "counter increments from before and after the panic both count"
+    );
+    assert!(
+        !metrics.snapshot().counters.is_empty(),
+        "snapshot still works after the panic"
+    );
+}

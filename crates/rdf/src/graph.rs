@@ -9,9 +9,9 @@
 
 use crate::hash::FxHashMap;
 use crate::interner::{Interner, TermId};
-use std::sync::Arc;
 use crate::term::{Literal, Term};
 use crate::text::TextIndex;
+use std::sync::Arc;
 
 /// A triple of interned term ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -146,7 +146,12 @@ impl Graph {
         if fresh_object {
             // A literal unindexed by a prior removal becomes searchable again
             // the moment a triple uses it as an object.
-            if let Some(lexical) = self.interner.resolve(o).as_literal().map(|l| l.lexical().to_owned()) {
+            if let Some(lexical) = self
+                .interner
+                .resolve(o)
+                .as_literal()
+                .map(|l| l.lexical().to_owned())
+            {
                 if !self.text.is_indexed(o, &lexical) {
                     Arc::make_mut(&mut self.text).index_literal(o, &lexical);
                 }
@@ -218,7 +223,12 @@ impl Graph {
         }
         self.len -= 1;
         if !self.osp.contains_key(&o) {
-            if let Some(lexical) = self.interner.resolve(o).as_literal().map(|l| l.lexical().to_owned()) {
+            if let Some(lexical) = self
+                .interner
+                .resolve(o)
+                .as_literal()
+                .map(|l| l.lexical().to_owned())
+            {
                 Arc::make_mut(&mut self.text).unindex_literal(o, &lexical);
             }
         }
@@ -433,12 +443,7 @@ impl Graph {
     }
 
     /// Collects the triples matching a pattern.
-    pub fn matching(
-        &self,
-        s: Option<TermId>,
-        p: Option<TermId>,
-        o: Option<TermId>,
-    ) -> Vec<Triple> {
+    pub fn matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
         let mut out = Vec::new();
         self.for_each_matching(s, p, o, |t| out.push(t));
         out

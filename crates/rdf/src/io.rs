@@ -357,10 +357,9 @@ impl<'a> TurtleParser<'a> {
                     Some(b'u') => lexical.push(self.parse_unicode_escape(4)?),
                     Some(b'U') => lexical.push(self.parse_unicode_escape(8)?),
                     other => {
-                        return Err(self.err(format!(
-                            "invalid escape \\{:?}",
-                            other.map(|b| b as char)
-                        )))
+                        return Err(
+                            self.err(format!("invalid escape \\{:?}", other.map(|b| b as char)))
+                        )
                     }
                 },
                 Some(b) if b < 0x80 => lexical.push(b as char),
@@ -420,7 +419,9 @@ impl<'a> TurtleParser<'a> {
     fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, RdfError> {
         let mut value = 0u32;
         for _ in 0..digits {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
@@ -620,8 +621,11 @@ ex:obs1 a ex:Observation ;
     #[test]
     fn unsupported_constructs_error_clearly() {
         let mut g = Graph::new();
-        let e = parse_turtle("@prefix ex: <http://ex/> .\nex:s ex:p [ ex:q ex:r ] .", &mut g)
-            .unwrap_err();
+        let e = parse_turtle(
+            "@prefix ex: <http://ex/> .\nex:s ex:p [ ex:q ex:r ] .",
+            &mut g,
+        )
+        .unwrap_err();
         assert!(e.to_string().contains("not supported"));
         let e = parse_turtle("@prefix ex: <http://ex/> .\nex:s ex:p (1 2) .", &mut g).unwrap_err();
         assert!(e.to_string().contains("not supported"));
@@ -644,6 +648,9 @@ ex:obs1 a ex:Observation ;
         let mut g = Graph::new();
         parse_ntriples(input, &mut g).expect("parse");
         let t = g.iter()[0];
-        assert_eq!(g.term(t.o).as_literal().and_then(|l| l.language()), Some("de-at"));
+        assert_eq!(
+            g.term(t.o).as_literal().and_then(|l| l.language()),
+            Some("de-at")
+        );
     }
 }

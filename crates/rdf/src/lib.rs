@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # re2x-rdf
@@ -54,7 +55,9 @@ pub mod vocab;
 
 pub use error::RdfError;
 pub use graph::{Graph, Triple};
-pub use partition::{partition, partition_observations, PartitionLayout, Partitioned, PredicateRole};
 pub use interner::{Interner, TermId};
+pub use partition::{
+    partition, partition_observations, PartitionLayout, Partitioned, PredicateRole,
+};
 pub use term::{Literal, Term};
 pub use text::TextIndex;

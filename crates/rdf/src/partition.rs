@@ -148,9 +148,9 @@ pub fn partition(graph: &Graph, observation_class: &str, shards: usize) -> Parti
     let mut fact_routes: Vec<(crate::graph::Triple, usize)> = Vec::new();
     for triple in graph.iter() {
         if fact_subjects.contains(&triple.s) {
-            let shard = *placement.entry(triple.s).or_insert_with(|| {
-                shard_of_subject(&graph.term(triple.s).to_string(), shards)
-            });
+            let shard = *placement
+                .entry(triple.s)
+                .or_insert_with(|| shard_of_subject(&graph.term(triple.s).to_string(), shards));
             shard_fact_triples[shard] += 1;
             fact_triples += 1;
             fact_predicates.insert(triple.p);

@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn tokenize_splits_on_non_alphanumerics() {
-        assert_eq!(tokenize("Country of Destination"), ["country", "of", "destination"]);
+        assert_eq!(
+            tokenize("Country of Destination"),
+            ["country", "of", "destination"]
+        );
         assert_eq!(tokenize("October-2014"), ["october", "2014"]);
         assert_eq!(tokenize("  "), Vec::<String>::new());
         assert_eq!(tokenize("a_b"), ["a", "b"]);
@@ -236,7 +239,10 @@ mod tests {
         let mut idx = build();
         idx.index_literal(TermId(2), "2014");
         assert_eq!(idx.len(), 4);
-        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(1), TermId(2), TermId(3)]);
+        assert_eq!(
+            idx.search_all_tokens("2014"),
+            vec![TermId(1), TermId(2), TermId(3)]
+        );
         assert_eq!(idx.search_exact("2014"), &[TermId(2)]);
     }
 
@@ -248,7 +254,10 @@ mod tests {
         idx.index_literal(TermId(6), "2014");
         // Conjunctive search binary-searches postings, so an unsorted
         // posting would silently drop hits.
-        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(3), TermId(6), TermId(9)]);
+        assert_eq!(
+            idx.search_all_tokens("2014"),
+            vec![TermId(3), TermId(6), TermId(9)]
+        );
         assert_eq!(idx.search_all_tokens("beta 2014"), vec![TermId(3)]);
     }
 
@@ -274,6 +283,9 @@ mod tests {
         idx.unindex_literal(TermId(2), "2014");
         idx.index_literal(TermId(2), "2014");
         assert_eq!(idx.len(), 4);
-        assert_eq!(idx.search_all_tokens("2014"), vec![TermId(1), TermId(2), TermId(3)]);
+        assert_eq!(
+            idx.search_all_tokens("2014"),
+            vec![TermId(1), TermId(2), TermId(3)]
+        );
     }
 }

@@ -11,8 +11,7 @@ use re2x_testkit::{check, TestRng};
 
 // ---- generators -----------------------------------------------------------
 
-const IRI_ALPHABET: &str =
-    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.#/:-";
+const IRI_ALPHABET: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.#/:-";
 const ALNUM: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
 
 /// Printable ASCII (the `[ -~]` class), including characters that need
@@ -24,7 +23,10 @@ fn printable(rng: &mut TestRng, len: std::ops::Range<usize>) -> String {
 
 /// IRIs without angle brackets / whitespace / control characters.
 fn gen_iri(rng: &mut TestRng) -> Term {
-    Term::iri(format!("http://ex/{}", rng.string_from(IRI_ALPHABET, 1..25)))
+    Term::iri(format!(
+        "http://ex/{}",
+        rng.string_from(IRI_ALPHABET, 1..25)
+    ))
 }
 
 fn gen_literal(rng: &mut TestRng) -> Literal {
@@ -144,7 +146,12 @@ fn text_index_exact_matches_normalization() {
     check("text_index_exact_matches_normalization", |rng| {
         let count = rng.gen_range(1usize..20);
         let literals: Vec<String> = (0..count)
-            .map(|_| rng.string_from("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ", 1..13))
+            .map(|_| {
+                rng.string_from(
+                    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
+                    1..13,
+                )
+            })
             .collect();
         let probe = rng.gen_range(0usize..20);
         let mut graph = Graph::new();

@@ -593,8 +593,7 @@ mod tests {
         assert_eq!(Expr::and_all(vec![]), None);
         let single = Expr::and_all(vec![Expr::Bool(true)]).expect("one");
         assert_eq!(single, Expr::Bool(true));
-        let combined =
-            Expr::and_all(vec![Expr::Bool(true), Expr::Bool(false)]).expect("two");
+        let combined = Expr::and_all(vec![Expr::Bool(true), Expr::Bool(false)]).expect("two");
         assert!(matches!(combined, Expr::And(..)));
     }
 

@@ -41,7 +41,7 @@ use crate::ast::Query;
 use crate::endpoint::SparqlEndpoint;
 use crate::error::SparqlError;
 use crate::value::Solutions;
-use re2x_obs::{SpanHandle, Tracer};
+use re2x_obs::{lock_or_recover, wait_or_recover, SpanHandle, Tracer};
 use re2x_rdf::TermId;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -139,10 +139,7 @@ pub trait AsyncSparqlEndpoint {
     /// Waits for every ticket, returning the responses **in submission
     /// order** (the order of `tickets`), so batched fan-out reassembles
     /// deterministically.
-    fn join_all(
-        &self,
-        tickets: Vec<Ticket>,
-    ) -> Vec<Result<AsyncResponse, SparqlError>> {
+    fn join_all(&self, tickets: Vec<Ticket>) -> Vec<Result<AsyncResponse, SparqlError>> {
         tickets.into_iter().map(|t| self.wait(t)).collect()
     }
 
@@ -178,6 +175,7 @@ struct Shared {
 /// with [`with_async_endpoint`] — the workers are scoped to that call, so
 /// the adapter cannot outlive the endpoint it borrows.
 pub struct AsyncAdapter {
+    // lock-order: sparql.async.shared
     shared: Mutex<Shared>,
     /// Wakes workers when a job is queued (or shutdown is flagged).
     jobs: Condvar,
@@ -203,7 +201,7 @@ impl AsyncAdapter {
     fn worker_loop(&self, endpoint: &(impl SparqlEndpoint + ?Sized)) {
         loop {
             let job = {
-                let mut shared = self.shared.lock().expect("async mutex poisoned");
+                let mut shared = lock_or_recover(&self.shared);
                 loop {
                     if let Some(job) = shared.queue.pop_front() {
                         break job;
@@ -211,28 +209,25 @@ impl AsyncAdapter {
                     if shared.shutdown {
                         return;
                     }
-                    shared = self
-                        .jobs
-                        .wait(shared)
-                        .expect("async mutex poisoned");
+                    shared = wait_or_recover(&self.jobs, shared);
                 }
             };
             let _context = job.context.as_ref().map(|h| self.tracer.adopt(h));
             let result = match job.request {
                 AsyncRequest::Select(q) => endpoint.select(&q).map(AsyncResponse::Select),
                 AsyncRequest::Ask(q) => endpoint.ask(&q).map(AsyncResponse::Ask),
-                AsyncRequest::Keyword { keyword, exact } => {
-                    Ok(AsyncResponse::Keyword(endpoint.keyword_search(&keyword, exact)))
-                }
+                AsyncRequest::Keyword { keyword, exact } => Ok(AsyncResponse::Keyword(
+                    endpoint.keyword_search(&keyword, exact),
+                )),
             };
-            let mut shared = self.shared.lock().expect("async mutex poisoned");
+            let mut shared = lock_or_recover(&self.shared);
             shared.done.insert(job.id, result);
             self.results.notify_all();
         }
     }
 
     fn shutdown(&self) {
-        self.shared.lock().expect("async mutex poisoned").shutdown = true;
+        lock_or_recover(&self.shared).shutdown = true;
         self.jobs.notify_all();
     }
 }
@@ -242,7 +237,7 @@ impl AsyncSparqlEndpoint for AsyncAdapter {
         let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let context = self.tracer.current_handle();
         {
-            let mut shared = self.shared.lock().expect("async mutex poisoned");
+            let mut shared = lock_or_recover(&self.shared);
             shared.queue.push_back(Job {
                 id,
                 request,
@@ -254,7 +249,7 @@ impl AsyncSparqlEndpoint for AsyncAdapter {
     }
 
     fn poll(&self, ticket: &Ticket) -> Poll<Result<AsyncResponse, SparqlError>> {
-        let mut shared = self.shared.lock().expect("async mutex poisoned");
+        let mut shared = lock_or_recover(&self.shared);
         match shared.done.remove(&ticket.0) {
             Some(result) => Poll::Ready(result),
             None => Poll::Pending,
@@ -262,15 +257,12 @@ impl AsyncSparqlEndpoint for AsyncAdapter {
     }
 
     fn wait(&self, ticket: Ticket) -> Result<AsyncResponse, SparqlError> {
-        let mut shared = self.shared.lock().expect("async mutex poisoned");
+        let mut shared = lock_or_recover(&self.shared);
         loop {
             if let Some(result) = shared.done.remove(&ticket.0) {
                 return result;
             }
-            shared = self
-                .results
-                .wait(shared)
-                .expect("async mutex poisoned");
+            shared = wait_or_recover(&self.results, shared);
         }
     }
 }
@@ -387,8 +379,7 @@ mod tests {
     fn poll_transitions_from_pending_to_ready() {
         let ep = local().with_latency(Duration::from_millis(10));
         with_async_endpoint(&ep, 1, |pool| {
-            let ticket =
-                pool.submit_select(select("SELECT ?d WHERE { ?o <http://ex/dest> ?d }"));
+            let ticket = pool.submit_select(select("SELECT ?d WHERE { ?o <http://ex/dest> ?d }"));
             // with 10 ms injected latency the first poll races ahead of
             // the worker; keep polling until Ready
             let mut pending_seen = false;
@@ -421,10 +412,15 @@ mod tests {
         with_async_endpoint(&ep, 2, |pool| {
             let t_bad = pool.submit_select(bad);
             let t_good = pool.submit_select(good);
-            let err = pool.wait(t_bad).expect_err("invalid query fails its own ticket");
+            let err = pool
+                .wait(t_bad)
+                .expect_err("invalid query fails its own ticket");
             assert!(matches!(err, SparqlError::Invalid(_)), "{err:?}");
             assert_eq!(
-                pool.wait(t_good).expect("unrelated ticket unaffected").into_select().len(),
+                pool.wait(t_good)
+                    .expect("unrelated ticket unaffected")
+                    .into_select()
+                    .len(),
                 2
             );
         });
@@ -479,9 +475,7 @@ mod tests {
             with_async_endpoint(&ep, 4, |pool| {
                 let tickets: Vec<Ticket> = (0..12)
                     .map(|_| {
-                        pool.submit_select(select(
-                            "SELECT ?d WHERE { ?o <http://ex/dest> ?d }",
-                        ))
+                        pool.submit_select(select("SELECT ?d WHERE { ?o <http://ex/dest> ?d }"))
                     })
                     .collect();
                 for r in pool.join_all(tickets) {
@@ -516,8 +510,7 @@ mod tests {
 
         let async_start = std::time::Instant::now();
         with_async_endpoint(&ep, 4, |pool| {
-            let tickets: Vec<Ticket> =
-                (0..n).map(|_| pool.submit_select(select(query))).collect();
+            let tickets: Vec<Ticket> = (0..n).map(|_| pool.submit_select(select(query))).collect();
             for r in pool.join_all(tickets) {
                 r.expect("ok");
             }

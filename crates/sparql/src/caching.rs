@@ -18,7 +18,7 @@ use crate::endpoint::{EndpointStats, SparqlEndpoint};
 use crate::error::SparqlError;
 use crate::pretty::query_to_sparql;
 use crate::value::Solutions;
-use re2x_obs::Tracer;
+use re2x_obs::{lock_or_recover, Tracer};
 use re2x_rdf::{Graph, TermId};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -167,6 +167,7 @@ struct CacheState {
 /// changes).
 pub struct CachingEndpoint<E> {
     inner: E,
+    // lock-order: sparql.cache.state
     state: Mutex<CacheState>,
     tracer: Tracer,
 }
@@ -220,7 +221,7 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
 
     /// Number of currently cached entries across all three caches.
     pub fn cached_entries(&self) -> usize {
-        let state = self.state.lock().expect("cache mutex poisoned");
+        let state = lock_or_recover(&self.state);
         state.selects.len() + state.asks.len() + state.keywords.len()
     }
 
@@ -228,7 +229,7 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
     /// [`SparqlEndpoint::reset_stats`] to zero those). Required after the
     /// underlying store changes.
     pub fn clear(&self) {
-        let mut state = self.state.lock().expect("cache mutex poisoned");
+        let mut state = lock_or_recover(&self.state);
         state.selects.clear();
         state.asks.clear();
         state.keywords.clear();
@@ -238,7 +239,7 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
     /// method, callable without importing the trait).
     pub fn stats(&self) -> EndpointStats {
         let mut stats = self.inner.stats();
-        let state = self.state.lock().expect("cache mutex poisoned");
+        let state = lock_or_recover(&self.state);
         stats.merge(&EndpointStats {
             cache_hits: state.hits,
             cache_misses: state.misses,
@@ -253,7 +254,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
     fn select(&self, query: &Query) -> Result<Solutions, SparqlError> {
         let key = query_to_sparql(query);
         {
-            let mut state = self.state.lock().expect("cache mutex poisoned");
+            let mut state = lock_or_recover(&self.state);
             if let Some(cached) = state.selects.get(&key) {
                 state.hits += 1;
                 drop(state);
@@ -266,7 +267,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         // the lock is released while the inner endpoint evaluates, so
         // concurrent misses proceed in parallel (at worst re-evaluating)
         let solutions = self.inner.select(query)?;
-        let mut state = self.state.lock().expect("cache mutex poisoned");
+        let mut state = lock_or_recover(&self.state);
         if state.selects.insert(key, solutions.clone()) {
             state.evictions += 1;
         }
@@ -276,7 +277,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
     fn ask(&self, query: &Query) -> Result<bool, SparqlError> {
         let key = query_to_sparql(query);
         {
-            let mut state = self.state.lock().expect("cache mutex poisoned");
+            let mut state = lock_or_recover(&self.state);
             if let Some(cached) = state.asks.get(&key) {
                 state.hits += 1;
                 drop(state);
@@ -287,7 +288,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         }
         self.tracer.record_cache(false);
         let answer = self.inner.ask(query)?;
-        let mut state = self.state.lock().expect("cache mutex poisoned");
+        let mut state = lock_or_recover(&self.state);
         if state.asks.insert(key, answer) {
             state.evictions += 1;
         }
@@ -299,7 +300,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         // exact/substring namespaces disjoint
         let key = format!("{exact}\u{1}{keyword}");
         {
-            let mut state = self.state.lock().expect("cache mutex poisoned");
+            let mut state = lock_or_recover(&self.state);
             if let Some(cached) = state.keywords.get(&key) {
                 state.hits += 1;
                 drop(state);
@@ -310,7 +311,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         }
         self.tracer.record_cache(false);
         let hits = self.inner.keyword_search(keyword, exact);
-        let mut state = self.state.lock().expect("cache mutex poisoned");
+        let mut state = lock_or_recover(&self.state);
         if state.keywords.insert(key, hits.clone()) {
             state.evictions += 1;
         }
@@ -327,7 +328,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
 
     fn reset_stats(&self) {
         self.inner.reset_stats();
-        let mut state = self.state.lock().expect("cache mutex poisoned");
+        let mut state = lock_or_recover(&self.state);
         state.hits = 0;
         state.misses = 0;
         state.evictions = 0;
@@ -514,9 +515,9 @@ mod tests {
         assert_eq!(by_path["probe"].cache_misses, 0);
         // per-phase outcomes sum to the aggregate counters
         let stats = ep.stats();
-        let (hits, misses) = prov
-            .iter()
-            .fold((0, 0), |(h, m), (_, s)| (h + s.cache_hits, m + s.cache_misses));
+        let (hits, misses) = prov.iter().fold((0, 0), |(h, m), (_, s)| {
+            (h + s.cache_hits, m + s.cache_misses)
+        });
         assert_eq!(hits, stats.cache_hits);
         assert_eq!(misses, stats.cache_misses);
     }

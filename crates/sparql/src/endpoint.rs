@@ -14,11 +14,14 @@
 //! that. The trait therefore requires `Send + Sync`: every decorator and
 //! backend must be shareable across the crawler's worker threads.
 
+// lint:allow-file(no-wallclock, endpoint latency accounting and the injected-latency test layer)
+
 use crate::ast::Query;
 use crate::error::SparqlError;
 use crate::eval::{evaluate, evaluate_ask};
 use crate::parser::parse_query;
 use crate::value::Solutions;
+use re2x_obs::lock_or_recover;
 use re2x_rdf::{Graph, TermId};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -133,6 +136,7 @@ pub trait SparqlEndpoint: Send + Sync {
 #[derive(Debug)]
 pub struct LocalEndpoint {
     graph: Graph,
+    // lock-order: sparql.local.stats
     stats: Mutex<EndpointStats>,
     latency: Option<Duration>,
     row_latency: Option<Duration>,
@@ -168,12 +172,12 @@ impl LocalEndpoint {
 
     /// Snapshot of the statistics.
     pub fn stats(&self) -> EndpointStats {
-        *self.stats.lock().expect("stats mutex poisoned")
+        *lock_or_recover(&self.stats)
     }
 
     /// Resets the statistics (e.g. between experiment phases).
     pub fn reset_stats(&self) {
-        *self.stats.lock().expect("stats mutex poisoned") = EndpointStats::default();
+        *lock_or_recover(&self.stats) = EndpointStats::default();
     }
 
     /// Consumes the endpoint, returning the graph.
@@ -199,7 +203,7 @@ impl SparqlEndpoint for LocalEndpoint {
             }
         }
         let elapsed = start.elapsed();
-        let mut stats = self.stats.lock().expect("stats mutex poisoned");
+        let mut stats = lock_or_recover(&self.stats);
         stats.selects += 1;
         stats.busy += elapsed;
         stats.latency.record(elapsed);
@@ -214,7 +218,7 @@ impl SparqlEndpoint for LocalEndpoint {
         self.pay_latency();
         let result = evaluate_ask(&self.graph, query);
         let elapsed = start.elapsed();
-        let mut stats = self.stats.lock().expect("stats mutex poisoned");
+        let mut stats = lock_or_recover(&self.stats);
         stats.asks += 1;
         stats.busy += elapsed;
         stats.latency.record(elapsed);
@@ -230,7 +234,7 @@ impl SparqlEndpoint for LocalEndpoint {
             self.graph.literals_matching_keywords(keyword)
         };
         let elapsed = start.elapsed();
-        let mut stats = self.stats.lock().expect("stats mutex poisoned");
+        let mut stats = lock_or_recover(&self.stats);
         stats.keyword_searches += 1;
         stats.busy += elapsed;
         stats.latency.record(elapsed);
@@ -384,8 +388,14 @@ mod tests {
         assert_eq!(merged.busy, Duration::from_micros(17));
         assert_eq!(merged.cache_hits, 2);
         assert_eq!(merged.cache_misses, 4);
-        assert_eq!(merged.total_queries(), a.total_queries() + b.total_queries());
-        assert_eq!(merged.latency.count(), a.latency.count() + b.latency.count());
+        assert_eq!(
+            merged.total_queries(),
+            a.total_queries() + b.total_queries()
+        );
+        assert_eq!(
+            merged.latency.count(),
+            a.latency.count() + b.latency.count()
+        );
     }
 
     #[test]

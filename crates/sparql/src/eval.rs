@@ -184,7 +184,10 @@ fn try_index_only_distinct(graph: &Graph, query: &Query) -> Option<Solutions> {
     };
     Some(Solutions {
         vars: vec![projected.clone()],
-        rows: ids.into_iter().map(|id| vec![Some(Value::Term(id))]).collect(),
+        rows: ids
+            .into_iter()
+            .map(|id| vec![Some(Value::Term(id))])
+            .collect(),
     })
 }
 
@@ -349,9 +352,7 @@ impl Compiled {
     fn slot_of(&mut self, graph: &Graph, tp: &TermPattern) -> Slot {
         match tp {
             TermPattern::Var(v) => Slot::Var(self.var(v)),
-            TermPattern::Iri(iri) => graph
-                .iri_id(iri)
-                .map_or(Slot::Absent, Slot::Const),
+            TermPattern::Iri(iri) => graph.iri_id(iri).map_or(Slot::Absent, Slot::Const),
             TermPattern::Literal(l) => graph
                 .term_id(&Term::Literal(l.clone()))
                 .map_or(Slot::Absent, Slot::Const),
@@ -648,9 +649,7 @@ impl Compiled {
                     return false; // next candidate
                 }
             }
-            match self
-                .search_first(graph, block, order, filter_step, step + 1, &candidate)
-            {
+            match self.search_first(graph, block, order, filter_step, step + 1, &candidate) {
                 Some(hit) => {
                     found = Some(hit);
                     true // stop: a full solution exists
@@ -717,14 +716,22 @@ impl Compiled {
 
     /// Turns binding rows into the projected solution sequence, handling
     /// grouping, aggregation, HAVING, DISTINCT, ORDER BY and LIMIT/OFFSET.
-    fn project(&self, graph: &Graph, rows: Vec<Vec<Option<TermId>>>) -> Result<Solutions, SparqlError> {
+    fn project(
+        &self,
+        graph: &Graph,
+        rows: Vec<Vec<Option<TermId>>>,
+    ) -> Result<Solutions, SparqlError> {
         let query = &self.query;
         let aggregating = query.is_aggregate();
 
         // Determine output columns.
         let items: Vec<SelectItem> = if query.select.is_empty() {
             if aggregating {
-                query.group_by.iter().map(|v| SelectItem::Var(v.clone())).collect()
+                query
+                    .group_by
+                    .iter()
+                    .map(|v| SelectItem::Var(v.clone()))
+                    .collect()
             } else {
                 self.var_names
                     .iter()
@@ -789,10 +796,7 @@ impl Compiled {
                     key,
                 };
                 if let Some(having) = &query.having {
-                    let keep = ctx
-                        .eval(having)
-                        .and_then(|v| v.as_bool())
-                        .unwrap_or(false);
+                    let keep = ctx.eval(having).and_then(|v| v.as_bool()).unwrap_or(false);
                     if !keep {
                         continue;
                     }
@@ -817,11 +821,8 @@ impl Compiled {
                 for item in &items {
                     match item {
                         SelectItem::Var(v) => {
-                            let value = self
-                                .var_index
-                                .get(v)
-                                .and_then(|&i| row[i])
-                                .map(Value::Term);
+                            let value =
+                                self.var_index.get(v).and_then(|&i| row[i]).map(Value::Term);
                             out.push(value);
                         }
                         SelectItem::Agg { .. } => unreachable!("aggregate implies aggregating"),
@@ -865,7 +866,11 @@ impl Compiled {
                         (Some(_), None) => std::cmp::Ordering::Greater,
                         (None, None) => std::cmp::Ordering::Equal,
                     };
-                    let ord = if order == Order::Desc { ord.reverse() } else { ord };
+                    let ord = if order == Order::Desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
                     }

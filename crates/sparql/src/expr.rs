@@ -262,7 +262,10 @@ mod tests {
         let e = Expr::Call(
             Func::Contains,
             vec![
-                Expr::Call(Func::LCase, vec![Expr::Call(Func::Str, vec![Expr::var("label")])]),
+                Expr::Call(
+                    Func::LCase,
+                    vec![Expr::Call(Func::Str, vec![Expr::var("label")])],
+                ),
                 Expr::Literal(Literal::simple("germ")),
             ],
         );

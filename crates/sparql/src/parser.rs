@@ -300,9 +300,8 @@ impl<'a> Lexer<'a> {
                     for _ in 0..extra {
                         buf.push(self.bump().ok_or_else(|| self.err("truncated utf-8"))?);
                     }
-                    lexical.push_str(
-                        &String::from_utf8(buf).map_err(|_| self.err("invalid utf-8"))?,
-                    );
+                    lexical
+                        .push_str(&String::from_utf8(buf).map_err(|_| self.err("invalid utf-8"))?);
                 }
             }
         }
@@ -587,7 +586,10 @@ impl Parser {
                 _ => return None,
             };
             // must be followed by '('
-            if matches!(self.tokens.get(self.pos + 1).map(|s| &s.tok), Some(Tok::Sym("("))) {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|s| &s.tok),
+                Some(Tok::Sym("("))
+            ) {
                 return Some(func);
             }
         }
@@ -990,7 +992,10 @@ mod tests {
         assert_eq!(q.group_by, vec!["origin", "dest"]);
         let patterns: Vec<_> = q.triple_patterns().collect();
         assert_eq!(patterns.len(), 3);
-        assert_eq!(patterns[0].predicate.as_path().map(<[String]>::len), Some(2));
+        assert_eq!(
+            patterns[0].predicate.as_path().map(<[String]>::len),
+            Some(2)
+        );
     }
 
     #[test]
@@ -1047,10 +1052,8 @@ mod tests {
 
     #[test]
     fn semicolon_and_comma_sugar() {
-        let q = parse_query(
-            "SELECT * WHERE { ?o <http://ex/a> ?x ; <http://ex/b> ?y , ?z . }",
-        )
-        .expect("parse");
+        let q = parse_query("SELECT * WHERE { ?o <http://ex/a> ?x ; <http://ex/b> ?y , ?z . }")
+            .expect("parse");
         assert_eq!(q.triple_patterns().count(), 3);
         // all share the subject
         for t in q.triple_patterns() {
@@ -1060,10 +1063,8 @@ mod tests {
 
     #[test]
     fn less_than_vs_iri_disambiguation() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?s <http://ex/p> ?x . FILTER(?x < 10 && ?x >= 2) }",
-        )
-        .expect("parse");
+        let q = parse_query("SELECT ?x WHERE { ?s <http://ex/p> ?x . FILTER(?x < 10 && ?x >= 2) }")
+            .expect("parse");
         assert_eq!(q.filters().count(), 1);
     }
 
@@ -1092,10 +1093,9 @@ mod tests {
 
     #[test]
     fn negative_numbers_and_arithmetic() {
-        let q = parse_query(
-            "SELECT ?x WHERE { ?s <http://ex/p> ?x . FILTER(?x * 2 + -3 > 1 - 0.5) }",
-        )
-        .expect("parse");
+        let q =
+            parse_query("SELECT ?x WHERE { ?s <http://ex/p> ?x . FILTER(?x * 2 + -3 > 1 - 0.5) }")
+                .expect("parse");
         assert_eq!(q.filters().count(), 1);
     }
 

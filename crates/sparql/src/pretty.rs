@@ -98,8 +98,17 @@ fn write_elements(out: &mut String, elements: &[PatternElement], depth: usize) {
 fn select_item(item: &SelectItem) -> String {
     match item {
         SelectItem::Var(v) => format!("?{v}"),
-        SelectItem::Agg { func, expr: e, alias } => {
-            format!("({}({}{}) AS ?{alias})", func.keyword(), distinct_marker(*func), expr(e))
+        SelectItem::Agg {
+            func,
+            expr: e,
+            alias,
+        } => {
+            format!(
+                "({}({}{}) AS ?{alias})",
+                func.keyword(),
+                distinct_marker(*func),
+                expr(e)
+            )
         }
     }
 }

@@ -34,6 +34,8 @@
 //! and the merge is bit-identical to local evaluation; for non-integer
 //! measures it is correct up to floating-point re-association.
 
+// lint:allow-file(no-wallclock, times scatter legs to expose per-shard busy/skew metrics)
+
 use crate::ast::{
     AggFunc, Expr, Order, OrderKey, PatternElement, Predicate, Query, QueryForm, SelectItem,
     TermPattern,
@@ -43,7 +45,7 @@ use crate::error::SparqlError;
 use crate::eval::DedupKey;
 use crate::expr::{eval_expr, EvalContext};
 use crate::value::{total_compare_numeric, Solutions, Value};
-use re2x_obs::{label, Metrics};
+use re2x_obs::{label, lock_or_recover, Metrics};
 use re2x_rdf::hash::FxHashMap;
 use re2x_rdf::partition::{partition, PartitionLayout, PredicateRole};
 use re2x_rdf::vocab::{qb, rdf};
@@ -76,6 +78,7 @@ pub struct ShardedEndpoint {
     class_iri: String,
     latency: Option<Duration>,
     row_latency: Option<Duration>,
+    // lock-order: sparql.sharded.stats
     stats: Mutex<EndpointStats>,
     scatters: AtomicU64,
     fallbacks: AtomicU64,
@@ -458,7 +461,11 @@ impl ShardedEndpoint {
         results.into_iter().collect()
     }
 
-    fn scatter_and_merge(&self, query: &Query, plan: &ScatterPlan) -> Result<Solutions, SparqlError> {
+    fn scatter_and_merge(
+        &self,
+        query: &Query,
+        plan: &ScatterPlan,
+    ) -> Result<Solutions, SparqlError> {
         let shard_results = self.scatter(&plan.shard_query)?;
         self.publish_shard_metrics(&shard_results);
         let graph = self.replica.graph();
@@ -494,7 +501,7 @@ impl ShardedEndpoint {
     }
 
     fn record(&self, elapsed: Duration, rows: Option<u64>, kind: QueryKind) {
-        let mut stats = self.stats.lock().expect("stats mutex poisoned");
+        let mut stats = lock_or_recover(&self.stats);
         match kind {
             QueryKind::Select => stats.selects += 1,
             QueryKind::Ask => stats.asks += 1,
@@ -561,11 +568,11 @@ impl SparqlEndpoint for ShardedEndpoint {
     /// [`ShardedEndpoint::shard_stats`] / [`ShardedEndpoint::replica_stats`]
     /// for per-backend accounting — `EndpointStats::merge` folds them).
     fn stats(&self) -> EndpointStats {
-        *self.stats.lock().expect("stats mutex poisoned")
+        *lock_or_recover(&self.stats)
     }
 
     fn reset_stats(&self) {
-        *self.stats.lock().expect("stats mutex poisoned") = EndpointStats::default();
+        *lock_or_recover(&self.stats) = EndpointStats::default();
         for shard in &self.shards {
             shard.reset_stats();
         }
@@ -860,7 +867,11 @@ pub fn canonical_order(solutions: &mut Solutions, order_by: &[OrderKey], graph: 
                 (Some(_), None) => Ordering::Greater,
                 (None, None) => Ordering::Equal,
             };
-            let ord = if order == Order::Desc { ord.reverse() } else { ord };
+            let ord = if order == Order::Desc {
+                ord.reverse()
+            } else {
+                ord
+            };
             if ord != Ordering::Equal {
                 return ord;
             }
@@ -1129,10 +1140,8 @@ mod tests {
     #[test]
     fn gather_stats_count_logical_queries_not_shard_fanout() {
         let endpoint = sharded(4);
-        let query = q(
-            "SELECT ?d (SUM(?n) AS ?t) WHERE {
-                ?o <http://ex/dest> ?d . ?o <http://ex/applicants> ?n } GROUP BY ?d",
-        );
+        let query = q("SELECT ?d (SUM(?n) AS ?t) WHERE {
+                ?o <http://ex/dest> ?d . ?o <http://ex/applicants> ?n } GROUP BY ?d");
         let rows = endpoint.select(&query).unwrap().len() as u64;
         let stats = endpoint.stats();
         assert_eq!((stats.selects, stats.rows_returned), (1, rows));
@@ -1179,10 +1188,8 @@ mod tests {
     #[test]
     fn composes_under_caching_and_tracing() {
         let cached = crate::CachingEndpoint::new(sharded(3));
-        let query = q(
-            "SELECT ?d (AVG(?n) AS ?a) WHERE {
-                ?o <http://ex/dest> ?d . ?o <http://ex/applicants> ?n } GROUP BY ?d ORDER BY ?d",
-        );
+        let query = q("SELECT ?d (AVG(?n) AS ?a) WHERE {
+                ?o <http://ex/dest> ?d . ?o <http://ex/applicants> ?n } GROUP BY ?d ORDER BY ?d");
         let first = cached.select(&query).unwrap();
         let second = cached.select(&query).unwrap();
         assert_eq!(first, second);

@@ -16,6 +16,8 @@
 //! hits + misses; over a bare [`crate::LocalEndpoint`],
 //! `EndpointStats::total_queries`).
 
+// lint:allow-file(no-wallclock, measures per-query endpoint latency for span attribution)
+
 use crate::ast::Query;
 use crate::endpoint::{EndpointStats, SparqlEndpoint};
 use crate::error::SparqlError;
@@ -80,7 +82,8 @@ impl<E: SparqlEndpoint> SparqlEndpoint for TracingEndpoint<E> {
         }
         let start = Instant::now();
         let hits = self.inner.keyword_search(keyword, exact);
-        self.tracer.record_query(QueryKind::Keyword, start.elapsed());
+        self.tracer
+            .record_query(QueryKind::Keyword, start.elapsed());
         hits
     }
 

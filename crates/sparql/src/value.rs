@@ -272,7 +272,10 @@ mod tests {
             Ordering::Equal,
             "NaN sign bit must not split the equivalence class"
         );
-        assert_eq!(nan.compare(&Value::Number(f64::INFINITY), &g), Ordering::Greater);
+        assert_eq!(
+            nan.compare(&Value::Number(f64::INFINITY), &g),
+            Ordering::Greater
+        );
         // …so the comparator is antisymmetric and transitive over a
         // NaN-containing set: 1 < 2 < NaN with no Equal shortcuts.
         assert_eq!(one.compare(&two, &g), Ordering::Less);

@@ -52,7 +52,10 @@ fn string(sols: &Solutions, g: &Graph, row: usize, col: &str) -> String {
 #[test]
 fn single_pattern_scan() {
     let g = asylum_graph();
-    let sols = run(&g, "SELECT ?o WHERE { ?o <http://ex/dest> <http://ex/Germany> }");
+    let sols = run(
+        &g,
+        "SELECT ?o WHERE { ?o <http://ex/dest> <http://ex/Germany> }",
+    );
     assert_eq!(sols.len(), 3);
 }
 
@@ -301,10 +304,7 @@ fn constants_absent_from_graph_yield_empty_not_error() {
 #[test]
 fn variable_predicate_enumeration() {
     let g = asylum_graph();
-    let sols = run(
-        &g,
-        "SELECT DISTINCT ?p WHERE { <http://ex/o1> ?p ?x }",
-    );
+    let sols = run(&g, "SELECT DISTINCT ?p WHERE { <http://ex/o1> ?p ?x }");
     assert_eq!(sols.len(), 4, "dest, origin, year, applicants");
 }
 
@@ -354,10 +354,8 @@ fn projecting_ungrouped_variable_is_rejected() {
 #[test]
 fn aggregate_in_where_filter_is_rejected() {
     let g = asylum_graph();
-    let q = parse_query(
-        "SELECT ?d WHERE { ?o <http://ex/dest> ?d . FILTER(SUM(?v) > 3) }",
-    )
-    .expect("parse");
+    let q = parse_query("SELECT ?d WHERE { ?o <http://ex/dest> ?d . FILTER(SUM(?v) > 3) }")
+        .expect("parse");
     let err = evaluate(&g, &q).unwrap_err();
     assert!(err.to_string().contains("HAVING"));
 }
@@ -388,7 +386,11 @@ fn schema_discovery_style_queries() {
         &g,
         "SELECT DISTINCT ?p WHERE { ?o <http://ex/dest> ?d . ?o ?p ?v . FILTER(isNumeric(?v)) }",
     );
-    assert_eq!(measures.len(), 2, "applicants and year are both numeric here");
+    assert_eq!(
+        measures.len(),
+        2,
+        "applicants and year are both numeric here"
+    );
     // attributes: literal but not numeric
     let attrs = run(
         &g,
@@ -416,7 +418,11 @@ fn join_order_permutations_agree() {
     permute(&idx, &mut Vec::new(), &mut permutations);
     assert_eq!(permutations.len(), 24);
     for perm in permutations {
-        let body: String = perm.iter().map(|&i| patterns[i]).collect::<Vec<_>>().join("\n");
+        let body: String = perm
+            .iter()
+            .map(|&i| patterns[i])
+            .collect::<Vec<_>>()
+            .join("\n");
         let text = format!(
             "SELECT ?c ?d ?y (SUM(?v) AS ?t) WHERE {{ {body} }} GROUP BY ?c ?d ?y ORDER BY ?c ?d ?y"
         );
@@ -519,7 +525,9 @@ mod properties {
             let g = star_graph(&dests, &values);
             let sols = run(
                 &g,
-                &format!("SELECT ?v WHERE {{ ?o <http://ex/val> ?v }} ORDER BY ASC(?v) LIMIT {limit}"),
+                &format!(
+                    "SELECT ?v WHERE {{ ?o <http://ex/val> ?v }} ORDER BY ASC(?v) LIMIT {limit}"
+                ),
             );
             assert!(sols.len() <= limit);
             let nums: Vec<f64> = (0..sols.len()).map(|r| number(&sols, &g, r, "v")).collect();
@@ -572,12 +580,13 @@ fn explain_shows_plan_and_filters() {
 #[test]
 fn explain_renders_paths_with_internal_vars() {
     let g = asylum_graph();
-    let q = parse_query(
-        "SELECT ?c WHERE { ?o <http://ex/origin> / <http://ex/inContinent> ?c }",
-    )
-    .expect("parse");
+    let q = parse_query("SELECT ?c WHERE { ?o <http://ex/origin> / <http://ex/inContinent> ?c }")
+        .expect("parse");
     let plan = re2x_sparql::explain(&g, &q).expect("explain");
-    assert!(plan.contains("?_path"), "internal join variable shown: {plan}");
+    assert!(
+        plan.contains("?_path"),
+        "internal join variable shown: {plan}"
+    );
 }
 
 #[test]
@@ -604,15 +613,13 @@ fn count_distinct_aggregate() {
 
 #[test]
 fn count_distinct_round_trips_and_rejects_other_aggs() {
-    let q = parse_query(
-        "SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?o <http://ex/p> ?m }",
-    )
-    .expect("parse");
+    let q = parse_query("SELECT (COUNT(DISTINCT ?m) AS ?n) WHERE { ?o <http://ex/p> ?m }")
+        .expect("parse");
     let text = re2x_sparql::query_to_sparql(&q);
     assert!(text.contains("COUNT(DISTINCT ?m)"), "{text}");
     assert_eq!(parse_query(&text).expect("reparse"), q);
-    let err = parse_query("SELECT (SUM(DISTINCT ?m) AS ?n) WHERE { ?o <http://ex/p> ?m }")
-        .unwrap_err();
+    let err =
+        parse_query("SELECT (SUM(DISTINCT ?m) AS ?n) WHERE { ?o <http://ex/p> ?m }").unwrap_err();
     assert!(err.to_string().contains("not supported"), "{err}");
 }
 
@@ -660,8 +667,11 @@ fn optional_left_joins_missing_bindings() {
     // every origin country; its continent where one exists (all origins
     // here have continents, so add a member without one)
     let mut g = g;
-    parse_turtle("@prefix ex: <http://ex/> . ex:o9 ex:origin ex:Nowhere .", &mut g)
-        .expect("extend");
+    parse_turtle(
+        "@prefix ex: <http://ex/> . ex:o9 ex:origin ex:Nowhere .",
+        &mut g,
+    )
+    .expect("extend");
     let sols = run(
         &g,
         "SELECT DISTINCT ?c ?k WHERE {
@@ -683,8 +693,11 @@ fn optional_left_joins_missing_bindings() {
 #[test]
 fn optional_with_bound_filter_expresses_negation() {
     let mut g = asylum_graph();
-    parse_turtle("@prefix ex: <http://ex/> . ex:o9 ex:origin ex:Nowhere .", &mut g)
-        .expect("extend");
+    parse_turtle(
+        "@prefix ex: <http://ex/> . ex:o9 ex:origin ex:Nowhere .",
+        &mut g,
+    )
+    .expect("extend");
     // members WITHOUT a continent: the classic OPTIONAL + !BOUND pattern
     let sols = run(
         &g,
@@ -748,7 +761,11 @@ fn union_inside_aggregation() {
     let syria = (0..sols.len())
         .find(|&r| string(&sols, &g, r, "m") == "http://ex/Syria")
         .expect("syria");
-    assert_eq!(number(&sols, &g, syria, "t"), 1200.0, "300+600+300 as origin");
+    assert_eq!(
+        number(&sols, &g, syria, "t"),
+        1200.0,
+        "300+600+300 as origin"
+    );
 }
 
 #[test]

@@ -93,7 +93,10 @@ fn order_by_is_deterministic_under_shuffled_input_with_nan_keys() {
         // descending flips the pin: NaNs first
         let desc = parse_query("SELECT ?s ?v WHERE { ?s <http://ex/val> ?v } ORDER BY DESC(?v)")
             .expect("parse");
-        let desc_keys = key_column(&evaluate(&shuffled_graph, &desc).expect("evaluate"), &shuffled_graph);
+        let desc_keys = key_column(
+            &evaluate(&shuffled_graph, &desc).expect("evaluate"),
+            &shuffled_graph,
+        );
         let nans = keys.len() - first_nan;
         assert!(
             desc_keys[..nans].iter().all(|k| k == "NaN"),

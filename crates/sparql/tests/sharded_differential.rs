@@ -78,9 +78,7 @@ fn workload(dataset: &Dataset) -> Vec<String> {
         format!(
             "SELECT ?o ?m WHERE {{ ?o <{measure}> ?m }} ORDER BY DESC(?m) ?o LIMIT 10 OFFSET 3"
         ),
-        format!(
-            "SELECT ?o ?d ?l WHERE {{ ?o <{dim0}> ?d . ?d <{label}> ?l }} ORDER BY ?l ?o"
-        ),
+        format!("SELECT ?o ?d ?l WHERE {{ ?o <{dim0}> ?d . ?d <{label}> ?l }} ORDER BY ?l ?o"),
         format!("SELECT (COUNT(?o) AS ?n) WHERE {{ ?o a <{class}> }}"),
         // Replica-fallback shapes.
         format!("SELECT ?member ?l WHERE {{ ?member <{label}> ?l }} ORDER BY ?l ?member"),
@@ -91,9 +89,7 @@ fn workload(dataset: &Dataset) -> Vec<String> {
              GROUP BY ?d HAVING (COUNT(DISTINCT ?o) > 1) ORDER BY ?d"
         ),
         // Invalid shapes — the replica must reproduce the exact error.
-        format!(
-            "SELECT ?o (SUM(?m) AS ?t) WHERE {{ ?o <{measure}> ?m }} GROUP BY ?zzz"
-        ),
+        format!("SELECT ?o (SUM(?m) AS ?t) WHERE {{ ?o <{measure}> ?m }} GROUP BY ?zzz"),
         format!("SELECT ?d WHERE {{ ?o <{dim0}> ?d }} ORDER BY ?nope"),
     ];
     if dataset.dimension_predicates.len() > 2 {
@@ -200,8 +196,16 @@ fn run_workload_at(dataset: &Dataset, numeric: Numeric, shard_counts: &[usize]) 
             );
         }
         // The battery must actually exercise both paths.
-        assert!(sharded.scatter_count() >= 10, "{} n={n} scatters", dataset.name);
-        assert!(sharded.fallback_count() >= 4, "{} n={n} fallbacks", dataset.name);
+        assert!(
+            sharded.scatter_count() >= 10,
+            "{} n={n} scatters",
+            dataset.name
+        );
+        assert!(
+            sharded.fallback_count() >= 4,
+            "{} n={n} fallbacks",
+            dataset.name
+        );
     }
 }
 
@@ -237,7 +241,11 @@ fn full_stack_composition_is_byte_identical() {
     let local = LocalEndpoint::new(dataset.graph.clone());
     let tracer = re2x_obs::Tracer::enabled();
     let stack = CachingEndpoint::new(TracingEndpoint::new(
-        ShardedEndpoint::with_observation_class(dataset.graph.clone(), &dataset.observation_class, 4),
+        ShardedEndpoint::with_observation_class(
+            dataset.graph.clone(),
+            &dataset.observation_class,
+            4,
+        ),
         tracer,
     ));
     let queries = workload(&dataset);
@@ -253,7 +261,11 @@ fn full_stack_composition_is_byte_identical() {
             );
             match sharded_probe.route(&query) {
                 Route::Scatter => {
-                    assert_eq!(got, reference_solutions(&local, &query), "round {round}: {text}");
+                    assert_eq!(
+                        got,
+                        reference_solutions(&local, &query),
+                        "round {round}: {text}"
+                    );
                 }
                 Route::Replica => {
                     assert_eq!(got, local.select(&query), "round {round}: {text}");
@@ -262,7 +274,10 @@ fn full_stack_composition_is_byte_identical() {
         }
     }
     // Second round was answered from cache.
-    assert!(stack.stats().cache_hits >= queries.iter().filter(|t| parse_query(t).is_ok()).count() as u64 - 2);
+    assert!(
+        stack.stats().cache_hits
+            >= queries.iter().filter(|t| parse_query(t).is_ok()).count() as u64 - 2
+    );
 }
 
 // ---- seeded property harness ----------------------------------------------
@@ -322,7 +337,11 @@ fn random_query(rng: &mut TestRng, dataset: &Dataset) -> String {
             text.push_str(&format!(" HAVING ({func}(?m) >= {threshold})"));
         }
         if rng.gen_bool(0.5) {
-            let dir = if rng.gen_bool(0.5) { "DESC(?agg0)" } else { "?d0" };
+            let dir = if rng.gen_bool(0.5) {
+                "DESC(?agg0)"
+            } else {
+                "?d0"
+            };
             text.push_str(&format!(" ORDER BY {dir}"));
             if rng.gen_bool(0.5) {
                 text.push_str(&format!(" LIMIT {}", rng.gen_range(1..20u32)));
@@ -336,7 +355,10 @@ fn random_query(rng: &mut TestRng, dataset: &Dataset) -> String {
         if distinct.is_empty() {
             projected.insert(0, "?o".to_owned());
         }
-        let mut text = format!("SELECT {distinct}{} WHERE {{ {wher} }}", projected.join(" "));
+        let mut text = format!(
+            "SELECT {distinct}{} WHERE {{ {wher} }}",
+            projected.join(" ")
+        );
         if rng.gen_bool(0.6) {
             text.push_str(&format!(" ORDER BY {}", projected.join(" ")));
             if rng.gen_bool(0.4) {

@@ -84,8 +84,12 @@ fn merge_preserves_histogram_counts_and_buckets() {
             s.latency.buckets().collect()
         };
         let (ba, bb, bab) = (buckets_of(&a), buckets_of(&b), buckets_of(&ab));
-        let bounds: std::collections::BTreeSet<Duration> =
-            ba.keys().chain(bb.keys()).chain(bab.keys()).copied().collect();
+        let bounds: std::collections::BTreeSet<Duration> = ba
+            .keys()
+            .chain(bb.keys())
+            .chain(bab.keys())
+            .copied()
+            .collect();
         for bound in bounds {
             let sum = ba.get(&bound).copied().unwrap_or(0) + bb.get(&bound).copied().unwrap_or(0);
             assert_eq!(

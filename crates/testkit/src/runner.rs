@@ -1,6 +1,8 @@
 //! The property runner: iteration budget, per-case seeds, and failing-seed
 //! replay.
 
+// lint:allow-file(no-debug-output, the harness reports failing case seeds to the terminal)
+
 use crate::prng::{SplitMix64, TestRng};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 

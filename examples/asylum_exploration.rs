@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  interpretation [{i}]: {}", q.description);
     }
     let step = session.choose(outcome.queries[0].clone())?;
-    println!("\nTable 2 — initial result set:\n{}", step.solutions.to_labeled_table(endpoint.graph()));
+    println!(
+        "\nTable 2 — initial result set:\n{}",
+        step.solutions.to_labeled_table(endpoint.graph())
+    );
 
     // --- Interaction 2: disaggregate -------------------------------------
     println!("➤ Alex drills down.\n");
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|r| r.explanation.contains("Continent"))
         .expect("continent disaggregation offered");
     let step = session.apply(by_continent)?;
-    println!("\nafter disaggregation:\n{}", step.solutions.to_labeled_table(endpoint.graph()));
+    println!(
+        "\nafter disaggregation:\n{}",
+        step.solutions.to_labeled_table(endpoint.graph())
+    );
 
     // --- Interaction 3: similarity search --------------------------------
     println!("➤ Alex asks for countries with volumes similar to Germany's.\n");
@@ -58,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let first = sims.into_iter().next().expect("similarity available");
     println!("  offer: {}", first.explanation);
     let step = session.apply(first)?;
-    println!("\nsimilar members only:\n{}", step.solutions.to_labeled_table(endpoint.graph()));
+    println!(
+        "\nsimilar members only:\n{}",
+        step.solutions.to_labeled_table(endpoint.graph())
+    );
 
     // --- Interaction 4: top-k subset --------------------------------------
     println!("➤ Alex keeps only the top of the distribution.\n");
@@ -68,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(top) = tops.into_iter().next() {
         let step = session.apply(top)?;
-        println!("\nfinal view:\n{}", step.solutions.to_labeled_table(endpoint.graph()));
+        println!(
+            "\nfinal view:\n{}",
+            step.solutions.to_labeled_table(endpoint.graph())
+        );
         println!("final query (reusable SPARQL):\n\n{}", step.query.sparql());
     }
 

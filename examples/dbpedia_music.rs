@@ -24,16 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = report.schema.stats();
     println!(
         "bootstrapped the Creative-Work view: |D|={} |L|={} |H|={} |N_D|={} ({:?})\n",
-        stats.dimensions,
-        stats.levels,
-        stats.hierarchies,
-        stats.members,
-        report.elapsed,
+        stats.dimensions, stats.levels, stats.hierarchies, stats.members, report.elapsed,
     );
 
     // keyword ambiguity: the same label names members in two dimensions
     let hits = re2xolap::matches(&endpoint, &report.schema, "Genre 17", MatchMode::Exact)?;
-    println!("\"Genre 17\" resolves to {} member/level interpretations:", hits.len());
+    println!(
+        "\"Genre 17\" resolves to {} member/level interpretations:",
+        hits.len()
+    );
     for hit in &hits {
         println!(
             "  {} at level {}",
@@ -48,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{} interpretation(s) considered, {} valid quer{} synthesized:",
         outcome.interpretations_considered,
         outcome.queries.len(),
-        if outcome.queries.len() == 1 { "y" } else { "ies" }
+        if outcome.queries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
     );
     for q in &outcome.queries {
         println!("  • {}", q.description);
@@ -62,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // drill down across the heterogeneous hierarchy
     let refinements = session.refinements(RefineOp::Disaggregate)?;
-    println!("\n{} disaggregation paths available, e.g.:", refinements.len());
+    println!(
+        "\n{} disaggregation paths available, e.g.:",
+        refinements.len()
+    );
     for r in refinements.iter().take(5) {
         println!("  • {}", r.explanation);
     }

@@ -36,7 +36,10 @@ fn load(args: &[String]) -> Result<(Graph, String), Box<dyn std::error::Error>> 
     let source = args.first().map(String::as_str).unwrap_or("running");
     let qb = re2x_rdf::vocab::qb::OBSERVATION.to_owned();
     Ok(match source {
-        "running" => (std::mem::take(&mut re2x_datagen::running::generate().graph), qb),
+        "running" => (
+            std::mem::take(&mut re2x_datagen::running::generate().graph),
+            qb,
+        ),
         "eurostat" => (
             std::mem::take(&mut re2x_datagen::eurostat::generate(5_000, 42).graph),
             qb,
@@ -93,8 +96,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "" => {}
                 "quit" | "exit" => std::process::exit(0),
                 "ex" => {
-                    let keywords: Vec<&str> =
-                        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                    let keywords: Vec<&str> = rest
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .collect();
                     if keywords.is_empty() {
                         println!("usage: ex <keyword>[, <keyword>…]");
                         return Ok(());
@@ -146,8 +152,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 "not" => {
                     let step = session.current().ok_or("run a query first")?;
-                    let negatives: Vec<&str> =
-                        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                    let negatives: Vec<&str> = rest
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .collect();
                     let outcome = exclude_negatives(
                         &endpoint,
                         &schema,
@@ -188,7 +197,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "back" => {
                     if session.backtrack() {
                         let step = session.current().expect("history non-empty");
-                        println!("back to: {} ({} rows)", step.query.description, step.solutions.len());
+                        println!(
+                            "back to: {} ({} rows)",
+                            step.query.description,
+                            step.solutions.len()
+                        );
                     } else {
                         println!("already at the first step");
                     }

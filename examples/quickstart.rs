@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Serve it through a SPARQL endpoint and discover the schema: the
     //    system is told only the observation class.
     let endpoint = LocalEndpoint::new(graph);
-    let report = bootstrap(&endpoint, &BootstrapConfig::new("http://example.org/Observation"))?;
+    let report = bootstrap(
+        &endpoint,
+        &BootstrapConfig::new("http://example.org/Observation"),
+    )?;
     let stats = report.schema.stats();
     println!(
         "discovered {} dimensions, {} measure(s), {} levels in {:?}\n",

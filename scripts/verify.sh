@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="-D warnings"
 export CARGO_NET_OFFLINE="true"
 
+echo "== formatting =="
+cargo fmt --check
+
 echo "== tier-1: release build =="
 cargo build --release --offline
 
@@ -23,6 +26,31 @@ cargo build --offline -p re2x-bench --benches --features bench-criterion
 
 echo "== clippy (all targets, warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
+
+echo "== static analysis (re2x-lint, baseline-gated) =="
+# The workspace lints itself: zero findings outside lint-baseline.txt and
+# zero stale baseline entries (the baseline may only shrink). The JSON
+# output must parse and agree with the gate, and the lock-order graph
+# assembled from the `// lock-order:` registry must stay acyclic.
+cargo run -q --release --offline -p re2x-lint
+if command -v python3 >/dev/null 2>&1; then
+    mkdir -p bench_results
+    cargo run -q --release --offline -p re2x-lint -- --format json > bench_results/lint.json
+    python3 - <<'EOF'
+import json
+with open("bench_results/lint.json") as f:
+    report = json.load(f)
+assert report["findings"] == [], f"unbaselined findings: {report['findings']}"
+assert report["stale_baseline"] == [], f"stale baseline entries: {report['stale_baseline']}"
+locks = set(report["locks"])
+assert len(locks) >= 7, f"lock registry shrank unexpectedly: {sorted(locks)}"
+for edge in report["lock_edges"]:
+    assert edge["from"] in locks and edge["to"] in locks
+print(f"lint.json: valid JSON; {report['baseline_matched']} baselined, "
+      f"{report['suppressed']} allowed, {len(locks)} locks, "
+      f"{len(report['lock_edges'])} nesting edges")
+EOF
+fi
 
 echo "== trace experiment (smallest dataset, offline) =="
 # The trace experiment runs on the in-memory running-example generator —

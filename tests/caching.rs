@@ -56,7 +56,10 @@ fn caching_endpoint_is_transparent() {
             }
         }
     }
-    assert!(compared >= 4, "workload produced too few queries ({compared})");
+    assert!(
+        compared >= 4,
+        "workload produced too few queries ({compared})"
+    );
     let stats = cached.stats();
     assert!(stats.cache_hits > 0, "second pass should hit the cache");
 }
@@ -121,13 +124,13 @@ fn ask_and_keyword_answers_match_through_the_cache() {
     let (inner, _) = fresh_endpoint();
     let cached = CachingEndpoint::new(inner);
 
-    let ask = re2x_sparql::parse_query(&format!(
-        "ASK {{ ?o a <{}> }}",
-        dataset.observation_class
-    ))
-    .expect("parses");
+    let ask = re2x_sparql::parse_query(&format!("ASK {{ ?o a <{}> }}", dataset.observation_class))
+        .expect("parses");
     for _ in 0..2 {
-        assert_eq!(plain.ask(&ask).expect("ask"), cached.ask(&ask).expect("ask"));
+        assert_eq!(
+            plain.ask(&ask).expect("ask"),
+            cached.ask(&ask).expect("ask")
+        );
     }
 
     for tuple in example_workload_on(plain.graph(), &dataset, 1, 3, SEED) {

@@ -75,7 +75,12 @@ fn table2_numbers_through_the_full_stack() {
 #[test]
 fn synthesized_queries_always_contain_the_example() {
     let (endpoint, schema) = running_endpoint();
-    for example in [vec!["Syria"], vec!["Asia"], vec!["Germany", "Syria"], vec!["2013"]] {
+    for example in [
+        vec!["Syria"],
+        vec!["Asia"],
+        vec!["Germany", "Syria"],
+        vec!["2013"],
+    ] {
         let outcome = re2xolap::reolap(&endpoint, &schema, &example, &ReolapConfig::default())
             .expect("synthesis");
         assert!(!outcome.queries.is_empty(), "{example:?} yields queries");
@@ -106,7 +111,10 @@ fn figure10_baseline_vs_reolap() {
         // flat: no query variable co-occurs across the two example parts
         let text = re2x_sparql::query_to_sparql(q);
         assert!(!text.contains("GROUP BY"), "{text}");
-        assert!(!text.contains("numApplicants"), "never reaches measures: {text}");
+        assert!(
+            !text.contains("numApplicants"),
+            "never reaches measures: {text}"
+        );
     }
 
     let outcome =
@@ -147,7 +155,9 @@ fn alex_workflow_is_reproducible_and_backtrackable() {
     // top-k restricts
     let tops = session.refinements(RefineOp::TopK).expect("topk");
     assert!(!tops.is_empty());
-    session.apply(tops.into_iter().next().expect("one")).expect("runs");
+    session
+        .apply(tops.into_iter().next().expect("one"))
+        .expect("runs");
     assert!(session.current().expect("step").solutions.len() <= after_dis);
 
     // backtracking returns to the disaggregated view
@@ -185,7 +195,10 @@ fn endpoint_stats_are_monotone_through_a_scripted_session() {
             "rows_returned shrank {when}"
         );
         assert!(after.cache_hits >= before.cache_hits, "hits shrank {when}");
-        assert!(after.cache_misses >= before.cache_misses, "misses shrank {when}");
+        assert!(
+            after.cache_misses >= before.cache_misses,
+            "misses shrank {when}"
+        );
         assert!(after.busy >= before.busy, "busy time shrank {when}");
         assert!(
             after.latency.count() >= before.latency.count(),
@@ -195,7 +208,11 @@ fn endpoint_stats_are_monotone_through_a_scripted_session() {
     let consistent = |stats: &EndpointStats, when: &str| {
         // only misses reach the inner endpoint, which records one latency
         // sample per query it answers
-        assert_eq!(stats.cache_misses, stats.total_queries(), "miss accounting {when}");
+        assert_eq!(
+            stats.cache_misses,
+            stats.total_queries(),
+            "miss accounting {when}"
+        );
         assert_eq!(
             stats.latency.count(),
             stats.total_queries(),
@@ -225,11 +242,15 @@ fn endpoint_stats_are_monotone_through_a_scripted_session() {
     checkpoint("after first query");
 
     let r = session.refinements(RefineOp::Disaggregate).expect("dis");
-    session.apply(r.into_iter().next().expect("offer")).expect("runs");
+    session
+        .apply(r.into_iter().next().expect("offer"))
+        .expect("runs");
     checkpoint("after disaggregate");
 
     let r = session.refinements(RefineOp::TopK).expect("topk");
-    session.apply(r.into_iter().next().expect("offer")).expect("runs");
+    session
+        .apply(r.into_iter().next().expect("offer"))
+        .expect("runs");
     checkpoint("after top-k");
 
     assert!(session.backtrack());
@@ -242,7 +263,10 @@ fn endpoint_stats_are_monotone_through_a_scripted_session() {
     let now = endpoint.stats();
     monotone(&previous, &now, "after replay");
     consistent(&now, "after replay");
-    assert!(now.cache_hits > previous.cache_hits, "replay hits the cache");
+    assert!(
+        now.cache_hits > previous.cache_hits,
+        "replay hits the cache"
+    );
 }
 
 #[test]

@@ -31,7 +31,11 @@ fn ranking_orders_ambiguous_country_interpretations() {
     let ranked = rank_interpretations(&schema, outcome.queries);
     // both are exact base-level matches; the destination level has 32
     // members vs 171 origins, so it is the more specific interpretation
-    assert!(ranked[0].query.description.contains("Destination"), "{}", ranked[0].query.description);
+    assert!(
+        ranked[0].query.description.contains("Destination"),
+        "{}",
+        ranked[0].query.description
+    );
     assert!(ranked[0].score() >= ranked[1].score());
     for r in &ranked {
         assert_eq!(r.factors.exactness, 1.0);
@@ -70,7 +74,9 @@ fn negatives_compose_with_refinements_on_generated_data() {
         .expect("negatives");
     assert_eq!(negative.excluded.len(), 1);
     let sols = endpoint.select(&negative.query.query).expect("runs");
-    let france = endpoint.graph().iri_id("http://data.example.org/eurostat/member/country/1");
+    let france = endpoint
+        .graph()
+        .iri_id("http://data.example.org/eurostat/member/country/1");
     for row in &sols.rows {
         for cell in row.iter().flatten() {
             if let re2x_sparql::Value::Term(id) = cell {
@@ -112,8 +118,7 @@ fn transcript_of_a_generated_data_session() {
 #[test]
 fn spade_baseline_finds_skew_without_input() {
     let (_d, endpoint, schema) = eurostat();
-    let found =
-        re2x_baselines::interesting_aggregates(&endpoint, &schema, 5).expect("explore");
+    let found = re2x_baselines::interesting_aggregates(&endpoint, &schema, 5).expect("explore");
     assert_eq!(found.len(), 5);
     for w in found.windows(2) {
         assert!(w[0].score >= w[1].score, "sorted by interestingness");
@@ -154,8 +159,7 @@ fn explain_covers_synthesized_queries() {
     let (_d, endpoint, schema) = eurostat();
     let outcome = re2xolap::reolap(&endpoint, &schema, &["Germany"], &ReolapConfig::default())
         .expect("synthesis");
-    let plan = re2x_sparql::explain(endpoint.graph(), &outcome.queries[0].query)
-        .expect("explain");
+    let plan = re2x_sparql::explain(endpoint.graph(), &outcome.queries[0].query).expect("explain");
     assert!(plan.contains("group by"), "{plan}");
     assert!(plan.contains("cost estimate"), "{plan}");
 }

@@ -31,8 +31,13 @@ fn eurostat_env() -> Env {
 fn sample_queries(env: &Env, seed: u64) -> Vec<OlapQuery> {
     let mut out = Vec::new();
     for size in [1usize, 2] {
-        let workload =
-            example_workload_on(env.endpoint.graph(), &env.dataset, size, 5, seed + size as u64);
+        let workload = example_workload_on(
+            env.endpoint.graph(),
+            &env.dataset,
+            size,
+            5,
+            seed + size as u64,
+        );
         for tuple in &workload {
             let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
             if let Ok(outcome) = reolap(&env.endpoint, &env.schema, &refs, &ReolapConfig::default())
@@ -100,11 +105,17 @@ fn subset_refinements_shrink_and_keep_the_example() {
                 refinement.query.group_columns.len(),
                 query.group_columns.len()
             );
-            assert!(refined.len() < original.len() || original.len() <= 1,
-                "{}: {} → {} rows", refinement.explanation, original.len(), refined.len());
+            assert!(
+                refined.len() < original.len() || original.len() <= 1,
+                "{}: {} → {} rows",
+                refinement.explanation,
+                original.len(),
+                refined.len()
+            );
             assert!(
                 !refinement.query.matching_rows(&refined, graph).is_empty(),
-                "{} lost the example", refinement.explanation
+                "{} lost the example",
+                refinement.explanation
             );
         }
     }
@@ -140,7 +151,10 @@ fn similarity_restricts_to_k_plus_example_combinations() {
     let graph = env.endpoint.graph();
     for query in sample_queries(&env, 47).into_iter().take(4) {
         // add a context dimension first (similarity needs one for profiles)
-        let Some(dis) = disaggregate::disaggregate(&env.schema, &query).into_iter().next() else {
+        let Some(dis) = disaggregate::disaggregate(&env.schema, &query)
+            .into_iter()
+            .next()
+        else {
             continue;
         };
         let disq = dis.query;
@@ -153,7 +167,10 @@ fn similarity_restricts_to_k_plus_example_combinations() {
             assert!(*kept <= k);
             let refined = env.endpoint.select(&refinement.query.query).expect("runs");
             // Problem 2c: same dimensionality, example kept
-            assert_eq!(refinement.query.group_columns.len(), disq.group_columns.len());
+            assert_eq!(
+                refinement.query.group_columns.len(),
+                disq.group_columns.len()
+            );
             assert!(!refinement.query.matching_rows(&refined, graph).is_empty());
             assert!(refined.len() <= sols.len());
         }
@@ -174,28 +191,32 @@ fn chained_refinements_compose() {
         .expect("dis available")
         .query;
     let s1 = env.endpoint.select(&q1.query).expect("runs");
-    let Some(top) = subset::topk(&env.schema, &q1, &s1, graph).into_iter().next() else {
+    let Some(top) = subset::topk(&env.schema, &q1, &s1, graph)
+        .into_iter()
+        .next()
+    else {
         return; // workload-dependent; nothing to chain
     };
     let q2 = top.query;
     let s2 = env.endpoint.select(&q2.query).expect("runs");
-    if let Some(dis2) = disaggregate::disaggregate(&env.schema, &q2).into_iter().next() {
+    if let Some(dis2) = disaggregate::disaggregate(&env.schema, &q2)
+        .into_iter()
+        .next()
+    {
         let q3 = dis2.query;
         let s3 = env.endpoint.select(&q3.query).expect("runs");
         // drill-down resets measure thresholds computed at the coarser
         // granularity (they could exclude the example otherwise) …
-        assert!(q3.query.having.is_none(), "stale HAVING reset by drill-down");
+        assert!(
+            q3.query.having.is_none(),
+            "stale HAVING reset by drill-down"
+        );
         // … so the example is guaranteed to still be present
         assert!(!q3.matching_rows(&s3, graph).is_empty());
-        if let Some(perc) = subset::percentile(
-            &env.schema,
-            &q3,
-            &s3,
-            graph,
-            &subset::DEFAULT_PERCENTILES,
-        )
-        .into_iter()
-        .next()
+        if let Some(perc) =
+            subset::percentile(&env.schema, &q3, &s3, graph, &subset::DEFAULT_PERCENTILES)
+                .into_iter()
+                .next()
         {
             let s4 = env.endpoint.select(&perc.query.query).expect("runs");
             assert!(!perc.query.matching_rows(&s4, graph).is_empty());

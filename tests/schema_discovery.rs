@@ -9,8 +9,8 @@ use re2x_sparql::LocalEndpoint;
 fn prepare(mut dataset: Dataset) -> (Dataset, LocalEndpoint, re2x_cube::BootstrapReport) {
     let graph = std::mem::take(&mut dataset.graph);
     let endpoint = LocalEndpoint::new(graph);
-    let report = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
-        .expect("bootstrap");
+    let report =
+        bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class)).expect("bootstrap");
     (dataset, endpoint, report)
 }
 
@@ -35,7 +35,10 @@ fn eurostat_shape_is_exact() {
         .map(|l| (l.depth(), l.member_count))
         .collect();
     assert!(counts.contains(&(1, 32)), "{counts:?}");
-    assert!(counts.contains(&(2, 2)) && counts.contains(&(2, 5)), "{counts:?}");
+    assert!(
+        counts.contains(&(2, 2)) && counts.contains(&(2, 5)),
+        "{counts:?}"
+    );
 }
 
 #[test]
@@ -80,7 +83,9 @@ fn qb_annotations_describe_the_discovered_schema() {
     let mut annotations = re2x_rdf::Graph::new();
     let inserted = qb::annotate(&report.schema, &mut annotations);
     assert!(inserted > 0);
-    let type_p = annotations.iri_id(re2x_rdf::vocab::rdf::TYPE).expect("typed");
+    let type_p = annotations
+        .iri_id(re2x_rdf::vocab::rdf::TYPE)
+        .expect("typed");
     let dim_c = annotations
         .iri_id(re2x_rdf::vocab::qb::DIMENSION_PROPERTY)
         .expect("dims");

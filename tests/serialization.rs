@@ -37,8 +37,13 @@ fn synthesized_queries_round_trip_as_text() {
     let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
         .expect("bootstrap")
         .schema;
-    let outcome = reolap(&endpoint, &schema, &["Germany", "2014"], &ReolapConfig::default())
-        .expect("synthesis");
+    let outcome = reolap(
+        &endpoint,
+        &schema,
+        &["Germany", "2014"],
+        &ReolapConfig::default(),
+    )
+    .expect("synthesis");
     for q in &outcome.queries {
         let text = q.sparql();
         let reparsed = parse_query(&text).expect("printed query parses");

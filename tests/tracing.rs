@@ -18,8 +18,7 @@ fn run_pipeline(tracer: &Tracer, parallel: bool) -> re2x_sparql::EndpointStats {
     let graph = std::mem::take(&mut dataset.graph);
     let endpoint = TracingEndpoint::new(LocalEndpoint::new(graph), tracer.clone());
 
-    let config =
-        BootstrapConfig::new(&dataset.observation_class).with_tracer(tracer.clone());
+    let config = BootstrapConfig::new(&dataset.observation_class).with_tracer(tracer.clone());
     let report = if parallel {
         bootstrap_parallel(&endpoint, &config).expect("bootstrap")
     } else {
@@ -37,7 +36,9 @@ fn run_pipeline(tracer: &Tracer, parallel: bool) -> re2x_sparql::EndpointStats {
     let outcome = session.synthesize(&["Germany", "2014"]).expect("synthesis");
     session.choose(outcome.queries[0].clone()).expect("runs");
     let dis = session.refinements(RefineOp::Disaggregate).expect("refine");
-    session.apply(dis.into_iter().next().expect("one")).expect("runs");
+    session
+        .apply(dis.into_iter().next().expect("one"))
+        .expect("runs");
     endpoint.stats()
 }
 
@@ -148,11 +149,9 @@ fn cache_outcomes_attribute_per_phase() {
     let tracer = Tracer::enabled();
     let mut dataset = re2x_datagen::running::generate();
     let graph = std::mem::take(&mut dataset.graph);
-    let endpoint =
-        CachingEndpoint::new(LocalEndpoint::new(graph)).with_tracer(tracer.clone());
+    let endpoint = CachingEndpoint::new(LocalEndpoint::new(graph)).with_tracer(tracer.clone());
 
-    let query =
-        re2x_sparql::parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 3").expect("parses");
+    let query = re2x_sparql::parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 3").expect("parses");
     {
         let _warm = tracer.span("phase.warmup");
         endpoint.select(&query).expect("runs");

@@ -4,7 +4,8 @@
 //! repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig8c fig9 fig10
-//!              ablations scaling latency trace sharding    (default: all)
+//!              ablations scaling latency trace sharding serve
+//!              (default: all)
 //! ```
 //!
 //! Results are printed and written to `<out>/<experiment>.txt`
@@ -25,7 +26,7 @@ struct Args {
     experiments: BTreeSet<String>,
 }
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "table1",
     "table2",
     "table3",
@@ -40,6 +41,7 @@ const ALL: [&str; 14] = [
     "latency",
     "trace",
     "sharding",
+    "serve",
 ];
 
 fn parse_args() -> Args {
@@ -214,6 +216,32 @@ fn main() {
         );
         let _ = std::fs::create_dir_all(&args.out);
         let json_path = args.out.join("sharding.json");
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("could not write {}: {e}", json_path.display());
+        } else {
+            println!("wrote {}", json_path.display());
+        }
+    }
+
+    if wants("serve") {
+        // Deterministic multi-tenant load: Zipf-drawn example sessions over
+        // three tenant stacks, swept across worker counts, every transcript
+        // differentially checked against a serial replay.
+        let observations = if args.scale_name == "smoke" {
+            800
+        } else {
+            2_000
+        };
+        eprintln!("running serve sweep on {observations} eurostat observations …");
+        let report = re2x_bench::serve::run(observations, args.seed);
+        emit(
+            &args.out,
+            "serve",
+            "Serve: multi-tenant session latency/throughput vs worker count",
+            &report.summary(),
+        );
+        let _ = std::fs::create_dir_all(&args.out);
+        let json_path = args.out.join("serve.json");
         if let Err(e) = std::fs::write(&json_path, report.to_json()) {
             eprintln!("could not write {}: {e}", json_path.display());
         } else {

@@ -18,5 +18,6 @@ pub mod env;
 pub mod figures;
 pub mod micro;
 pub mod report;
+pub mod serve;
 pub mod sharding;
 pub mod trace;

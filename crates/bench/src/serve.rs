@@ -1,0 +1,365 @@
+//! The `serve` experiment: multi-tenant session throughput and latency
+//! under a deterministic closed-loop workload (`bench_results/serve.json`).
+//!
+//! A seeded driver builds a pool of example tuples anchored at real
+//! observations, draws them **Zipf-distributed** (a few hot examples, a
+//! long cold tail — the shape real keyword workloads have), and scripts
+//! each session as a bootstrap + ReOLAP synthesis round followed by a mix
+//! of ExRef refinements, previews, think times, and backtracking. The same
+//! scripts then run against a [`re2x_serve::Server`] at several worker
+//! counts; every configuration's transcripts are differentially checked
+//! against a serial replay through a bare session, and the report carries
+//! exact p50/p99 end-to-end session latency and throughput per worker
+//! count. At driver load (queue capacity ≥ session count) **zero**
+//! sessions may be rejected — `scripts/verify.sh` gates on that.
+
+use crate::report::{fmt_duration, Table};
+use re2x_cube::{bootstrap, BootstrapConfig, VirtualSchemaGraph};
+use re2x_datagen::common::{example_workload_on, rng, Dataset};
+use re2x_datagen::prng::StdRng;
+use re2x_rdf::Graph;
+use re2x_serve::{run_script, RoundOp, ServerBuilder, SessionScript, TenantSpec};
+use re2x_sparql::LocalEndpoint;
+use re2xolap::{RefineOp, SessionConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Worker counts swept by the experiment.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Zipf exponent of the example-tuple popularity distribution.
+pub const ZIPF_EXPONENT: f64 = 1.1;
+
+/// The tenants the driver multiplexes over (stack shapes differ: a cached
+/// analytics tenant, a bare ad-hoc tenant, a traced audit tenant).
+pub const TENANTS: [&str; 3] = ["analytics", "adhoc", "audit"];
+
+/// One swept worker count.
+pub struct ServeRow {
+    /// Worker threads serving the run-queue.
+    pub workers: usize,
+    /// Sessions that completed with a transcript.
+    pub completed: u64,
+    /// Sessions that failed (engine or endpoint error).
+    pub failed: u64,
+    /// Sessions refused admission.
+    pub rejected: u64,
+    /// Median end-to-end session latency (submit → transcript).
+    pub p50: Duration,
+    /// 99th-percentile end-to-end session latency.
+    pub p99: Duration,
+    /// Completed sessions per second of driver wall time.
+    pub throughput: f64,
+    /// Every transcript byte-identical to the serial replay oracle.
+    pub identical: bool,
+}
+
+/// Report of the serve sweep.
+pub struct ServeReport {
+    /// Observation count of the generated dataset.
+    pub observations: usize,
+    /// Sessions submitted per worker count.
+    pub sessions: usize,
+    /// Distinct example tuples in the Zipf pool.
+    pub pool: usize,
+    /// One row per swept worker count.
+    pub rows: Vec<ServeRow>,
+}
+
+impl ServeReport {
+    /// All configurations matched the serial replay oracle.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Total sessions rejected across the sweep (must be zero at driver
+    /// load: the queue is sized to the session count).
+    pub fn total_rejected(&self) -> u64 {
+        self.rows.iter().map(|r| r.rejected).sum()
+    }
+
+    /// Machine-readable report (`bench_results/serve.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"observations\": {},", self.observations);
+        let _ = writeln!(out, "  \"sessions\": {},", self.sessions);
+        let _ = writeln!(out, "  \"tenants\": {},", TENANTS.len());
+        let _ = writeln!(out, "  \"example_pool\": {},", self.pool);
+        let _ = writeln!(out, "  \"zipf_exponent\": {ZIPF_EXPONENT},");
+        let _ = writeln!(out, "  \"all_identical\": {},", self.all_identical());
+        let _ = writeln!(out, "  \"total_rejected\": {},", self.total_rejected());
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"workers\": {}, \"completed\": {}, \"failed\": {}, \
+                 \"rejected\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"throughput_sps\": {:.2}, \"identical\": {}}}{comma}",
+                row.workers,
+                row.completed,
+                row.failed,
+                row.rejected,
+                row.p50.as_micros(),
+                row.p99.as_micros(),
+                row.throughput,
+                row.identical,
+            );
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut table = Table::new([
+            "workers",
+            "completed",
+            "rejected",
+            "p50",
+            "p99",
+            "throughput",
+            "identical",
+        ]);
+        for row in &self.rows {
+            table.row([
+                row.workers.to_string(),
+                row.completed.to_string(),
+                row.rejected.to_string(),
+                fmt_duration(row.p50),
+                fmt_duration(row.p99),
+                format!("{:.1}/s", row.throughput),
+                row.identical.to_string(),
+            ]);
+        }
+        let mut out = table.render();
+        let _ = writeln!(
+            out,
+            "\n{} sessions over {} tenants, {} Zipf(s={ZIPF_EXPONENT}) example tuples, \
+             {} observations; transcripts differentially checked against serial replay",
+            self.sessions,
+            TENANTS.len(),
+            self.pool,
+            self.observations,
+        );
+        out
+    }
+}
+
+/// Cumulative-weight table for Zipf(s) over ranks `1..=n`.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draws a rank index in `0..n` (0 = most popular).
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty pool");
+        let u = rng.gen_range(0.0f64..total);
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// Generates the deterministic session mix for one sweep: every session
+/// opens with a Zipf-drawn synthesis round, then walks 1–4 ExRef rounds
+/// interleaved with previews, think times, and backtracking.
+fn gen_scripts(pool: &[Vec<String>], sessions: usize, seed: u64) -> Vec<SessionScript> {
+    let ops = [
+        RefineOp::Disaggregate,
+        RefineOp::TopK,
+        RefineOp::Percentile,
+        RefineOp::Similarity,
+    ];
+    let zipf = Zipf::new(pool.len(), ZIPF_EXPONENT);
+    let mut rng = rng(seed ^ 0x5E2F);
+    (0..sessions)
+        .map(|i| {
+            let mut rounds = vec![RoundOp::Synthesize {
+                example: pool[zipf.draw(&mut rng)].clone(),
+                pick: rng.gen_range(0usize..3),
+            }];
+            for _ in 0..rng.gen_range(1usize..5) {
+                rounds.push(match rng.gen_range(0usize..8) {
+                    0..=3 => RoundOp::Refine {
+                        op: ops[rng.gen_range(0usize..4)],
+                        pick: rng.gen_range(0usize..4),
+                    },
+                    4 | 5 => RoundOp::Think {
+                        millis: rng.gen_range(1u64..4),
+                    },
+                    6 => RoundOp::Preview {
+                        op: ops[rng.gen_range(0usize..4)],
+                    },
+                    _ => RoundOp::Backtrack,
+                });
+            }
+            SessionScript {
+                tenant: TENANTS[i % TENANTS.len()].to_owned(),
+                rounds,
+            }
+        })
+        .collect()
+}
+
+/// Exact quantile of a sorted latency vector.
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the sweep on a eurostat-shaped dataset of `observations` facts
+/// with `sessions` closed-loop clients per worker count.
+pub fn run_with(observations: usize, sessions: usize, seed: u64) -> ServeReport {
+    let mut dataset: Dataset = re2x_datagen::eurostat::generate(observations, seed);
+    let graph = std::mem::take(&mut dataset.graph);
+    let boot = LocalEndpoint::new(graph);
+    let schema: VirtualSchemaGraph =
+        bootstrap(&boot, &BootstrapConfig::new(&dataset.observation_class))
+            .expect("bootstrap succeeds on generated data")
+            .schema;
+    let graph: Graph = boot.into_graph();
+
+    let pool = example_workload_on(&graph, &dataset, 2, 16, seed ^ 0x21F);
+    let scripts = gen_scripts(&pool, sessions, seed);
+
+    // serial replay oracle: the byte-identity reference for every sweep
+    let oracle = LocalEndpoint::new(graph.clone());
+    let reference: Vec<String> = scripts
+        .iter()
+        .map(|s| {
+            run_script(&oracle, &schema, s, &SessionConfig::default())
+                .expect("serial replay succeeds")
+                .to_text()
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let server = ServerBuilder::new()
+            .workers(workers)
+            .queue_capacity(sessions.max(1))
+            .tenant(TenantSpec::new("analytics").cached(64))
+            .tenant(TenantSpec::new("adhoc"))
+            .tenant(TenantSpec::new("audit").traced())
+            .start(&graph, &schema);
+
+        let started = Instant::now();
+        // closed loop: one client thread per session, submit → wait
+        let outcomes: Vec<(Duration, Result<String, re2x_serve::ServeError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = scripts
+                    .iter()
+                    .map(|script| {
+                        let server = &server;
+                        scope.spawn(move || {
+                            let begin = Instant::now();
+                            let result = server.run(script.clone());
+                            (begin.elapsed(), result.map(|t| t.to_text()))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+        let wall = started.elapsed();
+        server.shutdown();
+
+        let completed = outcomes.iter().filter(|(_, t)| t.is_ok()).count() as u64;
+        let rejected = outcomes
+            .iter()
+            .filter(|(_, t)| {
+                matches!(
+                    t,
+                    Err(re2x_serve::ServeError::QueueFull { .. })
+                        | Err(re2x_serve::ServeError::ShuttingDown)
+                        | Err(re2x_serve::ServeError::UnknownTenant(_))
+                )
+            })
+            .count() as u64;
+        let failed = outcomes.len() as u64 - completed - rejected;
+        let identical = outcomes
+            .iter()
+            .zip(&reference)
+            .all(|((_, got), want)| got.as_deref().ok() == Some(want.as_str()));
+        let mut latencies: Vec<Duration> = outcomes.iter().map(|(l, _)| *l).collect();
+        latencies.sort_unstable();
+        rows.push(ServeRow {
+            workers,
+            completed,
+            failed,
+            rejected,
+            p50: quantile(&latencies, 0.50),
+            p99: quantile(&latencies, 0.99),
+            throughput: if wall.is_zero() {
+                0.0
+            } else {
+                completed as f64 / wall.as_secs_f64()
+            },
+            identical,
+        });
+    }
+
+    ServeReport {
+        observations,
+        sessions,
+        pool: pool.len(),
+        rows,
+    }
+}
+
+/// The headline configuration: 24 sessions over a 2 000-observation cube.
+pub fn run(observations: usize, seed: u64) -> ServeReport {
+    run_with(observations, 24, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_completes_everything_and_matches_the_oracle() {
+        let report = run_with(600, 9, 11);
+        assert_eq!(report.rows.len(), WORKER_COUNTS.len());
+        assert!(report.all_identical(), "transcripts diverged from replay");
+        assert_eq!(report.total_rejected(), 0, "driver load must not reject");
+        for row in &report.rows {
+            assert_eq!(row.completed, 9);
+            assert_eq!(row.failed, 0);
+            assert!(row.p50 <= row.p99);
+            assert!(row.throughput > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"all_identical\": true"));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"workers\": 8"));
+    }
+
+    #[test]
+    fn zipf_draws_skew_toward_the_head() {
+        let zipf = Zipf::new(16, ZIPF_EXPONENT);
+        let mut rng = rng(3);
+        let mut counts = [0usize; 16];
+        for _ in 0..2000 {
+            counts[zipf.draw(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8], "rank 0 must dominate the tail");
+        assert!(counts.iter().sum::<usize>() == 2000);
+    }
+}

@@ -67,6 +67,7 @@ pub use reolap::{
     get_query, reolap, reolap_multi, validation_query, ReolapConfig, SynthesisOutcome,
 };
 pub use session::{
-    ExplorationMetrics, PhaseBreakdown, PhaseCost, Session, SessionConfig, Step, StepCost,
+    ExplorationMetrics, PhaseBreakdown, PhaseCost, Session, SessionConfig, SessionObserver,
+    SessionPhase, Step, StepCost,
 };
 pub use transcript::to_markdown as session_transcript;

@@ -16,10 +16,47 @@ use re2x_obs::Tracer;
 use re2x_sparql::{
     with_async_endpoint, AsyncResponse, AsyncSparqlEndpoint, Solutions, SparqlEndpoint, Ticket,
 };
+use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The phase a [`SessionObserver`] callback refers to — one entry per
+/// user-visible session operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionPhase {
+    /// Candidate-query synthesis ([`Session::synthesize`]).
+    Synthesize,
+    /// Query execution ([`Session::choose`] / [`Session::apply`]).
+    Execute,
+    /// Refinement generation ([`Session::refinements`]).
+    Refine,
+    /// Refinement preview fan-out ([`Session::preview`]).
+    Preview,
+}
+
+/// Lifecycle hooks for code hosting sessions — a serving layer records
+/// per-tenant round latency, admission accounting, and end-of-session
+/// metrics through these without the session knowing who hosts it.
+///
+/// Callbacks run on the session's thread, after the phase completed (hook
+/// cost is not attributed to the phase). Implementations must be cheap
+/// and must not call back into the session.
+pub trait SessionObserver: Send + Sync {
+    /// One session phase (a "round" of the interactive loop) finished,
+    /// successfully or not, at the given endpoint cost.
+    fn on_phase(&self, phase: SessionPhase, cost: StepCost) {
+        let _ = (phase, cost);
+    }
+
+    /// The session ended ([`Session::finish`] or drop) with these final
+    /// exploration metrics.
+    fn on_session_end(&self, metrics: &ExplorationMetrics) {
+        let _ = metrics;
+    }
+}
+
 /// Session-level configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SessionConfig {
     /// Synthesis configuration.
     pub reolap: ReolapConfig,
@@ -31,6 +68,20 @@ pub struct SessionConfig {
     /// `session.execute`, `session.refine`). Disabled by default; also
     /// propagated into `reolap` unless that one carries its own tracer.
     pub tracer: Tracer,
+    /// Lifecycle observer, if a hosting layer wants per-phase callbacks.
+    pub observer: Option<Arc<dyn SessionObserver>>,
+}
+
+impl fmt::Debug for SessionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionConfig")
+            .field("reolap", &self.reolap)
+            .field("similarity_k", &self.similarity_k)
+            .field("percentiles", &self.percentiles)
+            .field("tracer", &self.tracer)
+            .field("observer", &self.observer.as_ref().map(|_| "<dyn>"))
+            .finish()
+    }
 }
 
 impl Default for SessionConfig {
@@ -40,6 +91,7 @@ impl Default for SessionConfig {
             similarity_k: 3,
             percentiles: subset::DEFAULT_PERCENTILES.to_vec(),
             tracer: Tracer::disabled(),
+            observer: None,
         }
     }
 }
@@ -123,6 +175,7 @@ pub struct Session<'a> {
     config: SessionConfig,
     history: Vec<Step>,
     metrics: ExplorationMetrics,
+    ended: bool,
 }
 
 impl<'a> Session<'a> {
@@ -142,6 +195,7 @@ impl<'a> Session<'a> {
             config,
             history: Vec::new(),
             metrics: ExplorationMetrics::default(),
+            ended: false,
         }
     }
 
@@ -168,6 +222,13 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Notifies the configured lifecycle observer of a completed phase.
+    fn notify(&self, phase: SessionPhase, cost: StepCost) {
+        if let Some(observer) = &self.config.observer {
+            observer.on_phase(phase, cost);
+        }
+    }
+
     /// Step 1 (Algorithm 2, line 1): synthesize candidate queries from an
     /// example tuple.
     pub fn synthesize(&mut self, example: &[&str]) -> Result<SynthesisOutcome, Re2xError> {
@@ -175,7 +236,9 @@ impl<'a> Session<'a> {
         let _span = tracer.span("session.synthesize");
         let begin = self.cost_begin();
         let outcome = reolap(self.endpoint, self.schema, example, &self.config.reolap)?;
-        self.metrics.phases.synthesis.add(self.cost_end(begin));
+        let cost = self.cost_end(begin);
+        self.metrics.phases.synthesis.add(cost);
+        self.notify(SessionPhase::Synthesize, cost);
         self.metrics.interactions += 1;
         self.metrics.paths_offered += outcome.queries.len() as u64;
         Ok(outcome)
@@ -190,6 +253,7 @@ impl<'a> Session<'a> {
         let solutions = self.endpoint.select(&query.query)?;
         let cost = self.cost_end(begin);
         self.metrics.phases.execution.add(cost);
+        self.notify(SessionPhase::Execute, cost);
         self.metrics.interactions += 1;
         self.metrics.tuples_accessible += solutions.len() as u64;
         self.history.push(Step {
@@ -240,7 +304,9 @@ impl<'a> Session<'a> {
                 self.config.similarity_k,
             ),
         };
-        self.metrics.phases.refinement.add(self.cost_end(begin));
+        let cost = self.cost_end(begin);
+        self.metrics.phases.refinement.add(cost);
+        self.notify(SessionPhase::Refine, cost);
         self.metrics.interactions += 1;
         self.metrics.paths_offered += refinements.len() as u64;
         Ok(refinements)
@@ -283,7 +349,9 @@ impl<'a> Session<'a> {
                 .map(|r| Ok(r.map(AsyncResponse::into_select)?))
                 .collect::<Result<Vec<Solutions>, Re2xError>>()?
         };
-        self.metrics.phases.execution.add(self.cost_end(begin));
+        let cost = self.cost_end(begin);
+        self.metrics.phases.execution.add(cost);
+        self.notify(SessionPhase::Preview, cost);
         self.metrics.interactions += 1;
         Ok(solutions)
     }
@@ -306,6 +374,30 @@ impl<'a> Session<'a> {
     /// Exploration accounting so far.
     pub fn metrics(&self) -> ExplorationMetrics {
         self.metrics
+    }
+
+    /// Ends the session, notifying the lifecycle observer exactly once
+    /// with the final metrics, and returns them. Dropping an unfinished
+    /// session notifies too, so hosting layers always see session end.
+    pub fn finish(mut self) -> ExplorationMetrics {
+        self.end();
+        self.metrics
+    }
+
+    fn end(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        if let Some(observer) = &self.config.observer {
+            observer.on_session_end(&self.metrics);
+        }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        self.end();
     }
 }
 
@@ -469,6 +561,83 @@ mod tests {
         assert!(paths.contains(&"session.synthesize/reolap"));
         assert!(paths.contains(&"session.synthesize/reolap/reolap.match"));
         assert!(paths.contains(&"session.execute"));
+    }
+
+    #[test]
+    fn observer_sees_every_phase_and_session_end() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder {
+            phases: Mutex<Vec<(SessionPhase, u64)>>,
+            ended: Mutex<Vec<ExplorationMetrics>>,
+        }
+        impl SessionObserver for Recorder {
+            fn on_phase(&self, phase: SessionPhase, cost: StepCost) {
+                self.phases
+                    .lock()
+                    .expect("recorder")
+                    .push((phase, cost.endpoint_queries));
+            }
+            fn on_session_end(&self, metrics: &ExplorationMetrics) {
+                self.ended.lock().expect("recorder").push(*metrics);
+            }
+        }
+
+        let (ep, schema) = fixture();
+        let recorder = Arc::new(Recorder::default());
+        let config = SessionConfig {
+            observer: Some(recorder.clone() as Arc<dyn SessionObserver>),
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(&ep, &schema, config);
+        let outcome = session.synthesize(&["Germany"]).expect("synthesis");
+        session.choose(outcome.queries[0].clone()).expect("run");
+        let refinements = session.refinements(RefineOp::Disaggregate).expect("refine");
+        session.preview(&refinements, 0).expect("preview");
+        let metrics = session.finish();
+
+        let phases = recorder.phases.lock().expect("recorder");
+        assert_eq!(
+            phases.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec![
+                SessionPhase::Synthesize,
+                SessionPhase::Execute,
+                SessionPhase::Refine,
+                SessionPhase::Preview,
+            ]
+        );
+        assert!(phases[0].1 > 0, "synthesis issued endpoint queries");
+        assert_eq!(phases[1].1, 1, "execute issued exactly the chosen query");
+        let ended = recorder.ended.lock().expect("recorder");
+        assert_eq!(ended.len(), 1, "session end delivered exactly once");
+        assert_eq!(ended[0], metrics);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_session_notifies_end_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct EndCounter(AtomicU64);
+        impl SessionObserver for EndCounter {
+            fn on_session_end(&self, _: &ExplorationMetrics) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let (ep, schema) = fixture();
+        let counter = Arc::new(EndCounter::default());
+        let config = SessionConfig {
+            observer: Some(counter.clone() as Arc<dyn SessionObserver>),
+            ..SessionConfig::default()
+        };
+        {
+            let mut session = Session::new(&ep, &schema, config);
+            let _ = session.synthesize(&["Germany"]).expect("synthesis");
+            // dropped without finish()
+        }
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -120,24 +120,16 @@ pub fn generate() -> Dataset {
         for (i, (dest, origin, value)) in flows.iter().enumerate() {
             let obs = graph.intern_iri(format!("{NS}obs/{year}/{i}"));
             graph.insert_ids(obs, type_id, class_id);
-            let dest_m = graph
-                .iri_id(&format!("{NS}member/country/{dest}"))
-                .expect("dest member");
-            let origin_m = graph
-                .iri_id(&format!("{NS}member/country/{origin}"))
-                .expect("origin member");
-            let month_m = graph
-                .iri_id(&format!("{NS}member/month/October{year}"))
-                .expect("month member");
-            let sex_m = graph
-                .iri_id(&format!("{NS}member/sex/{}", ["Male", "Female"][i % 2]))
-                .expect("sex member");
-            let age_m = graph
-                .iri_id(&format!(
-                    "{NS}member/age/{}",
-                    ["0-17", "18-34", "35-64", "65+"][i % 4]
-                ))
-                .expect("age member");
+            // interning is idempotent: these members were declared above,
+            // so each call returns the existing id
+            let dest_m = graph.intern_iri(format!("{NS}member/country/{dest}"));
+            let origin_m = graph.intern_iri(format!("{NS}member/country/{origin}"));
+            let month_m = graph.intern_iri(format!("{NS}member/month/October{year}"));
+            let sex_m = graph.intern_iri(format!("{NS}member/sex/{}", ["Male", "Female"][i % 2]));
+            let age_m = graph.intern_iri(format!(
+                "{NS}member/age/{}",
+                ["0-17", "18-34", "35-64", "65+"][i % 4]
+            ));
             graph.insert_ids(obs, dest_id, dest_m);
             graph.insert_ids(obs, origin_id, origin_m);
             graph.insert_ids(obs, period_id, month_m);

@@ -134,18 +134,33 @@ fn sanitize(base: &str) -> String {
 }
 
 fn prom_histogram(out: &mut String, name: &str, hist: &LatencyHistogram, sum: Duration) {
+    // A labeled registration (`serve_round_latency{tenant="t0"}`) must fold
+    // its labels into each series — `base{tenant}_bucket{le}` would be
+    // malformed exposition, so emit `base_bucket{tenant,le}` instead.
+    let (base, labels) = match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    };
+    let with = |extra: &str| -> String {
+        match (labels.is_empty(), extra.is_empty()) {
+            (true, true) => String::new(),
+            (true, false) => format!("{{{extra}}}"),
+            (false, true) => format!("{{{labels}}}"),
+            (false, false) => format!("{{{labels},{extra}}}"),
+        }
+    };
     let mut cumulative = 0u64;
     for (bound, count) in hist.buckets() {
         cumulative += count;
         let _ = writeln!(
             out,
-            "{name}_bucket{{le=\"{}\"}} {cumulative}",
-            bound.as_secs_f64()
+            "{base}_bucket{} {cumulative}",
+            with(&format!("le=\"{}\"", bound.as_secs_f64()))
         );
     }
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
-    let _ = writeln!(out, "{name}_sum {}", sum.as_secs_f64());
-    let _ = writeln!(out, "{name}_count {}", hist.count());
+    let _ = writeln!(out, "{base}_bucket{} {}", with("le=\"+Inf\""), hist.count());
+    let _ = writeln!(out, "{base}_sum{} {}", with(""), sum.as_secs_f64());
+    let _ = writeln!(out, "{base}_count{} {}", with(""), hist.count());
 }
 
 /// Renders a metrics snapshot plus the query-provenance table as a
@@ -371,6 +386,21 @@ mod tests {
         assert!(text.contains("re2x_phase_queries{phase=\"bootstrap\",kind=\"select\"} 2"));
         assert!(text.contains("re2x_phase_cache_events{phase=\"bootstrap\",outcome=\"hit\"} 1"));
         assert!(text.contains("re2x_phase_busy_seconds{phase=\"bootstrap\"} 0.00001"));
+    }
+
+    #[test]
+    fn labeled_histograms_fold_labels_into_each_series() {
+        let metrics = Metrics::new();
+        let name = crate::metrics::label("serve.round_latency", &[("tenant", "t0")]);
+        metrics.observe(&name, Duration::from_micros(250));
+        let text = prometheus_exposition(&metrics.snapshot(), &[]);
+        // labels merge with `le` instead of producing `…{tenant}_bucket{le}`
+        assert!(text.contains("serve_round_latency_bucket{tenant=\"t0\",le=\"+Inf\"} 1"));
+        assert!(text.contains("serve_round_latency_sum{tenant=\"t0\"} 0.00025"));
+        assert!(text.contains("serve_round_latency_count{tenant=\"t0\"} 1"));
+        assert!(!text.contains("}_bucket"));
+        assert!(!text.contains("}_sum"));
+        assert!(!text.contains("}_count"));
     }
 
     #[test]

@@ -67,6 +67,15 @@ impl Metrics {
         inner.gauges.insert(name.to_owned(), value);
     }
 
+    /// Adds `delta` (which may be negative) to the gauge `name`, creating
+    /// it at zero first — the up/down shape of occupancy gauges such as
+    /// active-session counts, where concurrent increments and decrements
+    /// must fold atomically rather than last-write-wins.
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        let mut inner = lock_or_recover(&self.inner);
+        *inner.gauges.entry(name.to_owned()).or_insert(0.0) += delta;
+    }
+
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, latency: Duration) {
         let mut inner = lock_or_recover(&self.inner);
@@ -145,6 +154,27 @@ mod tests {
         m.gauge_set("g", 1.5);
         m.gauge_set("g", -2.0);
         assert_eq!(m.gauge("g"), Some(-2.0));
+    }
+
+    #[test]
+    fn gauge_add_folds_deltas() {
+        let m = Metrics::new();
+        m.gauge_add("active", 1.0);
+        m.gauge_add("active", 1.0);
+        m.gauge_add("active", -1.0);
+        assert_eq!(m.gauge("active"), Some(1.0));
+        // concurrent up/down traffic nets out exactly
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        m.gauge_add("active", 1.0);
+                        m.gauge_add("active", -1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.gauge("active"), Some(1.0));
     }
 
     #[test]

@@ -432,14 +432,18 @@ impl<'a> TurtleParser<'a> {
 
     fn parse_numeric_shorthand(&mut self) -> Result<Literal, RdfError> {
         let mut text = String::new();
-        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
-            text.push(self.bump().expect("peeked") as char);
+        if let Some(sign @ (b'+' | b'-')) = self.peek() {
+            self.bump();
+            text.push(sign as char);
         }
         let mut has_dot = false;
         let mut has_exp = false;
         while let Some(b) = self.peek() {
             match b {
-                b'0'..=b'9' => text.push(self.bump().expect("peeked") as char),
+                b'0'..=b'9' => {
+                    self.bump();
+                    text.push(b as char);
+                }
                 b'.' if !has_dot && !has_exp => {
                     // a '.' followed by a non-digit terminates the statement
                     if !self
@@ -451,13 +455,16 @@ impl<'a> TurtleParser<'a> {
                         break;
                     }
                     has_dot = true;
-                    text.push(self.bump().expect("peeked") as char);
+                    self.bump();
+                    text.push(b as char);
                 }
                 b'e' | b'E' if !has_exp => {
                     has_exp = true;
-                    text.push(self.bump().expect("peeked") as char);
-                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
-                        text.push(self.bump().expect("peeked") as char);
+                    self.bump();
+                    text.push(b as char);
+                    if let Some(sign @ (b'+' | b'-')) = self.peek() {
+                        self.bump();
+                        text.push(sign as char);
                     }
                 }
                 _ => break,

@@ -1,0 +1,94 @@
+//! Typed errors of the serving layer.
+//!
+//! Admission control and session hosting never panic on overload: a full
+//! run-queue, a draining server, an unknown tenant, a blown query budget
+//! and a worker that died mid-session each surface as a distinct variant,
+//! so callers (and the workload driver's saturation accounting) can tell
+//! back-pressure apart from failure.
+
+use re2xolap::Re2xError;
+use std::fmt;
+
+/// Errors raised by the session server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The script names a tenant the server does not host.
+    UnknownTenant(String),
+    /// Admission control refused the session: the bounded run-queue was
+    /// full. Back off and resubmit; nothing was enqueued.
+    QueueFull {
+        /// The configured queue capacity that was saturated.
+        capacity: usize,
+    },
+    /// The server is draining; no new sessions are admitted.
+    ShuttingDown,
+    /// A session round failed in the exploration engine (this includes
+    /// endpoint faults and exhausted query budgets, which arrive as
+    /// `Re2xError::Sparql(SparqlError::Endpoint | BudgetExhausted)`).
+    Session(Re2xError),
+    /// The worker servicing the session panicked. The server recovered —
+    /// other sessions and the metrics surface are unaffected — but this
+    /// session's remaining rounds were lost.
+    WorkerPanicked,
+}
+
+impl ServeError {
+    /// Whether this error is the typed budget-exhaustion signal.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Session(Re2xError::Sparql(
+                re2x_sparql::SparqlError::BudgetExhausted { .. }
+            ))
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant '{id}'"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission refused: run-queue full ({capacity} waiting)")
+            }
+            ServeError::ShuttingDown => write!(f, "server is draining; not admitting sessions"),
+            ServeError::Session(e) => write!(f, "session round failed: {e}"),
+            ServeError::WorkerPanicked => write!(f, "worker panicked while servicing the session"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<Re2xError> for ServeError {
+    fn from(value: Re2xError) -> Self {
+        ServeError::Session(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use re2x_sparql::SparqlError;
+
+    #[test]
+    fn display_formats() {
+        assert!(ServeError::UnknownTenant("t9".into())
+            .to_string()
+            .contains("t9"));
+        assert!(ServeError::QueueFull { capacity: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(ServeError::ShuttingDown.to_string().contains("draining"));
+        assert!(ServeError::WorkerPanicked.to_string().contains("panicked"));
+        let e: ServeError = Re2xError::MixedArity.into();
+        assert!(matches!(e, ServeError::Session(_)));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_recognizable() {
+        let e = ServeError::Session(Re2xError::Sparql(SparqlError::BudgetExhausted { limit: 3 }));
+        assert!(e.is_budget_exhausted());
+        assert!(!ServeError::ShuttingDown.is_budget_exhausted());
+    }
+}

@@ -1,0 +1,268 @@
+//! Scripted sessions and replayable transcripts.
+//!
+//! A [`SessionScript`] is a deterministic sequence of exploration rounds —
+//! synthesize-and-choose, refine-and-apply, preview, think, backtrack —
+//! that the server's workers and a bare serial [`re2xolap::Session`] drive
+//! through *the same* [`run_script`] code path. Each executed round is
+//! digested into a [`RoundRecord`] (an FNV-1a hash of the result set's TSV
+//! rendering, no timing), so a [`SessionTranscript`] produced under
+//! concurrency is byte-identical to the serial replay of the same script —
+//! the correctness oracle of the concurrency property suite.
+
+use re2x_cube::VirtualSchemaGraph;
+use re2x_sparql::{to_tsv, SparqlEndpoint};
+use re2xolap::{Re2xError, RefineOp, Session, SessionConfig};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One scripted round of an exploration session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundOp {
+    /// Synthesize candidate queries from an example tuple and execute the
+    /// `pick`-th candidate (modulo the candidate count).
+    Synthesize {
+        /// The example tuple's components (labels or literals).
+        example: Vec<String>,
+        /// Index of the candidate to execute.
+        pick: usize,
+    },
+    /// Generate refinements with one ExRef operation and apply the
+    /// `pick`-th offer (modulo the offer count).
+    Refine {
+        /// The refinement operation.
+        op: RefineOp,
+        /// Index of the offer to apply.
+        pick: usize,
+    },
+    /// Preview every offered refinement of `op` without committing to one.
+    Preview {
+        /// The refinement operation to preview.
+        op: RefineOp,
+    },
+    /// Simulated user think time.
+    Think {
+        /// Milliseconds to pause before the next round.
+        millis: u64,
+    },
+    /// Backtrack to the previous step.
+    Backtrack,
+}
+
+/// A deterministic session workload: which tenant runs it and its rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionScript {
+    /// The tenant whose endpoint stack services the session.
+    pub tenant: String,
+    /// The rounds, in order.
+    pub rounds: Vec<RoundOp>,
+}
+
+/// The digested outcome of one executed round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// What ran (`synthesize`, `refine:topk`, `preview:sim`, …).
+    pub op: String,
+    /// FNV-1a digest of the round's result set (or a symbolic outcome for
+    /// resultless rounds), with no timing component.
+    pub digest: String,
+}
+
+/// Timing-free end-of-session accounting, comparable across runs. Only
+/// session-local counters belong here: endpoint-stats deltas (query
+/// counts, busy time) are shared across every session on the same tenant
+/// stack and would make transcripts diverge under concurrency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TranscriptSummary {
+    /// Interactions performed.
+    pub interactions: u64,
+    /// Exploration paths offered across all rounds.
+    pub paths_offered: u64,
+    /// Result tuples made accessible.
+    pub tuples_accessible: u64,
+}
+
+/// The replayable record of one scripted session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTranscript {
+    /// The tenant that ran it.
+    pub tenant: String,
+    /// One record per scripted round, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Timing-free session totals.
+    pub summary: TranscriptSummary,
+}
+
+impl SessionTranscript {
+    /// Renders the transcript as a stable text block — the byte-identity
+    /// oracle used by the concurrency property suite.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "tenant\t{}", self.tenant);
+        for (i, r) in self.rounds.iter().enumerate() {
+            let _ = writeln!(out, "{i}\t{}\t{}", r.op, r.digest);
+        }
+        let s = &self.summary;
+        let _ = writeln!(
+            out,
+            "summary\tinteractions={} paths={} tuples={}",
+            s.interactions, s.paths_offered, s.tuples_accessible
+        );
+        out
+    }
+}
+
+/// FNV-1a 64-bit over the rendered result set.
+fn digest(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+fn op_label(op: RefineOp) -> &'static str {
+    match op {
+        RefineOp::Disaggregate => "dis",
+        RefineOp::TopK => "topk",
+        RefineOp::Percentile => "perc",
+        RefineOp::Similarity => "sim",
+    }
+}
+
+/// Drives one scripted session to completion over `endpoint` and returns
+/// its transcript. This is the single code path shared by the server's
+/// workers and the serial replay oracle: determinism here is what makes
+/// the two comparable. Rounds that find nothing to act on (no candidates,
+/// no refinements, nothing to backtrack) record a symbolic digest instead
+/// of failing, so scripts survive sparse corners of the data; endpoint and
+/// engine errors propagate as typed [`Re2xError`]s.
+pub fn run_script(
+    endpoint: &dyn SparqlEndpoint,
+    schema: &VirtualSchemaGraph,
+    script: &SessionScript,
+    config: &SessionConfig,
+) -> Result<SessionTranscript, Re2xError> {
+    let mut session = Session::new(endpoint, schema, config.clone());
+    let graph = endpoint.graph();
+    let mut rounds = Vec::with_capacity(script.rounds.len());
+    for round in &script.rounds {
+        let record = match round {
+            RoundOp::Synthesize { example, pick } => {
+                let parts: Vec<&str> = example.iter().map(String::as_str).collect();
+                let outcome = session.synthesize(&parts)?;
+                if outcome.queries.is_empty() {
+                    RoundRecord {
+                        op: "synthesize".to_owned(),
+                        digest: "no-candidates".to_owned(),
+                    }
+                } else {
+                    let idx = pick % outcome.queries.len();
+                    let mut queries = outcome.queries;
+                    let step = session.choose(queries.swap_remove(idx))?;
+                    RoundRecord {
+                        op: format!("synthesize[{idx}]"),
+                        digest: digest(&to_tsv(&step.solutions, graph)),
+                    }
+                }
+            }
+            RoundOp::Refine { op, pick } => {
+                let offers = session.refinements(*op)?;
+                if offers.is_empty() {
+                    RoundRecord {
+                        op: format!("refine:{}", op_label(*op)),
+                        digest: "no-refinements".to_owned(),
+                    }
+                } else {
+                    let idx = pick % offers.len();
+                    let mut offers = offers;
+                    let step = session.apply(offers.swap_remove(idx))?;
+                    RoundRecord {
+                        op: format!("refine:{}[{idx}]", op_label(*op)),
+                        digest: digest(&to_tsv(&step.solutions, graph)),
+                    }
+                }
+            }
+            RoundOp::Preview { op } => {
+                let offers = session.refinements(*op)?;
+                let previews = session.preview(&offers, 0)?;
+                let mut all = String::new();
+                for p in &previews {
+                    all.push_str(&to_tsv(p, graph));
+                    all.push('\n');
+                }
+                RoundRecord {
+                    op: format!("preview:{}", op_label(*op)),
+                    digest: digest(&all),
+                }
+            }
+            RoundOp::Think { millis } => {
+                std::thread::sleep(Duration::from_millis(*millis));
+                RoundRecord {
+                    op: "think".to_owned(),
+                    digest: "-".to_owned(),
+                }
+            }
+            RoundOp::Backtrack => RoundRecord {
+                op: "backtrack".to_owned(),
+                digest: if session.backtrack() {
+                    "backtracked".to_owned()
+                } else {
+                    "at-start".to_owned()
+                },
+            },
+        };
+        rounds.push(record);
+    }
+    let metrics = session.finish();
+    Ok(SessionTranscript {
+        tenant: script.tenant.clone(),
+        rounds,
+        summary: TranscriptSummary {
+            interactions: metrics.interactions,
+            paths_offered: metrics.paths_offered,
+            tuples_accessible: metrics.tuples_accessible,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_and_sensitive() {
+        assert_eq!(digest(""), "cbf29ce484222325");
+        assert_eq!(digest("abc"), digest("abc"));
+        assert_ne!(digest("abc"), digest("abd"));
+    }
+
+    #[test]
+    fn transcript_text_is_stable() {
+        let t = SessionTranscript {
+            tenant: "t0".to_owned(),
+            rounds: vec![
+                RoundRecord {
+                    op: "synthesize[0]".to_owned(),
+                    digest: "deadbeefdeadbeef".to_owned(),
+                },
+                RoundRecord {
+                    op: "think".to_owned(),
+                    digest: "-".to_owned(),
+                },
+            ],
+            summary: TranscriptSummary {
+                interactions: 2,
+                paths_offered: 3,
+                tuples_accessible: 5,
+            },
+        };
+        let text = t.to_text();
+        assert_eq!(
+            text,
+            "tenant\tt0\n0\tsynthesize[0]\tdeadbeefdeadbeef\n1\tthink\t-\n\
+             summary\tinteractions=2 paths=3 tuples=5\n"
+        );
+        assert_eq!(t.to_text(), text, "rendering is deterministic");
+    }
+}

@@ -1,0 +1,274 @@
+//! Admission-control regressions: saturated queues reject with a typed
+//! error (not a block or a panic), query budgets cut sessions off exactly
+//! at the boundary, and graceful shutdown drains every admitted session —
+//! all asserted through the server's own obs counters.
+
+use re2x_cube::{bootstrap, BootstrapConfig, VirtualSchemaGraph};
+use re2x_obs::label;
+use re2x_rdf::{Graph, TermId};
+use re2x_serve::{
+    run_script, QueryBudget, RoundOp, ServeError, ServerBuilder, SessionScript, TenantSpec,
+};
+use re2x_sparql::{EndpointStats, LocalEndpoint, Query, Solutions, SparqlEndpoint, SparqlError};
+use re2xolap::{RefineOp, SessionConfig};
+use std::sync::{Arc, Condvar, Mutex};
+
+fn fixture() -> (Graph, VirtualSchemaGraph) {
+    let mut dataset = re2x_datagen::running::generate();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph);
+    let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+        .expect("bootstrap")
+        .schema;
+    (endpoint.into_graph(), schema)
+}
+
+fn script(tenant: &str, rounds: Vec<RoundOp>) -> SessionScript {
+    let mut all = vec![RoundOp::Synthesize {
+        example: vec!["Germany".to_owned(), "2014".to_owned()],
+        pick: 0,
+    }];
+    all.extend(rounds);
+    SessionScript {
+        tenant: tenant.to_owned(),
+        rounds: all,
+    }
+}
+
+/// An endpoint that blocks every call until the test releases it, and
+/// reports when the first call has entered — giving the queue-full test a
+/// deterministic way to pin the single worker.
+struct GateEndpoint {
+    inner: LocalEndpoint,
+    state: Mutex<(bool, bool)>, // (entered, released)
+    entered_cv: Condvar,
+    release_cv: Condvar,
+}
+
+impl GateEndpoint {
+    fn new(graph: Graph) -> GateEndpoint {
+        GateEndpoint {
+            inner: LocalEndpoint::new(graph),
+            state: Mutex::new((false, false)),
+            entered_cv: Condvar::new(),
+            release_cv: Condvar::new(),
+        }
+    }
+
+    fn pass(&self) {
+        let mut state = self.state.lock().expect("gate state");
+        state.0 = true;
+        self.entered_cv.notify_all();
+        while !state.1 {
+            state = self.release_cv.wait(state).expect("gate wait");
+        }
+    }
+
+    fn wait_for_entry(&self) {
+        let mut state = self.state.lock().expect("gate state");
+        while !state.0 {
+            state = self.entered_cv.wait(state).expect("entry wait");
+        }
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("gate state");
+        state.1 = true;
+        self.release_cv.notify_all();
+    }
+}
+
+impl SparqlEndpoint for GateEndpoint {
+    fn select(&self, query: &Query) -> Result<Solutions, SparqlError> {
+        self.pass();
+        self.inner.select(query)
+    }
+    fn ask(&self, query: &Query) -> Result<bool, SparqlError> {
+        self.pass();
+        self.inner.ask(query)
+    }
+    fn keyword_search(&self, keyword: &str, exact: bool) -> Vec<TermId> {
+        self.pass();
+        self.inner.keyword_search(keyword, exact)
+    }
+    fn graph(&self) -> &Graph {
+        self.inner.graph()
+    }
+    fn stats(&self) -> EndpointStats {
+        self.inner.stats()
+    }
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+#[test]
+fn saturated_queue_rejects_with_typed_error_and_counter() {
+    let (graph, schema) = fixture();
+    let gate = Arc::new(GateEndpoint::new(graph.clone()));
+    let server = ServerBuilder::new()
+        .workers(1)
+        .queue_capacity(2)
+        .tenant_stack("gate", Box::new(Arc::clone(&gate)))
+        .start(&graph, &schema);
+
+    // the single worker picks this up and blocks inside the endpoint
+    let pinned = server.submit(script("gate", vec![])).expect("admitted");
+    gate.wait_for_entry();
+
+    // the queue (bound 2) now fills deterministically
+    let queued: Vec<_> = (0..2)
+        .map(|_| server.submit(script("gate", vec![])).expect("queued"))
+        .collect();
+    let over = server.submit(script("gate", vec![]));
+    assert_eq!(over, Err(ServeError::QueueFull { capacity: 2 }));
+    assert_eq!(
+        server.metrics().counter(&label(
+            "serve.sessions_rejected",
+            &[("tenant", "gate"), ("reason", "queue_full")],
+        )),
+        1
+    );
+
+    gate.release();
+    server.wait(pinned).expect("pinned session completes");
+    for t in queued {
+        server.wait(t).expect("queued session completes");
+    }
+    server.shutdown();
+    // nothing beyond the one deliberate overflow was ever rejected
+    assert_eq!(
+        server
+            .metrics()
+            .counter(&label("serve.sessions_admitted", &[("tenant", "gate")])),
+        3
+    );
+}
+
+#[test]
+fn unknown_tenants_are_rejected_without_enqueueing() {
+    let (graph, schema) = fixture();
+    let server = ServerBuilder::new()
+        .tenant(TenantSpec::new("t0"))
+        .start(&graph, &schema);
+    let err = server.submit(script("nobody", vec![]));
+    assert_eq!(err, Err(ServeError::UnknownTenant("nobody".to_owned())));
+    assert_eq!(
+        server.metrics().counter(&label(
+            "serve.sessions_rejected",
+            &[("tenant", "nobody"), ("reason", "unknown_tenant")],
+        )),
+        1
+    );
+    assert_eq!(server.tenants(), vec!["t0".to_owned()]);
+}
+
+#[test]
+fn budget_cuts_off_exactly_at_the_boundary() {
+    let (graph, schema) = fixture();
+    let work = script(
+        "t0",
+        vec![
+            RoundOp::Refine {
+                op: RefineOp::TopK,
+                pick: 0,
+            },
+            RoundOp::Refine {
+                op: RefineOp::Disaggregate,
+                pick: 0,
+            },
+        ],
+    );
+
+    // measure the script's exact SELECT/ASK demand with a huge budget
+    let bare = LocalEndpoint::new(graph.clone());
+    let probe = QueryBudget::new(&bare, u64::MAX);
+    run_script(&probe, &schema, &work, &SessionConfig::default()).expect("unbudgeted run");
+    let demand = probe.admitted();
+    assert!(demand > 0, "the probe script must issue queries");
+
+    // a budget of exactly `demand` admits the whole session …
+    let server = ServerBuilder::new()
+        .tenant(TenantSpec::new("t0"))
+        .session_budget(Some(demand))
+        .start(&graph, &schema);
+    server.run(work.clone()).expect("exact budget suffices");
+    server.shutdown();
+
+    // … and one less cuts it off with the typed error
+    let server = ServerBuilder::new()
+        .tenant(TenantSpec::new("t0"))
+        .session_budget(Some(demand - 1))
+        .start(&graph, &schema);
+    let err = server.run(work).expect_err("one short must exhaust");
+    assert!(err.is_budget_exhausted(), "got {err:?}");
+    assert_eq!(
+        server.metrics().counter(&label(
+            "serve.sessions_budget_exhausted",
+            &[("tenant", "t0")]
+        )),
+        1
+    );
+    assert_eq!(
+        server
+            .metrics()
+            .counter(&label("serve.sessions_completed", &[("tenant", "t0")])),
+        0
+    );
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_admitted_session() {
+    let (graph, schema) = fixture();
+    let server = ServerBuilder::new()
+        .workers(2)
+        .queue_capacity(16)
+        .tenant(TenantSpec::new("t0"))
+        .start(&graph, &schema);
+
+    let tickets: Vec<_> = (0..6)
+        .map(|_| {
+            server
+                .submit(script("t0", vec![RoundOp::Think { millis: 2 }]))
+                .expect("admitted")
+        })
+        .collect();
+
+    // shutdown blocks until queued + in-flight sessions all complete
+    server.shutdown();
+
+    assert_eq!(
+        server.submit(script("t0", vec![])),
+        Err(ServeError::ShuttingDown),
+        "a draining server admits nothing new"
+    );
+
+    for t in tickets {
+        server
+            .wait(t)
+            .expect("admitted session completed the drain");
+    }
+
+    let m = server.metrics();
+    assert_eq!(
+        m.counter(&label("serve.sessions_admitted", &[("tenant", "t0")])),
+        6
+    );
+    assert_eq!(
+        m.counter(&label("serve.sessions_completed", &[("tenant", "t0")])),
+        6
+    );
+    assert_eq!(
+        m.gauge(&label("serve.sessions_active", &[("tenant", "t0")]))
+            .unwrap_or(0.0),
+        0.0
+    );
+    assert_eq!(
+        m.counter(&label(
+            "serve.sessions_rejected",
+            &[("tenant", "t0"), ("reason", "shutting_down")],
+        )),
+        1
+    );
+}

@@ -1,0 +1,228 @@
+//! Fault injection: one tenant's failures, latency spikes, or outright
+//! panics must never stall, corrupt, or take down the others. Seeded
+//! [`FlakyEndpoint`] schedules keep every run replayable; the panicking
+//! tenant exercises the `catch_unwind` isolation and the poison-tolerant
+//! lock discipline under concurrent load.
+
+use re2x_cube::{bootstrap, BootstrapConfig, VirtualSchemaGraph};
+use re2x_obs::label;
+use re2x_rdf::{Graph, TermId};
+use re2x_serve::{
+    run_script, FlakyEndpoint, RoundOp, ServeError, ServerBuilder, SessionScript, TenantSpec,
+    Ticket,
+};
+use re2x_sparql::{EndpointStats, LocalEndpoint, Query, Solutions, SparqlEndpoint, SparqlError};
+use re2xolap::{RefineOp, SessionConfig};
+use std::time::Duration;
+
+fn fixture() -> (Graph, VirtualSchemaGraph) {
+    let mut dataset = re2x_datagen::running::generate();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph);
+    let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+        .expect("bootstrap")
+        .schema;
+    (endpoint.into_graph(), schema)
+}
+
+fn script(tenant: &str) -> SessionScript {
+    SessionScript {
+        tenant: tenant.to_owned(),
+        rounds: vec![
+            RoundOp::Synthesize {
+                example: vec!["Germany".to_owned(), "2014".to_owned()],
+                pick: 0,
+            },
+            RoundOp::Refine {
+                op: RefineOp::TopK,
+                pick: 0,
+            },
+        ],
+    }
+}
+
+/// Panics on every `SELECT` — the worst-behaved tenant imaginable.
+struct PanickingEndpoint {
+    inner: LocalEndpoint,
+}
+
+impl SparqlEndpoint for PanickingEndpoint {
+    fn select(&self, _query: &Query) -> Result<Solutions, SparqlError> {
+        panic!("tenant code exploded mid-query");
+    }
+    fn ask(&self, query: &Query) -> Result<bool, SparqlError> {
+        self.inner.ask(query)
+    }
+    fn keyword_search(&self, keyword: &str, exact: bool) -> Vec<TermId> {
+        self.inner.keyword_search(keyword, exact)
+    }
+    fn graph(&self) -> &Graph {
+        self.inner.graph()
+    }
+    fn stats(&self) -> EndpointStats {
+        self.inner.stats()
+    }
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+#[test]
+fn one_flaky_tenant_cannot_stall_or_corrupt_the_others() {
+    let (graph, schema) = fixture();
+    // seeded: roughly every 2nd query fails, every 3rd spikes 2ms
+    let flaky = FlakyEndpoint::new(
+        LocalEndpoint::new(graph.clone()),
+        0xF1A5,
+        2,
+        3,
+        Duration::from_millis(2),
+    );
+    let server = ServerBuilder::new()
+        .workers(3)
+        .queue_capacity(32)
+        .tenant(TenantSpec::new("stable"))
+        .tenant_stack("flaky", Box::new(flaky))
+        .start(&graph, &schema);
+
+    let mut tickets: Vec<(bool, Ticket)> = Vec::new();
+    for i in 0..12 {
+        let tenant = if i % 2 == 0 { "stable" } else { "flaky" };
+        let t = server.submit(script(tenant)).expect("admitted");
+        tickets.push((tenant == "stable", t));
+    }
+
+    let oracle = LocalEndpoint::new(graph.clone());
+    let expected = run_script(
+        &oracle,
+        &schema,
+        &script("stable"),
+        &SessionConfig::default(),
+    )
+    .expect("serial oracle")
+    .to_text();
+
+    let mut flaky_failures = 0;
+    for (stable, ticket) in tickets {
+        let outcome = server.wait(ticket);
+        if stable {
+            // every stable session completes, bit-exact, regardless of the
+            // chaos next door
+            assert_eq!(outcome.expect("stable session").to_text(), expected);
+        } else {
+            match outcome {
+                Ok(_) => {}
+                Err(e @ ServeError::Session(_)) => {
+                    assert!(e.to_string().contains("injected fault"), "got {e}");
+                    flaky_failures += 1;
+                }
+                Err(other) => panic!("unexpected serve error: {other:?}"),
+            }
+        }
+    }
+    assert!(
+        flaky_failures > 0,
+        "a 1-in-2 fault schedule over 6 sessions must trip at least once"
+    );
+
+    let m = server.metrics();
+    assert_eq!(
+        m.counter(&label("serve.sessions_failed", &[("tenant", "stable")])),
+        0
+    );
+    assert_eq!(
+        m.counter(&label("serve.sessions_failed", &[("tenant", "flaky")])),
+        flaky_failures
+    );
+    server.shutdown();
+}
+
+#[test]
+fn panicking_workers_under_load_leave_the_server_functional() {
+    let (graph, schema) = fixture();
+    let server = ServerBuilder::new()
+        .workers(2)
+        .queue_capacity(32)
+        .tenant(TenantSpec::new("stable"))
+        .tenant_stack(
+            "boom",
+            Box::new(PanickingEndpoint {
+                inner: LocalEndpoint::new(graph.clone()),
+            }),
+        )
+        .start(&graph, &schema);
+
+    // interleave panicking and healthy sessions across both workers
+    let tickets: Vec<(bool, Ticket)> = (0..10)
+        .map(|i| {
+            let tenant = if i % 2 == 0 { "boom" } else { "stable" };
+            (
+                tenant == "stable",
+                server.submit(script(tenant)).expect("admitted"),
+            )
+        })
+        .collect();
+
+    let oracle = LocalEndpoint::new(graph.clone());
+    let expected = run_script(
+        &oracle,
+        &schema,
+        &script("stable"),
+        &SessionConfig::default(),
+    )
+    .expect("serial oracle")
+    .to_text();
+
+    for (stable, ticket) in tickets {
+        let outcome = server.wait(ticket);
+        if stable {
+            assert_eq!(outcome.expect("stable survives").to_text(), expected);
+        } else {
+            assert_eq!(outcome, Err(ServeError::WorkerPanicked));
+        }
+    }
+
+    // the workers that caught panics are still alive and serving
+    let after = server.run(script("stable")).expect("server still serves");
+    assert_eq!(after.to_text(), expected);
+
+    let m = server.metrics();
+    assert_eq!(
+        m.counter(&label("serve.worker_panics", &[("tenant", "boom")])),
+        5
+    );
+    assert_eq!(
+        m.counter(&label("serve.sessions_completed", &[("tenant", "stable")])),
+        6
+    );
+    // and the drain still works — no lock was left poisoned or held
+    server.shutdown();
+    assert_eq!(
+        m.gauge(&label("serve.sessions_active", &[("tenant", "boom")]))
+            .unwrap_or(0.0),
+        0.0
+    );
+}
+
+#[test]
+fn fault_schedules_replay_identically_for_a_fixed_seed() {
+    let (graph, schema) = fixture();
+    let outcomes = |seed: u64| -> Vec<bool> {
+        let server = ServerBuilder::new()
+            .workers(1)
+            .queue_capacity(16)
+            .tenant_stack(
+                "flaky",
+                Box::new(FlakyEndpoint::failing(
+                    LocalEndpoint::new(graph.clone()),
+                    seed,
+                    3,
+                )),
+            )
+            .start(&graph, &schema);
+        (0..6)
+            .map(|_| server.run(script("flaky")).is_ok())
+            .collect()
+    };
+    assert_eq!(outcomes(41), outcomes(41), "same seed, same fault pattern");
+}

@@ -1,0 +1,186 @@
+//! Concurrency properties of the session server, on the deterministic
+//! testkit harness (`RE2X_TEST_SEED` / `RE2X_TEST_CASES` honored).
+//!
+//! The oracle: a transcript produced by a worker under full concurrency —
+//! N seeded clients submitting interleaved scripts for several tenants —
+//! must be **byte-identical** to the serial replay of the same script
+//! through a bare session over an undecorated endpoint. No round may be
+//! lost, duplicated, or reordered, and the admission accounting must
+//! balance exactly.
+
+use re2x_cube::{bootstrap, BootstrapConfig, VirtualSchemaGraph};
+use re2x_rdf::Graph;
+use re2x_serve::{run_script, RoundOp, ServerBuilder, SessionScript, TenantSpec, Ticket};
+use re2x_sparql::LocalEndpoint;
+use re2x_testkit::{check_n, TestRng};
+use re2xolap::{RefineOp, SessionConfig};
+
+fn fixture() -> (Graph, VirtualSchemaGraph) {
+    let mut dataset = re2x_datagen::running::generate();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph);
+    let schema = bootstrap(&endpoint, &BootstrapConfig::new(&dataset.observation_class))
+        .expect("bootstrap")
+        .schema;
+    (endpoint.into_graph(), schema)
+}
+
+const EXAMPLES: [&[&str]; 4] = [
+    &["Germany", "2014"],
+    &["France", "2014"],
+    &["Italy", "2014"],
+    &["Germany", "Syria"],
+];
+
+fn gen_script(rng: &mut TestRng, tenant: &str) -> SessionScript {
+    let ops = [
+        RefineOp::Disaggregate,
+        RefineOp::TopK,
+        RefineOp::Percentile,
+        RefineOp::Similarity,
+    ];
+    let example = EXAMPLES[rng.gen_range(0usize..EXAMPLES.len())];
+    let mut rounds = vec![RoundOp::Synthesize {
+        example: example.iter().map(|s| (*s).to_owned()).collect(),
+        pick: rng.gen_range(0usize..4),
+    }];
+    for _ in 0..rng.gen_range(1usize..5) {
+        rounds.push(match rng.pick_weighted(&[5, 2, 2, 1]) {
+            0 => RoundOp::Refine {
+                op: ops[rng.gen_range(0usize..4)],
+                pick: rng.gen_range(0usize..4),
+            },
+            1 => RoundOp::Preview {
+                op: ops[rng.gen_range(0usize..4)],
+            },
+            2 => RoundOp::Think {
+                millis: rng.gen_range(1u64..3),
+            },
+            _ => RoundOp::Backtrack,
+        });
+    }
+    SessionScript {
+        tenant: tenant.to_owned(),
+        rounds,
+    }
+}
+
+#[test]
+fn concurrent_transcripts_match_serial_replay_byte_for_byte() {
+    check_n("concurrent_transcripts_match_serial_replay", 3, |rng| {
+        let (graph, schema) = fixture();
+        let tenants = ["t0", "t1", "t2"];
+        let scripts: Vec<SessionScript> = (0..9)
+            .map(|i| gen_script(rng, tenants[i % tenants.len()]))
+            .collect();
+
+        let server = ServerBuilder::new()
+            .workers(4)
+            .queue_capacity(scripts.len())
+            .tenant(TenantSpec::new("t0"))
+            .tenant(TenantSpec::new("t1").cached(32))
+            .tenant(TenantSpec::new("t2").traced())
+            .start(&graph, &schema);
+
+        // three seeded clients submit interleaved slices concurrently
+        let tickets: Vec<(usize, Ticket)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|c| {
+                    let server = &server;
+                    let scripts = &scripts;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for (i, script) in scripts.iter().enumerate() {
+                            if i % 3 == c {
+                                let t = server.submit(script.clone()).expect("admitted");
+                                out.push((i, t));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        assert_eq!(tickets.len(), scripts.len(), "no submission lost");
+
+        // serial replay oracle: a bare endpoint, one session per script
+        let oracle_endpoint = LocalEndpoint::new(graph.clone());
+        for (i, ticket) in tickets {
+            let concurrent = server.wait(ticket).expect("session completes");
+            let serial = run_script(
+                &oracle_endpoint,
+                &schema,
+                &scripts[i],
+                &SessionConfig::default(),
+            )
+            .expect("serial replay");
+            assert_eq!(
+                concurrent.to_text(),
+                serial.to_text(),
+                "script {i}: concurrent transcript diverged from serial replay"
+            );
+            // one record per scripted round: nothing lost, nothing duplicated
+            assert_eq!(concurrent.rounds.len(), scripts[i].rounds.len());
+        }
+
+        // admission accounting balances exactly, per tenant
+        let metrics = server.metrics().clone();
+        server.shutdown();
+        let mut admitted = 0;
+        let mut completed = 0;
+        for tenant in tenants {
+            let a = metrics.counter(&re2x_obs::label(
+                "serve.sessions_admitted",
+                &[("tenant", tenant)],
+            ));
+            let c = metrics.counter(&re2x_obs::label(
+                "serve.sessions_completed",
+                &[("tenant", tenant)],
+            ));
+            assert_eq!(a, c, "tenant {tenant}: admitted {a} != completed {c}");
+            assert_eq!(
+                metrics
+                    .gauge(&re2x_obs::label(
+                        "serve.sessions_active",
+                        &[("tenant", tenant)]
+                    ))
+                    .unwrap_or(0.0),
+                0.0,
+                "tenant {tenant}: sessions still marked active after drain"
+            );
+            admitted += a;
+            completed += c;
+        }
+        assert_eq!(admitted, scripts.len() as u64);
+        assert_eq!(completed, scripts.len() as u64);
+    });
+}
+
+#[test]
+fn rerunning_the_same_workload_is_deterministic() {
+    check_n("rerunning_the_same_workload_is_deterministic", 2, |rng| {
+        let (graph, schema) = fixture();
+        let scripts: Vec<SessionScript> = (0..4).map(|_| gen_script(rng, "t0")).collect();
+        let run = |workers: usize| -> Vec<String> {
+            let server = ServerBuilder::new()
+                .workers(workers)
+                .queue_capacity(16)
+                .tenant(TenantSpec::new("t0"))
+                .start(&graph, &schema);
+            let tickets: Vec<Ticket> = scripts
+                .iter()
+                .map(|s| server.submit(s.clone()).expect("admitted"))
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| server.wait(t).expect("completes").to_text())
+                .collect()
+        };
+        // 1 worker vs 4 workers: scheduling must not leak into results
+        assert_eq!(run(1), run(4));
+    });
+}

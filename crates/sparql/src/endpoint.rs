@@ -131,6 +131,40 @@ pub trait SparqlEndpoint: Send + Sync {
     }
 }
 
+/// Delegates every [`SparqlEndpoint`] method to the pointee, so decorator
+/// stacks can be composed *dynamically* — per tenant, from configuration —
+/// as `Box<dyn SparqlEndpoint>` layers instead of a statically known
+/// generic tower. `&E`, [`Box`], and [`std::sync::Arc`] all forward.
+macro_rules! delegate_endpoint {
+    ($($ptr:ty),*) => {$(
+        impl<E: SparqlEndpoint + ?Sized> SparqlEndpoint for $ptr {
+            fn select(&self, query: &Query) -> Result<Solutions, SparqlError> {
+                (**self).select(query)
+            }
+            fn ask(&self, query: &Query) -> Result<bool, SparqlError> {
+                (**self).ask(query)
+            }
+            fn keyword_search(&self, keyword: &str, exact: bool) -> Vec<TermId> {
+                (**self).keyword_search(keyword, exact)
+            }
+            fn graph(&self) -> &Graph {
+                (**self).graph()
+            }
+            fn stats(&self) -> EndpointStats {
+                (**self).stats()
+            }
+            fn reset_stats(&self) {
+                (**self).reset_stats()
+            }
+            fn tracer(&self) -> Option<&re2x_obs::Tracer> {
+                (**self).tracer()
+            }
+        }
+    )*};
+}
+
+delegate_endpoint!(&E, Box<E>, std::sync::Arc<E>);
+
 /// [`SparqlEndpoint`] over an in-memory graph with statistics and optional
 /// injected latency.
 #[derive(Debug)]
@@ -306,6 +340,32 @@ mod tests {
         assert_eq!(ep.keyword_search("germany", false).len(), 1);
         assert!(ep.keyword_search("ger", true).is_empty());
         assert_eq!(ep.stats().keyword_searches, 3);
+    }
+
+    #[test]
+    fn boxed_and_shared_endpoints_delegate() {
+        let boxed: Box<dyn SparqlEndpoint> = Box::new(endpoint());
+        let sols = boxed
+            .select_text("SELECT ?d WHERE { ?o <http://ex/dest> ?d }")
+            .expect("boxed select");
+        assert_eq!(sols.len(), 2);
+        assert_eq!(boxed.stats().selects, 1);
+        boxed.reset_stats();
+        assert_eq!(boxed.stats(), EndpointStats::default());
+
+        let shared: std::sync::Arc<dyn SparqlEndpoint> = std::sync::Arc::new(endpoint());
+        assert!(shared
+            .ask_text("ASK { ?o <http://ex/dest> <http://ex/Germany> }")
+            .expect("arc ask"));
+        // a decorator generic over E composes over the boxed layer
+        let cached = crate::CachingEndpoint::with_capacity(boxed, 4);
+        assert_eq!(
+            cached
+                .select_text("SELECT ?d WHERE { ?o <http://ex/dest> ?d }")
+                .expect("cached over boxed")
+                .len(),
+            2
+        );
     }
 
     #[test]

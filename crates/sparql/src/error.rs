@@ -18,6 +18,18 @@ pub enum SparqlError {
     /// A semantically invalid query (e.g. aggregate in a WHERE filter,
     /// projected variable neither grouped nor aggregated).
     Invalid(String),
+    /// The backend (or an injected-fault decorator standing in for one)
+    /// failed to answer: the query was well-formed but the endpoint could
+    /// not serve it. Callers treat this as transient and per-query — it
+    /// fails the round that issued it, never the session.
+    Endpoint(String),
+    /// A per-session query budget was exhausted: exactly `limit` queries
+    /// were admitted before this one was refused without reaching the
+    /// endpoint. Raised by admission-control decorators (`re2x-serve`).
+    BudgetExhausted {
+        /// The configured budget the session ran through.
+        limit: u64,
+    },
 }
 
 impl SparqlError {
@@ -43,6 +55,10 @@ impl fmt::Display for SparqlError {
             }
             SparqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
             SparqlError::Invalid(m) => write!(f, "invalid query: {m}"),
+            SparqlError::Endpoint(m) => write!(f, "endpoint failure: {m}"),
+            SparqlError::BudgetExhausted { limit } => {
+                write!(f, "query budget exhausted after {limit} queries")
+            }
         }
     }
 }
@@ -66,6 +82,14 @@ mod tests {
         assert_eq!(
             SparqlError::invalid("bad").to_string(),
             "invalid query: bad"
+        );
+        assert_eq!(
+            SparqlError::Endpoint("connection reset".into()).to_string(),
+            "endpoint failure: connection reset"
+        );
+        assert_eq!(
+            SparqlError::BudgetExhausted { limit: 9 }.to_string(),
+            "query budget exhausted after 9 queries"
         );
     }
 }

@@ -318,11 +318,12 @@ impl<'a> Lexer<'a> {
         } else if self.peek() == Some(b'@') {
             self.bump();
             let mut tag = String::new();
-            while self
-                .peek()
-                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-')
-            {
-                tag.push(self.bump().expect("peeked") as char);
+            while let Some(b) = self.peek() {
+                if !b.is_ascii_alphanumeric() && b != b'-' {
+                    break;
+                }
+                self.bump();
+                tag.push(b as char);
             }
             if tag.is_empty() {
                 return Err(self.err("empty language tag"));
@@ -343,19 +344,25 @@ impl<'a> Lexer<'a> {
         let mut seen_exp = false;
         while let Some(b) = self.peek() {
             match b {
-                b'0'..=b'9' => text.push(self.bump().expect("peeked") as char),
+                b'0'..=b'9' => {
+                    self.bump();
+                    text.push(b as char);
+                }
                 b'.' if !seen_dot
                     && !seen_exp
                     && self.peek2().is_some_and(|c| c.is_ascii_digit()) =>
                 {
                     seen_dot = true;
-                    text.push(self.bump().expect("peeked") as char);
+                    self.bump();
+                    text.push(b as char);
                 }
                 b'e' | b'E' if !seen_exp => {
                     seen_exp = true;
-                    text.push(self.bump().expect("peeked") as char);
-                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
-                        text.push(self.bump().expect("peeked") as char);
+                    self.bump();
+                    text.push(b as char);
+                    if let Some(sign @ (b'+' | b'-')) = self.peek() {
+                        self.bump();
+                        text.push(sign as char);
                     }
                 }
                 _ => break,

@@ -1,15 +1,18 @@
 //! Overhead of the observability layer (`re2x-obs`).
 //!
-//! Two claims are checked here:
+//! Three claims are checked here:
 //!
 //! 1. A **disabled** tracer is free: opening spans and recording queries
 //!    against it performs *zero heap allocations* (verified with a counting
 //!    global allocator, not just timed).
-//! 2. The per-span cost of an **enabled** tracer is bounded and visible —
+//! 2. An event bus with **no subscriber** is free on the publish path:
+//!    `publish`/`publish_with` perform zero heap allocations — the
+//!    `publish_with` closure (which would allocate) must never even run.
+//! 3. The per-span cost of an **enabled** tracer is bounded and visible —
 //!    the timed comparison prints both so regressions stand out.
 
 use re2x_bench::micro::Group;
-use re2x_obs::{QueryKind, Tracer};
+use re2x_obs::{BusEvent, EventBus, QueryKind, Tracer};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,7 +71,63 @@ fn main() {
     );
     println!("obs/disabled_no_alloc: 0 allocations across {ITERS} span+query+cache iterations ✓");
 
+    // Claim 2: with zero subscribers the bus publish path is one atomic
+    // load — no allocation, and the lazy closure is never invoked.
+    let bus = EventBus::new();
+    let ready = BusEvent::Counter {
+        name: "bench.counter".to_owned(),
+        delta: 1,
+        at: Duration::ZERO,
+    };
+    let closure_ran = AtomicU64::new(0);
+    bus.publish(&ready); // warm-up
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..ITERS {
+        bus.publish(&ready);
+        bus.publish_with(|at| {
+            closure_ran.fetch_add(1, Ordering::Relaxed);
+            // would allocate, proving laziness matters
+            BusEvent::Counter {
+                name: format!("bench.lazy.{i}"),
+                delta: i,
+                at,
+            }
+        });
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "zero-subscriber bus allocated {} times over {ITERS} iterations",
+        after - before
+    );
+    assert_eq!(
+        closure_ran.load(Ordering::SeqCst),
+        0,
+        "publish_with ran its closure with no subscriber attached"
+    );
+    println!("obs/bus_no_subscriber_no_alloc: 0 allocations, 0 closure runs across {ITERS} publish+publish_with iterations ✓");
+
+    // sanity: the same closure runs (and allocates) once somebody listens
+    let stream = bus.subscribe(16);
+    bus.publish_with(|at| {
+        closure_ran.fetch_add(1, Ordering::Relaxed);
+        BusEvent::Counter {
+            name: "bench.live".to_owned(),
+            delta: 1,
+            at,
+        }
+    });
+    assert_eq!(closure_ran.load(Ordering::SeqCst), 1);
+    assert_eq!(stream.poll().len(), 1);
+    drop(stream);
+
     let group = Group::new("obs");
+    group.bench("bus_publish_no_subscriber_1k", || {
+        for _ in 0..1_000u64 {
+            bus.publish(black_box(&ready));
+        }
+    });
     group.bench("disabled_span_pair_1k", || {
         for i in 0..1_000u64 {
             let _outer = disabled.span("bench.outer");

@@ -1,12 +1,19 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]
+//! repro [--scale smoke|full] [--seed N] [--out DIR]
+//!       [--dash] [--input FILE] [--golden FILE] [--headless] [--live]
+//!       [--speed F] [experiment …]
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig8c fig9 fig10
-//!              ablations scaling latency trace sharding serve
+//!              ablations scaling latency trace sharding serve watch
 //!              (default: all)
 //! ```
+//!
+//! `watch` replays a recorded JSONL event log through the `re2x-tui`
+//! dashboard (`--headless` byte-compares the frames against the committed
+//! golden and fails on drift; `--live` paints paced ANSI frames).
+//! `--dash` attaches the live dashboard to the `serve` sweep.
 //!
 //! Results are printed and written to `<out>/<experiment>.txt`
 //! (default `bench_results/`). Run with `--release`; the `full` scale
@@ -24,9 +31,11 @@ struct Args {
     seed: u64,
     out: PathBuf,
     experiments: BTreeSet<String>,
+    dash: bool,
+    watch: re2x_bench::watch::WatchConfig,
 }
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "table1",
     "table2",
     "table3",
@@ -42,6 +51,7 @@ const ALL: [&str; 15] = [
     "trace",
     "sharding",
     "serve",
+    "watch",
 ];
 
 fn parse_args() -> Args {
@@ -51,6 +61,8 @@ fn parse_args() -> Args {
         seed: 42,
         out: PathBuf::from("bench_results"),
         experiments: BTreeSet::new(),
+        dash: false,
+        watch: re2x_bench::watch::WatchConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,9 +91,35 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }));
             }
+            "--dash" => {
+                args.dash = true;
+                args.watch.live = true;
+            }
+            "--headless" => args.watch.headless = true,
+            "--live" => args.watch.live = true,
+            "--input" => {
+                args.watch.input = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--input expects a JSONL event-log path");
+                    std::process::exit(2);
+                })));
+            }
+            "--golden" => {
+                args.watch.golden = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--golden expects a frame-script path");
+                    std::process::exit(2);
+                })));
+            }
+            "--speed" => {
+                args.watch.speed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--speed expects a positive number");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--scale smoke|full] [--seed N] [--out DIR] [experiment …]"
+                    "usage: repro [--scale smoke|full] [--seed N] [--out DIR] \
+                     [--dash] [--input FILE] [--golden FILE] [--headless] [--live] \
+                     [--speed F] [experiment …]"
                 );
                 eprintln!("experiments: {}", ALL.join(" "));
                 std::process::exit(0);
@@ -233,7 +271,7 @@ fn main() {
             2_000
         };
         eprintln!("running serve sweep on {observations} eurostat observations …");
-        let report = re2x_bench::serve::run(observations, args.seed);
+        let report = re2x_bench::serve::run(observations, args.seed, args.dash);
         emit(
             &args.out,
             "serve",
@@ -246,6 +284,30 @@ fn main() {
             eprintln!("could not write {}: {e}", json_path.display());
         } else {
             println!("wrote {}", json_path.display());
+        }
+    }
+
+    if wants("watch") {
+        // Deterministic TUI replay of the committed scripted-session
+        // fixture (or `--input`): in `--headless` mode the rendered frame
+        // script must match the committed golden byte-for-byte.
+        match re2x_bench::watch::run(&args.watch) {
+            Ok(outcome) => {
+                emit(
+                    &args.out,
+                    "watch",
+                    "Watch: deterministic TUI replay of a recorded event log",
+                    &outcome.summary(),
+                );
+                if outcome.golden_matched == Some(false) {
+                    eprintln!("watch: rendered frames diverged from the golden script");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("watch: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -21,3 +21,4 @@ pub mod report;
 pub mod serve;
 pub mod sharding;
 pub mod trace;
+pub mod watch;

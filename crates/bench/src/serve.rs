@@ -17,11 +17,16 @@ use crate::report::{fmt_duration, Table};
 use re2x_cube::{bootstrap, BootstrapConfig, VirtualSchemaGraph};
 use re2x_datagen::common::{example_workload_on, rng, Dataset};
 use re2x_datagen::prng::StdRng;
+use re2x_obs::{EventStream, DEFAULT_SUBSCRIBER_CAPACITY};
 use re2x_rdf::Graph;
 use re2x_serve::{run_script, RoundOp, ServerBuilder, SessionScript, TenantSpec};
 use re2x_sparql::LocalEndpoint;
+use re2x_tui::DashboardState;
 use re2xolap::{RefineOp, SessionConfig};
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Worker counts swept by the experiment.
@@ -222,9 +227,57 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// A live dashboard attached to one sweep configuration: a bounded bus
+/// subscription folded into a [`DashboardState`] and repainted as ANSI
+/// frames every ~100ms until stopped. The subscription never blocks the
+/// workers — if the painter falls behind, oldest events drop and the
+/// frame's `dropped` counter says so.
+struct Dashboard {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Dashboard {
+    fn spawn(stream: EventStream) -> Dashboard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut state = DashboardState::new();
+            let mut stdout = std::io::stdout();
+            print!("\u{1b}[2J");
+            loop {
+                let done = flag.load(Ordering::Acquire);
+                for event in stream.poll() {
+                    state.apply(&event);
+                }
+                state.note_dropped(stream.dropped_events());
+                print!("{}", re2x_tui::render(&state).to_ansi());
+                let _ = stdout.flush();
+                if done {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            println!();
+        });
+        Dashboard { stop, handle }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.handle.join();
+    }
+}
+
 /// Runs the sweep on a eurostat-shaped dataset of `observations` facts
 /// with `sessions` closed-loop clients per worker count.
 pub fn run_with(observations: usize, sessions: usize, seed: u64) -> ServeReport {
+    run_with_dash(observations, sessions, seed, false)
+}
+
+/// [`run_with`], optionally painting a live TUI dashboard (`repro serve
+/// --dash`) fed from each sweep configuration's server bus.
+pub fn run_with_dash(observations: usize, sessions: usize, seed: u64, dash: bool) -> ServeReport {
     let mut dataset: Dataset = re2x_datagen::eurostat::generate(observations, seed);
     let graph = std::mem::take(&mut dataset.graph);
     let boot = LocalEndpoint::new(graph);
@@ -257,6 +310,8 @@ pub fn run_with(observations: usize, sessions: usize, seed: u64) -> ServeReport 
             .tenant(TenantSpec::new("adhoc"))
             .tenant(TenantSpec::new("audit").traced())
             .start(&graph, &schema);
+        let dashboard =
+            dash.then(|| Dashboard::spawn(server.subscribe(DEFAULT_SUBSCRIBER_CAPACITY)));
 
         let started = Instant::now();
         // closed loop: one client thread per session, submit → wait
@@ -280,6 +335,9 @@ pub fn run_with(observations: usize, sessions: usize, seed: u64) -> ServeReport 
             });
         let wall = started.elapsed();
         server.shutdown();
+        if let Some(dashboard) = dashboard {
+            dashboard.finish();
+        }
 
         let completed = outcomes.iter().filter(|(_, t)| t.is_ok()).count() as u64;
         let rejected = outcomes
@@ -325,8 +383,8 @@ pub fn run_with(observations: usize, sessions: usize, seed: u64) -> ServeReport 
 }
 
 /// The headline configuration: 24 sessions over a 2 000-observation cube.
-pub fn run(observations: usize, seed: u64) -> ServeReport {
-    run_with(observations, 24, seed)
+pub fn run(observations: usize, seed: u64, dash: bool) -> ServeReport {
+    run_with_dash(observations, 24, seed, dash)
 }
 
 #[cfg(test)]
@@ -349,6 +407,47 @@ mod tests {
         assert!(json.contains("\"all_identical\": true"));
         assert!(json.contains("\"p99_us\""));
         assert!(json.contains("\"workers\": 8"));
+    }
+
+    #[test]
+    fn dashboard_folds_the_server_bus_into_tenant_panels() {
+        // the exact pipeline `repro serve --dash` runs: subscribe to the
+        // server's bus, fold the stream, assemble per-tenant panels
+        let mut dataset: Dataset = re2x_datagen::eurostat::generate(300, 7);
+        let graph = std::mem::take(&mut dataset.graph);
+        let boot = LocalEndpoint::new(graph);
+        let schema: VirtualSchemaGraph =
+            bootstrap(&boot, &BootstrapConfig::new(&dataset.observation_class))
+                .expect("bootstrap succeeds on generated data")
+                .schema;
+        let graph: Graph = boot.into_graph();
+        let pool = example_workload_on(&graph, &dataset, 2, 4, 9);
+        let scripts = gen_scripts(&pool, 3, 5);
+
+        let server = ServerBuilder::new()
+            .workers(2)
+            .queue_capacity(4)
+            .tenant(TenantSpec::new("analytics").cached(8))
+            .tenant(TenantSpec::new("adhoc"))
+            .tenant(TenantSpec::new("audit").traced())
+            .start(&graph, &schema);
+        let stream = server.subscribe(DEFAULT_SUBSCRIBER_CAPACITY);
+        for script in &scripts {
+            server.run(script.clone()).expect("session completes");
+        }
+        server.shutdown();
+
+        let mut state = DashboardState::new();
+        state.apply_all(&stream.poll());
+        state.note_dropped(stream.dropped_events());
+        assert_eq!(state.dropped, 0, "bounded run must not overflow the ring");
+        let tenants = state.tenants();
+        assert_eq!(tenants.len(), 3, "one panel per scripted tenant");
+        assert_eq!(tenants.iter().map(|t| t.admitted).sum::<u64>(), 3);
+        assert!(tenants.iter().map(|t| t.rounds).sum::<u64>() >= 3);
+        for t in &tenants {
+            assert!(t.queue_wait.count() > 0, "{} saw no queue wait", t.tenant);
+        }
     }
 
     #[test]

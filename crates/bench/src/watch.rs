@@ -1,0 +1,193 @@
+//! The `watch` experiment: replays a recorded JSONL event log through the
+//! `re2x-tui` dashboard. Two modes:
+//!
+//! - **headless** (the CI path): render the whole replay as a plain-text
+//!   frame script and byte-compare it against a committed golden — no
+//!   terminal, no pacing, no wall clock in the render path.
+//! - **live**: pace the frames by their event-time boundaries (scaled by
+//!   `--speed`) and repaint ANSI frames in place, which is what the
+//!   dashboard looks like attached to a real server.
+//!
+//! The default input is the deterministic scripted-session fixture the
+//! tui golden tests pin, so `repro watch --headless` needs no arguments.
+
+use re2x_obs::{parse_bus_events, BusEvent};
+use re2x_tui::{frames, render_script, RenderOptions, FRAME_INTERVAL};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// What to replay and how.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// JSONL event log; `None` uses the committed scripted-session fixture.
+    pub input: Option<PathBuf>,
+    /// Golden frame script to compare against in headless mode; `None`
+    /// uses the committed golden matching the default fixture.
+    pub golden: Option<PathBuf>,
+    /// Compare against the golden instead of playing live.
+    pub headless: bool,
+    /// Paint paced ANSI frames to stdout.
+    pub live: bool,
+    /// Live playback speed multiplier (2.0 = twice as fast).
+    pub speed: f64,
+}
+
+impl Default for WatchConfig {
+    fn default() -> WatchConfig {
+        WatchConfig {
+            input: None,
+            golden: None,
+            headless: false,
+            live: false,
+            speed: 1.0,
+        }
+    }
+}
+
+/// Result of a replay.
+pub struct WatchOutcome {
+    /// Bus events parsed from the input log.
+    pub events: usize,
+    /// Frames the replay produced (interval boundaries + final).
+    pub frames: usize,
+    /// The full plain-text frame script.
+    pub script: String,
+    /// Headless mode only: did the script match the golden byte-for-byte?
+    pub golden_matched: Option<bool>,
+}
+
+impl WatchOutcome {
+    /// Human-readable report body: the frame script plus a trailer line.
+    pub fn summary(&self) -> String {
+        let mut out = self.script.clone();
+        let _ = writeln!(
+            out,
+            "\n{} events replayed into {} frames at {}ms cadence{}",
+            self.events,
+            self.frames,
+            FRAME_INTERVAL.as_millis(),
+            match self.golden_matched {
+                Some(true) => "; golden frames matched byte-for-byte",
+                Some(false) => "; GOLDEN FRAME MISMATCH",
+                None => "",
+            },
+        );
+        out
+    }
+}
+
+/// The committed scripted-session fixture (pinned by the tui golden tests).
+pub fn default_input() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../tui/tests/fixtures/watch_session.jsonl"
+    ))
+}
+
+/// The committed golden frame script matching [`default_input`].
+pub fn default_golden() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../tui/tests/fixtures/watch_frames.golden.txt"
+    ))
+}
+
+fn load_events(path: &Path) -> Result<Vec<BusEvent>, String> {
+    let jsonl = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_bus_events(&jsonl).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Runs the replay. `Err` is reserved for unusable inputs; a golden
+/// mismatch comes back as `golden_matched == Some(false)` so the caller
+/// can print the script before failing.
+pub fn run(config: &WatchConfig) -> Result<WatchOutcome, String> {
+    let input = config.input.clone().unwrap_or_else(default_input);
+    let events = load_events(&input)?;
+    let opts = RenderOptions::default();
+    let script = render_script(&events, FRAME_INTERVAL, opts);
+    let all = frames(&events, FRAME_INTERVAL, opts);
+
+    let golden_matched = if config.headless {
+        let golden = config.golden.clone().unwrap_or_else(default_golden);
+        let want = std::fs::read_to_string(&golden)
+            .map_err(|e| format!("cannot read golden {}: {e}", golden.display()))?;
+        Some(want == script)
+    } else {
+        None
+    };
+
+    if config.live {
+        play(&all, config.speed);
+    }
+
+    Ok(WatchOutcome {
+        events: events.len(),
+        frames: all.len(),
+        script,
+        golden_matched,
+    })
+}
+
+/// Paints the frames in place, pacing by event-time boundary deltas.
+fn play(all: &[(Duration, re2x_tui::Frame)], speed: f64) {
+    let speed = if speed.is_finite() && speed > 0.0 {
+        speed
+    } else {
+        1.0
+    };
+    let mut stdout = std::io::stdout();
+    let mut previous = Duration::ZERO;
+    print!("\u{1b}[2J"); // clear once; frames repaint in place from home
+    for (boundary, frame) in all {
+        std::thread::sleep(boundary.saturating_sub(previous).div_f64(speed));
+        previous = *boundary;
+        print!("{}", frame.to_ansi());
+        let _ = stdout.flush();
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headless_replay_of_the_default_fixture_matches_its_golden() {
+        let outcome = run(&WatchConfig {
+            headless: true,
+            ..WatchConfig::default()
+        })
+        .expect("fixture replays");
+        assert_eq!(outcome.golden_matched, Some(true), "{}", outcome.script);
+        assert!(outcome.frames > 1, "default fixture spans several frames");
+        assert!(outcome.summary().contains("golden frames matched"));
+    }
+
+    #[test]
+    fn missing_input_is_an_error_not_a_panic() {
+        let outcome = run(&WatchConfig {
+            input: Some(PathBuf::from("/nonexistent/events.jsonl")),
+            ..WatchConfig::default()
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn a_mismatched_golden_is_reported_not_swallowed() {
+        let dir = std::env::temp_dir().join("re2x_watch_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let golden = dir.join("wrong.golden.txt");
+        std::fs::write(&golden, "not the frames\n").expect("write");
+        let outcome = run(&WatchConfig {
+            golden: Some(golden),
+            headless: true,
+            ..WatchConfig::default()
+        })
+        .expect("replays");
+        assert_eq!(outcome.golden_matched, Some(false));
+        assert!(outcome.summary().contains("GOLDEN FRAME MISMATCH"));
+    }
+}

@@ -34,6 +34,18 @@ pub enum SessionPhase {
     Preview,
 }
 
+impl SessionPhase {
+    /// Stable lowercase name, suitable as a metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionPhase::Synthesize => "synthesize",
+            SessionPhase::Execute => "execute",
+            SessionPhase::Refine => "refine",
+            SessionPhase::Preview => "preview",
+        }
+    }
+}
+
 /// Lifecycle hooks for code hosting sessions — a serving layer records
 /// per-tenant round latency, admission accounting, and end-of-session
 /// metrics through these without the session knowing who hosts it.
@@ -222,8 +234,17 @@ impl<'a> Session<'a> {
         }
     }
 
-    /// Notifies the configured lifecycle observer of a completed phase.
+    /// Notifies the configured lifecycle observer of a completed phase and
+    /// publishes the round on the tracer's metric surface, so live
+    /// subscribers (the `re2x-tui` dashboard) see per-phase round counts
+    /// and wall-time distributions even without a serving layer attached.
     fn notify(&self, phase: SessionPhase, cost: StepCost) {
+        let tracer = &self.config.tracer;
+        if tracer.is_enabled() {
+            let labels = [("phase", phase.as_str())];
+            tracer.counter_add(&re2x_obs::label("session.rounds", &labels), 1);
+            tracer.observe(&re2x_obs::label("session.round_wall", &labels), cost.wall);
+        }
         if let Some(observer) = &self.config.observer {
             observer.on_phase(phase, cost);
         }
@@ -261,7 +282,7 @@ impl<'a> Session<'a> {
             solutions,
             cost,
         });
-        Ok(self.history.last().expect("just pushed"))
+        Ok(&self.history[self.history.len() - 1])
     }
 
     /// The current step, if any query has been executed.

@@ -48,8 +48,10 @@ fn workspace_is_clean_modulo_baseline() {
 fn panic_freedom_baseline_only_shrinks() {
     // The serve PR burned the debt down from 51 to 36 panic-freedom
     // entries (datagen member lookups, rdf/sparql lexer `peeked`
-    // expects). This ratchet keeps the ceiling where it landed: new
-    // panic sites must be fixed, not baselined.
+    // expects); the observability PR took it to 31 (tracer stack slots,
+    // session history indexing, shard-merge/partition guards). This
+    // ratchet keeps the ceiling where it landed: new panic sites must be
+    // fixed, not baselined.
     let baseline = std::fs::read_to_string(workspace_root().join("lint-baseline.txt"))
         .expect("lint-baseline.txt is checked in");
     let panic_entries = baseline
@@ -57,8 +59,8 @@ fn panic_freedom_baseline_only_shrinks() {
         .filter(|l| l.starts_with("panic-freedom\t"))
         .count();
     assert!(
-        panic_entries <= 36,
-        "panic-freedom baseline grew back to {panic_entries} entries (ceiling is 36); \
+        panic_entries <= 31,
+        "panic-freedom baseline grew back to {panic_entries} entries (ceiling is 31); \
          fix the panic site instead of re-baselining it"
     );
 }

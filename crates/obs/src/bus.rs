@@ -1,0 +1,412 @@
+//! The streaming event bus: bounded, poison-tolerant fan-out of trace
+//! events and metric deltas to live subscribers.
+//!
+//! ## Overhead contract
+//!
+//! The bus is designed to sit directly on the hot path of the tracer and
+//! the metrics registry, so its idle cost must be indistinguishable from
+//! zero:
+//!
+//! * **Allocation-free when nobody listens.** Producers publish through
+//!   [`EventBus::publish_with`], which checks the atomic subscriber count
+//!   *before* invoking the event-building closure — with zero subscribers
+//!   the closure (and any clone/allocation inside it) never runs. The
+//!   counting-allocator bench `crates/bench/benches/obs_overhead.rs` pins
+//!   this.
+//! * **Never blocks a producer.** Each subscriber owns a bounded ring;
+//!   when the ring is full the *oldest* event is dropped and the
+//!   subscriber's `dropped_events` counter is incremented. Producers never
+//!   wait for consumers — overflow is counted, not awaited.
+//! * **Poison-tolerant.** All locking goes through
+//!   [`lock_or_recover`](crate::sync::lock_or_recover); a subscriber that
+//!   panics mid-poll cannot poison the tracer.
+//!
+//! ## Timebase
+//!
+//! Metric deltas are stamped with an offset from the bus epoch (shared
+//! with the owning tracer's epoch, see [`EventBus::epoch`]) so that a
+//! replayed event log needs no wall-clock access to reconstruct relative
+//! time.
+
+// lint:allow-file(no-wallclock, the bus stamps metric deltas against its epoch — it is part of the timing layer)
+
+use crate::sync::lock_or_recover;
+use crate::tracer::TraceEvent;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Ring capacity used by the convenience `subscribe()` methods.
+pub const DEFAULT_SUBSCRIBER_CAPACITY: usize = 8192;
+
+/// One event on the bus: a trace event, or a metric delta. All timestamps
+/// are offsets from the bus epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BusEvent {
+    /// A span/query/cache trace event (carries its own `at` offset).
+    Trace(TraceEvent),
+    /// A counter was incremented by `delta`.
+    Counter {
+        /// Metric name (possibly labeled, `serve.rounds{tenant="t0"}`).
+        name: String,
+        /// Amount added.
+        delta: u64,
+        /// Offset from the bus epoch.
+        at: Duration,
+    },
+    /// A gauge changed; `value` is the absolute post-update value.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Absolute value after the update.
+        value: f64,
+        /// Offset from the bus epoch.
+        at: Duration,
+    },
+    /// A histogram recorded one observation.
+    Observe {
+        /// Metric name.
+        name: String,
+        /// The observed latency.
+        latency: Duration,
+        /// Offset from the bus epoch.
+        at: Duration,
+    },
+}
+
+impl BusEvent {
+    /// The event's offset from the bus epoch (trace events carry their
+    /// own offset from the tracer epoch, which the bus shares).
+    pub fn at(&self) -> Duration {
+        match self {
+            BusEvent::Trace(e) => match e {
+                TraceEvent::Enter { at, .. }
+                | TraceEvent::Exit { at, .. }
+                | TraceEvent::Query { at, .. }
+                | TraceEvent::Cache { at, .. } => *at,
+            },
+            BusEvent::Counter { at, .. }
+            | BusEvent::Gauge { at, .. }
+            | BusEvent::Observe { at, .. } => *at,
+        }
+    }
+}
+
+struct SubscriberInner {
+    closed: AtomicBool,
+    dropped: AtomicU64,
+    capacity: usize,
+    // lock-order: obs.bus.ring
+    ring: Mutex<VecDeque<BusEvent>>,
+}
+
+struct BusCore {
+    epoch: Instant,
+    /// Number of live (not yet dropped) subscribers. Checked with a
+    /// single relaxed load on every publish — the zero-subscriber fast
+    /// path touches nothing else.
+    active: AtomicUsize,
+    // lock-order: obs.bus.subscribers
+    subscribers: Mutex<Vec<Arc<SubscriberInner>>>,
+}
+
+/// The fan-out bus. Cheap to clone (clones share one core); the
+/// `Default` bus has no subscribers and costs one atomic load per
+/// publish.
+#[derive(Clone)]
+pub struct EventBus {
+    core: Arc<BusCore>,
+}
+
+impl Default for EventBus {
+    fn default() -> EventBus {
+        EventBus::new()
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+impl EventBus {
+    /// A bus with no subscribers; its epoch is the construction instant.
+    pub fn new() -> EventBus {
+        EventBus {
+            core: Arc::new(BusCore {
+                epoch: Instant::now(),
+                active: AtomicUsize::new(0),
+                subscribers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The bus construction instant — all metric deltas are stamped as
+    /// offsets from it. Tracers share their epoch with their bus so trace
+    /// events and metric deltas live on one timebase.
+    pub fn epoch(&self) -> Instant {
+        self.core.epoch
+    }
+
+    /// Offset of "now" from the bus epoch.
+    pub fn now(&self) -> Duration {
+        Instant::now().saturating_duration_since(self.core.epoch)
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.core.active.load(Ordering::Acquire)
+    }
+
+    /// Registers a new subscriber with a ring of `capacity` events
+    /// (clamped to at least 1). The ring is allocated once, up front;
+    /// overflow drops the oldest event and bumps the stream's
+    /// [`EventStream::dropped_events`] counter.
+    pub fn subscribe(&self, capacity: usize) -> EventStream {
+        let capacity = capacity.max(1);
+        let sub = Arc::new(SubscriberInner {
+            closed: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        });
+        {
+            let mut subs = lock_or_recover(&self.core.subscribers);
+            subs.push(Arc::clone(&sub));
+        }
+        self.core.active.fetch_add(1, Ordering::AcqRel);
+        EventStream {
+            bus: Some(self.clone()),
+            sub: Some(sub),
+        }
+    }
+
+    /// Publishes a pre-built event to every subscriber. With zero
+    /// subscribers this is one atomic load — no lock, no clone.
+    pub fn publish(&self, event: &BusEvent) {
+        if self.core.active.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        self.fan_out(event);
+    }
+
+    /// Publishes the event built by `make` — invoked only when at least
+    /// one subscriber is attached, so the zero-subscriber path never
+    /// allocates. `make` receives the current offset from the bus epoch
+    /// for stamping metric deltas.
+    pub fn publish_with(&self, make: impl FnOnce(Duration) -> BusEvent) {
+        if self.core.active.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let event = make(self.now());
+        self.fan_out(&event);
+    }
+
+    fn fan_out(&self, event: &BusEvent) {
+        let mut subs = lock_or_recover(&self.core.subscribers);
+        // Closed streams unregister lazily: pruned here, on the next
+        // publish after their drop.
+        subs.retain(|s| !s.closed.load(Ordering::Acquire));
+        for sub in subs.iter() {
+            let mut ring = lock_or_recover(&sub.ring);
+            if ring.len() >= sub.capacity {
+                ring.pop_front();
+                sub.dropped.fetch_add(1, Ordering::AcqRel);
+            }
+            ring.push_back(event.clone());
+        }
+    }
+}
+
+/// A subscription to an [`EventBus`], created by [`EventBus::subscribe`].
+/// Dropping the stream unsubscribes. The inert variant (from a disabled
+/// tracer) yields nothing and counts nothing.
+#[must_use = "dropping the stream immediately unsubscribes"]
+pub struct EventStream {
+    bus: Option<EventBus>,
+    sub: Option<Arc<SubscriberInner>>,
+}
+
+impl std::fmt::Debug for EventStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventStream")
+            .field("live", &self.is_live())
+            .field("dropped_events", &self.dropped_events())
+            .finish()
+    }
+}
+
+impl EventStream {
+    /// A stream attached to nothing: polls are empty, drops are zero.
+    /// Returned by `subscribe` on disabled tracers so call sites need no
+    /// special casing.
+    pub fn inert() -> EventStream {
+        EventStream {
+            bus: None,
+            sub: None,
+        }
+    }
+
+    /// Whether this stream is attached to a live bus.
+    pub fn is_live(&self) -> bool {
+        self.sub.is_some()
+    }
+
+    /// Drains every buffered event, in arrival order. Non-blocking; an
+    /// empty vec means nothing was published since the last poll.
+    pub fn poll(&self) -> Vec<BusEvent> {
+        match &self.sub {
+            Some(sub) => lock_or_recover(&sub.ring).drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total events dropped on this subscription because its ring was
+    /// full when a producer published.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.sub {
+            Some(sub) => sub.dropped.load(Ordering::Acquire),
+            None => 0,
+        }
+    }
+
+    /// The ring capacity this stream was subscribed with (0 when inert).
+    pub fn capacity(&self) -> usize {
+        match &self.sub {
+            Some(sub) => sub.capacity,
+            None => 0,
+        }
+    }
+}
+
+impl Drop for EventStream {
+    fn drop(&mut self) {
+        if let (Some(bus), Some(sub)) = (&self.bus, &self.sub) {
+            sub.closed.store(true, Ordering::Release);
+            bus.core.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, delta: u64, at_us: u64) -> BusEvent {
+        BusEvent::Counter {
+            name: name.to_owned(),
+            delta,
+            at: Duration::from_micros(at_us),
+        }
+    }
+
+    #[test]
+    fn publish_fans_out_to_every_subscriber() {
+        let bus = EventBus::new();
+        let a = bus.subscribe(16);
+        let b = bus.subscribe(16);
+        bus.publish(&counter("c", 1, 5));
+        bus.publish_with(|at| BusEvent::Gauge {
+            name: "g".to_owned(),
+            value: 2.0,
+            at,
+        });
+        let got_a = a.poll();
+        let got_b = b.poll();
+        assert_eq!(got_a.len(), 2);
+        assert_eq!(got_a.len(), got_b.len());
+        assert_eq!(got_a[0], counter("c", 1, 5));
+        assert!(matches!(got_a[1], BusEvent::Gauge { .. }));
+        assert_eq!(a.poll().len(), 0, "poll drains");
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_exactly() {
+        let bus = EventBus::new();
+        let stream = bus.subscribe(4);
+        for i in 0..10 {
+            bus.publish(&counter("c", i, i));
+        }
+        assert_eq!(stream.dropped_events(), 6, "10 published into capacity 4");
+        let got = stream.poll();
+        assert_eq!(got.len(), 4);
+        // the oldest events were evicted; the newest four survive in order
+        let deltas: Vec<u64> = got
+            .iter()
+            .map(|e| match e {
+                BusEvent::Counter { delta, .. } => *delta,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(deltas, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_subscriber_publish_skips_the_closure() {
+        let bus = EventBus::new();
+        let invoked = std::cell::Cell::new(false);
+        bus.publish_with(|at| {
+            invoked.set(true);
+            counter("c", 1, at.as_micros() as u64)
+        });
+        assert!(!invoked.get(), "no subscriber: event never built");
+        {
+            let _stream = bus.subscribe(4);
+            bus.publish_with(|at| {
+                invoked.set(true);
+                counter("c", 1, at.as_micros() as u64)
+            });
+            assert!(invoked.get(), "subscriber attached: event built");
+        }
+        // stream dropped: back to the fast path
+        invoked.set(false);
+        bus.publish_with(|at| {
+            invoked.set(true);
+            counter("c", 1, at.as_micros() as u64)
+        });
+        assert!(!invoked.get());
+    }
+
+    #[test]
+    fn dropped_stream_stops_receiving_and_unregisters() {
+        let bus = EventBus::new();
+        let a = bus.subscribe(8);
+        let b = bus.subscribe(8);
+        assert_eq!(bus.subscriber_count(), 2);
+        drop(a);
+        assert_eq!(bus.subscriber_count(), 1);
+        bus.publish(&counter("c", 1, 0));
+        assert_eq!(b.poll().len(), 1);
+    }
+
+    #[test]
+    fn inert_stream_is_silent() {
+        let stream = EventStream::inert();
+        assert!(!stream.is_live());
+        assert!(stream.poll().is_empty());
+        assert_eq!(stream.dropped_events(), 0);
+        assert_eq!(stream.capacity(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_never_block_and_lose_nothing_under_capacity() {
+        let bus = EventBus::new();
+        let stream = bus.subscribe(4096);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let bus = bus.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        bus.publish(&counter("c", (t * 100 + i) as u64, 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(stream.poll().len(), 400);
+        assert_eq!(stream.dropped_events(), 0);
+    }
+}

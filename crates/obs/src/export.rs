@@ -5,6 +5,7 @@
 //! the JSON subset emitted here is deliberately tiny: objects with string,
 //! integer, and float values only.
 
+use crate::bus::BusEvent;
 use crate::hist::LatencyHistogram;
 use crate::metrics::MetricsSnapshot;
 use crate::tracer::{PhaseQueryStats, TraceEvent};
@@ -26,6 +27,25 @@ pub fn json_escape(s: &str) -> String {
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use as a Prometheus exposition label *value*
+/// (inside the surrounding quotes). The exposition format escapes exactly
+/// three characters: backslash, double quote, and line feed — applying
+/// JSON escaping here would corrupt values containing tabs or carriage
+/// returns, and applying nothing (the old behaviour) produced malformed
+/// exposition for values containing `"` or `\`.
+pub fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
             c => out.push(c),
         }
     }
@@ -95,7 +115,52 @@ pub fn event_to_json(event: &TraceEvent) -> String {
             at.as_micros(),
             latency.as_micros(),
         ),
+        TraceEvent::Cache {
+            path,
+            hit,
+            thread,
+            at,
+        } => format!(
+            "{{\"type\":\"cache\",\"path\":\"{}\",\"hit\":{hit},\
+             \"thread\":{thread},\"at_us\":{}}}",
+            json_escape(path),
+            at.as_micros(),
+        ),
     }
+}
+
+/// Renders one bus event as a single-line JSON object. Trace events use
+/// the [`event_to_json`] encoding; metric deltas get their own `type`s.
+pub fn bus_event_to_json(event: &BusEvent) -> String {
+    match event {
+        BusEvent::Trace(e) => event_to_json(e),
+        BusEvent::Counter { name, delta, at } => format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"delta\":{delta},\"at_us\":{}}}",
+            json_escape(name),
+            at.as_micros(),
+        ),
+        BusEvent::Gauge { name, value, at } => format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value},\"at_us\":{}}}",
+            json_escape(name),
+            at.as_micros(),
+        ),
+        BusEvent::Observe { name, latency, at } => format!(
+            "{{\"type\":\"observe\",\"name\":\"{}\",\"latency_us\":{},\"at_us\":{}}}",
+            json_escape(name),
+            latency.as_micros(),
+            at.as_micros(),
+        ),
+    }
+}
+
+/// Renders a bus event log as JSONL — the `repro watch` recording format.
+pub fn bus_events_to_jsonl(events: &[BusEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&bus_event_to_json(event));
+        out.push('\n');
+    }
+    out
 }
 
 /// Renders an event log as JSONL (one JSON object per line, trailing
@@ -198,7 +263,7 @@ pub fn prometheus_exposition(
     if !provenance.is_empty() {
         let _ = writeln!(out, "# TYPE re2x_phase_queries counter");
         for (path, stats) in provenance {
-            let phase = json_escape(path);
+            let phase = prom_escape(path);
             let _ = writeln!(
                 out,
                 "re2x_phase_queries{{phase=\"{phase}\",kind=\"select\"}} {}",
@@ -220,7 +285,7 @@ pub fn prometheus_exposition(
             let _ = writeln!(
                 out,
                 "re2x_phase_busy_seconds{{phase=\"{}\"}} {}",
-                json_escape(path),
+                prom_escape(path),
                 stats.busy.as_secs_f64()
             );
         }
@@ -229,7 +294,7 @@ pub fn prometheus_exposition(
             if stats.cache_hits + stats.cache_misses == 0 {
                 continue;
             }
-            let phase = json_escape(path);
+            let phase = prom_escape(path);
             let _ = writeln!(
                 out,
                 "re2x_phase_cache_events{{phase=\"{phase}\",outcome=\"hit\"}} {}",
@@ -301,14 +366,21 @@ pub fn fmt_duration(d: Duration) -> String {
 /// Self-time percentages are relative to the total wall time of the root
 /// spans.
 pub fn render_self_time_tree(events: &[TraceEvent]) -> String {
-    let aggs = aggregate_spans(events);
+    render_self_time_tree_from(&aggregate_spans(events))
+}
+
+/// [`render_self_time_tree`] over pre-folded aggregates (sorted by path),
+/// for consumers that maintain aggregates incrementally — the live
+/// dashboard folds bus events into its own `SpanAgg` map and renders from
+/// there without keeping the whole event log.
+pub fn render_self_time_tree_from(aggs: &[SpanAgg]) -> String {
     let root_wall: Duration = aggs
         .iter()
         .filter(|a| !a.path.contains('/'))
         .map(|a| a.wall)
         .sum();
     let mut out = String::new();
-    for agg in &aggs {
+    for agg in aggs {
         let depth = agg.path.matches('/').count();
         let name = agg.path.rsplit('/').next().unwrap_or(&agg.path);
         let pct = if root_wall > Duration::ZERO {
@@ -342,6 +414,79 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prom_escape_covers_exactly_the_exposition_specials() {
+        assert_eq!(prom_escape("plain"), "plain");
+        assert_eq!(prom_escape("a\"b"), "a\\\"b");
+        assert_eq!(prom_escape("a\\b"), "a\\\\b");
+        assert_eq!(prom_escape("a\nb"), "a\\nb");
+        // unlike JSON escaping, tabs and control chars pass through
+        assert_eq!(prom_escape("a\tb"), "a\tb");
+    }
+
+    #[test]
+    fn quoted_tenant_id_yields_wellformed_exposition_labels() {
+        // regression: a label value containing a quote used to be
+        // interpolated raw (phase labels) or JSON-escaped (tabs became
+        // \t, which the exposition format does not define)
+        let metrics = Metrics::new();
+        let name = crate::metrics::label("serve.sessions", &[("tenant", "ten\"ant\\x")]);
+        metrics.counter_add(&name, 1);
+        let stats = PhaseQueryStats {
+            selects: 1,
+            ..Default::default()
+        };
+        let text = prometheus_exposition(&metrics.snapshot(), &[("phase\"q".to_owned(), stats)]);
+        assert!(
+            text.contains("serve_sessions{tenant=\"ten\\\"ant\\\\x\"} 1"),
+            "label builder escapes quotes and backslashes: {text}"
+        );
+        assert!(
+            text.contains("re2x_phase_queries{phase=\"phase\\\"q\",kind=\"select\"} 1"),
+            "provenance phase labels escape quotes: {text}"
+        );
+    }
+
+    #[test]
+    fn cache_events_serialize_and_bus_events_round_out_the_jsonl() {
+        let tracer = Tracer::enabled();
+        tracer.record_cache(true);
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        let json = event_to_json(&events[0]);
+        assert!(json.contains("\"type\":\"cache\""));
+        assert!(json.contains("\"hit\":true"));
+
+        let bus_events = vec![
+            BusEvent::Trace(events[0].clone()),
+            BusEvent::Counter {
+                name: "c".to_owned(),
+                delta: 2,
+                at: Duration::from_micros(10),
+            },
+            BusEvent::Gauge {
+                name: "g".to_owned(),
+                value: 1.5,
+                at: Duration::from_micros(11),
+            },
+            BusEvent::Observe {
+                name: "h".to_owned(),
+                latency: Duration::from_micros(7),
+                at: Duration::from_micros(12),
+            },
+        ];
+        let jsonl = bus_events_to_jsonl(&bus_events);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"type\":\"cache\""));
+        assert!(lines[1].contains("\"type\":\"counter\""));
+        assert!(lines[1].contains("\"delta\":2"));
+        assert!(lines[2].contains("\"type\":\"gauge\""));
+        assert!(lines[2].contains("\"value\":1.5"));
+        assert!(lines[3].contains("\"type\":\"observe\""));
+        assert!(lines[3].contains("\"latency_us\":7"));
     }
 
     #[test]

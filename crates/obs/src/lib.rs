@@ -12,7 +12,12 @@
 //!   histograms built on the fixed-bucket [`LatencyHistogram`] (moved
 //!   here from `re2x-sparql`, which re-exports it);
 //! * exporters ([`export`]) — JSONL event log, Prometheus-style text
-//!   exposition, and a flamegraph-style self-time tree.
+//!   exposition, and a flamegraph-style self-time tree;
+//! * [`EventBus`] — a bounded, poison-tolerant live fan-out of trace
+//!   events and metric deltas ([`Tracer::subscribe`]); producers never
+//!   block and pay nothing (one atomic load) while nobody listens;
+//! * a JSONL parser ([`parse`]) — the exporters' inverse, so recorded
+//!   logs replay offline (`repro watch`).
 //!
 //! The crate is a dependency *leaf*: every layer of the workspace,
 //! including `re2x-sparql` at the bottom of the stack, can depend on it
@@ -22,18 +27,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod export;
 pub mod hist;
 pub mod metrics;
+pub mod parse;
 pub mod sync;
 pub mod tracer;
 
+pub use bus::{BusEvent, EventBus, EventStream, DEFAULT_SUBSCRIBER_CAPACITY};
 pub use export::{
-    aggregate_spans, event_to_json, events_to_jsonl, json_escape, prometheus_exposition,
-    render_self_time_tree, SpanAgg,
+    aggregate_spans, bus_event_to_json, bus_events_to_jsonl, event_to_json, events_to_jsonl,
+    fmt_duration, json_escape, prom_escape, prometheus_exposition, render_self_time_tree,
+    render_self_time_tree_from, SpanAgg,
 };
 pub use hist::LatencyHistogram;
 pub use metrics::{label, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use parse::{
+    parse_bus_event, parse_bus_events, parse_trace_event, parse_trace_events, ParseError,
+};
 pub use sync::{lock_or_recover, wait_or_recover};
 pub use tracer::{
     AdoptGuard, PhaseQueryStats, QueryKind, SpanGuard, SpanHandle, TraceEvent, Tracer, UNATTRIBUTED,

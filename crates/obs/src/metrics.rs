@@ -7,6 +7,7 @@
 //! thread-safe (one mutex, short critical sections) so decorators and
 //! scoped crawler threads can update it concurrently.
 
+use crate::bus::{BusEvent, EventBus, EventStream};
 use crate::hist::LatencyHistogram;
 use crate::sync::lock_or_recover;
 use std::collections::BTreeMap;
@@ -31,11 +32,14 @@ struct Inner {
     histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
-/// The thread-safe metrics registry.
+/// The thread-safe metrics registry. Every update also publishes a delta
+/// on the registry's [`EventBus`] — free (one atomic load) while nobody
+/// subscribes.
 #[derive(Default)]
 pub struct Metrics {
     // lock-order: obs.metrics
     inner: Mutex<Inner>,
+    bus: EventBus,
 }
 
 /// A point-in-time copy of every metric, sorted by name.
@@ -50,21 +54,55 @@ pub struct MetricsSnapshot {
 }
 
 impl Metrics {
-    /// An empty registry.
+    /// An empty registry with its own private bus.
     pub fn new() -> Metrics {
         Metrics::default()
     }
 
+    /// An empty registry publishing its deltas on `bus` (how a tracer
+    /// shares one bus between trace events and metric updates).
+    pub fn with_bus(bus: EventBus) -> Metrics {
+        Metrics {
+            inner: Mutex::default(),
+            bus,
+        }
+    }
+
+    /// The bus this registry publishes metric deltas on.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Subscribes to this registry's metric deltas (and, when the bus is
+    /// shared with a tracer, its trace events) with a bounded ring.
+    pub fn subscribe(&self, capacity: usize) -> EventStream {
+        self.bus.subscribe(capacity)
+    }
+
     /// Adds `delta` to the counter `name`, creating it at zero first.
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = lock_or_recover(&self.inner);
-        *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+        {
+            let mut inner = lock_or_recover(&self.inner);
+            *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
+        }
+        self.bus.publish_with(|at| BusEvent::Counter {
+            name: name.to_owned(),
+            delta,
+            at,
+        });
     }
 
     /// Sets the gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut inner = lock_or_recover(&self.inner);
-        inner.gauges.insert(name.to_owned(), value);
+        {
+            let mut inner = lock_or_recover(&self.inner);
+            inner.gauges.insert(name.to_owned(), value);
+        }
+        self.bus.publish_with(|at| BusEvent::Gauge {
+            name: name.to_owned(),
+            value,
+            at,
+        });
     }
 
     /// Adds `delta` (which may be negative) to the gauge `name`, creating
@@ -72,16 +110,34 @@ impl Metrics {
     /// active-session counts, where concurrent increments and decrements
     /// must fold atomically rather than last-write-wins.
     pub fn gauge_add(&self, name: &str, delta: f64) {
-        let mut inner = lock_or_recover(&self.inner);
-        *inner.gauges.entry(name.to_owned()).or_insert(0.0) += delta;
+        let value = {
+            let mut inner = lock_or_recover(&self.inner);
+            let v = inner.gauges.entry(name.to_owned()).or_insert(0.0);
+            *v += delta;
+            *v
+        };
+        // subscribers see the absolute post-update value, not the delta,
+        // so a late joiner converges after one event
+        self.bus.publish_with(|at| BusEvent::Gauge {
+            name: name.to_owned(),
+            value,
+            at,
+        });
     }
 
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, latency: Duration) {
-        let mut inner = lock_or_recover(&self.inner);
-        let entry = inner.histograms.entry(name.to_owned()).or_default();
-        entry.histogram.record(latency);
-        entry.sum += latency;
+        {
+            let mut inner = lock_or_recover(&self.inner);
+            let entry = inner.histograms.entry(name.to_owned()).or_default();
+            entry.histogram.record(latency);
+            entry.sum += latency;
+        }
+        self.bus.publish_with(|at| BusEvent::Observe {
+            name: name.to_owned(),
+            latency,
+            at,
+        });
     }
 
     /// Current value of a counter (zero if never touched).
@@ -123,13 +179,15 @@ impl Metrics {
 
 /// Builds a labeled metric name: `label("cache.hits", &[("phase", "boot")])`
 /// → `cache.hits{phase="boot"}`. With no labels, the name passes through.
+/// Label values are escaped per the Prometheus exposition format
+/// ([`crate::export::prom_escape`]): `\`, `"`, and newlines.
 pub fn label(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_owned();
     }
     let pairs: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", crate::export::prom_escape(v)))
         .collect();
     format!("{name}{{{}}}", pairs.join(","))
 }
@@ -214,6 +272,33 @@ mod tests {
             "cache.hits{phase=\"bootstrap\",kind=\"select\"}"
         );
         assert_eq!(label("n", &[("k", "a\"b")]), "n{k=\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn updates_publish_deltas_on_the_bus() {
+        let m = Metrics::new();
+        let stream = m.subscribe(64);
+        m.counter_add("c", 2);
+        m.gauge_set("g", 1.5);
+        m.gauge_add("g", 0.5);
+        m.observe("h", Duration::from_micros(7));
+        let events = stream.poll();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(&events[0], BusEvent::Counter { name, delta: 2, .. } if name == "c"));
+        assert!(
+            matches!(&events[1], BusEvent::Gauge { name, value, .. } if name == "g" && *value == 1.5)
+        );
+        assert!(
+            matches!(&events[2], BusEvent::Gauge { value, .. } if *value == 2.0),
+            "gauge_add publishes the absolute post-update value"
+        );
+        assert!(matches!(
+            &events[3],
+            BusEvent::Observe { latency, .. } if *latency == Duration::from_micros(7)
+        ));
+        // the registry state is unaffected by subscription
+        assert_eq!(m.counter("c"), 2);
+        assert_eq!(m.gauge("g"), Some(2.0));
     }
 
     #[test]

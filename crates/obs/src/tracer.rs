@@ -35,6 +35,7 @@
 
 // lint:allow-file(no-wallclock, the tracer IS the timing layer: spans and events measure real wall time)
 
+use crate::bus::{BusEvent, EventBus, EventStream, DEFAULT_SUBSCRIBER_CAPACITY};
 use crate::hist::LatencyHistogram;
 use crate::metrics::Metrics;
 use crate::sync::lock_or_recover;
@@ -74,6 +75,22 @@ struct Frame {
 
 fn current_thread() -> u64 {
     THREAD_ID.with(|t| *t)
+}
+
+/// Index of the calling thread's stack for `tracer`, creating it when
+/// this is the tracer's first frame on the thread. The returned index is
+/// always in bounds: either `position` found it or `push` just added it.
+fn stack_slot(stacks: &mut Vec<TracerStack>, tracer: u64) -> usize {
+    match stacks.iter().position(|s| s.tracer == tracer) {
+        Some(i) => i,
+        None => {
+            stacks.push(TracerStack {
+                tracer,
+                frames: Vec::new(),
+            });
+            stacks.len() - 1
+        }
+    }
 }
 
 /// Kind of endpoint call attributed by query provenance.
@@ -187,6 +204,17 @@ pub enum TraceEvent {
         /// Endpoint time of this query.
         latency: Duration,
     },
+    /// A cache lookup resolved (hit or miss).
+    Cache {
+        /// Path of the innermost open span on the issuing thread.
+        path: String,
+        /// Whether the lookup was a hit.
+        hit: bool,
+        /// Sequential id of the issuing thread.
+        thread: u64,
+        /// Offset from tracer construction.
+        at: Duration,
+    },
 }
 
 struct TracerCore {
@@ -202,6 +230,11 @@ struct TracerCore {
 
 impl TracerCore {
     fn push_event(&self, event: TraceEvent) {
+        // With no live subscriber the closure never runs (no clone, no
+        // allocation); with one, the event fans out before it is archived.
+        self.metrics
+            .bus()
+            .publish_with(|_| BusEvent::Trace(event.clone()));
         lock_or_recover(&self.events).push(event);
     }
 
@@ -248,14 +281,17 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// A tracer that collects spans, events, provenance, and metrics.
     pub fn enabled() -> Tracer {
+        // Trace events and metric deltas share one timebase: the tracer
+        // epoch is the bus epoch.
+        let bus = EventBus::new();
         Tracer {
             core: Some(Arc::new(TracerCore {
                 id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
-                epoch: Instant::now(),
+                epoch: bus.epoch(),
                 next_span: AtomicU64::new(1),
                 events: Mutex::new(Vec::new()),
                 provenance: Mutex::new(BTreeMap::new()),
-                metrics: Metrics::new(),
+                metrics: Metrics::with_bus(bus),
             })),
         }
     }
@@ -325,16 +361,8 @@ impl Tracer {
         let start = Instant::now();
         let (parent, path) = STACKS.with(|stacks| {
             let mut stacks = stacks.borrow_mut();
-            let stack = match stacks.iter_mut().position(|s| s.tracer == core.id) {
-                Some(i) => &mut stacks[i],
-                None => {
-                    stacks.push(TracerStack {
-                        tracer: core.id,
-                        frames: Vec::new(),
-                    });
-                    stacks.last_mut().expect("just pushed")
-                }
-            };
+            let idx = stack_slot(&mut stacks, core.id);
+            let stack = &mut stacks[idx];
             let (parent, base) = match explicit_parent {
                 Some(h) if h.id != 0 => (Some(h.id), Some(h.path.clone())),
                 Some(_) => (None, None),
@@ -422,17 +450,8 @@ impl Tracer {
         }
         STACKS.with(|stacks| {
             let mut stacks = stacks.borrow_mut();
-            let stack = match stacks.iter_mut().position(|s| s.tracer == core.id) {
-                Some(i) => &mut stacks[i],
-                None => {
-                    stacks.push(TracerStack {
-                        tracer: core.id,
-                        frames: Vec::new(),
-                    });
-                    stacks.last_mut().expect("just pushed")
-                }
-            };
-            stack.frames.push(Frame {
+            let idx = stack_slot(&mut stacks, core.id);
+            stacks[idx].frames.push(Frame {
                 span: handle.id,
                 path: handle.path.clone(),
                 start: Instant::now(),
@@ -484,19 +503,51 @@ impl Tracer {
         let path = core
             .current_path()
             .unwrap_or_else(|| UNATTRIBUTED.to_owned());
-        let mut prov = lock_or_recover(&core.provenance);
-        let stats = prov.entry(path).or_default();
-        if hit {
-            stats.cache_hits += 1;
-        } else {
-            stats.cache_misses += 1;
+        {
+            let mut prov = lock_or_recover(&core.provenance);
+            let stats = prov.entry(path.clone()).or_default();
+            if hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+            }
         }
+        let at = core.now();
+        core.push_event(TraceEvent::Cache {
+            path,
+            hit,
+            thread: current_thread(),
+            at,
+        });
     }
 
     /// The metrics registry, if enabled. Instrumentation sites that only
     /// bump counters can use [`Tracer::counter_add`] instead.
     pub fn metrics(&self) -> Option<&Metrics> {
         self.core.as_deref().map(|c| &c.metrics)
+    }
+
+    /// The tracer's event bus, if enabled. Trace events and every metric
+    /// delta recorded through this tracer's registry fan out on it.
+    pub fn bus(&self) -> Option<&EventBus> {
+        self.core.as_deref().map(|c| c.metrics.bus())
+    }
+
+    /// Subscribes to the live event stream with the default ring capacity
+    /// ([`DEFAULT_SUBSCRIBER_CAPACITY`]). Disabled tracers return an
+    /// inert stream that yields nothing.
+    pub fn subscribe(&self) -> EventStream {
+        self.subscribe_with_capacity(DEFAULT_SUBSCRIBER_CAPACITY)
+    }
+
+    /// [`Tracer::subscribe`] with an explicit bounded ring capacity; when
+    /// the subscriber falls behind, the oldest events are dropped and
+    /// counted in [`EventStream::dropped_events`].
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> EventStream {
+        match self.core.as_deref() {
+            Some(core) => core.metrics.bus().subscribe(capacity),
+            None => EventStream::inert(),
+        }
     }
 
     /// Adds to a named counter in the tracer's metrics registry. No-op
@@ -512,6 +563,14 @@ impl Tracer {
     pub fn gauge_set(&self, name: &str, value: f64) {
         if let Some(core) = self.core.as_deref() {
             core.metrics.gauge_set(name, value);
+        }
+    }
+
+    /// Records a latency observation in the tracer's metrics registry.
+    /// No-op when disabled.
+    pub fn observe(&self, name: &str, latency: Duration) {
+        if let Some(core) = self.core.as_deref() {
+            core.metrics.observe(name, latency);
         }
     }
 
@@ -825,7 +884,7 @@ mod tests {
                     let last = open.pop().expect("exit without open span");
                     assert_eq!(last, *span, "exits must be LIFO per thread");
                 }
-                TraceEvent::Query { .. } => {}
+                TraceEvent::Query { .. } | TraceEvent::Cache { .. } => {}
             }
         }
         assert!(open.is_empty(), "all spans closed");
@@ -870,6 +929,55 @@ mod tests {
         assert_eq!(prov[0].1.cache_hits, 2);
         assert_eq!(prov[0].1.cache_misses, 1);
         assert_eq!(prov[0].1.queries(), 0, "cache events are not queries");
+        // cache lookups also land in the event log for live consumers
+        let hits = tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Cache { hit: true, .. }))
+            .count();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn subscribers_see_spans_queries_and_metric_deltas_live() {
+        let tracer = Tracer::enabled();
+        let stream = tracer.subscribe();
+        {
+            let _a = tracer.span("phase_a");
+            tracer.record_query(QueryKind::Select, Duration::from_micros(7));
+            tracer.record_cache(true);
+            tracer.counter_add("c", 3);
+        }
+        let events = stream.poll();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, crate::bus::BusEvent::Trace(TraceEvent::Enter { .. }))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, crate::bus::BusEvent::Trace(TraceEvent::Query { .. }))));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            crate::bus::BusEvent::Trace(TraceEvent::Cache { hit: true, .. })
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, crate::bus::BusEvent::Trace(TraceEvent::Exit { .. }))));
+        assert!(events.iter().any(
+            |e| matches!(e, crate::bus::BusEvent::Counter { name, delta: 3, .. } if name == "c")
+        ));
+        assert_eq!(stream.dropped_events(), 0);
+        // the archived log is unaffected by live subscription
+        assert_eq!(tracer.events().len(), 4, "enter, query, cache, exit");
+    }
+
+    #[test]
+    fn disabled_tracer_subscription_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(tracer.bus().is_none());
+        let stream = tracer.subscribe();
+        assert!(!stream.is_live());
+        drop(tracer.span("a"));
+        assert!(stream.poll().is_empty());
     }
 
     #[test]

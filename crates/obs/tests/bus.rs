@@ -1,0 +1,153 @@
+//! Event-bus contract tests: bounded overflow with exact drop accounting,
+//! non-blocking producers, and panic isolation between subscribers and
+//! the tracer.
+
+use re2x_obs::{BusEvent, EventBus, QueryKind, TraceEvent, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn counter(delta: u64) -> BusEvent {
+    BusEvent::Counter {
+        name: "c".to_owned(),
+        delta,
+        at: Duration::from_micros(delta),
+    }
+}
+
+/// The overflow contract, probed with a gated producer so the interleaving
+/// is fully deterministic: the consumer is barred from polling until every
+/// publish has happened, so exactly `published - capacity` drops occur,
+/// the counter reports exactly that, and the survivors are the newest
+/// `capacity` events in publish order.
+#[test]
+fn gated_producer_overflow_drops_oldest_and_counts_exactly() {
+    const CAPACITY: usize = 16;
+    const PUBLISHED: u64 = 100;
+
+    let bus = EventBus::new();
+    let stream = bus.subscribe(CAPACITY);
+    let gate = Arc::new(Barrier::new(2));
+
+    std::thread::scope(|scope| {
+        let bus = bus.clone();
+        let producer_gate = Arc::clone(&gate);
+        scope.spawn(move || {
+            for i in 0..PUBLISHED {
+                bus.publish(&counter(i));
+            }
+            producer_gate.wait(); // only now may the consumer look
+        });
+        gate.wait();
+    });
+
+    assert_eq!(
+        stream.dropped_events(),
+        PUBLISHED - CAPACITY as u64,
+        "every overflow increments the counter exactly once"
+    );
+    let got = stream.poll();
+    assert_eq!(got.len(), CAPACITY, "ring holds exactly its capacity");
+    let deltas: Vec<u64> = got
+        .iter()
+        .filter_map(|e| match e {
+            BusEvent::Counter { delta, .. } => Some(*delta),
+            _ => None,
+        })
+        .collect();
+    let expected: Vec<u64> = (PUBLISHED - CAPACITY as u64..PUBLISHED).collect();
+    assert_eq!(
+        deltas, expected,
+        "oldest dropped, newest kept, order intact"
+    );
+
+    // drained: the next poll is empty and nothing further was dropped
+    assert!(stream.poll().is_empty());
+    assert_eq!(stream.dropped_events(), PUBLISHED - CAPACITY as u64);
+}
+
+/// Producers are never blocked by a slow (here: absent) consumer — a
+/// publish storm far beyond capacity completes, and the total event count
+/// balances exactly: received + dropped = published.
+#[test]
+fn producers_never_block_and_accounting_balances() {
+    const CAPACITY: usize = 32;
+    let bus = EventBus::new();
+    let stream = bus.subscribe(CAPACITY);
+    let published = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let bus = bus.clone();
+            let published = Arc::clone(&published);
+            scope.spawn(move || {
+                for i in 0..500 {
+                    bus.publish(&counter(i));
+                    published.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let total = published.load(Ordering::Relaxed);
+    assert_eq!(total, 2_000, "no publish ever failed or blocked forever");
+    let received = stream.poll().len() as u64;
+    assert_eq!(
+        received + stream.dropped_events(),
+        total,
+        "every published event was either delivered or counted as dropped"
+    );
+    assert_eq!(received, CAPACITY as u64, "ring was full at the end");
+}
+
+/// A subscriber thread that panics (dropping its stream mid-unwind) must
+/// not poison the tracer: other subscribers keep receiving and the
+/// tracer's own log keeps growing.
+#[test]
+fn panicking_subscriber_never_poisons_the_tracer() {
+    let tracer = Tracer::enabled();
+    let survivor = tracer.subscribe();
+
+    let result = std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                let doomed = tracer.subscribe();
+                drop(tracer.span("before"));
+                let seen = doomed.poll();
+                assert!(!seen.is_empty(), "subscriber saw the first span");
+                panic!("subscriber dies with its stream live");
+            })
+            .join()
+    });
+    assert!(
+        result.is_err(),
+        "the subscriber must actually have panicked"
+    );
+
+    // the tracer keeps publishing to the remaining subscriber…
+    drop(tracer.span("after"));
+    tracer.counter_add("steps", 1);
+    let events = survivor.poll();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            BusEvent::Trace(TraceEvent::Enter { path, .. }) if path == "after"
+        )),
+        "survivor still receives spans after the panic"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, BusEvent::Counter { name, .. } if name == "steps")),
+        "survivor still receives metric deltas after the panic"
+    );
+
+    // …and the archived log, provenance, and metrics are intact
+    tracer.record_query(QueryKind::Select, Duration::from_micros(1));
+    assert!(tracer.events().len() >= 5, "enter/exit ×2 + query");
+    assert_eq!(
+        tracer.bus().map(|b| b.subscriber_count()),
+        Some(1),
+        "the doomed stream unregistered during unwinding"
+    );
+}

@@ -4,12 +4,15 @@
 //! `lock_or_recover`, so the event log, provenance, and metrics registry
 //! keep serving after the panic.
 
-use re2x_obs::{QueryKind, TraceEvent, Tracer};
+use re2x_obs::{BusEvent, QueryKind, TraceEvent, Tracer};
 use std::time::Duration;
 
 #[test]
 fn panicking_worker_leaves_the_registry_usable() {
     let tracer = Tracer::enabled();
+
+    // A live subscriber rides along: the panic must not sever the bus.
+    let stream = tracer.subscribe();
 
     // A worker panics mid-span, with a query already attributed and a
     // counter already bumped. The span guard unwinds (its Drop pushes the
@@ -79,4 +82,36 @@ fn panicking_worker_leaves_the_registry_usable() {
         !metrics.snapshot().counters.is_empty(),
         "snapshot still works after the panic"
     );
+
+    // The subscriber saw events from before, during (the unwinding Exit),
+    // and after the panic — the bus never went dark.
+    let live = stream.poll();
+    let live_paths: Vec<&str> = live
+        .iter()
+        .filter_map(|e| match e {
+            BusEvent::Trace(TraceEvent::Enter { path, .. }) => Some(path.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        live_paths.contains(&"doomed"),
+        "pre-panic fan-out: {live_paths:?}"
+    );
+    assert!(
+        live_paths.contains(&"after"),
+        "post-panic fan-out: {live_paths:?}"
+    );
+    assert!(
+        live.iter().any(|e| matches!(
+            e,
+            BusEvent::Trace(TraceEvent::Exit { path, .. }) if path == "doomed"
+        )),
+        "the Exit pushed during unwinding reached the subscriber"
+    );
+    assert!(
+        live.iter()
+            .any(|e| matches!(e, BusEvent::Counter { name, .. } if name == "worker.steps")),
+        "metric deltas fan out across the panic too"
+    );
+    assert_eq!(stream.dropped_events(), 0);
 }

@@ -83,7 +83,7 @@ impl PartitionLayout {
             return 1.0;
         }
         let mean = total as f64 / self.shard_fact_triples.len() as f64;
-        let max = *self.shard_fact_triples.iter().max().expect("non-empty") as f64;
+        let max = self.shard_fact_triples.iter().max().copied().unwrap_or(0) as f64;
         max / mean
     }
 }

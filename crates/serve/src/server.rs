@@ -318,6 +318,13 @@ impl Server {
         &self.inner.metrics
     }
 
+    /// Subscribes a live consumer (e.g. the `re2x-tui` dashboard) to the
+    /// server's metric event bus with a bounded ring of `capacity` events.
+    /// Slow consumers lose oldest-first and never block a worker.
+    pub fn subscribe(&self, capacity: usize) -> re2x_obs::EventStream {
+        self.inner.metrics.subscribe(capacity)
+    }
+
     /// Registered tenant identifiers, sorted.
     pub fn tenants(&self) -> Vec<String> {
         let mut ids: Vec<String> = self.inner.tenants.keys().cloned().collect();
@@ -362,15 +369,6 @@ struct RoundObserver {
     tenant: String,
 }
 
-fn phase_name(phase: SessionPhase) -> &'static str {
-    match phase {
-        SessionPhase::Synthesize => "synthesize",
-        SessionPhase::Execute => "execute",
-        SessionPhase::Refine => "refine",
-        SessionPhase::Preview => "preview",
-    }
-}
-
 impl SessionObserver for RoundObserver {
     fn on_phase(&self, phase: SessionPhase, cost: StepCost) {
         let tenant = self.tenant.as_str();
@@ -381,7 +379,7 @@ impl SessionObserver for RoundObserver {
         self.metrics.counter_add(
             &label(
                 "serve.rounds",
-                &[("tenant", tenant), ("phase", phase_name(phase))],
+                &[("tenant", tenant), ("phase", phase.as_str())],
             ),
             1,
         );

@@ -268,8 +268,13 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         // concurrent misses proceed in parallel (at worst re-evaluating)
         let solutions = self.inner.select(query)?;
         let mut state = lock_or_recover(&self.state);
-        if state.selects.insert(key, solutions.clone()) {
+        let evicted = state.selects.insert(key, solutions.clone());
+        if evicted {
             state.evictions += 1;
+        }
+        drop(state);
+        if evicted {
+            self.tracer.counter_add("cache.evictions", 1);
         }
         Ok(solutions)
     }
@@ -289,8 +294,13 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         self.tracer.record_cache(false);
         let answer = self.inner.ask(query)?;
         let mut state = lock_or_recover(&self.state);
-        if state.asks.insert(key, answer) {
+        let evicted = state.asks.insert(key, answer);
+        if evicted {
             state.evictions += 1;
+        }
+        drop(state);
+        if evicted {
+            self.tracer.counter_add("cache.evictions", 1);
         }
         Ok(answer)
     }
@@ -312,8 +322,13 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         self.tracer.record_cache(false);
         let hits = self.inner.keyword_search(keyword, exact);
         let mut state = lock_or_recover(&self.state);
-        if state.keywords.insert(key, hits.clone()) {
+        let evicted = state.keywords.insert(key, hits.clone());
+        if evicted {
             state.evictions += 1;
+        }
+        drop(state);
+        if evicted {
+            self.tracer.counter_add("cache.evictions", 1);
         }
         hits
     }

@@ -672,7 +672,9 @@ fn effective_items(query: &Query) -> Vec<SelectItem> {
 
 fn merge_rows(shard_results: Vec<Solutions>, distinct: bool) -> Solutions {
     let mut iter = shard_results.into_iter();
-    let mut merged = iter.next().expect("at least one shard");
+    let Some(mut merged) = iter.next() else {
+        return Solutions::default();
+    };
     for part in iter {
         merged.rows.extend(part.rows);
     }

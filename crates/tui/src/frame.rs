@@ -1,0 +1,105 @@
+//! The render target: a list of styled lines. A `Frame` is plain data —
+//! [`Frame::to_plain`] is what golden tests pin byte-for-byte, and
+//! [`Frame::to_ansi`] adds the escape sequences for a live terminal.
+
+/// Visual role of one frame line; the ANSI encoder maps roles to SGR
+/// sequences, the plain encoder ignores them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Top border / title line.
+    Title,
+    /// Section divider.
+    Section,
+    /// Ordinary content.
+    Text,
+}
+
+/// One rendered dashboard frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Interior width the frame was rendered at (characters).
+    pub width: usize,
+    lines: Vec<(Style, String)>,
+}
+
+impl Frame {
+    /// An empty frame of the given width.
+    pub fn new(width: usize) -> Frame {
+        Frame {
+            width,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends one styled line.
+    pub fn push(&mut self, style: Style, line: String) {
+        self.lines.push((style, line));
+    }
+
+    /// The lines, in order.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().map(|(_, l)| l.as_str())
+    }
+
+    /// Number of lines.
+    pub fn height(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Style-free text, one line per `\n`, trailing newline included.
+    /// This is the golden-test encoding.
+    pub fn to_plain(&self) -> String {
+        let mut out = String::new();
+        for (_, line) in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// ANSI encoding for a live terminal: cursor home + per-line
+    /// clear-to-end (flicker-free repaint without a full screen clear),
+    /// titles bold cyan, section dividers bold.
+    pub fn to_ansi(&self) -> String {
+        let mut out = String::from("\u{1b}[H");
+        for (style, line) in &self.lines {
+            match style {
+                Style::Title => out.push_str("\u{1b}[1;36m"),
+                Style::Section => out.push_str("\u{1b}[1m"),
+                Style::Text => {}
+            }
+            out.push_str(line);
+            if !matches!(style, Style::Text) {
+                out.push_str("\u{1b}[0m");
+            }
+            out.push_str("\u{1b}[K\r\n");
+        }
+        out.push_str("\u{1b}[J");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_encoding_is_style_free() {
+        let mut frame = Frame::new(10);
+        frame.push(Style::Title, "title".to_owned());
+        frame.push(Style::Text, "body".to_owned());
+        assert_eq!(frame.to_plain(), "title\nbody\n");
+        assert_eq!(frame.height(), 2);
+    }
+
+    #[test]
+    fn ansi_encoding_is_pinned() {
+        let mut frame = Frame::new(10);
+        frame.push(Style::Title, "t".to_owned());
+        frame.push(Style::Text, "b".to_owned());
+        assert_eq!(
+            frame.to_ansi(),
+            "\u{1b}[H\u{1b}[1;36mt\u{1b}[0m\u{1b}[K\r\nb\u{1b}[K\r\n\u{1b}[J"
+        );
+    }
+}

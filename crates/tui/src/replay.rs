@@ -1,0 +1,95 @@
+//! Offline replay: fold a recorded event log into frames at a fixed
+//! event-time cadence. Entirely pure — frame boundaries come from event
+//! timestamps, never from a wall clock — so `repro watch --headless`
+//! renders byte-identical output in CI with no terminal and no network.
+
+use crate::frame::Frame;
+use crate::render::{render_with, RenderOptions};
+use crate::state::DashboardState;
+use re2x_obs::{fmt_duration, BusEvent};
+use std::time::Duration;
+
+/// Default event-time cadence between frames.
+pub const FRAME_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Folds `events` in timestamp order, emitting a frame each time event
+/// time crosses an `interval` boundary, plus one final frame after the
+/// last event. Returns `(boundary, frame)` pairs — the boundary is what a
+/// live player paces against.
+pub fn frames(
+    events: &[BusEvent],
+    interval: Duration,
+    opts: RenderOptions,
+) -> Vec<(Duration, Frame)> {
+    let mut state = DashboardState::new();
+    let mut out = Vec::new();
+    let interval = interval.max(Duration::from_millis(1));
+    let mut next_boundary = interval;
+    for event in events {
+        while event.at() >= next_boundary {
+            out.push((next_boundary, render_with(&state, opts)));
+            next_boundary += interval;
+        }
+        state.apply(event);
+    }
+    out.push((state.clock, render_with(&state, opts)));
+    out
+}
+
+/// Renders the whole replay as one concatenated plain-text script — the
+/// golden-file format checked by `repro watch --headless`.
+pub fn render_script(events: &[BusEvent], interval: Duration, opts: RenderOptions) -> String {
+    let all = frames(events, interval, opts);
+    let mut out = String::new();
+    let last = all.len().saturating_sub(1);
+    for (i, (boundary, frame)) in all.iter().enumerate() {
+        if i == last {
+            out.push_str(&format!("=== final @ {} ===\n", fmt_duration(*boundary)));
+        } else {
+            out.push_str(&format!(
+                "=== frame {} @ {} ===\n",
+                i + 1,
+                fmt_duration(*boundary)
+            ));
+        }
+        out.push_str(&frame.to_plain());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(at_ms: u64) -> BusEvent {
+        BusEvent::Counter {
+            name: "c".to_owned(),
+            delta: 1,
+            at: Duration::from_millis(at_ms),
+        }
+    }
+
+    #[test]
+    fn frames_split_on_event_time_boundaries() {
+        let events = vec![counter(10), counter(300), counter(620)];
+        let all = frames(&events, FRAME_INTERVAL, RenderOptions::default());
+        // boundaries at 250ms and 500ms, plus the final frame
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].0, Duration::from_millis(250));
+        assert_eq!(all[1].0, Duration::from_millis(500));
+        assert_eq!(all[2].0, Duration::from_millis(620));
+        assert!(all[0].1.to_plain().contains("1 events"));
+        assert!(all[1].1.to_plain().contains("2 events"));
+        assert!(all[2].1.to_plain().contains("3 events"));
+    }
+
+    #[test]
+    fn script_renders_identically_twice() {
+        let events = vec![counter(10), counter(300)];
+        let a = render_script(&events, FRAME_INTERVAL, RenderOptions::default());
+        let b = render_script(&events, FRAME_INTERVAL, RenderOptions::default());
+        assert_eq!(a, b);
+        assert!(a.starts_with("=== frame 1 @ 250.00ms ===\n"));
+        assert!(a.contains("=== final @ 300.00ms ===\n"));
+    }
+}

@@ -158,4 +158,18 @@ else
     echo "serve.json: present (python3 unavailable, structural check only)"
 fi
 
+echo "== watch: headless golden-frame replay (offline) =="
+# The TUI replay is a pure function of the recorded event log: rendering
+# the committed scripted-session fixture must reproduce the committed
+# golden frame script byte-for-byte (no wall clock, no terminal, no
+# network in the render path). repro exits nonzero on any drift.
+cargo run --release --offline -p re2x-bench --bin repro -- --out bench_results watch --headless
+grep -q "golden frames matched byte-for-byte" bench_results/watch.txt
+# determinism double-check: a second replay must emit identical bytes
+cp bench_results/watch.txt bench_results/watch.first.txt
+cargo run --release --offline -p re2x-bench --bin repro -- --out bench_results watch --headless
+cmp bench_results/watch.first.txt bench_results/watch.txt
+rm -f bench_results/watch.first.txt
+echo "watch: golden frames stable across runs"
+
 echo "verify: OK"

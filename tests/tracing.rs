@@ -74,7 +74,7 @@ fn jsonl_spans_nest_and_self_is_bounded_by_wall() {
                 );
                 exited += 1;
             }
-            TraceEvent::Query { .. } => {}
+            TraceEvent::Query { .. } | TraceEvent::Cache { .. } => {}
         }
     }
     assert_eq!(exited, entered.len(), "every entered span also exited");

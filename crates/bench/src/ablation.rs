@@ -317,7 +317,7 @@ pub fn ablation_planner(prepared: &PreparedDataset) -> String {
     let graph = prepared.endpoint.graph();
     let mut t = Table::new(["planner", "execution time", "rows"]);
     for (name, mode) in [
-        ("greedy (default)", PlanMode::Greedy),
+        ("planned (default)", PlanMode::Planned),
         ("in-order", PlanMode::InOrder),
     ] {
         let start = Instant::now();

@@ -35,7 +35,7 @@ struct Args {
     watch: re2x_bench::watch::WatchConfig,
 }
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "table1",
     "table2",
     "table3",
@@ -52,6 +52,7 @@ const ALL: [&str; 16] = [
     "sharding",
     "serve",
     "watch",
+    "plan",
 ];
 
 fn parse_args() -> Args {
@@ -280,6 +281,35 @@ fn main() {
         );
         let _ = std::fs::create_dir_all(&args.out);
         let json_path = args.out.join("serve.json");
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("could not write {}: {e}", json_path.display());
+        } else {
+            println!("wrote {}", json_path.display());
+        }
+    }
+
+    if wants("plan") {
+        // Planner + executor ablation on the dbpedia M-to-N dataset: each
+        // workload query's textual order opens with a disconnected
+        // hierarchy pattern, so the naive in-order baseline pays a
+        // cartesian blowup the greedy planner avoids; columnar-vs-row is
+        // measured under the planned order. All four configurations must
+        // produce identical solutions.
+        let observations = if args.scale_name == "smoke" {
+            600
+        } else {
+            1_500
+        };
+        eprintln!("running planner ablation on {observations} dbpedia observations …");
+        let report = re2x_bench::plan::run(observations, args.seed);
+        emit(
+            &args.out,
+            "plan",
+            "Plan: greedy planning + vectorized execution vs naive baselines (dbpedia M-to-N)",
+            &report.summary(),
+        );
+        let _ = std::fs::create_dir_all(&args.out);
+        let json_path = args.out.join("plan.json");
         if let Err(e) = std::fs::write(&json_path, report.to_json()) {
             eprintln!("could not write {}: {e}", json_path.display());
         } else {

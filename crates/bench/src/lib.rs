@@ -17,6 +17,7 @@ pub mod ablation;
 pub mod env;
 pub mod figures;
 pub mod micro;
+pub mod plan;
 pub mod report;
 pub mod serve;
 pub mod sharding;

@@ -49,7 +49,9 @@ fn panic_freedom_baseline_only_shrinks() {
     // The serve PR burned the debt down from 51 to 36 panic-freedom
     // entries (datagen member lookups, rdf/sparql lexer `peeked`
     // expects); the observability PR took it to 31 (tracer stack slots,
-    // session history indexing, shard-merge/partition guards). This
+    // session history indexing, shard-merge/partition guards); the
+    // vectorized-execution PR took it to 22 (graph.rs remove-path
+    // expects, plan_block selection, parser agg-keyword re-probe). This
     // ratchet keeps the ceiling where it landed: new panic sites must be
     // fixed, not baselined.
     let baseline = std::fs::read_to_string(workspace_root().join("lint-baseline.txt"))
@@ -59,8 +61,8 @@ fn panic_freedom_baseline_only_shrinks() {
         .filter(|l| l.starts_with("panic-freedom\t"))
         .count();
     assert!(
-        panic_entries <= 31,
-        "panic-freedom baseline grew back to {panic_entries} entries (ceiling is 31); \
+        panic_entries <= 22,
+        "panic-freedom baseline grew back to {panic_entries} entries (ceiling is 22); \
          fix the panic site instead of re-baselining it"
     );
 }

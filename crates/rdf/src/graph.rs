@@ -6,6 +6,20 @@
 //! is the standard indexing scheme of native RDF stores and the property the
 //! SPARQL evaluator in `re2x-sparql` relies on for its selectivity
 //! estimates.
+//!
+//! Two invariants beyond plain index coverage:
+//!
+//! * **Posting lists are sorted by [`TermId`].** Every inner `Vec<TermId>`
+//!   of the three indexes is kept sorted on insert (binary-search
+//!   insertion), so membership tests are `O(log n)` and the slices returned
+//!   by [`Graph::objects`]/[`Graph::subjects`]/[`Graph::predicates_between`]
+//!   are sorted adjacency views the vectorized merge-join executor in
+//!   `re2x-sparql` intersects directly.
+//! * **Per-predicate statistics are incremental.** Triple counts and
+//!   distinct-subject counts per predicate are maintained in the
+//!   insert/remove paths, so the query planner's cardinality estimates
+//!   ([`Graph::predicate_cardinality`], [`Graph::predicate_stats`]) are
+//!   `O(1)` lookups instead of index walks.
 
 use crate::hash::FxHashMap;
 use crate::interner::{Interner, TermId};
@@ -26,6 +40,22 @@ pub struct Triple {
 
 type TwoLevelIndex = FxHashMap<TermId, FxHashMap<TermId, Vec<TermId>>>;
 
+/// Incrementally maintained statistics for one predicate.
+///
+/// Updated on every [`Graph::insert_ids`]/[`Graph::remove_ids`], so reads
+/// are `O(1)`; the distinct-object count comes for free from the POS
+/// index's key set and is reported alongside in
+/// [`Graph::predicate_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Number of triples using the predicate.
+    pub triples: usize,
+    /// Number of distinct subjects appearing with the predicate.
+    pub distinct_subjects: usize,
+    /// Number of distinct objects appearing with the predicate.
+    pub distinct_objects: usize,
+}
+
 /// An in-memory RDF graph with full index coverage and a full-text index
 /// over its literals.
 ///
@@ -44,6 +74,10 @@ pub struct Graph {
     /// object → subject → predicates.
     osp: TwoLevelIndex,
     len: usize,
+    /// predicate → incrementally maintained counts; entries are dropped
+    /// when a predicate's last triple is removed, so iteration never sees
+    /// fully-deleted predicates.
+    pred_stats: FxHashMap<TermId, PredicateStats>,
     text: Arc<TextIndex>,
 }
 
@@ -125,6 +159,7 @@ impl Graph {
             pos: TwoLevelIndex::default(),
             osp: TwoLevelIndex::default(),
             len: 0,
+            pred_stats: FxHashMap::default(),
             text: self.text.clone(),
         }
     }
@@ -132,17 +167,31 @@ impl Graph {
     // ---- mutation ---------------------------------------------------------
 
     /// Inserts a triple of already-interned ids. Returns `false` if it was
-    /// already present.
+    /// already present. Posting lists stay sorted (binary-search
+    /// insertion), and the per-predicate statistics are updated in place.
     pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         let objects = self.spo.entry(s).or_default().entry(p).or_default();
-        if objects.contains(&o) {
+        let fresh_subject = objects.is_empty();
+        let Err(slot) = objects.binary_search(&o) else {
             return false;
+        };
+        objects.insert(slot, o);
+        let by_object = self.pos.entry(p).or_default();
+        let fresh_pred_object = !by_object.contains_key(&o);
+        let subjects = by_object.entry(o).or_default();
+        if let Err(slot) = subjects.binary_search(&s) {
+            subjects.insert(slot, s);
         }
-        objects.push(o);
-        self.pos.entry(p).or_default().entry(o).or_default().push(s);
         let fresh_object = !self.osp.contains_key(&o);
-        self.osp.entry(o).or_default().entry(s).or_default().push(p);
+        let predicates = self.osp.entry(o).or_default().entry(s).or_default();
+        if let Err(slot) = predicates.binary_search(&p) {
+            predicates.insert(slot, p);
+        }
         self.len += 1;
+        let stats = self.pred_stats.entry(p).or_default();
+        stats.triples += 1;
+        stats.distinct_subjects += usize::from(fresh_subject);
+        stats.distinct_objects += usize::from(fresh_pred_object);
         if fresh_object {
             // A literal unindexed by a prior removal becomes searchable again
             // the moment a triple uses it as an object.
@@ -170,13 +219,16 @@ impl Graph {
 
     /// Removes a triple. Returns `false` if it was not present.
     ///
-    /// Index entries emptied by the removal are pruned so enumerations
+    /// The per-predicate statistics shrink in lockstep (an add→remove→add
+    /// cycle leaves them exact), and index entries emptied by the removal
+    /// are pruned so enumerations
     /// (`predicates_from`, `objects_of_predicate`, …) and the planner's
     /// cardinality estimates never see fully-deleted terms, and a literal
     /// object no longer used by any triple is dropped from the full-text
     /// index (it resurfaces if a triple re-adopts it, see
     /// [`Graph::insert_ids`]).
     pub fn remove_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let mut emptied_subject = false;
         {
             let Some(by_p) = self.spo.get_mut(&s) else {
                 return false;
@@ -184,44 +236,60 @@ impl Graph {
             let Some(objects) = by_p.get_mut(&p) else {
                 return false;
             };
-            let Some(pos_o) = objects.iter().position(|&x| x == o) else {
+            let Ok(pos_o) = objects.binary_search(&o) else {
                 return false;
             };
-            objects.swap_remove(pos_o);
+            objects.remove(pos_o);
             if objects.is_empty() {
+                emptied_subject = true;
                 by_p.remove(&p);
                 if by_p.is_empty() {
                     self.spo.remove(&s);
                 }
             }
         }
-        let by_o = self
-            .pos
-            .get_mut(&p)
-            .expect("index invariant: pos entry exists");
-        let subjects = by_o.get_mut(&o).expect("index invariant: pos entry exists");
-        let i = subjects.iter().position(|&x| x == s).expect("pos has s");
-        subjects.swap_remove(i);
-        if subjects.is_empty() {
-            by_o.remove(&o);
-            if by_o.is_empty() {
-                self.pos.remove(&p);
+        // The SPO index held the triple, so the mirror indexes hold it too;
+        // the lookups below cannot miss. They are written as non-panicking
+        // if-lets all the same: a (hypothetically) desynced mirror degrades
+        // to a stale posting instead of poisoning every lock above us, and
+        // the index-agreement property suite would catch the desync.
+        let mut emptied_pred_object = false;
+        if let Some(by_o) = self.pos.get_mut(&p) {
+            if let Some(subjects) = by_o.get_mut(&o) {
+                if let Ok(i) = subjects.binary_search(&s) {
+                    subjects.remove(i);
+                }
+                if subjects.is_empty() {
+                    emptied_pred_object = true;
+                    by_o.remove(&o);
+                    if by_o.is_empty() {
+                        self.pos.remove(&p);
+                    }
+                }
             }
         }
-        let by_s = self
-            .osp
-            .get_mut(&o)
-            .expect("index invariant: osp entry exists");
-        let predicates = by_s.get_mut(&s).expect("index invariant: osp entry exists");
-        let i = predicates.iter().position(|&x| x == p).expect("osp has p");
-        predicates.swap_remove(i);
-        if predicates.is_empty() {
-            by_s.remove(&s);
-            if by_s.is_empty() {
-                self.osp.remove(&o);
+        if let Some(by_s) = self.osp.get_mut(&o) {
+            if let Some(predicates) = by_s.get_mut(&s) {
+                if let Ok(i) = predicates.binary_search(&p) {
+                    predicates.remove(i);
+                }
+                if predicates.is_empty() {
+                    by_s.remove(&s);
+                    if by_s.is_empty() {
+                        self.osp.remove(&o);
+                    }
+                }
             }
         }
         self.len -= 1;
+        if let Some(stats) = self.pred_stats.get_mut(&p) {
+            stats.triples -= 1;
+            stats.distinct_subjects -= usize::from(emptied_subject);
+            stats.distinct_objects -= usize::from(emptied_pred_object);
+            if stats.triples == 0 {
+                self.pred_stats.remove(&p);
+            }
+        }
         if !self.osp.contains_key(&o) {
             if let Some(lexical) = self
                 .interner
@@ -247,15 +315,15 @@ impl Graph {
         self.len == 0
     }
 
-    /// Membership test.
+    /// Membership test (binary search over the sorted posting list).
     pub fn contains_ids(&self, s: TermId, p: TermId, o: TermId) -> bool {
         self.spo
             .get(&s)
             .and_then(|m| m.get(&p))
-            .is_some_and(|objects| objects.contains(&o))
+            .is_some_and(|objects| objects.binary_search(&o).is_ok())
     }
 
-    /// Objects of `(s, p, ?)`.
+    /// Objects of `(s, p, ?)`, sorted by id.
     pub fn objects(&self, s: TermId, p: TermId) -> &[TermId] {
         self.spo
             .get(&s)
@@ -263,7 +331,7 @@ impl Graph {
             .map_or(&[], Vec::as_slice)
     }
 
-    /// Subjects of `(?, p, o)`.
+    /// Subjects of `(?, p, o)`, sorted by id.
     pub fn subjects(&self, p: TermId, o: TermId) -> &[TermId] {
         self.pos
             .get(&p)
@@ -271,7 +339,7 @@ impl Graph {
             .map_or(&[], Vec::as_slice)
     }
 
-    /// Predicates of `(s, ?, o)`.
+    /// Predicates of `(s, ?, o)`, sorted by id.
     pub fn predicates_between(&self, s: TermId, o: TermId) -> &[TermId] {
         self.osp
             .get(&o)
@@ -307,11 +375,17 @@ impl Graph {
             .unwrap_or_default()
     }
 
-    /// Number of triples with predicate `p`.
+    /// Number of triples with predicate `p` — an `O(1)` lookup of the
+    /// incrementally maintained count (the planner calls this inside its
+    /// greedy ordering loop, so it must not walk the POS index).
     pub fn predicate_cardinality(&self, p: TermId) -> usize {
-        self.pos
-            .get(&p)
-            .map_or(0, |m| m.values().map(Vec::len).sum())
+        self.pred_stats.get(&p).map_or(0, |st| st.triples)
+    }
+
+    /// Incrementally maintained statistics for predicate `p`: triple count
+    /// and distinct subject/object counts, all `O(1)`.
+    pub fn predicate_stats(&self, p: TermId) -> PredicateStats {
+        self.pred_stats.get(&p).copied().unwrap_or_default()
     }
 
     /// Number of triples matching a pattern (`None` = wildcard) without
@@ -638,6 +712,91 @@ mod tests {
         assert!(shard.insert_ids(obs, origin, syria));
         assert_eq!(shard.len(), 1);
         assert_eq!(g.len(), 2);
+    }
+
+    /// Recomputes a predicate's statistics the slow way, for comparison
+    /// against the incrementally maintained counts.
+    fn recount(g: &Graph, p: TermId) -> PredicateStats {
+        let triples = g.matching(None, Some(p), None);
+        let mut subjects: Vec<TermId> = triples.iter().map(|t| t.s).collect();
+        subjects.sort_unstable();
+        subjects.dedup();
+        let mut objects: Vec<TermId> = triples.iter().map(|t| t.o).collect();
+        objects.sort_unstable();
+        objects.dedup();
+        PredicateStats {
+            triples: triples.len(),
+            distinct_subjects: subjects.len(),
+            distinct_objects: objects.len(),
+        }
+    }
+
+    #[test]
+    fn add_remove_add_keeps_predicate_counts_exact() {
+        let mut g = Graph::new();
+        let s1 = g.intern_iri("http://ex/s1");
+        let s2 = g.intern_iri("http://ex/s2");
+        let p = g.intern_iri("http://ex/p");
+        let o1 = g.intern_iri("http://ex/o1");
+        let o2 = g.intern_iri("http://ex/o2");
+        // add: two subjects, two objects, three triples
+        for (s, o) in [(s1, o1), (s1, o2), (s2, o1)] {
+            assert!(g.insert_ids(s, p, o));
+        }
+        assert_eq!(g.predicate_cardinality(p), 3);
+        assert_eq!(g.predicate_stats(p), recount(&g, p));
+        // remove down to zero, checking the stats track every step
+        assert!(g.remove_ids(s1, p, o2));
+        assert_eq!(g.predicate_stats(p), recount(&g, p));
+        assert_eq!(g.predicate_stats(p).distinct_objects, 1);
+        assert!(g.remove_ids(s1, p, o1));
+        assert_eq!(g.predicate_stats(p), recount(&g, p));
+        assert_eq!(g.predicate_stats(p).distinct_subjects, 1);
+        assert!(g.remove_ids(s2, p, o1));
+        assert_eq!(g.predicate_cardinality(p), 0);
+        assert_eq!(g.predicate_stats(p), PredicateStats::default());
+        // re-add: counts must come back exact, not doubled or stale
+        assert!(g.insert_ids(s1, p, o1));
+        assert!(g.insert_ids(s2, p, o2));
+        assert_eq!(g.predicate_cardinality(p), 2);
+        assert_eq!(
+            g.predicate_stats(p),
+            PredicateStats {
+                triples: 2,
+                distinct_subjects: 2,
+                distinct_objects: 2,
+            }
+        );
+        assert_eq!(g.predicate_stats(p), recount(&g, p));
+        // duplicate insert must not disturb the counts
+        assert!(!g.insert_ids(s1, p, o1));
+        assert_eq!(g.predicate_stats(p), recount(&g, p));
+    }
+
+    #[test]
+    fn posting_lists_are_sorted() {
+        let mut g = Graph::new();
+        let p = g.intern_iri("http://ex/p");
+        let s = g.intern_iri("http://ex/s");
+        // intern objects first so ids are allocated, then insert in a
+        // deliberately non-ascending order
+        let objects: Vec<TermId> = (0..20)
+            .map(|i| g.intern_iri(format!("http://ex/o{i}")))
+            .collect();
+        for &o in objects.iter().rev() {
+            g.insert_ids(s, p, o);
+        }
+        for &o in objects.iter().skip(7) {
+            g.insert_ids(o, p, s);
+        }
+        assert!(g.objects(s, p).windows(2).all(|w| w[0] < w[1]));
+        assert!(g.subjects(p, s).windows(2).all(|w| w[0] < w[1]));
+        let mid = objects[10];
+        assert!(g.predicates_between(s, mid).windows(2).all(|w| w[0] < w[1]));
+        assert!(g.contains_ids(s, p, mid));
+        assert!(g.remove_ids(s, p, mid));
+        assert!(!g.contains_ids(s, p, mid));
+        assert!(g.objects(s, p).windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

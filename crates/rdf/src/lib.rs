@@ -54,7 +54,7 @@ pub mod text;
 pub mod vocab;
 
 pub use error::RdfError;
-pub use graph::{Graph, Triple};
+pub use graph::{Graph, PredicateStats, Triple};
 pub use interner::{Interner, TermId};
 pub use partition::{
     partition, partition_observations, PartitionLayout, Partitioned, PredicateRole,

@@ -122,6 +122,69 @@ fn indexes_agree_with_set_model() {
     });
 }
 
+/// The incrementally maintained per-predicate statistics agree with a full
+/// recount after any interleaving of inserts and removes, and every
+/// posting list stays sorted (the invariant the vectorized merge-join
+/// executor in `re2x-sparql` intersects on).
+#[test]
+fn predicate_stats_and_sortedness_survive_interleavings() {
+    check("predicate_stats_incremental", |rng| {
+        let ops = gen_ops(rng);
+        let mut graph = Graph::new();
+        let mut model: Vec<(Term, Term, Term)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(s, p, o) => {
+                    if graph.insert(s.clone(), p.clone(), o.clone()) {
+                        model.push((s, p, o));
+                    }
+                }
+                Op::RemoveNth(i) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let (s, p, o) = model.remove(i % model.len());
+                    let sid = graph.term_id(&s).expect("inserted");
+                    let pid = graph.term_id(&p).expect("inserted");
+                    let oid = graph.term_id(&o).expect("inserted");
+                    assert!(graph.remove_ids(sid, pid, oid));
+                }
+            }
+        }
+        // stats agree with a recount for every predicate ever seen
+        let mut preds: Vec<Term> = model.iter().map(|(_, p, _)| p.clone()).collect();
+        preds.sort_unstable_by_key(|a| a.to_string());
+        preds.dedup();
+        for p in &preds {
+            let pid = graph.term_id(p).expect("known");
+            let triples = graph.matching(None, Some(pid), None);
+            let mut subjects: Vec<_> = triples.iter().map(|t| t.s).collect();
+            subjects.sort_unstable();
+            subjects.dedup();
+            let mut objects: Vec<_> = triples.iter().map(|t| t.o).collect();
+            objects.sort_unstable();
+            objects.dedup();
+            let stats = graph.predicate_stats(pid);
+            assert_eq!(stats.triples, triples.len(), "triples for {p}");
+            assert_eq!(stats.distinct_subjects, subjects.len(), "subjects for {p}");
+            assert_eq!(stats.distinct_objects, objects.len(), "objects for {p}");
+            assert_eq!(graph.predicate_cardinality(pid), triples.len());
+        }
+        // sorted adjacency views
+        for (s, p, o) in &model {
+            let sid = graph.term_id(s).expect("known");
+            let pid = graph.term_id(p).expect("known");
+            let oid = graph.term_id(o).expect("known");
+            assert!(graph.objects(sid, pid).windows(2).all(|w| w[0] < w[1]));
+            assert!(graph.subjects(pid, oid).windows(2).all(|w| w[0] < w[1]));
+            assert!(graph
+                .predicates_between(sid, oid)
+                .windows(2)
+                .all(|w| w[0] < w[1]));
+        }
+    });
+}
+
 /// N-Triples serialization round-trips arbitrary graphs bytewise.
 #[test]
 fn ntriples_round_trip() {

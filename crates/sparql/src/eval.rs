@@ -7,6 +7,8 @@
 //! observations run in time proportional to the matching observations
 //! rather than the full store.
 
+mod columnar;
+
 use crate::ast::*;
 use crate::error::SparqlError;
 use crate::expr::{eval_expr, EvalContext};
@@ -17,16 +19,30 @@ use re2x_rdf::{Graph, Term, TermId};
 /// Join-order planning strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlanMode {
-    /// Greedy selectivity-based ordering (the default).
+    /// Greedy selectivity-based ordering from index statistics (the
+    /// default).
     #[default]
-    Greedy,
+    Planned,
     /// Evaluate patterns in textual order (the ablation baseline).
     InOrder,
 }
 
+/// Physical execution strategy for flat basic graph patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Sorted-ID merge joins over columnar batches of interned term ids
+    /// (the default). Falls back to [`ExecMode::Row`] automatically for
+    /// shapes the columnar kernel does not cover (FILTER-interleaved
+    /// blocks, OPTIONAL/UNION children).
+    #[default]
+    Columnar,
+    /// Binding-at-a-time row extension (the reference executor).
+    Row,
+}
+
 /// Evaluates a query against a graph.
 pub fn evaluate(graph: &Graph, query: &Query) -> Result<Solutions, SparqlError> {
-    evaluate_with(graph, query, PlanMode::Greedy)
+    evaluate_full(graph, query, PlanMode::Planned, ExecMode::Columnar)
 }
 
 /// Evaluates a query with an explicit planning strategy.
@@ -35,10 +51,20 @@ pub fn evaluate_with(
     query: &Query,
     mode: PlanMode,
 ) -> Result<Solutions, SparqlError> {
+    evaluate_full(graph, query, mode, ExecMode::Columnar)
+}
+
+/// Evaluates a query with explicit planning and execution strategies.
+pub fn evaluate_full(
+    graph: &Graph,
+    query: &Query,
+    mode: PlanMode,
+    exec: ExecMode,
+) -> Result<Solutions, SparqlError> {
     if let Some(solutions) = try_index_only_distinct(graph, query) {
         return Ok(solutions);
     }
-    let compiled = Compiled::with_mode(graph, query, mode)?;
+    let compiled = Compiled::with_modes(graph, query, mode, exec)?;
     let rows = compiled.run_bgp(graph, query.form == QueryForm::Ask)?;
     match query.form {
         QueryForm::Ask => Ok(Solutions {
@@ -239,14 +265,20 @@ struct Compiled {
     root: Block,
     query: Query,
     mode: PlanMode,
+    exec: ExecMode,
 }
 
 impl Compiled {
     fn new(graph: &Graph, query: &Query) -> Result<Self, SparqlError> {
-        Compiled::with_mode(graph, query, PlanMode::Greedy)
+        Compiled::with_modes(graph, query, PlanMode::Planned, ExecMode::Columnar)
     }
 
-    fn with_mode(graph: &Graph, query: &Query, mode: PlanMode) -> Result<Self, SparqlError> {
+    fn with_modes(
+        graph: &Graph,
+        query: &Query,
+        mode: PlanMode,
+        exec: ExecMode,
+    ) -> Result<Self, SparqlError> {
         let mut c = Compiled {
             var_names: Vec::new(),
             var_index: FxHashMap::default(),
@@ -257,6 +289,7 @@ impl Compiled {
             },
             query: query.clone(),
             mode,
+            exec,
         };
         let mut internal = 0usize;
         c.root = c.compile_elements(graph, &query.wher, &mut internal)?;
@@ -361,7 +394,10 @@ impl Compiled {
 
     /// Greedy join order for one block's patterns: repeatedly pick the
     /// cheapest pattern given the variables bound so far (`prebound` marks
-    /// variables the surrounding group already binds). In
+    /// variables the surrounding group already binds). Equal-cost
+    /// candidates tie-break on the lower pattern index, so structurally
+    /// identical queries always produce the same plan (`remaining` is kept
+    /// in ascending index order for exactly this reason). In
     /// [`PlanMode::InOrder`], keeps the textual order.
     fn plan_block(&self, graph: &Graph, block: &Block, prebound: &[bool]) -> Vec<usize> {
         if self.mode == PlanMode::InOrder {
@@ -383,34 +419,33 @@ impl Compiled {
             // when none is connected (genuinely disconnected components,
             // and the very first pattern).
             let anything_bound = bound.iter().any(|&b| b);
-            let candidates: Vec<usize> = if anything_bound {
-                let connected: Vec<usize> = remaining
+            let connected_only = anything_bound
+                && remaining
                     .iter()
-                    .copied()
-                    .filter(|&i| shares_bound_var(block.patterns[i], &bound))
-                    .collect();
-                if connected.is_empty() {
-                    remaining.clone()
-                } else {
-                    connected
+                    .any(|&i| shares_bound_var(block.patterns[i], &bound));
+            let mut best: Option<(u64, usize)> = None;
+            for &i in &remaining {
+                if connected_only && !shares_bound_var(block.patterns[i], &bound) {
+                    continue;
                 }
-            } else {
-                remaining.clone()
+                let cost = self.pattern_cost(graph, block.patterns[i], &bound);
+                // `remaining` is ascending, so `<` keeps the first (lowest
+                // index) among equal-cost candidates: a deterministic plan.
+                if best.is_none_or(|b| (cost, i) < b) {
+                    best = Some((cost, i));
+                }
+            }
+            let Some((_, pick)) = best else {
+                // unreachable (remaining is non-empty), but a truncated
+                // plan only costs performance, never correctness
+                break;
             };
-            let best = candidates
-                .into_iter()
-                .min_by_key(|&i| self.pattern_cost(graph, block.patterns[i], &bound))
-                .expect("non-empty");
-            let pos = remaining
-                .iter()
-                .position(|&i| i == best)
-                .expect("best is in remaining");
-            order.push(best);
-            remaining.swap_remove(pos);
+            order.push(pick);
+            remaining.retain(|&i| i != pick);
             for slot in [
-                block.patterns[best].s,
-                block.patterns[best].p,
-                block.patterns[best].o,
+                block.patterns[pick].s,
+                block.patterns[pick].p,
+                block.patterns[pick].o,
             ] {
                 if let Slot::Var(v) = slot {
                     bound[v] = true;
@@ -465,6 +500,11 @@ impl Compiled {
                     None => Vec::new(),
                 },
             );
+        }
+        if self.exec == ExecMode::Columnar && !stop_at_first && columnar::eligible(self) {
+            // flat filter-free block: sorted-ID merge joins over columnar
+            // batches, byte-identical to the row path below
+            return Ok(columnar::run(self, graph));
         }
         let mut rows = self.eval_block(graph, &self.root, seed)?;
         if stop_at_first {

@@ -1,0 +1,301 @@
+//! Vectorized BGP execution: sorted-ID merge joins over columnar batches.
+//!
+//! The row executor ([`super::Compiled::eval_block`]) extends bindings one
+//! row at a time, probing the store's hash indexes per row. For flat basic
+//! graph patterns — no FILTERs, no OPTIONAL/UNION children, i.e. the shape
+//! of every OLAP star query RE²xOLAP generates — this module evaluates the
+//! planned pattern chain over a [`Batch`] instead: a struct-of-arrays
+//! layout with one dense `Vec<TermId>` column per bound variable.
+//!
+//! Per pattern, the kernel picks one of three strategies:
+//!
+//! 1. **Semijoin** (no new variable): every position resolves to a
+//!    constant or an already-bound column, so the pattern only filters the
+//!    batch. With one variable position the sorted posting list is
+//!    intersected against the column — a two-pointer *merge intersection*
+//!    when the column itself is sorted, per-row binary search otherwise.
+//! 2. **Extend** (exactly one new variable): the matching posting list
+//!    (`objects`/`subjects`/`predicates_between` — sorted by id, an
+//!    invariant `re2x-rdf` maintains on insert) is appended wholesale with
+//!    `extend_from_slice`, and survivor columns are gathered once per
+//!    batch rather than cloned per row. When the two resolved positions
+//!    are constants the list is fetched once for the whole batch.
+//! 3. **Fallback** (several new variables, or a variable repeated within
+//!    the pattern): per-row enumeration through the same
+//!    [`re2x_rdf::Graph::for_each_matching_until`] walk the row executor
+//!    uses.
+//!
+//! All three enumerate matches in exactly the index order the row
+//! executor sees, so the produced rows are *byte-identical* to
+//! [`super::Compiled::eval_block`] — the differential suites
+//! (`tests/plan_differential.rs`) hold this across datasets, plan modes,
+//! and `ShardedEndpoint` composition.
+
+use super::{Compiled, FlatPattern, Slot};
+use re2x_rdf::{Graph, TermId};
+
+/// Whether the compiled query's WHERE tree is a shape the columnar kernel
+/// covers: a single flat block with no filters and no children. Everything
+/// else (FILTER-interleaved blocks, OPTIONAL/UNION, property-path-free
+/// existence probes) stays on the row executor.
+pub(super) fn eligible(compiled: &Compiled) -> bool {
+    compiled.root.children.is_empty() && compiled.root.filters.is_empty()
+}
+
+/// Runs the root block's planned pattern chain over columnar batches,
+/// returning binding rows over the variable registry (same contract as
+/// [`super::Compiled::run_bgp`]).
+pub(super) fn run(compiled: &Compiled, graph: &Graph) -> Vec<Vec<Option<TermId>>> {
+    let nvars = compiled.var_names.len();
+    let prebound = vec![false; nvars];
+    let order = compiled.plan_block(graph, &compiled.root, &prebound);
+    let mut batch = Batch::seed(nvars);
+    for &pi in &order {
+        batch = extend(graph, &batch, compiled.root.patterns[pi]);
+        if batch.len == 0 {
+            break;
+        }
+    }
+    batch.into_rows()
+}
+
+/// A columnar batch of partial solutions: one dense column of interned
+/// term ids per *bound* variable (`None` for variables not yet bound by
+/// any pattern), all columns of identical length.
+struct Batch {
+    cols: Vec<Option<Vec<TermId>>>,
+    len: usize,
+}
+
+impl Batch {
+    /// The seed batch: a single row binding nothing (the join identity,
+    /// mirroring the row executor's all-`None` seed row).
+    fn seed(nvars: usize) -> Self {
+        Batch {
+            cols: vec![None; nvars],
+            len: 1,
+        }
+    }
+
+    fn empty(nvars: usize) -> Self {
+        Batch {
+            cols: vec![None; nvars],
+            len: 0,
+        }
+    }
+
+    /// Materializes the batch back into the row representation the
+    /// projection layer consumes.
+    fn into_rows(self) -> Vec<Vec<Option<TermId>>> {
+        let mut rows = vec![vec![None; self.cols.len()]; self.len];
+        for (v, col) in self.cols.iter().enumerate() {
+            if let Some(col) = col {
+                for (row, &id) in rows.iter_mut().zip(col) {
+                    row[v] = Some(id);
+                }
+            }
+        }
+        rows
+    }
+}
+
+/// A pattern slot resolved against the batch's bound columns.
+#[derive(Clone, Copy, PartialEq)]
+enum RSlot {
+    /// A constant term id.
+    Const(TermId),
+    /// A variable with a bound column.
+    Col(usize),
+    /// A variable this pattern binds for the first time.
+    New(usize),
+    /// A constant absent from the graph: the pattern cannot match.
+    Absent,
+}
+
+fn resolve(slot: Slot, batch: &Batch) -> RSlot {
+    match slot {
+        Slot::Const(id) => RSlot::Const(id),
+        Slot::Absent => RSlot::Absent,
+        Slot::Var(v) if batch.cols[v].is_some() => RSlot::Col(v),
+        Slot::Var(v) => RSlot::New(v),
+    }
+}
+
+/// Joins one pattern into the batch.
+fn extend(graph: &Graph, batch: &Batch, pattern: FlatPattern) -> Batch {
+    let nvars = batch.cols.len();
+    let s = resolve(pattern.s, batch);
+    let p = resolve(pattern.p, batch);
+    let o = resolve(pattern.o, batch);
+    if [s, p, o].contains(&RSlot::Absent) {
+        return Batch::empty(nvars);
+    }
+    let news: Vec<usize> = [s, p, o]
+        .iter()
+        .filter_map(|r| match r {
+            RSlot::New(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    let repeated_new = match news.as_slice() {
+        [a, b] => a == b,
+        [a, b, c] => a == b || b == c || a == c,
+        _ => false,
+    };
+    match (news.len(), repeated_new) {
+        (0, _) => semijoin(graph, batch, s, p, o),
+        (1, false) => extend_one(graph, batch, s, p, o),
+        _ => fallback(graph, batch, pattern),
+    }
+}
+
+/// Reads the value a resolved slot takes on batch row `i`. Only the keyed
+/// paths (semijoin, single-extension) call this, and they never pass
+/// `New`/`Absent`; the `TermId(0)` placeholder on those arms keeps the
+/// function panic-free, and would at worst turn a probe into a miss —
+/// never fabricate a row.
+fn at(batch: &Batch, slot: RSlot, i: usize) -> TermId {
+    match slot {
+        RSlot::Const(id) => id,
+        RSlot::Col(v) => batch.cols[v].as_ref().map_or(TermId(0), |col| col[i]),
+        RSlot::New(_) | RSlot::Absent => TermId(0),
+    }
+}
+
+/// No new variable: the pattern is a pure filter over existing rows.
+fn semijoin(graph: &Graph, batch: &Batch, s: RSlot, p: RSlot, o: RSlot) -> Batch {
+    let mut keep: Vec<bool> = Vec::with_capacity(batch.len);
+    // one variable position against two constants: intersect the sorted
+    // posting list with the column directly
+    let single = match (s, p, o) {
+        (RSlot::Col(v), RSlot::Const(pc), RSlot::Const(oc)) => Some((v, graph.subjects(pc, oc))),
+        (RSlot::Const(sc), RSlot::Const(pc), RSlot::Col(v)) => Some((v, graph.objects(sc, pc))),
+        (RSlot::Const(sc), RSlot::Col(v), RSlot::Const(oc)) => {
+            Some((v, graph.predicates_between(sc, oc)))
+        }
+        _ => None,
+    };
+    if let Some((v, list)) = single {
+        let col = batch.cols[v].as_deref().unwrap_or(&[]);
+        if col.is_sorted() {
+            // merge intersection: one forward pass over both sorted sides
+            let mut j = 0usize;
+            for &id in col {
+                while j < list.len() && list[j] < id {
+                    j += 1;
+                }
+                keep.push(j < list.len() && list[j] == id);
+            }
+        } else {
+            for &id in col {
+                keep.push(list.binary_search(&id).is_ok());
+            }
+        }
+    } else {
+        for i in 0..batch.len {
+            keep.push(graph.contains_ids(at(batch, s, i), at(batch, p, i), at(batch, o, i)));
+        }
+    }
+    gather(batch, &keep_to_sel(&keep), Vec::new())
+}
+
+fn keep_to_sel(keep: &[bool]) -> Vec<usize> {
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i))
+        .collect()
+}
+
+/// Exactly one fresh variable: append each row's sorted match list in one
+/// `extend_from_slice`, recording the source row per output row.
+fn extend_one(graph: &Graph, batch: &Batch, s: RSlot, p: RSlot, o: RSlot) -> Batch {
+    // which position holds the fresh variable (New in at most one slot)
+    let new_var = match (s, p, o) {
+        (_, _, RSlot::New(v)) | (RSlot::New(v), _, _) | (_, RSlot::New(v), _) => v,
+        // extend() dispatches here only with exactly one New slot
+        _ => return gather(batch, &[], Vec::new()),
+    };
+    let mut sel: Vec<usize> = Vec::new();
+    let mut new_col: Vec<TermId> = Vec::new();
+    for i in 0..batch.len {
+        let list: &[TermId] = match (s, p, o) {
+            (_, _, RSlot::New(_)) => graph.objects(at(batch, s, i), at(batch, p, i)),
+            (RSlot::New(_), _, _) => graph.subjects(at(batch, p, i), at(batch, o, i)),
+            (_, RSlot::New(_), _) => graph.predicates_between(at(batch, s, i), at(batch, o, i)),
+            _ => &[],
+        };
+        if list.is_empty() {
+            continue;
+        }
+        new_col.extend_from_slice(list);
+        sel.extend(std::iter::repeat_n(i, list.len()));
+    }
+    gather(batch, &sel, vec![(new_var, new_col)])
+}
+
+/// General per-row fallback mirroring [`super::Compiled::extend_row`]:
+/// used for patterns with two or more fresh variables or a variable
+/// repeated inside the pattern. Enumeration order equals the row
+/// executor's, so byte-identity is preserved.
+fn fallback(graph: &Graph, batch: &Batch, pattern: FlatPattern) -> Batch {
+    let slots = [pattern.s, pattern.p, pattern.o];
+    let mut new_vars: Vec<usize> = slots
+        .iter()
+        .filter_map(|slot| match slot {
+            Slot::Var(v) if batch.cols[*v].is_none() => Some(*v),
+            _ => None,
+        })
+        .collect();
+    new_vars.sort_unstable();
+    new_vars.dedup();
+    let mut sel: Vec<usize> = Vec::new();
+    let mut new_cols: Vec<(usize, Vec<TermId>)> =
+        new_vars.iter().map(|&v| (v, Vec::new())).collect();
+    let mut scratch: Vec<Option<TermId>> = vec![None; new_vars.len()];
+    for i in 0..batch.len {
+        let fixed = |slot: Slot| match slot {
+            Slot::Const(id) => Some(id),
+            Slot::Var(v) => batch.cols[v].as_ref().map(|col| col[i]),
+            Slot::Absent => None, // filtered out by extend()
+        };
+        graph.for_each_matching(fixed(pattern.s), fixed(pattern.p), fixed(pattern.o), |t| {
+            scratch.iter_mut().for_each(|c| *c = None);
+            for (slot, value) in [(pattern.s, t.s), (pattern.p, t.p), (pattern.o, t.o)] {
+                if let Slot::Var(v) = slot {
+                    if let Ok(k) = new_vars.binary_search(&v) {
+                        match scratch[k] {
+                            Some(existing) if existing != value => return, // inconsistent
+                            _ => scratch[k] = Some(value),
+                        }
+                    }
+                }
+            }
+            sel.push(i);
+            for (k, cell) in scratch.iter().enumerate() {
+                if let Some(id) = *cell {
+                    new_cols[k].1.push(id);
+                }
+            }
+        });
+    }
+    gather(batch, &sel, new_cols)
+}
+
+/// Builds the successor batch: existing columns gathered through `sel`
+/// (source row index per output row), plus freshly bound columns.
+fn gather(batch: &Batch, sel: &[usize], new_cols: Vec<(usize, Vec<TermId>)>) -> Batch {
+    let mut cols: Vec<Option<Vec<TermId>>> = vec![None; batch.cols.len()];
+    for (v, col) in batch.cols.iter().enumerate() {
+        if let Some(col) = col {
+            cols[v] = Some(sel.iter().map(|&i| col[i]).collect());
+        }
+    }
+    for (v, col) in new_cols {
+        debug_assert_eq!(col.len(), sel.len());
+        cols[v] = Some(col);
+    }
+    Batch {
+        cols,
+        len: sel.len(),
+    }
+}

@@ -622,7 +622,11 @@ impl Parser {
             }
             // paper-style bare aggregate: SUM(?x)
             Some(Tok::Word(_)) if self.try_parse_agg_keyword().is_some() => {
-                let func = self.try_parse_agg_keyword().expect("checked");
+                // the guard only probes; re-probe outside the guard so the
+                // keyword is bound exactly once (no "checked" expect)
+                let Some(func) = self.try_parse_agg_keyword() else {
+                    return Ok(None);
+                };
                 self.bump(); // keyword
                 self.eat_sym("(")?;
                 let func = self.apply_agg_distinct(func)?;

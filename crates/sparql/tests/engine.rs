@@ -577,6 +577,31 @@ fn explain_shows_plan_and_filters() {
     assert!(plan.contains("?o*"), "{plan}");
 }
 
+/// Golden plan: equal-cost patterns tie-break on pattern index, so the
+/// plan for structurally identical queries is pinned byte-for-byte. All
+/// three predicates below have five triples each (identical cost
+/// estimates), so any instability in the greedy selection would reorder
+/// the steps and fail this test.
+#[test]
+fn explain_plan_is_deterministic_golden() {
+    let g = asylum_graph();
+    let q = parse_query(
+        "SELECT ?d ?y ?v WHERE {
+            ?o <http://ex/dest> ?d .
+            ?o <http://ex/year> ?y .
+            ?o <http://ex/applicants> ?v
+        }",
+    )
+    .expect("parse");
+    let plan = re2x_sparql::explain(&g, &q).expect("explain");
+    let expected = concat!(
+        " 0. ?o <http://ex/dest> ?d   (cost estimate 1)\n",
+        " 1. ?o* <http://ex/year> ?y   (cost estimate 0)\n",
+        " 2. ?o* <http://ex/applicants> ?v   (cost estimate 0)\n",
+    );
+    assert_eq!(plan, expected);
+}
+
 #[test]
 fn explain_renders_paths_with_internal_vars() {
     let g = asylum_graph();

@@ -7,7 +7,8 @@
 //!
 //! experiments: table1 table2 table3 fig6 fig7 fig8 fig8c fig9 fig10
 //!              ablations scaling latency trace sharding serve watch
-//!              (default: all)
+//!              plan scale (default: all except `scale`, whose paper-scale
+//!              ladder only runs when named explicitly)
 //! ```
 //!
 //! `watch` replays a recorded JSONL event log through the `re2x-tui`
@@ -35,7 +36,7 @@ struct Args {
     watch: re2x_bench::watch::WatchConfig,
 }
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -53,7 +54,13 @@ const ALL: [&str; 17] = [
     "serve",
     "watch",
     "plan",
+    "scale",
 ];
+
+/// Experiments excluded from the implicit "run everything" default: the
+/// scale ladder regenerates the dataset at paper-scale observation counts
+/// (minutes of work), so it only runs when named explicitly.
+const EXPLICIT_ONLY: [&str; 1] = ["scale"];
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -135,7 +142,11 @@ fn parse_args() -> Args {
         }
     }
     if args.experiments.is_empty() {
-        args.experiments = ALL.iter().map(|s| (*s).to_owned()).collect();
+        args.experiments = ALL
+            .iter()
+            .filter(|s| !EXPLICIT_ONLY.contains(s))
+            .map(|s| (*s).to_owned())
+            .collect();
     }
     args
 }
@@ -314,6 +325,38 @@ fn main() {
             eprintln!("could not write {}: {e}", json_path.display());
         } else {
             println!("wrote {}", json_path.display());
+        }
+    }
+
+    if wants("scale") {
+        // Snapshot-vs-regeneration ladder: each rung regenerates Eurostat,
+        // writes the dictionary-encoded snapshot, loads it back through the
+        // cache, proves the loaded graph identical (digest + probe-query
+        // answers), and runs bootstrap + one ReOLAP synthesis end-to-end
+        // from the loaded graph. Full scale uses the paper-scale rungs.
+        let rungs: Vec<usize> = if args.scale_name == "smoke" {
+            vec![100_000, 200_000, 400_000]
+        } else {
+            vec![1_000_000, 5_000_000, 15_000_000]
+        };
+        let snapshot_dir = args.out.join("snapshots");
+        let report = re2x_bench::scale::run(&rungs, args.seed, &snapshot_dir);
+        emit(
+            &args.out,
+            "scale",
+            "Scale: snapshot load vs regeneration, schema-bound analytics ladder",
+            &report.summary(),
+        );
+        let _ = std::fs::create_dir_all(&args.out);
+        let json_path = args.out.join("scale.json");
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("could not write {}: {e}", json_path.display());
+        } else {
+            println!("wrote {}", json_path.display());
+        }
+        if !report.all_identical() {
+            eprintln!("scale: loaded snapshot diverged from the regenerated graph");
+            std::process::exit(1);
         }
     }
 

@@ -2,8 +2,9 @@
 //! bootstraps their schemas, and caches both for reuse across experiments.
 
 use re2x_cube::{bootstrap, BootstrapConfig, BootstrapReport};
-use re2x_datagen::Dataset;
+use re2x_datagen::{CacheOutcome, Dataset};
 use re2x_sparql::LocalEndpoint;
+use std::path::Path;
 use std::time::Duration;
 
 /// The three Table 3 datasets.
@@ -31,6 +32,15 @@ impl DatasetKind {
             DatasetKind::Eurostat => "Eurostat",
             DatasetKind::Production => "Production",
             DatasetKind::Dbpedia => "DBpedia",
+        }
+    }
+
+    /// Generator name in the snapshot cache (`re2x_datagen::cache`).
+    pub fn cache_name(self) -> &'static str {
+        match self {
+            DatasetKind::Eurostat => "eurostat",
+            DatasetKind::Production => "production",
+            DatasetKind::Dbpedia => "dbpedia",
         }
     }
 }
@@ -118,6 +128,49 @@ pub fn prepare(kind: DatasetKind, scales: &Scales, seed: u64) -> PreparedDataset
         report,
         generation_time,
     }
+}
+
+/// Like [`prepare`], but sources the graph through the persistent snapshot
+/// cache under `cache_dir`: a valid cached snapshot is loaded without
+/// re-running the generator (zero re-parse, zero re-interning); a miss
+/// regenerates and writes the snapshot for next time. The returned
+/// [`CacheOutcome`] says which happened; `generation_time` covers whichever
+/// path ran.
+pub fn prepare_cached(
+    kind: DatasetKind,
+    scales: &Scales,
+    seed: u64,
+    cache_dir: &Path,
+) -> (PreparedDataset, CacheOutcome) {
+    let start = std::time::Instant::now();
+    let acquired =
+        re2x_datagen::load_or_generate(cache_dir, kind.cache_name(), scales.of(kind), seed);
+    let Some((mut dataset, outcome)) = acquired else {
+        // cache names cover every DatasetKind; keep a defensive fallback
+        let prepared = prepare(kind, scales, seed);
+        return (
+            prepared,
+            CacheOutcome::Generated {
+                miss: re2x_datagen::CacheMiss::Absent,
+                wrote: false,
+            },
+        );
+    };
+    let generation_time = start.elapsed();
+    let graph = std::mem::take(&mut dataset.graph);
+    let endpoint = LocalEndpoint::new(graph);
+    let config = BootstrapConfig::new(dataset.observation_class.clone());
+    let report = bootstrap(&endpoint, &config).expect("bootstrap succeeds on generated data");
+    (
+        PreparedDataset {
+            kind,
+            dataset,
+            endpoint,
+            report,
+            generation_time,
+        },
+        outcome,
+    )
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ pub mod figures;
 pub mod micro;
 pub mod plan;
 pub mod report;
+pub mod scale;
 pub mod serve;
 pub mod sharding;
 pub mod trace;

@@ -575,7 +575,9 @@ fn crawl_dimensions_async(
             );
             DimensionCrawl {
                 predicate,
-                label: dim_labels[dim].take().expect("chain resolved"),
+                // A chain that somehow failed to resolve degrades to an
+                // unlabelled dimension, never a crash.
+                label: dim_labels[dim].take().unwrap_or_default(),
                 levels,
                 queries: crawl.queries[dim],
             }
@@ -667,7 +669,7 @@ fn advance_task(task: CrawlTask, crawl: &mut AsyncCrawl<'_>) -> Result<TaskStep,
                 LevelInfo {
                     member_count,
                     attributes,
-                    label: label.label.expect("chain resolved"),
+                    label: label.label.unwrap_or_default(),
                     rollups,
                 },
             );

@@ -93,7 +93,9 @@ impl LevelNode {
     /// The final predicate of the path (the one whose objects are this
     /// level's members).
     pub fn last_predicate(&self) -> &str {
-        self.path.last().expect("level paths are non-empty")
+        // Level paths are non-empty by construction (vgraph asserts it);
+        // the empty string is a harmless answer if one ever were.
+        self.path.last().map_or("", String::as_str)
     }
 
     /// `true` if this level's path is a proper prefix of `other`'s, i.e.

@@ -110,6 +110,7 @@ impl VirtualSchemaGraph {
             let prefix = &path[..path.len() - 1];
             let parent = self
                 .level_by_path(prefix)
+                // lint:allow(panic-freedom, constructor contract like the asserts above: levels register parent-first)
                 .unwrap_or_else(|| panic!("parent level not registered for {path:?}"));
             Some(parent)
         };

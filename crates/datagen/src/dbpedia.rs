@@ -296,13 +296,51 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
         graph.insert_ids(obs, p_measure_id, value);
     }
 
+    let _declared = (class_iri, rollup_preds);
+    Dataset {
+        graph,
+        ..describe(observations)
+    }
+}
+
+/// The dataset's metadata — everything [`generate`] produces except the
+/// graph itself. Used to re-attach a snapshot-loaded graph without
+/// regenerating the data (see [`crate::cache`]).
+pub fn describe(observations: usize) -> Dataset {
+    let pred = |local: &str| format!("{NS}{local}");
+    let rollup_locals = [
+        "stylisticOrigin",
+        "era",
+        "derivative",
+        "parentGenre",
+        "hometown",
+        "country",
+        "associatedAct",
+        "activeDecade",
+        "labelCountry",
+        "labelGenre",
+        "labelParentGenre",
+        "foundingDecade",
+        "family",
+        "instrumentOrigin",
+        "classification",
+        "nationality",
+        "movement",
+        "period",
+    ];
     Dataset {
         name: "dbpedia".to_owned(),
-        graph,
-        observation_class: class_iri,
+        graph: Graph::new(),
+        observation_class: format!("{NS}CreativeWork"),
         observations,
-        dimension_predicates: vec![p_genre, p_artist, p_label, p_instrument, p_director],
-        rollup_predicates: rollup_preds,
+        dimension_predicates: vec![
+            pred("genre"),
+            pred("artist"),
+            pred("recordLabel"),
+            pred("instrument"),
+            pred("director"),
+        ],
+        rollup_predicates: rollup_locals.iter().map(|l| pred(l)).collect(),
         label_predicate: vocab::rdfs::LABEL.to_owned(),
         expected: ExpectedShape {
             dimensions: 5,

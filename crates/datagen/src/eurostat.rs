@@ -215,12 +215,23 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
 
     let _unused: &MemberPool = &sexes;
     Dataset {
-        name: "eurostat".to_owned(),
         graph,
-        observation_class: class_iri,
+        ..describe(observations)
+    }
+}
+
+/// The dataset's metadata — everything [`generate`] produces except the
+/// graph itself. Used to re-attach a snapshot-loaded graph without
+/// regenerating the data (see [`crate::cache`]).
+pub fn describe(observations: usize) -> Dataset {
+    let pred = |local: &str| format!("{NS}{local}");
+    Dataset {
+        name: "eurostat".to_owned(),
+        graph: Graph::new(),
+        observation_class: vocab::qb::OBSERVATION.to_owned(),
         observations,
-        dimension_predicates: vec![p_sex, p_citizen, p_geo, p_period],
-        rollup_predicates: vec![p_continent, p_region, p_year],
+        dimension_predicates: vec![pred("sex"), pred("citizen"), pred("geo"), pred("refPeriod")],
+        rollup_predicates: vec![pred("inContinent"), pred("inRegion"), pred("inYear")],
         label_predicate: vocab::rdfs::LABEL.to_owned(),
         expected: ExpectedShape {
             dimensions: 4,

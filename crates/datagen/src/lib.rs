@@ -25,6 +25,7 @@
 //! workloads (input sizes 1–4, n tuples each) used by the Figure 7–9
 //! experiments.
 
+pub mod cache;
 pub mod common;
 pub mod dbpedia;
 pub mod eurostat;
@@ -32,4 +33,5 @@ pub mod prng;
 pub mod production;
 pub mod running;
 
+pub use cache::{load_or_generate, snapshot_key, snapshot_path, CacheMiss, CacheOutcome};
 pub use common::{example_workload, example_workload_on, Dataset, ExpectedShape};

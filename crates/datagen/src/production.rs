@@ -127,14 +127,31 @@ pub fn generate(observations: usize, seed: u64) -> Dataset {
     }
 
     Dataset {
-        name: "production".to_owned(),
         graph,
-        observation_class: class_iri,
+        ..describe(observations)
+    }
+}
+
+/// The dataset's metadata — everything [`generate`] produces except the
+/// graph itself. Used to re-attach a snapshot-loaded graph without
+/// regenerating the data (see [`crate::cache`]).
+pub fn describe(observations: usize) -> Dataset {
+    let pred = |local: &str| format!("{NS}{local}");
+    Dataset {
+        name: "production".to_owned(),
+        graph: Graph::new(),
+        observation_class: vocab::qb::OBSERVATION.to_owned(),
         observations,
         dimension_predicates: vec![
-            p_area, p_industry, p_product, p_flow, p_year, p_scenario, p_unit,
+            pred("area"),
+            pred("industry"),
+            pred("product"),
+            pred("flow"),
+            pred("year"),
+            pred("scenario"),
+            pred("unit"),
         ],
-        rollup_predicates: vec![p_sector, p_category],
+        rollup_predicates: vec![pred("inSector"), pred("inCategory")],
         label_predicate: vocab::rdfs::LABEL.to_owned(),
         expected: ExpectedShape {
             dimensions: 7,

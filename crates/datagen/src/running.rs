@@ -150,13 +150,31 @@ pub fn generate() -> Dataset {
         Term::from(Literal::simple("Observation")),
     );
 
+    debug_assert_eq!(observations, FLOWS_2014.len() + FLOWS_2013.len());
+    Dataset {
+        graph,
+        ..describe()
+    }
+}
+
+/// The dataset's metadata — everything [`generate`] produces except the
+/// graph itself. Used to re-attach a snapshot-loaded graph without
+/// regenerating the data (see [`crate::cache`]).
+pub fn describe() -> Dataset {
+    let pred = |local: &str| format!("{NS}{local}");
     Dataset {
         name: "running-example".to_owned(),
-        graph,
-        observation_class: class_iri,
-        observations,
-        dimension_predicates: vec![p_dest, p_origin, p_period, p_sex, p_age],
-        rollup_predicates: vec![p_continent, p_year],
+        graph: Graph::new(),
+        observation_class: vocab::qb::OBSERVATION.to_owned(),
+        observations: FLOWS_2014.len() + FLOWS_2013.len(),
+        dimension_predicates: vec![
+            pred("countryDestination"),
+            pred("countryOrigin"),
+            pred("refPeriod"),
+            pred("sex"),
+            pred("ageRange"),
+        ],
+        rollup_predicates: vec![pred("inContinent"), pred("inYear")],
         label_predicate: vocab::rdfs::LABEL.to_owned(),
         expected: ExpectedShape {
             dimensions: 5,

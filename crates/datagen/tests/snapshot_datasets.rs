@@ -1,0 +1,111 @@
+//! Round-trip suite over the bundled dataset generators: for every
+//! generator, `load_or_generate` must (1) generate and persist on a cold
+//! cache, (2) serve a byte-identical graph from the snapshot on the next
+//! call, and (3) regenerate — not trust — artifacts stamped for a
+//! different dataset.
+
+use re2x_datagen::cache::{self, CacheMiss, CacheOutcome};
+use re2x_rdf::graph_digest;
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("re2x-dataset-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_generator_round_trips_through_the_cache() {
+    let dir = scratch_dir("roundtrip");
+    for (name, obs) in [
+        ("eurostat", 300),
+        ("production", 200),
+        ("dbpedia", 150),
+        ("running-example", 0),
+    ] {
+        let (generated, outcome) =
+            cache::load_or_generate(&dir, name, obs, 99).expect("known dataset");
+        assert!(
+            matches!(
+                outcome,
+                CacheOutcome::Generated {
+                    miss: CacheMiss::Absent,
+                    wrote: true
+                }
+            ),
+            "{name}: cold cache must generate and persist, got {outcome:?}"
+        );
+
+        let (loaded, outcome) =
+            cache::load_or_generate(&dir, name, obs, 99).expect("known dataset");
+        assert!(
+            outcome.is_hit(),
+            "{name}: warm cache must load, got {outcome:?}"
+        );
+
+        // Full content identity: same terms in the same interning order,
+        // same triples — ids are interchangeable between the two graphs.
+        assert_eq!(
+            generated.graph.len(),
+            loaded.graph.len(),
+            "{name}: triple count"
+        );
+        assert_eq!(
+            graph_digest(&generated.graph),
+            graph_digest(&loaded.graph),
+            "{name}: digest"
+        );
+        // Metadata comes from `describe`, which must agree with the
+        // generator it stands in for.
+        assert_eq!(
+            generated.observation_class, loaded.observation_class,
+            "{name}"
+        );
+        assert_eq!(
+            generated.dimension_predicates, loaded.dimension_predicates,
+            "{name}"
+        );
+        assert_eq!(
+            generated.rollup_predicates, loaded.rollup_predicates,
+            "{name}"
+        );
+        assert_eq!(generated.expected, loaded.expected, "{name}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_artifact_is_regenerated_not_trusted() {
+    let dir = scratch_dir("stale");
+    // Persist a snapshot for seed 1, then overwrite it onto the cache path
+    // of seed 2: a structurally valid file holding the wrong dataset.
+    let (_, outcome) = cache::load_or_generate(&dir, "eurostat", 120, 1).expect("known dataset");
+    assert!(matches!(outcome, CacheOutcome::Generated { .. }));
+    std::fs::copy(
+        cache::snapshot_path(&dir, "eurostat", 120, 1),
+        cache::snapshot_path(&dir, "eurostat", 120, 2),
+    )
+    .expect("plant stale artifact");
+
+    let (dataset, outcome) =
+        cache::load_or_generate(&dir, "eurostat", 120, 2).expect("known dataset");
+    match outcome {
+        CacheOutcome::Generated {
+            miss: CacheMiss::Stale { expected, found },
+            wrote,
+        } => {
+            assert_eq!(expected, cache::snapshot_key("eurostat", 120, 1 + 1));
+            assert_eq!(found, cache::snapshot_key("eurostat", 120, 1));
+            assert!(wrote, "regenerated snapshot must replace the stale one");
+        }
+        other => panic!("stale artifact must force regeneration, got {other:?}"),
+    }
+    // The regenerated dataset is the seed-2 one, proven by its own digest.
+    let fresh = re2x_datagen::eurostat::generate(120, 2);
+    assert_eq!(graph_digest(&dataset.graph), graph_digest(&fresh.graph));
+
+    // And the replacement artifact now serves seed 2 from cache.
+    let (_, outcome) = cache::load_or_generate(&dir, "eurostat", 120, 2).expect("known dataset");
+    assert!(outcome.is_hit());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,6 +21,45 @@ pub enum RdfError {
     },
     /// A term id was used against an interner that does not know it.
     UnknownTerm(u32),
+    /// A snapshot file does not start with the snapshot magic bytes.
+    SnapshotBadMagic,
+    /// A snapshot file uses a format version this build cannot read.
+    SnapshotVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A snapshot file ended before a section was fully read.
+    SnapshotTruncated {
+        /// Section (or "header") being decoded when the data ran out.
+        section: String,
+        /// Byte offset within that section where the read failed.
+        offset: usize,
+    },
+    /// A snapshot section's stored FNV checksum does not match its payload.
+    SnapshotChecksum {
+        /// The failing section.
+        section: String,
+    },
+    /// A snapshot section decoded but its contents are inconsistent
+    /// (out-of-range ids, unsorted runs, counts that disagree, …).
+    SnapshotCorrupt {
+        /// The inconsistent section.
+        section: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A snapshot is stamped with a different dataset key than expected —
+    /// a stale cache artifact that must be regenerated, not trusted.
+    SnapshotKeyMismatch {
+        /// The key the caller required.
+        expected: String,
+        /// The key embedded in the file.
+        found: String,
+    },
+    /// An I/O error while reading or writing a snapshot.
+    Io(String),
 }
 
 impl fmt::Display for RdfError {
@@ -33,6 +72,34 @@ impl fmt::Display for RdfError {
                 write!(f, "unknown prefix '{prefix}:' at line {line}")
             }
             RdfError::UnknownTerm(id) => write!(f, "unknown term id {id}"),
+            RdfError::SnapshotBadMagic => {
+                write!(f, "not a snapshot file (bad magic)")
+            }
+            RdfError::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads version {supported})"
+                )
+            }
+            RdfError::SnapshotTruncated { section, offset } => {
+                write!(
+                    f,
+                    "snapshot truncated in {section} section at offset {offset}"
+                )
+            }
+            RdfError::SnapshotChecksum { section } => {
+                write!(f, "snapshot checksum mismatch in {section} section")
+            }
+            RdfError::SnapshotCorrupt { section, message } => {
+                write!(f, "corrupt snapshot {section} section: {message}")
+            }
+            RdfError::SnapshotKeyMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot key mismatch: expected '{expected}', file holds '{found}'"
+                )
+            }
+            RdfError::Io(message) => write!(f, "snapshot i/o error: {message}"),
         }
     }
 }

@@ -54,6 +54,33 @@ impl Interner {
         id
     }
 
+    /// Rebuilds an interner from a term table in interning order — the
+    /// snapshot loader's bulk constructor. Ids are assigned positionally
+    /// (`terms[i]` ⇒ `TermId(i)`), the numeric cache is recomputed, and the
+    /// reverse map is re-hashed once per term; no other per-term work
+    /// happens. Returns `None` if the table contains a duplicate term or
+    /// more than `u32::MAX` entries (both impossible for a table produced
+    /// by a real interner, so they signal a corrupt snapshot).
+    pub fn from_terms(terms: Vec<Term>) -> Option<Interner> {
+        if u32::try_from(terms.len()).is_err() {
+            return None;
+        }
+        let mut ids = FxHashMap::default();
+        ids.reserve(terms.len());
+        let mut numeric = Vec::with_capacity(terms.len());
+        for (i, term) in terms.iter().enumerate() {
+            numeric.push(term.as_literal().and_then(|l| l.as_f64()));
+            if ids.insert(term.clone(), TermId(i as u32)).is_some() {
+                return None;
+            }
+        }
+        Some(Interner {
+            terms,
+            ids,
+            numeric,
+        })
+    }
+
     /// Looks up the id of a term without interning it.
     pub fn get(&self, term: &Term) -> Option<TermId> {
         self.ids.get(term).copied()

@@ -49,6 +49,7 @@ pub mod hash;
 pub mod interner;
 pub mod io;
 pub mod partition;
+pub mod snapshot;
 pub mod term;
 pub mod text;
 pub mod vocab;
@@ -57,7 +58,12 @@ pub use error::RdfError;
 pub use graph::{Graph, PredicateStats, Triple};
 pub use interner::{Interner, TermId};
 pub use partition::{
-    partition, partition_observations, PartitionLayout, Partitioned, PredicateRole,
+    partition, partition_layout, partition_observations, PartitionLayout, Partitioned,
+    PredicateRole,
+};
+pub use snapshot::{
+    graph_digest, load_shard_snapshot, peek_snapshot_key, shard_snapshot_key, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 pub use term::{Literal, Term};
 pub use text::TextIndex;

@@ -113,14 +113,19 @@ pub fn shard_of_subject(subject_text: &str, shards: usize) -> usize {
     (hash % shards as u64) as usize
 }
 
-/// Splits `graph` into `shards` partitions, treating instances of
-/// `observation_class` (found via `rdf:type`) as fact subjects.
-///
-/// If the class or `rdf:type` is absent the fact set is empty and every
-/// triple is replicated — the partitioning degenerates to `n` full replicas,
-/// which is always correct (if pointless), so callers never need a special
-/// case for schema-less graphs.
-pub fn partition(graph: &Graph, observation_class: &str, shards: usize) -> Partitioned {
+/// One routing pass over `graph`: classifies every triple as fact (calling
+/// `on_fact` with its shard) or replicated (calling `on_repl`) and returns
+/// the resulting [`PartitionLayout`]. The shard-building [`partition`] and
+/// the layout-only [`partition_layout`] share this scan, so a layout
+/// re-derived for snapshot-loaded shards is byte-for-byte the one the
+/// original split produced.
+fn route(
+    graph: &Graph,
+    observation_class: &str,
+    shards: usize,
+    mut on_fact: impl FnMut(crate::graph::Triple, usize),
+    mut on_repl: impl FnMut(crate::graph::Triple),
+) -> PartitionLayout {
     assert!(shards > 0, "cannot partition into zero shards");
     let type_predicate = graph.iri_id(rdf::TYPE);
     let class = graph.iri_id(observation_class);
@@ -138,14 +143,6 @@ pub fn partition(graph: &Graph, observation_class: &str, shards: usize) -> Parti
     // form once per fact subject, not once per triple.
     let mut placement: FxHashMap<TermId, usize> = FxHashMap::default();
 
-    // Route fact triples and build the replicated base once; shards are then
-    // clones of the base plus their fact share. Inserting the replicated
-    // triples once and cloning the finished indexes is much cheaper than n
-    // single-triple insert passes (and the term table / text index — the
-    // expensive parts of a shard — are cloned exactly once per shard either
-    // way).
-    let mut base = graph.term_shell();
-    let mut fact_routes: Vec<(crate::graph::Triple, usize)> = Vec::new();
     for triple in graph.iter() {
         if fact_subjects.contains(&triple.s) {
             let shard = *placement
@@ -154,17 +151,12 @@ pub fn partition(graph: &Graph, observation_class: &str, shards: usize) -> Parti
             shard_fact_triples[shard] += 1;
             fact_triples += 1;
             fact_predicates.insert(triple.p);
-            fact_routes.push((triple, shard));
+            on_fact(triple, shard);
         } else {
-            base.insert_ids(triple.s, triple.p, triple.o);
             replicated_triples += 1;
             replicated_predicates.insert(triple.p);
+            on_repl(triple);
         }
-    }
-    let mut parts: Vec<Graph> = (1..shards).map(|_| base.clone()).collect();
-    parts.push(base);
-    for (triple, shard) in fact_routes {
-        parts[shard].insert_ids(triple.s, triple.p, triple.o);
     }
 
     let mut fact_predicates: Vec<TermId> = fact_predicates.into_iter().collect();
@@ -172,20 +164,62 @@ pub fn partition(graph: &Graph, observation_class: &str, shards: usize) -> Parti
     let mut replicated_predicates: Vec<TermId> = replicated_predicates.into_iter().collect();
     replicated_predicates.sort_unstable();
 
+    PartitionLayout {
+        shards,
+        class,
+        type_predicate,
+        fact_subject_count: fact_subjects.len(),
+        fact_triples,
+        replicated_triples,
+        shard_fact_triples,
+        fact_predicates,
+        replicated_predicates,
+    }
+}
+
+/// Splits `graph` into `shards` partitions, treating instances of
+/// `observation_class` (found via `rdf:type`) as fact subjects.
+///
+/// If the class or `rdf:type` is absent the fact set is empty and every
+/// triple is replicated — the partitioning degenerates to `n` full replicas,
+/// which is always correct (if pointless), so callers never need a special
+/// case for schema-less graphs.
+pub fn partition(graph: &Graph, observation_class: &str, shards: usize) -> Partitioned {
+    // Route fact triples and build the replicated base once; shards are then
+    // clones of the base plus their fact share. Inserting the replicated
+    // triples once and cloning the finished indexes is much cheaper than n
+    // single-triple insert passes (and the term table / text index — the
+    // expensive parts of a shard — are cloned exactly once per shard either
+    // way).
+    let mut base = graph.term_shell();
+    let mut fact_routes: Vec<(crate::graph::Triple, usize)> = Vec::new();
+    let layout = route(
+        graph,
+        observation_class,
+        shards,
+        |triple, shard| fact_routes.push((triple, shard)),
+        |triple| {
+            base.insert_ids(triple.s, triple.p, triple.o);
+        },
+    );
+    let mut parts: Vec<Graph> = (1..shards).map(|_| base.clone()).collect();
+    parts.push(base);
+    for (triple, shard) in fact_routes {
+        parts[shard].insert_ids(triple.s, triple.p, triple.o);
+    }
     Partitioned {
         shards: parts,
-        layout: PartitionLayout {
-            shards,
-            class,
-            type_predicate,
-            fact_subject_count: fact_subjects.len(),
-            fact_triples,
-            replicated_triples,
-            shard_fact_triples,
-            fact_predicates,
-            replicated_predicates,
-        },
+        layout,
     }
+}
+
+/// The [`PartitionLayout`] that [`partition`] would produce, without
+/// building any shard graph — what a caller re-assembling a sharded
+/// deployment from per-shard snapshot artifacts needs: the shards already
+/// exist on disk, only the routing metadata has to be re-derived from the
+/// replica.
+pub fn partition_layout(graph: &Graph, observation_class: &str, shards: usize) -> PartitionLayout {
+    route(graph, observation_class, shards, |_, _| {}, |_| {})
 }
 
 /// [`partition`] specialized to the W3C Data Cube observation class the

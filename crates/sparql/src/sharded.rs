@@ -47,7 +47,7 @@ use crate::expr::{eval_expr, EvalContext};
 use crate::value::{total_compare_numeric, Solutions, Value};
 use re2x_obs::{label, lock_or_recover, Metrics};
 use re2x_rdf::hash::FxHashMap;
-use re2x_rdf::partition::{partition, PartitionLayout, PredicateRole};
+use re2x_rdf::partition::{partition, partition_layout, PartitionLayout, PredicateRole};
 use re2x_rdf::vocab::{qb, rdf};
 use re2x_rdf::{Graph, TermId};
 use std::cmp::Ordering;
@@ -99,6 +99,31 @@ impl ShardedEndpoint {
             shards: parts.shards.into_iter().map(LocalEndpoint::new).collect(),
             replica: LocalEndpoint::new(graph),
             layout: parts.layout,
+            class_iri: class.to_owned(),
+            latency: None,
+            row_latency: None,
+            stats: Mutex::new(EndpointStats::default()),
+            scatters: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            metrics: None,
+        };
+        endpoint.publish_layout_metrics();
+        endpoint
+    }
+
+    /// Re-assembles a sharded endpoint from already-built shard graphs —
+    /// the per-shard artifacts of `re2x_rdf::load_shard_snapshot` — plus
+    /// the full replica, instead of re-partitioning the replica from
+    /// scratch. Only the routing layout is re-derived (one scan of the
+    /// replica, no shard graphs built); the shard graphs are trusted to be
+    /// the partition of the replica, which the snapshot key scheme stamps
+    /// and the differential suite proves.
+    pub fn from_loaded_shards(replica: Graph, class: &str, shard_graphs: Vec<Graph>) -> Self {
+        let layout = partition_layout(&replica, class, shard_graphs.len());
+        let endpoint = ShardedEndpoint {
+            shards: shard_graphs.into_iter().map(LocalEndpoint::new).collect(),
+            replica: LocalEndpoint::new(replica),
+            layout,
             class_iri: class.to_owned(),
             latency: None,
             row_latency: None,

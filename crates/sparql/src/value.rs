@@ -99,7 +99,9 @@ pub fn total_compare_numeric(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
-        (false, false) => a.partial_cmp(&b).expect("non-NaN comparison is total"),
+        // partial_cmp is Some for any two non-NaN floats; Equal is the
+        // harmless answer if that invariant ever moved under us.
+        (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
     }
 }
 

@@ -234,6 +234,63 @@ fn dbpedia_workload_is_byte_identical() {
 }
 
 #[test]
+fn snapshot_reassembled_shards_are_byte_identical() {
+    // The deployment path the snapshot cache enables: partition once, write
+    // one snapshot per shard, then re-assemble the endpoint from the loaded
+    // artifacts (`ShardedEndpoint::from_loaded_shards`) instead of
+    // re-partitioning. The reassembled endpoint must route and answer
+    // exactly like one partitioned from scratch.
+    let dataset = eurostat::generate(400, 7);
+    let local = LocalEndpoint::new(dataset.graph.clone());
+    let queries = workload(&dataset);
+    let dir = std::env::temp_dir().join(format!("re2x-shard-reassembly-{}", std::process::id()));
+    for &n in &[2usize, 4] {
+        let parts = re2x_rdf::partition(&dataset.graph, &dataset.observation_class, n);
+        let paths = parts
+            .write_shard_snapshots(&dir, "reassembly")
+            .expect("write shard snapshots");
+        let shard_graphs: Vec<re2x_rdf::Graph> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                re2x_rdf::load_shard_snapshot(p, "reassembly", i, n).expect("load shard snapshot")
+            })
+            .collect();
+        let reassembled = ShardedEndpoint::from_loaded_shards(
+            dataset.graph.clone(),
+            &dataset.observation_class,
+            shard_graphs,
+        );
+        let fresh = ShardedEndpoint::with_observation_class(
+            dataset.graph.clone(),
+            &dataset.observation_class,
+            n,
+        );
+        for text in &queries {
+            let query = parse_query(text).expect("workload query parses");
+            // The re-derived layout must route exactly like the original.
+            assert_eq!(
+                reassembled.route(&query),
+                fresh.route(&query),
+                "route diverged after reassembly: n={n}: {text}"
+            );
+            assert_identical(
+                &reassembled,
+                &local,
+                &query,
+                Numeric::Exact,
+                &format!("reassembled n={n}: {text}"),
+            );
+        }
+        assert!(
+            reassembled.scatter_count() >= 10,
+            "reassembled n={n} scatters"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn full_stack_composition_is_byte_identical() {
     // Caching over tracing over sharded: the decorator stack the session
     // layer composes in production.

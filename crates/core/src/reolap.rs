@@ -208,7 +208,7 @@ fn validate_candidates(
     });
     verdicts
         .into_iter()
-        .map(|verdict| Ok(verdict.map(re2x_sparql::AsyncResponse::into_ask)?))
+        .map(|verdict| Ok(verdict.and_then(re2x_sparql::AsyncResponse::into_ask)?))
         .collect()
 }
 
@@ -349,7 +349,7 @@ pub fn reolap_multi(
                 let verdict = verdicts
                     .next()
                     .expect("one verdict per submitted ASK")
-                    .map(re2x_sparql::AsyncResponse::into_ask)?;
+                    .and_then(re2x_sparql::AsyncResponse::into_ask)?;
                 valid &= verdict;
             }
             if valid {

@@ -367,7 +367,7 @@ impl<'a> Session<'a> {
             });
             results
                 .into_iter()
-                .map(|r| Ok(r.map(AsyncResponse::into_select)?))
+                .map(|r| Ok(r.and_then(AsyncResponse::into_select)?))
                 .collect::<Result<Vec<Solutions>, Re2xError>>()?
         };
         let cost = self.cost_end(begin);

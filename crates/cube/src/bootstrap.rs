@@ -160,7 +160,14 @@ pub fn bootstrap_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("dimension crawl thread panicked"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                // contain a worker panic as a crawl failure instead of
+                // re-panicking at scope exit and killing the session
+                Err(_) => Err(SparqlError::Endpoint(
+                    "dimension crawl thread panicked".into(),
+                )),
+            })
             .collect()
     });
     for crawl in crawls {
@@ -338,10 +345,15 @@ impl Slot {
         Ok(true)
     }
 
-    fn take_select(self) -> Solutions {
+    /// Consumes a completed slot. Taking a still-pending slot (a crawl
+    /// bookkeeping bug) or a shape mismatch surfaces as a typed error that
+    /// aborts the crawl, like any failed query would.
+    fn take_select(self) -> Result<Solutions, SparqlError> {
         match self {
             Slot::Ready(response) => response.into_select(),
-            Slot::Pending(_) => unreachable!("slot taken before completion"),
+            Slot::Pending(_) => Err(SparqlError::Endpoint(
+                "bootstrap slot taken before completion".into(),
+            )),
         }
     }
 }
@@ -407,17 +419,21 @@ impl AsyncCrawl<'_> {
     fn advance_label(&mut self, dim: usize, chain: &mut LabelChain) -> bool {
         while chain.label.is_none() {
             let Some(ticket) = &chain.ticket else {
-                unreachable!("unresolved chain always has a probe in flight");
+                // an unresolved chain always has a probe in flight; if the
+                // invariant ever breaks, fall back to the local-name label
+                // (what the chain running dry would produce) instead of
+                // panicking mid-crawl
+                chain.label = Some(humanize(local_name(&chain.iri)));
+                return true;
             };
             match self.pool.poll(ticket) {
                 Poll::Pending => return false,
                 Poll::Ready(result) => {
                     chain.ticket = None;
-                    if let Ok(response) = result {
-                        if let Some(value) = response.into_select().value(0, "l") {
-                            chain.label = Some(value.string_form(self.graph));
-                            return true;
-                        }
+                    let solutions = result.and_then(AsyncResponse::into_select).ok();
+                    if let Some(value) = solutions.as_ref().and_then(|s| s.value(0, "l")) {
+                        chain.label = Some(value.string_form(self.graph));
+                        return true;
                     }
                     chain.next_pred += 1;
                     match self.config.label_predicates.get(chain.next_pred) {
@@ -450,7 +466,7 @@ impl AsyncCrawl<'_> {
             dim,
             member_predicates_query(self.config, &path, Func::IsLiteral),
         ));
-        let label = self.start_label(dim, path.last().expect("non-empty").clone());
+        let label = self.start_label(dim, path.last().cloned().unwrap_or_default());
         let rollups = (path.len() < self.config.max_depth).then(|| {
             self.queries[dim] += 1;
             Slot::Pending(self.submit(
@@ -615,7 +631,7 @@ fn advance_task(task: CrawlTask, crawl: &mut AsyncCrawl<'_>) -> Result<TaskStep,
             if !slot.advance(crawl.pool)? {
                 return Ok(TaskStep::Pending(CrawlTask::Count { dim, path, slot }));
             }
-            let member_count = count_from(&slot.take_select(), crawl.graph);
+            let member_count = count_from(&slot.take_select()?, crawl.graph);
             if member_count == 0 {
                 // mirrors the serial early return: no detail queries
                 return Ok(TaskStep::Spawned(Vec::new()));
@@ -646,9 +662,9 @@ fn advance_task(task: CrawlTask, crawl: &mut AsyncCrawl<'_>) -> Result<TaskStep,
                     rollups,
                 }));
             }
-            let attributes = predicates_from(&attrs.take_select(), crawl.graph);
+            let attributes = predicates_from(&attrs.take_select()?, crawl.graph);
             let rollups = match rollups {
-                Some(slot) => predicates_from(&slot.take_select(), crawl.graph),
+                Some(slot) => predicates_from(&slot.take_select()?, crawl.graph),
                 None => Vec::new(),
             };
             // explore children exactly as the serial recursion would
@@ -828,7 +844,7 @@ fn collect_levels(
     let attributes = member_predicates(endpoint, config, &path, Func::IsLiteral, queries)?;
     let label = label_of(
         endpoint,
-        path.last().expect("non-empty"),
+        path.last().map(String::as_str).unwrap_or_default(),
         &config.label_predicates,
     );
     *queries += 1;

@@ -2,6 +2,7 @@
 //! matching, and the lock-graph assembly.
 
 use crate::findings::Finding;
+use crate::rules::dataflow::{self, DataflowContext};
 use crate::rules::lock_order::{self, LockEdge, LockRegistration};
 use crate::rules::{debug_output, forbid_unsafe, panic_freedom, seam, wallclock};
 use crate::source::SourceFile;
@@ -16,6 +17,9 @@ const WALLCLOCK_SKIP: &[&str] = &["bench"];
 const DEBUG_OUTPUT_SKIP: &[&str] = &["bench"];
 /// The algorithm layers bound to the `SparqlEndpoint` seam.
 const SEAM_ONLY: &[&str] = &["core", "cube"];
+/// Measurement/test-infrastructure crates are exempt from the dataflow
+/// rules too: they assert, print, and block by design.
+const DATAFLOW_SKIP: &[&str] = &["bench", "testkit"];
 
 /// The result of linting a set of files (before baseline application).
 #[derive(Debug, Default)]
@@ -26,15 +30,36 @@ pub struct LintResult {
     pub suppressed: usize,
     /// The workspace lock registry.
     pub registrations: Vec<LockRegistration>,
-    /// The workspace nested-acquisition graph.
+    /// The workspace nested-acquisition graph (extracted from code).
     pub edges: Vec<LockEdge>,
+    /// Nesting orders declared in comments (`// lock-order: A -> B`).
+    pub declared: Vec<LockEdge>,
 }
 
 /// Lints prepared source files (the unit the fixture tests drive).
 pub fn lint_files(files: &[SourceFile]) -> LintResult {
     let mut result = LintResult::default();
+
+    // Pass 1: assemble the workspace lock registry, the extracted nesting
+    // graph, and the declared edges — the dataflow rules need the declared
+    // set regardless of which file declares an edge.
+    let mut per_file_locks = Vec::with_capacity(files.len());
     for file in files {
-        let mut raw: Vec<Finding> = Vec::new();
+        let locks = lock_order::analyze(file);
+        result.registrations.extend(locks.registrations.clone());
+        result.edges.extend(locks.edges.clone());
+        result.declared.extend(locks.declared.clone());
+        per_file_locks.push(locks);
+    }
+    let declared_pairs: Vec<(String, String)> = result
+        .declared
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+
+    // Pass 2: per-file rules.
+    for (file, locks) in files.iter().zip(per_file_locks) {
+        let mut raw: Vec<Finding> = locks.findings;
         if !PANIC_FREEDOM_SKIP.contains(&file.crate_name.as_str()) {
             raw.extend(panic_freedom::check(file));
         }
@@ -47,13 +72,20 @@ pub fn lint_files(files: &[SourceFile]) -> LintResult {
         if SEAM_ONLY.contains(&file.crate_name.as_str()) {
             raw.extend(seam::check(file));
         }
+        if !DATAFLOW_SKIP.contains(&file.crate_name.as_str()) {
+            let ctx = DataflowContext {
+                field_to_name: locks
+                    .registrations
+                    .iter()
+                    .map(|r| (r.field.as_str(), r.name.as_str()))
+                    .collect(),
+                declared: &declared_pairs,
+            };
+            raw.extend(dataflow::check(file, &ctx));
+        }
         if file.path.ends_with("src/lib.rs") {
             raw.extend(forbid_unsafe::check(file));
         }
-        let locks = lock_order::analyze(file);
-        raw.extend(locks.findings);
-        result.registrations.extend(locks.registrations);
-        result.edges.extend(locks.edges);
 
         for finding in raw {
             if file.is_allowed(finding.rule, finding.line) {
@@ -64,11 +96,30 @@ pub fn lint_files(files: &[SourceFile]) -> LintResult {
         }
     }
 
-    // Workspace-level lock-order checks: duplicate names and cycles.
+    // Workspace-level lock-order checks: duplicate names, declared edges
+    // naming unregistered locks, and cycles over the union of extracted
+    // and declared edges (a declared deadlock is still a deadlock).
     result
         .findings
         .extend(lock_order::duplicate_name_findings(&result.registrations));
-    for cycle in lock_order::find_cycles(&result.edges) {
+    for edge in &result.declared {
+        for endpoint in [&edge.from, &edge.to] {
+            if !result.registrations.iter().any(|r| &r.name == endpoint) {
+                result.findings.push(Finding {
+                    rule: "lock-order",
+                    file: edge.file.clone(),
+                    line: edge.line,
+                    snippet: format!("lock-order: {} -> {}", edge.from, edge.to),
+                    message: format!(
+                        "declared edge references `{endpoint}`, which is not a registered lock"
+                    ),
+                });
+            }
+        }
+    }
+    let mut graph = result.edges.clone();
+    graph.extend(result.declared.iter().cloned());
+    for cycle in lock_order::find_cycles(&graph) {
         let (file, line) = cycle.site.clone();
         result.findings.push(Finding {
             rule: "lock-order",
@@ -182,10 +233,53 @@ pub fn apply_baseline(findings: Vec<Finding>, baseline_lines: &[String]) -> Base
     outcome
 }
 
-/// Renders findings as baseline lines (sorted, one per finding).
+/// Renders the machine-readable report the binary prints for
+/// `--format json`. Every string field is routed through the shared
+/// [`crate::findings::json_escape`] escaper, so snippets containing
+/// quotes or backslashes (`.expect("non-empty")`) stay parseable.
+pub fn report_to_json(outcome: &BaselineOutcome, result: &LintResult) -> String {
+    use crate::findings::{finding_to_json, json_escape};
+    let findings_json: Vec<String> = outcome.new_findings.iter().map(finding_to_json).collect();
+    let stale_json: Vec<String> = outcome
+        .stale
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    let edge_json = |e: &LockEdge| {
+        format!(
+            "{{\"from\":\"{}\",\"to\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+            json_escape(&e.from),
+            json_escape(&e.to),
+            json_escape(&e.file),
+            e.line
+        )
+    };
+    let edges_json: Vec<String> = result.edges.iter().map(edge_json).collect();
+    let declared_json: Vec<String> = result.declared.iter().map(edge_json).collect();
+    let locks_json: Vec<String> = result
+        .registrations
+        .iter()
+        .map(|r| format!("\"{}\"", json_escape(&r.name)))
+        .collect();
+    format!(
+        "{{\"findings\":[{}],\"stale_baseline\":[{}],\"baseline_matched\":{},\"suppressed\":{},\"locks\":[{}],\"lock_edges\":[{}],\"declared_edges\":[{}]}}",
+        findings_json.join(","),
+        stale_json.join(","),
+        outcome.matched,
+        result.suppressed,
+        locks_json.join(","),
+        edges_json.join(","),
+        declared_json.join(",")
+    )
+}
+
+/// Renders findings as baseline lines, sorted by rule, then path, then
+/// snippet — byte-identical output for identical findings regardless of
+/// discovery order, so `--write-baseline` diffs are reviewable.
 pub fn to_baseline(findings: &[Finding]) -> String {
-    let mut lines: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
-    lines.sort();
+    let mut ordered: Vec<&Finding> = findings.iter().collect();
+    ordered.sort_by(|a, b| (a.rule, &a.file, &a.snippet).cmp(&(b.rule, &b.file, &b.snippet)));
+    let lines: Vec<String> = ordered.iter().map(|f| f.baseline_key()).collect();
     let mut out = String::from(
         "# re2x-lint suppression baseline: pre-existing findings accepted as debt.\n\
          # The gate fails on any finding not listed here AND on stale entries,\n\

@@ -10,8 +10,8 @@
 
 // lint:allow-file(no-debug-output, rendering findings to the terminal is this binary's job)
 
-use re2x_lint::engine::{apply_baseline, collect_files, lint_files, to_baseline};
-use re2x_lint::findings::{finding_to_json, finding_to_text, json_escape};
+use re2x_lint::engine::{apply_baseline, collect_files, lint_files, report_to_json, to_baseline};
+use re2x_lint::findings::finding_to_text;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -110,44 +110,11 @@ fn run() -> Result<ExitCode, String> {
             Err(_) => Vec::new(), // absent baseline == empty baseline
         }
     };
-    let outcome = apply_baseline(result.findings, &baseline_lines);
+    let outcome = apply_baseline(result.findings.clone(), &baseline_lines);
 
     match opts.format {
         Format::Json => {
-            let findings_json: Vec<String> =
-                outcome.new_findings.iter().map(finding_to_json).collect();
-            let stale_json: Vec<String> = outcome
-                .stale
-                .iter()
-                .map(|s| format!("\"{}\"", json_escape(s)))
-                .collect();
-            let edges_json: Vec<String> = result
-                .edges
-                .iter()
-                .map(|e| {
-                    format!(
-                        "{{\"from\":\"{}\",\"to\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
-                        json_escape(&e.from),
-                        json_escape(&e.to),
-                        json_escape(&e.file),
-                        e.line
-                    )
-                })
-                .collect();
-            let locks_json: Vec<String> = result
-                .registrations
-                .iter()
-                .map(|r| format!("\"{}\"", json_escape(&r.name)))
-                .collect();
-            println!(
-                "{{\"findings\":[{}],\"stale_baseline\":[{}],\"baseline_matched\":{},\"suppressed\":{},\"locks\":[{}],\"lock_edges\":[{}]}}",
-                findings_json.join(","),
-                stale_json.join(","),
-                outcome.matched,
-                result.suppressed,
-                locks_json.join(","),
-                edges_json.join(",")
-            );
+            println!("{}", report_to_json(&outcome, &result));
         }
         Format::Text => {
             for finding in &outcome.new_findings {

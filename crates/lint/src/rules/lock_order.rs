@@ -1,27 +1,38 @@
 //! `lock-order`: a real deadlock detector for the workspace's lock stack.
 //!
-//! Three cooperating checks:
+//! Four cooperating checks:
 //!
 //! 1. **Registry** — every `Mutex<…>` / `RwLock<…>` field must be declared
 //!    in the lock registry with a `// lock-order: <name>` annotation on
 //!    (or directly above) the field. Unregistered locks are findings: a
 //!    lock nobody named is a lock nobody ordered.
-//! 2. **Acquisition extraction** — every `.lock()` / `.read()` /
+//! 2. **Declared edges** — `// lock-order: A -> B` declares that nesting
+//!    B under A is an intended, reviewed order. Declared edges exempt the
+//!    `guard-across-wait` dataflow rule and join cycle detection (so a
+//!    *declared* deadlock is still a finding); the runtime witness checks
+//!    observed nesting against this same graph.
+//! 3. **Acquisition extraction** — every `.lock()` / `.read()` /
 //!    `.write()` on a registered field (including through the
-//!    poison-tolerant `lock_or_recover(&…)` helper) is resolved to its
-//!    lock name. Guard lifetimes are tracked lexically: a `let`-bound
-//!    guard is held until its enclosing block closes or an explicit
-//!    `drop(guard)`, an unbound temporary until the end of its statement.
-//! 3. **Nested-acquisition graph** — acquiring lock B while holding lock A
+//!    poison-tolerant `lock_or_recover("name", &…)` helper) is resolved
+//!    to its lock name; a name *literal* that disagrees with the field's
+//!    registered name is a finding (the witness would record edges under
+//!    the wrong name). Guard lifetimes are tracked lexically: a
+//!    `let`-bound guard is held until its enclosing block closes or an
+//!    explicit `drop(guard)`, an unbound temporary until the end of its
+//!    statement.
+//! 4. **Nested-acquisition graph** — acquiring lock B while holding lock A
 //!    adds the edge A → B. The engine unions edges across the workspace
 //!    and fails on any cycle (including A → A re-acquisition, which
 //!    self-deadlocks on a non-reentrant `std::sync::Mutex`).
 //!
 //! The analysis is intra-function and lexical: it cannot see a nesting
 //! that spans a call boundary. The workspace convention backing that
-//! limitation is that no function calls out of the crate while holding a
-//! lock — the decorator stack drops its guard before invoking the inner
-//! endpoint (see `CachingEndpoint::select`).
+//! limitation — no function calls out of the crate while holding a lock;
+//! the decorator stack drops its guard before invoking the inner endpoint
+//! (see `CachingEndpoint::select`) — is enforced by the scope-aware
+//! `no-calls-under-lock` rule, and the runtime lock witness
+//! (`re2x_obs::sync`, `RE2X_LOCK_WITNESS=1`) validates the whole static
+//! graph against the nesting real threads actually perform.
 
 use super::significant;
 use crate::findings::Finding;
@@ -61,6 +72,8 @@ pub struct FileLocks {
     pub registrations: Vec<LockRegistration>,
     /// Nested acquisitions observed in this file.
     pub edges: Vec<LockEdge>,
+    /// Nesting orders declared in this file (`// lock-order: A -> B`).
+    pub declared: Vec<LockEdge>,
     /// Per-file findings (unregistered locks, dangling annotations).
     pub findings: Vec<Finding>,
 }
@@ -68,20 +81,25 @@ pub struct FileLocks {
 /// Runs registry extraction and nesting analysis over one file.
 pub fn analyze(file: &SourceFile) -> FileLocks {
     let mut out = FileLocks::default();
-    let registrations = extract_registry(file, &mut out.findings);
+    let registrations = extract_registry(file, &mut out.findings, &mut out.declared);
     let field_to_name: Vec<(&str, &str)> = registrations
         .iter()
         .map(|r| (r.field.as_str(), r.name.as_str()))
         .collect();
-    extract_edges(file, &field_to_name, &mut out.edges);
+    extract_edges(file, &field_to_name, &mut out.edges, &mut out.findings);
     out.registrations = registrations;
     out
 }
 
 /// Parses `// lock-order: name` comments and pairs each with the lock
 /// field on the same or the directly following line. Flags `Mutex`/`RwLock`
-/// fields that have no annotation.
-fn extract_registry(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<LockRegistration> {
+/// fields that have no annotation. `// lock-order: A -> B` comments are
+/// declared nesting edges, not registrations.
+fn extract_registry(
+    file: &SourceFile,
+    findings: &mut Vec<Finding>,
+    declared: &mut Vec<LockEdge>,
+) -> Vec<LockRegistration> {
     let text = &file.text;
     // (line, name) of each annotation comment
     let mut annotations: Vec<(u32, String)> = Vec::new();
@@ -95,6 +113,28 @@ fn extract_registry(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<LockR
             continue;
         };
         if let Some(rest) = body.strip_prefix("lock-order:") {
+            if let Some((from, to)) = rest.split_once("->") {
+                let from = from.trim();
+                let to = to.split_whitespace().next().unwrap_or("");
+                if from.is_empty() || to.is_empty() {
+                    findings.push(Finding {
+                        rule: "lock-order",
+                        file: file.path.clone(),
+                        line: t.line,
+                        snippet: file.line_snippet(t.line),
+                        message: "declared `lock-order:` edge needs both lock names (`A -> B`)"
+                            .to_owned(),
+                    });
+                } else {
+                    declared.push(LockEdge {
+                        from: from.to_owned(),
+                        to: to.to_owned(),
+                        file: file.path.clone(),
+                        line: t.line,
+                    });
+                }
+                continue;
+            }
             let name = rest.split_whitespace().next().unwrap_or("").to_owned();
             if name.is_empty() {
                 findings.push(Finding {
@@ -203,8 +243,14 @@ struct Held {
 
 /// Scans the file linearly, tracking brace depth and held guards, and
 /// records an edge for every acquisition made while another registered
-/// lock is held.
-fn extract_edges(file: &SourceFile, field_to_name: &[(&str, &str)], edges: &mut Vec<LockEdge>) {
+/// lock is held. Also cross-checks the witness name literal passed to
+/// `lock_or_recover("name", …)` against the field's registered name.
+fn extract_edges(
+    file: &SourceFile,
+    field_to_name: &[(&str, &str)],
+    edges: &mut Vec<LockEdge>,
+    findings: &mut Vec<Finding>,
+) {
     let toks = significant(file);
     let text = &file.text;
     let resolve = |field: &str| -> Option<&str> {
@@ -244,6 +290,26 @@ fn extract_edges(file: &SourceFile, field_to_name: &[(&str, &str)], edges: &mut 
 
         if let Some((lock_name, site)) = acquisition_at(&toks, text, i, &resolve) {
             if !file.in_test_region(toks[i].start) {
+                // `lock_or_recover("name", …)`: the runtime witness
+                // records edges under the literal — it must match the
+                // registry or the static/dynamic cross-check drifts.
+                if word == "lock_or_recover" {
+                    if let Some(lit_tok) = toks.get(i + 2).filter(|t| t.kind == TokenKind::Str) {
+                        let literal = lit_tok.text(text).trim_matches('"');
+                        if literal != lock_name {
+                            findings.push(Finding {
+                                rule: "lock-order",
+                                file: file.path.clone(),
+                                line: site,
+                                snippet: file.line_snippet(site),
+                                message: format!(
+                                    "witness name literal \"{literal}\" disagrees with the \
+                                     registered name `{lock_name}` of this field"
+                                ),
+                            });
+                        }
+                    }
+                }
                 for h in &held {
                     edges.push(LockEdge {
                         from: h.name.clone(),

@@ -2,6 +2,7 @@
 //! reports [`Finding`]s; `lock_order` additionally feeds a workspace-wide
 //! nested-acquisition graph assembled by the engine.
 
+pub mod dataflow;
 pub mod debug_output;
 pub mod forbid_unsafe;
 pub mod lock_order;
@@ -17,6 +18,9 @@ use crate::source::SourceFile;
 pub const ALL_RULES: &[&str] = &[
     "panic-freedom",
     "lock-order",
+    "no-calls-under-lock",
+    "guard-across-wait",
+    "discarded-result",
     "no-wallclock",
     "endpoint-seam",
     "forbid-unsafe",

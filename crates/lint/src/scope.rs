@@ -1,0 +1,252 @@
+//! Scope layer over the token stream: a brace tree plus guard-liveness
+//! tracking, the substrate the dataflow rules run on.
+//!
+//! The lexer guarantees braces inside strings, chars, and comments never
+//! surface as `Punct` tokens, so a linear scan over the significant token
+//! stream sees exactly the structural `{`/`}` pairs. [`ScopeTree::build`]
+//! turns them into a tree (item → fn → block nesting); [`GuardTracker`]
+//! layers lock-guard lifetimes on top: a `let`-bound guard lives until its
+//! enclosing block closes, an explicit `drop(guard)`, or a consuming call
+//! (`wait_or_recover(cv, guard)`); an unbound temporary dies at the end of
+//! its statement.
+
+use crate::lexer::Token;
+
+/// One `{ … }` block: indices into the significant token slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the `{` token.
+    pub open: usize,
+    /// Index of the matching `}` token; `None` if the file ends first.
+    pub close: Option<usize>,
+    /// Index into [`ScopeTree::blocks`] of the enclosing block.
+    pub parent: Option<usize>,
+    /// Nesting depth (0 = top-level item body).
+    pub depth: usize,
+}
+
+/// The brace tree of one file.
+#[derive(Debug, Default)]
+pub struct ScopeTree {
+    /// Blocks in opening order.
+    pub blocks: Vec<Block>,
+    /// `false` if a `}` had no matching `{` or a `{` was never closed.
+    pub balanced: bool,
+}
+
+impl ScopeTree {
+    /// Builds the tree from a significant (comment-free) token stream.
+    pub fn build(toks: &[Token], text: &str) -> ScopeTree {
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut balanced = true;
+        for (i, t) in toks.iter().enumerate() {
+            match t.text(text) {
+                "{" => {
+                    blocks.push(Block {
+                        open: i,
+                        close: None,
+                        parent: stack.last().copied(),
+                        depth: stack.len(),
+                    });
+                    stack.push(blocks.len() - 1);
+                }
+                "}" => match stack.pop() {
+                    Some(b) => blocks[b].close = Some(i),
+                    None => balanced = false,
+                },
+                _ => {}
+            }
+        }
+        if !stack.is_empty() {
+            balanced = false;
+        }
+        ScopeTree { blocks, balanced }
+    }
+
+    /// Index of the innermost block containing token `tok`, if any.
+    pub fn innermost_at(&self, tok: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (b, block) in self.blocks.iter().enumerate() {
+            let close = block.close.unwrap_or(usize::MAX);
+            if block.open < tok && tok < close {
+                match best {
+                    Some(prev) if self.blocks[prev].depth >= block.depth => {}
+                    _ => best = Some(b),
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether every block's span nests strictly inside its parent's —
+    /// the invariant the property suite checks on seeded inputs.
+    pub fn spans_nest(&self) -> bool {
+        self.blocks.iter().all(|b| match b.parent {
+            None => true,
+            Some(p) => {
+                let parent = &self.blocks[p];
+                parent.open < b.open
+                    && match (b.close, parent.close) {
+                        (Some(c), Some(pc)) => c < pc,
+                        (None, _) => parent.close.is_none(),
+                        (Some(_), None) => true,
+                    }
+            }
+        })
+    }
+}
+
+/// A lock guard currently live at some point of the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveGuard {
+    /// Registry name of the guarded lock, when the acquisition resolved.
+    pub lock: Option<String>,
+    /// The `let`-bound variable holding the guard; `None` for temporaries.
+    pub var: Option<String>,
+    /// Brace depth at the acquisition site.
+    pub depth: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// Tracks which guards are live during a linear scan of one file.
+///
+/// The model is lexical: a guard bound by `let` is held until its block
+/// closes, `drop(var)`, or a consuming call takes `var` by value; an
+/// unbound temporary is held until its statement's `;`. This matches the
+/// `lock-order` edge extractor so the two analyses agree on "holding".
+#[derive(Debug, Default)]
+pub struct GuardTracker {
+    held: Vec<LiveGuard>,
+    depth: usize,
+}
+
+impl GuardTracker {
+    /// Fresh tracker (no guards, depth 0).
+    pub fn new() -> GuardTracker {
+        GuardTracker::default()
+    }
+
+    /// Observes a `{`.
+    pub fn open_brace(&mut self) {
+        self.depth += 1;
+    }
+
+    /// Observes a `}`: guards acquired in the closing block die.
+    pub fn close_brace(&mut self) {
+        let depth = self.depth;
+        self.held.retain(|h| h.depth < depth);
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Observes a `;`: unbound temporaries at the current depth die.
+    pub fn end_statement(&mut self) {
+        let depth = self.depth;
+        self.held.retain(|h| h.var.is_some() || h.depth != depth);
+    }
+
+    /// Releases the guard bound to `var` (explicit `drop(var)` or a call
+    /// that consumed it by value).
+    pub fn release_var(&mut self, var: &str) {
+        self.held.retain(|h| h.var.as_deref() != Some(var));
+    }
+
+    /// Registers a fresh acquisition at the current depth.
+    pub fn acquire(&mut self, lock: Option<String>, var: Option<String>, line: u32) {
+        self.held.push(LiveGuard {
+            lock,
+            var,
+            depth: self.depth,
+            line,
+        });
+    }
+
+    /// Guards live right now, outermost first.
+    pub fn live(&self) -> &[LiveGuard] {
+        &self.held
+    }
+
+    /// Whether any guard is live.
+    pub fn any_live(&self) -> bool {
+        !self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::significant;
+    use crate::source::SourceFile;
+
+    fn tree(src: &str) -> ScopeTree {
+        let file = SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), src.into());
+        ScopeTree::build(&significant(&file), src)
+    }
+
+    #[test]
+    fn nested_blocks_form_a_tree() {
+        let t = tree("fn a() { if x { y(); } }\nfn b() {}\n");
+        assert!(t.balanced);
+        assert!(t.spans_nest());
+        assert_eq!(t.blocks.len(), 3);
+        assert_eq!(t.blocks[0].depth, 0);
+        assert_eq!(t.blocks[1].parent, Some(0));
+        assert_eq!(t.blocks[1].depth, 1);
+        assert_eq!(t.blocks[2].parent, None, "fn b body is a new root");
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_unbalance() {
+        let t = tree("fn a() { let s = \"}}{{\"; let r = r#\"{\"#; }\n");
+        assert!(t.balanced);
+        assert_eq!(t.blocks.len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_is_reported_not_panicked() {
+        assert!(!tree("fn a() { {\n").balanced);
+        assert!(!tree("}}\n").balanced);
+    }
+
+    #[test]
+    fn innermost_at_picks_the_deepest_block() {
+        let src = "fn a() { if x { y(); } }\n";
+        let t = tree(src);
+        let file = SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), src.into());
+        let toks = significant(&file);
+        let y = toks
+            .iter()
+            .position(|t| t.text(src) == "y")
+            .expect("y token");
+        let inner = t.innermost_at(y).expect("inside a block");
+        assert_eq!(t.blocks[inner].depth, 1);
+    }
+
+    #[test]
+    fn guard_tracker_scopes_and_drops() {
+        let mut g = GuardTracker::new();
+        g.open_brace();
+        g.acquire(Some("a".into()), Some("ga".into()), 1);
+        g.open_brace();
+        g.acquire(Some("b".into()), Some("gb".into()), 2);
+        assert_eq!(g.live().len(), 2);
+        g.close_brace();
+        assert_eq!(g.live().len(), 1, "inner-block guard died with its block");
+        g.release_var("ga");
+        assert!(!g.any_live());
+    }
+
+    #[test]
+    fn temporaries_die_at_statement_end() {
+        let mut g = GuardTracker::new();
+        g.open_brace();
+        g.acquire(Some("a".into()), None, 1);
+        assert!(g.any_live());
+        g.end_statement();
+        assert!(!g.any_live());
+        g.acquire(Some("a".into()), Some("held".into()), 2);
+        g.end_statement();
+        assert!(g.any_live(), "let-bound guards survive their statement");
+    }
+}

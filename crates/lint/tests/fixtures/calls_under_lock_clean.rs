@@ -1,0 +1,37 @@
+//! no-calls-under-lock CLEAN fixture: the `fx.stats` guard is released
+//! (by scope exit or an explicit `drop`) before the endpoint, the bus,
+//! or the filesystem is touched.
+
+use std::sync::Mutex;
+
+pub struct Guarded {
+    // lock-order: fx.stats
+    stats: Mutex<u64>,
+}
+
+impl Guarded {
+    pub fn snapshot_then_query(&self, endpoint: &dyn Endpoint, query: &str) -> u64 {
+        let snapshot = {
+            let guard = lock_or_recover("fx.stats", &self.stats);
+            *guard
+        };
+        snapshot + endpoint.select(query)
+    }
+
+    pub fn drop_then_publish(&self, bus: &Bus, event: u64) {
+        let guard = lock_or_recover("fx.stats", &self.stats);
+        let snapshot = *guard;
+        drop(guard);
+        bus.publish(snapshot + event);
+    }
+
+    pub fn scope_then_persist(&self, path: &str) -> u64 {
+        let snapshot;
+        {
+            let guard = lock_or_recover("fx.stats", &self.stats);
+            snapshot = *guard;
+        }
+        let bytes = std::fs::read(path);
+        snapshot + bytes.len() as u64
+    }
+}

@@ -1,0 +1,36 @@
+//! no-calls-under-lock FIRE fixture: an endpoint query, a bus publish,
+//! a blocking write, and a `std::fs` touch all happen while the
+//! `fx.stats` guard is still live.
+
+use std::sync::Mutex;
+
+pub struct Guarded {
+    // lock-order: fx.stats
+    stats: Mutex<u64>,
+}
+
+impl Guarded {
+    pub fn query_under_lock(&self, endpoint: &dyn Endpoint, query: &str) -> u64 {
+        let guard = lock_or_recover("fx.stats", &self.stats);
+        let rows = endpoint.select(query);
+        *guard + rows
+    }
+
+    pub fn publish_under_lock(&self, bus: &Bus, event: u64) {
+        let guard = lock_or_recover("fx.stats", &self.stats);
+        bus.publish(*guard + event);
+        drop(guard);
+        bus.publish(event);
+    }
+
+    pub fn write_under_lock(&self, sink: &mut Sink) {
+        let guard = lock_or_recover("fx.stats", &self.stats);
+        sink.write_all(&guard.to_le_bytes());
+    }
+
+    pub fn persist_under_lock(&self, path: &str) -> u64 {
+        let guard = lock_or_recover("fx.stats", &self.stats);
+        let bytes = std::fs::read(path);
+        *guard + bytes.len() as u64
+    }
+}

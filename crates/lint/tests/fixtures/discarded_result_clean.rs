@@ -1,0 +1,19 @@
+//! discarded-result CLEAN fixture: every call site consumes the
+//! `Result` — bound to a name, propagated with `?`, inspected, returned,
+//! or matched.
+
+pub fn persist(path: &str) -> Result<usize, String> {
+    Ok(path.len())
+}
+
+pub fn run(path: &str) -> Result<usize, String> {
+    let first = persist(path)?;
+    let outcome = persist(path);
+    if persist(path).is_ok() {
+        return persist(path);
+    }
+    match persist(path) {
+        Ok(n) => Ok(first + n),
+        Err(e) => outcome.map(|n| n + e.len()),
+    }
+}

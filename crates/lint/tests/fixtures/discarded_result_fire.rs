@@ -1,0 +1,11 @@
+//! discarded-result FIRE fixture: both discard shapes on a same-file
+//! `Result`-returning function.
+
+pub fn persist(path: &str) -> Result<usize, String> {
+    Ok(path.len())
+}
+
+pub fn run(path: &str) {
+    let _ = persist(path);
+    persist(path);
+}

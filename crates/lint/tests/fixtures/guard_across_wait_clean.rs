@@ -1,0 +1,39 @@
+//! guard-across-wait CLEAN fixture: the `fx.left -> fx.right` nesting is
+//! declared, so the nested acquisition and the wait under `fx.left` are
+//! intended; `sequential` scopes the first guard out before the second.
+
+use std::sync::{Condvar, Mutex};
+
+// lock-order: fx.left -> fx.right
+
+pub struct Pair {
+    // lock-order: fx.left
+    left: Mutex<u64>,
+    // lock-order: fx.right
+    right: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Pair {
+    pub fn nested(&self) -> u64 {
+        let outer = lock_or_recover("fx.left", &self.left);
+        let inner = lock_or_recover("fx.right", &self.right);
+        *outer + *inner
+    }
+
+    pub fn wait_under_declared_edge(&self) -> u64 {
+        let held = lock_or_recover("fx.left", &self.left);
+        let mut slot = lock_or_recover("fx.right", &self.right);
+        slot = wait_or_recover(&self.cv, slot);
+        *held + *slot
+    }
+
+    pub fn sequential(&self) -> u64 {
+        let first = {
+            let guard = lock_or_recover("fx.right", &self.right);
+            *guard
+        };
+        let outer = lock_or_recover("fx.left", &self.left);
+        first + *outer
+    }
+}

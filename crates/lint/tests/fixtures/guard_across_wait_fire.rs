@@ -1,0 +1,27 @@
+//! guard-across-wait FIRE fixture: an undeclared nested acquisition
+//! (twice) and a condvar wait entered with a second guard still held.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Pair {
+    // lock-order: fx.left
+    left: Mutex<u64>,
+    // lock-order: fx.right
+    right: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Pair {
+    pub fn nested(&self) -> u64 {
+        let outer = lock_or_recover("fx.left", &self.left);
+        let inner = lock_or_recover("fx.right", &self.right);
+        *outer + *inner
+    }
+
+    pub fn wait_holding(&self) -> u64 {
+        let held = lock_or_recover("fx.left", &self.left);
+        let mut slot = lock_or_recover("fx.right", &self.right);
+        slot = wait_or_recover(&self.cv, slot);
+        *held + *slot
+    }
+}

@@ -1,9 +1,11 @@
 //! lock-order CLEAN fixture: both locks are registered, nesting happens
-//! in one global order only (`fx.outer -> fx.inner`), and the re-entrant
-//! looking site in `sequential` drops the first guard before taking the
-//! second, so no edge (and no cycle) arises there.
+//! in one global order only (`fx.outer -> fx.inner`) which is declared,
+//! and the re-entrant looking site in `sequential` drops the first guard
+//! before taking the second, so no edge (and no cycle) arises there.
 
 use std::sync::Mutex;
+
+// lock-order: fx.outer -> fx.inner
 
 pub struct Nested {
     // lock-order: fx.outer

@@ -4,7 +4,19 @@
 //! boundaries, with whitespace-only gaps that reassemble the source.
 
 use re2x_lint::lexer::tokenize;
+use re2x_lint::rules::significant;
+use re2x_lint::scope::ScopeTree;
+use re2x_lint::SourceFile;
 use re2x_testkit::{check, TestRng};
+
+fn scope_tree(source: &str) -> ScopeTree {
+    let file = SourceFile::new(
+        "crates/fx/src/prop.rs".to_owned(),
+        "fx".to_owned(),
+        source.to_owned(),
+    );
+    ScopeTree::build(&significant(&file), source)
+}
 
 /// Spans must reassemble the input: each token's byte range lies on char
 /// boundaries, tokens are ordered and disjoint, and the text between
@@ -122,6 +134,83 @@ fn tokenize_never_panics_on_truncated_fragments() {
         let cut = *rng.pick(&boundaries);
         let _ = tokenize(&source[..cut]);
     });
+}
+
+#[test]
+fn brace_tree_is_balanced_and_spans_nest_on_spliced_fragments() {
+    // every fragment is individually brace-balanced, so any whitespace
+    // splice of them must yield a balanced tree with nesting spans
+    check("brace tree on spliced fragments", |rng: &mut TestRng| {
+        let mut source = String::new();
+        for _ in 0..rng.gen_range(0usize..12) {
+            let fragment = rng.pick(FRAGMENTS);
+            source.push_str(fragment);
+            // non-empty separators: fragments must not merge into one
+            // token (a raw-string fence swallowing a later `{`)
+            let separator = rng.pick(&[" ", "\n", "\t"]);
+            source.push_str(separator);
+        }
+        let tree = scope_tree(&source);
+        assert!(
+            tree.balanced,
+            "balanced fragments stay balanced: {source:?}"
+        );
+        assert!(tree.spans_nest(), "spans must nest: {source:?}");
+        for (b, block) in tree.blocks.iter().enumerate() {
+            if let Some(p) = block.parent {
+                assert!(p < b, "parents open before children");
+                assert_eq!(
+                    tree.blocks[p].depth + 1,
+                    block.depth,
+                    "depth is parent depth + 1"
+                );
+            } else {
+                assert_eq!(block.depth, 0, "roots sit at depth 0");
+            }
+        }
+    });
+}
+
+#[test]
+fn brace_tree_never_panics_on_arbitrary_unicode() {
+    check("brace tree on arbitrary unicode", |rng: &mut TestRng| {
+        let source = rng.unicode_string(0..80);
+        // may be unbalanced — that must be reported, never panicked,
+        // and the span invariant holds regardless
+        let tree = scope_tree(&source);
+        assert!(
+            tree.spans_nest(),
+            "spans must nest even unbalanced: {source:?}"
+        );
+    });
+}
+
+#[test]
+fn brace_tree_hard_cases() {
+    // nested raw strings, byte strings, and char literals full of braces
+    // contribute nothing to the tree
+    for (source, blocks) in [
+        ("fn a() { let s = r##\"{ \"# { \"##; }", 1),
+        ("fn a() { let b = b\"{{{\"; let c = b'{'; }", 1),
+        ("fn a() { let open = '{'; let close = '}'; }", 1),
+        ("fn a() { /* { */ if x { /* } */ y(); } }", 2),
+        ("fn a<'x>(v: &'x str) -> &'x str { v }", 1),
+        ("macro_rules! m { () => { { } } }", 3),
+    ] {
+        let tree = scope_tree(source);
+        assert!(tree.balanced, "{source:?}");
+        assert!(tree.spans_nest(), "{source:?}");
+        assert_eq!(tree.blocks.len(), blocks, "{source:?}: {:?}", tree.blocks);
+    }
+    // truncated input: reported unbalanced, open block has no close
+    let tree = scope_tree("fn a() { if x {");
+    assert!(!tree.balanced);
+    assert_eq!(tree.blocks.len(), 2);
+    assert!(tree.blocks.iter().all(|b| b.close.is_none()));
+    // stray closers: reported unbalanced, no phantom blocks
+    let tree = scope_tree("} fn a() {}");
+    assert!(!tree.balanced);
+    assert_eq!(tree.blocks.len(), 1);
 }
 
 #[test]

@@ -1,0 +1,90 @@
+//! Output-format regressions: the JSON report must stay valid JSON even
+//! when snippets carry quotes/backslashes, and `--write-baseline` must be
+//! deterministic and round-trip to a clean run.
+
+use re2x_lint::engine::{apply_baseline, lint_files, report_to_json, to_baseline};
+use re2x_lint::SourceFile;
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// A source whose offending lines are full of JSON-hostile characters.
+fn hostile_file(path: &str) -> SourceFile {
+    let text = "pub fn f(input: Option<u32>) -> u32 {\n\
+                \x20   input.expect(\"C:\\\\data\\\\ \\\"quoted\\\" name\")\n\
+                }\n";
+    SourceFile::new(path.to_owned(), "fx".to_owned(), text.to_owned())
+}
+
+#[test]
+fn json_report_survives_quotes_and_backslashes() {
+    let result = lint_files(&[hostile_file("crates/fx/src/hostile.rs")]);
+    assert!(
+        !result.findings.is_empty(),
+        "the fixture must produce a finding whose snippet needs escaping"
+    );
+    let outcome = apply_baseline(result.findings.clone(), &[]);
+    let json = report_to_json(&outcome, &result);
+    assert!(
+        json.contains("\\\\") && json.contains("\\\""),
+        "escapes present in the payload: {json}"
+    );
+
+    // Validate with a real parser when one is around; the string checks
+    // above still cover the escaping path when python3 is absent.
+    let Ok(mut child) = Command::new("python3")
+        .args(["-m", "json.tool"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+    else {
+        return;
+    };
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(json.as_bytes())
+        .expect("feed json.tool");
+    let status = child.wait().expect("json.tool exits");
+    assert!(status.success(), "python3 -m json.tool rejected: {json}");
+}
+
+#[test]
+fn baseline_is_deterministic_and_round_trips() {
+    // Same files, both lint orders: the written baseline is identical.
+    let forward = lint_files(&[
+        hostile_file("crates/fx/src/one.rs"),
+        hostile_file("crates/fx/src/two.rs"),
+    ]);
+    let backward = lint_files(&[
+        hostile_file("crates/fx/src/two.rs"),
+        hostile_file("crates/fx/src/one.rs"),
+    ]);
+    assert!(!forward.findings.is_empty());
+    let text = to_baseline(&forward.findings);
+    assert_eq!(
+        text,
+        to_baseline(&backward.findings),
+        "baseline output must not depend on file order"
+    );
+    let entries: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .collect();
+    let mut sorted = entries.clone();
+    sorted.sort_unstable();
+    assert_eq!(entries, sorted, "entries are written sorted");
+
+    // Round trip: applying the baseline we just wrote yields a clean run
+    // with nothing stale.
+    let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let outcome = apply_baseline(forward.findings.clone(), &lines);
+    assert!(
+        outcome.new_findings.is_empty(),
+        "{:?}",
+        outcome.new_findings
+    );
+    assert!(outcome.stale.is_empty(), "{:?}", outcome.stale);
+    assert_eq!(outcome.matched, forward.findings.len());
+}

@@ -186,6 +186,148 @@ fn lock_order_flags_unregistered_lock_fields() {
 }
 
 #[test]
+fn calls_under_lock_fires_on_endpoint_publish_and_io() {
+    let fire = lint_fixture("calls_under_lock_fire.rs", "fx", "crates/fx/src/busy.rs");
+    assert_eq!(
+        rules_fired(&fire),
+        vec!["no-calls-under-lock"; 4],
+        "endpoint select, bus publish, write_all, and std::fs each fire: {:?}",
+        fire.findings
+    );
+    assert!(
+        fire.findings[0].message.contains("select")
+            && fire.findings[0].message.contains("fx.stats"),
+        "the finding names both the call and the held lock: {}",
+        fire.findings[0].message
+    );
+    assert!(
+        fire.findings[3].message.contains("std::fs"),
+        "{}",
+        fire.findings[3].message
+    );
+    let clean = lint_fixture("calls_under_lock_clean.rs", "fx", "crates/fx/src/calm.rs");
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+}
+
+#[test]
+fn guard_across_wait_fires_without_a_declared_edge() {
+    let fire = lint_fixture("guard_across_wait_fire.rs", "fx", "crates/fx/src/pairy.rs");
+    assert_eq!(
+        rules_fired(&fire),
+        vec!["guard-across-wait"; 3],
+        "two undeclared nestings plus the wait under a held guard: {:?}",
+        fire.findings
+    );
+    assert!(
+        fire.findings[0]
+            .message
+            .contains("declare `// lock-order: fx.left -> fx.right`"),
+        "the nesting finding suggests the declaration syntax: {}",
+        fire.findings[0].message
+    );
+    assert!(
+        fire.findings[2].message.contains("condvar wait")
+            && fire.findings[2].message.contains("fx.left"),
+        "the wait finding names the guard held across the park: {}",
+        fire.findings[2].message
+    );
+}
+
+#[test]
+fn guard_across_wait_clean_when_nesting_is_declared() {
+    let clean = lint_fixture("guard_across_wait_clean.rs", "fx", "crates/fx/src/pairy.rs");
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+    assert_eq!(
+        clean.declared.len(),
+        1,
+        "the fixture declares exactly one edge: {:?}",
+        clean.declared
+    );
+    assert_eq!(clean.declared[0].from, "fx.left");
+    assert_eq!(clean.declared[0].to, "fx.right");
+}
+
+#[test]
+fn discarded_result_fires_on_both_discard_shapes() {
+    let fire = lint_fixture(
+        "discarded_result_fire.rs",
+        "fx",
+        "crates/fx/src/careless.rs",
+    );
+    assert_eq!(
+        rules_fired(&fire),
+        vec!["discarded-result", "discarded-result"],
+        "`let _ =` and the bare statement each fire: {:?}",
+        fire.findings
+    );
+    assert!(fire.findings[0].message.contains("persist"));
+    let clean = lint_fixture(
+        "discarded_result_clean.rs",
+        "fx",
+        "crates/fx/src/careful.rs",
+    );
+    assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+}
+
+#[test]
+fn witness_literal_must_match_the_registered_name() {
+    let source = "use std::sync::Mutex;\n\
+                  pub struct S {\n\
+                  \x20   // lock-order: fx.real\n\
+                  \x20   field: Mutex<u32>,\n\
+                  }\n\
+                  impl S {\n\
+                  \x20   pub fn get(&self) -> u32 {\n\
+                  \x20       *lock_or_recover(\"fx.typo\", &self.field)\n\
+                  \x20   }\n\
+                  }\n";
+    let result = lint_files(&[SourceFile::new(
+        "crates/fx/src/s.rs".to_owned(),
+        "fx".to_owned(),
+        source.to_owned(),
+    )]);
+    assert_eq!(
+        rules_fired(&result),
+        vec!["lock-order"],
+        "{:?}",
+        result.findings
+    );
+    assert!(
+        result.findings[0].message.contains("fx.typo")
+            && result.findings[0].message.contains("fx.real"),
+        "the mismatch names both the literal and the registered name: {}",
+        result.findings[0].message
+    );
+}
+
+#[test]
+fn declared_edge_endpoints_must_be_registered() {
+    let source = "use std::sync::Mutex;\n\
+                  // lock-order: fx.ghost -> fx.real\n\
+                  pub struct S {\n\
+                  \x20   // lock-order: fx.real\n\
+                  \x20   field: Mutex<u32>,\n\
+                  }\n";
+    let result = lint_files(&[SourceFile::new(
+        "crates/fx/src/s.rs".to_owned(),
+        "fx".to_owned(),
+        source.to_owned(),
+    )]);
+    assert_eq!(
+        rules_fired(&result),
+        vec!["lock-order"],
+        "{:?}",
+        result.findings
+    );
+    assert!(
+        result.findings[0].message.contains("fx.ghost")
+            && result.findings[0].message.contains("not a registered lock"),
+        "{}",
+        result.findings[0].message
+    );
+}
+
+#[test]
 fn allow_file_suppresses_the_whole_file() {
     let mut text = fixture("debug_fire.rs");
     text.insert_str(

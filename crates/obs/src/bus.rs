@@ -111,6 +111,12 @@ struct BusCore {
     subscribers: Mutex<Vec<Arc<SubscriberInner>>>,
 }
 
+// The fan-out path pushes into each subscriber ring while walking the
+// subscriber list, so this nesting is the one intended edge in the
+// workspace lock graph. The runtime witness (RE2X_LOCK_WITNESS=1)
+// validates that threads only ever nest in this declared order.
+// lock-order: obs.bus.subscribers -> obs.bus.ring
+
 /// The fan-out bus. Cheap to clone (clones share one core); the
 /// `Default` bus has no subscribers and costs one atomic load per
 /// publish.
@@ -175,7 +181,7 @@ impl EventBus {
             ring: Mutex::new(VecDeque::with_capacity(capacity)),
         });
         {
-            let mut subs = lock_or_recover(&self.core.subscribers);
+            let mut subs = lock_or_recover("obs.bus.subscribers", &self.core.subscribers);
             subs.push(Arc::clone(&sub));
         }
         self.core.active.fetch_add(1, Ordering::AcqRel);
@@ -207,12 +213,12 @@ impl EventBus {
     }
 
     fn fan_out(&self, event: &BusEvent) {
-        let mut subs = lock_or_recover(&self.core.subscribers);
+        let mut subs = lock_or_recover("obs.bus.subscribers", &self.core.subscribers);
         // Closed streams unregister lazily: pruned here, on the next
         // publish after their drop.
         subs.retain(|s| !s.closed.load(Ordering::Acquire));
         for sub in subs.iter() {
-            let mut ring = lock_or_recover(&sub.ring);
+            let mut ring = lock_or_recover("obs.bus.ring", &sub.ring);
             if ring.len() >= sub.capacity {
                 ring.pop_front();
                 sub.dropped.fetch_add(1, Ordering::AcqRel);
@@ -260,7 +266,9 @@ impl EventStream {
     /// empty vec means nothing was published since the last poll.
     pub fn poll(&self) -> Vec<BusEvent> {
         match &self.sub {
-            Some(sub) => lock_or_recover(&sub.ring).drain(..).collect(),
+            Some(sub) => lock_or_recover("obs.bus.ring", &sub.ring)
+                .drain(..)
+                .collect(),
             None => Vec::new(),
         }
     }

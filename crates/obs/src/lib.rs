@@ -17,7 +17,13 @@
 //!   events and metric deltas ([`Tracer::subscribe`]); producers never
 //!   block and pay nothing (one atomic load) while nobody listens;
 //! * a JSONL parser ([`parse`]) — the exporters' inverse, so recorded
-//!   logs replay offline (`repro watch`).
+//!   logs replay offline (`repro watch`);
+//! * poison-tolerant locking ([`sync`]) — [`lock_or_recover`] /
+//!   [`wait_or_recover`] strip poison instead of cascading panics, and
+//!   with `RE2X_LOCK_WITNESS=1` double as a runtime **lock witness**:
+//!   each acquisition records the nesting edges real threads perform
+//!   ([`witness_edges`]), which the `re2x-lint` witness gate checks
+//!   against the static `// lock-order:` registry.
 //!
 //! The crate is a dependency *leaf*: every layer of the workspace,
 //! including `re2x-sparql` at the bottom of the stack, can depend on it
@@ -46,7 +52,10 @@ pub use metrics::{label, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use parse::{
     parse_bus_event, parse_bus_events, parse_trace_event, parse_trace_events, ParseError,
 };
-pub use sync::{lock_or_recover, wait_or_recover};
+pub use sync::{
+    lock_or_recover, wait_or_recover, witness_edges, witness_enable_for_tests, witness_enabled,
+    witness_reset, ObservedEdge, WitnessGuard,
+};
 pub use tracer::{
     AdoptGuard, PhaseQueryStats, QueryKind, SpanGuard, SpanHandle, TraceEvent, Tracer, UNATTRIBUTED,
 };

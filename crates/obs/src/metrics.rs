@@ -82,7 +82,7 @@ impl Metrics {
     /// Adds `delta` to the counter `name`, creating it at zero first.
     pub fn counter_add(&self, name: &str, delta: u64) {
         {
-            let mut inner = lock_or_recover(&self.inner);
+            let mut inner = lock_or_recover("obs.metrics", &self.inner);
             *inner.counters.entry(name.to_owned()).or_insert(0) += delta;
         }
         self.bus.publish_with(|at| BusEvent::Counter {
@@ -95,7 +95,7 @@ impl Metrics {
     /// Sets the gauge `name` to `value`.
     pub fn gauge_set(&self, name: &str, value: f64) {
         {
-            let mut inner = lock_or_recover(&self.inner);
+            let mut inner = lock_or_recover("obs.metrics", &self.inner);
             inner.gauges.insert(name.to_owned(), value);
         }
         self.bus.publish_with(|at| BusEvent::Gauge {
@@ -111,7 +111,7 @@ impl Metrics {
     /// must fold atomically rather than last-write-wins.
     pub fn gauge_add(&self, name: &str, delta: f64) {
         let value = {
-            let mut inner = lock_or_recover(&self.inner);
+            let mut inner = lock_or_recover("obs.metrics", &self.inner);
             let v = inner.gauges.entry(name.to_owned()).or_insert(0.0);
             *v += delta;
             *v
@@ -128,7 +128,7 @@ impl Metrics {
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, latency: Duration) {
         {
-            let mut inner = lock_or_recover(&self.inner);
+            let mut inner = lock_or_recover("obs.metrics", &self.inner);
             let entry = inner.histograms.entry(name.to_owned()).or_default();
             entry.histogram.record(latency);
             entry.sum += latency;
@@ -142,25 +142,25 @@ impl Metrics {
 
     /// Current value of a counter (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        let inner = lock_or_recover(&self.inner);
+        let inner = lock_or_recover("obs.metrics", &self.inner);
         inner.counters.get(name).copied().unwrap_or(0)
     }
 
     /// Current value of a gauge, if it was ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        let inner = lock_or_recover(&self.inner);
+        let inner = lock_or_recover("obs.metrics", &self.inner);
         inner.gauges.get(name).copied()
     }
 
     /// Copy of a histogram, if it ever recorded an observation.
     pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
-        let inner = lock_or_recover(&self.inner);
+        let inner = lock_or_recover("obs.metrics", &self.inner);
         inner.histograms.get(name).copied()
     }
 
     /// Point-in-time copy of everything, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = lock_or_recover(&self.inner);
+        let inner = lock_or_recover("obs.metrics", &self.inner);
         MetricsSnapshot {
             counters: inner
                 .counters

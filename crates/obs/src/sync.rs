@@ -1,4 +1,4 @@
-//! Poison-tolerant lock acquisition.
+//! Poison-tolerant lock acquisition with an optional runtime lock witness.
 //!
 //! `std::sync::Mutex` poisons itself when a thread panics while holding
 //! the guard; every later `.lock().unwrap()` then panics too, cascading
@@ -10,25 +10,236 @@
 //!
 //! [`lock_or_recover`] (and [`wait_or_recover`] for condvar loops) does
 //! exactly that — acquire, and on poison strip the flag and hand the
-//! guard back.
+//! guard back. Every acquisition names its lock with the same identifier
+//! the static registry uses (`// lock-order: <name>` in `re2x-lint`), so
+//! the two views of the lock graph stay cross-checkable.
+//!
+//! ## The lock witness (`RE2X_LOCK_WITNESS=1`)
+//!
+//! The static lock-order analysis in `re2x-lint` is intra-function and
+//! lexical: a nesting that spans a call boundary is invisible to it. The
+//! witness closes that gap at runtime. When the environment variable
+//! `RE2X_LOCK_WITNESS` is `1`, every [`lock_or_recover`] pushes its lock
+//! name onto a thread-local held-stack and records one observed nesting
+//! edge `held → acquired` (with the acquiring call site, via
+//! `#[track_caller]`) into a global edge set for every lock the thread
+//! already holds. Tests then assert the observed edges are a subset of
+//! the statically declared graph and acyclic ([`witness_edges`],
+//! `crates/lint/tests/witness_gate.rs`).
+//!
+//! Like the disabled tracer, the witness costs nothing when off: one
+//! relaxed atomic load per acquisition, no allocation, no extra locking.
 
+use std::cell::RefCell;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-/// Locks `mutex`, recovering the guard if a panicking thread poisoned it.
-pub fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    match mutex.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
+// ---- witness state ---------------------------------------------------------
+
+/// Tri-state enable flag: 0 = not yet probed, 1 = on, 2 = off.
+static WITNESS_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// One runtime-observed nesting: `to` was acquired while `from` was held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedEdge {
+    /// The lock already held.
+    pub from: &'static str,
+    /// The lock acquired under it.
+    pub to: &'static str,
+    /// Source file of the inner acquisition (the `lock_or_recover` caller).
+    pub file: &'static str,
+    /// Line of the inner acquisition.
+    pub line: u32,
+}
+
+impl ObservedEdge {
+    /// `file:line` of the acquiring call site.
+    pub fn site(&self) -> String {
+        format!("{}:{}", self.file, self.line)
     }
 }
 
-/// Blocks on `condvar` releasing `guard`, recovering the reacquired guard
-/// if the mutex was poisoned while this thread slept.
-pub fn wait_or_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    match condvar.wait(guard) {
+/// The global observed-edge set. Deduplicated on `(from, to)`, so its size
+/// is bounded by the square of the (small, static) lock-name universe.
+/// Guarded by a plain `Mutex` acquired with raw `.lock()` so the witness
+/// never re-enters itself.
+// lock-order: obs.witness.edges
+static WITNESS_EDGES: Mutex<Vec<ObservedEdge>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Names of the locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether the runtime lock witness is recording. Probes the
+/// `RE2X_LOCK_WITNESS` environment variable once; afterwards the check is
+/// one relaxed atomic load.
+pub fn witness_enabled() -> bool {
+    match WITNESS_STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("RE2X_LOCK_WITNESS").is_ok_and(|v| v == "1");
+            WITNESS_STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Turns the witness on for the current process regardless of the
+/// environment (test harnesses flip it before driving concurrent suites).
+pub fn witness_enable_for_tests() {
+    WITNESS_STATE.store(1, Ordering::Relaxed);
+}
+
+/// Snapshot of every nesting edge observed since start (or the last
+/// [`witness_reset`]). Empty when the witness is off.
+pub fn witness_edges() -> Vec<ObservedEdge> {
+    match WITNESS_EDGES.lock() {
+        Ok(edges) => edges.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
+}
+
+/// Clears the observed-edge set (the held-stacks are per-thread and
+/// self-balancing, so they need no reset).
+pub fn witness_reset() {
+    match WITNESS_EDGES.lock() {
+        Ok(mut edges) => edges.clear(),
+        Err(poisoned) => poisoned.into_inner().clear(),
+    }
+}
+
+/// RAII half of the witness: pops the held-stack entry pushed at
+/// acquisition. Separate from the guard itself so [`WitnessGuard`] has no
+/// `Drop` impl and stays destructurable for the condvar handoff.
+struct HeldToken {
+    name: &'static str,
+    active: bool,
+}
+
+impl HeldToken {
+    /// Records nesting edges against everything currently held, pushes
+    /// `name`, and returns the token that will pop it. Inert (and
+    /// allocation-free) when the witness is off.
+    #[track_caller]
+    fn acquire(name: &'static str) -> HeldToken {
+        if !witness_enabled() {
+            return HeldToken {
+                name,
+                active: false,
+            };
+        }
+        let caller = Location::caller();
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            for &from in held.iter() {
+                record_edge(ObservedEdge {
+                    from,
+                    to: name,
+                    file: caller.file(),
+                    line: caller.line(),
+                });
+            }
+            held.push(name);
+        });
+        HeldToken { name, active: true }
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        // `try_with` so a guard dropped during thread teardown (after the
+        // thread-local is destroyed) degrades silently instead of aborting.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(at) = held.iter().rposition(|&n| n == self.name) {
+                held.remove(at);
+            }
+        });
+    }
+}
+
+fn record_edge(edge: ObservedEdge) {
+    let mut edges = match WITNESS_EDGES.lock() {
+        Ok(edges) => edges,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if !edges.iter().any(|e| e.from == edge.from && e.to == edge.to) {
+        edges.push(edge);
+    }
+}
+
+// ---- guards ----------------------------------------------------------------
+
+/// A [`MutexGuard`] paired with its witness token. Dereferences like the
+/// plain guard; on drop the token pops the thread's held-stack.
+///
+/// The type deliberately has no `Drop` impl of its own (only the token
+/// does), so [`wait_or_recover`] can destructure it, hand the inner guard
+/// to the condvar, and re-wrap the reacquired guard under the same token —
+/// a condvar wait releases and reacquires the *same* lock, which is not a
+/// new nesting.
+pub struct WitnessGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    token: HeldToken,
+}
+
+impl<T> std::ops::Deref for WitnessGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for WitnessGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for WitnessGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WitnessGuard")
+            .field("name", &self.token.name)
+            .field("data", &*self.guard)
+            .finish()
+    }
+}
+
+/// Locks `mutex` under the registry name `name`, recovering the guard if a
+/// panicking thread poisoned it. `name` must be the lock's `// lock-order:`
+/// registration — `re2x-lint` cross-checks the literal against the registry,
+/// and the runtime witness records nesting edges under it.
+#[track_caller]
+pub fn lock_or_recover<'a, T>(name: &'static str, mutex: &'a Mutex<T>) -> WitnessGuard<'a, T> {
+    let token = HeldToken::acquire(name);
+    let guard = match mutex.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
-    }
+    };
+    WitnessGuard { guard, token }
+}
+
+/// Blocks on `condvar` releasing `guard`, recovering the reacquired guard
+/// if the mutex was poisoned while this thread slept. The witness token
+/// rides along: the thread never stops "holding" the lock's place in its
+/// acquisition order, and no new edge is recorded on reacquisition.
+pub fn wait_or_recover<'a, T>(
+    condvar: &Condvar,
+    guard: WitnessGuard<'a, T>,
+) -> WitnessGuard<'a, T> {
+    let WitnessGuard { guard, token } = guard;
+    let guard = match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    WitnessGuard { guard, token }
 }
 
 #[cfg(test)]
@@ -50,15 +261,15 @@ mod tests {
     fn recovers_data_from_poisoned_mutex() {
         let mutex = Arc::new(Mutex::new(41));
         poison(&mutex);
-        *lock_or_recover(&mutex) += 1;
-        assert_eq!(*lock_or_recover(&mutex), 42);
+        *lock_or_recover("test.poisoned", &mutex) += 1;
+        assert_eq!(*lock_or_recover("test.poisoned", &mutex), 42);
     }
 
     #[test]
     fn unpoisoned_path_is_transparent() {
         let mutex = Mutex::new(String::from("a"));
-        lock_or_recover(&mutex).push('b');
-        assert_eq!(*lock_or_recover(&mutex), "ab");
+        lock_or_recover("test.transparent", &mutex).push('b');
+        assert_eq!(*lock_or_recover("test.transparent", &mutex), "ab");
     }
 
     #[test]
@@ -68,7 +279,7 @@ mod tests {
             let pair = Arc::clone(&pair);
             std::thread::spawn(move || {
                 let (mutex, condvar) = &*pair;
-                let mut ready = lock_or_recover(mutex);
+                let mut ready = lock_or_recover("test.wait", mutex);
                 while !*ready {
                     ready = wait_or_recover(condvar, ready);
                 }
@@ -85,9 +296,90 @@ mod tests {
             .join();
             assert!(mutex.is_poisoned());
             // …then flag readiness through the recovered guard
-            *lock_or_recover(mutex) = true;
+            *lock_or_recover("test.wait", mutex) = true;
             condvar.notify_all();
         }
         waiter.join().expect("waiter survives the poisoned mutex");
+    }
+
+    #[test]
+    fn witness_records_nesting_and_pops_on_drop() {
+        witness_enable_for_tests();
+        witness_reset();
+        let outer = Mutex::new(1u32);
+        let inner = Mutex::new(2u32);
+        {
+            let _o = lock_or_recover("test.witness.outer", &outer);
+            let _i = lock_or_recover("test.witness.inner", &inner);
+        }
+        // after both guards dropped, a sibling acquisition sees no nesting
+        {
+            let _i = lock_or_recover("test.witness.inner", &inner);
+        }
+        let edges = witness_edges();
+        let nested: Vec<_> = edges
+            .iter()
+            .filter(|e| e.from.starts_with("test.witness."))
+            .collect();
+        assert_eq!(nested.len(), 1, "exactly one observed edge: {edges:?}");
+        assert_eq!(nested[0].from, "test.witness.outer");
+        assert_eq!(nested[0].to, "test.witness.inner");
+        assert!(
+            nested[0].file.ends_with("sync.rs"),
+            "call site is the acquiring line, got {}",
+            nested[0].file
+        );
+        witness_reset();
+        assert!(witness_edges().is_empty());
+    }
+
+    #[test]
+    fn witness_edges_deduplicate() {
+        witness_enable_for_tests();
+        witness_reset();
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        for _ in 0..3 {
+            let _a = lock_or_recover("test.dedupe.a", &a);
+            let _b = lock_or_recover("test.dedupe.b", &b);
+        }
+        let observed = witness_edges()
+            .iter()
+            .filter(|e| e.from == "test.dedupe.a")
+            .count();
+        assert_eq!(observed, 1, "repeat nestings collapse to one edge");
+        witness_reset();
+    }
+
+    #[test]
+    fn wait_does_not_invent_edges() {
+        witness_enable_for_tests();
+        witness_reset();
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (mutex, condvar) = &*pair;
+                let mut ready = lock_or_recover("test.waitedge", mutex);
+                while !*ready {
+                    ready = wait_or_recover(condvar, ready);
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (mutex, condvar) = &*pair;
+            *lock_or_recover("test.waitedge", &pair.0) = true;
+            let _ = mutex;
+            condvar.notify_all();
+        }
+        waiter.join().expect("waiter exits");
+        assert!(
+            !witness_edges()
+                .iter()
+                .any(|e| e.from == "test.waitedge" || e.to == "test.waitedge"),
+            "a condvar wait reacquiring its own lock is not a nesting"
+        );
+        witness_reset();
     }
 }

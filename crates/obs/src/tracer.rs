@@ -235,7 +235,7 @@ impl TracerCore {
         self.metrics
             .bus()
             .publish_with(|_| BusEvent::Trace(event.clone()));
-        lock_or_recover(&self.events).push(event);
+        lock_or_recover("obs.tracer.events", &self.events).push(event);
     }
 
     fn now(&self) -> Duration {
@@ -474,7 +474,7 @@ impl Tracer {
             .current_path()
             .unwrap_or_else(|| UNATTRIBUTED.to_owned());
         {
-            let mut prov = lock_or_recover(&core.provenance);
+            let mut prov = lock_or_recover("obs.tracer.provenance", &core.provenance);
             let stats = prov.entry(path.clone()).or_default();
             match kind {
                 QueryKind::Select => stats.selects += 1,
@@ -504,7 +504,7 @@ impl Tracer {
             .current_path()
             .unwrap_or_else(|| UNATTRIBUTED.to_owned());
         {
-            let mut prov = lock_or_recover(&core.provenance);
+            let mut prov = lock_or_recover("obs.tracer.provenance", &core.provenance);
             let stats = prov.entry(path.clone()).or_default();
             if hit {
                 stats.cache_hits += 1;
@@ -578,7 +578,7 @@ impl Tracer {
     pub fn events(&self) -> Vec<TraceEvent> {
         self.core
             .as_deref()
-            .map(|c| lock_or_recover(&c.events).clone())
+            .map(|c| lock_or_recover("obs.tracer.events", &c.events).clone())
             .unwrap_or_default()
     }
 
@@ -587,7 +587,7 @@ impl Tracer {
     pub fn take_events(&self) -> Vec<TraceEvent> {
         self.core
             .as_deref()
-            .map(|c| std::mem::take(&mut *lock_or_recover(&c.events)))
+            .map(|c| std::mem::take(&mut *lock_or_recover("obs.tracer.events", &c.events)))
             .unwrap_or_default()
     }
 
@@ -596,7 +596,7 @@ impl Tracer {
         self.core
             .as_deref()
             .map(|c| {
-                lock_or_recover(&c.provenance)
+                lock_or_recover("obs.tracer.provenance", &c.provenance)
                     .iter()
                     .map(|(k, &v)| (k.clone(), v))
                     .collect()

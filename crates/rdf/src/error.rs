@@ -58,6 +58,10 @@ pub enum RdfError {
         /// The key embedded in the file.
         found: String,
     },
+    /// The interner is full: it already holds the maximum number of
+    /// distinct terms a `TermId` can address (`u32::MAX`), and a new term
+    /// was presented for interning.
+    TermCapacity,
     /// An I/O error while reading or writing a snapshot.
     Io(String),
 }
@@ -99,6 +103,9 @@ impl fmt::Display for RdfError {
                     "snapshot key mismatch: expected '{expected}', file holds '{found}'"
                 )
             }
+            RdfError::TermCapacity => {
+                write!(f, "interner full: u32::MAX distinct terms reached")
+            }
             RdfError::Io(message) => write!(f, "snapshot i/o error: {message}"),
         }
     }
@@ -130,5 +137,9 @@ mod tests {
         };
         assert_eq!(e.to_string(), "unknown prefix 'ex:' at line 7");
         assert_eq!(RdfError::UnknownTerm(9).to_string(), "unknown term id 9");
+        assert_eq!(
+            RdfError::TermCapacity.to_string(),
+            "interner full: u32::MAX distinct terms reached"
+        );
     }
 }

@@ -4,8 +4,14 @@
 //! which keeps joins and hash lookups cheap (see the hashing notes in
 //! [`crate::hash`]) and makes solution rows `Copy`.
 
+use crate::error::RdfError;
 use crate::hash::FxHashMap;
 use crate::term::Term;
+
+/// The maximum number of distinct terms an interner can hold: every id up
+/// to `u32::MAX - 1` is addressable, and `u32::MAX` itself is reserved for
+/// [`TermId::OVERFLOW`].
+pub const TERM_CAPACITY: usize = u32::MAX as usize;
 
 /// A dense identifier for an interned [`Term`].
 ///
@@ -15,6 +21,11 @@ use crate::term::Term;
 pub struct TermId(pub u32);
 
 impl TermId {
+    /// Sentinel id returned by the infallible [`Interner::intern`] when the
+    /// table is full. It never resolves to a term ([`Interner::resolve`]
+    /// panics on it like any foreign id) and never matches a real triple.
+    pub const OVERFLOW: TermId = TermId(u32::MAX);
+
     /// The raw index.
     #[inline]
     pub fn index(self) -> usize {
@@ -41,17 +52,29 @@ impl Interner {
         Self::default()
     }
 
-    /// Interns a term, returning its id (existing or fresh).
+    /// Interns a term, returning its id (existing or fresh). If the table
+    /// is already at [`TERM_CAPACITY`], the term is dropped and the
+    /// [`TermId::OVERFLOW`] sentinel comes back — callers that must
+    /// distinguish the case use [`Interner::try_intern`].
     pub fn intern(&mut self, term: Term) -> TermId {
+        self.try_intern(term).unwrap_or(TermId::OVERFLOW)
+    }
+
+    /// Interns a term, returning a typed error instead of a sentinel when
+    /// the table is full.
+    pub fn try_intern(&mut self, term: Term) -> Result<TermId, RdfError> {
         if let Some(&id) = self.ids.get(&term) {
-            return id;
+            return Ok(id);
         }
-        let id = TermId(u32::try_from(self.terms.len()).expect("more than u32::MAX terms"));
+        if self.terms.len() >= TERM_CAPACITY {
+            return Err(RdfError::TermCapacity);
+        }
+        let id = TermId(self.terms.len() as u32);
         let numeric = term.as_literal().and_then(|l| l.as_f64());
         self.numeric.push(numeric);
         self.ids.insert(term.clone(), id);
         self.terms.push(term);
-        id
+        Ok(id)
     }
 
     /// Rebuilds an interner from a term table in interning order — the
@@ -62,7 +85,7 @@ impl Interner {
     /// more than `u32::MAX` entries (both impossible for a table produced
     /// by a real interner, so they signal a corrupt snapshot).
     pub fn from_terms(terms: Vec<Term>) -> Option<Interner> {
-        if u32::try_from(terms.len()).is_err() {
+        if terms.len() > TERM_CAPACITY {
             return None;
         }
         let mut ids = FxHashMap::default();
@@ -203,6 +226,19 @@ mod tests {
         i.intern(Term::iri("http://ex/2"));
         let ids: Vec<u32> = i.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn try_intern_matches_intern_and_overflow_is_reserved() {
+        let mut i = Interner::new();
+        let a = i.intern(Term::iri("http://ex/a"));
+        assert_eq!(i.try_intern(Term::iri("http://ex/a")), Ok(a));
+        let b = i.try_intern(Term::iri("http://ex/b")).expect("capacity");
+        assert_ne!(a, b);
+        // the sentinel can never be handed out: it sits at the reserved
+        // index one past TERM_CAPACITY - 1
+        assert_eq!(TermId::OVERFLOW.index(), TERM_CAPACITY);
+        assert!(i.get(&Term::iri("http://ex/a")) != Some(TermId::OVERFLOW));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod vocab;
 
 pub use error::RdfError;
 pub use graph::{Graph, PredicateStats, Triple};
-pub use interner::{Interner, TermId};
+pub use interner::{Interner, TermId, TERM_CAPACITY};
 pub use partition::{
     partition, partition_layout, partition_observations, PartitionLayout, Partitioned,
     PredicateRole,

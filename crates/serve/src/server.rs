@@ -254,7 +254,7 @@ impl Server {
             return Err(ServeError::UnknownTenant(tenant));
         }
         let admitted = {
-            let mut guard = lock_or_recover(&self.inner.queue);
+            let mut guard = lock_or_recover("serve.server.queue", &self.inner.queue);
             if guard.shutting_down {
                 Err(ServeError::ShuttingDown)
             } else if guard.jobs.len() >= self.inner.queue_capacity {
@@ -298,7 +298,7 @@ impl Server {
     /// Blocks until the ticket's session completes and returns its
     /// outcome. Each ticket is redeemable once.
     pub fn wait(&self, ticket: Ticket) -> Result<SessionTranscript, ServeError> {
-        let mut guard = lock_or_recover(&self.inner.results);
+        let mut guard = lock_or_recover("serve.server.results", &self.inner.results);
         loop {
             if let Some(result) = guard.remove(&ticket.0) {
                 return result;
@@ -336,19 +336,19 @@ impl Server {
     /// session (queued and in-flight), then joins the workers. Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut guard = lock_or_recover(&self.inner.queue);
+            let mut guard = lock_or_recover("serve.server.queue", &self.inner.queue);
             guard.shutting_down = true;
         }
         self.inner.jobs_cv.notify_all();
         {
-            let mut guard = lock_or_recover(&self.inner.queue);
+            let mut guard = lock_or_recover("serve.server.queue", &self.inner.queue);
             while !guard.jobs.is_empty() || guard.in_flight > 0 {
                 guard = wait_or_recover(&self.inner.idle_cv, guard);
             }
         }
         self.inner.jobs_cv.notify_all();
         let handles: Vec<JoinHandle<()>> = {
-            let mut guard = lock_or_recover(&self.workers);
+            let mut guard = lock_or_recover("serve.server.workers", &self.workers);
             guard.drain(..).collect()
         };
         for handle in handles {
@@ -397,7 +397,7 @@ impl SessionObserver for RoundObserver {
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let job = {
-            let mut guard = lock_or_recover(&inner.queue);
+            let mut guard = lock_or_recover("serve.server.queue", &inner.queue);
             loop {
                 if let Some(job) = guard.jobs.pop_front() {
                     guard.in_flight += 1;
@@ -436,12 +436,12 @@ fn worker_loop(inner: &Arc<Inner>) {
             .metrics
             .counter_add(&label(outcome_counter, &[("tenant", &tenant)]), 1);
         {
-            let mut guard = lock_or_recover(&inner.results);
+            let mut guard = lock_or_recover("serve.server.results", &inner.results);
             guard.insert(job.ticket, result);
         }
         inner.results_cv.notify_all();
         let idle = {
-            let mut guard = lock_or_recover(&inner.queue);
+            let mut guard = lock_or_recover("serve.server.queue", &inner.queue);
             guard.in_flight -= 1;
             guard.jobs.is_empty() && guard.in_flight == 0
         };

@@ -77,36 +77,51 @@ pub enum AsyncResponse {
 }
 
 impl AsyncResponse {
-    /// Unwraps a `SELECT` response.
-    ///
-    /// # Panics
-    /// If the ticket was not submitted as [`AsyncRequest::Select`].
-    pub fn into_select(self) -> Solutions {
+    /// The response's shape name, for mismatch diagnostics.
+    fn shape(&self) -> &'static str {
         match self {
-            AsyncResponse::Select(s) => s,
-            other => panic!("ticket was not a SELECT: {other:?}"),
+            AsyncResponse::Select(_) => "SELECT",
+            AsyncResponse::Ask(_) => "ASK",
+            AsyncResponse::Keyword(_) => "keyword search",
         }
     }
 
-    /// Unwraps an `ASK` response.
-    ///
-    /// # Panics
-    /// If the ticket was not submitted as [`AsyncRequest::Ask`].
-    pub fn into_ask(self) -> bool {
+    /// Unwraps a `SELECT` response, or a typed
+    /// [`SparqlError::TicketMismatch`] if the ticket was not submitted as
+    /// [`AsyncRequest::Select`].
+    pub fn into_select(self) -> Result<Solutions, SparqlError> {
         match self {
-            AsyncResponse::Ask(b) => b,
-            other => panic!("ticket was not an ASK: {other:?}"),
+            AsyncResponse::Select(s) => Ok(s),
+            other => Err(SparqlError::TicketMismatch {
+                expected: "SELECT",
+                got: other.shape(),
+            }),
         }
     }
 
-    /// Unwraps a keyword-search response.
-    ///
-    /// # Panics
-    /// If the ticket was not submitted as [`AsyncRequest::Keyword`].
-    pub fn into_keyword(self) -> Vec<TermId> {
+    /// Unwraps an `ASK` response, or a typed
+    /// [`SparqlError::TicketMismatch`] if the ticket was not submitted as
+    /// [`AsyncRequest::Ask`].
+    pub fn into_ask(self) -> Result<bool, SparqlError> {
         match self {
-            AsyncResponse::Keyword(hits) => hits,
-            other => panic!("ticket was not a keyword search: {other:?}"),
+            AsyncResponse::Ask(b) => Ok(b),
+            other => Err(SparqlError::TicketMismatch {
+                expected: "ASK",
+                got: other.shape(),
+            }),
+        }
+    }
+
+    /// Unwraps a keyword-search response, or a typed
+    /// [`SparqlError::TicketMismatch`] if the ticket was not submitted as
+    /// [`AsyncRequest::Keyword`].
+    pub fn into_keyword(self) -> Result<Vec<TermId>, SparqlError> {
+        match self {
+            AsyncResponse::Keyword(hits) => Ok(hits),
+            other => Err(SparqlError::TicketMismatch {
+                expected: "keyword search",
+                got: other.shape(),
+            }),
         }
     }
 }
@@ -201,7 +216,7 @@ impl AsyncAdapter {
     fn worker_loop(&self, endpoint: &(impl SparqlEndpoint + ?Sized)) {
         loop {
             let job = {
-                let mut shared = lock_or_recover(&self.shared);
+                let mut shared = lock_or_recover("sparql.async.shared", &self.shared);
                 loop {
                     if let Some(job) = shared.queue.pop_front() {
                         break job;
@@ -220,14 +235,14 @@ impl AsyncAdapter {
                     endpoint.keyword_search(&keyword, exact),
                 )),
             };
-            let mut shared = lock_or_recover(&self.shared);
+            let mut shared = lock_or_recover("sparql.async.shared", &self.shared);
             shared.done.insert(job.id, result);
             self.results.notify_all();
         }
     }
 
     fn shutdown(&self) {
-        lock_or_recover(&self.shared).shutdown = true;
+        lock_or_recover("sparql.async.shared", &self.shared).shutdown = true;
         self.jobs.notify_all();
     }
 }
@@ -237,7 +252,7 @@ impl AsyncSparqlEndpoint for AsyncAdapter {
         let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let context = self.tracer.current_handle();
         {
-            let mut shared = lock_or_recover(&self.shared);
+            let mut shared = lock_or_recover("sparql.async.shared", &self.shared);
             shared.queue.push_back(Job {
                 id,
                 request,
@@ -249,7 +264,7 @@ impl AsyncSparqlEndpoint for AsyncAdapter {
     }
 
     fn poll(&self, ticket: &Ticket) -> Poll<Result<AsyncResponse, SparqlError>> {
-        let mut shared = lock_or_recover(&self.shared);
+        let mut shared = lock_or_recover("sparql.async.shared", &self.shared);
         match shared.done.remove(&ticket.0) {
             Some(result) => Poll::Ready(result),
             None => Poll::Pending,
@@ -257,7 +272,7 @@ impl AsyncSparqlEndpoint for AsyncAdapter {
     }
 
     fn wait(&self, ticket: Ticket) -> Result<AsyncResponse, SparqlError> {
-        let mut shared = lock_or_recover(&self.shared);
+        let mut shared = lock_or_recover("sparql.async.shared", &self.shared);
         loop {
             if let Some(result) = shared.done.remove(&ticket.0) {
                 return result;
@@ -349,7 +364,11 @@ mod tests {
         for (serial, async_result) in serial.iter().zip(&async_results) {
             assert_eq!(
                 serial,
-                &async_result.clone().expect("ok").into_select(),
+                &async_result
+                    .clone()
+                    .expect("ok")
+                    .into_select()
+                    .expect("shape"),
                 "async response identical and in submission order"
             );
         }
@@ -365,9 +384,23 @@ mod tests {
                 keyword: "germany".into(),
                 exact: true,
             });
-            assert_eq!(pool.wait(s).expect("select").into_select().len(), 2);
-            assert!(pool.wait(a).expect("ask").into_ask());
-            assert_eq!(pool.wait(k).expect("keyword").into_keyword().len(), 1);
+            assert_eq!(
+                pool.wait(s)
+                    .expect("select")
+                    .into_select()
+                    .expect("shape")
+                    .len(),
+                2
+            );
+            assert!(pool.wait(a).expect("ask").into_ask().expect("shape"));
+            assert_eq!(
+                pool.wait(k)
+                    .expect("keyword")
+                    .into_keyword()
+                    .expect("shape")
+                    .len(),
+                1
+            );
         });
         let stats = ep.stats();
         assert_eq!(stats.selects, 1);
@@ -393,7 +426,7 @@ mod tests {
                 }
             };
             assert!(pending_seen, "an in-flight ticket polls Pending");
-            assert_eq!(response.expect("ok").into_select().len(), 2);
+            assert_eq!(response.expect("ok").into_select().expect("shape").len(), 2);
             // the response was handed out exactly once: the spent ticket
             // now polls Pending forever (it has no pending job either)
             assert!(pool.poll(&ticket).is_pending());
@@ -420,6 +453,7 @@ mod tests {
                 pool.wait(t_good)
                     .expect("unrelated ticket unaffected")
                     .into_select()
+                    .expect("shape")
                     .len(),
                 2
             );
@@ -529,7 +563,14 @@ mod tests {
         let ep = local();
         with_async_endpoint(&ep, 0, |pool| {
             let t = pool.submit_select(select("SELECT ?d WHERE { ?o <http://ex/dest> ?d }"));
-            assert_eq!(pool.wait(t).expect("ok").into_select().len(), 2);
+            assert_eq!(
+                pool.wait(t)
+                    .expect("ok")
+                    .into_select()
+                    .expect("shape")
+                    .len(),
+                2
+            );
         });
     }
 }

@@ -221,7 +221,7 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
 
     /// Number of currently cached entries across all three caches.
     pub fn cached_entries(&self) -> usize {
-        let state = lock_or_recover(&self.state);
+        let state = lock_or_recover("sparql.cache.state", &self.state);
         state.selects.len() + state.asks.len() + state.keywords.len()
     }
 
@@ -229,7 +229,7 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
     /// [`SparqlEndpoint::reset_stats`] to zero those). Required after the
     /// underlying store changes.
     pub fn clear(&self) {
-        let mut state = lock_or_recover(&self.state);
+        let mut state = lock_or_recover("sparql.cache.state", &self.state);
         state.selects.clear();
         state.asks.clear();
         state.keywords.clear();
@@ -239,7 +239,7 @@ impl<E: SparqlEndpoint> CachingEndpoint<E> {
     /// method, callable without importing the trait).
     pub fn stats(&self) -> EndpointStats {
         let mut stats = self.inner.stats();
-        let state = lock_or_recover(&self.state);
+        let state = lock_or_recover("sparql.cache.state", &self.state);
         stats.merge(&EndpointStats {
             cache_hits: state.hits,
             cache_misses: state.misses,
@@ -254,7 +254,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
     fn select(&self, query: &Query) -> Result<Solutions, SparqlError> {
         let key = query_to_sparql(query);
         {
-            let mut state = lock_or_recover(&self.state);
+            let mut state = lock_or_recover("sparql.cache.state", &self.state);
             if let Some(cached) = state.selects.get(&key) {
                 state.hits += 1;
                 drop(state);
@@ -267,7 +267,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         // the lock is released while the inner endpoint evaluates, so
         // concurrent misses proceed in parallel (at worst re-evaluating)
         let solutions = self.inner.select(query)?;
-        let mut state = lock_or_recover(&self.state);
+        let mut state = lock_or_recover("sparql.cache.state", &self.state);
         let evicted = state.selects.insert(key, solutions.clone());
         if evicted {
             state.evictions += 1;
@@ -282,7 +282,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
     fn ask(&self, query: &Query) -> Result<bool, SparqlError> {
         let key = query_to_sparql(query);
         {
-            let mut state = lock_or_recover(&self.state);
+            let mut state = lock_or_recover("sparql.cache.state", &self.state);
             if let Some(cached) = state.asks.get(&key) {
                 state.hits += 1;
                 drop(state);
@@ -293,7 +293,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         }
         self.tracer.record_cache(false);
         let answer = self.inner.ask(query)?;
-        let mut state = lock_or_recover(&self.state);
+        let mut state = lock_or_recover("sparql.cache.state", &self.state);
         let evicted = state.asks.insert(key, answer);
         if evicted {
             state.evictions += 1;
@@ -310,7 +310,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         // exact/substring namespaces disjoint
         let key = format!("{exact}\u{1}{keyword}");
         {
-            let mut state = lock_or_recover(&self.state);
+            let mut state = lock_or_recover("sparql.cache.state", &self.state);
             if let Some(cached) = state.keywords.get(&key) {
                 state.hits += 1;
                 drop(state);
@@ -321,7 +321,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
         }
         self.tracer.record_cache(false);
         let hits = self.inner.keyword_search(keyword, exact);
-        let mut state = lock_or_recover(&self.state);
+        let mut state = lock_or_recover("sparql.cache.state", &self.state);
         let evicted = state.keywords.insert(key, hits.clone());
         if evicted {
             state.evictions += 1;
@@ -343,7 +343,7 @@ impl<E: SparqlEndpoint> SparqlEndpoint for CachingEndpoint<E> {
 
     fn reset_stats(&self) {
         self.inner.reset_stats();
-        let mut state = lock_or_recover(&self.state);
+        let mut state = lock_or_recover("sparql.cache.state", &self.state);
         state.hits = 0;
         state.misses = 0;
         state.evictions = 0;

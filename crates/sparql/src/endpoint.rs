@@ -206,12 +206,12 @@ impl LocalEndpoint {
 
     /// Snapshot of the statistics.
     pub fn stats(&self) -> EndpointStats {
-        *lock_or_recover(&self.stats)
+        *lock_or_recover("sparql.local.stats", &self.stats)
     }
 
     /// Resets the statistics (e.g. between experiment phases).
     pub fn reset_stats(&self) {
-        *lock_or_recover(&self.stats) = EndpointStats::default();
+        *lock_or_recover("sparql.local.stats", &self.stats) = EndpointStats::default();
     }
 
     /// Consumes the endpoint, returning the graph.
@@ -237,7 +237,7 @@ impl SparqlEndpoint for LocalEndpoint {
             }
         }
         let elapsed = start.elapsed();
-        let mut stats = lock_or_recover(&self.stats);
+        let mut stats = lock_or_recover("sparql.local.stats", &self.stats);
         stats.selects += 1;
         stats.busy += elapsed;
         stats.latency.record(elapsed);
@@ -252,7 +252,7 @@ impl SparqlEndpoint for LocalEndpoint {
         self.pay_latency();
         let result = evaluate_ask(&self.graph, query);
         let elapsed = start.elapsed();
-        let mut stats = lock_or_recover(&self.stats);
+        let mut stats = lock_or_recover("sparql.local.stats", &self.stats);
         stats.asks += 1;
         stats.busy += elapsed;
         stats.latency.record(elapsed);
@@ -268,7 +268,7 @@ impl SparqlEndpoint for LocalEndpoint {
             self.graph.literals_matching_keywords(keyword)
         };
         let elapsed = start.elapsed();
-        let mut stats = lock_or_recover(&self.stats);
+        let mut stats = lock_or_recover("sparql.local.stats", &self.stats);
         stats.keyword_searches += 1;
         stats.busy += elapsed;
         stats.latency.record(elapsed);

@@ -30,6 +30,16 @@ pub enum SparqlError {
         /// The configured budget the session ran through.
         limit: u64,
     },
+    /// An async ticket's response had a different shape than the request
+    /// it was submitted as (a SELECT ticket answered with an ASK, …).
+    /// Indicates a caller-side ticket mix-up; surfaced as a typed error so
+    /// a confused batch fails its round instead of killing the session.
+    TicketMismatch {
+        /// The response shape the caller unwrapped for.
+        expected: &'static str,
+        /// The shape the ticket actually resolved to.
+        got: &'static str,
+    },
 }
 
 impl SparqlError {
@@ -58,6 +68,9 @@ impl fmt::Display for SparqlError {
             SparqlError::Endpoint(m) => write!(f, "endpoint failure: {m}"),
             SparqlError::BudgetExhausted { limit } => {
                 write!(f, "query budget exhausted after {limit} queries")
+            }
+            SparqlError::TicketMismatch { expected, got } => {
+                write!(f, "async ticket mismatch: expected {expected}, got {got}")
             }
         }
     }
@@ -90,6 +103,14 @@ mod tests {
         assert_eq!(
             SparqlError::BudgetExhausted { limit: 9 }.to_string(),
             "query budget exhausted after 9 queries"
+        );
+        assert_eq!(
+            SparqlError::TicketMismatch {
+                expected: "SELECT",
+                got: "ASK"
+            }
+            .to_string(),
+            "async ticket mismatch: expected SELECT, got ASK"
         );
     }
 }

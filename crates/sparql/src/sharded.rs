@@ -480,7 +480,12 @@ impl ShardedEndpoint {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    // contain a shard panic as a failed scatter instead of
+                    // re-panicking at scope exit and killing the caller
+                    Err(_) => Err(SparqlError::Endpoint("shard thread panicked".into())),
+                })
                 .collect()
         });
         results.into_iter().collect()
@@ -526,7 +531,7 @@ impl ShardedEndpoint {
     }
 
     fn record(&self, elapsed: Duration, rows: Option<u64>, kind: QueryKind) {
-        let mut stats = lock_or_recover(&self.stats);
+        let mut stats = lock_or_recover("sparql.sharded.stats", &self.stats);
         match kind {
             QueryKind::Select => stats.selects += 1,
             QueryKind::Ask => stats.asks += 1,
@@ -593,11 +598,11 @@ impl SparqlEndpoint for ShardedEndpoint {
     /// [`ShardedEndpoint::shard_stats`] / [`ShardedEndpoint::replica_stats`]
     /// for per-backend accounting — `EndpointStats::merge` folds them).
     fn stats(&self) -> EndpointStats {
-        *lock_or_recover(&self.stats)
+        *lock_or_recover("sparql.sharded.stats", &self.stats)
     }
 
     fn reset_stats(&self) {
-        *lock_or_recover(&self.stats) = EndpointStats::default();
+        *lock_or_recover("sparql.sharded.stats", &self.stats) = EndpointStats::default();
         for shard in &self.shards {
             shard.reset_stats();
         }

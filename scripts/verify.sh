@@ -43,14 +43,26 @@ with open("bench_results/lint.json") as f:
 assert report["findings"] == [], f"unbaselined findings: {report['findings']}"
 assert report["stale_baseline"] == [], f"stale baseline entries: {report['stale_baseline']}"
 locks = set(report["locks"])
-assert len(locks) >= 7, f"lock registry shrank unexpectedly: {sorted(locks)}"
-for edge in report["lock_edges"]:
-    assert edge["from"] in locks and edge["to"] in locks
+assert len(locks) >= 13, f"lock registry shrank unexpectedly: {sorted(locks)}"
+for edge in report["lock_edges"] + report["declared_edges"]:
+    assert edge["from"] in locks and edge["to"] in locks, f"dangling edge: {edge}"
+declared = {(e["from"], e["to"]) for e in report["declared_edges"]}
+extracted = {(e["from"], e["to"]) for e in report["lock_edges"]}
+assert extracted <= declared, \
+    f"extracted nesting not covered by declared // lock-order edges: {extracted - declared}"
 print(f"lint.json: valid JSON; {report['baseline_matched']} baselined, "
       f"{report['suppressed']} allowed, {len(locks)} locks, "
-      f"{len(report['lock_edges'])} nesting edges")
+      f"{len(report['lock_edges'])} nesting edges, {len(declared)} declared")
 EOF
 fi
+
+echo "== lock witness: concurrent suites under RE2X_LOCK_WITNESS=1 =="
+# The runtime half of the lock-order cross-check: re-run the concurrent
+# suites with the witness recording every nesting real threads perform,
+# then the witness gate asserts observed edges are a subset of the static
+# registry graph (extracted + declared) and the union stays acyclic.
+RE2X_LOCK_WITNESS=1 cargo test -q --offline -p re2x-obs -p re2x-sparql -p re2x-serve
+RE2X_LOCK_WITNESS=1 cargo test -q --offline -p re2x-lint --test witness_gate
 
 echo "== trace experiment (smallest dataset, offline) =="
 # The trace experiment runs on the in-memory running-example generator —
